@@ -1,0 +1,29 @@
+# Developer convenience targets for the repro library.
+
+.PHONY: install test bench figures examples clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+test-fast:
+	pytest tests/ -x -q --ignore=tests/analysis/test_scenarios_small.py
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Regenerate every paper figure report into results/ via the CLI runner.
+figures:
+	python -m repro.analysis.runner all --out-dir results/
+
+examples:
+	for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		python $$script || exit 1; \
+	done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,51 @@
+"""Ablation B -- the delta_reduce shrink rate (paper: 5 %).
+
+Sweeps the per-interval shrink rate on the Figure 12 step-down.  The
+trade-off the paper's 5 % sits on: slower shrink wastes memory for
+longer after a peak; faster shrink reaches the goal quickly but
+de-stabilizes the allocation.
+"""
+
+from repro.analysis.report import format_table
+from repro.analysis.scenarios import run_ablation_delta_reduce
+
+DELTAS = (0.01, 0.05, 0.10, 0.25)
+
+
+def run():
+    return run_ablation_delta_reduce(
+        deltas=DELTAS, drop_at_s=120, duration_s=480
+    )
+
+
+def test_ablation_delta_reduce(benchmark, save_artifact):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["delta_reduce", "final_pages", "excess_page_seconds",
+               "time_to_halfway_s", "escalations"]
+    rows = []
+    for delta in DELTAS:
+        key = f"delta={delta:.2f}"
+        rows.append([
+            f"{delta:.0%}",
+            result.finding(f"{key}:final_pages"),
+            result.finding(f"{key}:excess_page_seconds"),
+            result.finding(f"{key}:time_to_halfway_s"),
+            result.finding(f"{key}:escalations"),
+        ])
+    save_artifact(
+        "ablation_delta_reduce",
+        "Ablation: shrink rate sweep on the 130->30 client step-down\n"
+        + format_table(headers, rows),
+    )
+    # Faster shrink wastes strictly less memory after the drop...
+    waste = [result.finding(f"delta={d:.2f}:excess_page_seconds") for d in DELTAS]
+    assert waste[0] > waste[1] > waste[3]
+    # ...and reaches the halfway point sooner.
+    halfway = [
+        result.finding(f"delta={d:.2f}:time_to_halfway_s") for d in DELTAS
+    ]
+    assert halfway[0] > halfway[1] >= halfway[3]
+    # No setting escalates on a shrinking workload.
+    assert all(
+        result.finding(f"delta={d:.2f}:escalations") == 0 for d in DELTAS
+    )

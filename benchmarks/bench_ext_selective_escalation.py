@@ -1,0 +1,82 @@
+"""Extension bench -- selective lock escalation (paper section 6.1).
+
+The paper's second future-work item: "application policies to bias when
+lock escalations are a preferred strategy over lock memory growth.
+Selective lock escalation would reduce memory requirements for locking
+providing more memory for caching and sorting etc."
+
+This bench runs the same batch-update job twice against the adaptive
+policy: once normally, once with the job's application flagged as
+*escalation-preferred*.  Expected shape: the preferring run never grows
+lock memory for the job (it escalates to a table X lock instead), so
+peak lock memory stays at the floor and the bufferpool keeps the pages
+-- at the concurrency cost escalation always carries.
+"""
+
+from repro.analysis.report import format_table
+from repro.engine.database import Database, DatabaseConfig
+from repro.workloads.batch import BatchUpdateJob
+
+
+def run_variant(preferred: bool):
+    db = Database(
+        seed=23,
+        config=DatabaseConfig(total_memory_pages=65_536,
+                              initial_locklist_pages=128),
+    )
+    job = BatchUpdateJob(db, start_time_s=10, row_count=120_000, duration_s=15)
+
+    if preferred:
+        # flag the job's application as soon as it connects
+        original_register = db.register_application
+
+        def register_and_flag(app_id):
+            original_register(app_id)
+            db.lock_manager.set_escalation_preference(app_id, True)
+
+        db.register_application = register_and_flag
+
+    job.start()
+    db.run(until=200)
+    return {
+        "completed": job.result.completed,
+        "escalated": job.result.escalated,
+        "peak_lock_pages": db.metrics["lock_pages"].max(),
+        "sync_growth_blocks": db.lock_manager.stats.sync_growth_blocks,
+        "min_bufferpool_pages": db.metrics["bufferpool_pages"].min(),
+    }
+
+
+def run():
+    return {
+        "normal": run_variant(preferred=False),
+        "preferred": run_variant(preferred=True),
+    }
+
+
+def test_selective_escalation_extension(benchmark, save_artifact):
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    headers = ["variant", "completed", "escalated", "peak_lock_pages",
+               "sync_growth_blocks", "min_bufferpool_pages"]
+    rows = [
+        [name] + [results[name][column] for column in headers[1:]]
+        for name in ("normal", "preferred")
+    ]
+    save_artifact(
+        "ext_selective_escalation",
+        "Extension (section 6.1): escalation-preferred batch application\n"
+        + format_table(headers, rows),
+    )
+    normal, preferred = results["normal"], results["preferred"]
+    # both complete the batch
+    assert normal["completed"] and preferred["completed"]
+    # the normal run grows lock memory; the preferring run escalates
+    assert not normal["escalated"]
+    assert preferred["escalated"]
+    # the memory saving the paper predicts
+    assert preferred["peak_lock_pages"] < normal["peak_lock_pages"]
+    assert preferred["sync_growth_blocks"] == 0
+    # the saved pages stayed with the cache
+    assert (
+        preferred["min_bufferpool_pages"] >= normal["min_bufferpool_pages"]
+    )

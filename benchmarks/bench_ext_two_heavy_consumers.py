@@ -1,0 +1,41 @@
+"""Extension bench -- two simultaneous heavy lock consumers.
+
+Verifies the section 5.3 discussion the paper states but does not plot:
+"Had two or more heavy lock consumers (queries or updates) been
+simultaneously introduced the adaptive algorithm for
+lockPercentPerApplication would have attenuated the percentage of total
+lock memory that each query would be allowed to consume as global lock
+memory began to approach maxLockMemory".
+
+One 700k-row query fits comfortably (no escalation); the same two
+queries together drive the allocation to maxLockMemory, the MAXLOCKS
+curve collapses to its floor, and both queries escalate to S table
+locks -- bounded memory, no exclusive locks, everything completes.
+"""
+
+from repro.analysis.report import format_findings
+from repro.analysis.scenarios import run_two_heavy_consumers
+
+
+def test_two_heavy_consumers(benchmark, save_artifact):
+    result = benchmark.pedantic(run_two_heavy_consumers, rounds=1, iterations=1)
+    save_artifact(
+        "ext_two_heavy_consumers",
+        "Section 5.3 discussion: one vs two heavy lock consumers\n"
+        + format_findings(result.findings)
+        + "\n" + "\n".join(result.notes),
+    )
+    # One heavy consumer: allowed to dominate, no escalation.
+    assert result.finding("solo_escalations") == 0
+    assert result.finding("solo_completed")
+    # Two together: the curve attenuates hard as memory nears the max...
+    assert result.finding("duo_min_maxlocks_percent") < 10.0
+    # ...the allocation stays bounded by maxLockMemory...
+    assert (
+        result.finding("duo_peak_lock_pages")
+        <= result.finding("max_lock_memory_pages")
+    )
+    # ...and the queries escalate (share mode) instead of failing.
+    assert result.finding("duo_escalations") >= 1
+    assert result.finding("duo_exclusive_escalations") == 0
+    assert result.finding("duo_completed")

@@ -1,0 +1,51 @@
+"""Figure 11 -- lock memory adaptation to a sudden DSS injection.
+
+A reporting query with massive row locking joins a steady OLTP system.
+Paper shape: lock memory grows by tens of times within seconds (60x
+over ~25 s in the paper, peaking near 10 % of database memory), with no
+exclusive escalations; OLTP throughput dips from resource competition
+but the system keeps running.  The adaptive lockPercentPerApplication
+is what lets the single query dominate lock memory.
+
+Scaling note: the paper's 5.11 GB server absorbed ~8 million row locks;
+against our 512 MB reference system the query takes 500,000 row locks,
+preserving the peak-at-~10%-of-memory and the tens-of-x growth shape.
+"""
+
+from repro.analysis.ascii_chart import render_two_series
+from repro.analysis.report import format_findings
+from repro.analysis.scenarios import run_fig11_dss_injection
+
+
+def run():
+    return run_fig11_dss_injection(
+        oltp_clients=30, dss_rows=500_000,
+        inject_at_s=90, acquisition_duration_s=40,
+        hold_duration_s=30, duration_s=330,
+    )
+
+
+def test_fig11_dss_injection(benchmark, save_artifact):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = render_two_series(
+        result.metrics["commits"].rate().smooth(5),
+        result.series("lock_pages"),
+        title="Figure 11 -- OLTP throughput (*) and lock memory (o), "
+        "DSS query injected at t=90s",
+    )
+    save_artifact(
+        "fig11_dss_injection",
+        chart + "\n\n" + format_findings(result.findings)
+        + "\n" + "\n".join(result.notes),
+    )
+    # Growth by tens of times (paper: 60x; ours ~25-30x at this scale).
+    assert result.finding("growth_factor") >= 15.0
+    # Peak near 10% of database memory (paper: ~10% of 5.11 GB).
+    assert 0.05 <= result.finding("peak_fraction_of_database_memory") <= 0.20
+    # "No exclusive lock escalations were observed".
+    assert result.finding("exclusive_escalations") == 0
+    # The reporting query completed with row locking.
+    assert result.finding("query_completed")
+    assert result.finding("query_rows_locked") == 500_000
+    # OLTP continued during the query (dip, not collapse).
+    assert result.finding("oltp_tput_during") > 0

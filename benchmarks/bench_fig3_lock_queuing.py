@@ -1,0 +1,22 @@
+"""Figure 3 -- lock queuing.
+
+Four applications request the same row: S, S (shared grant), X (queues),
+S (queues *behind* the X -- the FIFO "post" discipline the paper
+contrasts with Oracle's sleep/wake polling).
+"""
+
+from repro.analysis.report import format_findings
+from repro.analysis.scenarios import run_fig3_lock_queuing
+
+
+def test_fig3_lock_queuing(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig3_lock_queuing, rounds=1, iterations=1)
+    save_artifact(
+        "fig3_lock_queuing",
+        "Figure 3 -- lock queuing (S, S share; X queues; S queues behind X)\n"
+        + format_findings(result.findings),
+    )
+    assert result.finding("shared_S_grant")
+    assert result.finding("queue_while_held") == "X->S"
+    assert result.finding("fifo_respected")
+    assert result.finding("final_grant_order") == "1->2->3->4"

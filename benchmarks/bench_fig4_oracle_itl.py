@@ -1,0 +1,32 @@
+"""Figure 4 -- Oracle page memory (the ITL model), quantified.
+
+The paper's section 2.3 argues three drawbacks of on-page locking:
+permanent disk overhead, ITL-exhaustion blocking of free rows, and the
+absence of anything a memory tuner could adjust.  This benchmark makes
+the comparison executable.
+"""
+
+from repro.analysis.report import format_findings
+from repro.analysis.scenarios import run_fig4_oracle_itl
+
+
+def test_fig4_oracle_itl(benchmark, save_artifact):
+    result = benchmark.pedantic(
+        run_fig4_oracle_itl, kwargs={"concurrent_txns": 10}, rounds=1, iterations=1
+    )
+    save_artifact(
+        "fig4_oracle_itl",
+        "Figure 4 -- Oracle ITL page model under 10 distinct-row writers\n"
+        + format_findings(result.findings)
+        + "\n\n"
+        + "\n".join(result.notes),
+    )
+    # ITL exhaustion blocks writers whose rows are entirely free.
+    assert result.finding("blocked_on_free_rows") > 0
+    assert result.finding("row_conflicts") == 0
+    # The on-disk overhead is permanent (identical after commit).
+    assert result.finding("disk_overhead_bytes") == result.finding(
+        "disk_overhead_after_commit_bytes"
+    )
+    # Nothing for a lock-memory tuner to tune.
+    assert result.finding("tunable_memory_pages") == 0

@@ -1,0 +1,41 @@
+"""Figure 6 -- the worked example of combined sync + async tuning.
+
+Reproduces the T0..Tn timeline of section 4: steady state, a surge
+absorbed by free lock memory, a 267% surge partly served synchronously
+from overflow, STMM reconciliation, and the slow delta_reduce
+relaxation back towards the maxFreeLockMemory goal.
+"""
+
+import pytest
+
+from repro.analysis.ascii_chart import render_two_series
+from repro.analysis.report import format_findings
+from repro.analysis.scenarios import run_fig6_worked_example
+
+
+def test_fig6_worked_example(benchmark, save_artifact):
+    result = benchmark.pedantic(run_fig6_worked_example, rounds=1, iterations=1)
+    chart = render_two_series(
+        result.series("lock_pages_pct"),
+        result.series("lock_used_pct"),
+        title="Figure 6 -- lock memory allocated (%) vs used (%) over the timeline",
+    )
+    save_artifact(
+        "fig6_worked_example",
+        chart + "\n\n" + format_findings(result.findings),
+    )
+    # T1: a 50% usage surge fits inside the free half -- no sync growth.
+    assert result.finding("t1_absorbed_without_sync_growth")
+    # T2: async growth restored the minFree objective (6% allocated).
+    assert result.finding("t2_alloc_pct") == pytest.approx(6.0, abs=0.3)
+    # T3: the 267% surge required synchronous overflow memory.
+    assert result.finding("t3_used_sync_growth")
+    assert result.finding("t3_overflow_reduced_pct") < 10.0
+    # T4: STMM reconciled overflow back to its 10% goal.
+    assert result.finding("t4_overflow_restored_pct") == pytest.approx(10.0, abs=0.5)
+    # T6..Tn: ~5% of current size relaxed per interval, settling at the
+    # maxFreeLockMemory-free state (used 2% / 0.4 = 5% allocated).
+    assert result.finding("per_interval_shrink_fraction") == pytest.approx(
+        0.05, abs=0.02
+    )
+    assert result.finding("final_alloc_pct") == pytest.approx(5.0, abs=0.3)

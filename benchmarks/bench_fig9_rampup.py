@@ -1,0 +1,42 @@
+"""Figure 9 -- rapid lock memory adaptation to steady-state OLTP load.
+
+From a minimal 0.375 MB configuration, the workload ramps from 1 to 130
+clients.  Paper shape: throughput rises with the ramp, the self-tuned
+lock memory converges immediately to a stable level ~10.5x its starting
+point, and **no lock escalations occur**.
+"""
+
+from repro.analysis.ascii_chart import render_two_series
+from repro.analysis.report import format_findings
+from repro.analysis.scenarios import run_fig9_rampup
+
+
+def run():
+    return run_fig9_rampup(
+        clients=130, initial_locklist_pages=96,
+        ramp_duration_s=60, duration_s=300,
+    )
+
+
+def test_fig9_rampup(benchmark, save_artifact):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    chart = render_two_series(
+        result.metrics["commits"].rate().smooth(5),
+        result.series("lock_pages"),
+        title="Figure 9 -- throughput (*) and lock memory pages (o), "
+        "1->130 client ramp",
+    )
+    save_artifact(
+        "fig9_rampup", chart + "\n\n" + format_findings(result.findings)
+    )
+    # Paper: "no lock escalations were observed ... despite the drastic
+    # increase in clients from 0 to 130".
+    assert result.finding("escalations") == 0
+    # Paper: "the resulting increase in lock memory by 10.5x" -- the
+    # shape criterion is roughly an order of magnitude from the minimal
+    # start (ours: 96 pages -> ~1024 pages ~ 10.7x).
+    assert result.finding("growth_factor") >= 8.0
+    # "adapts immediately to a stable allocation level": converged
+    # within two tuning intervals of the ramp completing.
+    assert result.finding("convergence_time_s") <= 60 + 2 * 30
+    assert result.finding("steady_tput") > 0

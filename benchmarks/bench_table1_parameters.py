@@ -1,0 +1,75 @@
+"""Table 1 -- key parameters of the tuning model.
+
+Regenerates the paper's parameter summary from the implementation and
+checks every formula against the values the paper states.
+"""
+
+from repro.analysis.report import format_table
+from repro.core.maxlocks import lock_percent_per_application
+from repro.core.params import TuningParameters
+from repro.units import MB, pages_to_bytes
+
+
+def build_table(params: TuningParameters, database_memory_pages: int):
+    rows = [
+        ["databaseMemory", "total shared memory", f"{database_memory_pages} pages"],
+        [
+            "minLockMemory",
+            "MAX(2MB, 500 * locksize * num_applications)",
+            f"{params.min_lock_memory_pages(130)} pages @130 apps",
+        ],
+        [
+            "maxLockMemory",
+            "0.20 * databaseMemory",
+            f"{params.max_lock_memory_pages(database_memory_pages)} pages",
+        ],
+        [
+            "sqlCompilerLockMem",
+            "0.10 * databaseMemory",
+            f"{params.sql_compiler_lock_memory_pages(database_memory_pages)} pages",
+        ],
+        [
+            "LMOmax",
+            "65% of database overflow memory",
+            f"{params.lmo_max_pages(10_000, 0)} pages @10k overflow",
+        ],
+        ["maxFreeLockMemory", "shrink above this free fraction",
+         f"{params.max_free_fraction:.0%}"],
+        ["minFreeLockMemory", "grow below this free fraction",
+         f"{params.min_free_fraction:.0%}"],
+        [
+            "lockPercentPerApplication",
+            "98 * (1 - (x/100)^3)",
+            f"P(0)={lock_percent_per_application(0):.0f} "
+            f"P(50)={lock_percent_per_application(50):.2f} "
+            f"P(100)={lock_percent_per_application(100):.0f}",
+        ],
+        ["refreshPeriodForAppPercent", "requests between recomputes",
+         hex(params.refresh_period_requests)],
+        ["delta_reduce", "shrink rate per tuning interval",
+         f"{params.delta_reduce:.0%}"],
+    ]
+    return format_table(["parameter", "meaning", "value"], rows)
+
+
+def test_table1_parameters(benchmark, save_artifact):
+    params = TuningParameters()
+    database_memory_pages = 131_072  # 512 MB reference system
+
+    table = benchmark.pedantic(
+        build_table, args=(params, database_memory_pages), rounds=1, iterations=1
+    )
+    save_artifact("table1_parameters", "Table 1 -- key parameters\n" + table)
+
+    # Formula checks against the paper's stated values.
+    assert pages_to_bytes(params.min_lock_memory_pages(0)) == 2 * MB
+    assert pages_to_bytes(params.min_lock_memory_pages(130)) >= 500 * 64 * 130
+    assert params.max_lock_memory_pages(131_072) >= 0.20 * 131_072
+    assert params.sql_compiler_lock_memory_pages(131_072) == 13_107
+    assert params.lmo_max_pages(10_000, 0) == 6_500
+    assert params.min_free_fraction == 0.50
+    assert params.max_free_fraction == 0.60
+    assert params.delta_reduce == 0.05
+    assert params.refresh_period_requests == 0x80
+    assert lock_percent_per_application(0) == 98.0
+    assert lock_percent_per_application(100) == 1.0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark:
+
+* runs its scenario once under ``benchmark.pedantic`` (the interesting
+  measurements are the *findings*, not the wall time, but wall time is
+  recorded too),
+* prints the findings and an ASCII rendition of the figure (visible
+  with ``pytest benchmarks/ --benchmark-only -s``),
+* writes the same text to ``benchmarks/results/<name>.txt`` so the
+  reproduced figures survive the run.
+"""
+
+import os
+
+import pytest
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture
+def save_artifact():
+    """Write (and echo) a benchmark's textual artifact."""
+
+    def _save(name: str, text: str) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"\n{text}\n[artifact: {path}]")
+        return path
+
+    return _save

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Learning in query optimization (the paper's section 6.1 future work).
+
+A recurring reporting statement carries a stale cardinality estimate:
+the optimizer believes it touches 2,000 rows when it actually locks
+60,000.  With the plain estimate-driven optimizer the statement always
+compiles to row locking based on wrong numbers; the learning optimizer
+corrects its lock estimate from execution feedback, so subsequent
+compilations are made with the true demand -- and a statement whose
+true demand exceeds even the stable compiler view flips to a table-lock
+plan *at compile time* instead of escalating at runtime.
+
+Run with::
+
+    python examples/learned_optimizer.py
+"""
+
+from repro import Database, TuningParameters
+from repro.analysis.report import format_table
+from repro.core.learning import LearningQueryOptimizer
+from repro.workloads import ClientSchedule, OltpWorkload, ReportingQuery
+
+
+def main() -> None:
+    db = Database(seed=17)
+    workload = OltpWorkload(db, ClientSchedule.constant(10))
+    workload.start()
+
+    optimizer = LearningQueryOptimizer(
+        TuningParameters(), db.registry.total_pages, smoothing=0.7
+    )
+
+    apriori_estimate = 2_000     # what the (stale) statistics claim
+    actual_rows = 60_000         # what the statement really touches
+    rows = []
+    start = 30.0
+    for execution in range(1, 6):
+        effective = optimizer.effective_estimate("report-q7", apriori_estimate)
+        choice = optimizer.choose_lock_granularity("report-q7", apriori_estimate)
+        query = ReportingQuery(
+            db, start_time_s=start, row_count=actual_rows,
+            acquisition_duration_s=8, hold_duration_s=4,
+            use_optimizer=False,  # we drive the plan choice ourselves
+        )
+        query.start()
+        db.run(until=start + 20)
+        optimizer.observe_execution("report-q7", apriori_estimate, actual_rows)
+        rows.append([
+            execution,
+            apriori_estimate,
+            effective,
+            choice.granularity.value,
+            actual_rows,
+        ])
+        start += 40.0
+
+    print("Recurring statement with a stale 2,000-row estimate "
+          "(true demand: 60,000 locks):\n")
+    print(format_table(
+        ["run", "a-priori est.", "estimate used", "plan", "actual locks"],
+        rows,
+    ))
+    benefit = optimizer.learning_benefit("report-q7")
+    print(f"\nestimation error removed by learning: {benefit:.0%}")
+    stats = optimizer.statement_stats("report-q7")
+    print(f"learned lock estimate after {stats.executions} runs: "
+          f"{stats.learned_locks:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The paper's section 4 worked example, narrated step by step.
+
+Drives the controller + STMM through the exact T0..Tn timeline of
+Figure 6 -- steady state, an absorbed surge, a 267 % surge served
+partly from overflow, reconciliation, slump and slow relaxation --
+printing the memory layout at each step.
+
+Run with::
+
+    python examples/worked_example_walkthrough.py
+"""
+
+from repro.analysis.scenarios import run_fig6_worked_example
+
+
+def main() -> None:
+    result = run_fig6_worked_example()
+    print("Section 4 worked example (percent of databaseMemory):\n")
+    print(f"{'t':>6} {'allocated':>10} {'used':>7} {'overflow':>9} {'bufferpool':>11}")
+    rows = result.metrics.to_rows()
+    for t, row in rows:
+        print(
+            f"{t:>6.0f} {row['lock_pages_pct']:>9.2f}% "
+            f"{row['lock_used_pct']:>6.2f}% "
+            f"{row['overflow_pct']:>8.2f}% "
+            f"{row['bufferpool_pct']:>10.2f}%"
+        )
+    print()
+    print("What happened:")
+    print(
+        " T0   steady state: 4% allocated, half used (minFreeLockMemory=50%)\n"
+        " T1   usage surged 2%->3%: absorbed by the free half, no sync growth:",
+        result.finding("t1_absorbed_without_sync_growth"),
+    )
+    print(
+        f" T2   STMM grew the allocation to {result.finding('t2_alloc_pct'):.1f}% "
+        "to restore the 50%-free objective"
+    )
+    print(
+        " T3   usage surged 267% (3%->8%): the excess came synchronously\n"
+        "      from overflow memory, which dropped to "
+        f"{result.finding('t3_overflow_reduced_pct'):.1f}%"
+    )
+    print(
+        " T4   next interval: donor heaps shrank, overflow restored to "
+        f"{result.finding('t4_overflow_restored_pct'):.1f}% (its goal)"
+    )
+    print(
+        f" T5   usage slumped back to 2%; allocation momentarily "
+        f"{result.finding('t5_alloc_pct'):.1f}%"
+    )
+    print(
+        f" T6+  delta_reduce relaxation: "
+        f"{result.finding('per_interval_shrink_fraction'):.0%} per interval over "
+        f"{result.finding('shrink_intervals')} intervals, settling at "
+        f"{result.finding('final_alloc_pct'):.1f}% "
+        "(the maxFreeLockMemory-free state)"
+    )
+
+
+if __name__ == "__main__":
+    main()

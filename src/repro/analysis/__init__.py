@@ -1,0 +1,24 @@
+"""Experiment harness: scenario builders, results and reporting.
+
+* :mod:`repro.analysis.experiment` -- the :class:`ExperimentResult`
+  container every scenario returns,
+* :mod:`repro.analysis.scenarios` -- one canonical builder per paper
+  figure (3, 6, 7/8, 9, 10, 11, 12) plus the baseline comparison and
+  ablation scenarios; benchmarks, examples and integration tests all
+  share these,
+* :mod:`repro.analysis.ascii_chart` -- terminal rendering of the
+  recorded time series so benchmark output *looks like* the figures,
+* :mod:`repro.analysis.report` -- tabular formatting helpers.
+"""
+
+from repro.analysis.ascii_chart import render_series, render_two_series
+from repro.analysis.experiment import ExperimentResult
+from repro.analysis.report import format_findings, format_table
+
+__all__ = [
+    "render_series",
+    "render_two_series",
+    "ExperimentResult",
+    "format_findings",
+    "format_table",
+]

@@ -1,0 +1,124 @@
+"""Terminal rendering of time series.
+
+The benchmarks print the reproduced figures directly to the terminal;
+these helpers draw a :class:`~repro.engine.metrics.TimeSeries` (or a
+pair sharing the time axis, like the paper's combined throughput/lock
+memory plots) as a compact ASCII chart.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.metrics import TimeSeries
+
+
+def _resample(series: TimeSeries, width: int) -> List[Optional[float]]:
+    """Average the series into ``width`` equal time buckets."""
+    if len(series) == 0:
+        return [None] * width
+    t0, t1 = series.times[0], series.times[-1]
+    span = max(t1 - t0, 1e-12)
+    sums = [0.0] * width
+    counts = [0] * width
+    for t, v in series:
+        bucket = min(width - 1, int((t - t0) / span * width))
+        sums[bucket] += v
+        counts[bucket] += 1
+    return [sums[i] / counts[i] if counts[i] else None for i in range(width)]
+
+
+def _scale(values: List[Optional[float]]) -> Tuple[float, float]:
+    present = [v for v in values if v is not None]
+    if not present:
+        return 0.0, 1.0
+    lo, hi = min(present), max(present)
+    if hi == lo:
+        hi = lo + 1.0
+    return lo, hi
+
+
+def render_series(
+    series: TimeSeries,
+    width: int = 72,
+    height: int = 14,
+    title: Optional[str] = None,
+    glyph: str = "*",
+) -> str:
+    """Render one series as an ASCII chart."""
+    values = _resample(series, width)
+    lo, hi = _scale(values)
+    grid = [[" "] * width for _ in range(height)]
+    for x, v in enumerate(values):
+        if v is None:
+            continue
+        y = int((v - lo) / (hi - lo) * (height - 1))
+        grid[height - 1 - y][x] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:>12,.1f} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:>12,.1f} +" + "-" * width + "+")
+    if len(series) > 0:
+        lines.append(
+            " " * 14
+            + f"t = {series.times[0]:,.0f}s"
+            + " " * max(1, width - 24)
+            + f"t = {series.times[-1]:,.0f}s"
+        )
+    return "\n".join(lines)
+
+
+def render_two_series(
+    series_a: TimeSeries,
+    series_b: TimeSeries,
+    width: int = 72,
+    height: int = 14,
+    title: Optional[str] = None,
+    glyph_a: str = "*",
+    glyph_b: str = "o",
+) -> str:
+    """Render two series on one chart, each normalized to its own range.
+
+    Mirrors the paper's dual-axis figures (e.g. Figure 9's throughput
+    plus lock memory).  ``series_a`` uses ``glyph_a`` and its scale is
+    printed on the left; ``series_b`` is normalized independently and
+    annotated in the legend.
+    """
+    values_a = _resample(series_a, width)
+    values_b = _resample(series_b, width)
+    lo_a, hi_a = _scale(values_a)
+    lo_b, hi_b = _scale(values_b)
+    grid = [[" "] * width for _ in range(height)]
+    for x, v in enumerate(values_b):
+        if v is None:
+            continue
+        y = int((v - lo_b) / (hi_b - lo_b) * (height - 1))
+        grid[height - 1 - y][x] = glyph_b
+    for x, v in enumerate(values_a):  # draw A second so it wins overlaps
+        if v is None:
+            continue
+        y = int((v - lo_a) / (hi_a - lo_a) * (height - 1))
+        grid[height - 1 - y][x] = glyph_a
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"  {glyph_a} {series_a.name}: {lo_a:,.1f}..{hi_a:,.1f}   "
+        f"{glyph_b} {series_b.name}: {lo_b:,.1f}..{hi_b:,.1f}"
+    )
+    lines.append(" " * 13 + "+" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 13 + "|" + "".join(row) + "|")
+    lines.append(" " * 13 + "+" + "-" * width + "+")
+    ref = series_a if len(series_a) else series_b
+    if len(ref) > 0:
+        lines.append(
+            " " * 14
+            + f"t = {ref.times[0]:,.0f}s"
+            + " " * max(1, width - 24)
+            + f"t = {ref.times[-1]:,.0f}s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Contention analysis over lock traces.
+
+Turns a :class:`~repro.lockmgr.tracing.LockTrace` into the reports a
+DBA would pull from a real lock manager: the most contended resources,
+per-application wait time, and escalation hot spots.  Used for workload
+diagnosis in examples and for asserting contention *structure* in
+tests (e.g. that the TPC-C district row really is the hot spot).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.lockmgr.tracing import LockTrace
+
+
+@dataclass
+class ResourceContention:
+    """Aggregated contention on one resource."""
+
+    resource: str
+    waits: int = 0
+    wait_time_s: float = 0.0
+    deadlocks: int = 0
+    timeouts: int = 0
+
+    @property
+    def mean_wait_s(self) -> float:
+        return self.wait_time_s / self.waits if self.waits else 0.0
+
+
+@dataclass
+class AppContention:
+    """Aggregated wait behaviour of one application."""
+
+    app_id: int
+    waits: int = 0
+    wait_time_s: float = 0.0
+    deadlocks: int = 0
+    timeouts: int = 0
+    escalations: int = 0
+
+
+class ContentionReport:
+    """Builds contention aggregates from a lock trace.
+
+    Wait durations are derived by pairing each application's
+    ``wait-begin`` with its next ``wait-end`` on the same resource;
+    waits resolved by deadlock or timeout contribute their count (their
+    duration is attributed when the trace recorded it).
+    """
+
+    def __init__(self) -> None:
+        self.resources: Dict[str, ResourceContention] = {}
+        self.apps: Dict[int, AppContention] = {}
+        self.total_waits = 0
+        self.total_wait_time_s = 0.0
+
+    @classmethod
+    def from_trace(cls, trace: LockTrace) -> "ContentionReport":
+        report = cls()
+        pending: Dict[tuple, float] = {}
+        for event in trace:
+            if event.kind == "wait-begin":
+                pending[(event.app_id, event.resource)] = event.time
+                report._resource(event.resource).waits += 1
+                report._app(event.app_id).waits += 1
+                report.total_waits += 1
+            elif event.kind == "wait-end":
+                started = pending.pop((event.app_id, event.resource), None)
+                if started is not None:
+                    duration = event.time - started
+                    report._resource(event.resource).wait_time_s += duration
+                    report._app(event.app_id).wait_time_s += duration
+                    report.total_wait_time_s += duration
+            elif event.kind == "deadlock":
+                report._resource(event.resource).deadlocks += 1
+                report._app(event.app_id).deadlocks += 1
+                pending.pop((event.app_id, event.resource), None)
+            elif event.kind == "timeout":
+                report._resource(event.resource).timeouts += 1
+                report._app(event.app_id).timeouts += 1
+                pending.pop((event.app_id, event.resource), None)
+            elif event.kind == "escalation":
+                report._app(event.app_id).escalations += 1
+        return report
+
+    def _resource(self, resource: str) -> ResourceContention:
+        if resource not in self.resources:
+            self.resources[resource] = ResourceContention(resource)
+        return self.resources[resource]
+
+    def _app(self, app_id: int) -> AppContention:
+        if app_id not in self.apps:
+            self.apps[app_id] = AppContention(app_id)
+        return self.apps[app_id]
+
+    # -- queries ------------------------------------------------------------
+
+    def hottest_resources(self, n: int = 10) -> List[ResourceContention]:
+        """Resources ranked by accumulated wait time, then wait count."""
+        ranked = sorted(
+            self.resources.values(),
+            key=lambda r: (-r.wait_time_s, -r.waits, r.resource),
+        )
+        return ranked[:n]
+
+    def most_blocked_apps(self, n: int = 10) -> List[AppContention]:
+        ranked = sorted(
+            self.apps.values(),
+            key=lambda a: (-a.wait_time_s, -a.waits, a.app_id),
+        )
+        return ranked[:n]
+
+    def table_hotspots(self) -> Dict[str, float]:
+        """Wait time aggregated per table (rows fold into their table)."""
+        per_table: Dict[str, float] = defaultdict(float)
+        for resource, contention in self.resources.items():
+            table = resource.split(".")[0] if resource else "?"
+            per_table[table] += contention.wait_time_s
+        return dict(per_table)
+
+    def render(self, n: int = 10) -> str:
+        """Human-readable top-N report."""
+        rows = [
+            [r.resource, r.waits, f"{r.wait_time_s:.3f}",
+             f"{r.mean_wait_s:.3f}", r.deadlocks, r.timeouts]
+            for r in self.hottest_resources(n)
+        ]
+        header = (
+            f"contention: {self.total_waits} waits, "
+            f"{self.total_wait_time_s:.3f}s total wait time\n"
+        )
+        return header + format_table(
+            ["resource", "waits", "wait_s", "mean_wait_s",
+             "deadlocks", "timeouts"],
+            rows,
+        )

@@ -1,0 +1,62 @@
+"""The result container every experiment scenario returns."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.engine.metrics import MetricsRecorder
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a scenario run produced.
+
+    Attributes
+    ----------
+    name:
+        Experiment identifier (``"fig9-rampup"`` etc.).
+    metrics:
+        The full time series recorded during the run.
+    findings:
+        The scalar facts the paper's figure conveys (growth factors,
+        escalation counts, convergence times...).  Benchmarks print
+        these; integration tests assert on them.
+    notes:
+        Free-form remarks accumulated during the run (substitutions,
+        scaling decisions).
+    """
+
+    name: str
+    metrics: MetricsRecorder
+    findings: Dict[str, Any] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def finding(self, key: str) -> Any:
+        """Look up one finding, with a helpful error when missing."""
+        if key not in self.findings:
+            raise KeyError(
+                f"experiment {self.name!r} has no finding {key!r}; "
+                f"available: {sorted(self.findings)}"
+            )
+        return self.findings[key]
+
+    def series(self, name: str):
+        """Shortcut to one recorded time series."""
+        return self.metrics[name]
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable findings, one per line."""
+        lines = [f"[{self.name}]"]
+        for key in sorted(self.findings):
+            value = self.findings[key]
+            if isinstance(value, float):
+                lines.append(f"  {key:40s} {value:,.3f}")
+            else:
+                lines.append(f"  {key:40s} {value}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return lines
+
+    def __str__(self) -> str:
+        return "\n".join(self.summary_lines())

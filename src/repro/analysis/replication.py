@@ -1,0 +1,138 @@
+"""Replicated experiment runs: mean, spread and confidence intervals.
+
+A single seeded run demonstrates a shape; claims about *magnitudes*
+(growth factors, commit counts) deserve replication.  This module runs
+a scenario across several seeds and aggregates its numeric findings:
+
+    from repro.analysis.replication import replicate
+    from repro.analysis.scenarios import run_fig10_surge
+
+    summary = replicate(lambda seed: run_fig10_surge(seed=seed),
+                        seeds=range(5))
+    print(summary.report())
+    ratio = summary.stat("growth_ratio")
+    assert ratio.mean == pytest.approx(2.0, abs=0.2)
+
+Confidence intervals use the normal approximation (t-quantiles hard-
+coded for the small n typical here), which is plenty for shape checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List
+
+from repro.analysis.experiment import ExperimentResult
+
+#: Two-sided 95% t-quantiles by degrees of freedom (1..30).
+_T95 = {
+    1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+    6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+    11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+    16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+    21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+    26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+}
+
+
+@dataclass
+class FindingStat:
+    """Aggregate of one numeric finding across replications."""
+
+    name: str
+    values: List[float]
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / self.n
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (0 for a single replication)."""
+        if self.n < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (self.n - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.values)
+
+    def ci95(self) -> float:
+        """Half-width of the 95 % confidence interval on the mean."""
+        if self.n < 2:
+            return 0.0
+        t = _T95.get(self.n - 1, 1.96)
+        return t * self.stddev / math.sqrt(self.n)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: {self.mean:,.3f} +/- {self.ci95():,.3f} "
+            f"(n={self.n}, range {self.minimum:,.3f}..{self.maximum:,.3f})"
+        )
+
+
+@dataclass
+class ReplicationSummary:
+    """All replications of one scenario."""
+
+    scenario: str
+    results: List[ExperimentResult]
+    stats: Dict[str, FindingStat] = field(default_factory=dict)
+
+    def stat(self, name: str) -> FindingStat:
+        if name not in self.stats:
+            raise KeyError(
+                f"no numeric finding {name!r}; available: {sorted(self.stats)}"
+            )
+        return self.stats[name]
+
+    def consistent(self, name: str, predicate: Callable[[float], bool]) -> bool:
+        """True when ``predicate`` holds for the finding in *every* run."""
+        return all(predicate(v) for v in self.stat(name).values)
+
+    def report(self) -> str:
+        lines = [f"[{self.scenario}] {len(self.results)} replications"]
+        for name in sorted(self.stats):
+            lines.append(f"  {self.stats[name]}")
+        return "\n".join(lines)
+
+
+def replicate(
+    scenario: Callable[[int], ExperimentResult],
+    seeds: Iterable[int],
+) -> ReplicationSummary:
+    """Run ``scenario(seed)`` for every seed and aggregate findings.
+
+    Only numeric (int/float, non-bool) findings are aggregated; booleans
+    and strings are retained per-run in ``results``.
+    """
+    results = [scenario(seed) for seed in seeds]
+    if not results:
+        raise ValueError("at least one seed is required")
+    summary = ReplicationSummary(scenario=results[0].name, results=results)
+    numeric_keys = [
+        key
+        for key, value in results[0].findings.items()
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    ]
+    for key in numeric_keys:
+        values = []
+        for result in results:
+            value = result.findings.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                values.append(float(value))
+        if len(values) == len(results):
+            summary.stats[key] = FindingStat(key, values)
+    return summary

@@ -1,0 +1,46 @@
+"""Tabular formatting helpers for benchmark and example output."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[Any]], indent: int = 2
+) -> str:
+    """Render a simple aligned text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    pad = " " * indent
+    lines = [
+        pad + "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        pad + "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in str_rows:
+        lines.append(pad + "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_findings(findings: Dict[str, Any], indent: int = 2) -> str:
+    """Render a findings dict as aligned key/value lines."""
+    pad = " " * indent
+    width = max((len(k) for k in findings), default=0)
+    lines = []
+    for key in sorted(findings):
+        lines.append(f"{pad}{key.ljust(width)}  {_fmt(findings[key])}")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.2f}"
+    return str(value)

@@ -1,0 +1,170 @@
+"""Declarative validation of experiment results against the paper.
+
+Each experiment's expected *shape* -- the qualitative facts the paper's
+figure conveys -- is expressed as a list of :class:`Expectation` checks
+on the experiment's findings.  The benchmarks assert the same facts
+with pytest; this module makes them data, so the CLI runner can print a
+PASS/FAIL scorecard (``python -m repro.analysis.runner fig9
+--validate``) and EXPERIMENTS.md stays mechanically honest.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from repro.analysis.experiment import ExperimentResult
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+
+@dataclass(frozen=True)
+class Expectation:
+    """One check: ``finding <op> value`` (with optional tolerance)."""
+
+    finding: str
+    op: str
+    value: Any
+    #: For "~=": relative tolerance on numeric equality.
+    tolerance: float = 0.0
+    #: The paper statement this check encodes.
+    paper_claim: str = ""
+
+    def evaluate(self, result: ExperimentResult) -> "CheckOutcome":
+        try:
+            actual = result.finding(self.finding)
+        except KeyError as exc:
+            return CheckOutcome(self, actual=None, passed=False,
+                                error=str(exc))
+        if self.op == "~=":
+            if not isinstance(actual, (int, float)):
+                return CheckOutcome(self, actual, False,
+                                    error="not numeric")
+            reference = float(self.value)
+            if reference == 0:
+                passed = abs(float(actual)) <= self.tolerance
+            else:
+                passed = (
+                    abs(float(actual) - reference)
+                    <= abs(reference) * self.tolerance
+                )
+            return CheckOutcome(self, actual, passed)
+        if self.op not in _OPS:
+            raise ValueError(f"unknown operator {self.op!r}")
+        return CheckOutcome(self, actual, _OPS[self.op](actual, self.value))
+
+
+@dataclass
+class CheckOutcome:
+    """Result of evaluating one expectation."""
+
+    expectation: Expectation
+    actual: Any
+    passed: bool
+    error: str = ""
+
+    def __str__(self) -> str:
+        e = self.expectation
+        status = "PASS" if self.passed else "FAIL"
+        comparison = f"{e.finding} {e.op} {e.value}"
+        if e.op == "~=":
+            comparison += f" (tol {e.tolerance:.0%})"
+        suffix = f" -- {e.paper_claim}" if e.paper_claim else ""
+        detail = self.error if self.error else f"actual={self.actual}"
+        return f"[{status}] {comparison:<48s} {detail}{suffix}"
+
+
+#: The paper's shape criteria, one list per experiment id.
+PAPER_EXPECTATIONS: Dict[str, List[Expectation]] = {
+    "fig3": [
+        Expectation("shared_S_grant", "==", True,
+                    paper_claim="compatible S requests share one grant"),
+        Expectation("fifo_respected", "==", True,
+                    paper_claim="later S queues behind the X (post method)"),
+    ],
+    "fig4": [
+        Expectation("blocked_on_free_rows", ">", 0,
+                    paper_claim="ITL exhaustion = de facto page locking"),
+        Expectation("row_conflicts", "==", 0),
+        Expectation("tunable_memory_pages", "==", 0,
+                    paper_claim="no dynamic allocation of lock memory"),
+    ],
+    "fig6": [
+        Expectation("t1_absorbed_without_sync_growth", "==", True,
+                    paper_claim="surge within free half needs no sync growth"),
+        Expectation("t3_used_sync_growth", "==", True,
+                    paper_claim="267% surge partly from overflow"),
+        Expectation("t4_overflow_restored_pct", "~=", 10.0, tolerance=0.05,
+                    paper_claim="overflow reclaimed to its goal"),
+        Expectation("per_interval_shrink_fraction", "~=", 0.05, tolerance=0.4,
+                    paper_claim="delta_reduce = 5% per interval"),
+    ],
+    "fig7": [
+        Expectation("static_escalations", ">", 0,
+                    paper_claim="under-allocation leads to escalation"),
+        Expectation("static_used_drop_after_escalation", ">", 0,
+                    paper_claim="escalation reduces lock memory use"),
+    ],
+    "fig8": [
+        Expectation("static_exclusive_escalations", ">", 0),
+        Expectation("adaptive_escalations", "==", 0),
+        Expectation("adaptive_vs_static_commit_ratio", ">", 1.5,
+                    paper_claim="throughput drops practically to zero"),
+    ],
+    "fig9": [
+        Expectation("escalations", "==", 0,
+                    paper_claim="no escalations during the 0->130 ramp"),
+        Expectation("growth_factor", "~=", 10.5, tolerance=0.25,
+                    paper_claim="lock memory increased by 10.5x"),
+    ],
+    "fig10": [
+        Expectation("growth_ratio", "~=", 2.0, tolerance=0.15,
+                    paper_claim="just more than double its allocation"),
+        Expectation("adaptation_delay_s", "<=", 60,
+                    paper_claim="practically instantaneous"),
+        Expectation("escalations", "==", 0),
+    ],
+    "fig11": [
+        Expectation("growth_factor", ">=", 15.0,
+                    paper_claim="grows by tens of times (60x in the paper)"),
+        Expectation("peak_fraction_of_database_memory", "~=", 0.10,
+                    tolerance=0.5,
+                    paper_claim="peak near 10% of database memory"),
+        Expectation("exclusive_escalations", "==", 0,
+                    paper_claim="no exclusive escalations observed"),
+        Expectation("query_completed", "==", True),
+    ],
+    "fig12": [
+        Expectation("reduction_ratio", "~=", 0.5, tolerance=0.25,
+                    paper_claim="settles at approximately half"),
+        Expectation("mean_per_interval_reduction", "~=", 0.05, tolerance=0.6,
+                    paper_claim="roughly 5% per STMM interval"),
+        Expectation("escalations", "==", 0),
+    ],
+}
+
+
+def validate(experiment_id: str, result: ExperimentResult) -> List[CheckOutcome]:
+    """Evaluate the paper's expectations for one experiment."""
+    expectations = PAPER_EXPECTATIONS.get(experiment_id)
+    if expectations is None:
+        raise KeyError(
+            f"no paper expectations for {experiment_id!r}; known: "
+            f"{sorted(PAPER_EXPECTATIONS)}"
+        )
+    return [expectation.evaluate(result) for expectation in expectations]
+
+
+def render_outcomes(outcomes: List[CheckOutcome]) -> str:
+    passed = sum(1 for o in outcomes if o.passed)
+    lines = [str(o) for o in outcomes]
+    lines.append(f"{passed}/{len(outcomes)} paper-shape checks passed")
+    return "\n".join(lines)

@@ -1,0 +1,24 @@
+"""Executable baselines the paper compares against (section 2.3).
+
+* :mod:`repro.baselines.static_locklist` -- a fixed LOCKLIST / fixed
+  MAXLOCKS configuration (DB2 8.x without self-tuning); produces the
+  Figure 7/8 escalation catastrophe when under-provisioned.
+* :mod:`repro.baselines.sqlserver` -- the SQL Server 2005 behaviour the
+  paper describes: dynamic growth from 2500 locks up to 60 % of server
+  memory, escalation at 40 % used, an unconditional 5000-row-locks-per-
+  application escalation trigger, and no memory returned to the pool.
+* :mod:`repro.baselines.oracle_itl` -- Oracle's on-page lock bytes and
+  Interested Transaction List model, with its ITL-exhaustion blocking
+  and permanent disk-space overhead.
+"""
+
+from repro.baselines.oracle_itl import ItlConfig, OracleItlTable
+from repro.baselines.sqlserver import SqlServer2005Policy
+from repro.baselines.static_locklist import StaticLocklistPolicy
+
+__all__ = [
+    "ItlConfig",
+    "OracleItlTable",
+    "SqlServer2005Policy",
+    "StaticLocklistPolicy",
+]

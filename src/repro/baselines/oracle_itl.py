@@ -1,0 +1,184 @@
+"""Oracle's on-page lock model (paper section 2.3, Figure 4).
+
+Oracle stores locks on the data pages themselves: every row carries a
+lock byte, and each page holds an Interested Transaction List (ITL) in
+which a transaction must own a slot before it can lock any row of the
+page.  The paper calls out three consequences, all reproduced here:
+
+1. **Permanent disk overhead** -- lock bytes and ITL slots consume page
+   space; ITL growth "is not decreased until the table is reorganized".
+2. **ITL waits** -- once a page's ITL slots are exhausted (and the page
+   has no free space left to extend the list), a transaction wanting to
+   lock an *unlocked* row of that page must wait: "the exhaustion of ITL
+   space results in page level locking".
+3. **No dynamic tuning** -- lock memory is fixed by on-page layout, so
+   there is nothing a memory tuner can grow or shrink.
+
+This model is deliberately standalone (it does not run inside the DES
+lock manager): the benchmark uses it to quantify the qualitative claims
+of the paper's comparison table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ItlConfig:
+    """Page layout parameters (Oracle's INITRANS/MAXTRANS analogues)."""
+
+    rows_per_page: int = 100
+    #: ITL slots pre-allocated per page (INITRANS).
+    initial_itl_slots: int = 2
+    #: Hard ceiling on ITL slots per page (MAXTRANS).
+    max_itl_slots: int = 24
+    #: Bytes consumed by one ITL slot on disk.
+    itl_slot_bytes: int = 24
+    #: Bytes consumed by one row lock byte.
+    lock_byte_bytes: int = 1
+    #: Free space available per page for ITL extension, in bytes.
+    page_free_bytes: int = 200
+
+    def __post_init__(self) -> None:
+        if self.rows_per_page <= 0:
+            raise ConfigurationError("rows_per_page must be positive")
+        if not 0 < self.initial_itl_slots <= self.max_itl_slots:
+            raise ConfigurationError(
+                "need 0 < initial_itl_slots <= max_itl_slots"
+            )
+        if self.itl_slot_bytes <= 0 or self.lock_byte_bytes <= 0:
+            raise ConfigurationError("byte sizes must be positive")
+        if self.page_free_bytes < 0:
+            raise ConfigurationError("page_free_bytes must be non-negative")
+
+
+@dataclass
+class _Page:
+    """One data page: row lock bytes plus its ITL."""
+
+    page_id: int
+    config: ItlConfig
+    #: row offset -> owning transaction (lock byte set).
+    row_locks: Dict[int, int] = field(default_factory=dict)
+    #: transactions currently holding an ITL slot.
+    itl: Set[int] = field(default_factory=set)
+    #: High-water mark of ITL slots ever materialized on this page;
+    #: never shrinks until reorganization (the paper's second point).
+    itl_high_water: int = 0
+    free_bytes_consumed: int = 0
+
+    def __post_init__(self) -> None:
+        self.itl_high_water = self.config.initial_itl_slots
+
+    def _itl_capacity(self) -> int:
+        """Slots currently materialized (allocation is permanent)."""
+        return self.itl_high_water
+
+    def _try_extend_itl(self) -> bool:
+        cfg = self.config
+        if self.itl_high_water >= cfg.max_itl_slots:
+            return False
+        if self.free_bytes_consumed + cfg.itl_slot_bytes > cfg.page_free_bytes:
+            return False
+        self.itl_high_water += 1
+        self.free_bytes_consumed += cfg.itl_slot_bytes
+        return True
+
+    def acquire_itl(self, txn_id: int) -> bool:
+        """Get an ITL slot for ``txn_id``; False means an ITL wait."""
+        if txn_id in self.itl:
+            return True
+        if len(self.itl) < self._itl_capacity() or self._try_extend_itl():
+            self.itl.add(txn_id)
+            return True
+        return False
+
+    def release_itl(self, txn_id: int) -> None:
+        self.itl.discard(txn_id)
+        # Note: itl_high_water deliberately NOT reduced.
+
+
+class OracleItlTable:
+    """A table of ITL-managed pages with simple lock/commit semantics."""
+
+    def __init__(self, num_pages: int, config: Optional[ItlConfig] = None) -> None:
+        if num_pages <= 0:
+            raise ConfigurationError(f"num_pages must be positive, got {num_pages}")
+        self.config = config or ItlConfig()
+        self.pages: List[_Page] = [
+            _Page(page_id=i, config=self.config) for i in range(num_pages)
+        ]
+        #: Lock attempts refused because the row was already locked.
+        self.row_conflicts = 0
+        #: Lock attempts refused on a FREE row purely because the page's
+        #: ITL was exhausted -- the de facto page-level locking effect.
+        self.itl_waits = 0
+        self._txn_pages: Dict[int, Set[int]] = {}
+
+    def lock_row(self, txn_id: int, page_id: int, row_offset: int) -> bool:
+        """Try to X-lock one row.  Returns False when the caller must wait."""
+        page = self._page(page_id)
+        if not 0 <= row_offset < self.config.rows_per_page:
+            raise ValueError(
+                f"row_offset {row_offset} outside page of "
+                f"{self.config.rows_per_page} rows"
+            )
+        holder = page.row_locks.get(row_offset)
+        if holder is not None and holder != txn_id:
+            self.row_conflicts += 1
+            return False
+        if not page.acquire_itl(txn_id):
+            self.itl_waits += 1
+            return False
+        page.row_locks[row_offset] = txn_id
+        self._txn_pages.setdefault(txn_id, set()).add(page_id)
+        return True
+
+    def commit(self, txn_id: int) -> None:
+        """Release the transaction's locks and ITL slots.
+
+        Lock bytes are cleared eagerly here; the delayed-cleanout effect
+        the paper describes (stale lock bytes on disk after a flush) is
+        modelled by :meth:`stale_lock_bytes` before commit-time cleanup.
+        """
+        for page_id in self._txn_pages.pop(txn_id, set()):
+            page = self._page(page_id)
+            page.row_locks = {
+                row: holder
+                for row, holder in page.row_locks.items()
+                if holder != txn_id
+            }
+            page.release_itl(txn_id)
+
+    def _page(self, page_id: int) -> _Page:
+        try:
+            return self.pages[page_id]
+        except IndexError:
+            raise KeyError(f"no page {page_id}; table has {len(self.pages)}") from None
+
+    # -- the paper's qualitative claims, quantified -------------------------
+
+    def disk_overhead_bytes(self) -> int:
+        """Permanent on-disk bytes consumed by locking structures.
+
+        Lock bytes for every row of every page plus every ITL slot ever
+        materialized (ITL space is never reclaimed).
+        """
+        cfg = self.config
+        per_page_rows = cfg.rows_per_page * cfg.lock_byte_bytes
+        total = 0
+        for page in self.pages:
+            total += per_page_rows + page.itl_high_water * cfg.itl_slot_bytes
+        return total
+
+    def stale_lock_bytes(self) -> int:
+        """Rows whose lock byte is currently set (uncleaned if flushed)."""
+        return sum(len(page.row_locks) for page in self.pages)
+
+    def tunable_memory_pages(self) -> int:
+        """Lock memory a tuner could grow or shrink: always zero."""
+        return 0

@@ -1,0 +1,109 @@
+"""The SQL Server 2005 lock-memory behaviour, as described in section 2.3.
+
+Quoting the paper:
+
+* "SQL Server 2005 will initially allocate enough memory for 2500
+  locks";
+* additional lock memory is allocated automatically "up to a maximum of
+  60 % of the total database server memory";
+* "a lock escalation occurs when the memory consumed for locks reaches
+  40 % of the total database engine memory.  This is not a configurable
+  parameter";
+* "if a single application acquires 5000 row level locks an automatic
+  lock escalation is triggered regardless of the amount of memory
+  available for locks.  As a result, a single reporting query can
+  easily result in lock escalation.  This too is not configurable";
+* no clear evidence the lock manager returns memory to the global pool
+  -- so this policy never shrinks and registers no STMM tuner.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.policy import TuningPolicy
+from repro.units import (
+    LOCK_SIZE_BYTES,
+    LOCKS_PER_BLOCK,
+    PAGE_SIZE_BYTES,
+    PAGES_PER_BLOCK,
+    locks_to_blocks,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+
+class SqlServer2005Policy(TuningPolicy):
+    """Grow-only lock memory with fixed escalation triggers."""
+
+    name = "sqlserver-2005"
+
+    #: Initial allocation: enough memory for 2500 locks.
+    INITIAL_LOCKS = 2_500
+    #: Escalation threshold: lock memory used reaches 40 % of server memory.
+    ESCALATION_USED_FRACTION = 0.40
+    #: Hard cap on lock memory: 60 % of server memory.
+    MAX_MEMORY_FRACTION = 0.60
+    #: Unconditional per-application escalation trigger, in row locks.
+    PER_APP_LOCK_TRIGGER = 5_000
+
+    def __init__(self) -> None:
+        self._database: Optional["Database"] = None  # set by attach
+
+    def attach(self, database: "Database") -> None:
+        self._database = database
+        self._resize_to_initial(database)
+        database.lock_manager.growth_provider = self._sync_grow
+        database.lock_manager.maxlocks_provider = self._maxlocks_fraction
+        database.lock_manager.refresh_maxlocks()
+        # No STMM tuner: SQL Server's lock manager is not documented to
+        # return memory to the pool, so the allocation only ratchets up.
+
+    def _resize_to_initial(self, database: "Database") -> None:
+        target_blocks = locks_to_blocks(self.INITIAL_LOCKS)
+        current_blocks = database.chain.block_count
+        if current_blocks < target_blocks:
+            grow = target_blocks - current_blocks
+            database.registry.grow_heap("locklist", grow * PAGES_PER_BLOCK)
+            database.chain.add_blocks(grow)
+        elif current_blocks > target_blocks:
+            freed = database.chain.release_blocks(
+                current_blocks - target_blocks, partial=True
+            )
+            database.registry.shrink_heap("locklist", freed * PAGES_PER_BLOCK)
+
+    # -- hooks -------------------------------------------------------------
+
+    def _sync_grow(self, blocks_wanted: int) -> int:
+        """Grow unless used lock memory already hit the 40 % trigger."""
+        database = self._database
+        total = database.registry.total_pages
+        locks_per_page = PAGE_SIZE_BYTES // LOCK_SIZE_BYTES
+        used_pages = -(-database.chain.used_slots // locks_per_page)
+        if used_pages >= self.ESCALATION_USED_FRACTION * total:
+            return 0  # denial triggers escalation in the lock manager
+        cap_pages = int(self.MAX_MEMORY_FRACTION * total)
+        headroom = cap_pages - database.chain.allocated_pages
+        if headroom < PAGES_PER_BLOCK:
+            return 0
+        want = min(blocks_wanted * PAGES_PER_BLOCK, headroom)
+        granted = database.registry.grow_heap("locklist", want, partial=True)
+        blocks = granted // PAGES_PER_BLOCK
+        remainder = granted - blocks * PAGES_PER_BLOCK
+        if remainder:
+            database.registry.shrink_heap("locklist", remainder)
+        return blocks
+
+    def _maxlocks_fraction(self) -> float:
+        """The 5000-locks-per-application trigger as a capacity fraction."""
+        capacity = max(LOCKS_PER_BLOCK, self._database.chain.capacity_slots)
+        return max(min(0.98, self.PER_APP_LOCK_TRIGGER / capacity), 1e-6)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: start {self.INITIAL_LOCKS} locks, grow to "
+            f"{self.MAX_MEMORY_FRACTION:.0%}, escalate at "
+            f"{self.ESCALATION_USED_FRACTION:.0%} used or "
+            f"{self.PER_APP_LOCK_TRIGGER} locks/application; never shrinks"
+        )

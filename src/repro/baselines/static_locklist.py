@@ -1,0 +1,80 @@
+"""A statically configured lock list: no growth, no shrink, no adaptation.
+
+This is DB2 8.x (and any manually tuned system) as the paper frames it:
+the administrator picks LOCKLIST and MAXLOCKS; an under-provisioned pick
+escalates and collapses concurrency (section 5.1, Figures 7 and 8), an
+over-provisioned pick wastes memory permanently.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.policy import TuningPolicy
+from repro.errors import ConfigurationError
+from repro.units import PAGES_PER_BLOCK, round_pages_to_blocks
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+
+class StaticLocklistPolicy(TuningPolicy):
+    """Fixed LOCKLIST and MAXLOCKS, as a DBA would configure them.
+
+    Parameters
+    ----------
+    locklist_pages:
+        LOCKLIST in 4 KB pages (rounded up to whole 128 KB blocks).
+        ``None`` keeps the database's configured initial size.
+    maxlocks_fraction:
+        Static MAXLOCKS.  The paper cites 10 % as "the previous default
+        value used by DB2 in past product releases".
+    """
+
+    name = "static-locklist"
+
+    def __init__(
+        self,
+        locklist_pages: Optional[int] = None,
+        maxlocks_fraction: float = 0.10,
+    ) -> None:
+        if locklist_pages is not None and locklist_pages < PAGES_PER_BLOCK:
+            raise ConfigurationError(
+                f"locklist_pages must be at least one block "
+                f"({PAGES_PER_BLOCK} pages), got {locklist_pages}"
+            )
+        if not 0.0 < maxlocks_fraction <= 1.0:
+            raise ConfigurationError(
+                f"maxlocks_fraction must be in (0, 1], got {maxlocks_fraction}"
+            )
+        self.locklist_pages = locklist_pages
+        self.maxlocks_fraction = maxlocks_fraction
+
+    def attach(self, database: "Database") -> None:
+        database.lock_manager.growth_provider = None
+        database.lock_manager.maxlocks_provider = None
+        database.lock_manager.maxlocks_fraction = self.maxlocks_fraction
+        if self.locklist_pages is None:
+            return
+        target = round_pages_to_blocks(self.locklist_pages)
+        current = database.chain.allocated_pages
+        if target > current:
+            database.registry.grow_heap("locklist", target - current)
+            database.chain.add_blocks((target - current) // PAGES_PER_BLOCK)
+        elif target < current:
+            freed = database.chain.release_blocks(
+                (current - target) // PAGES_PER_BLOCK, partial=False
+            )
+            if freed * PAGES_PER_BLOCK != current - target:
+                raise ConfigurationError(
+                    "cannot shrink lock list below its in-use size at attach"
+                )
+            database.registry.shrink_heap("locklist", current - target)
+
+    def describe(self) -> str:
+        size = (
+            "configured default"
+            if self.locklist_pages is None
+            else f"{self.locklist_pages} pages"
+        )
+        return f"{self.name}: LOCKLIST {size}, MAXLOCKS {self.maxlocks_fraction:.0%}"

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: adaptive lock memory tuning.
+
+* :mod:`repro.core.params` -- Table 1 of the paper as a validated
+  configuration object,
+* :mod:`repro.core.maxlocks` -- the adaptive
+  ``lockPercentPerApplication`` curve (section 3.5),
+* :mod:`repro.core.controller` -- the combined synchronous/asynchronous
+  self-tuning growth and slow-shrink algorithm (sections 3.2-3.4),
+* :mod:`repro.core.policy` -- the pluggable tuning-policy interface the
+  baselines also implement,
+* :mod:`repro.core.optimizer` -- the SQL compiler's stabilized view of
+  lock memory (section 3.6).
+"""
+
+from repro.core.controller import ControllerDecision, LockMemoryController
+from repro.core.maxlocks import AdaptiveMaxlocks, lock_percent_per_application
+from repro.core.optimizer import LockGranularity, QueryOptimizer
+from repro.core.params import TuningParameters
+from repro.core.policy import AdaptiveLockMemoryPolicy, TuningPolicy
+
+__all__ = [
+    "ControllerDecision",
+    "LockMemoryController",
+    "AdaptiveMaxlocks",
+    "lock_percent_per_application",
+    "LockGranularity",
+    "QueryOptimizer",
+    "TuningParameters",
+    "AdaptiveLockMemoryPolicy",
+    "TuningPolicy",
+]

@@ -1,0 +1,284 @@
+"""The adaptive lock memory controller (paper sections 3.2-3.4).
+
+This object is both:
+
+* the **deterministic tuner** STMM drives at each tuning interval
+  (asynchronous path): it computes ``targetSize`` so that between
+  ``minFreeLockMemory`` and ``maxFreeLockMemory`` of the lock memory is
+  free, shrinks by ``delta_reduce`` when grossly underutilized, and
+  doubles while escalations persist, and
+* the **synchronous growth provider** the lock manager calls when a lock
+  request finds no free structure mid-interval: memory is taken from
+  database overflow on demand, bounded by ``LMOmax`` and
+  ``maxLockMemory``.
+
+The decision rules, quoting section 3.3:
+
+* "``targetSize`` is defined to satisfy the ``minFreeLockMemory``
+  objective.  However, in the case where the new ``targetSize`` falls
+  between ``minFreeLockMemory`` and ``maxFreeLockMemory`` then
+  ``targetSize`` is defined as the ``targetSize`` from the previous STMM
+  tuning interval so that no change will be made";
+* section 3.4: shrink only "when there are more than
+  ``maxFreeLockMemory`` free", by "5 % of the current lock memory size
+  rounded to the nearest number of 128 KB blocks", "down to a minimum of
+  ``maxFreeLockMemory``" free;
+* section 3.1: "lock memory will double each tuning interval while
+  escalations are continuing".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.params import TuningParameters
+from repro.errors import MemoryAccountingError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.units import (
+    PAGE_SIZE_BYTES,
+    PAGES_PER_BLOCK,
+    round_pages_to_blocks,
+)
+
+
+@dataclass
+class ControllerDecision:
+    """One asynchronous tuning decision, kept for tests and reporting."""
+
+    time: float
+    reason: str
+    current_pages: int
+    used_pages: int
+    free_fraction: float
+    target_pages: int
+    min_pages: int
+    max_pages: int
+    escalations_in_interval: int
+
+
+class LockMemoryController:
+    """Self-tuning lock memory: STMM tuner plus synchronous growth.
+
+    Parameters
+    ----------
+    registry:
+        The database memory registry holding the ``locklist`` heap.
+    chain:
+        The lock manager's block chain (physical lock memory).
+    params:
+        Algorithm parameters (Table 1 defaults).
+    num_applications:
+        Callable returning the current number of connected applications
+        (feeds minLockMemory).
+    escalation_count:
+        Callable returning the cumulative escalation count (feeds the
+        escalation-recovery doubling rule).
+    heap_name:
+        Registry heap this controller owns (default ``"locklist"``).
+    """
+
+    def __init__(
+        self,
+        registry: DatabaseMemoryRegistry,
+        chain: LockBlockChain,
+        params: Optional[TuningParameters] = None,
+        num_applications: Callable[[], int] = lambda: 0,
+        escalation_count: Callable[[], int] = lambda: 0,
+        heap_name: str = "locklist",
+        clock: Callable[[], float] = lambda: 0.0,
+    ) -> None:
+        self.registry = registry
+        self.chain = chain
+        self.params = params or TuningParameters()
+        self.num_applications = num_applications
+        self.escalation_count = escalation_count
+        self.heap_name = heap_name
+        self.clock = clock
+        #: Lock memory taken synchronously from overflow since the last
+        #: tuning interval (LMO in the paper).
+        self.lmo_pages = 0
+        #: LMOC -- the Lock Memory On-disk Configuration (section 3.3).
+        #: The persisted configuration value, updated only at tuning
+        #: intervals; the in-memory allocation "is allowed to grow
+        #: beyond the LMOC as a transient effect" via synchronous
+        #: growth between intervals.
+        self.lmoc_pages = chain.allocated_pages
+        #: Cumulative count of synchronous growth denials (observability).
+        self.sync_growth_denials = 0
+        self.decisions: List[ControllerDecision] = []
+        #: Hook invoked after every physical resize -- the paper requires
+        #: lockPercentPerApplication to be re-computed "every time the
+        #: lock memory is resized" (section 3.5); the policy wires this
+        #: to ``LockManager.refresh_maxlocks``.
+        self.on_resize: Optional[Callable[[], None]] = None
+        self._escalations_at_interval_start = 0
+        self._locks_per_page = PAGE_SIZE_BYTES // self.params.locksize_bytes
+
+    # -- derived bounds ----------------------------------------------------
+
+    def min_lock_memory_pages(self) -> int:
+        return self.params.min_lock_memory_pages(self.num_applications())
+
+    def max_lock_memory_pages(self) -> int:
+        return self.params.max_lock_memory_pages(self.registry.total_pages)
+
+    def used_pages(self) -> int:
+        """Pages needed to store the lock structures currently in use."""
+        return -(-self.chain.used_slots // self._locks_per_page)
+
+    def check_consistency(self) -> None:
+        """The registry heap and the physical chain must agree."""
+        heap_pages = self.registry.heap(self.heap_name).size_pages
+        if heap_pages != self.chain.allocated_pages:
+            raise MemoryAccountingError(
+                f"locklist heap is {heap_pages} pages but chain holds "
+                f"{self.chain.allocated_pages} pages"
+            )
+
+    # -- DeterministicTuner protocol (asynchronous path) ----------------------
+
+    def compute_target_pages(self) -> int:
+        """targetSize for the coming interval (sections 3.3-3.4)."""
+        params = self.params
+        current = self.chain.allocated_pages
+        used = self.used_pages()
+        free_fraction = self.chain.free_fraction()
+        min_pages = self.min_lock_memory_pages()
+        max_pages = self.max_lock_memory_pages()
+        escalations = self.escalation_count() - self._escalations_at_interval_start
+
+        if params.escalation_doubling and escalations > 0:
+            # Massive spike under constrained overflow: double until the
+            # escalations stop (section 3.1).
+            target = max(current * 2, PAGES_PER_BLOCK)
+            reason = "escalation-doubling"
+        elif free_fraction < params.min_free_fraction:
+            # Grow so that minFreeLockMemory of the new size is free.
+            target = math.ceil(used / (1.0 - params.min_free_fraction))
+            reason = "grow-to-min-free"
+        elif free_fraction > params.max_free_fraction:
+            # Slow shrink: delta_reduce of current size per interval,
+            # "rounded to the nearest number of 128 KB blocks" (min one
+            # block), never overshooting below the maxFreeLockMemory-
+            # free state.
+            step_blocks = max(
+                1, round(current * params.delta_reduce / PAGES_PER_BLOCK)
+            )
+            floor_pages = math.ceil(used / (1.0 - params.max_free_fraction))
+            target = max(current - step_blocks * PAGES_PER_BLOCK, floor_pages)
+            reason = "shrink-delta-reduce"
+        else:
+            # Within the [minFree, maxFree] spread: keep the previous
+            # target so the allocation is not constantly adjusted.
+            target = current
+            reason = "hold"
+
+        target = max(target, min_pages)
+        target = min(target, max_pages)
+        target = round_pages_to_blocks(target)
+        # Rounding up must not push past the block-rounded maximum.
+        target = min(target, round_pages_to_blocks(max_pages))
+
+        self.decisions.append(
+            ControllerDecision(
+                time=self.clock(),
+                reason=reason,
+                current_pages=current,
+                used_pages=used,
+                free_fraction=free_fraction,
+                target_pages=target,
+                min_pages=min_pages,
+                max_pages=max_pages,
+                escalations_in_interval=escalations,
+            )
+        )
+        return target
+
+    def grow_physical(self, pages: int) -> int:
+        """Allocate whole blocks for an STMM grant of ``pages``."""
+        blocks = pages // PAGES_PER_BLOCK
+        self.chain.add_blocks(blocks)
+        if blocks and self.on_resize is not None:
+            self.on_resize()
+        return blocks * PAGES_PER_BLOCK
+
+    def shrink_physical(self, pages: int) -> int:
+        """Release up to ``pages`` worth of entirely-free blocks.
+
+        Scans from the tail of the availability list (section 2.2); only
+        blocks with no outstanding lock structures can be freed, so the
+        achieved amount may be smaller than requested.
+        """
+        blocks = pages // PAGES_PER_BLOCK
+        freed = self.chain.release_blocks(blocks, partial=True)
+        if freed and self.on_resize is not None:
+            self.on_resize()
+        return freed * PAGES_PER_BLOCK
+
+    def on_interval_end(self, now: float) -> None:
+        """Interval rollover: LMO is reconciled, LMOC externalized,
+        counters snapshot.
+
+        At each tuning interval STMM folds any synchronous (transient)
+        growth into the persisted configuration: the on-disk LMOC
+        catches up with the in-memory allocation (section 3.3).
+        """
+        self.lmo_pages = 0
+        self.lmoc_pages = self.chain.allocated_pages
+        self._escalations_at_interval_start = self.escalation_count()
+
+    @property
+    def transient_overage_pages(self) -> int:
+        """In-memory allocation currently beyond the on-disk LMOC."""
+        return max(0, self.chain.allocated_pages - self.lmoc_pages)
+
+    # -- synchronous growth (mid-interval, section 3.3) ------------------------
+
+    def sync_grow(self, blocks_wanted: int) -> int:
+        """Grant up to ``blocks_wanted`` blocks from overflow memory.
+
+        Called by the lock manager when a lock request finds no free
+        structure.  The grant is bounded by:
+
+        * ``maxLockMemory`` (0.20 * databaseMemory),
+        * ``LMOmax`` = C1 * (overflow + LMO): lock memory may never
+          consume the last 1-C1 of the overflow reserve,
+        * the pages actually present in overflow.
+
+        Returns the number of blocks granted (0 when constrained, which
+        is the escalation path).  The caller (the lock manager) adds the
+        granted blocks to its chain; this method only moves the pages
+        from overflow into the locklist heap.
+        """
+        if blocks_wanted <= 0:
+            raise ValueError(f"blocks_wanted must be positive, got {blocks_wanted}")
+        want_pages = blocks_wanted * PAGES_PER_BLOCK
+        max_headroom = max(
+            0, self.max_lock_memory_pages() - self.chain.allocated_pages
+        )
+        lmo_max = self.params.lmo_max_pages(
+            self.registry.overflow_pages, self.lmo_pages
+        )
+        lmo_headroom = max(0, lmo_max - self.lmo_pages)
+        allow_pages = min(
+            want_pages, max_headroom, lmo_headroom, self.registry.overflow_pages
+        )
+        allow_blocks = allow_pages // PAGES_PER_BLOCK
+        if allow_blocks == 0:
+            self.sync_growth_denials += 1
+            return 0
+        granted = self.registry.grow_heap(
+            self.heap_name, allow_blocks * PAGES_PER_BLOCK, partial=True
+        )
+        granted_blocks = granted // PAGES_PER_BLOCK
+        remainder = granted - granted_blocks * PAGES_PER_BLOCK
+        if remainder:
+            self.registry.shrink_heap(self.heap_name, remainder)
+        if granted_blocks == 0:
+            self.sync_growth_denials += 1
+            return 0
+        self.lmo_pages += granted_blocks * PAGES_PER_BLOCK
+        return granted_blocks

@@ -1,0 +1,151 @@
+"""Learned lock estimation for the query optimizer (section 6.1).
+
+The paper's first future-work item: "Learning in query optimization to
+better estimate locking decisions that are made at query optimization
+time."  The base :class:`~repro.core.optimizer.QueryOptimizer` decides
+row-vs-table locking from the *a-priori* row estimate a statement
+carries; cardinality estimates are notoriously wrong, so a statement
+estimated at 1,000 rows may in fact lock a million (forcing runtime
+escalation the optimizer could have avoided) or vice versa (a statement
+needlessly compiled to a table lock).
+
+:class:`LearningQueryOptimizer` closes the loop: after each execution
+the runtime reports the locks the statement *actually* took, and the
+optimizer maintains an exponentially weighted estimate per statement
+class.  Subsequent compilations of the same class use the corrected
+estimate.  The stable ``sqlCompilerLockMem`` view (section 3.6) is
+still what the corrected estimate is compared against -- learning fixes
+the *demand* side of the decision, not the supply side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.optimizer import PlanChoice, QueryOptimizer
+from repro.core.params import TuningParameters
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class StatementStats:
+    """Learned state for one statement class."""
+
+    #: Exponentially weighted estimate of locks actually taken.
+    learned_locks: float
+    executions: int = 0
+    #: Running absolute error of the *original* compiler estimates,
+    #: kept so the benefit of learning can be quantified.
+    estimate_error_total: float = 0.0
+    learned_error_total: float = 0.0
+
+
+class LearningQueryOptimizer:
+    """A query optimizer that corrects lock estimates from feedback.
+
+    Parameters
+    ----------
+    params / database_memory_pages:
+        Passed through to the underlying :class:`QueryOptimizer`.
+    smoothing:
+        EWMA weight of the newest observation in (0, 1]; 1.0 means
+        "always trust the last execution".
+    """
+
+    def __init__(
+        self,
+        params: TuningParameters,
+        database_memory_pages: int,
+        smoothing: float = 0.5,
+    ) -> None:
+        if not 0.0 < smoothing <= 1.0:
+            raise ConfigurationError(
+                f"smoothing must be in (0, 1], got {smoothing}"
+            )
+        self._base = QueryOptimizer(params, database_memory_pages)
+        self.smoothing = smoothing
+        self._stats: Dict[str, StatementStats] = {}
+
+    @property
+    def base(self) -> QueryOptimizer:
+        """The underlying estimate-driven optimizer."""
+        return self._base
+
+    def statement_stats(self, statement_class: str) -> Optional[StatementStats]:
+        """Learned state for a statement class (None before feedback)."""
+        return self._stats.get(statement_class)
+
+    def effective_estimate(
+        self, statement_class: str, estimated_rows: int
+    ) -> int:
+        """The row estimate compilation will use: learned if available."""
+        if estimated_rows < 0:
+            raise ValueError(
+                f"estimated_rows must be non-negative, got {estimated_rows}"
+            )
+        stats = self._stats.get(statement_class)
+        if stats is None or stats.executions == 0:
+            return estimated_rows
+        return max(0, round(stats.learned_locks))
+
+    def choose_lock_granularity(
+        self, statement_class: str, estimated_rows: int
+    ) -> PlanChoice:
+        """Plan-time decision using the corrected estimate."""
+        effective = self.effective_estimate(statement_class, estimated_rows)
+        choice = self._base.choose_lock_granularity(effective)
+        if effective != estimated_rows:
+            return PlanChoice(
+                granularity=choice.granularity,
+                estimated_locks=effective,
+                compiler_lock_budget=choice.compiler_lock_budget,
+                reason=(
+                    f"learned estimate {effective} (a-priori {estimated_rows}) "
+                    f"for {statement_class!r}: {choice.reason}"
+                ),
+            )
+        return choice
+
+    def observe_execution(
+        self,
+        statement_class: str,
+        estimated_rows: int,
+        actual_locks: int,
+    ) -> StatementStats:
+        """Feed back the locks a statement actually took."""
+        if actual_locks < 0:
+            raise ValueError(
+                f"actual_locks must be non-negative, got {actual_locks}"
+            )
+        stats = self._stats.get(statement_class)
+        if stats is None:
+            stats = StatementStats(learned_locks=float(actual_locks))
+            self._stats[statement_class] = stats
+        else:
+            # error bookkeeping uses the pre-update learned estimate
+            stats.learned_error_total += abs(stats.learned_locks - actual_locks)
+            stats.learned_locks += self.smoothing * (
+                actual_locks - stats.learned_locks
+            )
+        stats.executions += 1
+        stats.estimate_error_total += abs(estimated_rows - actual_locks)
+        return stats
+
+    def learning_benefit(self, statement_class: str) -> Optional[float]:
+        """Mean-absolute-error reduction of learned vs a-priori estimates.
+
+        Returns a value in [0, 1] (1 = learning removed all estimation
+        error), or None before at least two executions.
+        """
+        stats = self._stats.get(statement_class)
+        if stats is None or stats.executions < 2:
+            return None
+        # the first execution has no learned prediction; compare over
+        # the remaining executions
+        n = stats.executions - 1
+        apriori_mae = stats.estimate_error_total / stats.executions
+        learned_mae = stats.learned_error_total / n
+        if apriori_mae == 0:
+            return 0.0
+        return max(0.0, 1.0 - learned_mae / apriori_mae)

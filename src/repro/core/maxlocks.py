@@ -1,0 +1,90 @@
+"""The adaptive lockPercentPerApplication model (paper section 3.5).
+
+The per-application lock memory constraint (DB2's MAXLOCKS) is kept
+"hardly unconstrained" at 98 % while lock memory is far from its
+maximum, then attenuated aggressively as lock memory approaches
+``maxLockMemory``:
+
+    lockPercentPerApplication(x) = P * (1 - (x / 100)^3)
+
+where ``x`` is the percentage of ``maxLockMemory`` currently used and
+``P = 98``.  The value floors at 1 when lock memory reaches 100 % of its
+maximum.  The curve "provides very large value ... while memory is
+ample, and aggressive attenuation when lock memory is more than 75 %
+used".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.params import TuningParameters
+from repro.errors import ConfigurationError
+
+
+def lock_percent_per_application(
+    used_percent_of_max: float,
+    p: float = 98.0,
+    exponent: float = 3.0,
+    floor: float = 1.0,
+) -> float:
+    """Evaluate the MAXLOCKS attenuation curve.
+
+    Parameters
+    ----------
+    used_percent_of_max:
+        ``x`` -- lock memory in use as a percentage of maxLockMemory.
+        Values are clamped into [0, 100]: the in-memory allocation can
+        transiently exceed the asynchronous ceiling while synchronous
+        growth is outstanding, and the constraint bottoms out at its
+        floor there.
+    p, exponent, floor:
+        Curve parameters; the paper uses P=98, a cubic, and a floor of 1.
+
+    Returns the percentage (in [floor, p]) of total lock memory a single
+    application may consume.
+    """
+    x = min(100.0, max(0.0, used_percent_of_max))
+    value = p * (1.0 - (x / 100.0) ** exponent)
+    return max(floor, value)
+
+
+class AdaptiveMaxlocks:
+    """Stateful wrapper binding the curve to live lock-memory telemetry.
+
+    The lock manager pulls :meth:`fraction` on every resize and every
+    ``refreshPeriodForAppPercent`` lock requests (wired through
+    ``LockManager.maxlocks_provider``).
+    """
+
+    def __init__(
+        self,
+        params: TuningParameters,
+        allocated_pages: Callable[[], int],
+        max_lock_memory_pages: Callable[[], int],
+    ) -> None:
+        self.params = params
+        self._allocated_pages = allocated_pages
+        self._max_lock_memory_pages = max_lock_memory_pages
+
+    def used_percent_of_max(self) -> float:
+        """Current ``x``: allocated lock memory as % of maxLockMemory."""
+        maximum = self._max_lock_memory_pages()
+        if maximum <= 0:
+            raise ConfigurationError(
+                f"maxLockMemory must be positive, got {maximum} pages"
+            )
+        return 100.0 * self._allocated_pages() / maximum
+
+    def percent(self) -> float:
+        """Current lockPercentPerApplication, in percent."""
+        return lock_percent_per_application(
+            self.used_percent_of_max(),
+            p=self.params.maxlocks_p,
+            exponent=self.params.maxlocks_exponent,
+            floor=self.params.maxlocks_floor,
+        )
+
+    def fraction(self) -> float:
+        """Current lockPercentPerApplication as a fraction in (0, 1]."""
+        return self.percent() / 100.0

@@ -1,0 +1,99 @@
+"""The SQL compiler's stabilized view of lock memory (paper section 3.6).
+
+With self-tuning, the instantaneous lock memory and MAXLOCKS values are
+fluid.  If the query optimizer read them directly, a statement compiled
+at a low-memory moment would bake table-level locking into its plan,
+pre-empting the self-tuning algorithm from avoiding escalation at
+runtime.  The paper resolves this by exposing a *fixed* approximation:
+
+    sqlCompilerLockMem = 0.10 * databaseMemory
+
+This module models that: a tiny plan-time decision of row versus table
+locking for a statement, based on the stable compiler view rather than
+the live allocation.  The DSS workload uses it so that the reporting
+query of Figure 11 compiles to row locking (letting the runtime tuner do
+its job), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.core.params import TuningParameters
+from repro.units import PAGE_SIZE_BYTES
+
+
+class LockGranularity(enum.Enum):
+    """Plan-time locking strategy for a statement."""
+
+    ROW = "row"
+    TABLE = "table"
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """Outcome of the optimizer's lock-granularity decision."""
+
+    granularity: LockGranularity
+    estimated_locks: int
+    compiler_lock_budget: int
+    reason: str
+
+
+class QueryOptimizer:
+    """Chooses row vs table locking using the stable compiler view.
+
+    A statement estimated to need more lock structures than the
+    compiler's lock-memory view can hold compiles to table locking (it
+    would inevitably escalate); anything else compiles to row locking
+    and relies on the runtime tuner.  "If the estimate is excessively
+    large, escalation will occur at runtime which would have been
+    unavoidable regardless" (section 3.6).
+    """
+
+    def __init__(
+        self,
+        params: TuningParameters,
+        database_memory_pages: int,
+    ) -> None:
+        self.params = params
+        self.database_memory_pages = database_memory_pages
+
+    def compiler_lock_memory_pages(self) -> int:
+        """sqlCompilerLockMem, in pages."""
+        return self.params.sql_compiler_lock_memory_pages(self.database_memory_pages)
+
+    def compiler_lock_budget_structures(self) -> int:
+        """Lock structures the compiler assumes can be available."""
+        pages = self.compiler_lock_memory_pages()
+        return pages * PAGE_SIZE_BYTES // self.params.locksize_bytes
+
+    def choose_lock_granularity(self, estimated_rows: int) -> PlanChoice:
+        """Plan-time decision for a statement touching ``estimated_rows``."""
+        if estimated_rows < 0:
+            raise ValueError(f"estimated_rows must be non-negative, got {estimated_rows}")
+        budget = self.compiler_lock_budget_structures()
+        # The compiler also assumes the statement may only use the
+        # unconstrained per-application share of that memory.
+        per_app_budget = math.floor(budget * self.params.maxlocks_p / 100.0)
+        if estimated_rows <= per_app_budget:
+            return PlanChoice(
+                granularity=LockGranularity.ROW,
+                estimated_locks=estimated_rows,
+                compiler_lock_budget=per_app_budget,
+                reason=(
+                    f"{estimated_rows} locks fit the stable compiler view "
+                    f"({per_app_budget} structures)"
+                ),
+            )
+        return PlanChoice(
+            granularity=LockGranularity.TABLE,
+            estimated_locks=estimated_rows,
+            compiler_lock_budget=per_app_budget,
+            reason=(
+                f"{estimated_rows} locks exceed the compiler view "
+                f"({per_app_budget} structures); escalation would be unavoidable"
+            ),
+        )

@@ -1,0 +1,166 @@
+"""Table 1 of the paper as a validated parameter object.
+
+Every modelling parameter of the self-tuning algorithm lives here with
+its paper-given default:
+
+==========================  =====================================================
+Parameter                   Paper value
+==========================  =====================================================
+minLockMemory               MAX(2 MB, 500 * locksize * num_applications)
+maxLockMemory               0.20 * databaseMemory
+sqlCompilerLockMem          0.10 * databaseMemory
+LMOmax                      65 % of database overflow memory (C1 = 0.65)
+maxFreeLockMemory           60 %
+minFreeLockMemory           50 %
+lockPercentPerApplication   98 * (1 - (x/100)^3), x = % of maxLockMemory used
+refreshPeriodForAppPercent  0x80 lock requests
+delta_reduce                5 % of current lock memory per tuning interval
+==========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import (
+    LOCK_SIZE_BYTES,
+    MB,
+    bytes_to_pages,
+    round_pages_to_blocks,
+)
+
+
+@dataclass(frozen=True)
+class TuningParameters:
+    """All knobs of the adaptive lock memory tuning algorithm."""
+
+    #: minFreeLockMemory -- asynchronous growth triggers below this
+    #: free fraction (section 3.3).
+    min_free_fraction: float = 0.50
+    #: maxFreeLockMemory -- asynchronous shrink triggers above this
+    #: free fraction (section 3.4).
+    max_free_fraction: float = 0.60
+    #: delta_reduce -- shrink rate per tuning interval (section 3.4).
+    delta_reduce: float = 0.05
+    #: C1 -- fraction of database overflow memory lock memory may
+    #: consume synchronously (section 3.2).
+    c1_overflow_fraction: float = 0.65
+    #: maxLockMemory as a fraction of databaseMemory (section 3.2).
+    max_lock_memory_fraction: float = 0.20
+    #: sqlCompilerLockMem as a fraction of databaseMemory (section 3.6).
+    sql_compiler_fraction: float = 0.10
+    #: P -- the unconstrained lockPercentPerApplication (section 3.5).
+    maxlocks_p: float = 98.0
+    #: Exponent of the attenuation curve (Table 1 uses a cubic).
+    maxlocks_exponent: float = 3.0
+    #: Floor for lockPercentPerApplication ("dropping down to 1 when
+    #: lock memory is 100 % of its maximum size").
+    maxlocks_floor: float = 1.0
+    #: refreshPeriodForAppPercent, in lock requests (Table 1: 0x80).
+    refresh_period_requests: int = 0x80
+    #: Absolute floor component of minLockMemory.
+    min_lock_memory_floor_bytes: int = 2 * MB
+    #: Per-connection component of minLockMemory (500 lock structures).
+    min_locks_per_application: int = 500
+    #: Size of one lock structure in bytes.
+    locksize_bytes: int = LOCK_SIZE_BYTES
+    #: Escalation-recovery: double lock memory per interval while
+    #: escalations continue and overflow is constrained (section 3.1).
+    escalation_doubling: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_free_fraction < 1.0:
+            raise ConfigurationError(
+                f"min_free_fraction must be in [0, 1), got {self.min_free_fraction}"
+            )
+        if not self.min_free_fraction <= self.max_free_fraction < 1.0:
+            raise ConfigurationError(
+                "need min_free_fraction <= max_free_fraction < 1, got "
+                f"{self.min_free_fraction} / {self.max_free_fraction}"
+            )
+        if not 0.0 < self.delta_reduce <= 1.0:
+            raise ConfigurationError(
+                f"delta_reduce must be in (0, 1], got {self.delta_reduce}"
+            )
+        if not 0.0 < self.c1_overflow_fraction < 1.0:
+            raise ConfigurationError(
+                f"C1 must be in (0, 1) so overflow is never fully consumed, "
+                f"got {self.c1_overflow_fraction}"
+            )
+        if not 0.0 < self.max_lock_memory_fraction <= 1.0:
+            raise ConfigurationError(
+                f"max_lock_memory_fraction must be in (0, 1], got "
+                f"{self.max_lock_memory_fraction}"
+            )
+        if not 0.0 < self.sql_compiler_fraction <= 1.0:
+            raise ConfigurationError(
+                f"sql_compiler_fraction must be in (0, 1], got "
+                f"{self.sql_compiler_fraction}"
+            )
+        if not 0.0 < self.maxlocks_floor <= self.maxlocks_p <= 100.0:
+            raise ConfigurationError(
+                f"need 0 < maxlocks_floor <= maxlocks_p <= 100, got "
+                f"{self.maxlocks_floor} / {self.maxlocks_p}"
+            )
+        if self.maxlocks_exponent <= 0:
+            raise ConfigurationError(
+                f"maxlocks_exponent must be positive, got {self.maxlocks_exponent}"
+            )
+        if self.refresh_period_requests <= 0:
+            raise ConfigurationError(
+                f"refresh_period_requests must be positive, got "
+                f"{self.refresh_period_requests}"
+            )
+        if self.min_lock_memory_floor_bytes <= 0:
+            raise ConfigurationError("min_lock_memory_floor_bytes must be positive")
+        if self.min_locks_per_application < 0:
+            raise ConfigurationError("min_locks_per_application must be non-negative")
+        if self.locksize_bytes <= 0:
+            raise ConfigurationError("locksize_bytes must be positive")
+
+    # -- derived quantities (section 3.2) ----------------------------------
+
+    def min_lock_memory_pages(self, num_applications: int) -> int:
+        """minLockMemory = MAX(2MB, 500 * locksize * num_applications).
+
+        Returned in pages, rounded up to whole 128 KB blocks.
+        """
+        if num_applications < 0:
+            raise ValueError(
+                f"num_applications must be non-negative, got {num_applications}"
+            )
+        per_app_bytes = (
+            self.min_locks_per_application * self.locksize_bytes * num_applications
+        )
+        floor_bytes = max(self.min_lock_memory_floor_bytes, per_app_bytes)
+        return round_pages_to_blocks(bytes_to_pages(floor_bytes))
+
+    def max_lock_memory_pages(self, database_memory_pages: int) -> int:
+        """maxLockMemory = 0.20 * databaseMemory, in whole blocks."""
+        if database_memory_pages <= 0:
+            raise ValueError(
+                f"database_memory_pages must be positive, got {database_memory_pages}"
+            )
+        raw = int(self.max_lock_memory_fraction * database_memory_pages)
+        return round_pages_to_blocks(raw)
+
+    def sql_compiler_lock_memory_pages(self, database_memory_pages: int) -> int:
+        """sqlCompilerLockMem = 0.10 * databaseMemory (section 3.6)."""
+        if database_memory_pages <= 0:
+            raise ValueError(
+                f"database_memory_pages must be positive, got {database_memory_pages}"
+            )
+        return int(self.sql_compiler_fraction * database_memory_pages)
+
+    def lmo_max_pages(self, overflow_pages: int, lmo_pages: int) -> int:
+        """LMOmax = C1 * (database overflow memory + LMO) (section 3.2).
+
+        ``overflow_pages`` is the overflow memory currently available and
+        ``lmo_pages`` the lock memory already allocated from overflow;
+        their sum is the overflow area as it stood before lock memory
+        grew into it.
+        """
+        if overflow_pages < 0 or lmo_pages < 0:
+            raise ValueError("overflow_pages and lmo_pages must be non-negative")
+        return int(self.c1_overflow_fraction * (overflow_pages + lmo_pages))

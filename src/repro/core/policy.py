@@ -1,0 +1,124 @@
+"""Pluggable lock-memory tuning policies.
+
+A :class:`TuningPolicy` decides how lock memory behaves in a simulated
+database: whether it can grow synchronously, how (and whether) it is
+tuned asynchronously, and how the per-application constraint (MAXLOCKS)
+is set.  The paper's adaptive algorithm and every baseline (static
+LOCKLIST, SQL Server 2005, ...) implement this interface, so the same
+database/workload harness compares them fairly.
+
+``attach(database)`` is called once while the database is assembled; the
+policy wires itself into the lock manager's ``growth_provider`` /
+``maxlocks_provider`` hooks and, if it tunes asynchronously, registers a
+deterministic tuner with STMM.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.controller import LockMemoryController
+from repro.core.maxlocks import AdaptiveMaxlocks
+from repro.core.params import TuningParameters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+
+class TuningPolicy(abc.ABC):
+    """Strategy object deciding lock memory behaviour."""
+
+    #: Short identifier used in experiment reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def attach(self, database: "Database") -> None:
+        """Wire the policy into a freshly assembled database."""
+
+    def describe(self) -> str:
+        """One-line human description for reports."""
+        return self.name
+
+
+class AdaptiveLockMemoryPolicy(TuningPolicy):
+    """The paper's algorithm: DB2 9 self-tuning lock memory.
+
+    Combines the :class:`LockMemoryController` (asynchronous STMM tuning
+    plus synchronous overflow growth) with the adaptive MAXLOCKS curve.
+    """
+
+    name = "db2-adaptive"
+
+    def __init__(
+        self,
+        params: Optional[TuningParameters] = None,
+        fixed_maxlocks_fraction: Optional[float] = None,
+    ) -> None:
+        """``fixed_maxlocks_fraction`` replaces the adaptive MAXLOCKS
+        curve with a constant (e.g. 0.10, the old DB2 default) while
+        keeping the adaptive memory tuning -- used by the MAXLOCKS
+        ablation experiment."""
+        self.params = params or TuningParameters()
+        if fixed_maxlocks_fraction is not None and not (
+            0.0 < fixed_maxlocks_fraction <= 1.0
+        ):
+            raise ValueError(
+                f"fixed_maxlocks_fraction must be in (0, 1], got "
+                f"{fixed_maxlocks_fraction}"
+            )
+        self.fixed_maxlocks_fraction = fixed_maxlocks_fraction
+        self.controller: Optional[LockMemoryController] = None
+        self.maxlocks: Optional[AdaptiveMaxlocks] = None
+
+    def attach(self, database: "Database") -> None:
+        controller = LockMemoryController(
+            registry=database.registry,
+            chain=database.chain,
+            params=self.params,
+            num_applications=database.connected_applications,
+            escalation_count=lambda: database.lock_manager.stats.escalations.count,
+            clock=lambda: database.env.now,
+        )
+        maxlocks = AdaptiveMaxlocks(
+            params=self.params,
+            allocated_pages=lambda: database.chain.allocated_pages,
+            max_lock_memory_pages=controller.max_lock_memory_pages,
+        )
+        database.lock_manager.growth_provider = controller.sync_grow
+        if self.fixed_maxlocks_fraction is not None:
+            fixed = self.fixed_maxlocks_fraction
+            database.lock_manager.maxlocks_provider = lambda: fixed
+        else:
+            database.lock_manager.maxlocks_provider = maxlocks.fraction
+        database.lock_manager.refresh_period = self.params.refresh_period_requests
+        database.lock_manager.refresh_maxlocks()
+        # Section 3.5: MAXLOCKS is re-computed on *every* resize,
+        # including the asynchronous STMM ones.
+        controller.on_resize = database.lock_manager.refresh_maxlocks
+        database.stmm.register_deterministic_tuner(controller)
+        self.controller = controller
+        self.maxlocks = maxlocks
+
+    def describe(self) -> str:
+        p = self.params
+        return (
+            f"{self.name}: free band {p.min_free_fraction:.0%}-"
+            f"{p.max_free_fraction:.0%}, delta_reduce {p.delta_reduce:.0%}, "
+            f"C1 {p.c1_overflow_fraction:.0%}, max "
+            f"{p.max_lock_memory_fraction:.0%} of databaseMemory"
+        )
+
+
+class NoTuningPolicy(TuningPolicy):
+    """A policy that leaves lock memory exactly as configured.
+
+    Baseline scaffolding: no growth provider, no STMM tuner.  MAXLOCKS
+    stays at whatever static fraction the lock manager was created with.
+    """
+
+    name = "no-tuning"
+
+    def attach(self, database: "Database") -> None:
+        database.lock_manager.growth_provider = None
+        database.lock_manager.maxlocks_provider = None

@@ -1,0 +1,359 @@
+"""The simulated database instance.
+
+:class:`Database` wires every substrate together the way DB2 9 does:
+
+* a :class:`~repro.memory.registry.DatabaseMemoryRegistry` holding the
+  bufferpool, sort, hash join, package cache and lock list heaps plus
+  the overflow area,
+* a :class:`~repro.lockmgr.manager.LockManager` over a
+  :class:`~repro.lockmgr.blocks.LockBlockChain` whose allocation always
+  mirrors the ``locklist`` heap,
+* a :class:`~repro.memory.stmm.Stmm` tuning loop,
+* a pluggable :class:`~repro.core.policy.TuningPolicy` (the paper's
+  adaptive algorithm by default, baselines otherwise),
+* a metrics sampler recording the series the figure benchmarks plot.
+
+The bufferpool's size feeds a hit-ratio model so that memory STMM moves
+between the bufferpool and lock memory shows up in transaction service
+times -- the CPU/I-O competition effect of section 5.3.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set
+
+from repro.core.policy import AdaptiveLockMemoryPolicy, TuningPolicy
+from repro.engine.des import Environment
+from repro.engine.metrics import MetricsRecorder
+from repro.engine.rng import RngStreams
+from repro.errors import ConfigurationError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.manager import LockManager
+from repro.memory.bufferpool import BufferpoolModel
+from repro.memory.hashjoin import HashJoinModel
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.pkgcache import PackageCacheModel
+from repro.memory.sortheap import SortHeapModel
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+from repro.units import (
+    LOCK_SIZE_BYTES,
+    PAGE_SIZE_BYTES,
+    PAGES_PER_BLOCK,
+    round_pages_to_blocks,
+)
+
+
+@dataclass
+class DatabaseConfig:
+    """Sizing and model parameters of a simulated database.
+
+    The defaults approximate the paper's test system scaled down 10x
+    (the paper machine dedicated 5.11 GB to the database; we default to
+    512 MB so experiments run quickly while all ratios -- 20 % lock
+    memory cap, 10 % compiler view, overflow goal -- are preserved).
+    """
+
+    #: databaseMemory, in 4 KB pages.  131072 pages = 512 MB.
+    total_memory_pages: int = 131_072
+    #: Initial LOCKLIST configuration, in pages (rounded to blocks).
+    #: 512 pages = 2 MB, DB2's small-system default.
+    initial_locklist_pages: int = 512
+    #: Initial heap fractions of databaseMemory.
+    bufferpool_fraction: float = 0.60
+    sort_fraction: float = 0.12
+    hashjoin_fraction: float = 0.06
+    pkgcache_fraction: float = 0.04
+    #: STMM's goal for the overflow area, as a fraction of databaseMemory.
+    overflow_goal_fraction: float = 0.05
+    #: Minimum bufferpool size as a fraction of databaseMemory (donating
+    #: below this would collapse the cache entirely).
+    bufferpool_min_fraction: float = 0.10
+    #: Static MAXLOCKS fraction used until a policy installs a provider.
+    static_maxlocks_fraction: float = 0.98
+    #: STMM scheduling configuration.
+    stmm: StmmConfig = field(default_factory=StmmConfig)
+    #: Bufferpool performance model.
+    bufferpool_model: BufferpoolModel = field(default_factory=BufferpoolModel)
+    #: Sort heap performance model (spills when sorts exceed the heap).
+    sort_model: SortHeapModel = field(default_factory=SortHeapModel)
+    #: Hash join heap performance model (Grace partitioning on spill).
+    hashjoin_model: HashJoinModel = field(default_factory=HashJoinModel)
+    #: Package cache (compiled statement cache) model.
+    pkgcache_model: PackageCacheModel = field(default_factory=PackageCacheModel)
+    #: Simulated commit cost, seconds.
+    commit_time_s: float = 0.002
+    #: Metric sampling period, seconds.
+    sample_period_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.total_memory_pages <= 0:
+            raise ConfigurationError("total_memory_pages must be positive")
+        fractions = (
+            self.bufferpool_fraction
+            + self.sort_fraction
+            + self.hashjoin_fraction
+            + self.pkgcache_fraction
+        )
+        locklist_fraction = self.initial_locklist_pages / self.total_memory_pages
+        if fractions + locklist_fraction >= 1.0:
+            raise ConfigurationError(
+                f"initial heaps oversubscribe database memory "
+                f"({fractions + locklist_fraction:.2f} >= 1)"
+            )
+        if not 0.0 <= self.overflow_goal_fraction < 1.0:
+            raise ConfigurationError("overflow_goal_fraction must be in [0, 1)")
+        if self.initial_locklist_pages < PAGES_PER_BLOCK:
+            raise ConfigurationError(
+                f"initial_locklist_pages must be at least one block "
+                f"({PAGES_PER_BLOCK} pages)"
+            )
+
+
+class Database:
+    """A fully wired simulated database instance."""
+
+    def __init__(
+        self,
+        env: Optional[Environment] = None,
+        config: Optional[DatabaseConfig] = None,
+        policy: Optional[TuningPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.env = env or Environment()
+        self.config = config or DatabaseConfig()
+        self.rng = RngStreams(seed)
+        self.metrics = MetricsRecorder()
+        cfg = self.config
+
+        #: EWMA of recent sort input sizes, feeding the sort heap's
+        #: marginal benefit (0 until the workload actually sorts).
+        self._typical_sort_rows = 0.0
+        #: EWMA of recent hash-join build sizes (same role for joins).
+        self._typical_build_rows = 0.0
+        self.registry = DatabaseMemoryRegistry(
+            total_pages=cfg.total_memory_pages,
+            overflow_goal_pages=int(cfg.overflow_goal_fraction * cfg.total_memory_pages),
+        )
+        self._register_heaps()
+
+        locklist_pages = round_pages_to_blocks(cfg.initial_locklist_pages)
+        self.chain = LockBlockChain(initial_blocks=locklist_pages // PAGES_PER_BLOCK)
+        self.lock_manager = LockManager(
+            self.env,
+            self.chain,
+            maxlocks_fraction=cfg.static_maxlocks_fraction,
+        )
+        self.stmm = Stmm(self.registry, cfg.stmm)
+        self.policy = policy or AdaptiveLockMemoryPolicy()
+        self.policy.attach(self)
+
+        self._connected_apps: Set[int] = set()
+        self._app_ids = itertools.count(1)
+        self._commits = 0
+        self._rollbacks = 0
+        self._started = False
+        self._page_time = 0.0
+        self._page_time_for_size = -1
+
+    def _register_heaps(self) -> None:
+        cfg = self.config
+        total = cfg.total_memory_pages
+        bp_model = cfg.bufferpool_model
+        self.registry.register(
+            MemoryHeap(
+                "bufferpool",
+                HeapCategory.PMC,
+                size_pages=int(cfg.bufferpool_fraction * total),
+                min_pages=int(cfg.bufferpool_min_fraction * total),
+                benefit=lambda heap: bp_model.marginal_benefit(heap.size_pages),
+            )
+        )
+        self.registry.register(
+            MemoryHeap(
+                "sort",
+                HeapCategory.PMC,
+                size_pages=int(cfg.sort_fraction * total),
+                min_pages=256,
+                # Dynamic: zero while the workload runs no large sorts
+                # (a willing donor, the paper's "least needy consumer"),
+                # rising when recent sorts spill.
+                benefit=lambda heap: cfg.sort_model.marginal_benefit(
+                    heap.size_pages, int(self._typical_sort_rows)
+                ),
+            )
+        )
+        self.registry.register(
+            MemoryHeap(
+                "hashjoin",
+                HeapCategory.PMC,
+                size_pages=int(cfg.hashjoin_fraction * total),
+                min_pages=256,
+                # Dynamic like the sort heap: a donor until the workload
+                # runs joins big enough to spill.
+                benefit=lambda heap: cfg.hashjoin_model.marginal_benefit(
+                    heap.size_pages, int(self._typical_build_rows)
+                ),
+            )
+        )
+        self.registry.register(
+            MemoryHeap(
+                "pkgcache",
+                HeapCategory.PMC,
+                size_pages=int(cfg.pkgcache_fraction * total),
+                min_pages=256,
+                # Statement-cache curve: near zero once the working set
+                # of plans fits, steep when shrunk below it.
+                benefit=lambda heap: cfg.pkgcache_model.marginal_benefit(
+                    heap.size_pages
+                ),
+            )
+        )
+        self.registry.register(
+            MemoryHeap(
+                "locklist",
+                HeapCategory.FMC,
+                size_pages=round_pages_to_blocks(cfg.initial_locklist_pages),
+                min_pages=0,
+            )
+        )
+
+    # -- application bookkeeping -------------------------------------------
+
+    def next_app_id(self) -> int:
+        return next(self._app_ids)
+
+    def register_application(self, app_id: int) -> None:
+        self._connected_apps.add(app_id)
+
+    def deregister_application(self, app_id: int) -> None:
+        self._connected_apps.discard(app_id)
+
+    def connected_applications(self) -> int:
+        """Number of connected applications (feeds minLockMemory)."""
+        return len(self._connected_apps)
+
+    # -- throughput bookkeeping -----------------------------------------------
+
+    def note_commit(self) -> None:
+        self._commits += 1
+
+    def note_rollback(self) -> None:
+        self._rollbacks += 1
+
+    @property
+    def commits(self) -> int:
+        return self._commits
+
+    @property
+    def rollbacks(self) -> int:
+        return self._rollbacks
+
+    # -- performance model ---------------------------------------------------
+
+    def sort_time(self, rows: int) -> float:
+        """Simulated duration of sorting ``rows`` via the sort heap.
+
+        Also feeds the sort heap's benefit signal: heavy recent sorting
+        makes the sort heap a demanding STMM receiver instead of the
+        default willing donor.
+        """
+        alpha = 0.3
+        self._typical_sort_rows += alpha * (rows - self._typical_sort_rows)
+        heap = self.registry.heap("sort")
+        return self.config.sort_model.sort_time(rows, heap.size_pages)
+
+    def hash_join_time(self, build_rows: int) -> float:
+        """Simulated duration of a hash join with ``build_rows`` on the
+        build side; feeds the hash join heap's benefit signal."""
+        alpha = 0.3
+        self._typical_build_rows += alpha * (build_rows - self._typical_build_rows)
+        heap = self.registry.heap("hashjoin")
+        return self.config.hashjoin_model.join_time(build_rows, heap.size_pages)
+
+    def statement_compile_time(self) -> float:
+        """Expected compile overhead per statement at the current
+        package cache size (zero while the plan working set fits)."""
+        heap = self.registry.heap("pkgcache")
+        return self.config.pkgcache_model.compile_overhead_s(heap.size_pages)
+
+    def row_access_time(self, pages: float = 1.0) -> float:
+        """Simulated time to access ``pages`` data pages via the pool.
+
+        The per-page time only changes when STMM resizes the bufferpool,
+        so it is memoized on the pool size (this sits on the hot path).
+        """
+        size = self.registry.heap("bufferpool").size_pages
+        if size != self._page_time_for_size:
+            self._page_time = self.config.bufferpool_model.page_access_time(size)
+            self._page_time_for_size = size
+        return pages * self._page_time
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch the STMM loop and the metrics sampler."""
+        if self._started:
+            raise ConfigurationError("database already started")
+        self._started = True
+        self.env.process(self.stmm.run(self.env))
+        self.env.process(self._sampler())
+
+    def probes(self) -> Dict[str, Callable[[], float]]:
+        """The quantities the sampler records each period."""
+        stats = self.lock_manager.stats
+        probes: Dict[str, Callable[[], float]] = {
+            "lock_pages": lambda: self.chain.allocated_pages,
+            "lock_used_slots": lambda: self.chain.used_slots,
+            "lock_used_pages": lambda: -(
+                -self.chain.used_slots * LOCK_SIZE_BYTES // PAGE_SIZE_BYTES
+            ),
+            "locklist_heap_pages": lambda: self.registry.heap("locklist").size_pages,
+            "escalations": lambda: stats.escalations.count,
+            "exclusive_escalations": lambda: stats.escalations.exclusive_count,
+            "escalation_failures": lambda: stats.escalations.failures,
+            "commits": lambda: self._commits,
+            "rollbacks": lambda: self._rollbacks,
+            "deadlocks": lambda: stats.deadlocks,
+            "lock_waits": lambda: stats.waits,
+            "lock_list_full_errors": lambda: stats.lock_list_full_errors,
+            "connected_apps": lambda: len(self._connected_apps),
+            "bufferpool_pages": lambda: self.registry.heap("bufferpool").size_pages,
+            "sort_pages": lambda: self.registry.heap("sort").size_pages,
+            "overflow_pages": lambda: self.registry.overflow_pages,
+            "maxlocks_percent": lambda: self.lock_manager.maxlocks_fraction * 100.0,
+        }
+        controller = getattr(self.policy, "controller", None)
+        if controller is not None:
+            # the adaptive policy exposes the LMOC / LMO distinction
+            probes["lmoc_pages"] = lambda: controller.lmoc_pages
+            probes["lmo_pages"] = lambda: controller.lmo_pages
+        return probes
+
+    def _sampler(self):
+        period = self.config.sample_period_s
+        probes = self.probes()
+        while True:
+            now = self.env.now
+            for name, probe in probes.items():
+                self.metrics.record(name, now, float(probe()))
+            yield self.env.timeout(period)
+
+    def run(self, until: float) -> None:
+        """Convenience: start (if needed) and run the clock to ``until``."""
+        if not self._started:
+            self.start()
+        self.env.run(until=until)
+
+    def check_invariants(self) -> None:
+        """Cross-layer consistency checks used by tests."""
+        self.lock_manager.check_invariants()
+        heap_pages = self.registry.heap("locklist").size_pages
+        if heap_pages != self.chain.allocated_pages:
+            raise ConfigurationError(
+                f"locklist heap {heap_pages}p != chain {self.chain.allocated_pages}p"
+            )
+        # Registry invariant: overflow_pages raises if oversubscribed.
+        self.registry.overflow_pages

@@ -1,0 +1,228 @@
+"""Time-series recording for simulation experiments.
+
+The experiment harness samples system state (lock memory allocated, locks
+in use, throughput, escalation counts, heap sizes...) on a fixed cadence
+and stores each quantity in a :class:`TimeSeries`.  A
+:class:`MetricsRecorder` groups the series of one simulation run and
+offers windowed aggregation helpers used by the figure benchmarks.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class TimeSeries:
+    """An append-only series of ``(time, value)`` samples."""
+
+    name: str
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    def append(self, time: float, value: float) -> None:
+        """Append a sample; time must be non-decreasing."""
+        if self.times and time < self.times[-1]:
+            raise ValueError(
+                f"non-monotonic sample time for {self.name!r}: "
+                f"{time} after {self.times[-1]}"
+            )
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    @property
+    def last(self) -> float:
+        """Most recent value."""
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+    def at(self, time: float) -> float:
+        """Value of the most recent sample at or before ``time``."""
+        if not self.times:
+            raise ValueError(f"series {self.name!r} is empty")
+        lo, hi = 0, len(self.times) - 1
+        if time < self.times[0]:
+            raise ValueError(f"no sample at or before t={time} in {self.name!r}")
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if self.times[mid] <= time:
+                lo = mid
+            else:
+                hi = mid - 1
+        return self.values[lo]
+
+    def window(self, start: float, end: float) -> "TimeSeries":
+        """Sub-series of samples with ``start <= t <= end``."""
+        out = TimeSeries(self.name)
+        for t, v in self:
+            if start <= t <= end:
+                out.append(t, v)
+        return out
+
+    def max(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.values)
+
+    def min(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return min(self.values)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return sum(self.values) / len(self.values)
+
+    def stddev(self) -> float:
+        """Population standard deviation of the values."""
+        mu = self.mean()
+        return math.sqrt(sum((v - mu) ** 2 for v in self.values) / len(self.values))
+
+    def time_weighted_mean(self) -> float:
+        """Mean weighted by how long each sample was in force.
+
+        Each value holds from its sample time until the next sample;
+        with a single sample this degenerates to that value.  This is
+        the right average for state series sampled on an uneven grid
+        (memory held, connected clients), where a plain mean would
+        over-weight bursts of dense samples.
+        """
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        if len(self.values) == 1:
+            return self.values[0]
+        weighted = 0.0
+        span = self.times[-1] - self.times[0]
+        if span <= 0:
+            return self.mean()
+        for i in range(len(self.values) - 1):
+            weighted += self.values[i] * (self.times[i + 1] - self.times[i])
+        return weighted / span
+
+    def delta(self) -> "TimeSeries":
+        """Per-sample differences: useful to turn counters into rates."""
+        out = TimeSeries(f"d_{self.name}")
+        for i in range(1, len(self.times)):
+            out.append(self.times[i], self.values[i] - self.values[i - 1])
+        return out
+
+    def rate(self) -> "TimeSeries":
+        """Per-second rate of change between consecutive samples."""
+        out = TimeSeries(f"rate_{self.name}")
+        for i in range(1, len(self.times)):
+            dt = self.times[i] - self.times[i - 1]
+            if dt > 0:
+                out.append(self.times[i], (self.values[i] - self.values[i - 1]) / dt)
+        return out
+
+    def smooth(self, half_window: int = 2) -> "TimeSeries":
+        """Centred moving average with ``2*half_window + 1`` taps."""
+        out = TimeSeries(f"smooth_{self.name}")
+        n = len(self.values)
+        for i in range(n):
+            lo = max(0, i - half_window)
+            hi = min(n, i + half_window + 1)
+            out.append(self.times[i], sum(self.values[lo:hi]) / (hi - lo))
+        return out
+
+    def crossing_time(self, threshold: float, rising: bool = True) -> Optional[float]:
+        """First sample time where the series crosses ``threshold``.
+
+        With ``rising`` the first time the value is >= threshold is
+        returned; otherwise the first time it is <= threshold.  Returns
+        None if the series never crosses.
+        """
+        for t, v in self:
+            if (rising and v >= threshold) or (not rising and v <= threshold):
+                return t
+        return None
+
+
+class MetricsRecorder:
+    """Groups the named time series of one simulation run."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str) -> TimeSeries:
+        """Return (creating if needed) the series called ``name``."""
+        if name not in self._series:
+            self._series[name] = TimeSeries(name)
+        return self._series[name]
+
+    def record(self, name: str, time: float, value: float) -> None:
+        """Append one sample to the series called ``name``."""
+        self.series(name).append(time, value)
+
+    def record_many(self, time: float, samples: Dict[str, float]) -> None:
+        """Append one sample per entry of ``samples`` at the same time."""
+        for name, value in samples.items():
+            self.record(name, time, value)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._series
+
+    def names(self) -> List[str]:
+        """Sorted names of all recorded series."""
+        return sorted(self._series)
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        if name not in self._series:
+            raise KeyError(
+                f"no series {name!r}; recorded series: {self.names()}"
+            )
+        return self._series[name]
+
+    def to_rows(self) -> List[Tuple[float, Dict[str, float]]]:
+        """Merge all series into rows keyed by sample time.
+
+        Series sampled on the same cadence line up exactly; a missing
+        value for a series at some time is omitted from that row's dict.
+        """
+        times = sorted({t for s in self._series.values() for t in s.times})
+        index = {t: i for i, t in enumerate(times)}
+        rows: List[Tuple[float, Dict[str, float]]] = [(t, {}) for t in times]
+        for name, s in self._series.items():
+            for t, v in s:
+                rows[index[t]][1][name] = v
+        return rows
+
+    def write_csv(self, path: str, names: Optional[Sequence[str]] = None) -> None:
+        """Dump the merged series to ``path`` as CSV."""
+        cols = list(names) if names is not None else self.names()
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["time"] + cols)
+            for t, row in self.to_rows():
+                writer.writerow([t] + [row.get(c, "") for c in cols])
+
+
+def sampled(
+    names_and_probes: Dict[str, Callable[[], float]],
+    recorder: MetricsRecorder,
+    env,
+    period: float,
+):
+    """DES process generator that samples probes every ``period`` seconds.
+
+    Usage::
+
+        env.process(sampled({"lock_pages": lm.allocated_pages}, rec, env, 1.0))
+    """
+    if period <= 0:
+        raise ValueError(f"sampling period must be positive, got {period}")
+    while True:
+        for name, probe in names_and_probes.items():
+            recorder.record(name, env.now, float(probe()))
+        yield env.timeout(period)

@@ -1,0 +1,136 @@
+"""Transaction shape: statistical description of what a client does.
+
+A :class:`TransactionMix` describes the *distribution* of transactions a
+client issues: how many row locks, what fraction of accesses write, how
+table and row choices are skewed, and how much simulated work each
+access costs.  Clients draw concrete transactions from the mix using
+their own RNG stream, so workloads are reproducible and components are
+variance-isolated.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.lockmgr.isolation import IsolationLevel
+from repro.lockmgr.modes import LockMode
+
+
+@dataclass(frozen=True)
+class RowAccess:
+    """One row touched by a transaction."""
+
+    table_id: int
+    row_id: int
+    mode: LockMode
+
+
+@dataclass(frozen=True)
+class TransactionMix:
+    """Statistical shape of a client's transactions.
+
+    Parameters
+    ----------
+    locks_per_txn_mean:
+        Mean row locks per transaction (geometric draw, minimum 1).
+    write_fraction:
+        Probability an access takes an X lock instead of S.
+    update_lock_fraction:
+        Probability a write first takes a U lock (read-with-intent-to-
+        update) before converting to X, as DB2 cursors do.
+    num_tables / rows_per_table:
+        Size of the lockable namespace.
+    hot_row_fraction / hot_access_probability:
+        A fraction of each table is a "hot set" receiving a dispropor-
+        tionate share of accesses; this controls lock contention.
+    think_time_mean_s:
+        Mean exponential think time between transactions.
+    work_time_per_lock_s:
+        Base CPU time per accessed row (the bufferpool model adds I/O).
+    pages_per_lock:
+        Data pages touched per row access (drives bufferpool pressure).
+    isolation:
+        How long read locks are held (see
+        :class:`repro.lockmgr.isolation.IsolationLevel`).  RR -- the
+        default, and the paper experiments' behaviour -- holds S locks
+        to commit; CS releases each as the cursor moves on; UR takes no
+        read locks at all.
+    """
+
+    locks_per_txn_mean: float = 20.0
+    write_fraction: float = 0.30
+    update_lock_fraction: float = 0.20
+    num_tables: int = 10
+    rows_per_table: int = 1_000_000
+    hot_row_fraction: float = 0.001
+    hot_access_probability: float = 0.10
+    think_time_mean_s: float = 1.0
+    work_time_per_lock_s: float = 0.0005
+    pages_per_lock: float = 1.0
+    isolation: IsolationLevel = IsolationLevel.RR
+
+    def __post_init__(self) -> None:
+        if self.locks_per_txn_mean < 1:
+            raise ConfigurationError(
+                f"locks_per_txn_mean must be >= 1, got {self.locks_per_txn_mean}"
+            )
+        for name in ("write_fraction", "update_lock_fraction",
+                     "hot_row_fraction", "hot_access_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.num_tables <= 0 or self.rows_per_table <= 0:
+            raise ConfigurationError("num_tables and rows_per_table must be positive")
+        if self.think_time_mean_s < 0 or self.work_time_per_lock_s < 0:
+            raise ConfigurationError("times must be non-negative")
+        if self.pages_per_lock < 0:
+            raise ConfigurationError("pages_per_lock must be non-negative")
+
+    # -- draws --------------------------------------------------------------
+
+    def draw_lock_count(self, rng: random.Random) -> int:
+        """Number of row locks for one transaction (geometric, >= 1)."""
+        if self.locks_per_txn_mean <= 1.0:
+            return 1
+        p = 1.0 / self.locks_per_txn_mean
+        # Inverse-CDF geometric on {1, 2, ...} with mean 1/p.
+        u = rng.random()
+        count = 1 + int(math.log(1.0 - u) / math.log(1.0 - p))
+        return max(1, min(count, 100_000))
+
+    def draw_access(self, rng: random.Random) -> RowAccess:
+        """One row access: table, row (hot-set skewed) and lock mode."""
+        table_id = rng.randrange(self.num_tables)
+        hot_rows = max(1, int(self.rows_per_table * self.hot_row_fraction))
+        if rng.random() < self.hot_access_probability:
+            row_id = rng.randrange(hot_rows)
+        else:
+            row_id = rng.randrange(self.rows_per_table)
+        if rng.random() < self.write_fraction:
+            if rng.random() < self.update_lock_fraction:
+                mode = LockMode.U
+            else:
+                mode = LockMode.X
+        else:
+            mode = LockMode.S
+        return RowAccess(table_id, row_id, mode)
+
+    def draw_transaction(self, rng: random.Random) -> List[RowAccess]:
+        """A full transaction: an ordered list of row accesses."""
+        return [self.draw_access(rng) for _ in range(self.draw_lock_count(rng))]
+
+    def draw_think_time(self, rng: random.Random) -> float:
+        if self.think_time_mean_s == 0:
+            return 0.0
+        return rng.expovariate(1.0 / self.think_time_mean_s)
+
+
+def scaled(mix: TransactionMix, **overrides) -> TransactionMix:
+    """A copy of ``mix`` with fields replaced (dataclasses.replace sugar)."""
+    from dataclasses import replace
+
+    return replace(mix, **overrides)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific exceptions derive from :class:`ReproError` so callers
+can catch the whole family with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class MemoryAccountingError(ReproError):
+    """An internal memory-accounting invariant was violated.
+
+    Raised when page bookkeeping would go negative or exceed the database
+    memory budget -- these indicate bugs, not recoverable conditions.
+    """
+
+
+class OutOfMemoryError(ReproError):
+    """A memory request could not be satisfied from any source."""
+
+
+class LockManagerError(ReproError):
+    """Base class for lock-manager failures."""
+
+
+class LockNotHeldError(LockManagerError):
+    """An application tried to release a lock it does not hold."""
+
+
+class EscalationFailedError(LockManagerError):
+    """A lock escalation could not complete (e.g. conflicting table lock)."""
+
+
+class DeadlockError(LockManagerError):
+    """A lock request would create a wait-for cycle.
+
+    The simulated engine resolves deadlocks by rolling back the requesting
+    transaction, mirroring DB2's deadlock detector choosing a victim.
+    """
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class StopProcess(Exception):  # noqa: N818 - control-flow signal, not an error
+    """Internal control-flow signal used to terminate a DES process early."""

@@ -1,0 +1,50 @@
+"""The DB2-style lock manager substrate.
+
+Implements the structures the paper describes in section 2.2:
+
+* lock memory allocated in 128 KB blocks chained in a list whose head is
+  reused first, so under partial demand entirely-free blocks accumulate
+  at the tail (:mod:`repro.lockmgr.blocks`),
+* row / table locks with intent modes, a compatibility matrix and FIFO
+  convoys as in Figure 3 (:mod:`repro.lockmgr.modes`,
+  :mod:`repro.lockmgr.locks`),
+* per-application lock accounting, the ``lockPercentPerApplication``
+  (MAXLOCKS) trigger and row-to-table lock escalation
+  (:mod:`repro.lockmgr.manager`, :mod:`repro.lockmgr.escalation`).
+"""
+
+from repro.lockmgr.blocks import LockBlock, LockBlockChain
+from repro.lockmgr.detector import DeadlockDetector
+from repro.lockmgr.escalation import EscalationOutcome, EscalationStats
+from repro.lockmgr.isolation import IsolationLevel
+from repro.lockmgr.locks import LockObject
+from repro.lockmgr.manager import (
+    LockListFullError,
+    LockManager,
+    LockManagerStats,
+    LockTimeoutError,
+)
+from repro.lockmgr.modes import LockMode, compatible, supremum
+from repro.lockmgr.resources import row_resource, table_resource
+from repro.lockmgr.tracing import LockTrace, TraceEvent
+
+__all__ = [
+    "LockBlock",
+    "LockBlockChain",
+    "DeadlockDetector",
+    "IsolationLevel",
+    "EscalationOutcome",
+    "EscalationStats",
+    "LockObject",
+    "LockListFullError",
+    "LockManager",
+    "LockManagerStats",
+    "LockTimeoutError",
+    "LockMode",
+    "compatible",
+    "supremum",
+    "row_resource",
+    "table_resource",
+    "LockTrace",
+    "TraceEvent",
+]

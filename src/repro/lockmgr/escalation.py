@@ -1,0 +1,62 @@
+"""Lock escalation bookkeeping.
+
+Escalation promotes an application's row locks on one table to a single
+table lock, dramatically shrinking lock memory use at a severe cost to
+concurrency (paper section 1).  The mechanics live in
+:class:`repro.lockmgr.manager.LockManager`; this module holds the
+observable outcome records the experiments and tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.lockmgr.modes import LockMode
+
+
+@dataclass
+class EscalationOutcome:
+    """Record of one escalation attempt."""
+
+    time: float
+    app_id: int
+    table_id: int
+    #: Why escalation was triggered: "maxlocks" when the application
+    #: exceeded lockPercentPerApplication, "memory" when the lock list
+    #: was full and could not grow.
+    reason: str
+    #: Table mode acquired (S for read-only row locks, X otherwise).
+    target_mode: LockMode
+    #: Row-lock structures released by the escalation.
+    freed_slots: int
+    #: Whether the escalating application had to wait for the table lock.
+    waited: bool
+
+
+@dataclass
+class EscalationStats:
+    """Aggregate escalation counters for one lock manager."""
+
+    outcomes: List[EscalationOutcome] = field(default_factory=list)
+    failures: int = 0
+
+    @property
+    def count(self) -> int:
+        """Completed escalations."""
+        return len(self.outcomes)
+
+    @property
+    def exclusive_count(self) -> int:
+        """Escalations that took an X table lock (the destructive kind)."""
+        return sum(1 for o in self.outcomes if o.target_mode is LockMode.X)
+
+    @property
+    def freed_slots_total(self) -> int:
+        return sum(o.freed_slots for o in self.outcomes)
+
+    def by_reason(self, reason: str) -> int:
+        return sum(1 for o in self.outcomes if o.reason == reason)
+
+    def record(self, outcome: EscalationOutcome) -> None:
+        self.outcomes.append(outcome)

@@ -1,0 +1,42 @@
+"""Isolation levels: how long read locks are held.
+
+DB2's isolation levels differ (for this model's purposes) in the
+lifetime of *share* locks:
+
+* **RR / RS (repeatable read, read stability)** -- S row locks are held
+  to commit: maximal lock memory demand.  This is the behaviour of the
+  base lock manager and of the paper's reporting query, whose held row
+  locks are exactly what drives the 60x lock-memory growth.
+* **CS (cursor stability)** -- the DB2 default for OLTP: an S row lock
+  is released as soon as the cursor moves off the row, so only one read
+  lock is held at a time and steady-state lock demand comes mostly from
+  write locks.
+* **UR (uncommitted read)** -- readers take no row locks at all (only
+  the table intent lock).
+
+Write locks are always held to commit (two-phase commit requirement),
+whatever the level.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IsolationLevel(enum.Enum):
+    """DB2 isolation levels, ordered weakest to strongest."""
+
+    UR = "uncommitted-read"
+    CS = "cursor-stability"
+    RS = "read-stability"
+    RR = "repeatable-read"
+
+    @property
+    def takes_read_locks(self) -> bool:
+        """UR readers lock nothing at row level."""
+        return self is not IsolationLevel.UR
+
+    @property
+    def holds_read_locks_to_commit(self) -> bool:
+        """RR/RS keep S locks; CS releases them as the cursor moves."""
+        return self in (IsolationLevel.RS, IsolationLevel.RR)

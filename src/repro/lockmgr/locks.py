@@ -1,0 +1,217 @@
+"""Lock objects: granted holders plus a FIFO convoy of waiters.
+
+One :class:`LockObject` exists per actively locked resource.  Its state
+mirrors Figure 3 of the paper: compatible applications share the grant
+(e.g. two share-mode readers), while incompatible requests form a chain
+serviced strictly in request order -- "the previously described memory
+chaining method uses a post method so that requesters are serviced in
+the order in which they request locks" (section 2.3, contrasting with
+Oracle's sleep/wake/check polling).
+
+Conversions (an application strengthening a mode it already holds) take
+precedence over new requests: a conversion that cannot be granted
+immediately is queued ahead of all non-converting waiters, which is the
+standard treatment and prevents new arrivals from starving upgraders.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.errors import LockManagerError
+from repro.lockmgr.blocks import LockBlock
+from repro.lockmgr.modes import LockMode, compatible, supremum
+from repro.lockmgr.resources import ResourceId
+
+
+@dataclass
+class HeldLock:
+    """One application's grant on a resource (one lock structure)."""
+
+    app_id: int
+    mode: LockMode
+    #: Re-entrant acquisition count; releases are all-at-once (strict
+    #: two-phase locking) so this is informational.
+    count: int = 1
+    #: The 128 KB block the structure was allocated from.
+    block: Optional[LockBlock] = None
+
+
+@dataclass
+class Waiter:
+    """A queued lock request."""
+
+    app_id: int
+    mode: LockMode
+    #: DES event the requester is suspended on; succeeds on grant.
+    event: Any
+    #: Slot backing the request structure (None for conversions, which
+    #: reuse the already-held structure).
+    block: Optional[LockBlock] = None
+    converting: bool = False
+    enqueued_at: float = 0.0
+
+
+class LockObject:
+    """Lock state for one resource.
+
+    Holder modes are additionally aggregated into ``mode_counts`` (one
+    counter per lock mode) so compatibility checks cost O(#modes), not
+    O(#holders) -- popular share-locked rows can have dozens of holders.
+    All grant/upgrade/removal mutations must go through the methods here
+    so the counters stay consistent.
+    """
+
+    __slots__ = ("resource", "granted", "waiters", "mode_counts")
+
+    def __init__(self, resource: ResourceId) -> None:
+        self.resource = resource
+        self.granted: Dict[int, HeldLock] = {}
+        self.waiters: Deque[Waiter] = deque()
+        self.mode_counts = [0] * len(LockMode)
+
+    @property
+    def is_idle(self) -> bool:
+        """True when nobody holds or waits for this resource."""
+        return not self.granted and not self.waiters
+
+    def holder_mode(self, app_id: int) -> Optional[LockMode]:
+        """Mode ``app_id`` currently holds, or None."""
+        held = self.granted.get(app_id)
+        return held.mode if held else None
+
+    def others_compatible(self, app_id: int, mode: LockMode) -> bool:
+        """True when ``mode`` is compatible with every *other* holder."""
+        mask = mode._compat_mask  # type: ignore[attr-defined]
+        own = self.granted.get(app_id)
+        own_idx = own.mode._idx if own is not None else -1  # type: ignore[attr-defined]
+        for idx, count in enumerate(self.mode_counts):
+            if count and not (mask & (1 << idx)):
+                # An incompatible mode is held; tolerable only when the
+                # requester itself is its sole holder.
+                if idx == own_idx and count == 1:
+                    continue
+                return False
+        return True
+
+    # -- counted mutations ------------------------------------------------
+
+    def add_grant(self, app_id: int, mode: LockMode, block=None) -> HeldLock:
+        """Record a fresh grant (caller verified compatibility)."""
+        if app_id in self.granted:
+            raise LockManagerError(f"app {app_id} already holds {self.resource}")
+        held = HeldLock(app_id, mode, count=1, block=block)
+        self.granted[app_id] = held
+        self.mode_counts[mode._idx] += 1  # type: ignore[attr-defined]
+        return held
+
+    def upgrade_grant(self, app_id: int, mode: LockMode) -> HeldLock:
+        """Strengthen an existing grant to sup(held, requested)."""
+        held = self.granted.get(app_id)
+        if held is None:
+            raise LockManagerError(
+                f"app {app_id} holds nothing on {self.resource} to upgrade"
+            )
+        new_mode = supremum(held.mode, mode)
+        if new_mode is not held.mode:
+            self.mode_counts[held.mode._idx] -= 1  # type: ignore[attr-defined]
+            self.mode_counts[new_mode._idx] += 1  # type: ignore[attr-defined]
+            held.mode = new_mode
+        held.count += 1
+        return held
+
+    def remove_grant(self, app_id: int) -> HeldLock:
+        """Drop a holder entirely (release path)."""
+        held = self.granted.pop(app_id, None)
+        if held is None:
+            raise LockManagerError(f"app {app_id} does not hold {self.resource}")
+        self.mode_counts[held.mode._idx] -= 1  # type: ignore[attr-defined]
+        return held
+
+    def grant_now(self, waiter: Waiter) -> None:
+        """Move ``waiter`` into the granted set (caller checked compat)."""
+        if waiter.converting:
+            if waiter.app_id not in self.granted:
+                raise LockManagerError(
+                    f"conversion grant for {waiter.app_id} on {self.resource} "
+                    "but nothing is held"
+                )
+            self.upgrade_grant(waiter.app_id, waiter.mode)
+        else:
+            self.add_grant(waiter.app_id, waiter.mode, block=waiter.block)
+
+    def enqueue(self, waiter: Waiter) -> None:
+        """Queue a waiter; conversions go ahead of non-conversions."""
+        if waiter.converting:
+            insert_at = 0
+            for i, queued in enumerate(self.waiters):
+                if queued.converting:
+                    insert_at = i + 1
+                else:
+                    break
+            self.waiters.insert(insert_at, waiter)
+        else:
+            self.waiters.append(waiter)
+
+    def remove_waiter(self, app_id: int) -> List[Waiter]:
+        """Remove (and return) every queued waiter of ``app_id``."""
+        removed = [w for w in self.waiters if w.app_id == app_id]
+        if removed:
+            self.waiters = deque(w for w in self.waiters if w.app_id != app_id)
+        return removed
+
+    def pump(self) -> List[Waiter]:
+        """Grant queued waiters in FIFO order while compatible.
+
+        Stops at the first waiter that cannot be granted (strict FIFO:
+        later compatible waiters must not overtake it).  Returns the
+        waiters granted; the manager fires their events and updates its
+        accounting.
+        """
+        granted: List[Waiter] = []
+        while self.waiters:
+            waiter = self.waiters[0]
+            if not self.others_compatible(waiter.app_id, waiter.mode):
+                break
+            self.waiters.popleft()
+            self.grant_now(waiter)
+            granted.append(waiter)
+        return granted
+
+    def blockers_of(self, waiter: Waiter) -> List[int]:
+        """Applications that must act before ``waiter`` can be granted.
+
+        Used for deadlock detection: incompatible holders plus every
+        waiter queued ahead (strict FIFO means they gate the grant).
+        """
+        blockers = [
+            holder
+            for holder, held in self.granted.items()
+            if holder != waiter.app_id and not compatible(held.mode, waiter.mode)
+        ]
+        for queued in self.waiters:
+            if queued is waiter:
+                break
+            if queued.app_id != waiter.app_id:
+                blockers.append(queued.app_id)
+        return blockers
+
+    def check_invariants(self) -> None:
+        """Verify the mode counters match the granted set (tests)."""
+        expected = [0] * len(LockMode)
+        for held in self.granted.values():
+            expected[held.mode._idx] += 1  # type: ignore[attr-defined]
+        if expected != self.mode_counts:
+            raise LockManagerError(
+                f"mode counters {self.mode_counts} != granted modes {expected} "
+                f"on {self.resource}"
+            )
+
+    def __repr__(self) -> str:
+        holders = ", ".join(
+            f"{app}:{held.mode.name}" for app, held in sorted(self.granted.items())
+        )
+        queue = ", ".join(f"{w.app_id}:{w.mode.name}" for w in self.waiters)
+        return f"LockObject({self.resource}, granted=[{holders}], queue=[{queue}])"

@@ -1,0 +1,768 @@
+"""The lock manager: acquisition, convoys, escalation, adaptive MAXLOCKS.
+
+This is the substrate the self-tuning controller acts on.  It combines:
+
+* the 128 KB block chain for lock-structure storage (section 2.2),
+* multi-granularity row/table locking with FIFO convoys (Figure 3),
+* **synchronous growth**: when the chain has no free structure the
+  manager asks its ``growth_provider`` (the tuning policy) for more
+  blocks, allocated on demand from database overflow memory
+  (section 3.3),
+* **lock escalation**: triggered either when an application exceeds
+  ``lockPercentPerApplication`` of total lock memory (MAXLOCKS) or when
+  lock memory is full and cannot grow (section 2.2 / 3.5),
+* the ``refreshPeriodForAppPercent`` discipline: the MAXLOCKS fraction
+  is re-computed every 0x80 lock requests and on every resize
+  (section 3.5).
+
+Locking entry points are *generators*: client processes drive them with
+``yield from`` so multi-step waits (intent lock, then row lock, possibly
+an escalation wait in between) compose naturally in the DES.
+
+Deadlocks are detected at wait time via a wait-for graph; the requester
+is chosen as victim and sees :class:`repro.errors.DeadlockError`, which
+client code answers with a rollback -- mirroring DB2's deadlock
+detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.engine.des import Environment
+from repro.errors import DeadlockError, LockManagerError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.escalation import EscalationOutcome, EscalationStats
+from repro.lockmgr.locks import LockObject, Waiter
+from repro.lockmgr.modes import (
+    LockMode,
+    covers,
+    escalation_target_mode,
+    intent_mode_for_row,
+)
+from repro.lockmgr.resources import ResourceId, row_resource, table_resource
+from repro.units import LOCK_SIZE_BYTES
+
+#: Paper Table 1: lockPercentPerApplication refresh period, 0x80 requests.
+REFRESH_PERIOD_FOR_APP_PERCENT = 0x80
+
+
+class LockListFullError(LockManagerError):
+    """Lock memory is exhausted and escalation could not free any.
+
+    The analogue of DB2's SQL0912N; transactions receiving it roll back.
+    """
+
+
+class LockTimeoutError(LockManagerError):
+    """A lock wait exceeded the configured LOCKTIMEOUT.
+
+    The analogue of DB2's SQL0911N reason code 68; transactions
+    receiving it roll back.
+    """
+
+
+@dataclass
+class LockManagerStats:
+    """Aggregate counters exposed to metrics and tests."""
+
+    requests: int = 0
+    immediate_grants: int = 0
+    waits: int = 0
+    wait_time_total: float = 0.0
+    deadlocks: int = 0
+    lock_timeouts: int = 0
+    lock_list_full_errors: int = 0
+    sync_growth_blocks: int = 0
+    peak_used_slots: int = 0
+    escalations: EscalationStats = field(default_factory=EscalationStats)
+
+
+class LockManager:
+    """Multi-granularity lock manager over a :class:`LockBlockChain`.
+
+    Parameters
+    ----------
+    env:
+        The DES environment (supplies the clock and wait events).
+    chain:
+        Block chain providing lock-structure storage.
+    growth_provider:
+        Optional callback ``(blocks_wanted) -> blocks_granted`` invoked
+        when a request finds no free structure; the tuning policy uses
+        it to grow lock memory synchronously from overflow.
+    maxlocks_provider:
+        Optional callback ``() -> fraction`` returning the current
+        lockPercentPerApplication as a fraction in (0, 1]; consulted on
+        every resize and every ``refresh_period`` requests.
+    maxlocks_fraction:
+        Static fraction used when no provider is given (DB2's historic
+        default MAXLOCKS was 10 %, i.e. 0.10).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        chain: LockBlockChain,
+        growth_provider: Optional[Callable[[int], int]] = None,
+        maxlocks_provider: Optional[Callable[[], float]] = None,
+        maxlocks_fraction: float = 0.98,
+        refresh_period: int = REFRESH_PERIOD_FOR_APP_PERCENT,
+        lock_timeout_s: Optional[float] = None,
+    ) -> None:
+        if not 0.0 < maxlocks_fraction <= 1.0:
+            raise ValueError(
+                f"maxlocks_fraction must be in (0, 1], got {maxlocks_fraction}"
+            )
+        if refresh_period <= 0:
+            raise ValueError(f"refresh_period must be positive, got {refresh_period}")
+        if lock_timeout_s is not None and lock_timeout_s <= 0:
+            raise ValueError(
+                f"lock_timeout_s must be positive or None, got {lock_timeout_s}"
+            )
+        self.env = env
+        self.chain = chain
+        self.growth_provider = growth_provider
+        self.maxlocks_provider = maxlocks_provider
+        self.maxlocks_fraction = maxlocks_fraction
+        self.refresh_period = refresh_period
+        #: LOCKTIMEOUT: maximum lock-wait time before the request fails
+        #: with :class:`LockTimeoutError` (None = wait forever, DB2's
+        #: default of -1).
+        self.lock_timeout_s = lock_timeout_s
+        #: Applications that prefer escalation over lock-memory growth
+        #: (the paper's section 6.1 future-work extension; see
+        #: :meth:`set_escalation_preference`).
+        self._escalation_preferred: set = set()
+        #: Optional structured tracing (repro.lockmgr.tracing.LockTrace).
+        self.tracer = None
+        #: "immediate" (default): a cycle-closing request fails on the
+        #: spot.  "periodic": cycles persist until a
+        #: :class:`repro.lockmgr.detector.DeadlockDetector` pass picks a
+        #: victim (DB2's DLCHKTIME model).
+        self.deadlock_detection = "immediate"
+        self.stats = LockManagerStats()
+        self._objects: Dict[ResourceId, LockObject] = {}
+        self._app_held: Dict[int, Set[ResourceId]] = {}
+        self._app_row_tables: Dict[int, Dict[int, Set[ResourceId]]] = {}
+        self._app_slots: Dict[int, int] = {}
+        self._waiting_on: Dict[int, Tuple[LockObject, Waiter]] = {}
+        self._requests_since_refresh = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def used_slots(self) -> int:
+        return self.chain.used_slots
+
+    @property
+    def used_bytes(self) -> int:
+        return self.chain.used_slots * LOCK_SIZE_BYTES
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.chain.allocated_pages
+
+    def app_slots(self, app_id: int) -> int:
+        """Lock structures currently charged to ``app_id``."""
+        return self._app_slots.get(app_id, 0)
+
+    def app_row_lock_count(self, app_id: int) -> int:
+        """Row locks currently held by ``app_id`` (across all tables)."""
+        return sum(
+            len(rows) for rows in self._app_row_tables.get(app_id, {}).values()
+        )
+
+    def holder_mode(self, app_id: int, resource: ResourceId) -> Optional[LockMode]:
+        obj = self._objects.get(resource)
+        return obj.holder_mode(app_id) if obj else None
+
+    def waiting_apps(self) -> Set[int]:
+        return set(self._waiting_on)
+
+    def maxlocks_limit_slots(self) -> int:
+        """Structures one application may hold before escalation triggers."""
+        return max(1, int(self.maxlocks_fraction * self.chain.capacity_slots))
+
+    # -- MAXLOCKS refresh discipline (section 3.5) ---------------------------
+
+    def refresh_maxlocks(self) -> None:
+        """Re-read lockPercentPerApplication from the provider."""
+        if self.maxlocks_provider is not None:
+            fraction = float(self.maxlocks_provider())
+            if not 0.0 < fraction <= 1.0:
+                raise LockManagerError(
+                    f"maxlocks provider returned invalid fraction {fraction}"
+                )
+            self.maxlocks_fraction = fraction
+        self._requests_since_refresh = 0
+
+    def _tick_refresh(self) -> None:
+        self._requests_since_refresh += 1
+        if self._requests_since_refresh >= self.refresh_period:
+            self.refresh_maxlocks()
+
+    def _trace(
+        self, kind: str, app_id: int, detail: str = "", resource: str = ""
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(self.env.now, kind, app_id, detail, resource)
+
+    # -- public locking API ---------------------------------------------------
+
+    def lock_table(self, app_id: int, table_id: int, mode: LockMode):
+        """Generator: acquire a table lock (drive with ``yield from``)."""
+        yield from self._acquire(app_id, table_resource(table_id), mode)
+
+    def lock_row(self, app_id: int, table_id: int, row_id: int, mode: LockMode):
+        """Generator: acquire a row lock plus the covering intent lock.
+
+        If the application's table lock already covers the requested row
+        mode (e.g. after an escalation) no row structure is allocated.
+        """
+        table_res = table_resource(table_id)
+        intent = intent_mode_for_row(mode)
+        # Fast path: the covering intent lock is usually already held.
+        tobj = self._objects.get(table_res)
+        theld = tobj.granted.get(app_id) if tobj is not None else None
+        if theld is not None and covers(theld.mode, intent):
+            theld.count += 1
+            self.stats.requests += 1
+            self.stats.immediate_grants += 1
+            self._tick_refresh()
+            table_mode = theld.mode
+        else:
+            yield from self._acquire(app_id, table_res, intent)
+            table_mode = self.holder_mode(app_id, table_res)
+        if table_mode is not None and covers(table_mode, mode):
+            return
+        yield from self._acquire(app_id, row_resource(table_id, row_id), mode)
+
+    def release_all(self, app_id: int) -> int:
+        """Release every lock held or awaited by ``app_id`` (strict 2PL).
+
+        Returns the number of lock structures freed.  Called at commit
+        and at rollback; also cleans up queued waiters, so it is safe to
+        call after a :class:`DeadlockError`.
+        """
+        freed = 0
+        # Cancel queued waits first (rollback while enqueued elsewhere).
+        entry = self._waiting_on.pop(app_id, None)
+        if entry is not None:
+            obj, _waiter = entry
+            for waiter in obj.remove_waiter(app_id):
+                if waiter.block is not None:
+                    self.chain.free_slot(waiter.block)
+                    self._uncharge_slot(app_id)
+                    freed += 1
+            self._pump(obj)
+            self._gc_object(obj)
+        for resource in list(self._app_held.get(app_id, ())):
+            freed += self._release_one(app_id, resource)
+        self._app_held.pop(app_id, None)
+        self._app_row_tables.pop(app_id, None)
+        if self._app_slots.get(app_id, 0) != 0:
+            raise LockManagerError(
+                f"app {app_id} slot accounting nonzero after release_all: "
+                f"{self._app_slots[app_id]}"
+            )
+        self._app_slots.pop(app_id, None)
+        if self.tracer is not None and freed:
+            self._trace("release", app_id, f"{freed} structures")
+        return freed
+
+    # -- core acquisition ---------------------------------------------------------
+
+    def _acquire(self, app_id: int, resource: ResourceId, mode: LockMode):
+        self.stats.requests += 1
+        self._tick_refresh()
+        obj = self._objects.get(resource)
+        if obj is None:
+            obj = self._objects[resource] = LockObject(resource)
+        held = obj.granted.get(app_id)
+        if held is not None:
+            if covers(held.mode, mode):
+                held.count += 1
+                self.stats.immediate_grants += 1
+                return
+            yield from self._convert(app_id, obj, mode)
+            return
+        if (
+            self.chain.free_slots == 0
+            or self._app_slots.get(app_id, 0) + 1 > self.maxlocks_limit_slots()
+        ):
+            yield from self._ensure_slot_available(app_id, resource)
+            # Escalation inside _ensure_slot_available may have granted
+            # this application a covering table lock; re-check before
+            # allocating a structure.
+            if resource.is_row:
+                table_mode = self.holder_mode(app_id, resource.table())
+                if table_mode is not None and covers(table_mode, mode):
+                    self.stats.immediate_grants += 1
+                    return
+            obj = self._objects.get(resource)
+            if obj is None:  # released and garbage-collected while we waited
+                obj = self._objects[resource] = LockObject(resource)
+            held = obj.granted.get(app_id)
+            if held is not None:  # appeared while we escalated or waited
+                if covers(held.mode, mode):
+                    held.count += 1
+                    self.stats.immediate_grants += 1
+                    return
+                yield from self._convert(app_id, obj, mode)
+                return
+        block = self.chain.allocate_slot()
+        self._charge_slot(app_id)
+        if self.chain.used_slots > self.stats.peak_used_slots:
+            self.stats.peak_used_slots = self.chain.used_slots
+        if not obj.waiters and obj.others_compatible(app_id, mode):
+            obj.add_grant(app_id, mode, block=block)
+            self._note_held(app_id, resource)
+            self.stats.immediate_grants += 1
+            if self.tracer is not None:
+                self._trace("grant", app_id, f"{mode.name} {resource}", str(resource))
+            return
+        waiter = Waiter(
+            app_id, mode, self.env.event(), block=block,
+            converting=False, enqueued_at=self.env.now,
+        )
+        obj.enqueue(waiter)
+        yield from self._wait(app_id, obj, waiter)
+        self._note_held(app_id, resource)
+
+    def _convert(self, app_id: int, obj: LockObject, mode: LockMode):
+        """Strengthen an already-held lock (no new structure needed)."""
+        if obj.others_compatible(app_id, mode):
+            obj.upgrade_grant(app_id, mode)
+            self.stats.immediate_grants += 1
+            if self.tracer is not None:
+                self._trace("convert", app_id, f"-> {mode.name} {obj.resource}", str(obj.resource))
+            return
+        waiter = Waiter(
+            app_id, mode, self.env.event(), block=None,
+            converting=True, enqueued_at=self.env.now,
+        )
+        obj.enqueue(waiter)
+        yield from self._wait(app_id, obj, waiter)
+
+    def cancel_wait(self, app_id: int, exc: BaseException) -> bool:
+        """Withdraw ``app_id``'s pending request and fail it with ``exc``.
+
+        Used by the periodic deadlock detector to roll back a victim.
+        Returns False when the application is not currently waiting
+        (e.g. its request was granted between graph construction and
+        victim selection).
+        """
+        entry = self._waiting_on.pop(app_id, None)
+        if entry is None:
+            return False
+        obj, waiter = entry
+        obj.remove_waiter(app_id)
+        if waiter.block is not None:
+            self.chain.free_slot(waiter.block)
+            self._uncharge_slot(app_id)
+        self._pump(obj)
+        self._gc_object(obj)
+        self._trace("deadlock", app_id, f"victim on {obj.resource}", str(obj.resource))
+        waiter.event.fail(exc)
+        return True
+
+    def _wait(self, app_id: int, obj: LockObject, waiter: Waiter):
+        """Suspend until ``waiter`` is granted; detects deadlock first
+        (in immediate mode)."""
+        self._waiting_on[app_id] = (obj, waiter)
+        if self.deadlock_detection == "immediate" and self._creates_deadlock(
+            app_id, obj, waiter
+        ):
+            del self._waiting_on[app_id]
+            obj.remove_waiter(app_id)
+            if waiter.block is not None:
+                self.chain.free_slot(waiter.block)
+                self._uncharge_slot(app_id)
+            self._pump(obj)
+            self._gc_object(obj)
+            self.stats.deadlocks += 1
+            self._trace("deadlock", app_id, f"{waiter.mode.name} {obj.resource}", str(obj.resource))
+            raise DeadlockError(
+                f"app {app_id} requesting {waiter.mode.name} on {obj.resource} "
+                "would close a wait-for cycle"
+            )
+        self.stats.waits += 1
+        if self.tracer is not None:
+            self._trace("wait-begin", app_id, f"{waiter.mode.name} {obj.resource}", str(obj.resource))
+        started = self.env.now
+        if self.lock_timeout_s is None:
+            try:
+                yield waiter.event
+            except DeadlockError:
+                # asynchronous victimization by the periodic detector;
+                # cancel_wait already cleaned up the queue state
+                self.stats.wait_time_total += self.env.now - started
+                raise
+        else:
+            timeout = self.env.timeout(self.lock_timeout_s)
+            try:
+                yield self.env.any_of([waiter.event, timeout])
+            except DeadlockError:
+                self.stats.wait_time_total += self.env.now - started
+                raise
+            if not waiter.event.triggered:
+                # LOCKTIMEOUT expired first: withdraw the request.
+                self._waiting_on.pop(app_id, None)
+                obj.remove_waiter(app_id)
+                if waiter.block is not None:
+                    self.chain.free_slot(waiter.block)
+                    self._uncharge_slot(app_id)
+                self._pump(obj)
+                self._gc_object(obj)
+                self.stats.lock_timeouts += 1
+                self.stats.wait_time_total += self.env.now - started
+                self._trace("timeout", app_id, f"{waiter.mode.name} {obj.resource}", str(obj.resource))
+                raise LockTimeoutError(
+                    f"app {app_id} waited {self.lock_timeout_s}s for "
+                    f"{waiter.mode.name} on {obj.resource}"
+                )
+        self._waiting_on.pop(app_id, None)
+        self.stats.wait_time_total += self.env.now - started
+        if self.tracer is not None:
+            self._trace(
+                "wait-end", app_id,
+                f"{waiter.mode.name} {obj.resource} after "
+                f"{self.env.now - started:.3f}s",
+                str(obj.resource),
+            )
+
+    # -- grant pumping and release ----------------------------------------------
+
+    def _pump(self, obj: LockObject) -> None:
+        for waiter in obj.pump():
+            if not waiter.converting:
+                self._note_held(waiter.app_id, obj.resource)
+            waiter.event.succeed()
+
+    def _release_one(self, app_id: int, resource: ResourceId) -> int:
+        obj = self._objects.get(resource)
+        if obj is None:
+            raise LockManagerError(f"app {app_id} does not hold {resource}")
+        held = obj.remove_grant(app_id)
+        freed = 0
+        if held.block is not None:
+            self.chain.free_slot(held.block)
+            self._uncharge_slot(app_id)
+            freed = 1
+        self._forget_held(app_id, resource)
+        self._pump(obj)
+        self._gc_object(obj)
+        return freed
+
+    def _gc_object(self, obj: LockObject) -> None:
+        if obj.is_idle:
+            self._objects.pop(obj.resource, None)
+
+    # -- accounting helpers ---------------------------------------------------------
+
+    def _charge_slot(self, app_id: int) -> None:
+        self._app_slots[app_id] = self._app_slots.get(app_id, 0) + 1
+
+    def _uncharge_slot(self, app_id: int) -> None:
+        current = self._app_slots.get(app_id, 0)
+        if current <= 0:
+            raise LockManagerError(f"slot accounting underflow for app {app_id}")
+        self._app_slots[app_id] = current - 1
+
+    def _note_held(self, app_id: int, resource: ResourceId) -> None:
+        self._app_held.setdefault(app_id, set()).add(resource)
+        if resource.is_row:
+            tables = self._app_row_tables.setdefault(app_id, {})
+            tables.setdefault(resource.table_id, set()).add(resource)
+
+    def _forget_held(self, app_id: int, resource: ResourceId) -> None:
+        held_set = self._app_held.get(app_id)
+        if held_set is not None:
+            held_set.discard(resource)
+        if resource.is_row:
+            tables = self._app_row_tables.get(app_id)
+            if tables is not None:
+                rows = tables.get(resource.table_id)
+                if rows is not None:
+                    rows.discard(resource)
+                    if not rows:
+                        del tables[resource.table_id]
+
+    # -- deadlock detection ------------------------------------------------------------
+
+    def _creates_deadlock(self, app_id: int, obj: LockObject, waiter: Waiter) -> bool:
+        stack = list(obj.blockers_of(waiter))
+        seen: Set[int] = set()
+        while stack:
+            blocker = stack.pop()
+            if blocker == app_id:
+                return True
+            if blocker in seen:
+                continue
+            seen.add(blocker)
+            entry = self._waiting_on.get(blocker)
+            if entry is not None:
+                blocked_obj, blocked_waiter = entry
+                stack.extend(blocked_obj.blockers_of(blocked_waiter))
+        return False
+
+    # -- memory pressure: growth then escalation ------------------------------------------
+
+    def _ensure_slot_available(self, app_id: int, resource: ResourceId):
+        """Make room for one new lock structure for ``app_id``.
+
+        Order of remedies follows the paper: the adaptive MAXLOCKS limit
+        escalates the requesting application first (section 3.5); a full
+        chain then tries synchronous growth from overflow and finally a
+        memory-pressure escalation (section 3.3).
+        """
+        guard = 0
+        while self._app_slots.get(app_id, 0) + 1 > self.maxlocks_limit_slots():
+            guard += 1
+            if guard > 1 << 20:
+                raise LockManagerError("maxlocks escalation loop did not converge")
+            # Growing lock memory raises the per-application allowance
+            # (lockPercentPerApplication is recomputed on every resize,
+            # section 3.5), so growth is tried before escalating -- the
+            # algorithm's goal "is to avoid lock escalation at all times
+            # by adjusting the lock memory".
+            if self._try_sync_growth(for_app=app_id):
+                continue
+            freed = yield from self._escalate(app_id, "maxlocks", blocking=True)
+            if freed == 0:
+                self.stats.lock_list_full_errors += 1
+                self._trace("lock-list-full", app_id, "maxlocks path")
+                raise LockListFullError(
+                    f"app {app_id} exceeds lockPercentPerApplication "
+                    f"({self.maxlocks_fraction:.3f}) and escalation freed nothing"
+                )
+        guard = 0
+        while self.chain.free_slots == 0:
+            guard += 1
+            if guard > 1024:
+                raise LockManagerError("memory escalation loop did not converge")
+            if self._try_sync_growth(for_app=app_id):
+                break
+            victim = self._memory_escalation_victim(app_id)
+            if victim is None:
+                self.stats.lock_list_full_errors += 1
+                raise LockListFullError(
+                    "lock list full, growth denied and no escalatable application"
+                )
+            blocking = victim == app_id
+            freed = yield from self._escalate(victim, "memory", blocking=blocking)
+            if freed == 0:
+                self.stats.lock_list_full_errors += 1
+                raise LockListFullError(
+                    "lock list full and escalation freed nothing"
+                )
+
+    # -- section 6.1 extension: selective escalation ------------------------
+
+    def set_escalation_preference(self, app_id: int, preferred: bool) -> None:
+        """Mark an application as preferring escalation over growth.
+
+        Implements the paper's future-work idea of "application policies
+        to bias when lock escalations are a preferred strategy over lock
+        memory growth.  Selective lock escalation would reduce memory
+        requirements for locking providing more memory for caching and
+        sorting" (section 6.1).  A preferring application's memory
+        pressure is answered by escalating its own locks instead of
+        growing the shared lock memory.
+        """
+        if preferred:
+            self._escalation_preferred.add(app_id)
+        else:
+            self._escalation_preferred.discard(app_id)
+
+    def prefers_escalation(self, app_id: int) -> bool:
+        return app_id in self._escalation_preferred
+
+    def _try_sync_growth(self, for_app: Optional[int] = None) -> int:
+        if for_app is not None and for_app in self._escalation_preferred:
+            return 0  # this application asked to escalate instead
+        if self.growth_provider is None:
+            return 0
+        granted = int(self.growth_provider(1))
+        if granted < 0:
+            raise LockManagerError(f"growth provider returned {granted}")
+        if granted:
+            self.chain.add_blocks(granted)
+            self.stats.sync_growth_blocks += granted
+            self.refresh_maxlocks()  # resize => recompute (section 3.5)
+            if self.tracer is not None:
+                self._trace(
+                    "sync-growth", -1,
+                    f"+{granted} blocks -> {self.chain.block_count}",
+                )
+        return granted
+
+    def _memory_escalation_victim(self, requester: int) -> Optional[int]:
+        """Pick the application whose escalation frees the most memory.
+
+        Prefers the requester (DB2 escalates on behalf of the requesting
+        application); if the requester has no row locks, falls back to
+        the application holding the most row locks.
+        """
+        if self.app_row_lock_count(requester) > 0:
+            return requester
+        best_app, best_rows = None, 0
+        for app_id, tables in self._app_row_tables.items():
+            rows = sum(len(r) for r in tables.values())
+            if rows > best_rows:
+                best_app, best_rows = app_id, rows
+        return best_app
+
+    def _escalate(self, app_id: int, reason: str, blocking: bool):
+        """Generator: escalate ``app_id``'s biggest row-locked table.
+
+        Returns the number of lock structures freed (0 when no table
+        could be escalated).  With ``blocking`` the escalating
+        application may wait for the table lock; non-blocking escalation
+        (used for memory pressure on behalf of another application) only
+        succeeds when the table lock is grantable immediately.
+        """
+        tables = self._app_row_tables.get(app_id, {})
+        candidates = sorted(tables.items(), key=lambda kv: -len(kv[1]))
+        for table_id, rows in candidates:
+            if not rows:
+                continue
+            row_modes = []
+            for row in rows:
+                mode = self.holder_mode(app_id, row)
+                if mode is not None:
+                    row_modes.append(mode)
+            if not row_modes:
+                continue
+            target = escalation_target_mode(row_modes)
+            table_res = table_resource(table_id)
+            obj = self._objects.get(table_res)
+            if obj is None or app_id not in obj.granted:
+                raise LockManagerError(
+                    f"app {app_id} holds rows of table {table_id} without intent lock"
+                )
+            held = obj.granted[app_id]
+            waited = False
+            if covers(held.mode, target):
+                pass  # already covered (e.g. SIX -> S)
+            elif obj.others_compatible(app_id, target):
+                obj.upgrade_grant(app_id, target)
+            elif blocking:
+                waiter = Waiter(
+                    app_id, target, self.env.event(), block=None,
+                    converting=True, enqueued_at=self.env.now,
+                )
+                obj.enqueue(waiter)
+                yield from self._wait(app_id, obj, waiter)
+                waited = True
+            else:
+                continue  # table lock not grantable; try the next table
+            freed = self._release_table_rows(app_id, table_id)
+            self._trace(
+                "escalation", app_id,
+                f"table {table_id} -> {target.name} ({reason}), freed {freed}",
+                f"T{table_id}",
+            )
+            self.stats.escalations.record(
+                EscalationOutcome(
+                    time=self.env.now,
+                    app_id=app_id,
+                    table_id=table_id,
+                    reason=reason,
+                    target_mode=target,
+                    freed_slots=freed,
+                    waited=waited,
+                )
+            )
+            return freed
+        self.stats.escalations.failures += 1
+        return 0
+
+    def _release_table_rows(self, app_id: int, table_id: int) -> int:
+        rows = self._app_row_tables.get(app_id, {}).get(table_id, set())
+        freed = 0
+        for row in list(rows):
+            freed += self._release_one(app_id, row)
+        return freed
+
+    def release_read_lock(self, app_id: int, table_id: int, row_id: int) -> bool:
+        """Release one S row lock before commit (cursor stability).
+
+        Under DB2's CS isolation a share lock is released as soon as the
+        cursor moves off the row.  Only plain S row locks are eligible:
+        write locks (and S locks later upgraded for an update) are held
+        to commit, and a row covered by an escalated table lock has no
+        structure of its own to release.  Returns True when a lock was
+        released (or its re-entrancy count decremented).
+        """
+        resource = row_resource(table_id, row_id)
+        obj = self._objects.get(resource)
+        held = obj.granted.get(app_id) if obj is not None else None
+        if held is None:
+            return False
+        if held.mode is not LockMode.S:
+            return False  # upgraded to U/X: held to commit
+        if held.count > 1:
+            held.count -= 1
+            return True
+        self._release_one(app_id, resource)
+        self._trace("release", app_id, f"CS early release {resource}",
+                    str(resource))
+        return True
+
+    def lock_status(self, resource: ResourceId) -> str:
+        """One-line status of a resource: holders and queue, in order.
+
+        The Figure 3 situation renders as
+        ``T0.R7: granted[1:S, 2:S] queue[3:X, 4:S]``.
+        """
+        obj = self._objects.get(resource)
+        if obj is None or obj.is_idle:
+            return f"{resource}: unlocked"
+        holders = ", ".join(
+            f"{app}:{held.mode.name}" for app, held in sorted(obj.granted.items())
+        )
+        queue = ", ".join(f"{w.app_id}:{w.mode.name}" for w in obj.waiters)
+        return f"{resource}: granted[{holders}] queue[{queue}]"
+
+    def snapshot_report(self, max_resources: int = 20) -> str:
+        """A DBA-style point-in-time report of lock manager state."""
+        stats = self.stats
+        lines = [
+            f"lock memory: {self.chain.block_count} blocks, "
+            f"{self.chain.used_slots}/{self.chain.capacity_slots} structures "
+            f"({self.chain.free_fraction():.0%} free)",
+            f"maxlocks: {self.maxlocks_fraction:.1%} "
+            f"({self.maxlocks_limit_slots()} structures/application)",
+            f"requests={stats.requests} waits={stats.waits} "
+            f"deadlocks={stats.deadlocks} timeouts={stats.lock_timeouts} "
+            f"escalations={stats.escalations.count} "
+            f"(exclusive {stats.escalations.exclusive_count})",
+        ]
+        contended = [
+            obj for obj in self._objects.values() if obj.waiters
+        ]
+        contended.sort(key=lambda o: -len(o.waiters))
+        for obj in contended[:max_resources]:
+            lines.append("  " + self.lock_status(obj.resource))
+        if len(contended) > max_resources:
+            lines.append(f"  ... and {len(contended) - max_resources} more")
+        return "\n".join(lines)
+
+    def check_invariants(self) -> None:
+        """Cross-check manager accounting against the block chain."""
+        self.chain.check_invariants()
+        slot_total = sum(self._app_slots.values())
+        if slot_total != self.chain.used_slots:
+            raise LockManagerError(
+                f"app slot total {slot_total} != chain used {self.chain.used_slots}"
+            )
+        for app_id, resources in self._app_held.items():
+            for resource in resources:
+                obj = self._objects.get(resource)
+                if obj is None or app_id not in obj.granted:
+                    raise LockManagerError(
+                        f"app {app_id} claims {resource} but grant is missing"
+                    )

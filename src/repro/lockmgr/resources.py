@@ -1,0 +1,96 @@
+"""Lockable resource identifiers.
+
+Resources form a two-level hierarchy: tables contain rows.  A resource
+id is a small frozen dataclass usable as a dictionary key.  Page-level
+resources are included for completeness (some vendors escalate row to
+page before table; DB2 escalates straight to table locks, which is what
+the manager does by default).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+
+class ResourceKind(enum.Enum):
+    TABLE = "table"
+    PAGE = "page"
+    ROW = "row"
+
+
+@dataclass(frozen=True, eq=False)
+class ResourceId:
+    """Identifies one lockable object.
+
+    Hash and equality are computed once at construction (resource ids
+    are dictionary keys on the simulation's hottest path).
+    """
+
+    kind: ResourceKind
+    table_id: int
+    page_id: Optional[int] = None
+    row_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.table_id < 0:
+            raise ValueError(f"table_id must be non-negative, got {self.table_id}")
+        if self.kind is ResourceKind.TABLE:
+            if self.page_id is not None or self.row_id is not None:
+                raise ValueError("table resource must not carry page/row ids")
+        elif self.kind is ResourceKind.PAGE:
+            if self.page_id is None or self.row_id is not None:
+                raise ValueError("page resource needs page_id and no row_id")
+        elif self.kind is ResourceKind.ROW:
+            if self.row_id is None:
+                raise ValueError("row resource needs row_id")
+        key = (self.kind.value, self.table_id, self.page_id, self.row_id)
+        object.__setattr__(self, "_key", key)
+        object.__setattr__(self, "_hash", hash(key))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResourceId):
+            return NotImplemented
+        return self._key == other._key  # type: ignore[attr-defined]
+
+    @property
+    def is_table(self) -> bool:
+        return self.kind is ResourceKind.TABLE
+
+    @property
+    def is_row(self) -> bool:
+        return self.kind is ResourceKind.ROW
+
+    def table(self) -> "ResourceId":
+        """The table resource containing this resource."""
+        if self.is_table:
+            return self
+        return table_resource(self.table_id)
+
+    def __repr__(self) -> str:
+        if self.kind is ResourceKind.TABLE:
+            return f"T{self.table_id}"
+        if self.kind is ResourceKind.PAGE:
+            return f"T{self.table_id}.P{self.page_id}"
+        return f"T{self.table_id}.R{self.row_id}"
+
+
+@lru_cache(maxsize=None)
+def table_resource(table_id: int) -> ResourceId:
+    """Resource id for a whole table (cached; tables are few)."""
+    return ResourceId(ResourceKind.TABLE, table_id)
+
+
+def row_resource(table_id: int, row_id: int) -> ResourceId:
+    """Resource id for one row of a table."""
+    return ResourceId(ResourceKind.ROW, table_id, row_id=row_id)
+
+
+def page_resource(table_id: int, page_id: int) -> ResourceId:
+    """Resource id for one page of a table."""
+    return ResourceId(ResourceKind.PAGE, table_id, page_id=page_id)

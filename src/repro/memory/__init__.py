@@ -1,0 +1,28 @@
+"""Database shared-memory substrate.
+
+Models DB2's database shared memory set (paper section 2.1):
+
+* a fixed ``databaseMemory`` budget, accounted in 4 KB pages,
+* named memory heaps -- bufferpool, sort, hash join, package cache and
+  the lock list -- each categorised as a *performance* memory consumer
+  (PMC) or a *functional* memory consumer (FMC),
+* an **overflow area**: memory allocated to the database but not in use
+  by any consumer, which heaps may claim synchronously on demand,
+* the Self-Tuning Memory Manager (:class:`repro.memory.stmm.Stmm`) which
+  redistributes memory between heaps at each tuning interval and
+  restores the overflow area towards its goal size.
+"""
+
+from repro.memory.bufferpool import BufferpoolModel
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+
+__all__ = [
+    "BufferpoolModel",
+    "HeapCategory",
+    "MemoryHeap",
+    "DatabaseMemoryRegistry",
+    "Stmm",
+    "StmmConfig",
+]

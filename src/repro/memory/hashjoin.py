@@ -1,0 +1,112 @@
+"""Hash join heap model (the third PMC the paper names).
+
+Section 2.1 lists "bufferpools, sort, hash join, compiled statement
+cache" as STMM's performance-related memory consumers.  Like the sort
+heap (:mod:`repro.memory.sortheap`), the hash join heap needs a
+size-to-performance curve for STMM's donor/receiver ranking to mean
+anything:
+
+* a build side that fits in the heap joins at in-memory speed,
+* one that does not triggers a Grace hash join: both inputs are
+  partitioned to disk and re-read, recursively if a partition still
+  exceeds the heap.
+
+``marginal_benefit`` is the finite-difference time saved per extra
+page, evaluated at the workload's characteristic build size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.units import PAGE_SIZE_BYTES
+
+
+class HashJoinModel:
+    """Grace-hash-join cost model over a page-sized heap.
+
+    Parameters
+    ----------
+    row_bytes:
+        Bytes per build-side row (key + payload + bucket overhead).
+    cpu_time_per_row_s:
+        Hashing/probing cost per row per partitioning level.
+    io_time_per_page_s:
+        Cost to write + read back one spilled partition page.
+    probe_to_build_ratio:
+        Probe-input size relative to the build input (drives how much
+        data each extra partitioning level moves).
+    """
+
+    def __init__(
+        self,
+        row_bytes: int = 48,
+        cpu_time_per_row_s: float = 1.5e-7,
+        io_time_per_page_s: float = 0.002,
+        probe_to_build_ratio: float = 4.0,
+    ) -> None:
+        if row_bytes <= 0:
+            raise ConfigurationError(f"row_bytes must be positive, got {row_bytes}")
+        if cpu_time_per_row_s < 0 or io_time_per_page_s < 0:
+            raise ConfigurationError("costs must be non-negative")
+        if probe_to_build_ratio <= 0:
+            raise ConfigurationError(
+                f"probe_to_build_ratio must be positive, got {probe_to_build_ratio}"
+            )
+        self.row_bytes = row_bytes
+        self.cpu_time_per_row_s = cpu_time_per_row_s
+        self.io_time_per_page_s = io_time_per_page_s
+        self.probe_to_build_ratio = probe_to_build_ratio
+
+    def build_pages(self, build_rows: int) -> int:
+        """Pages occupied by the build side's hash table."""
+        if build_rows < 0:
+            raise ValueError(f"build_rows must be non-negative, got {build_rows}")
+        rows_per_page = max(1, PAGE_SIZE_BYTES // self.row_bytes)
+        return -(-build_rows // rows_per_page)
+
+    def partitioning_levels(self, build_rows: int, heap_pages: int) -> int:
+        """Recursive Grace partitioning levels (0 = fully in memory)."""
+        if heap_pages <= 0:
+            raise ValueError(f"heap_pages must be positive, got {heap_pages}")
+        build = self.build_pages(build_rows)
+        if build <= heap_pages:
+            return 0
+        fan_out = max(2, heap_pages - 1)
+        # each level divides partitions by the fan-out until they fit
+        return max(1, math.ceil(math.log(build / heap_pages, fan_out)))
+
+    def spilled_pages(self, build_rows: int, heap_pages: int) -> int:
+        """Build+probe pages written per partitioning level (the heap-
+        resident fraction of the build stays in memory)."""
+        build = self.build_pages(build_rows)
+        spilled_build = max(0, build - max(0, heap_pages))
+        if spilled_build == 0:
+            return 0
+        probe = int(build * self.probe_to_build_ratio)
+        return spilled_build + probe
+
+    def join_time(self, build_rows: int, heap_pages: int) -> float:
+        """Simulated duration of the join."""
+        if build_rows == 0:
+            return 0.0
+        levels = self.partitioning_levels(build_rows, heap_pages)
+        total_rows = build_rows * (1 + self.probe_to_build_ratio)
+        cpu = total_rows * self.cpu_time_per_row_s * (1 + levels)
+        io = (
+            self.spilled_pages(build_rows, heap_pages)
+            * self.io_time_per_page_s
+            * 2
+            * levels
+        )
+        return cpu + io
+
+    def marginal_benefit(self, heap_pages: int, typical_build_rows: int) -> float:
+        """Time saved per extra heap page for the characteristic join."""
+        if typical_build_rows <= 0:
+            return 0.0
+        step = max(1, heap_pages // 100)
+        slower = self.join_time(typical_build_rows, heap_pages)
+        faster = self.join_time(typical_build_rows, heap_pages + step)
+        return max(0.0, (slower - faster) / step)

@@ -1,0 +1,136 @@
+"""Memory heaps: the named consumers inside database shared memory.
+
+The paper divides memory consumers into two categories (section 2.1):
+
+* **PMC** -- performance-related memory consumers (bufferpools, sort,
+  hash join, package cache): more memory means better performance, less
+  memory means worse performance, but queries still succeed.
+* **FMC** -- functional memory consumers: without enough memory,
+  operations *fail*.  Lock memory is modelled as an FMC because lock
+  escalation "can have an effect on the system that is similar to denial
+  of service".
+
+A :class:`MemoryHeap` is pure accounting: it tracks its configured size
+in pages plus optional bounds, and exposes a marginal-benefit score used
+by the STMM donor/receiver selection.  The actual consumers (the lock
+manager, the bufferpool model) observe heap sizes through the registry.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.errors import ConfigurationError, MemoryAccountingError
+
+
+class HeapCategory(enum.Enum):
+    """STMM consumer category (paper section 2.1)."""
+
+    PMC = "performance"
+    FMC = "functional"
+
+
+class MemoryHeap:
+    """A named, page-accounted memory heap.
+
+    Parameters
+    ----------
+    name:
+        Heap identifier (e.g. ``"bufferpool"``, ``"locklist"``).
+    category:
+        PMC or FMC; STMM only *donates from* and *rebalances between*
+        PMC heaps -- FMC heaps are resized deterministically.
+    size_pages:
+        Initial configured size.
+    min_pages / max_pages:
+        Hard bounds enforced on every resize.  ``max_pages=None`` means
+        unbounded (the registry budget still applies).
+    benefit:
+        Optional callable returning the heap's current marginal benefit
+        per page; higher values mean the heap is needier.  Used by STMM
+        to pick donors (lowest benefit) and receivers (highest benefit).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        category: HeapCategory,
+        size_pages: int,
+        min_pages: int = 0,
+        max_pages: Optional[int] = None,
+        benefit: Optional[Callable[["MemoryHeap"], float]] = None,
+    ) -> None:
+        if size_pages < 0:
+            raise ConfigurationError(f"heap {name!r}: negative size {size_pages}")
+        if min_pages < 0:
+            raise ConfigurationError(f"heap {name!r}: negative min {min_pages}")
+        if max_pages is not None and max_pages < min_pages:
+            raise ConfigurationError(
+                f"heap {name!r}: max_pages {max_pages} < min_pages {min_pages}"
+            )
+        if size_pages < min_pages:
+            raise ConfigurationError(
+                f"heap {name!r}: size {size_pages} below min {min_pages}"
+            )
+        if max_pages is not None and size_pages > max_pages:
+            raise ConfigurationError(
+                f"heap {name!r}: size {size_pages} above max {max_pages}"
+            )
+        self.name = name
+        self.category = category
+        self._size_pages = size_pages
+        self.min_pages = min_pages
+        self.max_pages = max_pages
+        self._benefit = benefit
+
+    @property
+    def size_pages(self) -> int:
+        """Currently configured size in 4 KB pages."""
+        return self._size_pages
+
+    @property
+    def is_pmc(self) -> bool:
+        return self.category is HeapCategory.PMC
+
+    @property
+    def is_fmc(self) -> bool:
+        return self.category is HeapCategory.FMC
+
+    def benefit(self) -> float:
+        """Marginal benefit per additional page (0 when not modelled)."""
+        if self._benefit is None:
+            return 0.0
+        return float(self._benefit(self))
+
+    def headroom_pages(self) -> int:
+        """Pages this heap may still grow before hitting ``max_pages``."""
+        if self.max_pages is None:
+            return 2**62  # effectively unbounded; registry budget binds first
+        return self.max_pages - self._size_pages
+
+    def shrinkable_pages(self) -> int:
+        """Pages this heap may shed before hitting ``min_pages``."""
+        return self._size_pages - self.min_pages
+
+    def _apply_resize(self, delta_pages: int) -> None:
+        """Resize by ``delta_pages`` (registry-internal; bounds-checked)."""
+        new_size = self._size_pages + delta_pages
+        if new_size < self.min_pages:
+            raise MemoryAccountingError(
+                f"heap {self.name!r}: resize to {new_size} below min "
+                f"{self.min_pages}"
+            )
+        if self.max_pages is not None and new_size > self.max_pages:
+            raise MemoryAccountingError(
+                f"heap {self.name!r}: resize to {new_size} above max "
+                f"{self.max_pages}"
+            )
+        self._size_pages = new_size
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryHeap({self.name!r}, {self.category.name}, "
+            f"size={self._size_pages}p, min={self.min_pages}p, "
+            f"max={self.max_pages if self.max_pages is not None else 'inf'})"
+        )

@@ -1,0 +1,166 @@
+"""Operating-system memory and DATABASE_MEMORY self-tuning.
+
+STMM's outermost responsibility (paper section 2.1): "STMM will
+determine ... the total amount of memory allocated to a DB2 database,
+databaseMemory".  With ``DATABASE_MEMORY AUTOMATIC``, DB2 grows the
+database's share of physical RAM while the OS has free memory to spare
+and gives memory back when other processes need it.
+
+* :class:`OperatingSystemModel` tracks physical RAM and the demand of
+  everything that is not the database (a scriptable time series in
+  experiments).
+* :class:`DatabaseMemoryTuner` runs at each STMM interval: it targets a
+  fixed fraction of RAM left free for the OS, growing databaseMemory
+  (into the overflow area) when free memory exceeds the target band and
+  shrinking (releasing overflow, reclaiming from donor PMCs first if
+  needed) when the OS is under pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.memory.registry import DatabaseMemoryRegistry
+
+
+class OperatingSystemModel:
+    """Physical RAM shared between the database and everything else."""
+
+    def __init__(self, total_ram_pages: int, other_demand_pages: int = 0) -> None:
+        if total_ram_pages <= 0:
+            raise ConfigurationError(
+                f"total_ram_pages must be positive, got {total_ram_pages}"
+            )
+        if other_demand_pages < 0:
+            raise ConfigurationError("other_demand_pages must be non-negative")
+        self.total_ram_pages = total_ram_pages
+        self._other_demand_pages = other_demand_pages
+
+    @property
+    def other_demand_pages(self) -> int:
+        """RAM consumed by non-database processes."""
+        return self._other_demand_pages
+
+    def set_other_demand(self, pages: int) -> None:
+        """Scripted change in non-database memory pressure."""
+        if pages < 0:
+            raise ConfigurationError("other demand must be non-negative")
+        self._other_demand_pages = pages
+
+    def free_pages(self, database_total_pages: int) -> int:
+        """RAM left over for the OS at a given database size."""
+        return max(
+            0,
+            self.total_ram_pages
+            - self._other_demand_pages
+            - database_total_pages,
+        )
+
+
+@dataclass
+class DatabaseMemoryAction:
+    """One DATABASE_MEMORY adjustment, for observability and tests."""
+
+    time: float
+    kind: str  # "grow" or "shrink"
+    pages: int
+    new_total: int
+    os_free_before: int
+
+
+class DatabaseMemoryTuner:
+    """Adjusts databaseMemory towards an OS free-memory target band.
+
+    Parameters
+    ----------
+    registry / os_model:
+        The database memory set and the OS it lives on.
+    target_free_fraction:
+        Fraction of physical RAM to keep free for the OS.
+    band_fraction:
+        Hysteresis around the target (no action inside the band).
+    step_fraction:
+        Largest change per tuning interval, as a fraction of the
+        current databaseMemory (STMM moves memory gradually).
+    min_total_pages / max_total_pages:
+        Hard bounds on databaseMemory.
+    overflow_goal_fraction:
+        Keeps the registry's overflow goal proportional to the (now
+        changing) databaseMemory.
+    """
+
+    def __init__(
+        self,
+        registry: DatabaseMemoryRegistry,
+        os_model: OperatingSystemModel,
+        target_free_fraction: float = 0.10,
+        band_fraction: float = 0.02,
+        step_fraction: float = 0.05,
+        min_total_pages: int = 8_192,
+        max_total_pages: Optional[int] = None,
+        overflow_goal_fraction: float = 0.05,
+    ) -> None:
+        if not 0.0 < target_free_fraction < 1.0:
+            raise ConfigurationError(
+                f"target_free_fraction must be in (0, 1), got {target_free_fraction}"
+            )
+        if band_fraction < 0 or band_fraction >= target_free_fraction:
+            raise ConfigurationError(
+                "band_fraction must be non-negative and below the target"
+            )
+        if not 0.0 < step_fraction <= 1.0:
+            raise ConfigurationError(
+                f"step_fraction must be in (0, 1], got {step_fraction}"
+            )
+        if min_total_pages <= 0:
+            raise ConfigurationError("min_total_pages must be positive")
+        self.registry = registry
+        self.os_model = os_model
+        self.target_free_fraction = target_free_fraction
+        self.band_fraction = band_fraction
+        self.step_fraction = step_fraction
+        self.min_total_pages = min_total_pages
+        self.max_total_pages = max_total_pages or os_model.total_ram_pages
+        self.overflow_goal_fraction = overflow_goal_fraction
+        self.actions: List[DatabaseMemoryAction] = []
+
+    # -- the per-interval decision -------------------------------------------
+
+    def tune(self, now: float) -> Optional[DatabaseMemoryAction]:
+        """One adjustment pass; called by STMM each tuning interval."""
+        total = self.registry.total_pages
+        ram = self.os_model.total_ram_pages
+        free = self.os_model.free_pages(total)
+        target = int(self.target_free_fraction * ram)
+        band = int(self.band_fraction * ram)
+        step_cap = max(1, int(total * self.step_fraction))
+
+        action: Optional[DatabaseMemoryAction] = None
+        if free > target + band and total < self.max_total_pages:
+            grow = min(free - target, step_cap, self.max_total_pages - total)
+            if grow > 0:
+                new_total = self.registry.resize_total(total + grow)
+                action = DatabaseMemoryAction(now, "grow", grow, new_total, free)
+        elif free < target - band and total > self.min_total_pages:
+            want = min(target - free, step_cap, total - self.min_total_pages)
+            if want > 0:
+                # make the pages releasable: overflow first, donors second
+                deficit = want - self.registry.overflow_pages
+                if deficit > 0:
+                    self.registry.reclaim_from_donors(deficit)
+                new_total = self.registry.resize_total(
+                    total - want, partial=True
+                )
+                released = total - new_total
+                if released > 0:
+                    action = DatabaseMemoryAction(
+                        now, "shrink", released, new_total, free
+                    )
+        if action is not None:
+            self.registry.overflow_goal_pages = max(
+                1, int(self.overflow_goal_fraction * self.registry.total_pages)
+            )
+            self.actions.append(action)
+        return action

@@ -1,0 +1,89 @@
+"""Package cache (compiled statement cache) model.
+
+The fourth PMC the paper names in section 2.1.  A statement whose
+compiled plan is cached executes without recompilation; a miss pays a
+compile cost.  Cache effectiveness follows the same concave curve shape
+as the bufferpool, but over the *statement* population instead of data
+pages: a handful of hot statements dominate OLTP, so a small cache
+already captures most of the benefit and the package cache is usually a
+willing STMM donor -- unless the workload churns through distinct
+statement texts.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class PackageCacheModel:
+    """Statement-cache hit curve plus compile-cost helper.
+
+    Parameters
+    ----------
+    pages_per_statement:
+        Cache pages one compiled plan occupies.
+    distinct_statements:
+        Working set of distinct statement texts the workload issues.
+    zipf_skew:
+        Skew of statement popularity in (0, 1): higher means fewer
+        statements dominate (OLTP is very skewed; ad-hoc DSS is not).
+    compile_time_s:
+        Cost of compiling a statement on a cache miss.
+    """
+
+    def __init__(
+        self,
+        pages_per_statement: int = 8,
+        distinct_statements: int = 500,
+        zipf_skew: float = 0.8,
+        compile_time_s: float = 0.01,
+    ) -> None:
+        if pages_per_statement <= 0:
+            raise ConfigurationError(
+                f"pages_per_statement must be positive, got {pages_per_statement}"
+            )
+        if distinct_statements <= 0:
+            raise ConfigurationError(
+                f"distinct_statements must be positive, got {distinct_statements}"
+            )
+        if not 0.0 < zipf_skew < 1.0:
+            raise ConfigurationError(f"zipf_skew must be in (0, 1), got {zipf_skew}")
+        if compile_time_s < 0:
+            raise ConfigurationError("compile_time_s must be non-negative")
+        self.pages_per_statement = pages_per_statement
+        self.distinct_statements = distinct_statements
+        self.zipf_skew = zipf_skew
+        self.compile_time_s = compile_time_s
+
+    def cached_statements(self, cache_pages: int) -> int:
+        """Plans the cache can hold at the given size."""
+        if cache_pages < 0:
+            raise ValueError(f"cache_pages must be non-negative, got {cache_pages}")
+        return min(
+            self.distinct_statements, cache_pages // self.pages_per_statement
+        )
+
+    def hit_ratio(self, cache_pages: int) -> float:
+        """Expected plan-cache hit ratio.
+
+        With popularity skew ``s``, caching the hottest fraction ``f``
+        of statements captures roughly ``f^(1-s)`` of executions (the
+        standard Zipf-coverage approximation); s -> 1 means a tiny cache
+        already hits almost always.
+        """
+        cached = self.cached_statements(cache_pages)
+        if cached == 0:
+            return 0.0
+        fraction = cached / self.distinct_statements
+        return fraction ** (1.0 - self.zipf_skew)
+
+    def compile_overhead_s(self, cache_pages: int) -> float:
+        """Expected compile time per statement execution."""
+        return (1.0 - self.hit_ratio(cache_pages)) * self.compile_time_s
+
+    def marginal_benefit(self, cache_pages: int) -> float:
+        """Compile time saved per extra cache page."""
+        step = max(1, self.pages_per_statement)
+        slower = self.compile_overhead_s(cache_pages)
+        faster = self.compile_overhead_s(cache_pages + step)
+        return max(0.0, (slower - faster) / step)

@@ -1,0 +1,110 @@
+"""Memory units and conversion helpers shared across the library.
+
+The paper accounts lock memory the way DB2 does:
+
+* the LOCKLIST configuration parameter is expressed in 4 KB pages,
+* lock memory is physically allocated in 128 KB blocks (32 pages each),
+* each 128 KB block stores "approximately 2000" lock structures.
+
+We fix ``LOCK_SIZE_BYTES = 64`` which yields exactly 2048 lock structures
+per block, matching the paper's approximation.  All memory bookkeeping in
+the library is done in 4 KB pages (integers); helper functions convert
+between bytes, pages, blocks and lock-structure counts.
+"""
+
+from __future__ import annotations
+
+PAGE_SIZE_BYTES = 4 * 1024
+"""Size of one memory page (DB2 LOCKLIST is counted in 4 KB pages)."""
+
+BLOCK_SIZE_BYTES = 128 * 1024
+"""Lock memory is allocated in 128 KB blocks (paper section 2.2)."""
+
+PAGES_PER_BLOCK = BLOCK_SIZE_BYTES // PAGE_SIZE_BYTES
+"""32 pages of LOCKLIST memory per 128 KB allocation."""
+
+LOCK_SIZE_BYTES = 64
+"""Size of a single lock structure.
+
+128 KB / 64 B = 2048 locks per block -- the paper says each block holds
+"approximately 2000 locks".
+"""
+
+LOCKS_PER_BLOCK = BLOCK_SIZE_BYTES // LOCK_SIZE_BYTES
+
+MB = 1024 * 1024
+KB = 1024
+
+
+def bytes_to_pages(num_bytes: int) -> int:
+    """Convert a byte count to whole pages, rounding up."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    return -(-num_bytes // PAGE_SIZE_BYTES)
+
+
+def pages_to_bytes(pages: int) -> int:
+    """Convert a page count to bytes."""
+    if pages < 0:
+        raise ValueError(f"page count must be non-negative, got {pages}")
+    return pages * PAGE_SIZE_BYTES
+
+
+def pages_to_blocks(pages: int) -> int:
+    """Convert a page count to whole 128 KB blocks, rounding up."""
+    if pages < 0:
+        raise ValueError(f"page count must be non-negative, got {pages}")
+    return -(-pages // PAGES_PER_BLOCK)
+
+
+def blocks_to_pages(blocks: int) -> int:
+    """Convert a 128 KB block count to pages."""
+    if blocks < 0:
+        raise ValueError(f"block count must be non-negative, got {blocks}")
+    return blocks * PAGES_PER_BLOCK
+
+
+def blocks_to_bytes(blocks: int) -> int:
+    """Convert a 128 KB block count to bytes."""
+    return blocks * BLOCK_SIZE_BYTES
+
+
+def locks_to_blocks(locks: int) -> int:
+    """Number of whole blocks needed to store ``locks`` lock structures."""
+    if locks < 0:
+        raise ValueError(f"lock count must be non-negative, got {locks}")
+    return -(-locks // LOCKS_PER_BLOCK)
+
+
+def blocks_to_locks(blocks: int) -> int:
+    """Lock-structure capacity of ``blocks`` 128 KB blocks."""
+    if blocks < 0:
+        raise ValueError(f"block count must be non-negative, got {blocks}")
+    return blocks * LOCKS_PER_BLOCK
+
+
+def round_pages_to_blocks(pages: int) -> int:
+    """Round a page count up to an integral number of blocks, in pages.
+
+    The paper requires that "all increments and decrements to the lock
+    memory will be performed in integral units of lock memory blocks"
+    (section 3.2).
+    """
+    return blocks_to_pages(pages_to_blocks(pages))
+
+
+def fmt_bytes(num_bytes: float) -> str:
+    """Human-readable rendering of a byte count (e.g. ``'8.0MB'``)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if abs(value) < 1024.0 or unit == "TB":
+            if unit == "B":
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def fmt_pages(pages: int) -> str:
+    """Human-readable rendering of a page count (pages plus bytes)."""
+    return f"{pages}p ({fmt_bytes(pages_to_bytes(pages))})"

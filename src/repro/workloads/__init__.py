@@ -1,0 +1,30 @@
+"""Workload generators driving the simulated database.
+
+* :mod:`repro.workloads.schedule` -- stepwise client-count schedules
+  (ramp, surge, step-down),
+* :mod:`repro.workloads.oltp` -- closed-loop OLTP client populations
+  (the paper's TPCC-like side),
+* :mod:`repro.workloads.dss` -- the reporting query of Figure 11 with
+  massive row-locking requirements (the TPCH-like side),
+* :mod:`repro.workloads.batch` -- batch update jobs (section 3.4's
+  motivation for time-limited lock-memory peaks).
+"""
+
+from repro.workloads.batch import BatchUpdateJob
+from repro.workloads.dss import ReportingQuery
+from repro.workloads.oltp import OltpWorkload
+from repro.workloads.replay import LockDemandReplay
+from repro.workloads.schedule import ClientSchedule
+from repro.workloads.tpcc import TpccMix, TpccWorkload
+from repro.workloads.tpch import TpchQueryStream
+
+__all__ = [
+    "BatchUpdateJob",
+    "ReportingQuery",
+    "OltpWorkload",
+    "LockDemandReplay",
+    "ClientSchedule",
+    "TpccMix",
+    "TpccWorkload",
+    "TpchQueryStream",
+]

@@ -1,0 +1,102 @@
+"""Batch update jobs.
+
+Section 3.4 motivates asynchronous shrinking with "occasional batch
+processing of updates, inserts and deletes (rollout)" that creates a
+time-limited need for a very large number of locks.  A
+:class:`BatchUpdateJob` models exactly that: a single application takes
+X locks on a contiguous range of rows, commits, and disconnects.  The
+self-tuning experiments use it to produce lock-memory peaks that later
+relax via delta_reduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import DeadlockError
+from repro.lockmgr.manager import LockListFullError
+from repro.lockmgr.modes import LockMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+
+@dataclass
+class BatchJobResult:
+    """Outcome of one batch update job."""
+
+    started_at: float
+    finished_at: float
+    rows_updated: int
+    completed: bool
+    escalated: bool
+    error: Optional[str] = None
+
+
+class BatchUpdateJob:
+    """A bulk update: X row locks on ``row_count`` rows of one table."""
+
+    #: Rows updated per DES work event.
+    BATCH = 256
+
+    def __init__(
+        self,
+        database: "Database",
+        start_time_s: float,
+        row_count: int,
+        table_id: int = 2_000,
+        duration_s: float = 20.0,
+    ) -> None:
+        if row_count <= 0:
+            raise ValueError(f"row_count must be positive, got {row_count}")
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be non-negative, got {duration_s}")
+        self.database = database
+        self.start_time_s = start_time_s
+        self.row_count = row_count
+        self.table_id = table_id
+        self.duration_s = duration_s
+        self.result: Optional[BatchJobResult] = None
+
+    def start(self) -> None:
+        self.database.env.process(self.run())
+
+    def run(self):
+        env = self.database.env
+        lock_manager = self.database.lock_manager
+        delay = self.start_time_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        app_id = self.database.next_app_id()
+        self.database.register_application(app_id)
+        started = env.now
+        escalations_before = lock_manager.stats.escalations.count
+        rows = 0
+        error: Optional[str] = None
+        completed = False
+        try:
+            batch_delay = self.duration_s * self.BATCH / self.row_count
+            for row_id in range(self.row_count):
+                yield from lock_manager.lock_row(
+                    app_id, self.table_id, row_id, LockMode.X
+                )
+                rows += 1
+                if (row_id + 1) % self.BATCH == 0 and batch_delay > 0:
+                    yield env.timeout(batch_delay)
+            completed = True
+            self.database.note_commit()
+        except (DeadlockError, LockListFullError) as exc:
+            error = type(exc).__name__
+            self.database.note_rollback()
+        finally:
+            lock_manager.release_all(app_id)
+            self.database.deregister_application(app_id)
+            self.result = BatchJobResult(
+                started_at=started,
+                finished_at=env.now,
+                rows_updated=rows,
+                completed=completed,
+                escalated=lock_manager.stats.escalations.count > escalations_before,
+                error=error,
+            )

@@ -1,0 +1,143 @@
+"""Scripted lock-demand replay.
+
+Drives a database's lock manager so that the number of held lock
+structures follows a prescribed ``(time, target_locks)`` trace --
+useful for controller studies where the exact demand trajectory matters
+more than a realistic transaction mix (the section 4 worked example is
+one such trace; recorded production traces would be another).
+
+Because the lock manager releases locks strictly at end of transaction
+(strict two-phase locking), partial release is implemented with a pool
+of *holder applications*: demand increases spawn a new holder that
+acquires a batch of row locks and sits on them; demand decreases commit
+whole holders (newest first).  The achieved lock count therefore tracks
+the target with a granularity of ``batch_size`` structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError, DeadlockError
+from repro.lockmgr.manager import LockListFullError
+from repro.lockmgr.modes import LockMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+
+@dataclass
+class _Holder:
+    """One holder application and the rows it pins."""
+
+    app_id: int
+    locks: int
+
+
+class LockDemandReplay:
+    """Replays a lock-demand trace through the real lock manager.
+
+    Parameters
+    ----------
+    database:
+        The database whose lock manager is driven.
+    trace:
+        ``(time_s, target_locks)`` points with strictly increasing
+        times.  Between points the demand holds its last value.
+    table_id:
+        Base table id for the replay's private row namespace; each
+        holder locks rows of ``table_id + holder_index`` so escalations
+        of one holder (if the policy forces any) do not entangle the
+        others.
+    batch_size:
+        Lock structures per holder application (the replay's resolution).
+    mode:
+        Row lock mode the holders take (S by default).
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        trace: Sequence[Tuple[float, int]],
+        table_id: int = 5_000,
+        batch_size: int = 1_024,
+        mode: LockMode = LockMode.S,
+    ) -> None:
+        if not trace:
+            raise ConfigurationError("replay trace must not be empty")
+        previous = -1.0
+        for time_s, target in trace:
+            if time_s <= previous:
+                raise ConfigurationError(
+                    f"trace times must be strictly increasing, got {time_s}"
+                )
+            if target < 0:
+                raise ConfigurationError(f"negative lock target {target}")
+            previous = time_s
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be positive, got {batch_size}")
+        self.database = database
+        self.trace = [(float(t), int(n)) for t, n in trace]
+        self.table_id = table_id
+        self.batch_size = batch_size
+        self.mode = mode
+        self._holders: List[_Holder] = []
+        self._next_table = table_id
+        #: Targets that could not be fully reached (memory pressure).
+        self.shortfalls = 0
+
+    @property
+    def held_locks(self) -> int:
+        """Row-lock structures currently pinned by the replay."""
+        return sum(h.locks for h in self._holders)
+
+    def start(self) -> None:
+        """Register the replay's DES process."""
+        self.database.env.process(self.run())
+
+    def run(self):
+        env = self.database.env
+        for time_s, target in self.trace:
+            delay = time_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            yield from self._adjust_to(target)
+
+    def _adjust_to(self, target: int):
+        # release whole holders (newest first) while we are above target
+        while self._holders and self.held_locks - self._holders[-1].locks >= target:
+            holder = self._holders.pop()
+            self.database.lock_manager.release_all(holder.app_id)
+            self.database.deregister_application(holder.app_id)
+        # spawn holders while we are below target
+        while self.held_locks + self.batch_size <= target or (
+            self.held_locks < target
+            and target - self.held_locks < self.batch_size
+        ):
+            want = min(self.batch_size, target - self.held_locks)
+            holder = yield from self._spawn_holder(want)
+            if holder is None:
+                self.shortfalls += 1
+                return
+            self._holders.append(holder)
+
+    def _spawn_holder(self, locks: int):
+        database = self.database
+        app_id = database.next_app_id()
+        database.register_application(app_id)
+        table = self._next_table
+        self._next_table += 1
+        acquired = 0
+        try:
+            for row in range(locks):
+                yield from database.lock_manager.lock_row(
+                    app_id, table, row, self.mode
+                )
+                acquired += 1
+        except (DeadlockError, LockListFullError):
+            database.lock_manager.release_all(app_id)
+            database.deregister_application(app_id)
+            return None
+        # the intent lock also occupies a structure; report row locks
+        return _Holder(app_id=app_id, locks=acquired)

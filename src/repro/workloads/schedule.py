@@ -1,0 +1,99 @@
+"""Stepwise client-count schedules.
+
+A :class:`ClientSchedule` is a list of ``(time, client_count)`` steps.
+Driven against a :class:`repro.engine.client.ClientPool` it produces the
+load trajectories of the paper's experiments: the 1-to-130 ramp of
+Figure 9, the 50-to-130 surge of Figure 10 and the 130-to-30 step-down
+of Figure 12.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.engine.client import ClientPool
+from repro.errors import ConfigurationError
+
+
+class ClientSchedule:
+    """An ordered sequence of ``(time_s, client_count)`` steps."""
+
+    def __init__(self, steps: Sequence[Tuple[float, int]]) -> None:
+        if not steps:
+            raise ConfigurationError("a schedule needs at least one step")
+        previous = -1.0
+        for time_s, count in steps:
+            if time_s < 0:
+                raise ConfigurationError(f"negative step time {time_s}")
+            if time_s <= previous:
+                raise ConfigurationError(
+                    f"step times must be strictly increasing, got {time_s} "
+                    f"after {previous}"
+                )
+            if count < 0:
+                raise ConfigurationError(f"negative client count {count}")
+            previous = time_s
+        self.steps: List[Tuple[float, int]] = [(float(t), int(c)) for t, c in steps]
+
+    @classmethod
+    def constant(cls, count: int, start: float = 0.0) -> "ClientSchedule":
+        """All ``count`` clients from ``start`` onwards."""
+        return cls([(start, count)])
+
+    @classmethod
+    def step(
+        cls, before: int, after: int, at: float, start: float = 0.0
+    ) -> "ClientSchedule":
+        """``before`` clients from ``start``, then ``after`` from ``at``."""
+        if at <= start:
+            raise ConfigurationError(f"step time {at} must be after start {start}")
+        return cls([(start, before), (at, after)])
+
+    @classmethod
+    def ramp(
+        cls,
+        start_count: int,
+        end_count: int,
+        start: float,
+        duration: float,
+        steps: int = 10,
+    ) -> "ClientSchedule":
+        """Linear ramp between two client counts over ``duration``."""
+        if steps <= 0:
+            raise ConfigurationError(f"steps must be positive, got {steps}")
+        if duration <= 0:
+            raise ConfigurationError(f"duration must be positive, got {duration}")
+        points: List[Tuple[float, int]] = []
+        for i in range(steps + 1):
+            t = start + duration * i / steps
+            count = round(start_count + (end_count - start_count) * i / steps)
+            points.append((t, count))
+        # Collapse duplicate counts to keep the schedule minimal.
+        collapsed: List[Tuple[float, int]] = []
+        for t, c in points:
+            if not collapsed or collapsed[-1][1] != c:
+                collapsed.append((t, c))
+        return cls(collapsed)
+
+    def count_at(self, time_s: float) -> int:
+        """Scheduled client count at ``time_s`` (0 before the first step)."""
+        count = 0
+        for t, c in self.steps:
+            if t <= time_s:
+                count = c
+            else:
+                break
+        return count
+
+    @property
+    def end_time(self) -> float:
+        return self.steps[-1][0]
+
+    def drive(self, pool: ClientPool):
+        """DES process applying the schedule to ``pool``."""
+        env = pool.database.env
+        for time_s, count in self.steps:
+            delay = time_s - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            pool.set_target(count)

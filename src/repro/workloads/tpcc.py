@@ -1,0 +1,268 @@
+"""A TPC-C-like OLTP transaction model.
+
+The paper's OLTP side is "a combined TPCC and TPCH schema" driven by up
+to 130 clients.  The generic :class:`~repro.engine.transactions.TransactionMix`
+captures aggregate lock pressure; this module adds structure: the five
+TPC-C transaction profiles with their distinct table footprints, read/
+write shapes and standard mix weights, over the nine TPC-C tables.
+
+The goal is *lock-demand* fidelity, not benchmark-kit fidelity: each
+profile describes which tables it touches, how many rows per table, and
+with what lock modes -- the quantities that drive the lock memory
+controller.  Monetary columns, think-time keying rules and the like are
+out of scope.
+
+Usage::
+
+    from repro.workloads.tpcc import TpccWorkload, STANDARD_WEIGHTS
+
+    workload = TpccWorkload(db, ClientSchedule.constant(130))
+    workload.start()
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.client import ClientPool
+from repro.engine.transactions import RowAccess
+from repro.errors import ConfigurationError
+from repro.lockmgr.modes import LockMode
+from repro.workloads.schedule import ClientSchedule
+
+
+class TpccTable:
+    """The nine TPC-C tables, as stable table ids."""
+
+    WAREHOUSE = 0
+    DISTRICT = 1
+    CUSTOMER = 2
+    HISTORY = 3
+    NEW_ORDER = 4
+    ORDERS = 5
+    ORDER_LINE = 6
+    ITEM = 7
+    STOCK = 8
+
+    #: Approximate cardinalities per warehouse (TPC-C clause 1.2),
+    #: capped for simulation-friendliness.
+    CARDINALITIES: Dict[int, int] = {
+        WAREHOUSE: 1,
+        DISTRICT: 10,
+        CUSTOMER: 30_000,
+        HISTORY: 30_000,
+        NEW_ORDER: 9_000,
+        ORDERS: 30_000,
+        ORDER_LINE: 300_000,
+        ITEM: 100_000,
+        STOCK: 100_000,
+    }
+
+    NAMES: Dict[int, str] = {
+        WAREHOUSE: "warehouse",
+        DISTRICT: "district",
+        CUSTOMER: "customer",
+        HISTORY: "history",
+        NEW_ORDER: "new_order",
+        ORDERS: "orders",
+        ORDER_LINE: "order_line",
+        ITEM: "item",
+        STOCK: "stock",
+    }
+
+
+@dataclass(frozen=True)
+class TableTouch:
+    """One table's footprint inside a transaction profile."""
+
+    table_id: int
+    #: (min_rows, max_rows) touched, drawn uniformly.
+    rows: Tuple[int, int]
+    mode: LockMode
+
+    def __post_init__(self) -> None:
+        lo, hi = self.rows
+        if not 0 <= lo <= hi:
+            raise ConfigurationError(f"invalid row range {self.rows}")
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """One TPC-C transaction type as a lock-demand shape."""
+
+    name: str
+    touches: Sequence[TableTouch]
+
+    def draw_accesses(
+        self, rng: random.Random, warehouses: int
+    ) -> List[RowAccess]:
+        """Concrete row accesses for one execution."""
+        accesses: List[RowAccess] = []
+        warehouse = rng.randrange(max(1, warehouses))
+        for touch in self.touches:
+            cardinality = TpccTable.CARDINALITIES[touch.table_id]
+            lo, hi = touch.rows
+            count = rng.randint(lo, hi)
+            base = warehouse * cardinality
+            for _ in range(count):
+                row = base + rng.randrange(cardinality)
+                accesses.append(RowAccess(touch.table_id, row, touch.mode))
+        return accesses
+
+
+#: The five TPC-C profiles.  Row counts follow clause 2 footprints
+#: (new-order touches 1 district, 1 customer, ~10 items/stock rows and
+#: inserts ~10 order lines; delivery processes 10 districts' orders;
+#: stock-level reads ~200 order lines and the matching stock rows).
+NEW_ORDER = TransactionProfile(
+    "new-order",
+    touches=(
+        TableTouch(TpccTable.WAREHOUSE, (1, 1), LockMode.S),
+        TableTouch(TpccTable.DISTRICT, (1, 1), LockMode.X),
+        TableTouch(TpccTable.CUSTOMER, (1, 1), LockMode.S),
+        TableTouch(TpccTable.ITEM, (5, 15), LockMode.S),
+        TableTouch(TpccTable.STOCK, (5, 15), LockMode.X),
+        TableTouch(TpccTable.ORDERS, (1, 1), LockMode.X),
+        TableTouch(TpccTable.NEW_ORDER, (1, 1), LockMode.X),
+        TableTouch(TpccTable.ORDER_LINE, (5, 15), LockMode.X),
+    ),
+)
+
+PAYMENT = TransactionProfile(
+    "payment",
+    touches=(
+        TableTouch(TpccTable.WAREHOUSE, (1, 1), LockMode.X),
+        TableTouch(TpccTable.DISTRICT, (1, 1), LockMode.X),
+        TableTouch(TpccTable.CUSTOMER, (1, 1), LockMode.X),
+        TableTouch(TpccTable.HISTORY, (1, 1), LockMode.X),
+    ),
+)
+
+ORDER_STATUS = TransactionProfile(
+    "order-status",
+    touches=(
+        TableTouch(TpccTable.CUSTOMER, (1, 1), LockMode.S),
+        TableTouch(TpccTable.ORDERS, (1, 1), LockMode.S),
+        TableTouch(TpccTable.ORDER_LINE, (5, 15), LockMode.S),
+    ),
+)
+
+DELIVERY = TransactionProfile(
+    "delivery",
+    touches=(
+        TableTouch(TpccTable.NEW_ORDER, (10, 10), LockMode.X),
+        TableTouch(TpccTable.ORDERS, (10, 10), LockMode.X),
+        TableTouch(TpccTable.ORDER_LINE, (100, 150), LockMode.X),
+        TableTouch(TpccTable.CUSTOMER, (10, 10), LockMode.X),
+    ),
+)
+
+STOCK_LEVEL = TransactionProfile(
+    "stock-level",
+    touches=(
+        TableTouch(TpccTable.DISTRICT, (1, 1), LockMode.S),
+        TableTouch(TpccTable.ORDER_LINE, (180, 220), LockMode.S),
+        TableTouch(TpccTable.STOCK, (100, 180), LockMode.S),
+    ),
+)
+
+#: TPC-C clause 5.2.3 minimum mix.
+STANDARD_WEIGHTS: Dict[TransactionProfile, float] = {
+    NEW_ORDER: 0.45,
+    PAYMENT: 0.43,
+    ORDER_STATUS: 0.04,
+    DELIVERY: 0.04,
+    STOCK_LEVEL: 0.04,
+}
+
+
+class TpccMix:
+    """Drop-in replacement for :class:`TransactionMix` drawing TPC-C
+    profiles instead of a homogeneous geometric shape.
+
+    Implements the same draw interface the :class:`Client` uses
+    (``draw_transaction`` / ``draw_think_time`` plus the cost fields),
+    so TPC-C clients run through the unmodified client machinery.
+    """
+
+    #: Interface attributes Client reads directly.
+    pages_per_lock = 1.0
+    work_time_per_lock_s = 0.004
+
+    def __init__(
+        self,
+        weights: Optional[Dict[TransactionProfile, float]] = None,
+        warehouses: int = 4,
+        think_time_mean_s: float = 0.5,
+    ) -> None:
+        if weights is None:
+            weights = STANDARD_WEIGHTS
+        if not weights:
+            raise ConfigurationError("need at least one transaction profile")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ConfigurationError("profile weights must sum to a positive value")
+        if warehouses <= 0:
+            raise ConfigurationError(f"warehouses must be positive, got {warehouses}")
+        if think_time_mean_s < 0:
+            raise ConfigurationError("think_time_mean_s must be non-negative")
+        self._profiles = list(weights.keys())
+        self._cumulative: List[float] = []
+        running = 0.0
+        for profile in self._profiles:
+            running += weights[profile] / total
+            self._cumulative.append(running)
+        self.warehouses = warehouses
+        self.think_time_mean_s = think_time_mean_s
+        #: Executions per profile name (observability).
+        self.executed: Dict[str, int] = {p.name: 0 for p in self._profiles}
+
+    def draw_profile(self, rng: random.Random) -> TransactionProfile:
+        u = rng.random()
+        for profile, bound in zip(self._profiles, self._cumulative):
+            if u <= bound:
+                return profile
+        return self._profiles[-1]
+
+    def draw_transaction(self, rng: random.Random) -> List[RowAccess]:
+        profile = self.draw_profile(rng)
+        self.executed[profile.name] += 1
+        return profile.draw_accesses(rng, self.warehouses)
+
+    def draw_think_time(self, rng: random.Random) -> float:
+        if self.think_time_mean_s == 0:
+            return 0.0
+        return rng.expovariate(1.0 / self.think_time_mean_s)
+
+
+class TpccWorkload:
+    """A scheduled population of TPC-C clients."""
+
+    def __init__(
+        self,
+        database,
+        schedule: ClientSchedule,
+        mix: Optional[TpccMix] = None,
+        name: str = "tpcc",
+    ) -> None:
+        self.database = database
+        self.schedule = schedule
+        self.mix = mix or TpccMix()
+        self.pool = ClientPool(database, self.mix, name=name)
+
+    def start(self) -> None:
+        self.database.env.process(self.schedule.drive(self.pool))
+
+    @property
+    def commits(self) -> int:
+        return self.pool.total_commits()
+
+    @property
+    def rollbacks(self) -> int:
+        return self.pool.total_rollbacks()
+
+    def profile_counts(self) -> Dict[str, int]:
+        """Executions per transaction profile."""
+        return dict(self.mix.executed)

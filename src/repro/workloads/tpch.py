@@ -1,0 +1,195 @@
+"""A TPC-H-like decision-support query stream.
+
+The paper's testbed loads "a combined TPCC and TPCH schema in a single
+database"; Figure 11's reporting query is the TPCH side making itself
+felt.  This module generalizes the single
+:class:`~repro.workloads.dss.ReportingQuery` into a *stream* of
+decision-support queries with per-class footprints:
+
+* each :class:`QueryProfile` describes scan size (row locks), scan
+  duration, sort input and think time between queries -- the quantities
+  that matter to lock memory and to the sort heap;
+* a :class:`TpchQueryStream` submits queries drawn from a weighted
+  profile mix, one at a time (a single DSS session, like the paper's),
+  or several concurrently (the "two or more heavy lock consumers" case
+  the section 5.3 discussion reasons about).
+
+Query classes are loosely modelled on the TPC-H spectrum from the
+light, index-friendly Q6 to the heavy full-scan Q1/Q9 shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.workloads.dss import ReportingQuery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+
+@dataclass(frozen=True)
+class QueryProfile:
+    """One decision-support query class, as a resource footprint."""
+
+    name: str
+    #: Row locks taken by the scan.
+    scan_rows: int
+    #: Time over which the scan acquires its locks.
+    scan_duration_s: float
+    #: Sort input size (0 = no sort phase).
+    sort_rows: int = 0
+    #: Post-scan processing time with locks held.
+    hold_duration_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.scan_rows <= 0:
+            raise ConfigurationError(f"{self.name}: scan_rows must be positive")
+        if self.scan_duration_s < 0 or self.hold_duration_s < 0:
+            raise ConfigurationError(f"{self.name}: durations must be non-negative")
+        if self.sort_rows < 0:
+            raise ConfigurationError(f"{self.name}: sort_rows must be non-negative")
+
+
+#: A small spectrum of query classes (row counts sized for the 512 MB
+#: reference system; scale with the ``scale`` argument of the stream).
+Q_LIGHT = QueryProfile("q-light", scan_rows=5_000, scan_duration_s=3.0,
+                       sort_rows=0, hold_duration_s=2.0)
+Q_MEDIUM = QueryProfile("q-medium", scan_rows=40_000, scan_duration_s=10.0,
+                        sort_rows=40_000, hold_duration_s=5.0)
+Q_HEAVY = QueryProfile("q-heavy", scan_rows=150_000, scan_duration_s=25.0,
+                       sort_rows=150_000, hold_duration_s=10.0)
+
+STANDARD_QUERY_WEIGHTS: Dict[QueryProfile, float] = {
+    Q_LIGHT: 0.5,
+    Q_MEDIUM: 0.35,
+    Q_HEAVY: 0.15,
+}
+
+
+@dataclass
+class QueryRecord:
+    """Outcome of one stream-submitted query."""
+
+    profile: str
+    submitted_at: float
+    completed: bool
+    rows_locked: int
+    duration_s: float
+
+
+class TpchQueryStream:
+    """Submits DSS queries one after another for the stream's lifetime.
+
+    Parameters
+    ----------
+    database:
+        The database to run against.
+    start_time_s / stop_time_s:
+        The stream submits its first query at ``start_time_s`` and
+        submits no new query after ``stop_time_s`` (a running query
+        finishes normally).
+    weights:
+        Profile mix; defaults to :data:`STANDARD_QUERY_WEIGHTS`.
+    think_time_mean_s:
+        Exponential pause between a query finishing and the next.
+    table_id:
+        Base table of the TPCH-side namespace; each profile scans its
+        own table offset so concurrent streams do not conflict.
+    scale:
+        Multiplier on every profile's scan and sort rows.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        start_time_s: float = 0.0,
+        stop_time_s: float = float("inf"),
+        weights: Optional[Dict[QueryProfile, float]] = None,
+        think_time_mean_s: float = 10.0,
+        table_id: int = 10_000,
+        scale: float = 1.0,
+        name: str = "tpch",
+    ) -> None:
+        if weights is None:
+            weights = STANDARD_QUERY_WEIGHTS
+        if not weights or sum(weights.values()) <= 0:
+            raise ConfigurationError("need positive query-profile weights")
+        if stop_time_s < start_time_s:
+            raise ConfigurationError("stop_time_s must be >= start_time_s")
+        if scale <= 0:
+            raise ConfigurationError(f"scale must be positive, got {scale}")
+        if think_time_mean_s < 0:
+            raise ConfigurationError("think_time_mean_s must be non-negative")
+        self.database = database
+        self.start_time_s = start_time_s
+        self.stop_time_s = stop_time_s
+        self.think_time_mean_s = think_time_mean_s
+        self.table_id = table_id
+        self.scale = scale
+        self.name = name
+        self._profiles = list(weights.keys())
+        total = sum(weights.values())
+        self._weights = [weights[p] / total for p in self._profiles]
+        self._rng = database.rng.stream(f"tpch-{name}")
+        #: One record per completed (or failed) query, in order.
+        self.records: List[QueryRecord] = []
+
+    def start(self) -> None:
+        """Register the stream's DES process."""
+        self.database.env.process(self.run())
+
+    def _draw_profile(self) -> QueryProfile:
+        return self._rng.choices(self._profiles, weights=self._weights, k=1)[0]
+
+    def run(self):
+        env = self.database.env
+        delay = self.start_time_s - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        offset = 0
+        while env.now <= self.stop_time_s:
+            profile = self._draw_profile()
+            submitted = env.now
+            query = ReportingQuery(
+                self.database,
+                start_time_s=env.now,
+                row_count=max(1, int(profile.scan_rows * self.scale)),
+                table_id=self.table_id + offset % 7,
+                acquisition_duration_s=profile.scan_duration_s,
+                hold_duration_s=profile.hold_duration_s,
+                sort_rows=(
+                    int(profile.sort_rows * self.scale)
+                    if profile.sort_rows
+                    else None
+                ),
+            )
+            offset += 1
+            yield from query.run()
+            result = query.result
+            self.records.append(
+                QueryRecord(
+                    profile=profile.name,
+                    submitted_at=submitted,
+                    completed=bool(result and result.completed),
+                    rows_locked=result.rows_locked if result else 0,
+                    duration_s=env.now - submitted,
+                )
+            )
+            if self.think_time_mean_s > 0:
+                yield env.timeout(
+                    self._rng.expovariate(1.0 / self.think_time_mean_s)
+                )
+
+    # -- observability ---------------------------------------------------
+
+    def completed_count(self) -> int:
+        return sum(1 for r in self.records if r.completed)
+
+    def profile_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for record in self.records:
+            counts[record.profile] = counts.get(record.profile, 0) + 1
+        return counts

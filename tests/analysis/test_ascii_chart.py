@@ -1,0 +1,62 @@
+"""Tests for ASCII chart rendering."""
+
+from repro.analysis.ascii_chart import render_series, render_two_series
+from repro.engine.metrics import TimeSeries
+
+
+def make_series(name="s", n=50):
+    series = TimeSeries(name)
+    for t in range(n):
+        series.append(float(t), float(t % 10))
+    return series
+
+
+class TestRenderSeries:
+    def test_dimensions(self):
+        text = render_series(make_series(), width=40, height=8)
+        lines = text.splitlines()
+        # top border + 8 rows + bottom border + time axis
+        assert len(lines) == 11
+        body = lines[1:-2]
+        assert all(len(line) == 13 + 1 + 40 + 1 for line in body)
+
+    def test_title_included(self):
+        text = render_series(make_series(), title="Figure 9")
+        assert text.startswith("Figure 9")
+
+    def test_contains_glyphs(self):
+        assert "*" in render_series(make_series())
+
+    def test_constant_series_no_crash(self):
+        series = TimeSeries("flat")
+        for t in range(10):
+            series.append(t, 5.0)
+        text = render_series(series)
+        assert "*" in text
+
+    def test_empty_series_no_crash(self):
+        assert render_series(TimeSeries("empty"))
+
+    def test_scale_labels(self):
+        series = TimeSeries("x")
+        series.append(0, 100.0)
+        series.append(10, 900.0)
+        text = render_series(series)
+        assert "900.0" in text
+        assert "100.0" in text
+
+
+class TestRenderTwoSeries:
+    def test_legend_names_both(self):
+        a, b = make_series("throughput"), make_series("lock_pages")
+        text = render_two_series(a, b)
+        assert "throughput" in text
+        assert "lock_pages" in text
+
+    def test_both_glyphs_present(self):
+        a = make_series("a")
+        b = TimeSeries("b")
+        for t in range(50):
+            b.append(float(t), float(50 - t))
+        text = render_two_series(a, b, glyph_a="*", glyph_b="o")
+        assert "*" in text and "o" in text

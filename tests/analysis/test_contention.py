@@ -1,0 +1,104 @@
+"""Tests for contention analysis over lock traces."""
+
+import pytest
+
+from repro.analysis.contention import ContentionReport
+from repro.lockmgr.tracing import LockTrace
+
+
+def synthetic_trace():
+    trace = LockTrace()
+    # app 1 waits 2s on T0.R7
+    trace.emit(1.0, "wait-begin", 1, "X T0.R7", "T0.R7")
+    trace.emit(3.0, "wait-end", 1, "X T0.R7 after 2.000s", "T0.R7")
+    # app 2 waits 5s on T0.R7
+    trace.emit(2.0, "wait-begin", 2, "X T0.R7", "T0.R7")
+    trace.emit(7.0, "wait-end", 2, "X T0.R7 after 5.000s", "T0.R7")
+    # app 3 deadlocks on T1.R1
+    trace.emit(4.0, "wait-begin", 3, "X T1.R1", "T1.R1")
+    trace.emit(5.0, "deadlock", 3, "X T1.R1", "T1.R1")
+    # app 4 times out on T1
+    trace.emit(6.0, "wait-begin", 4, "S T1", "T1")
+    trace.emit(9.0, "timeout", 4, "S T1", "T1")
+    # app 1 escalates table 2
+    trace.emit(10.0, "escalation", 1, "table 2 -> S (maxlocks), freed 9", "T2")
+    return trace
+
+
+class TestFromTrace:
+    def test_totals(self):
+        report = ContentionReport.from_trace(synthetic_trace())
+        assert report.total_waits == 4
+        assert report.total_wait_time_s == pytest.approx(7.0)
+
+    def test_resource_aggregation(self):
+        report = ContentionReport.from_trace(synthetic_trace())
+        hot = report.resources["T0.R7"]
+        assert hot.waits == 2
+        assert hot.wait_time_s == pytest.approx(7.0)
+        assert hot.mean_wait_s == pytest.approx(3.5)
+
+    def test_deadlocks_and_timeouts_attributed(self):
+        report = ContentionReport.from_trace(synthetic_trace())
+        assert report.resources["T1.R1"].deadlocks == 1
+        assert report.resources["T1"].timeouts == 1
+
+    def test_app_aggregation(self):
+        report = ContentionReport.from_trace(synthetic_trace())
+        assert report.apps[2].wait_time_s == pytest.approx(5.0)
+        assert report.apps[1].escalations == 1
+        assert report.apps[3].deadlocks == 1
+
+    def test_hottest_resources_ordering(self):
+        report = ContentionReport.from_trace(synthetic_trace())
+        hottest = report.hottest_resources(2)
+        assert hottest[0].resource == "T0.R7"
+
+    def test_most_blocked_apps(self):
+        report = ContentionReport.from_trace(synthetic_trace())
+        assert report.most_blocked_apps(1)[0].app_id == 2
+
+    def test_table_hotspots_fold_rows(self):
+        report = ContentionReport.from_trace(synthetic_trace())
+        hotspots = report.table_hotspots()
+        assert hotspots["T0"] == pytest.approx(7.0)
+
+    def test_render_contains_top_resource(self):
+        report = ContentionReport.from_trace(synthetic_trace())
+        text = report.render()
+        assert "T0.R7" in text
+        assert "4 waits" in text
+
+    def test_empty_trace(self):
+        report = ContentionReport.from_trace(LockTrace())
+        assert report.total_waits == 0
+        assert report.hottest_resources() == []
+
+
+class TestEndToEnd:
+    def test_tpcc_warehouse_is_the_hotspot(self):
+        """The classic TPC-C result: with one warehouse, the single
+        warehouse row that every payment X-updates carries the bulk of
+        the wait time."""
+        from repro.analysis.contention import ContentionReport
+        from repro.lockmgr.tracing import LockTrace
+        from repro.workloads.schedule import ClientSchedule
+        from repro.workloads.tpcc import TpccMix, TpccWorkload
+        from tests.conftest import make_database
+
+        db = make_database(seed=41)
+        db.lock_manager.tracer = LockTrace(capacity=None)
+        workload = TpccWorkload(
+            db, ClientSchedule.constant(12),
+            mix=TpccMix(warehouses=1, think_time_mean_s=0.05),
+        )
+        workload.start()
+        db.run(until=90)
+        report = ContentionReport.from_trace(db.lock_manager.tracer)
+        assert report.total_waits > 0
+        hotspots = report.table_hotspots()
+        warehouse_wait = hotspots.get("T0", 0.0)
+        # the warehouse table dominates total wait time...
+        assert warehouse_wait >= 0.5 * sum(hotspots.values())
+        # ...and the single warehouse row is the hottest resource
+        assert report.hottest_resources(1)[0].resource == "T0.R0"

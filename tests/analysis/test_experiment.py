@@ -1,0 +1,38 @@
+"""Tests for the experiment result container."""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentResult
+from repro.engine.metrics import MetricsRecorder
+
+
+def make_result():
+    metrics = MetricsRecorder()
+    metrics.record("lock_pages", 0, 128)
+    result = ExperimentResult("test-exp", metrics)
+    result.findings["growth_factor"] = 10.5
+    result.findings["escalations"] = 0
+    return result
+
+
+class TestExperimentResult:
+    def test_finding_lookup(self):
+        assert make_result().finding("growth_factor") == 10.5
+
+    def test_missing_finding_lists_available(self):
+        with pytest.raises(KeyError, match="growth_factor"):
+            make_result().finding("nope")
+
+    def test_series_shortcut(self):
+        assert make_result().series("lock_pages").last == 128
+
+    def test_summary_lines(self):
+        result = make_result()
+        result.notes.append("scaled down 10x")
+        text = str(result)
+        assert "[test-exp]" in text
+        assert "growth_factor" in text
+        assert "note: scaled down 10x" in text
+
+    def test_float_formatting_in_summary(self):
+        assert "10.500" in str(make_result())

@@ -1,0 +1,86 @@
+"""Tests for replicated experiment aggregation."""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentResult
+from repro.analysis.replication import FindingStat, replicate
+from repro.engine.metrics import MetricsRecorder
+
+
+def fake_scenario(seed: int) -> ExperimentResult:
+    result = ExperimentResult("fake", MetricsRecorder())
+    result.findings["growth"] = 2.0 + seed * 0.1
+    result.findings["escalations"] = 0
+    result.findings["completed"] = True  # boolean: not aggregated
+    result.findings["label"] = "x"  # string: not aggregated
+    return result
+
+
+class TestFindingStat:
+    def test_single_value(self):
+        stat = FindingStat("x", [5.0])
+        assert stat.mean == 5.0
+        assert stat.stddev == 0.0
+        assert stat.ci95() == 0.0
+
+    def test_mean_and_stddev(self):
+        stat = FindingStat("x", [1.0, 2.0, 3.0])
+        assert stat.mean == 2.0
+        assert stat.stddev == pytest.approx(1.0)
+
+    def test_ci95_uses_t_quantile(self):
+        stat = FindingStat("x", [1.0, 2.0, 3.0])
+        # t(df=2) = 4.303; ci = 4.303 * 1 / sqrt(3)
+        assert stat.ci95() == pytest.approx(4.303 / 3**0.5, rel=1e-3)
+
+    def test_str_mentions_range(self):
+        text = str(FindingStat("growth", [1.0, 3.0]))
+        assert "growth" in text and "1.000..3.000" in text
+
+
+class TestReplicate:
+    def test_aggregates_numeric_findings_only(self):
+        summary = replicate(fake_scenario, seeds=range(4))
+        assert set(summary.stats) == {"growth", "escalations"}
+        assert summary.stat("growth").n == 4
+
+    def test_mean_matches_inputs(self):
+        summary = replicate(fake_scenario, seeds=[0, 2])
+        assert summary.stat("growth").mean == pytest.approx(2.1)
+
+    def test_consistent_predicate(self):
+        summary = replicate(fake_scenario, seeds=range(3))
+        assert summary.consistent("escalations", lambda v: v == 0)
+        assert not summary.consistent("growth", lambda v: v > 2.05)
+
+    def test_unknown_stat_lists_available(self):
+        summary = replicate(fake_scenario, seeds=[1])
+        with pytest.raises(KeyError, match="growth"):
+            summary.stat("nope")
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            replicate(fake_scenario, seeds=[])
+
+    def test_report_format(self):
+        summary = replicate(fake_scenario, seeds=range(2))
+        report = summary.report()
+        assert "[fake] 2 replications" in report
+        assert "growth" in report
+
+
+class TestRealScenarioReplication:
+    def test_surge_ratio_stable_across_seeds(self):
+        """The fig10 growth ratio of ~2.0 holds for any seed, because it
+        is driven by the minLockMemory formula, not by noise."""
+        from repro.analysis.scenarios import run_fig10_surge
+
+        summary = replicate(
+            lambda seed: run_fig10_surge(
+                seed=seed, before_clients=50, after_clients=130,
+                switch_at_s=45, duration_s=110,
+            ),
+            seeds=range(3),
+        )
+        assert summary.stat("growth_ratio").mean == pytest.approx(2.0, abs=0.2)
+        assert summary.consistent("escalations", lambda v: v == 0)

@@ -1,0 +1,41 @@
+"""Tests for report formatting helpers."""
+
+import pytest
+
+from repro.analysis.report import format_findings, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["policy", "escalations"],
+            [["adaptive", 0], ["static", 12]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "policy" in lines[0]
+        assert "-" in lines[1]
+        assert lines[2].index("0") == lines[3].index("12")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1234.5678]])
+        assert "1,234.57" in text
+
+    def test_tiny_float_scientific(self):
+        text = format_table(["v"], [[0.000012]])
+        assert "e-" in text
+
+
+class TestFormatFindings:
+    def test_sorted_and_aligned(self):
+        text = format_findings({"zeta": 1, "alpha": 2})
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("alpha")
+        assert lines[1].strip().startswith("zeta")
+
+    def test_empty(self):
+        assert format_findings({}) == ""

@@ -1,0 +1,49 @@
+"""Smoke tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.analysis import runner
+
+
+class TestRegistry:
+    def test_every_figure_has_an_entry(self):
+        for figure in ("fig3", "fig4", "fig6", "fig7", "fig8", "fig9",
+                       "fig10", "fig11", "fig12"):
+            assert figure in runner.EXPERIMENTS
+
+    def test_extras_present(self):
+        for extra in ("baselines", "ablation-delta", "ablation-band",
+                      "ablation-maxlocks"):
+            assert extra in runner.EXPERIMENTS
+
+
+class TestCli:
+    def test_list_exits_zero(self, capsys):
+        assert runner.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            runner.run_one("fig99")
+
+    def test_run_fast_experiment(self, capsys):
+        assert runner.main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "fifo_respected" in out
+
+    def test_csv_export(self, tmp_path, capsys):
+        path = tmp_path / "fig6.csv"
+        assert runner.main(["fig6", "--csv", str(path)]) == 0
+        header = path.read_text().splitlines()[0]
+        assert "lock_pages_pct" in header
+
+    def test_render_result_single_series(self):
+        result = runner.EXPERIMENTS["fig4"][0]()
+        text = runner.render_result(result, None)
+        assert "itl_waits" in text
+
+    def test_render_result_with_chart(self):
+        result = runner.EXPERIMENTS["fig6"][0]()
+        text = runner.render_result(result, ("lock_pages_pct", "lock_used_pct"))
+        assert "+-" in text  # chart border present

@@ -1,0 +1,93 @@
+"""Tests for the declarative paper-shape validation."""
+
+import pytest
+
+from repro.analysis.experiment import ExperimentResult
+from repro.analysis.validation import (
+    PAPER_EXPECTATIONS,
+    Expectation,
+    render_outcomes,
+    validate,
+)
+from repro.engine.metrics import MetricsRecorder
+
+
+def result_with(**findings):
+    result = ExperimentResult("x", MetricsRecorder())
+    result.findings.update(findings)
+    return result
+
+
+class TestExpectation:
+    def test_comparison_operators(self):
+        result = result_with(v=5)
+        assert Expectation("v", "==", 5).evaluate(result).passed
+        assert Expectation("v", ">", 4).evaluate(result).passed
+        assert not Expectation("v", "<", 5).evaluate(result).passed
+        assert Expectation("v", "!=", 4).evaluate(result).passed
+
+    def test_approximate_equality(self):
+        result = result_with(ratio=2.1)
+        assert Expectation("ratio", "~=", 2.0, tolerance=0.10).evaluate(result).passed
+        assert not Expectation("ratio", "~=", 2.0, tolerance=0.01).evaluate(
+            result
+        ).passed
+
+    def test_approx_zero_reference(self):
+        result = result_with(v=0.0)
+        assert Expectation("v", "~=", 0.0, tolerance=0.1).evaluate(result).passed
+
+    def test_missing_finding_fails_gracefully(self):
+        outcome = Expectation("absent", "==", 1).evaluate(result_with(v=1))
+        assert not outcome.passed
+        assert "absent" in outcome.error
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Expectation("v", "≈", 1).evaluate(result_with(v=1))
+
+    def test_outcome_str(self):
+        outcome = Expectation(
+            "growth", "~=", 10.5, tolerance=0.25,
+            paper_claim="10.5x growth",
+        ).evaluate(result_with(growth=10.67))
+        text = str(outcome)
+        assert "[PASS]" in text and "10.5x growth" in text
+
+
+class TestRegistry:
+    def test_every_figure_has_expectations(self):
+        for figure in ("fig3", "fig4", "fig6", "fig7", "fig8",
+                       "fig9", "fig10", "fig11", "fig12"):
+            assert figure in PAPER_EXPECTATIONS
+            assert PAPER_EXPECTATIONS[figure]
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            validate("fig99", result_with())
+
+
+class TestValidateOnRealRuns:
+    def test_fig3_passes_its_checks(self):
+        from repro.analysis.scenarios import run_fig3_lock_queuing
+
+        outcomes = validate("fig3", run_fig3_lock_queuing())
+        assert all(o.passed for o in outcomes)
+
+    def test_fig4_passes_its_checks(self):
+        from repro.analysis.scenarios import run_fig4_oracle_itl
+
+        outcomes = validate("fig4", run_fig4_oracle_itl())
+        assert all(o.passed for o in outcomes)
+
+    def test_fig6_passes_its_checks(self):
+        from repro.analysis.scenarios import run_fig6_worked_example
+
+        outcomes = validate("fig6", run_fig6_worked_example())
+        assert all(o.passed for o in outcomes)
+
+    def test_render_scorecard(self):
+        from repro.analysis.scenarios import run_fig3_lock_queuing
+
+        text = render_outcomes(validate("fig3", run_fig3_lock_queuing()))
+        assert "2/2 paper-shape checks passed" in text

@@ -1,0 +1,120 @@
+"""Tests for the Oracle ITL page-locking model."""
+
+import pytest
+
+from repro.baselines.oracle_itl import ItlConfig, OracleItlTable
+from repro.errors import ConfigurationError
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        ItlConfig()
+
+    def test_bad_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ItlConfig(initial_itl_slots=0)
+        with pytest.raises(ConfigurationError):
+            ItlConfig(initial_itl_slots=30, max_itl_slots=24)
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OracleItlTable(num_pages=0)
+
+
+class TestRowLocking:
+    def test_lock_and_conflict(self):
+        table = OracleItlTable(num_pages=1)
+        assert table.lock_row(1, 0, 0)
+        assert not table.lock_row(2, 0, 0)  # same row held
+        assert table.row_conflicts == 1
+
+    def test_relock_own_row(self):
+        table = OracleItlTable(num_pages=1)
+        assert table.lock_row(1, 0, 0)
+        assert table.lock_row(1, 0, 0)
+
+    def test_out_of_range_row_rejected(self):
+        table = OracleItlTable(num_pages=1, config=ItlConfig(rows_per_page=10))
+        with pytest.raises(ValueError):
+            table.lock_row(1, 0, 10)
+
+    def test_unknown_page_rejected(self):
+        table = OracleItlTable(num_pages=1)
+        with pytest.raises(KeyError):
+            table.lock_row(1, 5, 0)
+
+
+class TestItlExhaustion:
+    def _small(self):
+        # 2 initial slots, extendable once (24 bytes of free space)
+        return OracleItlTable(
+            num_pages=1,
+            config=ItlConfig(
+                initial_itl_slots=2, max_itl_slots=10, page_free_bytes=24
+            ),
+        )
+
+    def test_blocks_free_rows_when_itl_full(self):
+        """The paper's key criticism: ITL exhaustion blocks transactions
+        wanting rows that nobody holds."""
+        table = self._small()
+        assert table.lock_row(1, 0, 0)
+        assert table.lock_row(2, 0, 1)
+        assert table.lock_row(3, 0, 2)  # uses the one extension slot
+        assert not table.lock_row(4, 0, 3)  # free row, but no ITL slot
+        assert table.itl_waits == 1
+        assert table.row_conflicts == 0
+
+    def test_maxtrans_caps_extension(self):
+        table = OracleItlTable(
+            num_pages=1,
+            config=ItlConfig(
+                initial_itl_slots=1, max_itl_slots=2, page_free_bytes=10_000
+            ),
+        )
+        assert table.lock_row(1, 0, 0)
+        assert table.lock_row(2, 0, 1)
+        assert not table.lock_row(3, 0, 2)
+
+    def test_commit_frees_itl_for_new_txns(self):
+        table = self._small()
+        for txn in range(3):
+            assert table.lock_row(txn, 0, txn)
+        table.commit(0)
+        assert table.lock_row(99, 0, 9)
+
+
+class TestPermanentOverhead:
+    def test_itl_growth_is_permanent(self):
+        """'the ITL section of that page increases and is not decreased
+        until the table is reorganized'."""
+        table = OracleItlTable(
+            num_pages=1,
+            config=ItlConfig(initial_itl_slots=2, max_itl_slots=10,
+                             page_free_bytes=240),
+        )
+        before = table.disk_overhead_bytes()
+        for txn in range(6):
+            table.lock_row(txn, 0, txn)
+        grown = table.disk_overhead_bytes()
+        assert grown > before
+        for txn in range(6):
+            table.commit(txn)
+        assert table.disk_overhead_bytes() == grown  # never shrinks
+
+    def test_overhead_includes_lock_bytes_for_all_rows(self):
+        config = ItlConfig(rows_per_page=50, initial_itl_slots=2)
+        table = OracleItlTable(num_pages=3, config=config)
+        expected = 3 * (50 * 1 + 2 * 24)
+        assert table.disk_overhead_bytes() == expected
+
+    def test_stale_lock_bytes_before_commit(self):
+        table = OracleItlTable(num_pages=1)
+        table.lock_row(1, 0, 0)
+        table.lock_row(1, 0, 1)
+        assert table.stale_lock_bytes() == 2
+        table.commit(1)
+        assert table.stale_lock_bytes() == 0
+
+    def test_nothing_for_a_memory_tuner_to_tune(self):
+        assert OracleItlTable(num_pages=1).tunable_memory_pages() == 0

@@ -1,0 +1,99 @@
+"""Tests for the SQL Server 2005 baseline policy."""
+
+import pytest
+
+from repro.baselines.sqlserver import SqlServer2005Policy
+from repro.engine.des import Environment
+from repro.lockmgr.modes import LockMode
+from repro.units import LOCKS_PER_BLOCK, PAGES_PER_BLOCK
+from tests.conftest import make_database, run_process
+
+
+class TestInitialAllocation:
+    def test_starts_with_room_for_2500_locks(self):
+        db = make_database(policy=SqlServer2005Policy(), initial_locklist_pages=320)
+        # 2500 locks -> 2 blocks of 2048
+        assert db.chain.block_count == 2
+        assert db.chain.capacity_slots >= 2_500
+
+    def test_grows_initial_if_configured_smaller(self):
+        db = make_database(policy=SqlServer2005Policy(), initial_locklist_pages=32)
+        assert db.chain.block_count == 2
+
+
+class TestGrowth:
+    def test_grows_on_demand(self):
+        db = make_database(policy=SqlServer2005Policy(), seed=1)
+
+        def proc():
+            for row in range(6_000):
+                yield from db.lock_manager.lock_row(1, 0, row, LockMode.S)
+
+        # 6,000 S row locks exceed 2 blocks: growth must occur, and the
+        # 5000-per-app trigger escalates before or at 5000 locks.
+        run_process(db.env, proc())
+        assert db.chain.block_count > 2 or db.lock_manager.stats.escalations.count
+
+    def test_never_shrinks(self):
+        db = make_database(policy=SqlServer2005Policy(), seed=2)
+
+        def proc():
+            for row in range(3_000):
+                yield from db.lock_manager.lock_row(1, 0, row, LockMode.S)
+
+        run_process(db.env, proc())
+        peak_blocks = db.chain.block_count
+        db.lock_manager.release_all(1)
+        db.run(until=200)  # several STMM intervals pass
+        assert db.chain.block_count == peak_blocks  # memory is never returned
+
+    def test_no_stmm_tuner(self):
+        db = make_database(policy=SqlServer2005Policy())
+        assert db.stmm._tuners == []
+
+
+class TestPerAppTrigger:
+    def test_5000_lock_trigger_escalates_single_app(self):
+        """Paper: 'if a single application acquires 5000 row level locks
+        an automatic lock escalation is triggered regardless of the
+        amount of memory available for locks'."""
+        db = make_database(policy=SqlServer2005Policy(), seed=3)
+
+        def proc():
+            for row in range(5_200):
+                yield from db.lock_manager.lock_row(1, 0, row, LockMode.S)
+
+        run_process(db.env, proc())
+        stats = db.lock_manager.stats
+        assert stats.escalations.count >= 1
+        first = stats.escalations.outcomes[0]
+        assert first.freed_slots <= 5_000
+        assert db.lock_manager.app_row_lock_count(1) < 5_000
+
+    def test_maxlocks_fraction_tracks_capacity(self):
+        db = make_database(policy=SqlServer2005Policy())
+        policy = db.policy
+        small = policy._maxlocks_fraction()
+        db.chain.add_blocks(20)
+        large_capacity_fraction = policy._maxlocks_fraction()
+        assert large_capacity_fraction < small
+
+
+class TestEscalationThreshold:
+    def test_growth_denied_at_40_percent_used(self):
+        db = make_database(policy=SqlServer2005Policy())
+        policy = db.policy
+        # force "used" near 40% of database memory (free the pages from
+        # the bufferpool first so overflow can cover the growth)
+        needed_pages = int(0.41 * db.registry.total_pages)
+        blocks = needed_pages // PAGES_PER_BLOCK
+        db.registry.shrink_heap("bufferpool", blocks * PAGES_PER_BLOCK)
+        db.registry.grow_heap("locklist", blocks * PAGES_PER_BLOCK)
+        db.chain.add_blocks(blocks)
+        for _ in range(int(blocks * LOCKS_PER_BLOCK)):
+            db.chain.allocate_slot()
+        assert policy._sync_grow(1) == 0
+
+    def test_describe_mentions_triggers(self):
+        text = SqlServer2005Policy().describe()
+        assert "2500" in text and "5000" in text and "40%" in text

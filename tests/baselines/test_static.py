@@ -1,0 +1,77 @@
+"""Tests for the static LOCKLIST baseline."""
+
+import pytest
+
+from repro.baselines.static_locklist import StaticLocklistPolicy
+from repro.errors import ConfigurationError
+from tests.conftest import make_database
+
+
+class TestConfiguration:
+    def test_tiny_locklist_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticLocklistPolicy(locklist_pages=10)
+
+    def test_bad_maxlocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticLocklistPolicy(maxlocks_fraction=0.0)
+
+
+class TestAttach:
+    def test_disables_growth_and_adaptation(self):
+        db = make_database(policy=StaticLocklistPolicy(maxlocks_fraction=0.10))
+        assert db.lock_manager.growth_provider is None
+        assert db.lock_manager.maxlocks_provider is None
+        assert db.lock_manager.maxlocks_fraction == 0.10
+
+    def test_resizes_locklist_up(self):
+        db = make_database(
+            policy=StaticLocklistPolicy(locklist_pages=256),
+            initial_locklist_pages=128,
+        )
+        assert db.chain.allocated_pages == 256
+        assert db.registry.heap("locklist").size_pages == 256
+
+    def test_resizes_locklist_down(self):
+        db = make_database(
+            policy=StaticLocklistPolicy(locklist_pages=96),
+            initial_locklist_pages=256,
+        )
+        assert db.chain.allocated_pages == 96
+
+    def test_rounds_to_blocks(self):
+        db = make_database(
+            policy=StaticLocklistPolicy(locklist_pages=100),
+            initial_locklist_pages=128,
+        )
+        assert db.chain.allocated_pages == 128  # 100 -> 4 blocks
+
+    def test_keeps_configured_size_when_none(self):
+        db = make_database(policy=StaticLocklistPolicy(), initial_locklist_pages=160)
+        assert db.chain.allocated_pages == 160
+
+    def test_no_stmm_tuner_registered(self):
+        db = make_database(policy=StaticLocklistPolicy())
+        assert db.stmm._tuners == []
+
+    def test_size_never_changes_during_run(self):
+        from repro.engine.client import ClientPool
+        from repro.engine.transactions import TransactionMix
+
+        db = make_database(
+            policy=StaticLocklistPolicy(locklist_pages=128), seed=3
+        )
+        pool = ClientPool(
+            db,
+            TransactionMix(locks_per_txn_mean=10, think_time_mean_s=0.05,
+                           work_time_per_lock_s=0.002),
+        )
+        pool.set_target(5)
+        db.run(until=70)
+        assert db.metrics["lock_pages"].max() == 128
+        assert db.metrics["lock_pages"].min() == 128
+
+    def test_describe(self):
+        policy = StaticLocklistPolicy(locklist_pages=96, maxlocks_fraction=0.10)
+        assert "96 pages" in policy.describe()
+        assert "10%" in policy.describe()

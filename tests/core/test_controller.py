@@ -1,0 +1,219 @@
+"""Tests for the adaptive lock memory controller (sections 3.2-3.4)."""
+
+import pytest
+
+from repro.core.controller import LockMemoryController
+from repro.core.params import TuningParameters
+from repro.errors import MemoryAccountingError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.units import LOCKS_PER_BLOCK, PAGES_PER_BLOCK
+
+
+def build(
+    total_pages=131_072,
+    locklist_blocks=16,
+    overflow_goal=2_000,
+    num_apps=0,
+    escalations=None,
+    params=None,
+):
+    registry = DatabaseMemoryRegistry(total_pages, overflow_goal_pages=overflow_goal)
+    registry.register(
+        MemoryHeap("bufferpool", HeapCategory.PMC, total_pages // 2,
+                   min_pages=total_pages // 10, benefit=lambda h: 1.0)
+    )
+    registry.register(
+        MemoryHeap("locklist", HeapCategory.FMC,
+                   locklist_blocks * PAGES_PER_BLOCK)
+    )
+    chain = LockBlockChain(initial_blocks=locklist_blocks)
+    escalation_box = escalations if escalations is not None else {"count": 0}
+    controller = LockMemoryController(
+        registry,
+        chain,
+        params=params or TuningParameters(),
+        num_applications=lambda: num_apps,
+        escalation_count=lambda: escalation_box["count"],
+    )
+    return registry, chain, controller, escalation_box
+
+
+def fill_slots(chain, count):
+    return [chain.allocate_slot() for _ in range(count)]
+
+
+class TestTargetComputation:
+    def test_hold_inside_free_band(self):
+        _, chain, controller, _ = build(locklist_blocks=16)
+        # 45% used -> 55% free, inside [50%, 60%]: no change
+        fill_slots(chain, int(chain.capacity_slots * 0.45))
+        target = controller.compute_target_pages()
+        assert target == chain.allocated_pages
+        assert controller.decisions[-1].reason == "hold"
+
+    def test_grow_when_free_below_min(self):
+        """targetSize satisfies the minFreeLockMemory objective."""
+        _, chain, controller, _ = build(locklist_blocks=16)
+        fill_slots(chain, int(chain.capacity_slots * 0.70))  # only 30% free
+        target = controller.compute_target_pages()
+        assert controller.decisions[-1].reason == "grow-to-min-free"
+        # used must be at most half the new target
+        assert controller.used_pages() / target <= 0.5 + 0.05
+
+    def test_shrink_when_free_above_max(self):
+        _, chain, controller, _ = build(locklist_blocks=32, num_apps=0)
+        fill_slots(chain, int(chain.capacity_slots * 0.05))
+        target = controller.compute_target_pages()
+        current = chain.allocated_pages
+        assert controller.decisions[-1].reason == "shrink-delta-reduce"
+        # 5% of current, rounded to nearest blocks (32 blocks -> 1.6 -> 2)
+        assert target == current - 2 * PAGES_PER_BLOCK
+
+    def test_shrink_never_overshoots_max_free_state(self):
+        params = TuningParameters(delta_reduce=0.99)
+        _, chain, controller, _ = build(locklist_blocks=32, params=params)
+        fill_slots(chain, int(chain.capacity_slots * 0.30))
+        target = controller.compute_target_pages()
+        used = controller.used_pages()
+        # at the target, free fraction stays <= maxFree (used >= 40%)
+        assert used / target >= (1 - params.max_free_fraction) - 0.05
+
+    def test_minimum_bound_applies(self):
+        # 130 applications: minLockMemory = 4.16 MB = 1024 pages (32 blocks)
+        _, chain, controller, _ = build(locklist_blocks=4, num_apps=130)
+        target = controller.compute_target_pages()
+        assert target >= 1_024
+
+    def test_maximum_bound_applies(self):
+        _, chain, controller, _ = build(total_pages=131_072, locklist_blocks=16)
+        fill_slots(chain, chain.capacity_slots)  # 0% free -> huge growth ask
+        for _ in range(40):
+            target = controller.compute_target_pages()
+        assert target <= controller.max_lock_memory_pages()
+
+    def test_target_block_aligned(self):
+        _, chain, controller, _ = build(locklist_blocks=16, num_apps=37)
+        fill_slots(chain, int(chain.capacity_slots * 0.71))
+        target = controller.compute_target_pages()
+        assert target % PAGES_PER_BLOCK == 0
+
+
+class TestEscalationDoubling:
+    def test_doubles_while_escalations_continue(self):
+        _, chain, controller, box = build(locklist_blocks=8)
+        fill_slots(chain, int(chain.capacity_slots * 0.55))
+        box["count"] = 3  # escalations since the last interval
+        target = controller.compute_target_pages()
+        assert controller.decisions[-1].reason == "escalation-doubling"
+        assert target == 2 * chain.allocated_pages
+
+    def test_doubling_capped_at_max(self):
+        _, chain, controller, box = build(total_pages=4_096, locklist_blocks=12)
+        box["count"] = 1
+        target = controller.compute_target_pages()
+        assert target <= controller.max_lock_memory_pages()
+
+    def test_no_doubling_after_interval_rollover(self):
+        _, chain, controller, box = build(locklist_blocks=8)
+        fill_slots(chain, int(chain.capacity_slots * 0.45))  # inside band
+        box["count"] = 3
+        controller.on_interval_end(30.0)  # snapshot taken
+        controller.compute_target_pages()
+        assert controller.decisions[-1].reason == "hold"
+
+    def test_doubling_disabled_by_params(self):
+        params = TuningParameters(escalation_doubling=False)
+        _, chain, controller, box = build(locklist_blocks=8, params=params)
+        fill_slots(chain, int(chain.capacity_slots * 0.45))  # inside band
+        box["count"] = 3
+        controller.compute_target_pages()
+        assert controller.decisions[-1].reason == "hold"
+
+
+class TestPhysicalResize:
+    def test_grow_physical_whole_blocks(self):
+        _, chain, controller, _ = build(locklist_blocks=4)
+        achieved = controller.grow_physical(3 * PAGES_PER_BLOCK + 7)
+        assert achieved == 3 * PAGES_PER_BLOCK
+        assert chain.block_count == 7
+
+    def test_shrink_physical_only_empty_blocks(self):
+        _, chain, controller, _ = build(locklist_blocks=4)
+        handles = fill_slots(chain, 2 * LOCKS_PER_BLOCK + 1)  # 3 blocks touched
+        achieved = controller.shrink_physical(4 * PAGES_PER_BLOCK)
+        assert achieved == 1 * PAGES_PER_BLOCK
+        for handle in handles:
+            chain.free_slot(handle)
+
+
+class TestSyncGrow:
+    def test_grants_from_overflow(self):
+        registry, chain, controller, _ = build(locklist_blocks=4)
+        heap_before = registry.heap("locklist").size_pages
+        overflow_before = registry.overflow_pages
+        granted = controller.sync_grow(2)
+        assert granted == 2
+        assert registry.heap("locklist").size_pages == heap_before + 64
+        assert registry.overflow_pages == overflow_before - 64
+        assert controller.lmo_pages == 64
+
+    def test_respects_max_lock_memory(self):
+        registry, chain, controller, _ = build(
+            total_pages=8_192, locklist_blocks=50
+        )
+        # maxLockMemory = 20% of 8192 = 1638 -> 1664 block-rounded;
+        # 50 blocks = 1600 pages: only 2 more blocks allowed
+        granted = controller.sync_grow(10)
+        assert granted == 2
+        chain.add_blocks(granted)  # the lock manager does this in real use
+        assert controller.sync_grow(1) == 0
+        assert controller.sync_growth_denials == 1
+
+    def test_respects_lmo_max(self):
+        params = TuningParameters()
+        registry, chain, controller, _ = build(locklist_blocks=4)
+        overflow = registry.overflow_pages
+        lmo_cap_blocks = int(0.65 * overflow) // PAGES_PER_BLOCK
+        granted = controller.sync_grow(10_000)
+        total_granted = granted
+        while granted:
+            granted = controller.sync_grow(10_000)
+            total_granted += granted
+        assert total_granted <= lmo_cap_blocks
+        # C1 < 1: overflow is never fully consumed
+        assert registry.overflow_pages > 0
+
+    def test_lmo_resets_each_interval(self):
+        registry, chain, controller, _ = build(locklist_blocks=4)
+        controller.sync_grow(2)
+        assert controller.lmo_pages == 64
+        controller.on_interval_end(30.0)
+        assert controller.lmo_pages == 0
+
+    def test_invalid_request_rejected(self):
+        _, _, controller, _ = build()
+        with pytest.raises(ValueError):
+            controller.sync_grow(0)
+
+
+class TestConsistency:
+    def test_check_consistency_passes_when_aligned(self):
+        _, _, controller, _ = build()
+        controller.check_consistency()
+
+    def test_check_consistency_detects_divergence(self):
+        _, chain, controller, _ = build()
+        chain.add_blocks(1)  # chain grew without the heap
+        with pytest.raises(MemoryAccountingError):
+            controller.check_consistency()
+
+    def test_decision_log_records_context(self):
+        _, chain, controller, _ = build(locklist_blocks=16, num_apps=7)
+        fill_slots(chain, 100)
+        controller.compute_target_pages()
+        decision = controller.decisions[-1]
+        assert decision.current_pages == chain.allocated_pages
+        assert decision.min_pages == controller.min_lock_memory_pages()
+        assert decision.max_pages == controller.max_lock_memory_pages()

@@ -1,0 +1,153 @@
+"""Property tests: the controller + STMM loop under arbitrary demand.
+
+These drive the full asynchronous loop (controller as deterministic
+tuner inside a real STMM over a real registry and block chain) through
+randomly generated lock-demand trajectories and check the invariants the
+paper's design implies:
+
+* the allocation always stays within [minLockMemory, maxLockMemory],
+* the allocation is always block-aligned and never below usage,
+* the registry's page accounting never leaks,
+* once demand stabilizes, the allocation converges to the free band
+  (or one of the hard bounds) and then stops changing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import LockMemoryController
+from repro.core.params import TuningParameters
+from repro.lockmgr.blocks import LockBlockChain
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+from repro.units import PAGES_PER_BLOCK
+
+
+def build_loop(total_pages=65_536):
+    registry = DatabaseMemoryRegistry(total_pages, overflow_goal_pages=4_096)
+    registry.register(
+        MemoryHeap("bufferpool", HeapCategory.PMC, total_pages // 2,
+                   min_pages=total_pages // 16,
+                   benefit=lambda h: 1_000.0 / h.size_pages)
+    )
+    registry.register(MemoryHeap("locklist", HeapCategory.FMC, 4 * PAGES_PER_BLOCK))
+    chain = LockBlockChain(initial_blocks=4)
+    controller = LockMemoryController(registry, chain, TuningParameters())
+    stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+    stmm.register_deterministic_tuner(controller)
+    return registry, chain, controller, stmm
+
+
+class SlotDriver:
+    """Drives chain usage to arbitrary slot counts, growing via the
+    controller's synchronous path when the chain is full -- exactly the
+    way the lock manager does."""
+
+    def __init__(self, chain, controller):
+        self.chain = chain
+        self.controller = controller
+        self.handles = []
+        self.denied = 0
+
+    def set_used(self, target):
+        while len(self.handles) < target:
+            if self.chain.free_slots == 0:
+                granted = self.controller.sync_grow(1)
+                if granted == 0:
+                    self.denied += 1
+                    return  # memory pressure: real system would escalate
+                self.chain.add_blocks(granted)
+            self.handles.append(self.chain.allocate_slot())
+        while len(self.handles) > target:
+            self.chain.free_slot(self.handles.pop())
+
+
+class TestRandomTrajectories:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        demands=st.lists(st.integers(0, 200_000), min_size=1, max_size=25)
+    )
+    def test_invariants_along_any_trajectory(self, demands):
+        registry, chain, controller, stmm = build_loop()
+        driver = SlotDriver(chain, controller)
+        now = 0.0
+        for demand in demands:
+            driver.set_used(demand)
+            now += 30.0
+            stmm.tune(now)
+            controller.check_consistency()
+            chain.check_invariants()
+            # bounds (the transient in-memory allocation may sit above
+            # the async ceiling only via sync growth, which is itself
+            # capped at maxLockMemory)
+            assert chain.allocated_pages <= controller.max_lock_memory_pages()
+            assert chain.allocated_pages % PAGES_PER_BLOCK == 0
+            assert chain.free_slots >= 0
+            # page accounting never leaks
+            assert (
+                sum(registry.snapshot().values()) == registry.total_pages
+            )
+
+    @settings(max_examples=25, deadline=None)
+    @given(demand=st.integers(0, 120_000))
+    def test_convergence_under_stable_demand(self, demand):
+        registry, chain, controller, stmm = build_loop()
+        driver = SlotDriver(chain, controller)
+        driver.set_used(demand)
+        now = 0.0
+        for _ in range(80):  # plenty of intervals to converge
+            now += 30.0
+            stmm.tune(now)
+        settled = chain.allocated_pages
+        for _ in range(5):  # and then it must hold still
+            now += 30.0
+            stmm.tune(now)
+            assert chain.allocated_pages == settled
+        params = controller.params
+        free = chain.free_fraction()
+        at_min = settled <= controller.min_lock_memory_pages()
+        at_max = settled >= controller.max_lock_memory_pages()
+        in_band = (
+            params.min_free_fraction - 0.05
+            <= free
+            <= params.max_free_fraction + 0.05
+        )
+        # one block of slack around the band for rounding
+        near_band_boundary = demand == 0 or abs(
+            free - params.max_free_fraction
+        ) * chain.capacity_slots <= 2 * 2048
+        assert in_band or at_min or at_max or near_band_boundary
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        spike=st.integers(50_000, 150_000),
+        baseline=st.integers(0, 10_000),
+    )
+    def test_spike_then_relaxation(self, spike, baseline):
+        """After any spike-and-slump, the allocation strictly decreases
+        interval by interval until it reaches its settled level."""
+        registry, chain, controller, stmm = build_loop()
+        driver = SlotDriver(chain, controller)
+        now = 0.0
+        driver.set_used(spike)
+        now += 30.0
+        stmm.tune(now)
+        driver.set_used(baseline)
+        trail = [chain.allocated_pages]
+        for _ in range(100):
+            now += 30.0
+            stmm.tune(now)
+            trail.append(chain.allocated_pages)
+            if len(trail) >= 2 and trail[-1] == trail[-2]:
+                break
+        # monotone non-increasing relaxation
+        assert all(b <= a for a, b in zip(trail, trail[1:]))
+        # and each step is at most ~delta_reduce of the current size
+        for a, b in zip(trail, trail[1:]):
+            if b < a:
+                assert a - b <= max(
+                    PAGES_PER_BLOCK,
+                    round(a * controller.params.delta_reduce / PAGES_PER_BLOCK)
+                    * PAGES_PER_BLOCK,
+                )

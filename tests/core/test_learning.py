@@ -1,0 +1,106 @@
+"""Tests for the learning query optimizer (section 6.1 future work)."""
+
+import pytest
+
+from repro.core.learning import LearningQueryOptimizer
+from repro.core.optimizer import LockGranularity
+from repro.core.params import TuningParameters
+from repro.errors import ConfigurationError
+
+
+def make(smoothing=0.5):
+    return LearningQueryOptimizer(
+        TuningParameters(), database_memory_pages=131_072, smoothing=smoothing
+    )
+
+
+class TestValidation:
+    def test_bad_smoothing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make(smoothing=0.0)
+
+    def test_negative_estimates_rejected(self):
+        optimizer = make()
+        with pytest.raises(ValueError):
+            optimizer.effective_estimate("q1", -1)
+        with pytest.raises(ValueError):
+            optimizer.observe_execution("q1", 10, -1)
+
+
+class TestColdStart:
+    def test_uses_apriori_estimate_before_feedback(self):
+        optimizer = make()
+        assert optimizer.effective_estimate("q1", 1_234) == 1_234
+
+    def test_no_stats_before_feedback(self):
+        assert make().statement_stats("q1") is None
+
+    def test_no_benefit_before_two_executions(self):
+        optimizer = make()
+        assert optimizer.learning_benefit("q1") is None
+        optimizer.observe_execution("q1", 100, 500)
+        assert optimizer.learning_benefit("q1") is None
+
+
+class TestLearning:
+    def test_converges_to_actuals(self):
+        optimizer = make(smoothing=0.5)
+        for _ in range(12):
+            optimizer.observe_execution("q1", estimated_rows=100,
+                                        actual_locks=10_000)
+        assert optimizer.effective_estimate("q1", 100) == pytest.approx(
+            10_000, rel=0.01
+        )
+
+    def test_smoothing_one_tracks_last(self):
+        optimizer = make(smoothing=1.0)
+        optimizer.observe_execution("q1", 100, 5_000)
+        optimizer.observe_execution("q1", 100, 9_000)
+        assert optimizer.effective_estimate("q1", 100) == 9_000
+
+    def test_classes_are_independent(self):
+        optimizer = make()
+        optimizer.observe_execution("q1", 100, 50_000)
+        assert optimizer.effective_estimate("q2", 100) == 100
+
+    def test_benefit_positive_for_stable_misestimation(self):
+        """A statement whose estimate is consistently 100x off: learning
+        should remove nearly all the error."""
+        optimizer = make(smoothing=0.7)
+        for _ in range(10):
+            optimizer.observe_execution("q1", 1_000, 100_000)
+        benefit = optimizer.learning_benefit("q1")
+        assert benefit is not None and benefit > 0.8
+
+
+class TestPlanCorrection:
+    def test_underestimated_statement_flips_to_table_lock(self):
+        """The section 3.6 failure mode learning is meant to fix: a
+        statement estimated small but actually locking more than even
+        the compiler view can hold."""
+        optimizer = make(smoothing=1.0)
+        huge = optimizer.base.compiler_lock_budget_structures() * 2
+        assert (
+            optimizer.choose_lock_granularity("q1", 1_000).granularity
+            is LockGranularity.ROW
+        )
+        optimizer.observe_execution("q1", 1_000, huge)
+        corrected = optimizer.choose_lock_granularity("q1", 1_000)
+        assert corrected.granularity is LockGranularity.TABLE
+        assert "learned estimate" in corrected.reason
+
+    def test_overestimated_statement_flips_to_row_lock(self):
+        optimizer = make(smoothing=1.0)
+        huge = optimizer.base.compiler_lock_budget_structures() * 2
+        assert (
+            optimizer.choose_lock_granularity("q2", huge).granularity
+            is LockGranularity.TABLE
+        )
+        optimizer.observe_execution("q2", huge, 2_000)
+        corrected = optimizer.choose_lock_granularity("q2", huge)
+        assert corrected.granularity is LockGranularity.ROW
+
+    def test_accurate_estimate_keeps_plain_reason(self):
+        optimizer = make()
+        choice = optimizer.choose_lock_granularity("q3", 500)
+        assert "learned" not in choice.reason

@@ -1,0 +1,68 @@
+"""Tests for the LMOC (on-disk configuration) distinction, section 3.3.
+
+"The on-disk configuration will be denoted by LMOC ... The in-memory
+allocation is allowed to grow beyond the LMOC as a transient effect to
+support sudden growth requirements."
+"""
+
+from repro.core.controller import LockMemoryController
+from repro.core.params import TuningParameters
+from repro.lockmgr.blocks import LockBlockChain
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+from repro.units import PAGES_PER_BLOCK
+
+
+def build():
+    registry = DatabaseMemoryRegistry(131_072, overflow_goal_pages=4_096)
+    registry.register(
+        MemoryHeap("bufferpool", HeapCategory.PMC, 65_536,
+                   min_pages=8_192, benefit=lambda h: 1.0)
+    )
+    registry.register(MemoryHeap("locklist", HeapCategory.FMC, 16 * PAGES_PER_BLOCK))
+    chain = LockBlockChain(initial_blocks=16)
+    controller = LockMemoryController(registry, chain, TuningParameters())
+    stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+    stmm.register_deterministic_tuner(controller)
+    return registry, chain, controller, stmm
+
+
+class TestLmoc:
+    def test_initially_matches_allocation(self):
+        _registry, chain, controller, _stmm = build()
+        assert controller.lmoc_pages == chain.allocated_pages
+        assert controller.transient_overage_pages == 0
+
+    def test_sync_growth_exceeds_lmoc_transiently(self):
+        """Mid-interval synchronous growth raises the in-memory
+        allocation above the persisted configuration."""
+        _registry, chain, controller, _stmm = build()
+        granted = controller.sync_grow(4)
+        chain.add_blocks(granted)
+        assert granted == 4
+        assert chain.allocated_pages > controller.lmoc_pages
+        assert controller.transient_overage_pages == 4 * PAGES_PER_BLOCK
+
+    def test_interval_externalizes_lmoc(self):
+        """At the next tuning interval LMOC catches up (and LMO resets)."""
+        _registry, chain, controller, stmm = build()
+        granted = controller.sync_grow(4)
+        chain.add_blocks(granted)
+        stmm.tune(30.0)
+        assert controller.lmoc_pages == chain.allocated_pages
+        assert controller.transient_overage_pages == 0
+        assert controller.lmo_pages == 0
+
+    def test_async_resize_keeps_lmoc_in_step(self):
+        """Purely asynchronous resizes never leave LMOC stale for more
+        than the interval that performed them."""
+        _registry, chain, controller, stmm = build()
+        handles = [chain.allocate_slot() for _ in range(20_000)]
+        stmm.tune(30.0)
+        assert controller.lmoc_pages == chain.allocated_pages
+        for handle in handles:
+            chain.free_slot(handle)
+        for t in range(2, 40):
+            stmm.tune(t * 30.0)
+            assert controller.lmoc_pages == chain.allocated_pages

@@ -1,0 +1,94 @@
+"""Tests for the adaptive lockPercentPerApplication curve (section 3.5)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.maxlocks import AdaptiveMaxlocks, lock_percent_per_application
+from repro.core.params import TuningParameters
+from repro.errors import ConfigurationError
+
+
+class TestCurveValues:
+    def test_unconstrained_at_zero(self):
+        """P(0) = 98: 'initially hardly unconstrained (98%)'."""
+        assert lock_percent_per_application(0.0) == 98.0
+
+    def test_half_used(self):
+        # 98 * (1 - 0.5^3) = 98 * 0.875 = 85.75
+        assert lock_percent_per_application(50.0) == pytest.approx(85.75)
+
+    def test_aggressive_attenuation_beyond_75(self):
+        """'aggressive attenuation when lock memory is more than 75% used'."""
+        at75 = lock_percent_per_application(75.0)
+        at90 = lock_percent_per_application(90.0)
+        assert at75 == pytest.approx(98 * (1 - 0.75**3))  # ~56.66
+        assert at90 == pytest.approx(98 * (1 - 0.9**3))  # ~26.56
+        # slope beyond 75% is much steeper than below
+        assert (at75 - at90) / 15 > (98 - at75) / 75
+
+    def test_floors_at_one_at_maximum(self):
+        """'dropping down to 1 when lock memory is 100% of its maximum'."""
+        assert lock_percent_per_application(100.0) == 1.0
+
+    def test_clamps_above_100(self):
+        assert lock_percent_per_application(150.0) == 1.0
+
+    def test_clamps_below_zero(self):
+        assert lock_percent_per_application(-10.0) == 98.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(x=st.floats(min_value=0, max_value=100))
+    def test_bounded(self, x):
+        value = lock_percent_per_application(x)
+        assert 1.0 <= value <= 98.0
+
+    @settings(max_examples=100, deadline=None)
+    @given(a=st.floats(0, 100), b=st.floats(0, 100))
+    def test_monotone_decreasing(self, a, b):
+        lo, hi = sorted((a, b))
+        assert lock_percent_per_application(lo) >= lock_percent_per_application(hi)
+
+    def test_custom_parameters(self):
+        assert lock_percent_per_application(50, p=50, exponent=1, floor=5) == 25.0
+        assert lock_percent_per_application(100, p=50, exponent=1, floor=5) == 5.0
+
+
+class TestAdaptiveMaxlocks:
+    def _make(self, allocated=1_000, maximum=10_000, params=None):
+        return AdaptiveMaxlocks(
+            params or TuningParameters(),
+            allocated_pages=lambda: allocated,
+            max_lock_memory_pages=lambda: maximum,
+        )
+
+    def test_used_percent(self):
+        assert self._make(2_500, 10_000).used_percent_of_max() == 25.0
+
+    def test_percent_tracks_curve(self):
+        adaptive = self._make(5_000, 10_000)
+        assert adaptive.percent() == pytest.approx(85.75)
+
+    def test_fraction_is_percent_over_100(self):
+        adaptive = self._make(5_000, 10_000)
+        assert adaptive.fraction() == pytest.approx(0.8575)
+
+    def test_live_telemetry(self):
+        state = {"allocated": 0}
+        adaptive = AdaptiveMaxlocks(
+            TuningParameters(),
+            allocated_pages=lambda: state["allocated"],
+            max_lock_memory_pages=lambda: 10_000,
+        )
+        assert adaptive.percent() == 98.0
+        state["allocated"] = 10_000
+        assert adaptive.percent() == 1.0
+
+    def test_zero_max_rejected(self):
+        adaptive = self._make(maximum=0)
+        with pytest.raises(ConfigurationError):
+            adaptive.used_percent_of_max()
+
+    def test_transient_overshoot_clamped(self):
+        adaptive = self._make(allocated=12_000, maximum=10_000)
+        assert adaptive.percent() == 1.0

@@ -1,0 +1,62 @@
+"""Tests for the stabilized SQL compiler view of lock memory (section 3.6)."""
+
+import pytest
+
+from repro.core.optimizer import LockGranularity, QueryOptimizer
+from repro.core.params import TuningParameters
+
+
+def make_optimizer(database_memory_pages=131_072):
+    return QueryOptimizer(TuningParameters(), database_memory_pages)
+
+
+class TestCompilerView:
+    def test_view_is_ten_percent(self):
+        optimizer = make_optimizer()
+        assert optimizer.compiler_lock_memory_pages() == 13_107
+
+    def test_budget_in_structures(self):
+        optimizer = make_optimizer()
+        # 13,107 pages * 4096 / 64 bytes per structure
+        assert optimizer.compiler_lock_budget_structures() == 13_107 * 64
+
+    def test_view_independent_of_runtime_state(self):
+        """The compiler sees a *stable* value: two optimizers over the
+        same databaseMemory agree regardless of any runtime churn."""
+        a = make_optimizer()
+        b = make_optimizer()
+        assert (
+            a.compiler_lock_memory_pages() == b.compiler_lock_memory_pages()
+        )
+
+
+class TestGranularityChoice:
+    def test_small_statement_compiles_to_row_locking(self):
+        choice = make_optimizer().choose_lock_granularity(10_000)
+        assert choice.granularity is LockGranularity.ROW
+
+    def test_fits_even_when_instantaneous_memory_tiny(self):
+        """A statement needing far more than today's allocation but less
+        than the compiler view still compiles to row locking -- the
+        runtime tuner gets its chance to avoid escalation."""
+        choice = make_optimizer().choose_lock_granularity(500_000)
+        assert choice.granularity is LockGranularity.ROW
+
+    def test_huge_statement_compiles_to_table_locking(self):
+        optimizer = make_optimizer()
+        too_many = optimizer.compiler_lock_budget_structures() + 1
+        choice = optimizer.choose_lock_granularity(too_many)
+        assert choice.granularity is LockGranularity.TABLE
+        assert "unavoidable" in choice.reason
+
+    def test_budget_boundary(self):
+        optimizer = make_optimizer()
+        budget = int(optimizer.compiler_lock_budget_structures() * 0.98)
+        assert (
+            optimizer.choose_lock_granularity(budget).granularity
+            is LockGranularity.ROW
+        )
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            make_optimizer().choose_lock_granularity(-1)

@@ -1,0 +1,54 @@
+"""Tests for tuning-policy wiring."""
+
+import pytest
+
+from repro.core.policy import AdaptiveLockMemoryPolicy, NoTuningPolicy
+from repro.core.params import TuningParameters
+from tests.conftest import make_database
+
+
+class TestAdaptivePolicy:
+    def test_attach_wires_growth_and_maxlocks(self):
+        policy = AdaptiveLockMemoryPolicy()
+        db = make_database(policy=policy)
+        assert db.lock_manager.growth_provider == policy.controller.sync_grow
+        assert db.lock_manager.maxlocks_provider == policy.maxlocks.fraction
+        assert db.lock_manager.refresh_period == 0x80
+
+    def test_attach_registers_stmm_tuner(self):
+        policy = AdaptiveLockMemoryPolicy()
+        db = make_database(policy=policy)
+        assert any(
+            t.heap_name == "locklist" for t in db.stmm._tuners
+        )
+
+    def test_initial_maxlocks_near_98(self):
+        db = make_database(policy=AdaptiveLockMemoryPolicy())
+        # tiny allocation far from maxLockMemory -> essentially 98%
+        assert db.lock_manager.maxlocks_fraction == pytest.approx(0.98, abs=0.01)
+
+    def test_custom_params_flow_through(self):
+        params = TuningParameters(refresh_period_requests=7)
+        db = make_database(policy=AdaptiveLockMemoryPolicy(params))
+        assert db.lock_manager.refresh_period == 7
+
+    def test_fixed_maxlocks_variant(self):
+        policy = AdaptiveLockMemoryPolicy(fixed_maxlocks_fraction=0.10)
+        db = make_database(policy=policy)
+        assert db.lock_manager.maxlocks_fraction == pytest.approx(0.10)
+        # growth still adaptive
+        assert db.lock_manager.growth_provider == policy.controller.sync_grow
+
+    def test_invalid_fixed_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveLockMemoryPolicy(fixed_maxlocks_fraction=0.0)
+
+    def test_describe_mentions_band(self):
+        assert "50%" in AdaptiveLockMemoryPolicy().describe()
+
+
+class TestNoTuningPolicy:
+    def test_attach_disables_hooks(self):
+        db = make_database(policy=NoTuningPolicy())
+        assert db.lock_manager.growth_provider is None
+        assert db.lock_manager.maxlocks_provider is None

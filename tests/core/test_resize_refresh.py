@@ -1,0 +1,47 @@
+"""Section 3.5: MAXLOCKS recomputed on every resize, async included."""
+
+from repro.core.policy import AdaptiveLockMemoryPolicy
+from repro.workloads.replay import LockDemandReplay
+from tests.conftest import make_database
+
+
+class TestResizeRefresh:
+    def test_controller_hook_wired_by_policy(self):
+        db = make_database(policy=AdaptiveLockMemoryPolicy())
+        controller = db.policy.controller
+        assert controller.on_resize == db.lock_manager.refresh_maxlocks
+
+    def test_async_grow_refreshes_maxlocks(self):
+        db = make_database(policy=AdaptiveLockMemoryPolicy())
+        controller = db.policy.controller
+        before = db.lock_manager.maxlocks_fraction
+        # a large asynchronous grant moves x visibly
+        granted = controller.grow_physical(
+            controller.max_lock_memory_pages() // 2
+        )
+        db.registry.grow_heap("locklist", granted, partial=True)
+        assert db.lock_manager.maxlocks_fraction < before
+
+    def test_async_shrink_refreshes_maxlocks(self):
+        db = make_database(policy=AdaptiveLockMemoryPolicy())
+        controller = db.policy.controller
+        granted = controller.grow_physical(
+            controller.max_lock_memory_pages() // 2
+        )
+        db.registry.grow_heap("locklist", granted, partial=True)
+        squeezed = db.lock_manager.maxlocks_fraction
+        freed = controller.shrink_physical(granted)
+        db.registry.shrink_heap("locklist", freed)
+        assert db.lock_manager.maxlocks_fraction > squeezed
+
+    def test_maxlocks_tracks_interval_resizes_without_requests(self):
+        """The bug this hook fixes: lock memory doubled by the async
+        tuner while every application merely *holds* its locks -- no new
+        requests flow, yet the externalized MAXLOCKS must follow x."""
+        db = make_database(policy=AdaptiveLockMemoryPolicy(), seed=83)
+        replay = LockDemandReplay(db, [(1, 30_000)], batch_size=2_048)
+        replay.start()
+        db.run(until=120)  # several intervals pass while locks are held
+        controller = db.policy.controller
+        expected = db.policy.maxlocks.fraction()
+        assert db.lock_manager.maxlocks_fraction == expected

@@ -1,0 +1,106 @@
+"""Tests for the wired database instance."""
+
+import pytest
+
+from repro.core.policy import AdaptiveLockMemoryPolicy
+from repro.engine.database import Database, DatabaseConfig
+from repro.errors import ConfigurationError
+from repro.units import PAGES_PER_BLOCK
+from tests.conftest import make_database
+
+
+class TestConfigValidation:
+    def test_oversubscribed_heaps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatabaseConfig(bufferpool_fraction=0.95, sort_fraction=0.10)
+
+    def test_tiny_locklist_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatabaseConfig(initial_locklist_pages=10)
+
+    def test_zero_memory_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatabaseConfig(total_memory_pages=0)
+
+
+class TestAssembly:
+    def test_heaps_registered(self):
+        db = make_database()
+        for name in ("bufferpool", "sort", "hashjoin", "pkgcache", "locklist"):
+            assert name in db.registry
+
+    def test_locklist_heap_matches_chain(self):
+        db = make_database(initial_locklist_pages=130)  # rounds to 160
+        assert db.registry.heap("locklist").size_pages == db.chain.allocated_pages
+        assert db.chain.allocated_pages % PAGES_PER_BLOCK == 0
+
+    def test_memory_invariant_holds(self):
+        db = make_database()
+        assert sum(db.registry.snapshot().values()) == db.registry.total_pages
+
+    def test_default_policy_is_adaptive(self):
+        db = Database(config=DatabaseConfig(total_memory_pages=16_384))
+        assert isinstance(db.policy, AdaptiveLockMemoryPolicy)
+
+    def test_app_id_allocation_monotonic(self):
+        db = make_database()
+        ids = [db.next_app_id() for _ in range(5)]
+        assert ids == sorted(set(ids))
+
+
+class TestApplications:
+    def test_register_deregister(self):
+        db = make_database()
+        db.register_application(7)
+        db.register_application(8)
+        assert db.connected_applications() == 2
+        db.deregister_application(7)
+        assert db.connected_applications() == 1
+        db.deregister_application(99)  # unknown: no-op
+        assert db.connected_applications() == 1
+
+
+class TestPerformanceModel:
+    def test_smaller_bufferpool_slower_access(self):
+        db = make_database()
+        fast = db.row_access_time()
+        db.registry.shrink_heap("bufferpool", 5_000)
+        slow = db.row_access_time()
+        assert slow > fast
+
+    def test_memoization_tracks_size_changes(self):
+        db = make_database()
+        first = db.row_access_time()
+        assert db.row_access_time() == first  # cached
+        db.registry.grow_heap("bufferpool", 1_000)
+        assert db.row_access_time() < first  # recomputed
+
+
+class TestLifecycle:
+    def test_start_twice_rejected(self):
+        db = make_database()
+        db.start()
+        with pytest.raises(ConfigurationError):
+            db.start()
+
+    def test_run_starts_implicitly(self):
+        db = make_database()
+        db.run(until=3)
+        assert db.env.now == 3
+
+    def test_sampler_records_all_probes(self):
+        db = make_database()
+        db.run(until=5)
+        for name in db.probes():
+            assert name in db.metrics
+            assert len(db.metrics[name]) >= 5
+
+    def test_stmm_runs_on_interval(self):
+        db = make_database()
+        db.run(until=95)
+        assert len(db.stmm.reports) == 3  # t=30, 60, 90
+
+    def test_check_invariants_clean_run(self):
+        db = make_database(seed=6)
+        db.run(until=10)
+        db.check_invariants()

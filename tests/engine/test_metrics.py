@@ -1,0 +1,179 @@
+"""Unit tests for time-series recording."""
+
+import math
+
+import pytest
+
+from repro.engine.des import Environment
+from repro.engine.metrics import MetricsRecorder, TimeSeries, sampled
+
+
+class TestTimeSeries:
+    def test_append_and_len(self):
+        s = TimeSeries("x")
+        s.append(0, 1.0)
+        s.append(1, 2.0)
+        assert len(s) == 2
+        assert list(s) == [(0.0, 1.0), (1.0, 2.0)]
+
+    def test_non_monotonic_time_rejected(self):
+        s = TimeSeries("x")
+        s.append(5, 1.0)
+        with pytest.raises(ValueError):
+            s.append(4, 2.0)
+
+    def test_equal_times_allowed(self):
+        s = TimeSeries("x")
+        s.append(1, 1.0)
+        s.append(1, 2.0)
+        assert len(s) == 2
+
+    def test_last_and_empty_errors(self):
+        s = TimeSeries("x")
+        with pytest.raises(ValueError):
+            s.last
+        with pytest.raises(ValueError):
+            s.max()
+        s.append(0, 3.0)
+        assert s.last == 3.0
+
+    def test_at_returns_most_recent_before(self):
+        s = TimeSeries("x")
+        for t, v in [(0, 10), (10, 20), (20, 30)]:
+            s.append(t, v)
+        assert s.at(0) == 10
+        assert s.at(9.9) == 10
+        assert s.at(10) == 20
+        assert s.at(15) == 20
+        assert s.at(100) == 30
+
+    def test_at_before_first_sample_raises(self):
+        s = TimeSeries("x")
+        s.append(5, 1.0)
+        with pytest.raises(ValueError):
+            s.at(4.9)
+
+    def test_window(self):
+        s = TimeSeries("x")
+        for t in range(10):
+            s.append(t, t)
+        w = s.window(3, 6)
+        assert w.times == [3, 4, 5, 6]
+
+    def test_aggregates(self):
+        s = TimeSeries("x")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            s.append(len(s.times), v)
+        assert s.mean() == 2.5
+        assert s.min() == 1.0
+        assert s.max() == 4.0
+        assert s.stddev() == pytest.approx(math.sqrt(1.25))
+
+    def test_time_weighted_mean(self):
+        s = TimeSeries("x")
+        s.append(0, 10.0)   # holds for 1s
+        s.append(1, 20.0)   # holds for 9s
+        s.append(10, 99.0)  # terminal sample carries no weight
+        assert s.time_weighted_mean() == pytest.approx((10 * 1 + 20 * 9) / 10)
+
+    def test_time_weighted_mean_single_sample(self):
+        s = TimeSeries("x")
+        s.append(5, 7.0)
+        assert s.time_weighted_mean() == 7.0
+
+    def test_time_weighted_mean_zero_span_falls_back(self):
+        s = TimeSeries("x")
+        s.append(1, 4.0)
+        s.append(1, 6.0)
+        assert s.time_weighted_mean() == 5.0
+
+    def test_time_weighted_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            TimeSeries("x").time_weighted_mean()
+
+    def test_delta_and_rate(self):
+        s = TimeSeries("commits")
+        for t, v in [(0, 0), (1, 10), (3, 30)]:
+            s.append(t, v)
+        assert s.delta().values == [10.0, 20.0]
+        assert s.rate().values == [10.0, 10.0]
+
+    def test_rate_skips_zero_dt(self):
+        s = TimeSeries("x")
+        s.append(1, 0)
+        s.append(1, 5)
+        assert len(s.rate()) == 0
+
+    def test_smooth_is_mean_preserving_on_constant(self):
+        s = TimeSeries("x")
+        for t in range(20):
+            s.append(t, 7.0)
+        assert s.smooth(3).values == [7.0] * 20
+
+    def test_crossing_time(self):
+        s = TimeSeries("x")
+        for t, v in [(0, 1), (5, 3), (10, 8)]:
+            s.append(t, v)
+        assert s.crossing_time(3, rising=True) == 5
+        assert s.crossing_time(100, rising=True) is None
+        assert s.crossing_time(1, rising=False) == 0
+
+
+class TestMetricsRecorder:
+    def test_record_and_lookup(self):
+        rec = MetricsRecorder()
+        rec.record("a", 0, 1.0)
+        assert "a" in rec
+        assert rec["a"].last == 1.0
+
+    def test_missing_series_keyerror_lists_names(self):
+        rec = MetricsRecorder()
+        rec.record("known", 0, 1.0)
+        with pytest.raises(KeyError, match="known"):
+            rec["unknown"]
+
+    def test_record_many(self):
+        rec = MetricsRecorder()
+        rec.record_many(1.0, {"a": 1, "b": 2})
+        assert rec["a"].last == 1
+        assert rec["b"].last == 2
+
+    def test_to_rows_merges_times(self):
+        rec = MetricsRecorder()
+        rec.record("a", 0, 1.0)
+        rec.record("b", 1, 2.0)
+        rec.record("a", 1, 3.0)
+        rows = rec.to_rows()
+        assert rows[0] == (0.0, {"a": 1.0})
+        assert rows[1] == (1.0, {"a": 3.0, "b": 2.0})
+
+    def test_write_csv(self, tmp_path):
+        rec = MetricsRecorder()
+        rec.record_many(0.0, {"a": 1, "b": 2})
+        rec.record_many(1.0, {"a": 3, "b": 4})
+        path = tmp_path / "out.csv"
+        rec.write_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time,a,b"
+        assert lines[1] == "0.0,1.0,2.0"
+
+
+class TestSampledProcess:
+    def test_samples_on_period(self):
+        env = Environment()
+        rec = MetricsRecorder()
+        counter = {"v": 0}
+
+        def bump():
+            counter["v"] += 1
+            return counter["v"]
+
+        env.process(sampled({"c": bump}, rec, env, period=1.0))
+        env.run(until=5.5)
+        assert rec["c"].times == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert rec["c"].values == [1, 2, 3, 4, 5, 6]
+
+    def test_zero_period_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            next(sampled({}, MetricsRecorder(), env, period=0))

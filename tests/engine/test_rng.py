@@ -1,0 +1,52 @@
+"""Unit tests for deterministic random-stream management."""
+
+from repro.engine.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RngStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(42).stream("client-1")
+        b = RngStreams(42).stream("client-1")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(42)
+        a = [streams.stream("a").random() for _ in range(5)]
+        b = [streams.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("x").random()
+        b = RngStreams(2).stream("x").random()
+        assert a != b
+
+    def test_variance_isolation(self):
+        """Adding a new consumer must not perturb existing streams."""
+        base = RngStreams(7)
+        before = [base.stream("oltp").random() for _ in range(5)]
+
+        other = RngStreams(7)
+        other.stream("dss")  # extra consumer created first
+        after = [other.stream("oltp").random() for _ in range(5)]
+        assert before == after
+
+    def test_spawn_children_independent(self):
+        parent = RngStreams(3)
+        child_a = parent.spawn("a")
+        child_b = parent.spawn("b")
+        assert child_a.seed != child_b.seed
+        assert child_a.stream("x").random() != child_b.stream("x").random()
+
+    def test_spawn_reproducible(self):
+        assert RngStreams(3).spawn("a").seed == RngStreams(3).spawn("a").seed
+
+    def test_repr_lists_streams(self):
+        streams = RngStreams(1)
+        streams.stream("zeta")
+        streams.stream("alpha")
+        assert "alpha" in repr(streams)
+        assert "seed=1" in repr(streams)

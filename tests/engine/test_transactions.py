@@ -1,0 +1,124 @@
+"""Tests for the transaction mix and its draws."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.transactions import RowAccess, TransactionMix, scaled
+from repro.errors import ConfigurationError
+from repro.lockmgr.modes import LockMode
+
+
+class TestValidation:
+    def test_mean_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransactionMix(locks_per_txn_mean=0.5)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransactionMix(write_fraction=1.5)
+
+    def test_zero_tables_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransactionMix(num_tables=0)
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransactionMix(think_time_mean_s=-1)
+
+
+class TestDraws:
+    def test_lock_count_at_least_one(self):
+        mix = TransactionMix(locks_per_txn_mean=5)
+        rng = random.Random(1)
+        assert all(mix.draw_lock_count(rng) >= 1 for _ in range(500))
+
+    def test_lock_count_mean_approximates_parameter(self):
+        mix = TransactionMix(locks_per_txn_mean=20)
+        rng = random.Random(42)
+        draws = [mix.draw_lock_count(rng) for _ in range(5_000)]
+        assert sum(draws) / len(draws) == pytest.approx(20, rel=0.1)
+
+    def test_mean_one_is_constant(self):
+        mix = TransactionMix(locks_per_txn_mean=1)
+        rng = random.Random(0)
+        assert {mix.draw_lock_count(rng) for _ in range(50)} == {1}
+
+    def test_access_within_namespace(self):
+        mix = TransactionMix(num_tables=3, rows_per_table=100)
+        rng = random.Random(7)
+        for _ in range(500):
+            access = mix.draw_access(rng)
+            assert 0 <= access.table_id < 3
+            assert 0 <= access.row_id < 100
+
+    def test_write_fraction_zero_is_all_reads(self):
+        mix = TransactionMix(write_fraction=0.0)
+        rng = random.Random(7)
+        assert all(
+            mix.draw_access(rng).mode is LockMode.S for _ in range(200)
+        )
+
+    def test_write_fraction_one_is_all_writes(self):
+        mix = TransactionMix(write_fraction=1.0, update_lock_fraction=0.0)
+        rng = random.Random(7)
+        assert all(
+            mix.draw_access(rng).mode is LockMode.X for _ in range(200)
+        )
+
+    def test_update_lock_fraction_yields_u_mode(self):
+        mix = TransactionMix(write_fraction=1.0, update_lock_fraction=1.0)
+        rng = random.Random(7)
+        assert all(
+            mix.draw_access(rng).mode is LockMode.U for _ in range(100)
+        )
+
+    def test_hot_set_concentrates_accesses(self):
+        mix = TransactionMix(
+            rows_per_table=1_000_000,
+            hot_row_fraction=0.0001,
+            hot_access_probability=0.5,
+        )
+        rng = random.Random(3)
+        hot_rows = 100
+        hits = sum(
+            1 for _ in range(2_000) if mix.draw_access(rng).row_id < hot_rows
+        )
+        assert hits / 2_000 == pytest.approx(0.5, abs=0.08)
+
+    def test_think_time_zero(self):
+        mix = TransactionMix(think_time_mean_s=0)
+        assert mix.draw_think_time(random.Random(1)) == 0.0
+
+    def test_think_time_mean(self):
+        mix = TransactionMix(think_time_mean_s=2.0)
+        rng = random.Random(11)
+        draws = [mix.draw_think_time(rng) for _ in range(5_000)]
+        assert sum(draws) / len(draws) == pytest.approx(2.0, rel=0.1)
+
+    def test_transaction_reproducible_per_seed(self):
+        mix = TransactionMix()
+        a = mix.draw_transaction(random.Random(5))
+        b = mix.draw_transaction(random.Random(5))
+        assert a == b
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 2**32 - 1))
+    def test_draws_always_valid(self, seed):
+        mix = TransactionMix(num_tables=4, rows_per_table=50)
+        rng = random.Random(seed)
+        txn = mix.draw_transaction(rng)
+        assert 1 <= len(txn) <= 100_000
+        for access in txn:
+            assert isinstance(access, RowAccess)
+            assert access.mode in (LockMode.S, LockMode.U, LockMode.X)
+
+
+class TestScaled:
+    def test_scaled_overrides_fields(self):
+        base = TransactionMix(write_fraction=0.3)
+        derived = scaled(base, write_fraction=0.9)
+        assert derived.write_fraction == 0.9
+        assert derived.locks_per_txn_mean == base.locks_per_txn_mean

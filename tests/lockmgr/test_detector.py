@@ -1,0 +1,166 @@
+"""Tests for the periodic deadlock detector (DLCHKTIME model)."""
+
+import pytest
+
+from repro.engine.des import Environment
+from repro.errors import DeadlockError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.detector import DeadlockDetector
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.modes import LockMode
+
+
+def make_periodic(env, interval_s=5.0):
+    manager = LockManager(env, LockBlockChain(initial_blocks=4))
+    detector = DeadlockDetector(manager, interval_s=interval_s)
+    env.process(detector.run(env))
+    return manager, detector
+
+
+class TestConstruction:
+    def test_bad_interval_rejected(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+        with pytest.raises(ValueError):
+            DeadlockDetector(manager, interval_s=0)
+
+    def test_attach_switches_mode(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+        assert manager.deadlock_detection == "immediate"
+        DeadlockDetector(manager, interval_s=5)
+        assert manager.deadlock_detection == "periodic"
+
+
+class TestGraph:
+    def test_empty_graph_no_cycles(self, env):
+        _manager, detector = make_periodic(env)
+        assert detector.find_cycles() == []
+        assert detector.check() == 0
+
+
+class TestDetection:
+    def _two_app_deadlock(self, env, manager, outcomes):
+        def app(app_id, first, second, hold_after=20.0):
+            try:
+                yield from manager.lock_row(app_id, 0, first, LockMode.X)
+                yield env.timeout(1)
+                yield from manager.lock_row(app_id, 0, second, LockMode.X)
+                outcomes[app_id] = ("ok", env.now)
+                yield env.timeout(hold_after)
+            except DeadlockError:
+                outcomes[app_id] = ("deadlock", env.now)
+            manager.release_all(app_id)
+
+        env.process(app(1, 10, 20))
+        env.process(app(2, 20, 10))
+
+    def test_cycle_persists_until_check(self, env):
+        manager, detector = make_periodic(env, interval_s=5.0)
+        outcomes = {}
+        self._two_app_deadlock(env, manager, outcomes)
+        env.run(until=4.0)
+        # both are stuck; no one has been victimized yet
+        assert outcomes == {}
+        assert len(manager.waiting_apps()) == 2
+        env.run(until=40.0)
+        results = sorted(v[0] for v in outcomes.values())
+        assert results == ["deadlock", "ok"]
+        # the victim fell at the first check after the cycle formed
+        victim_time = next(t for r, t in outcomes.values() if r == "deadlock")
+        assert victim_time == 5.0
+        assert detector.stats.cycles_found == 1
+        manager.check_invariants()
+
+    def test_victim_is_smallest_holder(self, env):
+        manager, detector = make_periodic(env, interval_s=5.0)
+        outcomes = {}
+
+        def heavy(app_id, first, second):
+            try:
+                # extra ballast locks make this app expensive to roll back
+                for row in range(50):
+                    yield from manager.lock_row(app_id, 9, 1000 + row, LockMode.S)
+                yield from manager.lock_row(app_id, 0, first, LockMode.X)
+                yield env.timeout(1)
+                yield from manager.lock_row(app_id, 0, second, LockMode.X)
+                outcomes[app_id] = "ok"
+                yield env.timeout(20)
+            except DeadlockError:
+                outcomes[app_id] = "deadlock"
+            manager.release_all(app_id)
+
+        def light(app_id, first, second):
+            try:
+                yield from manager.lock_row(app_id, 0, first, LockMode.X)
+                yield env.timeout(1)
+                yield from manager.lock_row(app_id, 0, second, LockMode.X)
+                outcomes[app_id] = "ok"
+                yield env.timeout(20)
+            except DeadlockError:
+                outcomes[app_id] = "deadlock"
+            manager.release_all(app_id)
+
+        env.process(heavy(1, 10, 20))
+        env.process(light(2, 20, 10))
+        env.run(until=40)
+        assert outcomes[2] == "deadlock"  # fewest structures held
+        assert outcomes[1] == "ok"
+
+    def test_survivor_proceeds_after_victim_rollback(self, env):
+        manager, detector = make_periodic(env, interval_s=5.0)
+        outcomes = {}
+        self._two_app_deadlock(env, manager, outcomes)
+        env.run(until=60)
+        survivor = next(a for a, (r, _t) in outcomes.items() if r == "ok")
+        # survivor got both rows and committed; nothing left behind
+        assert manager.chain.used_slots == 0
+        assert manager.stats.deadlocks == 1
+        assert detector.stats.victims != [survivor]
+
+    def test_immediate_mode_untouched_without_detector(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=4))
+        outcomes = {}
+
+        def app(app_id, first, second):
+            try:
+                yield from manager.lock_row(app_id, 0, first, LockMode.X)
+                yield env.timeout(1)
+                yield from manager.lock_row(app_id, 0, second, LockMode.X)
+                outcomes[app_id] = ("ok", env.now)
+                yield env.timeout(5)
+            except DeadlockError:
+                outcomes[app_id] = ("deadlock", env.now)
+            manager.release_all(app_id)
+
+        env.process(app(1, 10, 20))
+        env.process(app(2, 20, 10))
+        env.run(until=60)
+        # immediate mode: the victim fails at request time (t=1)
+        victim_time = next(t for r, t in outcomes.values() if r == "deadlock")
+        assert victim_time == 1.0
+
+    def test_cancel_wait_on_non_waiter_is_noop(self, env):
+        manager, _detector = make_periodic(env)
+        assert manager.cancel_wait(99, DeadlockError("x")) is False
+
+    def test_three_way_cycle_resolved(self, env):
+        manager, detector = make_periodic(env, interval_s=5.0)
+        outcomes = {}
+
+        def app(app_id, first, second):
+            try:
+                yield from manager.lock_row(app_id, 0, first, LockMode.X)
+                yield env.timeout(1)
+                yield from manager.lock_row(app_id, 0, second, LockMode.X)
+                outcomes[app_id] = "ok"
+                yield env.timeout(3)
+            except DeadlockError:
+                outcomes[app_id] = "deadlock"
+            manager.release_all(app_id)
+
+        env.process(app(1, 10, 20))
+        env.process(app(2, 20, 30))
+        env.process(app(3, 30, 10))
+        env.run(until=60)
+        assert sorted(outcomes.values()) == ["deadlock", "ok", "ok"]
+        manager.check_invariants()
+        assert manager.chain.used_slots == 0

@@ -1,0 +1,141 @@
+"""Tests for lock escalation mechanics and bookkeeping."""
+
+import pytest
+
+from repro.engine.des import Environment
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.escalation import EscalationOutcome, EscalationStats
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.resources import table_resource
+from tests.conftest import run_process
+
+
+def make_manager(env, blocks=1, capacity=16, **kwargs):
+    chain = LockBlockChain(initial_blocks=blocks, capacity_per_block=capacity)
+    return LockManager(env, chain, **kwargs)
+
+
+class TestEscalationMode:
+    def test_read_only_rows_escalate_to_s(self, env):
+        manager = make_manager(env, capacity=8)
+
+        def proc():
+            for row in range(10):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        run_process(env, proc())
+        outcome = manager.stats.escalations.outcomes[0]
+        assert outcome.target_mode is LockMode.S
+        assert manager.holder_mode(1, table_resource(0)) is LockMode.S
+
+    def test_any_write_row_escalates_to_x(self, env):
+        manager = make_manager(env, capacity=8)
+
+        def proc():
+            yield from manager.lock_row(1, 0, 0, LockMode.X)
+            for row in range(1, 10):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        run_process(env, proc())
+        outcome = manager.stats.escalations.outcomes[0]
+        assert outcome.target_mode is LockMode.X
+        assert manager.holder_mode(1, table_resource(0)) is LockMode.X
+
+    def test_escalation_frees_row_structures(self, env):
+        manager = make_manager(env, capacity=8)
+
+        def proc():
+            for row in range(10):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        run_process(env, proc())
+        outcome = manager.stats.escalations.outcomes[0]
+        # capacity 8, MAXLOCKS 98% -> limit 7: escalation fires while the
+        # app holds the intent lock plus 6 row locks, freeing the 6 rows
+        assert outcome.freed_slots == 6
+        assert manager.app_row_lock_count(1) == 0
+        # table lock + newly granted coverage only
+        assert manager.app_slots(1) == 1
+
+
+class TestEscalationBlocking:
+    def test_escalation_waits_for_conflicting_reader(self, env):
+        """The escalating app's IX -> X conversion waits for a reader."""
+        manager = make_manager(env, capacity=8)
+        timeline = []
+
+        def reader():
+            yield from manager.lock_row(2, 0, 99, LockMode.S)
+            yield env.timeout(10)
+            manager.release_all(2)
+            timeline.append(("reader-done", env.now))
+
+        def writer():
+            yield env.timeout(1)
+            # fills the chain with X row locks; escalation to X must wait
+            # for the reader's S row lock + IS table lock to clear
+            for row in range(10):
+                yield from manager.lock_row(1, 0, row, LockMode.X)
+            timeline.append(("writer-done", env.now))
+
+        env.process(reader())
+        env.process(writer())
+        env.run(until=60)
+        assert timeline[0][0] == "reader-done"
+        outcome = manager.stats.escalations.outcomes[0]
+        assert outcome.waited
+        assert timeline[1][1] >= 10.0
+
+    def test_maxlocks_escalation_targets_requesters_biggest_table(self, env):
+        manager = make_manager(env, capacity=16)
+
+        def proc():
+            # app 1 grabs rows in two tables up to the MAXLOCKS limit
+            # (98% of 16 = 15 structures)
+            for row in range(6):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+            for row in range(7):
+                yield from manager.lock_row(1, 1, row, LockMode.S)
+            yield from manager.lock_row(1, 2, 0, LockMode.S)
+
+        run_process(env, proc())
+        outcome = manager.stats.escalations.outcomes[0]
+        assert outcome.app_id == 1
+        assert outcome.reason == "maxlocks"
+        assert outcome.table_id == 1  # 7 rows there vs 6 in table 0
+
+    def test_memory_escalation_picks_biggest_holder_when_requester_has_none(
+        self, env
+    ):
+        # MAXLOCKS effectively disabled so only the full chain triggers.
+        manager = make_manager(env, capacity=16, maxlocks_fraction=1.0)
+
+        def hog():
+            for row in range(15):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        def newcomer():
+            yield env.timeout(1)
+            # chain full (15 rows + intent); newcomer's intent lock needs
+            # a structure, the requester holds no rows -> hog escalates
+            yield from manager.lock_row(2, 1, 0, LockMode.S)
+
+        run_process(env, hog())
+        run_process(env, newcomer())
+        outcomes = manager.stats.escalations.outcomes
+        assert outcomes and outcomes[0].app_id == 1
+        assert outcomes[0].reason == "memory"
+        manager.check_invariants()
+
+
+class TestEscalationStats:
+    def test_exclusive_count(self):
+        stats = EscalationStats()
+        stats.record(EscalationOutcome(0, 1, 0, "memory", LockMode.S, 5, False))
+        stats.record(EscalationOutcome(1, 2, 0, "maxlocks", LockMode.X, 9, True))
+        assert stats.count == 2
+        assert stats.exclusive_count == 1
+        assert stats.freed_slots_total == 14
+        assert stats.by_reason("memory") == 1
+        assert stats.by_reason("maxlocks") == 1

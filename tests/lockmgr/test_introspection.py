@@ -1,0 +1,67 @@
+"""Tests for lock-status introspection APIs."""
+
+from repro.engine.des import Environment
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.resources import row_resource
+
+
+class TestLockStatus:
+    def test_unlocked_resource(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+        assert manager.lock_status(row_resource(0, 7)) == "T0.R7: unlocked"
+
+    def test_figure3_rendering(self, env):
+        """The Figure 3 state renders holders and queue in order."""
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+
+        def app(app_id, mode, delay):
+            yield env.timeout(delay)
+            yield from manager.lock_row(app_id, 0, 7, mode)
+            yield env.timeout(100)
+
+        env.process(app(1, LockMode.S, 0))
+        env.process(app(2, LockMode.S, 1))
+        env.process(app(3, LockMode.X, 2))
+        env.process(app(4, LockMode.S, 3))
+        env.run(until=10)
+        status = manager.lock_status(row_resource(0, 7))
+        assert status == "T0.R7: granted[1:S, 2:S] queue[3:X, 4:S]"
+
+    def test_snapshot_report_summarizes(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=2))
+
+        def holder():
+            yield from manager.lock_row(1, 0, 5, LockMode.X)
+            yield env.timeout(100)
+
+        def waiter():
+            yield env.timeout(1)
+            yield from manager.lock_row(2, 0, 5, LockMode.X)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=10)
+        report = manager.snapshot_report()
+        assert "lock memory: 2 blocks" in report
+        assert "T0.R5" in report
+        assert "queue[2:X]" in report
+
+    def test_snapshot_report_caps_resource_list(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=4))
+
+        def holder(app_id, row):
+            yield from manager.lock_row(app_id, 0, row, LockMode.X)
+            yield env.timeout(100)
+
+        def waiter(app_id, row):
+            yield env.timeout(1)
+            yield from manager.lock_row(app_id, 0, row, LockMode.X)
+
+        for row in range(6):
+            env.process(holder(100 + row, row))
+            env.process(waiter(200 + row, row))
+        env.run(until=10)
+        report = manager.snapshot_report(max_resources=3)
+        assert "... and 3 more" in report

@@ -1,0 +1,132 @@
+"""Tests for isolation levels and early read-lock release."""
+
+import pytest
+
+from repro.engine.client import Client
+from repro.engine.transactions import TransactionMix
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.isolation import IsolationLevel
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.resources import row_resource
+from tests.conftest import make_database, run_process
+
+
+class TestIsolationLevel:
+    def test_read_lock_taking(self):
+        assert not IsolationLevel.UR.takes_read_locks
+        assert IsolationLevel.CS.takes_read_locks
+        assert IsolationLevel.RR.takes_read_locks
+
+    def test_read_lock_holding(self):
+        assert not IsolationLevel.CS.holds_read_locks_to_commit
+        assert IsolationLevel.RS.holds_read_locks_to_commit
+        assert IsolationLevel.RR.holds_read_locks_to_commit
+
+
+class TestReleaseReadLock:
+    def test_releases_plain_s_lock(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+        run_process(env, manager.lock_row(1, 0, 5, LockMode.S))
+        assert manager.release_read_lock(1, 0, 5)
+        assert manager.holder_mode(1, row_resource(0, 5)) is None
+        assert manager.app_slots(1) == 1  # intent lock remains
+        manager.check_invariants()
+
+    def test_keeps_write_locks(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+        run_process(env, manager.lock_row(1, 0, 5, LockMode.X))
+        assert not manager.release_read_lock(1, 0, 5)
+        assert manager.holder_mode(1, row_resource(0, 5)) is LockMode.X
+
+    def test_keeps_upgraded_locks(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+
+        def proc():
+            yield from manager.lock_row(1, 0, 5, LockMode.S)
+            yield from manager.lock_row(1, 0, 5, LockMode.X)
+
+        run_process(env, proc())
+        assert not manager.release_read_lock(1, 0, 5)
+
+    def test_reentrant_count_decrements_first(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+
+        def proc():
+            yield from manager.lock_row(1, 0, 5, LockMode.S)
+            yield from manager.lock_row(1, 0, 5, LockMode.S)
+
+        run_process(env, proc())
+        assert manager.release_read_lock(1, 0, 5)  # count 2 -> 1
+        assert manager.holder_mode(1, row_resource(0, 5)) is LockMode.S
+        assert manager.release_read_lock(1, 0, 5)  # released
+        assert manager.holder_mode(1, row_resource(0, 5)) is None
+
+    def test_not_held_returns_false(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+        assert not manager.release_read_lock(1, 0, 5)
+
+    def test_wakes_waiting_writer(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=1))
+        granted_at = {}
+
+        def reader():
+            yield from manager.lock_row(1, 0, 5, LockMode.S)
+            yield env.timeout(5)
+            manager.release_read_lock(1, 0, 5)  # cursor moves on
+            yield env.timeout(100)
+            manager.release_all(1)
+
+        def writer():
+            yield env.timeout(1)
+            yield from manager.lock_row(2, 0, 5, LockMode.X)
+            granted_at["t"] = env.now
+            manager.release_all(2)
+
+        env.process(reader())
+        env.process(writer())
+        env.run(until=200)
+        assert granted_at["t"] == 5.0  # did not wait for reader's commit
+
+
+def _mix(isolation, write_fraction=0.0):
+    return TransactionMix(
+        locks_per_txn_mean=30,
+        write_fraction=write_fraction,
+        update_lock_fraction=0.0,
+        num_tables=2,
+        rows_per_table=100_000,
+        think_time_mean_s=0.05,
+        work_time_per_lock_s=0.02,
+        isolation=isolation,
+    )
+
+
+def _peak_demand(isolation, write_fraction=0.0, seed=51):
+    db = make_database(seed=seed)
+    client = Client(db, db.next_app_id(), _mix(isolation, write_fraction))
+    db.env.process(client.run())
+    db.run(until=60)
+    assert client.stats.commits > 5
+    return db.lock_manager.stats.peak_used_slots
+
+
+class TestClientIsolationBehaviour:
+    def test_cs_holds_far_fewer_read_locks_than_rr(self):
+        rr = _peak_demand(IsolationLevel.RR)
+        cs = _peak_demand(IsolationLevel.CS)
+        assert cs < rr / 3
+
+    def test_ur_readers_take_no_row_locks(self):
+        ur = _peak_demand(IsolationLevel.UR)
+        # read-only UR transactions never hold more than a handful of
+        # structures (nothing at all in this all-read mix)
+        assert ur <= 1
+
+    def test_writes_held_to_commit_under_cs(self):
+        cs_writes = _peak_demand(IsolationLevel.CS, write_fraction=1.0)
+        # every write lock of a transaction is held simultaneously
+        assert cs_writes > 10
+
+    def test_default_isolation_is_rr(self):
+        assert TransactionMix().isolation is IsolationLevel.RR

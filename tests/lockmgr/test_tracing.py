@@ -1,0 +1,158 @@
+"""Tests for the lock manager tracing facility."""
+
+import pytest
+
+from repro.engine.des import Environment
+from repro.errors import DeadlockError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.tracing import LockTrace, TraceEvent
+from tests.conftest import run_process
+
+
+def traced_manager(env, blocks=4, capacity=None, **kwargs):
+    chain = (
+        LockBlockChain(initial_blocks=blocks, capacity_per_block=capacity)
+        if capacity
+        else LockBlockChain(initial_blocks=blocks)
+    )
+    manager = LockManager(env, chain, **kwargs)
+    manager.tracer = LockTrace()
+    return manager
+
+
+class TestLockTrace:
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            LockTrace(capacity=0)
+
+    def test_ring_buffer_eviction_keeps_counts(self):
+        trace = LockTrace(capacity=3)
+        for i in range(10):
+            trace.emit(float(i), "grant", i)
+        assert len(trace) == 3
+        assert trace.count("grant") == 10
+        assert [e.time for e in trace] == [7.0, 8.0, 9.0]
+
+    def test_query_filters(self):
+        trace = LockTrace()
+        trace.emit(1.0, "grant", 1)
+        trace.emit(2.0, "wait-begin", 2)
+        trace.emit(3.0, "grant", 2)
+        assert len(list(trace.query(kind="grant"))) == 2
+        assert len(list(trace.query(app_id=2))) == 2
+        assert len(list(trace.query(kind="grant", app_id=2))) == 1
+        assert len(list(trace.query(since=2.5))) == 1
+
+    def test_event_str(self):
+        event = TraceEvent(1.5, "grant", 3, "X T0.R7")
+        text = str(event)
+        assert "grant" in text and "app=3" in text and "X T0.R7" in text
+
+    def test_summary_and_tail(self):
+        trace = LockTrace()
+        trace.emit(1.0, "grant", 1)
+        trace.emit(2.0, "grant", 2)
+        assert "grant=2" in trace.summary()
+        assert len(trace.tail(1).splitlines()) == 1
+
+    def test_write_csv(self, tmp_path):
+        trace = LockTrace()
+        trace.emit(1.0, "grant", 1, "X T0.R7", "T0.R7")
+        trace.emit(2.0, "wait-begin", 2, "X T0.R7", "T0.R7")
+        path = tmp_path / "trace.csv"
+        trace.write_csv(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "time,kind,app_id,resource,detail"
+        assert len(lines) == 3
+        assert "wait-begin" in lines[2]
+
+
+class TestManagerIntegration:
+    def test_grant_and_release_traced(self, env):
+        manager = traced_manager(env)
+
+        def proc():
+            yield from manager.lock_row(1, 0, 5, LockMode.X)
+
+        run_process(env, proc())
+        manager.release_all(1)
+        assert manager.tracer.count("grant") == 2  # intent + row
+        assert manager.tracer.count("release") == 1
+
+    def test_wait_traced_with_duration(self, env):
+        manager = traced_manager(env)
+
+        def holder():
+            yield from manager.lock_row(1, 0, 5, LockMode.X)
+            yield env.timeout(4)
+            manager.release_all(1)
+
+        def waiter():
+            yield env.timeout(1)
+            yield from manager.lock_row(2, 0, 5, LockMode.X)
+            manager.release_all(2)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert manager.tracer.count("wait-begin") == 1
+        (end,) = trace_events = list(manager.tracer.query(kind="wait-end"))
+        assert "after 3.000s" in end.detail
+
+    def test_deadlock_traced(self, env):
+        manager = traced_manager(env)
+
+        def app(app_id, first, second):
+            try:
+                yield from manager.lock_row(app_id, 0, first, LockMode.X)
+                yield env.timeout(1)
+                yield from manager.lock_row(app_id, 0, second, LockMode.X)
+                yield env.timeout(3)
+            except DeadlockError:
+                pass
+            manager.release_all(app_id)
+
+        env.process(app(1, 10, 20))
+        env.process(app(2, 20, 10))
+        env.run()
+        assert manager.tracer.count("deadlock") == 1
+
+    def test_escalation_traced(self, env):
+        manager = traced_manager(env, blocks=1, capacity=8)
+
+        def proc():
+            for row in range(10):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        run_process(env, proc())
+        (event,) = list(manager.tracer.query(kind="escalation"))
+        assert "table 0 -> S" in event.detail
+
+    def test_sync_growth_traced(self, env):
+        manager = traced_manager(
+            env, blocks=1, capacity=4, growth_provider=lambda b: b
+        )
+
+        def proc():
+            for row in range(10):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        run_process(env, proc())
+        assert manager.tracer.count("sync-growth") >= 1
+
+    def test_tracing_disabled_by_default(self, env):
+        chain = LockBlockChain(initial_blocks=1)
+        manager = LockManager(env, chain)
+        assert manager.tracer is None
+
+    def test_conversion_traced(self, env):
+        manager = traced_manager(env)
+
+        def proc():
+            yield from manager.lock_row(1, 0, 5, LockMode.U)
+            yield from manager.lock_row(1, 0, 5, LockMode.X)
+
+        run_process(env, proc())
+        assert manager.tracer.count("convert") == 1

@@ -1,0 +1,80 @@
+"""Unit tests for the bufferpool hit-ratio model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.bufferpool import BufferpoolModel
+
+
+class TestValidation:
+    def test_bad_half_saturation(self):
+        with pytest.raises(ConfigurationError):
+            BufferpoolModel(half_saturation_pages=0)
+
+    def test_bad_max_hit_ratio(self):
+        with pytest.raises(ConfigurationError):
+            BufferpoolModel(max_hit_ratio=1.5)
+
+    def test_negative_costs(self):
+        with pytest.raises(ConfigurationError):
+            BufferpoolModel(miss_penalty_s=-1)
+
+
+class TestHitRatio:
+    def test_zero_size_zero_hits(self):
+        assert BufferpoolModel().hit_ratio(0) == 0.0
+
+    def test_half_saturation_point(self):
+        model = BufferpoolModel(half_saturation_pages=10_000, max_hit_ratio=0.9)
+        assert model.hit_ratio(10_000) == pytest.approx(0.45)
+
+    def test_asymptote(self):
+        model = BufferpoolModel(half_saturation_pages=100, max_hit_ratio=0.99)
+        assert model.hit_ratio(10_000_000) == pytest.approx(0.99, abs=1e-4)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            BufferpoolModel().hit_ratio(-1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.integers(0, 10**7), b=st.integers(0, 10**7))
+    def test_monotone_in_size(self, a, b):
+        model = BufferpoolModel()
+        lo, hi = sorted((a, b))
+        assert model.hit_ratio(lo) <= model.hit_ratio(hi)
+
+
+class TestAccessTime:
+    def test_small_pool_costs_more(self):
+        model = BufferpoolModel()
+        assert model.page_access_time(1_000) > model.page_access_time(100_000)
+
+    def test_bounds(self):
+        model = BufferpoolModel(miss_penalty_s=0.004, hit_cost_s=0.00002)
+        t = model.page_access_time(50_000)
+        assert 0.00002 <= t <= 0.004
+
+
+class TestMarginalBenefit:
+    @settings(max_examples=50, deadline=None)
+    @given(a=st.integers(0, 10**6), b=st.integers(0, 10**6))
+    def test_strictly_decreasing(self, a, b):
+        model = BufferpoolModel()
+        lo, hi = sorted((a, b))
+        if lo != hi:
+            assert model.marginal_benefit(lo) > model.marginal_benefit(hi)
+
+    def test_always_positive(self):
+        model = BufferpoolModel()
+        assert model.marginal_benefit(10**9) > 0
+
+    def test_matches_numeric_derivative(self):
+        model = BufferpoolModel()
+        size = 40_000
+        h = 10
+        numeric = (
+            model.page_access_time(size) - model.page_access_time(size + h)
+        ) / h
+        assert model.marginal_benefit(size) == pytest.approx(numeric, rel=1e-3)

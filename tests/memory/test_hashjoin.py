@@ -1,0 +1,90 @@
+"""Tests for the hash join heap model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.hashjoin import HashJoinModel
+
+
+class TestValidation:
+    def test_bad_row_bytes(self):
+        with pytest.raises(ConfigurationError):
+            HashJoinModel(row_bytes=0)
+
+    def test_bad_ratio(self):
+        with pytest.raises(ConfigurationError):
+            HashJoinModel(probe_to_build_ratio=0)
+
+    def test_bad_inputs(self):
+        model = HashJoinModel()
+        with pytest.raises(ValueError):
+            model.build_pages(-1)
+        with pytest.raises(ValueError):
+            model.partitioning_levels(10, 0)
+
+
+class TestPartitioning:
+    def test_in_memory_join_no_levels(self):
+        model = HashJoinModel(row_bytes=64)
+        assert model.partitioning_levels(build_rows=6_000, heap_pages=100) == 0
+
+    def test_spill_at_least_one_level(self):
+        model = HashJoinModel(row_bytes=64)
+        assert model.partitioning_levels(64_000, 100) >= 1
+
+    def test_tiny_heap_recursive_partitioning(self):
+        model = HashJoinModel(row_bytes=64)
+        small = model.partitioning_levels(5_000_000, 5)
+        big = model.partitioning_levels(5_000_000, 2_000)
+        assert small > big
+
+
+class TestJoinTime:
+    def test_zero_build_is_free(self):
+        assert HashJoinModel().join_time(0, 100) == 0.0
+
+    def test_spill_costs_more(self):
+        model = HashJoinModel(row_bytes=64)
+        rows = 64_000
+        assert model.join_time(rows, 100) > 2 * model.join_time(rows, 2_000)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(1, 3_000_000),
+        small=st.integers(2, 500),
+        extra=st.integers(1, 4_000),
+    )
+    def test_monotone_in_heap(self, rows, small, extra):
+        model = HashJoinModel()
+        assert model.join_time(rows, small) >= model.join_time(rows, small + extra)
+
+    def test_probe_ratio_scales_spill_cost(self):
+        cheap = HashJoinModel(probe_to_build_ratio=1.0)
+        costly = HashJoinModel(probe_to_build_ratio=10.0)
+        rows = 500_000
+        assert costly.join_time(rows, 100) > cheap.join_time(rows, 100)
+
+
+class TestMarginalBenefit:
+    def test_zero_without_joins(self):
+        assert HashJoinModel().marginal_benefit(1_000, 0) == 0.0
+
+    def test_zero_when_build_fits(self):
+        model = HashJoinModel(row_bytes=64)
+        assert model.marginal_benefit(10_000, typical_build_rows=1_000) == 0.0
+
+    def test_positive_when_spilling(self):
+        model = HashJoinModel(row_bytes=64)
+        assert model.marginal_benefit(100, typical_build_rows=640_000) > 0
+
+    def test_database_integration(self):
+        from tests.conftest import make_database
+
+        db = make_database()
+        heap = db.registry.heap("hashjoin")
+        assert heap.benefit() == 0.0
+        db.hash_join_time(3_000_000)
+        db.hash_join_time(3_000_000)
+        assert heap.benefit() > 0.0

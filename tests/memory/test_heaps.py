@@ -1,0 +1,72 @@
+"""Unit tests for memory heaps."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryAccountingError
+from repro.memory.heaps import HeapCategory, MemoryHeap
+
+
+class TestValidation:
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHeap("h", HeapCategory.PMC, size_pages=-1)
+
+    def test_size_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHeap("h", HeapCategory.PMC, size_pages=10, min_pages=20)
+
+    def test_size_above_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHeap("h", HeapCategory.PMC, size_pages=30, max_pages=20)
+
+    def test_max_below_min_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryHeap("h", HeapCategory.PMC, size_pages=5, min_pages=10, max_pages=5)
+
+
+class TestCategories:
+    def test_pmc_flags(self):
+        heap = MemoryHeap("bp", HeapCategory.PMC, 100)
+        assert heap.is_pmc and not heap.is_fmc
+
+    def test_fmc_flags(self):
+        heap = MemoryHeap("locklist", HeapCategory.FMC, 100)
+        assert heap.is_fmc and not heap.is_pmc
+
+
+class TestResize:
+    def test_headroom_and_shrinkable(self):
+        heap = MemoryHeap("h", HeapCategory.PMC, 100, min_pages=40, max_pages=150)
+        assert heap.headroom_pages() == 50
+        assert heap.shrinkable_pages() == 60
+
+    def test_unbounded_headroom_is_huge(self):
+        heap = MemoryHeap("h", HeapCategory.PMC, 100)
+        assert heap.headroom_pages() > 10**15
+
+    def test_apply_resize_respects_bounds(self):
+        heap = MemoryHeap("h", HeapCategory.PMC, 100, min_pages=40, max_pages=150)
+        heap._apply_resize(50)
+        assert heap.size_pages == 150
+        with pytest.raises(MemoryAccountingError):
+            heap._apply_resize(1)
+        heap._apply_resize(-110)
+        assert heap.size_pages == 40
+        with pytest.raises(MemoryAccountingError):
+            heap._apply_resize(-1)
+
+
+class TestBenefit:
+    def test_default_benefit_zero(self):
+        assert MemoryHeap("h", HeapCategory.PMC, 100).benefit() == 0.0
+
+    def test_benefit_callable_receives_heap(self):
+        heap = MemoryHeap(
+            "h", HeapCategory.PMC, 200, benefit=lambda h: 1000.0 / h.size_pages
+        )
+        assert heap.benefit() == pytest.approx(5.0)
+
+    def test_repr_mentions_name_and_size(self):
+        heap = MemoryHeap("sort", HeapCategory.PMC, 123)
+        assert "sort" in repr(heap)
+        assert "123" in repr(heap)

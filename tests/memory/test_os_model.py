@@ -1,0 +1,160 @@
+"""Tests for DATABASE_MEMORY self-tuning against the OS."""
+
+import pytest
+
+from repro.errors import ConfigurationError, MemoryAccountingError
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.os_model import DatabaseMemoryTuner, OperatingSystemModel
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+
+
+def build(db_total=50_000, ram=100_000, other=20_000):
+    registry = DatabaseMemoryRegistry(db_total, overflow_goal_pages=2_000)
+    registry.register(
+        MemoryHeap("bufferpool", HeapCategory.PMC, db_total // 2,
+                   min_pages=db_total // 10,
+                   benefit=lambda h: 1_000.0 / h.size_pages)
+    )
+    os_model = OperatingSystemModel(ram, other_demand_pages=other)
+    tuner = DatabaseMemoryTuner(
+        registry, os_model,
+        target_free_fraction=0.10, band_fraction=0.02, step_fraction=0.10,
+    )
+    return registry, os_model, tuner
+
+
+class TestResizeTotal:
+    def test_grow_enlarges_overflow(self):
+        registry, _os, _tuner = build()
+        overflow_before = registry.overflow_pages
+        registry.resize_total(60_000)
+        assert registry.total_pages == 60_000
+        assert registry.overflow_pages == overflow_before + 10_000
+
+    def test_shrink_limited_by_overflow(self):
+        registry, _os, _tuner = build()
+        overflow = registry.overflow_pages
+        with pytest.raises(MemoryAccountingError):
+            registry.resize_total(registry.total_pages - overflow - 1)
+        new_total = registry.resize_total(
+            registry.total_pages - overflow - 1, partial=True
+        )
+        assert new_total == 50_000 - overflow
+        assert registry.overflow_pages == 0
+
+    def test_zero_total_rejected(self):
+        registry, _os, _tuner = build()
+        with pytest.raises(ConfigurationError):
+            registry.resize_total(0)
+
+
+class TestOperatingSystemModel:
+    def test_free_pages(self):
+        os_model = OperatingSystemModel(100_000, other_demand_pages=30_000)
+        assert os_model.free_pages(50_000) == 20_000
+        assert os_model.free_pages(80_000) == 0  # clamped
+
+    def test_demand_updates(self):
+        os_model = OperatingSystemModel(100_000)
+        os_model.set_other_demand(70_000)
+        assert os_model.free_pages(20_000) == 10_000
+        with pytest.raises(ConfigurationError):
+            os_model.set_other_demand(-1)
+
+
+class TestTunerValidation:
+    def test_bad_target(self):
+        registry, os_model, _ = build()
+        with pytest.raises(ConfigurationError):
+            DatabaseMemoryTuner(registry, os_model, target_free_fraction=0)
+
+    def test_band_exceeding_target(self):
+        registry, os_model, _ = build()
+        with pytest.raises(ConfigurationError):
+            DatabaseMemoryTuner(
+                registry, os_model,
+                target_free_fraction=0.05, band_fraction=0.06,
+            )
+
+
+class TestTuning:
+    def test_grows_when_os_has_slack(self):
+        # free = 100k - 20k - 50k = 30k; target 10k -> grow
+        registry, _os, tuner = build()
+        action = tuner.tune(0.0)
+        assert action is not None and action.kind == "grow"
+        assert registry.total_pages == 55_000  # step cap: 10% of 50k
+
+    def test_holds_inside_band(self):
+        # free = 100k - 40k - 50k = 10k = target -> no action
+        registry, _os, tuner = build(other=40_000)
+        assert tuner.tune(0.0) is None
+        assert registry.total_pages == 50_000
+
+    def test_shrinks_under_os_pressure(self):
+        # free = 100k - 48k - 50k = 2k < 8k lower band -> shrink
+        registry, _os, tuner = build(other=48_000)
+        action = tuner.tune(0.0)
+        assert action is not None and action.kind == "shrink"
+        assert registry.total_pages < 50_000
+
+    def test_shrink_reclaims_from_donors_when_overflow_thin(self):
+        registry, os_model, tuner = build(other=48_000)
+        # consume almost all overflow into the bufferpool first
+        registry.grow_heap("bufferpool", registry.overflow_pages - 100)
+        bufferpool_before = registry.heap("bufferpool").size_pages
+        action = tuner.tune(0.0)
+        assert action is not None and action.kind == "shrink"
+        assert registry.heap("bufferpool").size_pages < bufferpool_before
+
+    def test_respects_min_total(self):
+        registry, os_model, tuner = build(other=95_000)
+        tuner.min_total_pages = 49_500
+        tuner.tune(0.0)
+        assert registry.total_pages >= 49_500
+
+    def test_respects_max_total(self):
+        registry, os_model, tuner = build(other=0)
+        tuner.max_total_pages = 52_000
+        tuner.tune(0.0)
+        assert registry.total_pages <= 52_000
+
+    def test_overflow_goal_tracks_total(self):
+        registry, _os, tuner = build()
+        tuner.tune(0.0)
+        assert registry.overflow_goal_pages == int(0.05 * registry.total_pages)
+
+    def test_converges_to_target_band(self):
+        registry, os_model, tuner = build()
+        for i in range(50):
+            tuner.tune(float(i))
+        free = os_model.free_pages(registry.total_pages)
+        target = int(0.10 * os_model.total_ram_pages)
+        band = int(0.02 * os_model.total_ram_pages)
+        assert target - band <= free <= target + band
+
+
+class TestStmmIntegration:
+    def test_global_tuner_runs_each_interval(self):
+        registry, os_model, tuner = build()
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.register_global_tuner(tuner.tune)
+        stmm.tune(0.0)
+        stmm.tune(30.0)
+        assert len(tuner.actions) == 2
+        assert registry.total_pages > 50_000
+
+    def test_lock_memory_ceiling_follows_database_memory(self):
+        """maxLockMemory = 20% of databaseMemory: growing the database
+        raises the lock memory ceiling automatically."""
+        from repro.core.controller import LockMemoryController
+        from repro.lockmgr.blocks import LockBlockChain
+
+        registry, os_model, tuner = build()
+        registry.register(MemoryHeap("locklist", HeapCategory.FMC, 128))
+        chain = LockBlockChain(initial_blocks=4)
+        controller = LockMemoryController(registry, chain)
+        ceiling_before = controller.max_lock_memory_pages()
+        tuner.tune(0.0)
+        assert controller.max_lock_memory_pages() > ceiling_before

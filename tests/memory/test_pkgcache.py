@@ -1,0 +1,87 @@
+"""Tests for the package cache (compiled statement cache) model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.pkgcache import PackageCacheModel
+
+
+class TestValidation:
+    def test_bad_pages_per_statement(self):
+        with pytest.raises(ConfigurationError):
+            PackageCacheModel(pages_per_statement=0)
+
+    def test_bad_skew(self):
+        with pytest.raises(ConfigurationError):
+            PackageCacheModel(zipf_skew=1.0)
+
+    def test_negative_cache_rejected(self):
+        with pytest.raises(ValueError):
+            PackageCacheModel().cached_statements(-1)
+
+
+class TestHitCurve:
+    def test_zero_cache_zero_hits(self):
+        model = PackageCacheModel()
+        assert model.hit_ratio(0) == 0.0
+        assert model.compile_overhead_s(0) == model.compile_time_s
+
+    def test_full_working_set_always_hits(self):
+        model = PackageCacheModel(
+            pages_per_statement=8, distinct_statements=100
+        )
+        assert model.hit_ratio(800) == 1.0
+        assert model.compile_overhead_s(800) == 0.0
+
+    def test_concave_skewed_curve(self):
+        """A small cache over a skewed workload captures most hits."""
+        model = PackageCacheModel(
+            pages_per_statement=8, distinct_statements=1_000, zipf_skew=0.8
+        )
+        tenth = model.hit_ratio(8 * 100)  # caches 10% of statements
+        assert tenth > 0.6  # far more than 10% of executions
+
+    def test_monotone_in_size(self):
+        model = PackageCacheModel()
+        sizes = [0, 100, 500, 1_000, 4_000, 10_000]
+        ratios = [model.hit_ratio(s) for s in sizes]
+        assert ratios == sorted(ratios)
+
+    def test_no_skew_uniform_coverage(self):
+        model = PackageCacheModel(
+            pages_per_statement=1, distinct_statements=100, zipf_skew=0.01
+        )
+        assert model.hit_ratio(50) == pytest.approx(0.5, abs=0.02)
+
+
+class TestMarginalBenefit:
+    def test_zero_once_working_set_cached(self):
+        model = PackageCacheModel(
+            pages_per_statement=8, distinct_statements=100
+        )
+        assert model.marginal_benefit(800) == 0.0
+
+    def test_positive_below_working_set(self):
+        model = PackageCacheModel(
+            pages_per_statement=8, distinct_statements=1_000
+        )
+        assert model.marginal_benefit(400) > 0
+
+    def test_database_integration(self):
+        from repro.engine.database import DatabaseConfig
+        from tests.conftest import make_database
+
+        # a plan working set that fits the small test database's cache
+        config_model = PackageCacheModel(
+            pages_per_statement=8, distinct_statements=50
+        )
+        db = make_database(pkgcache_model=config_model)
+        # the default cache (4% of 16,384 = 655 pages) holds all 400
+        # working-set pages: no overhead, willing donor
+        assert db.statement_compile_time() == 0.0
+        heap = db.registry.heap("pkgcache")
+        assert heap.benefit() == 0.0
+        # shrink it below the working set: overhead and benefit appear
+        db.registry.shrink_heap("pkgcache", heap.size_pages - 300)
+        assert db.statement_compile_time() > 0.0
+        assert heap.benefit() > 0.0

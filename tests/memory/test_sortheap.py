@@ -1,0 +1,121 @@
+"""Tests for the sort heap performance model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory.sortheap import SortHeapModel
+
+
+class TestValidation:
+    def test_bad_row_bytes(self):
+        with pytest.raises(ConfigurationError):
+            SortHeapModel(row_bytes=0)
+
+    def test_negative_costs(self):
+        with pytest.raises(ConfigurationError):
+            SortHeapModel(cpu_time_per_row_s=-1)
+
+    def test_bad_inputs(self):
+        model = SortHeapModel()
+        with pytest.raises(ValueError):
+            model.data_pages(-1)
+        with pytest.raises(ValueError):
+            model.merge_passes(10, 0)
+
+
+class TestMergePasses:
+    def test_in_memory_sort_no_passes(self):
+        model = SortHeapModel(row_bytes=64)  # 64 rows/page
+        assert model.merge_passes(rows=6_000, heap_pages=100) == 0
+
+    def test_spill_needs_at_least_one_pass(self):
+        model = SortHeapModel(row_bytes=64)
+        assert model.merge_passes(rows=64_000, heap_pages=100) >= 1
+
+    def test_more_heap_fewer_passes(self):
+        model = SortHeapModel(row_bytes=64)
+        rows = 10_000_000
+        assert model.merge_passes(rows, 10) > model.merge_passes(rows, 1_000)
+
+
+class TestSortTime:
+    def test_zero_rows_is_free(self):
+        assert SortHeapModel().sort_time(0, 100) == 0.0
+
+    def test_spilling_costs_more(self):
+        model = SortHeapModel(row_bytes=64)
+        rows = 64_000  # 1000 pages of data
+        fast = model.sort_time(rows, heap_pages=2_000)  # fits
+        slow = model.sort_time(rows, heap_pages=100)  # spills
+        assert slow > 2 * fast
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rows=st.integers(1, 5_000_000),
+        small=st.integers(2, 500),
+        extra=st.integers(1, 5_000),
+    )
+    def test_monotone_in_heap_size(self, rows, small, extra):
+        model = SortHeapModel()
+        assert model.sort_time(rows, small) >= model.sort_time(rows, small + extra)
+
+
+class TestMarginalBenefit:
+    def test_zero_without_sorting_workload(self):
+        assert SortHeapModel().marginal_benefit(1_000, 0) == 0.0
+
+    def test_zero_when_sort_already_fits(self):
+        model = SortHeapModel(row_bytes=64)
+        assert model.marginal_benefit(10_000, typical_sort_rows=1_000) == 0.0
+
+    def test_positive_when_spilling(self):
+        model = SortHeapModel(row_bytes=64)
+        assert model.marginal_benefit(100, typical_sort_rows=640_000) > 0
+
+    def test_never_negative(self):
+        model = SortHeapModel()
+        for heap in (10, 100, 1_000, 10_000):
+            for rows in (0, 100, 100_000, 10_000_000):
+                assert model.marginal_benefit(heap, rows) >= 0
+
+
+class TestDatabaseIntegration:
+    def test_sort_time_tracks_heap_size(self):
+        from tests.conftest import make_database
+
+        db = make_database()
+        rows = 500_000
+        time_with_full_heap = db.sort_time(rows)
+        db.registry.shrink_heap("sort", db.registry.heap("sort").size_pages - 256)
+        time_with_tiny_heap = db.sort_time(rows)
+        assert time_with_tiny_heap > time_with_full_heap
+
+    def test_sorting_raises_sort_heap_benefit(self):
+        from tests.conftest import make_database
+
+        db = make_database()
+        sort_heap = db.registry.heap("sort")
+        assert sort_heap.benefit() == 0.0  # no sorts yet: willing donor
+        for _ in range(5):
+            db.sort_time(5_000_000)  # far larger than the heap
+        assert sort_heap.benefit() > 0.0  # now a demanding receiver
+
+    def test_dss_query_with_sort_phase_runs_longer(self):
+        from repro.workloads.dss import ReportingQuery
+        from tests.conftest import make_database
+
+        def run(sort_rows):
+            db = make_database(seed=8)
+            query = ReportingQuery(
+                db, start_time_s=1, row_count=2_000,
+                acquisition_duration_s=2, hold_duration_s=1,
+                sort_rows=sort_rows,
+            )
+            query.start()
+            db.run(until=600)
+            assert query.result is not None and query.result.completed
+            return query.result.finished_at - query.result.started_at
+
+        assert run(sort_rows=2_000_000) > run(sort_rows=None)

@@ -1,0 +1,235 @@
+"""Unit tests for the Self-Tuning Memory Manager."""
+
+import pytest
+
+from repro.engine.des import Environment
+from repro.errors import ConfigurationError
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+
+
+class FakeTuner:
+    """Deterministic tuner with a scriptable target."""
+
+    heap_name = "locklist"
+
+    def __init__(self, registry, target=None, shrink_achievable=1.0):
+        self.registry = registry
+        self.target = target
+        self.shrink_achievable = shrink_achievable
+        self.grown = 0
+        self.shrunk = 0
+        self.interval_ends = 0
+
+    def compute_target_pages(self):
+        if self.target is None:
+            return self.registry.heap(self.heap_name).size_pages
+        return self.target
+
+    def grow_physical(self, pages):
+        self.grown += pages
+        return pages
+
+    def shrink_physical(self, pages):
+        achieved = int(pages * self.shrink_achievable)
+        self.shrunk += achieved
+        return achieved
+
+    def on_interval_end(self, now):
+        self.interval_ends += 1
+
+
+def build(total=10_000, goal=1_000, locklist=1_000):
+    registry = DatabaseMemoryRegistry(total_pages=total, overflow_goal_pages=goal)
+    registry.register(
+        MemoryHeap("bufferpool", HeapCategory.PMC, 5_000, min_pages=1_000,
+                   benefit=lambda h: 10_000.0 / h.size_pages)
+    )
+    registry.register(
+        MemoryHeap("sort", HeapCategory.PMC, 2_000, min_pages=100,
+                   benefit=lambda h: 100.0 / h.size_pages)
+    )
+    registry.register(MemoryHeap("locklist", HeapCategory.FMC, locklist))
+    return registry
+
+
+class TestConfig:
+    def test_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            StmmConfig(interval_s=0)
+
+    def test_bad_interval_bounds(self):
+        with pytest.raises(ConfigurationError):
+            StmmConfig(min_interval_s=100, max_interval_s=10)
+
+    def test_bad_rebalance_fraction(self):
+        with pytest.raises(ConfigurationError):
+            StmmConfig(pmc_rebalance_fraction=2.0)
+
+
+class TestRegistration:
+    def test_unknown_heap_rejected(self):
+        registry = build()
+        stmm = Stmm(registry)
+
+        class Bad(FakeTuner):
+            heap_name = "nope"
+
+        with pytest.raises(ConfigurationError):
+            stmm.register_deterministic_tuner(Bad(registry))
+
+    def test_duplicate_tuner_rejected(self):
+        registry = build()
+        stmm = Stmm(registry)
+        stmm.register_deterministic_tuner(FakeTuner(registry))
+        with pytest.raises(ConfigurationError):
+            stmm.register_deterministic_tuner(FakeTuner(registry))
+
+
+class TestDeterministicTuning:
+    def test_grow_to_target_uses_overflow_first(self):
+        registry = build()  # overflow = 2,000
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        tuner = FakeTuner(registry, target=2_000)
+        stmm.register_deterministic_tuner(tuner)
+        stmm.tune(0.0)
+        assert registry.heap("locklist").size_pages == 2_000
+        assert tuner.grown == 1_000
+
+    def test_grow_beyond_overflow_reclaims_donors(self):
+        registry = build()  # overflow 2,000; sort is least needy donor
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        tuner = FakeTuner(registry, target=4_500)
+        stmm.register_deterministic_tuner(tuner)
+        stmm.tune(0.0)
+        assert registry.heap("locklist").size_pages == 4_500
+        # sort (lowest benefit) donated before bufferpool
+        assert registry.heap("sort").size_pages < 2_000
+
+    def test_shrink_releases_to_overflow_then_distributes(self):
+        registry = build(locklist=3_000)
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        tuner = FakeTuner(registry, target=1_000)
+        stmm.register_deterministic_tuner(tuner)
+        stmm.tune(0.0)
+        assert registry.heap("locklist").size_pages == 1_000
+        assert tuner.shrunk == 2_000
+        # surplus over the goal went to the neediest PMC (bufferpool)
+        assert registry.overflow_pages == registry.overflow_goal_pages
+        assert registry.heap("bufferpool").size_pages > 5_000
+
+    def test_partial_physical_shrink_respected(self):
+        registry = build(locklist=3_000)
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        tuner = FakeTuner(registry, target=1_000, shrink_achievable=0.5)
+        stmm.register_deterministic_tuner(tuner)
+        stmm.tune(0.0)
+        assert registry.heap("locklist").size_pages == 2_000
+
+    def test_hold_makes_no_change(self):
+        registry = build()
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        tuner = FakeTuner(registry, target=None)
+        stmm.register_deterministic_tuner(tuner)
+        before = registry.heap("locklist").size_pages
+        stmm.tune(0.0)
+        assert registry.heap("locklist").size_pages == before
+
+    def test_negative_target_rejected(self):
+        registry = build()
+        stmm = Stmm(registry)
+        stmm.register_deterministic_tuner(FakeTuner(registry, target=-1))
+        with pytest.raises(ConfigurationError):
+            stmm.tune(0.0)
+
+    def test_interval_end_hook_called(self):
+        registry = build()
+        stmm = Stmm(registry)
+        tuner = FakeTuner(registry)
+        stmm.register_deterministic_tuner(tuner)
+        stmm.tune(0.0)
+        stmm.tune(30.0)
+        assert tuner.interval_ends == 2
+
+
+class TestOverflowGoal:
+    def test_deficit_restored_from_donors(self):
+        registry = build(goal=3_000)  # overflow 2,000 -> deficit 1,000
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.tune(0.0)
+        assert registry.overflow_pages == 3_000
+
+    def test_surplus_distributed_to_neediest(self):
+        registry = build(goal=500)  # overflow 2,000 -> surplus 1,500
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.tune(0.0)
+        assert registry.overflow_pages == 500
+        assert registry.heap("bufferpool").size_pages == 6_500
+
+
+class TestPmcRebalance:
+    def test_moves_from_low_to_high_benefit(self):
+        registry = build(goal=2_000)  # overflow exactly at goal
+        stmm = Stmm(
+            registry,
+            StmmConfig(pmc_rebalance_fraction=0.10, pmc_rebalance_threshold=1.1),
+        )
+        stmm.tune(0.0)
+        # bufferpool benefit (2/page) > sort benefit (0.05/page): sort donates
+        assert registry.heap("sort").size_pages == 1_800
+        assert registry.heap("bufferpool").size_pages == 5_200
+
+    def test_disabled_when_fraction_zero(self):
+        registry = build(goal=2_000)
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.tune(0.0)
+        assert registry.heap("sort").size_pages == 2_000
+
+
+class TestAdaptiveInterval:
+    def test_fixed_interval_by_default(self):
+        registry = build()
+        stmm = Stmm(registry, StmmConfig(interval_s=30))
+        stmm.register_deterministic_tuner(FakeTuner(registry, target=2_000))
+        stmm.tune(0.0)
+        assert stmm.current_interval_s == 30
+
+    def test_adaptive_shrinks_after_change_and_grows_when_quiet(self):
+        registry = build()
+        config = StmmConfig(
+            interval_s=120, adaptive_interval=True,
+            min_interval_s=30, max_interval_s=600,
+            pmc_rebalance_fraction=0,
+        )
+        stmm = Stmm(registry, config)
+        tuner = FakeTuner(registry, target=2_000)
+        stmm.register_deterministic_tuner(tuner)
+        stmm.tune(0.0)  # change happened -> halve
+        assert stmm.current_interval_s == 60
+        tuner.target = None
+        registry.shrink_heap("bufferpool", registry.overflow_deficit_pages)
+        # reach a quiet state: no deficit, no surplus, no target change
+        stmm.tune(60.0)
+        stmm.tune(120.0)
+        assert stmm.current_interval_s > 60
+
+    def test_run_process_tunes_on_schedule(self):
+        env = Environment()
+        registry = build()
+        stmm = Stmm(registry, StmmConfig(interval_s=30, pmc_rebalance_fraction=0))
+        env.process(stmm.run(env))
+        env.run(until=100)
+        assert len(stmm.reports) == 3
+        assert [r.time for r in stmm.reports] == [30.0, 60.0, 90.0]
+
+
+class TestReports:
+    def test_actions_recorded(self):
+        registry = build()
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.register_deterministic_tuner(FakeTuner(registry, target=2_000))
+        report = stmm.tune(0.0)
+        assert report.changed
+        kinds = {a.kind for a in report.actions}
+        assert "resize" in kinds

@@ -1,0 +1,103 @@
+"""Edge-case tests for STMM redistribution paths."""
+
+import pytest
+
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+
+
+class GreedyTuner:
+    """Deterministic tuner that always wants everything it can get."""
+
+    heap_name = "locklist"
+
+    def __init__(self, registry, target):
+        self.registry = registry
+        self.target = target
+
+    def compute_target_pages(self):
+        return self.target
+
+    def grow_physical(self, pages):
+        return pages
+
+    def shrink_physical(self, pages):
+        return pages
+
+    def on_interval_end(self, now):
+        pass
+
+
+def build(total=10_000, goal=500, bufferpool_min=1_000):
+    registry = DatabaseMemoryRegistry(total, overflow_goal_pages=goal)
+    registry.register(
+        MemoryHeap("bufferpool", HeapCategory.PMC, 6_000,
+                   min_pages=bufferpool_min,
+                   benefit=lambda h: 1_000.0 / h.size_pages)
+    )
+    registry.register(MemoryHeap("locklist", HeapCategory.FMC, 1_000))
+    return registry
+
+
+class TestPartialGrants:
+    def test_growth_clipped_when_donors_exhausted(self):
+        """Target beyond what overflow + donors can fund: the heap gets
+        everything available, nothing more, and accounting balances."""
+        registry = build()
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.register_deterministic_tuner(GreedyTuner(registry, target=50_000))
+        stmm.tune(0.0)
+        # everything except the bufferpool's minimum was handed over
+        assert registry.heap("bufferpool").size_pages == 1_000
+        assert registry.heap("locklist").size_pages == 9_000
+        assert registry.overflow_pages == 0
+        assert sum(registry.snapshot().values()) == registry.total_pages
+
+    def test_overflow_restore_clipped_at_donor_minimums(self):
+        registry = build(goal=9_500)  # unreachable goal
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.tune(0.0)
+        assert registry.heap("bufferpool").size_pages == 1_000
+        assert registry.overflow_pages == 8_000  # the best achievable
+
+    def test_greedy_tuner_competes_with_overflow_goal(self):
+        """Deterministic heaps are funded first; the overflow goal then
+        takes what remains from the donors."""
+        registry = build(goal=2_000)
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.register_deterministic_tuner(GreedyTuner(registry, target=6_000))
+        stmm.tune(0.0)
+        locklist = registry.heap("locklist").size_pages
+        assert locklist == 6_000  # tuner satisfied first
+        assert registry.overflow_pages == 2_000  # then the goal
+        assert registry.heap("bufferpool").size_pages == 2_000
+
+    def test_repeated_tuning_is_stable_at_the_clip(self):
+        registry = build()
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.register_deterministic_tuner(GreedyTuner(registry, target=50_000))
+        for t in range(5):
+            stmm.tune(float(t * 30))
+        snapshot_a = registry.snapshot()
+        stmm.tune(999.0)
+        assert registry.snapshot() == snapshot_a  # no oscillation
+
+
+class TestReceiverDistribution:
+    def test_surplus_split_across_receivers_with_caps(self):
+        registry = DatabaseMemoryRegistry(10_000, overflow_goal_pages=100)
+        registry.register(
+            MemoryHeap("a", HeapCategory.PMC, 1_000, max_pages=1_200,
+                       benefit=lambda h: 10.0)
+        )
+        registry.register(
+            MemoryHeap("b", HeapCategory.PMC, 1_000,
+                       benefit=lambda h: 1.0)
+        )
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+        stmm.tune(0.0)
+        # the needier receiver filled to its cap; the rest went to b
+        assert registry.heap("a").size_pages == 1_200
+        assert registry.heap("b").size_pages == 10_000 - 1_200 - 100
+        assert registry.overflow_pages == 100

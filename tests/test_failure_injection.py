@@ -1,0 +1,205 @@
+"""Failure injection: the system must stay consistent when parts fail.
+
+Each test injects a fault -- a crashing growth provider, a misbehaving
+tuner, an interrupted client, an abandoned transaction -- and asserts
+that lock-manager and memory accounting remain exact afterwards.
+"""
+
+import pytest
+
+from repro.engine.des import Environment, Interrupt
+from repro.errors import LockManagerError, MemoryAccountingError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.modes import LockMode
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+from tests.conftest import make_database, run_process
+
+
+class TestGrowthProviderFaults:
+    def test_provider_exception_propagates_but_state_consistent(self, env):
+        calls = {"n": 0}
+
+        def faulty(blocks):
+            calls["n"] += 1
+            raise RuntimeError("allocation backend down")
+
+        chain = LockBlockChain(initial_blocks=1, capacity_per_block=4)
+        manager = LockManager(env, chain, growth_provider=faulty)
+
+        def proc():
+            for row in range(10):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        with pytest.raises(RuntimeError, match="backend down"):
+            run_process(env, proc())
+        assert calls["n"] == 1
+        manager.release_all(1)
+        manager.check_invariants()
+        assert chain.used_slots == 0
+
+    def test_provider_negative_grant_rejected(self, env):
+        chain = LockBlockChain(initial_blocks=1, capacity_per_block=4)
+        manager = LockManager(env, chain, growth_provider=lambda b: -1)
+
+        def proc():
+            for row in range(10):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        with pytest.raises(LockManagerError):
+            run_process(env, proc())
+        manager.release_all(1)
+        manager.check_invariants()
+
+    def test_provider_lying_about_grant_size_is_contained(self, env):
+        """A provider granting more than asked: extra blocks are simply
+        added; accounting stays exact."""
+        chain = LockBlockChain(initial_blocks=1, capacity_per_block=4)
+        manager = LockManager(env, chain, growth_provider=lambda b: b + 3)
+
+        def proc():
+            for row in range(10):
+                yield from manager.lock_row(1, 0, row, LockMode.S)
+
+        run_process(env, proc())
+        manager.check_invariants()
+        assert manager.app_row_lock_count(1) == 10
+
+
+class TestClientFaults:
+    def test_interrupted_waiter_recovers_via_release_all(self, env):
+        manager = LockManager(env, LockBlockChain(initial_blocks=2))
+
+        def holder():
+            yield from manager.lock_row(1, 0, 7, LockMode.X)
+            yield env.timeout(50)
+            manager.release_all(1)
+
+        def victim():
+            try:
+                yield from manager.lock_row(2, 0, 7, LockMode.X)
+            except Interrupt:
+                manager.release_all(2)
+                return "cleaned-up"
+
+        env.process(holder())
+        victim_proc = env.process(victim())
+
+        def killer():
+            yield env.timeout(5)
+            victim_proc.interrupt("client disconnected")
+
+        env.process(killer())
+        env.run(until=100)
+        assert victim_proc.value == "cleaned-up"
+        manager.check_invariants()
+        assert manager.chain.used_slots == 0
+        assert manager.waiting_apps() == set()
+
+    def test_crashing_transaction_leaves_recoverable_state(self, env):
+        """A client that dies without cleanup leaks its locks (as a real
+        crashed agent would) -- until release_all reclaims them."""
+        manager = LockManager(env, LockBlockChain(initial_blocks=2))
+
+        def crasher():
+            yield from manager.lock_row(1, 0, 1, LockMode.X)
+            yield from manager.lock_row(1, 0, 2, LockMode.X)
+            raise RuntimeError("agent crash")
+
+        with pytest.raises(RuntimeError):
+            run_process(env, crasher())
+        manager.check_invariants()  # consistent even while leaked
+        assert manager.app_slots(1) == 3
+        manager.release_all(1)  # crash recovery
+        assert manager.chain.used_slots == 0
+
+    def test_database_survives_client_churn_with_contention(self):
+        """Stress: aggressive churn + contention + rollbacks, then a
+        full-invariant sweep."""
+        from repro.engine.client import ClientPool
+        from repro.engine.transactions import TransactionMix
+        from repro.workloads.schedule import ClientSchedule
+
+        db = make_database(seed=77)
+        mix = TransactionMix(
+            locks_per_txn_mean=15, write_fraction=0.8,
+            update_lock_fraction=0.3, num_tables=2, rows_per_table=40,
+            think_time_mean_s=0.01, work_time_per_lock_s=0.01,
+        )
+        pool = ClientPool(db, mix)
+        schedule = ClientSchedule([(0, 8), (15, 1), (30, 10), (45, 0), (60, 6)])
+        db.env.process(schedule.drive(pool))
+        db.run(until=120)
+        db.check_invariants()
+        for obj in db.lock_manager._objects.values():
+            obj.check_invariants()
+        assert db.rollbacks > 0  # the contention really was hostile
+
+
+class TestStmmFaults:
+    def _registry(self):
+        registry = DatabaseMemoryRegistry(10_000, overflow_goal_pages=500)
+        registry.register(
+            MemoryHeap("bufferpool", HeapCategory.PMC, 5_000,
+                       min_pages=1_000, benefit=lambda h: 1.0)
+        )
+        registry.register(MemoryHeap("locklist", HeapCategory.FMC, 500))
+        return registry
+
+    def test_tuner_exception_propagates_and_accounting_holds(self):
+        registry = self._registry()
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+
+        class ExplodingTuner:
+            heap_name = "locklist"
+
+            def compute_target_pages(self):
+                raise RuntimeError("tuner bug")
+
+            def grow_physical(self, pages):
+                return pages
+
+            def shrink_physical(self, pages):
+                return pages
+
+            def on_interval_end(self, now):
+                pass
+
+        stmm.register_deterministic_tuner(ExplodingTuner())
+        with pytest.raises(RuntimeError, match="tuner bug"):
+            stmm.tune(0.0)
+        assert sum(registry.snapshot().values()) == registry.total_pages
+
+    def test_tuner_refusing_physical_growth_hands_pages_back(self):
+        registry = self._registry()
+        stmm = Stmm(registry, StmmConfig(pmc_rebalance_fraction=0))
+
+        class RefusingTuner:
+            heap_name = "locklist"
+
+            def compute_target_pages(self):
+                return 2_000
+
+            def grow_physical(self, pages):
+                return 0  # physical layer refuses everything
+
+            def shrink_physical(self, pages):
+                return 0
+
+            def on_interval_end(self, now):
+                pass
+
+        stmm.register_deterministic_tuner(RefusingTuner())
+        stmm.tune(0.0)
+        # the grant was fully returned: nothing leaked
+        assert registry.heap("locklist").size_pages == 500
+        assert sum(registry.snapshot().values()) == registry.total_pages
+
+    def test_registry_detects_accounting_corruption(self):
+        registry = self._registry()
+        heap = registry.heap("bufferpool")
+        heap._size_pages = 20_000  # corrupt it behind the registry's back
+        with pytest.raises(MemoryAccountingError):
+            registry.overflow_pages

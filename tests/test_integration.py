@@ -1,0 +1,137 @@
+"""Cross-module integration tests: the whole system running together."""
+
+import pytest
+
+from repro.baselines.static_locklist import StaticLocklistPolicy
+from repro.core.policy import AdaptiveLockMemoryPolicy
+from repro.engine.client import ClientPool
+from repro.engine.transactions import TransactionMix
+from repro.workloads.dss import ReportingQuery
+from repro.workloads.oltp import OltpWorkload, standard_mix
+from repro.workloads.schedule import ClientSchedule
+from tests.conftest import make_database
+
+BUSY_MIX = TransactionMix(
+    locks_per_txn_mean=40,
+    write_fraction=0.3,
+    think_time_mean_s=0.1,
+    work_time_per_lock_s=0.01,
+    num_tables=5,
+    rows_per_table=200_000,
+)
+
+
+class TestAdaptiveEndToEnd:
+    def test_no_escalations_under_adaptive_tuning(self):
+        db = make_database(seed=21, policy=AdaptiveLockMemoryPolicy())
+        workload = OltpWorkload(db, ClientSchedule.constant(12), mix=BUSY_MIX)
+        workload.start()
+        db.run(until=120)
+        assert db.lock_manager.stats.escalations.count == 0
+        assert db.commits > 50
+        db.check_invariants()
+
+    def test_locklist_heap_and_chain_stay_consistent(self):
+        db = make_database(seed=22, policy=AdaptiveLockMemoryPolicy())
+        workload = OltpWorkload(db, ClientSchedule.constant(8), mix=BUSY_MIX)
+        workload.start()
+        query = ReportingQuery(db, 30, 20_000, acquisition_duration_s=5,
+                               hold_duration_s=5)
+        query.start()
+        db.run(until=120)
+        db.check_invariants()
+        db.policy.controller.check_consistency()
+        assert sum(db.registry.snapshot().values()) == db.registry.total_pages
+
+    def test_lock_memory_respects_global_bounds(self):
+        db = make_database(seed=23, policy=AdaptiveLockMemoryPolicy())
+        workload = OltpWorkload(db, ClientSchedule.constant(10), mix=BUSY_MIX)
+        workload.start()
+        query = ReportingQuery(db, 20, 40_000, acquisition_duration_s=10,
+                               hold_duration_s=5)
+        query.start()
+        db.run(until=150)
+        max_pages = db.policy.controller.max_lock_memory_pages()
+        assert db.metrics["lock_pages"].max() <= max_pages
+
+    def test_maxlocks_externalized_in_metrics(self):
+        db = make_database(seed=24, policy=AdaptiveLockMemoryPolicy())
+        workload = OltpWorkload(db, ClientSchedule.constant(6), mix=BUSY_MIX)
+        workload.start()
+        db.run(until=60)
+        series = db.metrics["maxlocks_percent"]
+        assert 1.0 <= series.min() <= series.max() <= 98.0
+
+
+class TestAdaptiveVersusStatic:
+    def test_adaptive_avoids_escalations_static_suffers_them(self):
+        """Same seed, same workload: the static 1-block lock list
+        escalates (mostly exclusively) while the adaptive policy grows
+        lock memory instead and never escalates.  The full throughput-
+        collapse comparison at 130 clients lives in the fig7/fig8
+        scenario (see tests/analysis/test_scenarios_small.py)."""
+        mix = TransactionMix(
+            locks_per_txn_mean=120,
+            write_fraction=0.3,
+            think_time_mean_s=0.1,
+            work_time_per_lock_s=0.02,
+            num_tables=5,
+            rows_per_table=200_000,
+        )
+
+        def run(policy):
+            db = make_database(seed=25, policy=policy, initial_locklist_pages=64)
+            workload = OltpWorkload(db, ClientSchedule.constant(25), mix=mix)
+            workload.start()
+            db.run(until=120)
+            return db
+
+        static = run(StaticLocklistPolicy(locklist_pages=32, maxlocks_fraction=0.10))
+        adaptive = run(AdaptiveLockMemoryPolicy())
+        assert static.lock_manager.stats.escalations.count > 0
+        assert static.lock_manager.stats.escalations.exclusive_count > 0
+        assert static.metrics["lock_pages"].max() == 32  # pinned
+        assert adaptive.lock_manager.stats.escalations.count == 0
+        assert adaptive.metrics["lock_pages"].max() > 32  # grew instead
+
+    def test_same_seed_same_results(self):
+        def run():
+            db = make_database(seed=26, policy=AdaptiveLockMemoryPolicy())
+            workload = OltpWorkload(
+                db, ClientSchedule.constant(8),
+                mix=standard_mix(locks_per_txn_mean=10, think_time_mean_s=0.1,
+                                 work_time_per_lock_s=0.005),
+            )
+            workload.start()
+            db.run(until=60)
+            return (db.commits, db.lock_manager.stats.requests,
+                    db.metrics["lock_pages"].values)
+
+        assert run() == run()
+
+
+class TestChurnAndCleanup:
+    def test_client_churn_leaves_no_residue(self):
+        db = make_database(seed=27)
+        pool = ClientPool(
+            db,
+            standard_mix(locks_per_txn_mean=8, think_time_mean_s=0.05,
+                         work_time_per_lock_s=0.002),
+        )
+        schedule = ClientSchedule([(0, 10), (20, 2), (40, 15), (60, 0)])
+        db.env.process(schedule.drive(pool))
+        db.run(until=120)
+        assert db.connected_applications() == 0
+        assert db.chain.used_slots == 0
+        db.check_invariants()
+
+    def test_overflow_returns_to_goal_after_spike(self):
+        db = make_database(seed=28, policy=AdaptiveLockMemoryPolicy())
+        query = ReportingQuery(db, 5, 50_000, acquisition_duration_s=5,
+                               hold_duration_s=5)
+        query.start()
+        db.run(until=300)
+        assert query.result.completed
+        # after the spike and several tuning intervals, overflow is back
+        # at (or above) its goal
+        assert db.registry.overflow_pages >= db.registry.overflow_goal_pages

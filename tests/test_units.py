@@ -1,0 +1,85 @@
+"""Tests for memory units and conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConstants:
+    def test_block_geometry(self):
+        assert units.BLOCK_SIZE_BYTES == 128 * 1024
+        assert units.PAGES_PER_BLOCK == 32
+        assert units.PAGE_SIZE_BYTES == 4096
+
+    def test_locks_per_block_approximately_2000(self):
+        """Paper section 2.2: each 128 KB block stores ~2000 locks."""
+        assert units.LOCKS_PER_BLOCK == 2048
+        assert abs(units.LOCKS_PER_BLOCK - 2000) / 2000 < 0.05
+
+
+class TestConversions:
+    def test_bytes_to_pages_rounds_up(self):
+        assert units.bytes_to_pages(1) == 1
+        assert units.bytes_to_pages(4096) == 1
+        assert units.bytes_to_pages(4097) == 2
+
+    def test_pages_to_bytes(self):
+        assert units.pages_to_bytes(2) == 8192
+
+    def test_pages_to_blocks_rounds_up(self):
+        assert units.pages_to_blocks(1) == 1
+        assert units.pages_to_blocks(32) == 1
+        assert units.pages_to_blocks(33) == 2
+
+    def test_blocks_to_pages(self):
+        assert units.blocks_to_pages(3) == 96
+
+    def test_locks_to_blocks(self):
+        assert units.locks_to_blocks(1) == 1
+        assert units.locks_to_blocks(2048) == 1
+        assert units.locks_to_blocks(2049) == 2
+
+    def test_blocks_to_locks(self):
+        assert units.blocks_to_locks(2) == 4096
+
+    def test_round_pages_to_blocks(self):
+        assert units.round_pages_to_blocks(0) == 0
+        assert units.round_pages_to_blocks(1) == 32
+        assert units.round_pages_to_blocks(96) == 96
+        assert units.round_pages_to_blocks(97) == 128
+
+    @given(pages=st.integers(0, 10**9))
+    def test_block_rounding_idempotent(self, pages):
+        rounded = units.round_pages_to_blocks(pages)
+        assert rounded >= pages
+        assert rounded % units.PAGES_PER_BLOCK == 0
+        assert units.round_pages_to_blocks(rounded) == rounded
+
+    @given(n=st.integers(0, 10**6))
+    def test_roundtrips(self, n):
+        assert units.blocks_to_pages(units.pages_to_blocks(n)) >= n
+
+    def test_negative_rejected_everywhere(self):
+        for fn in (
+            units.bytes_to_pages,
+            units.pages_to_bytes,
+            units.pages_to_blocks,
+            units.blocks_to_pages,
+            units.locks_to_blocks,
+            units.blocks_to_locks,
+        ):
+            with pytest.raises(ValueError):
+                fn(-1)
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert units.fmt_bytes(512) == "512B"
+        assert units.fmt_bytes(2 * 1024) == "2.0KB"
+        assert units.fmt_bytes(8 * 1024 * 1024) == "8.0MB"
+        assert units.fmt_bytes(5.11 * 1024**3) == "5.1GB"
+
+    def test_fmt_pages(self):
+        assert units.fmt_pages(512) == "512p (2.0MB)"

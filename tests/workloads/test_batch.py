@@ -1,0 +1,62 @@
+"""Tests for batch update jobs."""
+
+import pytest
+
+from repro.workloads.batch import BatchUpdateJob
+from tests.conftest import make_database
+
+
+class TestValidation:
+    def test_zero_rows_rejected(self):
+        db = make_database()
+        with pytest.raises(ValueError):
+            BatchUpdateJob(db, 0, row_count=0)
+
+    def test_negative_duration_rejected(self):
+        db = make_database()
+        with pytest.raises(ValueError):
+            BatchUpdateJob(db, 0, 10, duration_s=-1)
+
+
+class TestExecution:
+    def test_job_completes_and_releases(self):
+        db = make_database(seed=1)
+        job = BatchUpdateJob(db, start_time_s=2, row_count=1_000, duration_s=3)
+        job.start()
+        db.run(until=40)
+        assert job.result is not None
+        assert job.result.completed
+        assert job.result.rows_updated == 1_000
+        assert db.chain.used_slots == 0
+
+    def test_peak_then_relaxation(self):
+        """Section 3.4's motivation: a batch peak relaxes afterwards."""
+        db = make_database(seed=2, initial_locklist_pages=32)
+        # 40,000 X locks ~ 625 pages used: forces growth past the 2 MB
+        # minLockMemory floor (512 pages), so relaxation is observable.
+        job = BatchUpdateJob(db, start_time_s=5, row_count=40_000, duration_s=5)
+        job.start()
+        db.run(until=400)
+        pages = db.metrics["lock_pages"]
+        peak = pages.max()
+        assert peak > 512  # grew past the minimum for the batch
+        assert pages.last < peak  # delta_reduce relaxed it afterwards
+
+    def test_commit_counted(self):
+        db = make_database(seed=3)
+        job = BatchUpdateJob(db, 0, 500, duration_s=1)
+        job.start()
+        db.run(until=30)
+        assert db.commits == 1
+
+    def test_escalation_flag_records(self):
+        from repro.baselines.static_locklist import StaticLocklistPolicy
+
+        db = make_database(
+            seed=4,
+            policy=StaticLocklistPolicy(locklist_pages=32, maxlocks_fraction=0.9),
+        )
+        job = BatchUpdateJob(db, 0, row_count=5_000, duration_s=1)
+        job.start()
+        db.run(until=30)
+        assert job.result.escalated

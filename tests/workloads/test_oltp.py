@@ -1,0 +1,54 @@
+"""Tests for OLTP workload construction."""
+
+from repro.workloads.oltp import OltpWorkload, heavy_mix, standard_mix
+from repro.workloads.schedule import ClientSchedule
+from tests.conftest import make_database
+
+
+class TestMixes:
+    def test_standard_mix_defaults(self):
+        mix = standard_mix()
+        assert mix.locks_per_txn_mean == 100.0
+        assert 0 < mix.write_fraction < 1
+
+    def test_heavy_mix_is_hungrier(self):
+        assert heavy_mix().locks_per_txn_mean > standard_mix().locks_per_txn_mean
+        assert heavy_mix().think_time_mean_s < standard_mix().think_time_mean_s
+
+    def test_overrides(self):
+        mix = standard_mix(locks_per_txn_mean=7, think_time_mean_s=0.1)
+        assert mix.locks_per_txn_mean == 7
+        assert mix.think_time_mean_s == 0.1
+
+
+class TestWorkload:
+    def test_runs_and_commits(self):
+        db = make_database(seed=1)
+        workload = OltpWorkload(
+            db,
+            ClientSchedule.constant(4),
+            mix=standard_mix(
+                locks_per_txn_mean=5, think_time_mean_s=0.05,
+                work_time_per_lock_s=0.001,
+            ),
+        )
+        workload.start()
+        db.run(until=30)
+        assert workload.commits > 0
+        assert workload.commits == db.commits
+
+    def test_schedule_changes_population(self):
+        db = make_database(seed=2)
+        workload = OltpWorkload(
+            db,
+            ClientSchedule.step(2, 5, at=10),
+            mix=standard_mix(
+                locks_per_txn_mean=3, think_time_mean_s=0.05,
+                work_time_per_lock_s=0.001,
+            ),
+        )
+        workload.start()
+        db.run(until=5)
+        assert db.connected_applications() == 2
+        db.env.run(until=20)
+        assert db.connected_applications() == 5

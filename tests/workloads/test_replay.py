@@ -1,0 +1,100 @@
+"""Tests for the lock-demand replay driver."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.replay import LockDemandReplay
+from tests.conftest import make_database
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self):
+        db = make_database()
+        with pytest.raises(ConfigurationError):
+            LockDemandReplay(db, [])
+
+    def test_non_increasing_times_rejected(self):
+        db = make_database()
+        with pytest.raises(ConfigurationError):
+            LockDemandReplay(db, [(1, 10), (1, 20)])
+
+    def test_negative_target_rejected(self):
+        db = make_database()
+        with pytest.raises(ConfigurationError):
+            LockDemandReplay(db, [(0, -5)])
+
+    def test_bad_batch_rejected(self):
+        db = make_database()
+        with pytest.raises(ConfigurationError):
+            LockDemandReplay(db, [(0, 10)], batch_size=0)
+
+
+class TestReplay:
+    def test_tracks_rising_demand(self):
+        db = make_database(seed=1)
+        replay = LockDemandReplay(
+            db, [(1, 1_000), (10, 4_000)], batch_size=500
+        )
+        replay.start()
+        db.run(until=5)
+        assert replay.held_locks == 1_000
+        db.env.run(until=15)
+        assert replay.held_locks == 4_000
+
+    def test_tracks_falling_demand_with_batch_granularity(self):
+        db = make_database(seed=2)
+        replay = LockDemandReplay(
+            db, [(1, 4_000), (10, 1_000)], batch_size=500
+        )
+        replay.start()
+        db.run(until=20)
+        assert 1_000 <= replay.held_locks <= 1_500
+
+    def test_drop_to_zero_releases_everything(self):
+        db = make_database(seed=3)
+        replay = LockDemandReplay(db, [(1, 2_000), (10, 0)], batch_size=512)
+        replay.start()
+        db.run(until=20)
+        assert replay.held_locks == 0
+        assert db.connected_applications() == 0
+
+    def test_manager_sees_the_demand(self):
+        db = make_database(seed=4)
+        replay = LockDemandReplay(db, [(1, 3_000)], batch_size=1_000)
+        replay.start()
+        db.run(until=10)
+        # row locks plus one intent lock per holder
+        assert db.chain.used_slots == 3_000 + 3
+
+    def test_controller_follows_replayed_surge_and_slump(self):
+        """End to end: the adaptive controller reacts to a replayed
+        spike exactly as it does to a client-driven one."""
+        db = make_database(seed=5)
+        replay = LockDemandReplay(
+            db, [(1, 30_000), (120, 1_000)], batch_size=2_048
+        )
+        replay.start()
+        db.run(until=400)
+        pages = db.metrics["lock_pages"]
+        peak = pages.max()
+        assert peak > 512  # grew past the 2 MB floor for the spike
+        assert pages.last < peak  # and relaxed after the slump
+        assert db.lock_manager.stats.escalations.count == 0
+        db.check_invariants()
+
+    def test_pinned_memory_forces_escalation(self):
+        """Against a pinned 1-block lock list the replay's demand is
+        answered by escalation: holders end up covered by table locks
+        and the actual structure usage stays bounded by the block."""
+        from repro.baselines.static_locklist import StaticLocklistPolicy
+
+        db = make_database(
+            seed=6,
+            policy=StaticLocklistPolicy(locklist_pages=32, maxlocks_fraction=1.0),
+        )
+        replay = LockDemandReplay(db, [(1, 50_000)], batch_size=512)
+        replay.start()
+        db.run(until=10)
+        assert db.lock_manager.stats.escalations.count >= 1
+        assert db.chain.used_slots <= 2_048
+        db.check_invariants()

@@ -1,0 +1,54 @@
+"""Property tests: the replay driver tracks arbitrary demand traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.replay import LockDemandReplay
+from tests.conftest import make_database
+
+
+@st.composite
+def demand_traces(draw):
+    """Random valid traces: strictly increasing times, bounded targets."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    times = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=1.0, max_value=50.0),
+                min_size=n, max_size=n, unique=True,
+            )
+        )
+    )
+    targets = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=6_000),
+            min_size=n, max_size=n,
+        )
+    )
+    return list(zip(times, targets))
+
+
+class TestReplayProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(trace=demand_traces())
+    def test_final_demand_tracked_within_batch(self, trace):
+        db = make_database(seed=97)
+        batch = 512
+        replay = LockDemandReplay(db, trace, batch_size=batch)
+        replay.start()
+        db.run(until=trace[-1][0] + 20)
+        final_target = trace[-1][1]
+        assert final_target <= replay.held_locks < final_target + batch
+        db.check_invariants()
+
+    @settings(max_examples=10, deadline=None)
+    @given(trace=demand_traces())
+    def test_holders_fully_release_on_zero(self, trace):
+        trace = trace + [(trace[-1][0] + 5.0, 0)]
+        db = make_database(seed=98)
+        replay = LockDemandReplay(db, trace, batch_size=256)
+        replay.start()
+        db.run(until=trace[-1][0] + 20)
+        assert replay.held_locks == 0
+        assert db.chain.used_slots == 0
+        assert db.connected_applications() == 0

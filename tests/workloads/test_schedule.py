@@ -1,0 +1,82 @@
+"""Tests for client-count schedules."""
+
+import pytest
+
+from repro.engine.client import ClientPool
+from repro.errors import ConfigurationError
+from repro.workloads.oltp import standard_mix
+from repro.workloads.schedule import ClientSchedule
+from tests.conftest import make_database
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientSchedule([])
+
+    def test_non_increasing_times_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientSchedule([(0, 1), (0, 2)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientSchedule([(-1, 1)])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClientSchedule([(0, -1)])
+
+
+class TestConstructors:
+    def test_constant(self):
+        schedule = ClientSchedule.constant(50)
+        assert schedule.count_at(0) == 50
+        assert schedule.count_at(1_000) == 50
+
+    def test_step(self):
+        schedule = ClientSchedule.step(50, 130, at=120)
+        assert schedule.count_at(119.9) == 50
+        assert schedule.count_at(120) == 130
+
+    def test_step_time_validation(self):
+        with pytest.raises(ConfigurationError):
+            ClientSchedule.step(1, 2, at=0)
+
+    def test_ramp_endpoints(self):
+        schedule = ClientSchedule.ramp(1, 130, start=0, duration=60)
+        assert schedule.count_at(0) == 1
+        assert schedule.count_at(60) == 130
+
+    def test_ramp_monotone(self):
+        schedule = ClientSchedule.ramp(1, 130, start=0, duration=60, steps=10)
+        counts = [schedule.count_at(t) for t in range(0, 61, 6)]
+        assert counts == sorted(counts)
+
+    def test_ramp_collapses_duplicates(self):
+        schedule = ClientSchedule.ramp(10, 10, start=0, duration=60)
+        assert len(schedule.steps) == 1
+
+    def test_count_before_first_step_zero(self):
+        schedule = ClientSchedule([(10, 5)])
+        assert schedule.count_at(9.9) == 0
+
+    def test_end_time(self):
+        assert ClientSchedule.step(1, 2, at=50).end_time == 50
+
+
+class TestDrive:
+    def test_drive_applies_steps(self):
+        db = make_database(seed=1)
+        mix = standard_mix(
+            locks_per_txn_mean=3, think_time_mean_s=0.05,
+            work_time_per_lock_s=0.001,
+        )
+        pool = ClientPool(db, mix)
+        schedule = ClientSchedule([(0, 3), (10, 6), (20, 1)])
+        db.env.process(schedule.drive(pool))
+        db.run(until=5)
+        assert pool.active_count == 3
+        db.env.run(until=15)
+        assert pool.active_count == 6
+        db.env.run(until=40)
+        assert pool.active_count == 1

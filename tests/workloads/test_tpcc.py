@@ -1,0 +1,127 @@
+"""Tests for the TPC-C-like transaction model."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lockmgr.modes import LockMode
+from repro.workloads.schedule import ClientSchedule
+from repro.workloads.tpcc import (
+    DELIVERY,
+    NEW_ORDER,
+    ORDER_STATUS,
+    PAYMENT,
+    STANDARD_WEIGHTS,
+    STOCK_LEVEL,
+    TableTouch,
+    TpccMix,
+    TpccTable,
+    TpccWorkload,
+)
+from tests.conftest import make_database
+
+
+class TestProfiles:
+    def test_standard_weights_cover_five_profiles(self):
+        assert len(STANDARD_WEIGHTS) == 5
+        assert sum(STANDARD_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_new_order_footprint(self):
+        rng = random.Random(1)
+        accesses = NEW_ORDER.draw_accesses(rng, warehouses=1)
+        tables = {a.table_id for a in accesses}
+        assert TpccTable.STOCK in tables
+        assert TpccTable.ORDER_LINE in tables
+        # clause 2.4: 5-15 order lines
+        order_lines = [a for a in accesses if a.table_id == TpccTable.ORDER_LINE]
+        assert 5 <= len(order_lines) <= 15
+        assert all(a.mode is LockMode.X for a in order_lines)
+
+    def test_order_status_is_read_only(self):
+        rng = random.Random(2)
+        accesses = ORDER_STATUS.draw_accesses(rng, warehouses=2)
+        assert all(a.mode is LockMode.S for a in accesses)
+
+    def test_delivery_is_the_big_writer(self):
+        rng = random.Random(3)
+        delivery = DELIVERY.draw_accesses(rng, warehouses=1)
+        payment = PAYMENT.draw_accesses(rng, warehouses=1)
+        assert len(delivery) > 5 * len(payment)
+        assert all(a.mode is LockMode.X for a in delivery)
+
+    def test_stock_level_reads_hundreds_of_rows(self):
+        rng = random.Random(4)
+        accesses = STOCK_LEVEL.draw_accesses(rng, warehouses=1)
+        assert len(accesses) >= 250
+
+    def test_rows_within_warehouse_partition(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            for access in NEW_ORDER.draw_accesses(rng, warehouses=3):
+                cardinality = TpccTable.CARDINALITIES[access.table_id]
+                assert 0 <= access.row_id < 3 * cardinality
+
+    def test_invalid_touch_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TableTouch(TpccTable.STOCK, (5, 2), LockMode.S)
+
+
+class TestTpccMix:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TpccMix(weights={})
+        with pytest.raises(ConfigurationError):
+            TpccMix(warehouses=0)
+        with pytest.raises(ConfigurationError):
+            TpccMix(think_time_mean_s=-1)
+
+    def test_profile_draw_respects_weights(self):
+        mix = TpccMix(weights={NEW_ORDER: 0.9, STOCK_LEVEL: 0.1})
+        rng = random.Random(6)
+        draws = [mix.draw_profile(rng).name for _ in range(2_000)]
+        share = draws.count("new-order") / len(draws)
+        assert share == pytest.approx(0.9, abs=0.03)
+
+    def test_draw_transaction_counts_executions(self):
+        mix = TpccMix()
+        rng = random.Random(7)
+        for _ in range(50):
+            mix.draw_transaction(rng)
+        assert sum(mix.executed.values()) == 50
+
+    def test_think_time(self):
+        mix = TpccMix(think_time_mean_s=0)
+        assert mix.draw_think_time(random.Random(1)) == 0.0
+
+
+class TestTpccWorkload:
+    def test_runs_against_database(self):
+        db = make_database(seed=31)
+        workload = TpccWorkload(
+            db,
+            ClientSchedule.constant(8),
+            mix=TpccMix(think_time_mean_s=0.1),
+        )
+        workload.start()
+        db.run(until=60)
+        assert workload.commits > 20
+        counts = workload.profile_counts()
+        assert counts["new-order"] > 0
+        assert counts["payment"] > 0
+        assert db.lock_manager.stats.escalations.count == 0
+        db.check_invariants()
+
+    def test_mixed_modes_create_realistic_contention(self):
+        """The TPC-C district row is the classic hot spot: payment and
+        new-order both write it, so waits must appear."""
+        db = make_database(seed=32)
+        workload = TpccWorkload(
+            db,
+            ClientSchedule.constant(12),
+            mix=TpccMix(warehouses=1, think_time_mean_s=0.05),
+        )
+        workload.start()
+        db.run(until=60)
+        assert db.lock_manager.stats.waits > 0
+        assert workload.commits > 0

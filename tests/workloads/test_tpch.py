@@ -1,0 +1,111 @@
+"""Tests for the TPC-H-like query stream."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.tpch import (
+    Q_HEAVY,
+    Q_LIGHT,
+    Q_MEDIUM,
+    QueryProfile,
+    STANDARD_QUERY_WEIGHTS,
+    TpchQueryStream,
+)
+from tests.conftest import make_database
+
+
+class TestQueryProfile:
+    def test_standard_profiles_ordered_by_weight_of_footprint(self):
+        assert Q_LIGHT.scan_rows < Q_MEDIUM.scan_rows < Q_HEAVY.scan_rows
+        assert sum(STANDARD_QUERY_WEIGHTS.values()) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryProfile("bad", scan_rows=0, scan_duration_s=1)
+        with pytest.raises(ConfigurationError):
+            QueryProfile("bad", scan_rows=10, scan_duration_s=-1)
+        with pytest.raises(ConfigurationError):
+            QueryProfile("bad", scan_rows=10, scan_duration_s=1, sort_rows=-1)
+
+
+class TestStreamValidation:
+    def test_bad_weights(self):
+        db = make_database()
+        with pytest.raises(ConfigurationError):
+            TpchQueryStream(db, weights={})
+
+    def test_bad_times(self):
+        db = make_database()
+        with pytest.raises(ConfigurationError):
+            TpchQueryStream(db, start_time_s=10, stop_time_s=5)
+
+    def test_bad_scale(self):
+        db = make_database()
+        with pytest.raises(ConfigurationError):
+            TpchQueryStream(db, scale=0)
+
+
+class TestStreamExecution:
+    def test_queries_run_one_after_another(self):
+        db = make_database(seed=61)
+        stream = TpchQueryStream(
+            db, start_time_s=5, stop_time_s=150,
+            weights={Q_LIGHT: 1.0}, think_time_mean_s=1.0, scale=0.2,
+        )
+        stream.start()
+        db.run(until=200)
+        assert stream.completed_count() >= 5
+        for record in stream.records:
+            assert record.completed
+            assert record.rows_locked == 1_000  # 5000 * 0.2
+        # sequential: each query submitted after the previous finished
+        for earlier, later in zip(stream.records, stream.records[1:]):
+            assert later.submitted_at >= earlier.submitted_at + earlier.duration_s
+
+    def test_stop_time_respected(self):
+        db = make_database(seed=62)
+        stream = TpchQueryStream(
+            db, start_time_s=0, stop_time_s=30,
+            weights={Q_LIGHT: 1.0}, think_time_mean_s=0.5, scale=0.1,
+        )
+        stream.start()
+        db.run(until=300)
+        assert all(r.submitted_at <= 30 for r in stream.records)
+
+    def test_mix_respects_weights(self):
+        db = make_database(seed=63)
+        stream = TpchQueryStream(
+            db, weights={Q_LIGHT: 0.9, Q_MEDIUM: 0.1},
+            think_time_mean_s=0.1, scale=0.05, stop_time_s=250,
+        )
+        stream.start()
+        db.run(until=260)
+        counts = stream.profile_counts()
+        assert counts.get("q-light", 0) > counts.get("q-medium", 0)
+
+    def test_locks_released_between_queries(self):
+        db = make_database(seed=64)
+        stream = TpchQueryStream(
+            db, weights={Q_LIGHT: 1.0}, think_time_mean_s=5.0, scale=0.2,
+            stop_time_s=100,
+        )
+        stream.start()
+        db.run(until=150)
+        assert db.chain.used_slots == 0
+        db.check_invariants()
+
+    def test_heavy_stream_drives_lock_memory_cycles(self):
+        """A heavy query stream produces the grow-then-relax cycles the
+        self-tuning algorithm exists for: memory rises for each query
+        and delta_reduce brings it back between them."""
+        db = make_database(seed=65, total_memory_pages=131_072)
+        stream = TpchQueryStream(
+            db, weights={Q_HEAVY: 1.0}, think_time_mean_s=90.0,
+            stop_time_s=250,
+        )
+        stream.start()
+        db.run(until=420)
+        pages = db.metrics["lock_pages"]
+        assert pages.max() > 1_000  # grew for the scans
+        assert pages.last < pages.max()  # and relaxed in the gaps
+        assert db.lock_manager.stats.escalations.exclusive_count == 0
