@@ -1,28 +1,35 @@
 # Developer convenience targets for the repro library.
 
-.PHONY: install test bench figures examples clean
+PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: install test test-fast bench figures examples telemetry-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
 
 test:
-	pytest tests/
+	$(PYTHONPATH_SRC) pytest tests/
 
 test-fast:
-	pytest tests/ -x -q --ignore=tests/analysis/test_scenarios_small.py
+	$(PYTHONPATH_SRC) pytest tests/ -x -q --ignore=tests/analysis/test_scenarios_small.py
 
 bench:
-	pytest benchmarks/ --benchmark-only
+	$(PYTHONPATH_SRC) pytest benchmarks/ --benchmark-only
 
 # Regenerate every paper figure report into results/ via the CLI runner.
 figures:
-	python -m repro.analysis.runner all --out-dir results/
+	$(PYTHONPATH_SRC) python -m repro.analysis.runner all --out-dir results/
 
 examples:
 	for script in examples/*.py; do \
 		echo "=== $$script ==="; \
-		python $$script || exit 1; \
+		$(PYTHONPATH_SRC) python $$script || exit 1; \
 	done
+
+# The Figure 9 ramp-up fully observed: JSONL stream + per-run report.
+telemetry-demo:
+	$(PYTHONPATH_SRC) python -m repro.analysis.runner fig9 \
+		--telemetry /tmp/fig9-telemetry.jsonl --report
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

@@ -12,7 +12,7 @@ Run with::
 """
 
 from repro import Database, DatabaseConfig, LockTrace
-from repro.analysis.contention import ContentionReport
+from repro.analysis.contention import ContentionReport, resource_timeline
 from repro.workloads.schedule import ClientSchedule
 from repro.workloads.tpcc import TpccMix, TpccTable, TpccWorkload
 
@@ -45,6 +45,15 @@ def main() -> None:
         report.table_hotspots().items(), key=lambda kv: -kv[1]
     ):
         print(f"  {names.get(table, table):<12s} {wait:>10.2f}s")
+
+    hottest = report.hottest_resources(1)
+    if hottest:
+        hot = hottest[0].resource
+        timeline = resource_timeline(db.lock_manager.tracer, hot)
+        print(f"\ndrill-down: last events on hottest resource {hot} "
+              f"({len(timeline)} retained):")
+        for event in timeline[-6:]:
+            print(f"  {event}")
 
     print("\nlast few lock events:")
     print(db.lock_manager.tracer.tail(6))

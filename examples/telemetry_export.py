@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Record, export and replay a run's full telemetry.
+
+Runs a short contended OLTP burst with telemetry enabled, prints the
+live lock-wait percentiles and the per-run report, writes the whole
+run as one JSONL stream to a temporary file, reloads it, and shows
+that the reloaded stream answers the same questions -- identical event
+counts, decision log and wait-latency percentiles -- entirely offline.
+
+Run with::
+
+    python examples/telemetry_export.py
+"""
+
+import os
+import tempfile
+
+from repro import Database, DatabaseConfig, RunTelemetry
+from repro.analysis.report import RunReport
+from repro.workloads.oltp import OltpWorkload, heavy_mix
+from repro.workloads.schedule import ClientSchedule
+
+
+def main() -> None:
+    db = Database(
+        seed=23,
+        config=DatabaseConfig(total_memory_pages=16_384,
+                              initial_locklist_pages=96),
+    )
+    db.enable_telemetry()
+
+    workload = OltpWorkload(
+        db, ClientSchedule.ramp(1, 40, start=0.0, duration=20.0),
+        mix=heavy_mix(),
+    )
+    workload.start()
+    db.run(until=90)
+
+    telemetry = db.telemetry(label="telemetry-demo")
+    print(telemetry)
+    waits = telemetry.wait_latency()
+    if waits is not None and waits.count:
+        summary = waits.summary()
+        print(f"lock waits: {summary['count']} "
+              f"(p50={summary['p50']:.3f}s p95={summary['p95']:.3f}s "
+              f"p99={summary['p99']:.3f}s)")
+
+    print()
+    print(RunReport.from_telemetry(telemetry).render())
+
+    fd, path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    try:
+        records = telemetry.write_jsonl(path)
+        print(f"\nexported {records} records to {path} "
+              f"({os.path.getsize(path)} bytes)")
+
+        reloaded = RunTelemetry.from_jsonl(path)
+        print(f"reloaded: {reloaded}")
+        assert reloaded.event_counts() == telemetry.event_counts()
+        assert reloaded.decision_count == telemetry.decision_count
+        original, restored = telemetry.wait_latency(), reloaded.wait_latency()
+        if original is not None and original.count:
+            assert restored.p95 == original.p95
+            print(f"round trip exact: p95 {restored.p95:.3f}s == "
+                  f"{original.p95:.3f}s, "
+                  f"{reloaded.decision_count} decisions, "
+                  f"{sum(reloaded.event_counts().values())} events")
+    finally:
+        os.remove(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,8 @@ The library simulates DB2 9's self-tuning lock memory end to end:
 * :mod:`repro.baselines` -- static LOCKLIST, SQL Server 2005 and Oracle
   ITL comparators,
 * :mod:`repro.workloads` -- OLTP / DSS / batch workload generators,
+* :mod:`repro.obs` -- the unified observability layer: metric registry,
+  latency histograms and the JSONL telemetry stream,
 * :mod:`repro.analysis` -- the experiment harness regenerating every
   figure of the paper's evaluation.
 
@@ -45,6 +47,7 @@ from repro.lockmgr.modes import LockMode
 from repro.lockmgr.tracing import LockTrace
 from repro.memory.registry import DatabaseMemoryRegistry
 from repro.memory.stmm import Stmm, StmmConfig
+from repro.obs import Histogram, MetricRegistry, RunTelemetry
 from repro.workloads.replay import LockDemandReplay
 
 __version__ = "1.0.0"
@@ -70,6 +73,9 @@ __all__ = [
     "DatabaseMemoryRegistry",
     "Stmm",
     "StmmConfig",
+    "Histogram",
+    "MetricRegistry",
+    "RunTelemetry",
     "LockDemandReplay",
     "__version__",
 ]

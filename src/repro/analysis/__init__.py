@@ -8,17 +8,24 @@
   share these,
 * :mod:`repro.analysis.ascii_chart` -- terminal rendering of the
   recorded time series so benchmark output *looks like* the figures,
-* :mod:`repro.analysis.report` -- tabular formatting helpers.
+* :mod:`repro.analysis.report` -- tabular formatting helpers and the
+  per-run :class:`RunReport` telemetry summary,
+* :mod:`repro.analysis.contention` -- contention aggregates over lock
+  traces.
 """
 
 from repro.analysis.ascii_chart import render_series, render_two_series
+from repro.analysis.contention import ContentionReport, resource_timeline
 from repro.analysis.experiment import ExperimentResult
-from repro.analysis.report import format_findings, format_table
+from repro.analysis.report import RunReport, format_findings, format_table
 
 __all__ = [
     "render_series",
     "render_two_series",
+    "ContentionReport",
+    "resource_timeline",
     "ExperimentResult",
+    "RunReport",
     "format_findings",
     "format_table",
 ]

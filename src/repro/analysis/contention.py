@@ -14,7 +14,17 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.analysis.report import format_table
-from repro.lockmgr.tracing import LockTrace
+from repro.lockmgr.tracing import LockTrace, TraceEvent
+
+
+def resource_timeline(trace: LockTrace, resource: str) -> List[TraceEvent]:
+    """Every retained event touching one resource, in time order.
+
+    A thin wrapper over ``trace.query(resource=...)`` -- the drill-down
+    a DBA runs after :meth:`ContentionReport.hottest_resources` names a
+    hot row.
+    """
+    return list(trace.query(resource=resource))
 
 
 @dataclass

@@ -6,10 +6,15 @@ Run any paper experiment from the shell::
     python -m repro.analysis.runner fig9
     python -m repro.analysis.runner fig12 --csv out.csv
     python -m repro.analysis.runner all --out-dir results/
+    python -m repro.analysis.runner fig9 --telemetry out.jsonl --report
 
 Each run prints the experiment's findings (and an ASCII chart where the
 figure has a natural time series) and can export the full metric series
-to CSV for external plotting.
+to CSV for external plotting.  ``--telemetry PATH`` enables full
+observability (lock trace + histograms) on every database the
+experiment builds and writes one JSONL stream per run to PATH;
+``--report`` prints the per-run summary (wait-latency percentiles,
+escalations, controller decision log).  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -17,12 +22,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.analysis import scenarios
 from repro.analysis.ascii_chart import render_series, render_two_series
 from repro.analysis.experiment import ExperimentResult
-from repro.analysis.report import format_findings
+from repro.analysis.report import RunReport, format_findings
 
 def _run_fig7_static_only():
     """The Figure 7 view: the static run without the adaptive twin."""
@@ -82,15 +87,34 @@ def run_one(
     name: str,
     csv_path: Optional[str] = None,
     do_validate: bool = False,
+    telemetry_path: Optional[str] = None,
+    do_report: bool = False,
 ) -> ExperimentResult:
-    """Run one experiment by id, print its report, optionally dump CSV."""
+    """Run one experiment by id, print its report, optionally dump CSV.
+
+    With ``telemetry_path`` every database the experiment builds runs
+    fully observed (lock trace + latency histograms) and the combined
+    JSONL stream -- one run per database, readable back with
+    :func:`repro.obs.load_runs` -- lands at that path.  ``do_report``
+    prints a :class:`~repro.analysis.report.RunReport` per run.
+    """
     if name not in EXPERIMENTS:
         raise SystemExit(
             f"unknown experiment {name!r}; choose from: "
             f"{', '.join(sorted(EXPERIMENTS))}"
         )
     runner, chart_spec = EXPERIMENTS[name]
-    result = runner()
+    observed: List[Tuple[str, object]] = []
+
+    def observer(label: str, db) -> None:
+        db.enable_telemetry()
+        observed.append((label, db))
+
+    if telemetry_path or do_report:
+        with scenarios.observe_databases(observer):
+            result = runner()
+    else:
+        result = runner()
     print(render_result(result, chart_spec))
     if do_validate:
         from repro.analysis.validation import render_outcomes, validate
@@ -100,6 +124,24 @@ def run_one(
     if csv_path:
         result.metrics.write_csv(csv_path)
         print(f"\n[metrics csv: {csv_path}]")
+    if telemetry_path or do_report:
+        if not observed:
+            print(
+                f"\n[no telemetry: experiment {name!r} builds no database]"
+            )
+        telemetries = [db.telemetry(label=label) for label, db in observed]
+        if telemetry_path and telemetries:
+            total = 0
+            for i, telemetry in enumerate(telemetries):
+                total += telemetry.write_jsonl(telemetry_path, append=i > 0)
+            print(
+                f"\n[telemetry jsonl: {telemetry_path} "
+                f"({len(telemetries)} run(s), {total} records)]"
+            )
+        if do_report:
+            for telemetry in telemetries:
+                print()
+                print(RunReport.from_telemetry(telemetry).render())
     return result
 
 
@@ -122,7 +164,22 @@ def main(argv=None) -> int:
         action="store_true",
         help="also evaluate the paper's expected-shape checks",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        help="record full telemetry on every database the experiment "
+        "builds and write the JSONL stream here (single experiments only)",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help="print a per-run telemetry report (wait-latency percentiles, "
+        "escalations, controller decisions)",
+    )
     args = parser.parse_args(argv)
+
+    if (args.telemetry or args.report) and args.experiment in ("all", "list"):
+        parser.error("--telemetry/--report need a single experiment id")
 
     if args.experiment == "list":
         for name, (runner, _spec) in sorted(EXPERIMENTS.items()):
@@ -146,7 +203,13 @@ def main(argv=None) -> int:
                     handle.write(report)
         return 0
 
-    run_one(args.experiment, csv_path=args.csv, do_validate=args.validate)
+    run_one(
+        args.experiment,
+        csv_path=args.csv,
+        do_validate=args.validate,
+        telemetry_path=args.telemetry,
+        do_report=args.report,
+    )
     return 0
 
 

@@ -16,7 +16,8 @@ compressed where the paper ran for tens of minutes of steady state.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.experiment import ExperimentResult
 from repro.baselines import (
@@ -46,6 +47,53 @@ from repro.workloads.schedule import ClientSchedule
 def _throughput(metrics: MetricsRecorder):
     """Commits-per-second series derived from the cumulative counter."""
     return metrics["commits"].rate().smooth(5)
+
+
+# ---------------------------------------------------------------------------
+# Database observers: external hooks into scenario-internal databases
+# ---------------------------------------------------------------------------
+
+#: Called with ``(label, database)`` right after a scenario constructs a
+#: Database, before the simulation runs -- early enough to enable
+#: telemetry or attach a tracer.
+DatabaseObserver = Callable[[str, Database], None]
+
+_database_observers: List[DatabaseObserver] = []
+
+
+def add_database_observer(observer: DatabaseObserver) -> None:
+    """Register a hook over every Database any scenario builds."""
+    _database_observers.append(observer)
+
+
+def remove_database_observer(observer: DatabaseObserver) -> None:
+    _database_observers.remove(observer)
+
+
+@contextmanager
+def observe_databases(observer: DatabaseObserver) -> Iterator[None]:
+    """Scoped registration, the runner's preferred form::
+
+        with observe_databases(lambda label, db: db.enable_telemetry()):
+            run_fig9_rampup()
+    """
+    add_database_observer(observer)
+    try:
+        yield
+    finally:
+        remove_database_observer(observer)
+
+
+def _new_db(label: str, **kwargs) -> Database:
+    """Construct a scenario Database and announce it to observers.
+
+    Every scenario builds its databases through this factory so that
+    ``runner --telemetry`` can reach runs it never constructs itself.
+    """
+    db = Database(**kwargs)
+    for observer in list(_database_observers):
+        observer(label, db)
+    return db
 
 
 # ---------------------------------------------------------------------------
@@ -287,9 +335,9 @@ def run_fig7_fig8_static_escalation(
     reference run on the identical workload shows no escalations and
     healthy throughput.
     """
-    def build(policy: TuningPolicy) -> Database:
+    def build(policy: TuningPolicy, label: str) -> Database:
         cfg = DatabaseConfig(initial_locklist_pages=128)
-        db = Database(seed=seed, config=cfg, policy=policy)
+        db = _new_db(label, seed=seed, config=cfg, policy=policy)
         workload = OltpWorkload(
             db, ClientSchedule.ramp(1, clients, start=0.0, duration=30.0),
             mix=heavy_mix(),
@@ -299,7 +347,8 @@ def run_fig7_fig8_static_escalation(
         return db
 
     static_db = build(
-        StaticLocklistPolicy(locklist_pages=locklist_pages, maxlocks_fraction=0.10)
+        StaticLocklistPolicy(locklist_pages=locklist_pages, maxlocks_fraction=0.10),
+        "fig7-static",
     )
     stats = static_db.lock_manager.stats
     used = static_db.metrics["lock_used_slots"]
@@ -320,7 +369,7 @@ def run_fig7_fig8_static_escalation(
         }
     )
     if include_adaptive_reference:
-        adaptive_db = build(AdaptiveLockMemoryPolicy())
+        adaptive_db = build(AdaptiveLockMemoryPolicy(), "fig7-adaptive")
         a_stats = adaptive_db.lock_manager.stats
         a_tput = _throughput(adaptive_db.metrics)
         result.findings.update(
@@ -359,7 +408,7 @@ def run_fig9_rampup(
     increase with zero escalations).
     """
     cfg = DatabaseConfig(initial_locklist_pages=initial_locklist_pages)
-    db = Database(seed=seed, config=cfg, policy=AdaptiveLockMemoryPolicy())
+    db = _new_db("fig9", seed=seed, config=cfg, policy=AdaptiveLockMemoryPolicy())
     workload = OltpWorkload(
         db, ClientSchedule.ramp(1, clients, start=0.0, duration=ramp_duration_s)
     )
@@ -402,7 +451,7 @@ def run_fig10_surge(
     previous allocation" practically instantaneously at the switch, and
     no escalations occur throughout.
     """
-    db = Database(seed=seed, policy=AdaptiveLockMemoryPolicy())
+    db = _new_db("fig10", seed=seed, policy=AdaptiveLockMemoryPolicy())
     workload = OltpWorkload(
         db, ClientSchedule.step(before_clients, after_clients, at=switch_at_s)
     )
@@ -466,7 +515,7 @@ def run_fig11_dss_injection(
         policy = AdaptiveLockMemoryPolicy(fixed_maxlocks_fraction=0.10)
     else:
         raise ValueError(f"unknown maxlocks_policy {maxlocks_policy!r}")
-    db = Database(seed=seed, config=cfg, policy=policy)
+    db = _new_db(f"fig11-{maxlocks_policy}", seed=seed, config=cfg, policy=policy)
     workload = OltpWorkload(db, ClientSchedule.constant(oltp_clients))
     workload.start()
     query = ReportingQuery(
@@ -534,7 +583,7 @@ def run_fig12_reduction(
     delta_reduce (5 %) per 30 s tuning interval for about ten intervals
     and settles near half its previous steady state, with no escalations.
     """
-    db = Database(seed=seed, policy=AdaptiveLockMemoryPolicy())
+    db = _new_db("fig12", seed=seed, policy=AdaptiveLockMemoryPolicy())
     workload = OltpWorkload(
         db, ClientSchedule.step(before_clients, after_clients, at=drop_at_s)
     )
@@ -606,7 +655,7 @@ def run_baseline_comparison(
     rows = []
     for name, policy in policies.items():
         cfg = DatabaseConfig(overflow_goal_fraction=0.10)
-        db = Database(seed=seed, config=cfg, policy=policy)
+        db = _new_db(f"baseline-{name}", seed=seed, config=cfg, policy=policy)
         workload = OltpWorkload(
             db, ClientSchedule.step(clients // 2, clients, at=60.0)
         )
@@ -655,7 +704,9 @@ def run_ablation_delta_reduce(
     result = ExperimentResult("ablation-delta-reduce", metrics)
     for delta in deltas:
         params = TuningParameters(delta_reduce=delta)
-        db = Database(seed=seed, policy=AdaptiveLockMemoryPolicy(params))
+        db = _new_db(
+            f"delta-{delta:.2f}", seed=seed, policy=AdaptiveLockMemoryPolicy(params)
+        )
         workload = OltpWorkload(db, ClientSchedule.step(130, 30, at=drop_at_s))
         workload.start()
         db.run(until=duration_s)
@@ -704,7 +755,10 @@ def run_ablation_free_band(
         params = TuningParameters(
             min_free_fraction=min_free, max_free_fraction=max_free
         )
-        db = Database(seed=seed, policy=AdaptiveLockMemoryPolicy(params))
+        db = _new_db(
+            f"band-{min_free:.2f}-{max_free:.2f}",
+            seed=seed, policy=AdaptiveLockMemoryPolicy(params),
+        )
         workload = OltpWorkload(db, ClientSchedule.step(50, 130, at=90.0))
         workload.start()
         db.run(until=duration_s)
@@ -751,7 +805,10 @@ def run_two_heavy_consumers(
     )
 
     def run(num_queries: int):
-        db = Database(seed=seed, config=cfg, policy=AdaptiveLockMemoryPolicy())
+        db = _new_db(
+            f"heavy-consumers-{num_queries}",
+            seed=seed, config=cfg, policy=AdaptiveLockMemoryPolicy(),
+        )
         queries = [
             ReportingQuery(
                 db, start_time_s=10.0, row_count=dss_rows,

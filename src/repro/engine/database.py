@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set
 
 from repro.core.policy import AdaptiveLockMemoryPolicy, TuningPolicy
 from repro.engine.des import Environment
@@ -44,6 +44,10 @@ from repro.units import (
     PAGES_PER_BLOCK,
     round_pages_to_blocks,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.events import RunTelemetry
+    from repro.obs.registry import MetricRegistry
 
 
 @dataclass
@@ -157,6 +161,8 @@ class Database:
         self._started = False
         self._page_time = 0.0
         self._page_time_for_size = -1
+        #: Metric registry once :meth:`enable_telemetry` runs, else None.
+        self.obs_registry: Optional["MetricRegistry"] = None
 
     def _register_heaps(self) -> None:
         cfg = self.config
@@ -346,6 +352,42 @@ class Database:
         if not self._started:
             self.start()
         self.env.run(until=until)
+
+    # -- telemetry ------------------------------------------------------------
+
+    def enable_telemetry(
+        self,
+        trace_capacity: Optional[int] = None,
+        registry: Optional["MetricRegistry"] = None,
+    ) -> "MetricRegistry":
+        """Turn on full observability for this database: a lock trace
+        (if none is attached yet) plus the lock manager histograms.
+
+        Idempotent -- calling twice reuses the registry installed first.
+        ``trace_capacity`` is forwarded to the new :class:`LockTrace`
+        (``None`` keeps its default bounded buffer).
+        """
+        from repro.lockmgr.tracing import LockTrace
+        from repro.obs.instruments import LockManagerInstruments
+        from repro.obs.registry import MetricRegistry
+
+        if self.obs_registry is not None:
+            return self.obs_registry
+        self.obs_registry = registry or MetricRegistry()
+        if self.lock_manager.tracer is None:
+            if trace_capacity is not None:
+                self.lock_manager.tracer = LockTrace(capacity=trace_capacity)
+            else:
+                self.lock_manager.tracer = LockTrace()
+        self.lock_manager.obs = LockManagerInstruments(self.obs_registry)
+        return self.obs_registry
+
+    def telemetry(self, label: str = "run") -> "RunTelemetry":
+        """Collect this run's full telemetry (see
+        :class:`repro.obs.events.RunTelemetry`)."""
+        from repro.obs.events import RunTelemetry
+
+        return RunTelemetry.from_database(self, label=label)
 
     def check_invariants(self) -> None:
         """Cross-layer consistency checks used by tests."""

@@ -28,7 +28,8 @@ detector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Set, Tuple
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
 
 from repro.engine.des import Environment
 from repro.errors import DeadlockError, LockManagerError
@@ -43,6 +44,9 @@ from repro.lockmgr.modes import (
 )
 from repro.lockmgr.resources import ResourceId, row_resource, table_resource
 from repro.units import LOCK_SIZE_BYTES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instruments import LockManagerInstruments
 
 #: Paper Table 1: lockPercentPerApplication refresh period, 0x80 requests.
 REFRESH_PERIOD_FOR_APP_PERCENT = 0x80
@@ -137,6 +141,10 @@ class LockManager:
         self._escalation_preferred: set = set()
         #: Optional structured tracing (repro.lockmgr.tracing.LockTrace).
         self.tracer = None
+        #: Optional hot-path metrics
+        #: (repro.obs.instruments.LockManagerInstruments).  Like the
+        #: tracer, disabled costs one ``is None`` check per probe site.
+        self.obs: Optional["LockManagerInstruments"] = None
         #: "immediate" (default): a cycle-closing request fails on the
         #: spot.  "periodic": cycles persist until a
         #: :class:`repro.lockmgr.detector.DeadlockDetector` pass picks a
@@ -204,10 +212,22 @@ class LockManager:
             self.refresh_maxlocks()
 
     def _trace(
-        self, kind: str, app_id: int, detail: str = "", resource: str = ""
+        self,
+        kind: str,
+        app_id: int,
+        detail: str = "",
+        resource: str = "",
+        value: float = 0.0,
     ) -> None:
         if self.tracer is not None:
-            self.tracer.emit(self.env.now, kind, app_id, detail, resource)
+            self.tracer.emit(self.env.now, kind, app_id, detail, resource, value)
+
+    def _record_wait(self, duration: float) -> None:
+        """Account one finished lock wait (any exit: grant, deadlock,
+        timeout)."""
+        self.stats.wait_time_total += duration
+        if self.obs is not None:
+            self.obs.wait_latency.observe(duration)
 
     # -- public locking API ---------------------------------------------------
 
@@ -269,7 +289,7 @@ class LockManager:
             )
         self._app_slots.pop(app_id, None)
         if self.tracer is not None and freed:
-            self._trace("release", app_id, f"{freed} structures")
+            self._trace("release", app_id, f"{freed} structures", value=float(freed))
         return freed
 
     # -- core acquisition ---------------------------------------------------------
@@ -364,7 +384,11 @@ class LockManager:
             self._uncharge_slot(app_id)
         self._pump(obj)
         self._gc_object(obj)
-        self._trace("deadlock", app_id, f"victim on {obj.resource}", str(obj.resource))
+        if self.tracer is not None:
+            self._trace(
+                "deadlock", app_id, f"victim on {obj.resource}",
+                str(obj.resource), self.env.now - waiter.enqueued_at,
+            )
         waiter.event.fail(exc)
         return True
 
@@ -383,7 +407,8 @@ class LockManager:
             self._pump(obj)
             self._gc_object(obj)
             self.stats.deadlocks += 1
-            self._trace("deadlock", app_id, f"{waiter.mode.name} {obj.resource}", str(obj.resource))
+            if self.tracer is not None:
+                self._trace("deadlock", app_id, f"{waiter.mode.name} {obj.resource}", str(obj.resource))
             raise DeadlockError(
                 f"app {app_id} requesting {waiter.mode.name} on {obj.resource} "
                 "would close a wait-for cycle"
@@ -398,14 +423,14 @@ class LockManager:
             except DeadlockError:
                 # asynchronous victimization by the periodic detector;
                 # cancel_wait already cleaned up the queue state
-                self.stats.wait_time_total += self.env.now - started
+                self._record_wait(self.env.now - started)
                 raise
         else:
             timeout = self.env.timeout(self.lock_timeout_s)
             try:
                 yield self.env.any_of([waiter.event, timeout])
             except DeadlockError:
-                self.stats.wait_time_total += self.env.now - started
+                self._record_wait(self.env.now - started)
                 raise
             if not waiter.event.triggered:
                 # LOCKTIMEOUT expired first: withdraw the request.
@@ -417,20 +442,26 @@ class LockManager:
                 self._pump(obj)
                 self._gc_object(obj)
                 self.stats.lock_timeouts += 1
-                self.stats.wait_time_total += self.env.now - started
-                self._trace("timeout", app_id, f"{waiter.mode.name} {obj.resource}", str(obj.resource))
+                self._record_wait(self.env.now - started)
+                if self.tracer is not None:
+                    self._trace(
+                        "timeout", app_id,
+                        f"{waiter.mode.name} {obj.resource}",
+                        str(obj.resource), self.env.now - started,
+                    )
                 raise LockTimeoutError(
                     f"app {app_id} waited {self.lock_timeout_s}s for "
                     f"{waiter.mode.name} on {obj.resource}"
                 )
         self._waiting_on.pop(app_id, None)
-        self.stats.wait_time_total += self.env.now - started
+        self._record_wait(self.env.now - started)
         if self.tracer is not None:
             self._trace(
                 "wait-end", app_id,
                 f"{waiter.mode.name} {obj.resource} after "
                 f"{self.env.now - started:.3f}s",
                 str(obj.resource),
+                self.env.now - started,
             )
 
     # -- grant pumping and release ----------------------------------------------
@@ -533,7 +564,8 @@ class LockManager:
             freed = yield from self._escalate(app_id, "maxlocks", blocking=True)
             if freed == 0:
                 self.stats.lock_list_full_errors += 1
-                self._trace("lock-list-full", app_id, "maxlocks path")
+                if self.tracer is not None:
+                    self._trace("lock-list-full", app_id, "maxlocks path")
                 raise LockListFullError(
                     f"app {app_id} exceeds lockPercentPerApplication "
                     f"({self.maxlocks_fraction:.3f}) and escalation freed nothing"
@@ -585,7 +617,18 @@ class LockManager:
             return 0  # this application asked to escalate instead
         if self.growth_provider is None:
             return 0
-        granted = int(self.growth_provider(1))
+        if self.obs is not None:
+            # Wall-clock cost of the provider call: the synchronous
+            # growth path stalls the requesting transaction in a real
+            # system, so its latency is a first-class observable.
+            wall_started = perf_counter()
+            granted = int(self.growth_provider(1))
+            self.obs.sync_growth_latency.observe(perf_counter() - wall_started)
+            self.obs.sync_growth_requests.inc()
+            if granted > 0:
+                self.obs.sync_growth_blocks.inc(granted)
+        else:
+            granted = int(self.growth_provider(1))
         if granted < 0:
             raise LockManagerError(f"growth provider returned {granted}")
         if granted:
@@ -596,6 +639,7 @@ class LockManager:
                 self._trace(
                     "sync-growth", -1,
                     f"+{granted} blocks -> {self.chain.block_count}",
+                    value=float(granted),
                 )
         return granted
 
@@ -626,9 +670,11 @@ class LockManager:
         """
         tables = self._app_row_tables.get(app_id, {})
         candidates = sorted(tables.items(), key=lambda kv: -len(kv[1]))
+        scanned = 0  # row-lock structures examined across candidate tables
         for table_id, rows in candidates:
             if not rows:
                 continue
+            scanned += len(rows)
             row_modes = []
             for row in rows:
                 mode = self.holder_mode(app_id, row)
@@ -660,11 +706,15 @@ class LockManager:
             else:
                 continue  # table lock not grantable; try the next table
             freed = self._release_table_rows(app_id, table_id)
-            self._trace(
-                "escalation", app_id,
-                f"table {table_id} -> {target.name} ({reason}), freed {freed}",
-                f"T{table_id}",
-            )
+            if self.obs is not None:
+                self.obs.escalation_scan.observe(scanned)
+                self.obs.escalation_attempts.inc()
+            if self.tracer is not None:
+                self._trace(
+                    "escalation", app_id,
+                    f"table {table_id} -> {target.name} ({reason}), freed {freed}",
+                    f"T{table_id}", float(freed),
+                )
             self.stats.escalations.record(
                 EscalationOutcome(
                     time=self.env.now,
@@ -678,6 +728,9 @@ class LockManager:
             )
             return freed
         self.stats.escalations.failures += 1
+        if self.obs is not None:
+            self.obs.escalation_scan.observe(scanned)
+            self.obs.escalation_attempts.inc()
         return 0
 
     def _release_table_rows(self, app_id: int, table_id: int) -> int:
@@ -708,8 +761,9 @@ class LockManager:
             held.count -= 1
             return True
         self._release_one(app_id, resource)
-        self._trace("release", app_id, f"CS early release {resource}",
-                    str(resource))
+        if self.tracer is not None:
+            self._trace("release", app_id, f"CS early release {resource}",
+                        str(resource), 1.0)
         return True
 
     def lock_status(self, resource: ResourceId) -> str:

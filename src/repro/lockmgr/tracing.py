@@ -21,8 +21,8 @@ Example::
 from __future__ import annotations
 
 from collections import Counter, deque
-from dataclasses import dataclass
-from typing import Deque, Iterator, Optional
+from dataclasses import asdict, dataclass
+from typing import Deque, Dict, Iterator, List, Optional
 
 
 @dataclass(frozen=True)
@@ -36,6 +36,12 @@ class TraceEvent:
     #: Resource the event concerns (repr form, e.g. ``"T0.R7"``), empty
     #: for events without a single resource (release, sync-growth).
     resource: str = ""
+    #: Structured magnitude of the event where one exists -- wait
+    #: duration in seconds (``wait-end``, ``timeout``, ``deadlock``),
+    #: blocks granted (``sync-growth``), structures freed
+    #: (``escalation``, ``release``); 0.0 otherwise.  Lets offline
+    #: consumers (the JSONL exporter foremost) avoid parsing ``detail``.
+    value: float = 0.0
 
     def __str__(self) -> str:
         return f"[{self.time:10.3f}s] {self.kind:<12s} app={self.app_id:<5d} {self.detail}"
@@ -79,9 +85,10 @@ class LockTrace:
         app_id: int,
         detail: str = "",
         resource: str = "",
+        value: float = 0.0,
     ) -> None:
         """Record one event (called by the lock manager)."""
-        self._events.append(TraceEvent(time, kind, app_id, detail, resource))
+        self._events.append(TraceEvent(time, kind, app_id, detail, resource, value))
         self._counts[kind] += 1
 
     def __len__(self) -> int:
@@ -100,16 +107,28 @@ class LockTrace:
         app_id: Optional[int] = None,
         since: float = float("-inf"),
         until: float = float("inf"),
+        resource: Optional[str] = None,
     ) -> Iterator[TraceEvent]:
-        """Retained events filtered by kind, application and time window."""
+        """Retained events filtered by kind, application, time window
+        and resource (repr form, e.g. ``"T0.R7"``)."""
         for event in self._events:
             if kind is not None and event.kind != kind:
                 continue
             if app_id is not None and event.app_id != app_id:
                 continue
+            if resource is not None and event.resource != resource:
+                continue
             if not since <= event.time <= until:
                 continue
             yield event
+
+    def to_dicts(self, **query_kwargs) -> List[Dict[str, object]]:
+        """The retained events as plain dicts (JSONL/export friendly).
+
+        Keyword arguments are forwarded to :meth:`query`, so
+        ``trace.to_dicts(kind="escalation")`` exports one event family.
+        """
+        return [asdict(event) for event in self.query(**query_kwargs)]
 
     def tail(self, n: int = 20) -> str:
         """The last ``n`` retained events, formatted one per line."""
@@ -127,9 +146,9 @@ class LockTrace:
 
         with open(path, "w", newline="") as handle:
             writer = csv.writer(handle)
-            writer.writerow(["time", "kind", "app_id", "resource", "detail"])
+            writer.writerow(["time", "kind", "app_id", "resource", "detail", "value"])
             for event in self._events:
                 writer.writerow(
                     [event.time, event.kind, event.app_id,
-                     event.resource, event.detail]
+                     event.resource, event.detail, event.value]
                 )

@@ -1,0 +1,59 @@
+"""repro.obs -- the unified observability layer.
+
+One package behind which every telemetry path of the reproduction
+meets:
+
+* :mod:`repro.obs.registry` -- named :class:`Counter` / :class:`Gauge`
+  / fixed-bucket :class:`Histogram` instruments in a
+  :class:`MetricRegistry`,
+* :mod:`repro.obs.instruments` -- :class:`LockManagerInstruments`, the
+  pre-resolved bundle the lock manager hot paths observe into,
+* :mod:`repro.obs.events` -- :class:`RunTelemetry`, the single
+  time-ordered JSONL stream (trace events + controller decisions +
+  metric samples + registry snapshots) with a lossless
+  ``write_jsonl``/``from_jsonl`` round trip.
+
+Enable on a database with ``db.enable_telemetry()`` before the run,
+collect with ``db.telemetry()`` (or
+``RunTelemetry.from_database(db)``) after it, or drive everything from
+the CLI::
+
+    python -m repro.analysis.runner fig9 --telemetry out.jsonl --report
+
+See ``docs/OBSERVABILITY.md`` for the event schema, metric names and
+the overhead contract.
+"""
+
+from repro.obs.events import (
+    SCHEMA_VERSION,
+    WAIT_LATENCY_METRIC,
+    RunTelemetry,
+    load_runs,
+)
+from repro.obs.instruments import LockManagerInstruments
+from repro.obs.registry import (
+    LATENCY_BUCKETS_S,
+    SLOT_COUNT_BUCKETS,
+    WALL_CLOCK_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    exponential_bounds,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "LockManagerInstruments",
+    "RunTelemetry",
+    "load_runs",
+    "exponential_bounds",
+    "LATENCY_BUCKETS_S",
+    "WALL_CLOCK_BUCKETS_S",
+    "SLOT_COUNT_BUCKETS",
+    "SCHEMA_VERSION",
+    "WAIT_LATENCY_METRIC",
+]

@@ -1,0 +1,307 @@
+"""One time-ordered telemetry stream per run, exported as JSONL.
+
+Before this module, a run's observability was split across three silos:
+:class:`~repro.lockmgr.tracing.LockTrace` events (ring buffer),
+:class:`~repro.core.controller.ControllerDecision` records (plain list
+on the controller) and :class:`~repro.engine.metrics.MetricsRecorder`
+time series.  :class:`RunTelemetry` unifies them: one object holds all
+three plus the run's :class:`~repro.obs.registry.MetricRegistry`, and
+serializes them as a single time-ordered JSONL stream that
+:meth:`RunTelemetry.from_jsonl` reads back losslessly -- event counts,
+controller decisions and histogram percentiles all survive the round
+trip exactly, so a run can be audited entirely offline.
+
+Record kinds (schema version 1, one JSON object per line):
+
+=============  ==============================================================
+``meta``       run header: ``label``, ``version`` (first line of every run)
+``trace``      one lock manager event: ``t``, ``event``, ``app``,
+               ``detail``, ``resource``, ``value``
+``decision``   one controller tuning decision (all ControllerDecision fields)
+``sample``     one metric sample: ``t``, ``series``, ``value``
+``counter``    final counter value: ``name``, ``value``
+``gauge``      final gauge value: ``name``, ``value``
+``histogram``  full histogram snapshot (bounds, bucket counts, sum, min/max)
+=============  ==============================================================
+
+``trace``/``decision``/``sample`` records are merged in ``t`` order;
+registry records follow at the end (they are end-of-run snapshots).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+from collections import Counter as TallyCounter
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+from repro.core.controller import ControllerDecision
+from repro.engine.metrics import MetricsRecorder
+from repro.lockmgr.tracing import TraceEvent
+from repro.obs.registry import Histogram, MetricRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.database import Database
+
+#: Bumped when the JSONL record schema changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The histogram the lock manager observes wait durations into.
+WAIT_LATENCY_METRIC = "lock.wait.latency_s"
+
+
+class RunTelemetry:
+    """Everything one run emitted, unified and (de)serializable.
+
+    Build with :meth:`from_database` after a simulation finishes, or
+    :meth:`from_jsonl` to reload an exported stream.  Construct
+    directly for synthetic streams in tests.
+    """
+
+    def __init__(
+        self,
+        label: str = "run",
+        trace_events: Optional[List[TraceEvent]] = None,
+        decisions: Optional[List[ControllerDecision]] = None,
+        metrics: Optional[MetricsRecorder] = None,
+        registry: Optional[MetricRegistry] = None,
+    ) -> None:
+        self.label = label
+        self.trace_events = trace_events or []
+        self.decisions = decisions or []
+        self.metrics = metrics or MetricsRecorder()
+        self.registry = registry or MetricRegistry()
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, database: "Database", label: str = "run") -> "RunTelemetry":
+        """Collect a finished database run into one telemetry object.
+
+        Copies the lock manager's aggregate :class:`LockManagerStats`
+        into registry counters/gauges (idempotently -- values are
+        assigned, not added), so the exported stream carries the final
+        totals even when only tracing was enabled.
+        """
+        tracer = database.lock_manager.tracer
+        controller = getattr(database.policy, "controller", None)
+        registry = getattr(database, "obs_registry", None) or MetricRegistry()
+        telemetry = cls(
+            label=label,
+            trace_events=list(tracer) if tracer is not None else [],
+            decisions=list(controller.decisions) if controller is not None else [],
+            metrics=database.metrics,
+            registry=registry,
+        )
+        telemetry._sync_final_state(database)
+        return telemetry
+
+    def _sync_final_state(self, database: "Database") -> None:
+        stats = database.lock_manager.stats
+        reg = self.registry
+        for name, value in (
+            ("lock.requests", stats.requests),
+            ("lock.grants.immediate", stats.immediate_grants),
+            ("lock.waits", stats.waits),
+            ("lock.deadlocks", stats.deadlocks),
+            ("lock.timeouts", stats.lock_timeouts),
+            ("lock.list_full_errors", stats.lock_list_full_errors),
+            ("lock.escalations", stats.escalations.count),
+            ("lock.escalations.exclusive", stats.escalations.exclusive_count),
+            ("lock.escalations.failed", stats.escalations.failures),
+            ("lock.sync_growth.blocks_total", stats.sync_growth_blocks),
+        ):
+            reg.counter(name).value = float(value)
+        for name, value in (
+            ("run.duration_s", database.env.now),
+            ("run.commits", database.commits),
+            ("run.rollbacks", database.rollbacks),
+            ("lock.final.allocated_pages", database.chain.allocated_pages),
+            ("lock.final.used_slots", database.chain.used_slots),
+            ("lock.final.maxlocks_fraction",
+             database.lock_manager.maxlocks_fraction),
+            ("lock.wait.time_total_s", stats.wait_time_total),
+        ):
+            reg.gauge(name).set(float(value))
+
+    # -- queries -------------------------------------------------------------
+
+    def event_counts(self) -> Dict[str, int]:
+        """Trace events tallied per kind."""
+        return dict(TallyCounter(e.kind for e in self.trace_events))
+
+    def wait_latency(self) -> Optional[Histogram]:
+        """The lock-wait latency histogram, if the run recorded one."""
+        instrument = self.registry.get(WAIT_LATENCY_METRIC)
+        return instrument if isinstance(instrument, Histogram) else None
+
+    @property
+    def decision_count(self) -> int:
+        return len(self.decisions)
+
+    def end_time(self) -> float:
+        """Latest timestamp across all streams (0.0 when empty)."""
+        candidates = [0.0]
+        if self.trace_events:
+            candidates.append(self.trace_events[-1].time)
+        if self.decisions:
+            candidates.append(self.decisions[-1].time)
+        for name in self.metrics.names():
+            series = self.metrics[name]
+            if len(series):
+                candidates.append(series.times[-1])
+        return max(candidates)
+
+    # -- serialization -------------------------------------------------------
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """The full record stream: meta, time-ordered events, snapshots."""
+        yield {"kind": "meta", "version": SCHEMA_VERSION, "label": self.label}
+
+        def trace_records():
+            for e in self.trace_events:
+                yield {
+                    "kind": "trace", "t": e.time, "event": e.kind,
+                    "app": e.app_id, "detail": e.detail,
+                    "resource": e.resource, "value": e.value,
+                }
+
+        def decision_records():
+            for d in self.decisions:
+                record = {"kind": "decision", "t": d.time}
+                record.update(
+                    {k: v for k, v in asdict(d).items() if k != "time"}
+                )
+                yield record
+
+        def sample_records():
+            for t, row in self.metrics.to_rows():
+                for series in sorted(row):
+                    yield {
+                        "kind": "sample", "t": t,
+                        "series": series, "value": row[series],
+                    }
+
+        yield from heapq.merge(
+            trace_records(), decision_records(), sample_records(),
+            key=lambda record: record["t"],
+        )
+        snapshot = self.registry.snapshot()
+        for name, value in snapshot["counters"].items():
+            yield {"kind": "counter", "name": name, "value": value}
+        for name, value in snapshot["gauges"].items():
+            yield {"kind": "gauge", "name": name, "value": value}
+        for hist_snapshot in snapshot["histograms"].values():
+            record = {"kind": "histogram"}
+            record.update(hist_snapshot)
+            yield record
+
+    def write_jsonl(self, path: str, append: bool = False) -> int:
+        """Write the stream to ``path``; returns the record count."""
+        written = 0
+        with open(path, "a" if append else "w") as handle:
+            for record in self.records():
+                handle.write(json.dumps(record, separators=(",", ":")))
+                handle.write("\n")
+                written += 1
+        return written
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "RunTelemetry":
+        """Reload a single-run JSONL stream written by :meth:`write_jsonl`."""
+        runs = load_runs(path)
+        if not runs:
+            raise ValueError(f"{path}: no telemetry runs found")
+        if len(runs) > 1:
+            raise ValueError(
+                f"{path} holds {len(runs)} runs; use repro.obs.load_runs()"
+            )
+        return runs[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"RunTelemetry({self.label!r}, {len(self.trace_events)} trace "
+            f"events, {len(self.decisions)} decisions, "
+            f"{len(self.metrics.names())} series)"
+        )
+
+
+def load_runs(path: str) -> List[RunTelemetry]:
+    """Read every run from a (possibly multi-run) JSONL telemetry file.
+
+    A ``meta`` record starts a new run; records before the first
+    ``meta`` (a hand-built file) fall into an implicit ``"run"``.
+    """
+    runs: List[RunTelemetry] = []
+    current: Optional[RunTelemetry] = None
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: bad JSON: {exc}") from exc
+            kind = record.get("kind")
+            if kind == "meta":
+                version = record.get("version")
+                if version != SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}:{line_number}: schema version {version}, "
+                        f"this reader handles {SCHEMA_VERSION}"
+                    )
+                current = RunTelemetry(label=record.get("label", "run"))
+                runs.append(current)
+                continue
+            if current is None:
+                current = RunTelemetry()
+                runs.append(current)
+            _apply_record(current, record, path, line_number)
+    return runs
+
+
+def _apply_record(
+    telemetry: RunTelemetry, record: Dict[str, Any], path: str, line_number: int
+) -> None:
+    kind = record.get("kind")
+    if kind == "trace":
+        telemetry.trace_events.append(
+            TraceEvent(
+                time=record["t"], kind=record["event"], app_id=record["app"],
+                detail=record.get("detail", ""),
+                resource=record.get("resource", ""),
+                value=record.get("value", 0.0),
+            )
+        )
+    elif kind == "decision":
+        telemetry.decisions.append(
+            ControllerDecision(
+                time=record["t"], reason=record["reason"],
+                current_pages=record["current_pages"],
+                used_pages=record["used_pages"],
+                free_fraction=record["free_fraction"],
+                target_pages=record["target_pages"],
+                min_pages=record["min_pages"], max_pages=record["max_pages"],
+                escalations_in_interval=record["escalations_in_interval"],
+            )
+        )
+    elif kind == "sample":
+        telemetry.metrics.record(record["series"], record["t"], record["value"])
+    elif kind == "counter":
+        telemetry.registry.counter(record["name"]).value = float(record["value"])
+    elif kind == "gauge":
+        telemetry.registry.gauge(record["name"]).set(record["value"])
+    elif kind == "histogram":
+        telemetry.registry.install(Histogram.from_snapshot(record))
+    else:
+        raise ValueError(f"{path}:{line_number}: unknown record kind {kind!r}")
+
+
+__all__ = [
+    "RunTelemetry",
+    "load_runs",
+    "SCHEMA_VERSION",
+    "WAIT_LATENCY_METRIC",
+]

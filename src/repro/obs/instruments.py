@@ -1,0 +1,68 @@
+"""Instrument bundles binding a :class:`MetricRegistry` to subsystems.
+
+The lock manager does not know metric names; it holds (optionally) a
+:class:`LockManagerInstruments` whose attributes it observes into.  The
+bundle pre-resolves every instrument once at attach time so the enabled
+hot path is one attribute access plus one ``observe``/``inc`` -- and the
+disabled hot path stays the contractual single ``is None`` check.
+
+Metric names (documented in ``docs/OBSERVABILITY.md``):
+
+===============================  =========  ====================================
+name                             type       meaning
+===============================  =========  ====================================
+``lock.wait.latency_s``          histogram  measured lock-wait durations
+                                            (simulated seconds; success,
+                                            timeout and deadlock exits alike)
+``lock.sync_growth.latency_s``   histogram  wall-clock cost of one growth-
+                                            provider call (real seconds)
+``lock.escalation.scan_slots``   histogram  row-lock structures examined by
+                                            one escalation attempt
+``lock.sync_growth.blocks``      counter    blocks granted synchronously
+``lock.sync_growth.requests``    counter    growth-provider invocations
+``lock.escalation.attempts``     counter    escalation attempts (incl. failed)
+===============================  =========  ====================================
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    LATENCY_BUCKETS_S,
+    MetricRegistry,
+    SLOT_COUNT_BUCKETS,
+    WALL_CLOCK_BUCKETS_S,
+)
+
+
+class LockManagerInstruments:
+    """The lock manager's hot-path instruments, pre-resolved.
+
+    Attach with ``manager.obs = LockManagerInstruments(registry)``;
+    detach by setting ``manager.obs = None`` (the disabled state, and
+    the default).
+    """
+
+    __slots__ = (
+        "registry",
+        "wait_latency",
+        "sync_growth_latency",
+        "escalation_scan",
+        "sync_growth_blocks",
+        "sync_growth_requests",
+        "escalation_attempts",
+    )
+
+    def __init__(self, registry: MetricRegistry) -> None:
+        self.registry = registry
+        self.wait_latency = registry.histogram(
+            "lock.wait.latency_s", LATENCY_BUCKETS_S
+        )
+        self.sync_growth_latency = registry.histogram(
+            "lock.sync_growth.latency_s", WALL_CLOCK_BUCKETS_S
+        )
+        self.escalation_scan = registry.histogram(
+            "lock.escalation.scan_slots", SLOT_COUNT_BUCKETS
+        )
+        self.sync_growth_blocks = registry.counter("lock.sync_growth.blocks")
+        self.sync_growth_requests = registry.counter("lock.sync_growth.requests")
+        self.escalation_attempts = registry.counter("lock.escalation.attempts")

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.analysis import runner
+from repro.analysis import runner, scenarios
+from repro.analysis.experiment import ExperimentResult
+from repro.engine.database import DatabaseConfig
+from repro.lockmgr.modes import LockMode
+from repro.obs import load_runs
 
 
 class TestRegistry:
@@ -47,3 +51,71 @@ class TestCli:
         result = runner.EXPERIMENTS["fig6"][0]()
         text = runner.render_result(result, ("lock_pages_pct", "lock_used_pct"))
         assert "+-" in text  # chart border present
+
+
+def run_tiny_experiment() -> ExperimentResult:
+    """A seconds-long experiment that builds one observable Database."""
+    db = scenarios._new_db(
+        "tiny", seed=1,
+        config=DatabaseConfig(total_memory_pages=16_384,
+                              initial_locklist_pages=128),
+    )
+    env, manager = db.env, db.lock_manager
+
+    def holder():
+        yield from manager.lock_row(1, 0, 5, LockMode.X)
+        yield env.timeout(3)
+        manager.release_all(1)
+
+    def waiter():
+        yield env.timeout(1)
+        yield from manager.lock_row(2, 0, 5, LockMode.X)
+        manager.release_all(2)
+
+    env.process(holder())
+    env.process(waiter())
+    db.run(until=10)
+    return ExperimentResult("tiny", db.metrics)
+
+
+class TestTelemetryFlags:
+    @pytest.fixture
+    def tiny(self, monkeypatch):
+        monkeypatch.setitem(runner.EXPERIMENTS, "tiny",
+                            (run_tiny_experiment, None))
+
+    def test_telemetry_writes_jsonl(self, tiny, tmp_path, capsys):
+        path = tmp_path / "t.jsonl"
+        assert runner.main(["tiny", "--telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry jsonl" in out
+        runs = load_runs(str(path))
+        assert len(runs) == 1
+        assert runs[0].label == "tiny"
+        assert runs[0].trace_events
+
+    def test_report_prints_percentiles(self, tiny, capsys):
+        assert runner.main(["tiny", "--report"]) == 0
+        out = capsys.readouterr().out
+        for token in ("run report: tiny", "p50", "p95", "p99"):
+            assert token in out
+
+    def test_flags_rejected_for_all(self):
+        with pytest.raises(SystemExit):
+            runner.main(["all", "--telemetry", "/tmp/x.jsonl"])
+        with pytest.raises(SystemExit):
+            runner.main(["list", "--report"])
+
+    def test_no_database_experiment_degrades_gracefully(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "fig3.jsonl"
+        assert runner.main(["fig3", "--telemetry", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no telemetry" in out
+        assert not path.exists()
+
+    def test_without_flags_no_observer_runs(self, tiny, capsys):
+        assert runner.main(["tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry" not in out

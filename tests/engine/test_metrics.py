@@ -3,6 +3,8 @@
 import math
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.engine.des import Environment
 from repro.engine.metrics import MetricsRecorder, TimeSeries, sampled
@@ -117,6 +119,77 @@ class TestTimeSeries:
         assert s.crossing_time(3, rising=True) == 5
         assert s.crossing_time(100, rising=True) is None
         assert s.crossing_time(1, rising=False) == 0
+
+
+def series_strategy(min_size=1):
+    """Random (sorted-time, value) samples as a TimeSeries."""
+    return st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e4),
+            st.floats(min_value=-1e6, max_value=1e6),
+        ),
+        min_size=min_size,
+        max_size=40,
+    ).map(
+        lambda pairs: [
+            (t, v) for (t, _), (_, v) in zip(sorted(pairs), pairs)
+        ]
+    )
+
+
+def build_series(pairs) -> TimeSeries:
+    s = TimeSeries("x")
+    for t, v in pairs:
+        s.append(t, v)
+    return s
+
+
+class TestTimeSeriesProperties:
+    @given(pairs=series_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_time_weighted_mean_within_value_range(self, pairs):
+        s = build_series(pairs)
+        mean = s.time_weighted_mean()
+        low, high = min(s.values), max(s.values)
+        assert low <= mean <= high or math.isclose(mean, low) \
+            or math.isclose(mean, high)
+
+    @given(pairs=series_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_time_weighted_mean_of_constant_is_the_constant(self, pairs):
+        s = build_series([(t, 42.0) for t, _ in pairs])
+        assert s.time_weighted_mean() == pytest.approx(42.0)
+
+    @given(
+        pairs=series_strategy(min_size=2),
+        threshold=st.floats(min_value=-1e6, max_value=1e6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_crossing_time_points_at_a_crossing_sample(self, pairs, threshold):
+        s = build_series(pairs)
+        crossing = s.crossing_time(threshold, rising=True)
+        if crossing is None:
+            assert all(v < threshold for v in s.values)
+        else:
+            # some sample AT the crossing time meets the threshold (with
+            # duplicate timestamps, at() may report a later co-timed one)
+            assert any(
+                t == crossing and v >= threshold
+                for t, v in zip(s.times, s.values)
+            )
+            # nothing strictly before the crossing already met it
+            for t, v in zip(s.times, s.values):
+                if t < crossing:
+                    assert v < threshold
+
+    @given(pairs=series_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_crossing_time_falling_mirrors_rising(self, pairs):
+        s = build_series(pairs)
+        mirrored = build_series([(t, -v) for t, v in pairs])
+        assert s.crossing_time(0.0, rising=True) == mirrored.crossing_time(
+            0.0, rising=False
+        )
 
 
 class TestMetricsRecorder:

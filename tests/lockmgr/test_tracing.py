@@ -64,9 +64,30 @@ class TestLockTrace:
         path = tmp_path / "trace.csv"
         trace.write_csv(str(path))
         lines = path.read_text().strip().splitlines()
-        assert lines[0] == "time,kind,app_id,resource,detail"
+        assert lines[0] == "time,kind,app_id,resource,detail,value"
         assert len(lines) == 3
         assert "wait-begin" in lines[2]
+
+    def test_query_resource_filter(self):
+        trace = LockTrace()
+        trace.emit(1.0, "grant", 1, "X T0.R7", "T0.R7")
+        trace.emit(2.0, "grant", 2, "S T0.R8", "T0.R8")
+        trace.emit(3.0, "wait-begin", 3, "X T0.R7", "T0.R7")
+        by_resource = list(trace.query(resource="T0.R7"))
+        assert [e.app_id for e in by_resource] == [1, 3]
+        assert list(trace.query(kind="grant", resource="T0.R8"))[0].app_id == 2
+
+    def test_to_dicts(self):
+        trace = LockTrace()
+        trace.emit(1.0, "wait-end", 1, "granted after 2.000s", "T0.R7", 2.0)
+        trace.emit(2.0, "grant", 2, "S T0.R8", "T0.R8")
+        rows = trace.to_dicts()
+        assert rows[0] == {
+            "time": 1.0, "kind": "wait-end", "app_id": 1,
+            "detail": "granted after 2.000s", "resource": "T0.R7",
+            "value": 2.0,
+        }
+        assert len(trace.to_dicts(kind="grant")) == 1
 
 
 class TestManagerIntegration:

@@ -1,0 +1,195 @@
+"""Round-trip tests for the JSONL telemetry stream."""
+
+import json
+
+import pytest
+
+from repro.analysis import scenarios
+from repro.core.controller import ControllerDecision
+from repro.engine.metrics import MetricsRecorder
+from repro.lockmgr.tracing import TraceEvent
+from repro.obs import (
+    SCHEMA_VERSION,
+    WAIT_LATENCY_METRIC,
+    MetricRegistry,
+    RunTelemetry,
+    load_runs,
+)
+
+
+def synthetic_telemetry(label="synthetic") -> RunTelemetry:
+    registry = MetricRegistry()
+    hist = registry.histogram(WAIT_LATENCY_METRIC)
+    for value in (0.002, 0.03, 0.03, 0.5, 4.0):
+        hist.observe(value)
+    registry.counter("lock.requests").inc(100)
+    registry.gauge("run.duration_s").set(30.0)
+    metrics = MetricsRecorder()
+    metrics.record("lock_pages", 0.0, 96.0)
+    metrics.record("lock_pages", 10.0, 128.0)
+    metrics.record("commits", 10.0, 41.0)
+    return RunTelemetry(
+        label=label,
+        trace_events=[
+            TraceEvent(1.0, "grant", 1, "X T0.R7", "T0.R7"),
+            TraceEvent(2.0, "wait-begin", 2, "X T0.R7", "T0.R7"),
+            TraceEvent(5.0, "wait-end", 2, "granted after 3.000s",
+                       "T0.R7", 3.0),
+        ],
+        decisions=[
+            ControllerDecision(
+                time=30.0, reason="grow-to-min-free", current_pages=96,
+                used_pages=80, free_fraction=0.17, target_pages=512,
+                min_pages=64, max_pages=3276, escalations_in_interval=0,
+            )
+        ],
+        metrics=metrics,
+        registry=registry,
+    )
+
+
+class TestRecordStream:
+    def test_meta_record_leads(self):
+        records = list(synthetic_telemetry().records())
+        assert records[0] == {
+            "kind": "meta", "version": SCHEMA_VERSION, "label": "synthetic"
+        }
+
+    def test_timed_records_are_time_ordered(self):
+        records = list(synthetic_telemetry().records())
+        times = [r["t"] for r in records if "t" in r]
+        assert times == sorted(times)
+        # all three streams are present in the merged section
+        kinds = {r["kind"] for r in records if "t" in r}
+        assert kinds == {"trace", "decision", "sample"}
+
+    def test_snapshots_close_the_stream(self):
+        records = list(synthetic_telemetry().records())
+        tail_kinds = [r["kind"] for r in records if "t" not in r][1:]
+        assert set(tail_kinds) <= {"counter", "gauge", "histogram"}
+        assert tail_kinds == sorted(
+            tail_kinds, key=["counter", "gauge", "histogram"].index
+        )
+
+    def test_records_are_json_serializable(self):
+        for record in synthetic_telemetry().records():
+            json.loads(json.dumps(record))
+
+
+class TestRoundTrip:
+    def test_lossless_round_trip(self, tmp_path):
+        telemetry = synthetic_telemetry()
+        path = str(tmp_path / "run.jsonl")
+        written = telemetry.write_jsonl(path)
+        assert written == sum(1 for _ in telemetry.records())
+
+        reloaded = RunTelemetry.from_jsonl(path)
+        assert reloaded.label == telemetry.label
+        assert reloaded.trace_events == telemetry.trace_events
+        assert reloaded.decisions == telemetry.decisions
+        assert reloaded.event_counts() == telemetry.event_counts()
+        for name in telemetry.metrics.names():
+            original = telemetry.metrics[name]
+            restored = reloaded.metrics[name]
+            assert restored.times == original.times
+            assert restored.values == original.values
+        assert reloaded.registry.snapshot() == telemetry.registry.snapshot()
+
+    def test_wait_latency_percentiles_exact(self, tmp_path):
+        telemetry = synthetic_telemetry()
+        path = str(tmp_path / "run.jsonl")
+        telemetry.write_jsonl(path)
+        original = telemetry.wait_latency()
+        restored = RunTelemetry.from_jsonl(path).wait_latency()
+        assert restored.p50 == original.p50
+        assert restored.p95 == original.p95
+        assert restored.p99 == original.p99
+        assert restored.mean == original.mean
+
+    def test_multi_run_file(self, tmp_path):
+        path = str(tmp_path / "runs.jsonl")
+        synthetic_telemetry("first").write_jsonl(path)
+        synthetic_telemetry("second").write_jsonl(path, append=True)
+        runs = load_runs(path)
+        assert [r.label for r in runs] == ["first", "second"]
+        with pytest.raises(ValueError, match="load_runs"):
+            RunTelemetry.from_jsonl(path)
+
+    def test_headerless_file_gets_implicit_run(self, tmp_path):
+        path = tmp_path / "bare.jsonl"
+        path.write_text(
+            '{"kind":"trace","t":1.0,"event":"grant","app":1}\n'
+        )
+        runs = load_runs(str(path))
+        assert len(runs) == 1
+        assert runs[0].label == "run"
+        assert runs[0].trace_events[0].kind == "grant"
+
+    def test_bad_json_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"meta","version":1,"label":"x"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2"):
+            load_runs(str(path))
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "odd.jsonl"
+        path.write_text('{"kind":"mystery"}\n')
+        with pytest.raises(ValueError, match="mystery"):
+            load_runs(str(path))
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text('{"kind":"meta","version":99,"label":"x"}\n')
+        with pytest.raises(ValueError, match="99"):
+            load_runs(str(path))
+
+    def test_empty_file_has_no_runs(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert load_runs(str(path)) == []
+        with pytest.raises(ValueError, match="no telemetry"):
+            RunTelemetry.from_jsonl(str(path))
+
+
+class TestEndToEndAcceptance:
+    """The PR's acceptance round trip on a scaled-down Figure 9 run."""
+
+    @pytest.fixture(scope="class")
+    def fig9_pair(self, tmp_path_factory):
+        observed = []
+        with scenarios.observe_databases(
+            lambda label, db: observed.append((label, db.enable_telemetry(), db))
+        ):
+            scenarios.run_fig9_rampup(
+                clients=60, ramp_duration_s=30.0, duration_s=120.0
+            )
+        (label, _registry, db), = observed
+        telemetry = db.telemetry(label=label)
+        path = str(tmp_path_factory.mktemp("telemetry") / "fig9.jsonl")
+        telemetry.write_jsonl(path)
+        return telemetry, RunTelemetry.from_jsonl(path)
+
+    def test_event_counts_per_kind_identical(self, fig9_pair):
+        live, reloaded = fig9_pair
+        assert live.event_counts()  # the run really traced something
+        assert reloaded.event_counts() == live.event_counts()
+
+    def test_decision_log_survives(self, fig9_pair):
+        live, reloaded = fig9_pair
+        assert live.decision_count > 0
+        assert reloaded.decision_count == live.decision_count
+        assert reloaded.decisions == live.decisions
+
+    def test_wait_latency_p95_exact(self, fig9_pair):
+        live, reloaded = fig9_pair
+        waits = live.wait_latency()
+        assert waits is not None and waits.count > 0
+        restored = reloaded.wait_latency()
+        assert restored.p95 == waits.p95  # +- 0, per the acceptance bar
+        assert restored.summary() == waits.summary()
+
+    def test_final_state_counters_present(self, fig9_pair):
+        _live, reloaded = fig9_pair
+        requests = reloaded.registry.get("lock.requests")
+        assert requests is not None and requests.value > 0
+        assert reloaded.registry.get("run.duration_s").value == 120.0

@@ -1,0 +1,92 @@
+"""The overhead contract: disabled telemetry does no telemetry work.
+
+Every probe site in the lock manager must cost exactly one ``is None``
+check when telemetry is off -- no event formatting, no histogram or
+counter arithmetic.  These tests enforce it by counting instrument
+entry points during identical contended runs with telemetry disabled
+(all counts must stay zero) and enabled (they must not).
+"""
+
+import pytest
+
+from repro.lockmgr.modes import LockMode
+from repro.lockmgr.tracing import LockTrace
+from repro.obs.registry import Counter, Histogram
+
+from tests.conftest import make_database
+
+
+@pytest.fixture
+def instrument_calls(monkeypatch):
+    """Count every LockTrace.emit / Histogram.observe / Counter.inc."""
+    calls = {"emit": 0, "observe": 0, "inc": 0}
+    original_emit = LockTrace.emit
+    original_observe = Histogram.observe
+    original_inc = Counter.inc
+
+    def counting_emit(self, *args, **kwargs):
+        calls["emit"] += 1
+        return original_emit(self, *args, **kwargs)
+
+    def counting_observe(self, value):
+        calls["observe"] += 1
+        return original_observe(self, value)
+
+    def counting_inc(self, amount=1.0):
+        calls["inc"] += 1
+        return original_inc(self, amount)
+
+    monkeypatch.setattr(LockTrace, "emit", counting_emit)
+    monkeypatch.setattr(Histogram, "observe", counting_observe)
+    monkeypatch.setattr(Counter, "inc", counting_inc)
+    return calls
+
+
+def contended_run(db):
+    """Exercise grant, wait, release and deadlock paths deterministically."""
+    env, manager = db.env, db.lock_manager
+
+    def holder():
+        yield from manager.lock_row(101, 0, 5, LockMode.X)
+        yield env.timeout(3)
+        manager.release_all(101)
+
+    def waiter():
+        yield env.timeout(1)
+        yield from manager.lock_row(102, 0, 5, LockMode.X)
+        manager.release_all(102)
+
+    def scanner():
+        for row in range(50):
+            yield from manager.lock_row(103, 1, row, LockMode.S)
+        manager.release_all(103)
+
+    env.process(holder())
+    env.process(waiter())
+    env.process(scanner())
+    db.run(until=20)
+
+
+class TestOverheadContract:
+    def test_disabled_run_never_touches_instruments(self, instrument_calls):
+        db = make_database(seed=5)
+        contended_run(db)
+        stats = db.lock_manager.stats
+        assert stats.requests > 0
+        assert stats.waits > 0  # the guarded wait paths actually ran
+        assert instrument_calls == {"emit": 0, "observe": 0, "inc": 0}
+
+    def test_enabled_companion_run_records(self, instrument_calls):
+        db = make_database(seed=5)
+        db.enable_telemetry()
+        contended_run(db)
+        assert instrument_calls["emit"] > 0
+        assert instrument_calls["observe"] > 0  # the wait fed the histogram
+        waits = db.lock_manager.obs.wait_latency
+        assert waits.count == db.lock_manager.stats.waits
+
+    def test_default_state_is_disabled(self):
+        db = make_database(seed=5)
+        assert db.lock_manager.tracer is None
+        assert db.lock_manager.obs is None
+        assert db.obs_registry is None

@@ -1,0 +1,51 @@
+"""Tests for the per-run telemetry report."""
+
+import json
+
+from repro.analysis.report import RunReport
+from repro.obs import RunTelemetry
+
+from tests.obs.test_events import synthetic_telemetry
+
+
+class TestRunReport:
+    def test_render_contains_percentiles(self):
+        text = RunReport.from_telemetry(synthetic_telemetry()).render()
+        for token in ("p50", "p95", "p99", "lock.wait.latency_s"):
+            assert token in text
+
+    def test_render_sections(self):
+        text = RunReport.from_telemetry(synthetic_telemetry()).render()
+        for section in ("throughput", "locking", "escalations", "memory",
+                        "controller decisions"):
+            assert section in text
+
+    def test_as_json_structure(self):
+        data = RunReport.from_telemetry(synthetic_telemetry()).as_json()
+        assert data["label"] == "synthetic"
+        assert data["locking"]["requests"] == 100.0
+        assert data["latencies"]["lock.wait.latency_s"]["count"] == 5
+        assert len(data["decisions"]) == 1
+        json.dumps(data)  # fully serializable
+
+    def test_empty_telemetry_still_renders(self):
+        report = RunReport.from_telemetry(RunTelemetry(label="empty"))
+        text = report.render()
+        assert "empty" in text
+        assert "controller decisions: 0" in text
+
+    def test_report_identical_after_round_trip(self, tmp_path):
+        telemetry = synthetic_telemetry()
+        path = str(tmp_path / "run.jsonl")
+        telemetry.write_jsonl(path)
+        live = RunReport.from_telemetry(telemetry).as_json()
+        offline = RunReport.from_telemetry(
+            RunTelemetry.from_jsonl(path)
+        ).as_json()
+        assert offline == live
+
+    def test_write_json(self, tmp_path):
+        path = tmp_path / "report.json"
+        RunReport.from_telemetry(synthetic_telemetry()).write_json(str(path))
+        data = json.loads(path.read_text())
+        assert data["latencies"]["lock.wait.latency_s"]["p95"] > 0

@@ -16,6 +16,7 @@ FAST_EXAMPLES = [
     "worked_example_walkthrough.py",
     "learned_optimizer.py",
     "contention_analysis.py",
+    "telemetry_export.py",
 ]
 
 
@@ -55,3 +56,9 @@ class TestExamples:
         run_example("learned_optimizer.py")
         out = capsys.readouterr().out
         assert "estimation error removed by learning" in out
+
+    def test_telemetry_export_round_trips(self, capsys):
+        run_example("telemetry_export.py")
+        out = capsys.readouterr().out
+        assert "round trip exact" in out
+        assert "p95" in out and "p99" in out
