@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench figures examples telemetry-demo clean
+.PHONY: install test test-fast bench bench-perf bench-perf-smoke figures examples telemetry-demo clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -15,6 +15,15 @@ test-fast:
 
 bench:
 	$(PYTHONPATH_SRC) pytest benchmarks/ --benchmark-only
+
+# Core-hot-path microbenchmarks; writes BENCH_CORE.json at the repo
+# root (the tracked perf trajectory -- see docs/PERFORMANCE.md).
+bench-perf:
+	$(PYTHONPATH_SRC) python -m benchmarks.perf.run --out BENCH_CORE.json
+
+# CI-sized sanity run: every bench code path in seconds, no timing gates.
+bench-perf-smoke:
+	$(PYTHONPATH_SRC) python -m benchmarks.perf.run --scale smoke --repeats 1 --out /tmp/bench-smoke.json
 
 # Regenerate every paper figure report into results/ via the CLI runner.
 figures:

@@ -1,0 +1,16 @@
+"""Wall-clock microbenchmarks for the lock manager and DES hot paths.
+
+Unlike ``benchmarks/bench_*.py`` (which reproduce the paper's *figures*
+and measure simulated-time behaviour), this package measures how fast
+the simulator itself runs: lock acquire/release churn, escalation
+storms, deadlock-detector sweeps and one end-to-end scenario.  The
+driver (``run.py``) emits ``BENCH_CORE.json`` so successive PRs get a
+comparable performance trajectory.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/run.py --out BENCH_CORE.json
+
+See ``docs/PERFORMANCE.md`` for what each microbench stresses and how
+to read the output.
+"""

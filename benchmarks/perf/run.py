@@ -1,0 +1,176 @@
+"""Driver for the perf microbenchmarks: times the suite, emits JSON.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/perf/run.py --out BENCH_CORE.json
+    PYTHONPATH=src python benchmarks/perf/run.py --scale smoke --repeats 1
+    PYTHONPATH=src python benchmarks/perf/run.py --bench detector_sweep
+
+Each microbench runs ``--repeats`` times (after one untimed warmup at
+the default scale); per-repetition wall times yield ops/s plus p50/p95
+wall-time percentiles.  The output JSON (schema below) is the repo's
+performance trajectory record -- commit ``BENCH_CORE.json`` so future
+PRs can be compared against it::
+
+    {
+      "schema": 1,
+      "meta": {"timestamp": ..., "python": ..., "platform": ...,
+               "git_rev": ..., "scale": ..., "repeats": ...},
+      "benches": {
+        "<name>": {
+          "unit": "...", "ops": N, "params": {...},
+          "wall_s": {"min": ..., "mean": ..., "p50": ..., "p95": ...},
+          "ops_per_s": {"median": ..., "best": ...}
+        }, ...
+      }
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List
+
+if __package__ in (None, ""):  # executed as a script
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    import suite  # type: ignore
+else:  # imported as benchmarks.perf.run
+    from benchmarks.perf import suite  # type: ignore
+
+SCHEMA_VERSION = 1
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (q in [0, 100])."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("no values")
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        return out.stdout.strip() if out.returncode == 0 else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def time_bench(
+    name: str, scale: str, repeats: int, warmup: bool = True
+) -> Dict[str, Any]:
+    """Run one microbench ``repeats`` times and summarize."""
+    func, unit = suite.BENCHES[name]
+    params = suite.bench_params(name, scale)
+    if warmup:
+        func(**params)
+    walls: List[float] = []
+    ops = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        ops = func(**params)
+        walls.append(time.perf_counter() - started)
+    median_wall = statistics.median(walls)
+    return {
+        "unit": unit,
+        "ops": ops,
+        "params": params,
+        "repeats": repeats,
+        "wall_s": {
+            "min": min(walls),
+            "mean": statistics.fmean(walls),
+            "p50": _percentile(walls, 50),
+            "p95": _percentile(walls, 95),
+        },
+        "ops_per_s": {
+            "median": ops / median_wall if median_wall else 0.0,
+            "best": ops / min(walls) if min(walls) else 0.0,
+        },
+    }
+
+
+def run_suite(
+    names: List[str], scale: str, repeats: int, warmup: bool = True
+) -> Dict[str, Any]:
+    benches: Dict[str, Any] = {}
+    for name in names:
+        print(f"[perf] {name} (scale={scale}, repeats={repeats}) ...", flush=True)
+        summary = time_bench(name, scale, repeats, warmup=warmup)
+        benches[name] = summary
+        print(
+            f"[perf] {name}: {summary['ops']} {summary['unit']} / rep, "
+            f"p50 {summary['wall_s']['p50'] * 1000:.1f} ms, "
+            f"median {summary['ops_per_s']['median']:,.0f} ops/s",
+            flush=True,
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "git_rev": _git_rev(),
+            "scale": scale,
+            "repeats": repeats,
+        },
+        "benches": benches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/perf/run.py",
+        description="Time the lock-manager/DES microbenchmarks.",
+    )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        choices=sorted(suite.BENCHES),
+        help="run only this microbench (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(suite.SCALES),
+        help="parameter scale (smoke = tiny CI sizes)",
+    )
+    parser.add_argument("--repeats", type=int, default=5, help="timed repetitions")
+    parser.add_argument(
+        "--no-warmup", action="store_true", help="skip the untimed warmup run"
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the JSON summary to PATH"
+    )
+    args = parser.parse_args(argv)
+    if args.repeats <= 0:
+        parser.error("--repeats must be positive")
+
+    names = args.bench or sorted(suite.BENCHES)
+    result = run_suite(
+        names, args.scale, args.repeats, warmup=not args.no_warmup
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[perf] wrote {args.out}")
+    else:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

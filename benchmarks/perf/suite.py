@@ -1,0 +1,279 @@
+"""Microbenchmark definitions for the perf harness.
+
+Each microbench is a plain function taking keyword parameters and
+returning the number of *operations* it performed; the driver times
+repeated invocations and derives ops/s and wall-time percentiles.
+Every bench builds fresh state per invocation so repetitions are
+independent, and none of them uses wall-clock-dependent control flow,
+so the work done is a pure function of the parameters.
+
+The four benches and the hot paths they stress:
+
+``lock_churn``
+    Uncontended ``lock_row`` + ``release_all`` cycles: the allocation
+    fast path (slot charge, held-lock bookkeeping, intent fast path).
+``escalation_storm``
+    Repeated memory-pressure escalations triggered by fresh zero-row
+    requesters against an exactly-full block chain with no growth
+    provider: global victim selection, candidate-table ordering, and
+    the per-row escalation walk.
+``detector_sweep``
+    Repeated periodic-detector passes over a standing wait-for state
+    (many contended rows, no cycles): wait-graph construction and the
+    cycle DFS.
+``fig9_e2e``
+    A scaled-down Figure 9 ramp-up, end to end through the DES, the
+    OLTP workload and the adaptive controller.
+
+An operation means: one row-lock request (churn), one trigger/escalate/
+refill cycle (storm), one detector pass (sweep), one committed
+transaction (fig9).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.engine.des import Environment
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.detector import DeadlockDetector
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.modes import LockMode
+from repro.units import LOCKS_PER_BLOCK
+
+
+def _drive(gen) -> None:
+    """Run a locking generator that must not block to completion."""
+    try:
+        next(gen)
+    except StopIteration:
+        return
+    raise RuntimeError("benchmark generator blocked unexpectedly")
+
+
+def _start(gen):
+    """Advance a locking generator to its first suspension point.
+
+    Returns the generator (still suspended) or None if it completed
+    without blocking.
+    """
+    try:
+        next(gen)
+    except StopIteration:
+        return None
+    return gen
+
+
+# ---------------------------------------------------------------------------
+# lock churn
+# ---------------------------------------------------------------------------
+
+def run_lock_churn(
+    apps: int = 16, tables: int = 8, rows: int = 64, iters: int = 4
+) -> int:
+    """Uncontended acquire/release churn; returns row-lock requests."""
+    env = Environment()
+    chain = LockBlockChain(initial_blocks=max(4, apps * tables * (rows + 1) // 2048 + 1))
+    manager = LockManager(env, chain, maxlocks_fraction=1.0)
+    ops = 0
+    for _ in range(iters):
+        for app in range(1, apps + 1):
+            base = app * 1_000_000  # disjoint rows: no contention
+            for table in range(tables):
+                for row in range(rows):
+                    _drive(manager.lock_row(app, table, base + row, LockMode.X))
+                    ops += 1
+        for app in range(1, apps + 1):
+            manager.release_all(app)
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# escalation storm
+# ---------------------------------------------------------------------------
+
+def run_escalation_storm(
+    holders: int = 512,
+    tables_per_holder: int = 8,
+    rows_per_table: int = 2,
+    cycles: int = 2500,
+) -> int:
+    """Memory-pressure escalations driven by zero-row requesters.
+
+    Setup: ``holders`` applications each X-lock ``rows_per_table`` rows
+    in each of ``tables_per_holder`` private tables, sized so the block
+    chain is *exactly* full (``holders * tables_per_holder *
+    (rows_per_table + 1)`` must be a multiple of LOCKS_PER_BLOCK).
+
+    Each cycle then runs the worst-case victim-selection path: a fresh
+    application (holding nothing) requests one row lock.  With zero free
+    structures and no growth provider the manager must pick a memory-
+    pressure escalation victim -- and because the requester has no row
+    locks it cannot escalate itself, forcing a search across *every*
+    holder for the biggest row-lock owner.  The victim's fullest table
+    is escalated (private tables, so the table lock is grantable
+    immediately), the trigger releases, and the victim re-fills a fresh
+    table with exactly the freed structures so the next cycle starts
+    from a full chain again.
+
+    Returns the number of trigger cycles (== victim selections ==
+    escalations).
+    """
+    total_structures = holders * tables_per_holder * (rows_per_table + 1)
+    blocks, rem = divmod(total_structures, LOCKS_PER_BLOCK)
+    if rem:
+        raise ValueError(
+            "storm parameters must fill whole blocks: "
+            f"{total_structures} structures % {LOCKS_PER_BLOCK} != 0"
+        )
+    env = Environment()
+    chain = LockBlockChain(initial_blocks=blocks)
+    manager = LockManager(env, chain, maxlocks_fraction=1.0)
+    for app in range(1, holders + 1):
+        base_table = app * tables_per_holder
+        for t in range(tables_per_holder):
+            for row in range(rows_per_table):
+                _drive(manager.lock_row(app, base_table + t, row, LockMode.X))
+    if chain.free_slots != 0:
+        raise RuntimeError(
+            f"storm setup left {chain.free_slots} free structures"
+        )
+    outcomes = manager.stats.escalations.outcomes
+    for cycle in range(cycles):
+        trigger = 1_000_000 + cycle  # fresh app: zero row locks held
+        before = len(outcomes)
+        _drive(manager.lock_row(trigger, 2_000_000 + cycle, 0, LockMode.X))
+        if len(outcomes) != before + 1:
+            raise RuntimeError("trigger request did not force an escalation")
+        manager.release_all(trigger)
+        victim, freed = outcomes[-1].app_id, outcomes[-1].freed_slots
+        if victim == trigger or freed < 2:
+            raise RuntimeError(
+                f"unexpected escalation outcome: victim={victim} freed={freed}"
+            )
+        # Refill the victim: a fresh private table consuming exactly the
+        # freed structures (1 intent + freed-1 rows) restores pressure.
+        refill_table = 3_000_000 + cycle
+        for row in range(freed - 1):
+            _drive(manager.lock_row(victim, refill_table, row, LockMode.X))
+        if chain.free_slots != 0:
+            raise RuntimeError(
+                f"cycle {cycle} left {chain.free_slots} free structures"
+            )
+    return cycles
+
+
+# ---------------------------------------------------------------------------
+# deadlock-detector sweep
+# ---------------------------------------------------------------------------
+
+def run_detector_sweep(
+    groups: int = 64,
+    readers_per_group: int = 8,
+    writers_per_group: int = 4,
+    sweeps: int = 400,
+) -> int:
+    """Repeated detector passes over a cycle-free wait state.
+
+    Each group is one hot row: ``readers_per_group`` applications hold
+    S, and ``writers_per_group`` applications queue for X (blocked by
+    every reader plus the writers ahead of them).  The wait-for graph
+    therefore has ``groups * writers_per_group`` waiting nodes with
+    realistic fan-out and no cycles, so every pass builds the graph,
+    runs the full DFS and rolls back nobody -- the state is reusable
+    across sweeps.  Returns the number of detector passes.
+    """
+    env = Environment()
+    chain = LockBlockChain(
+        initial_blocks=max(
+            2, groups * (readers_per_group + writers_per_group) // 1024 + 1
+        )
+    )
+    manager = LockManager(env, chain, maxlocks_fraction=1.0)
+    detector = DeadlockDetector(manager, interval_s=10.0)  # periodic mode
+
+    app_id = 0
+    for group in range(groups):
+        for _ in range(readers_per_group):
+            app_id += 1
+            _drive(manager.lock_row(app_id, 0, group, LockMode.S))
+        for _ in range(writers_per_group):
+            app_id += 1
+            blocked = _start(manager.lock_row(app_id, 0, group, LockMode.X))
+            if blocked is None:
+                raise RuntimeError("writer was expected to block")
+    if len(manager.waiting_apps()) != groups * writers_per_group:
+        raise RuntimeError("sweep setup did not produce the expected waiters")
+
+    for _ in range(sweeps):
+        if detector.check() != 0:
+            raise RuntimeError("sweep state unexpectedly contained a cycle")
+    return sweeps
+
+
+# ---------------------------------------------------------------------------
+# fig9 end-to-end
+# ---------------------------------------------------------------------------
+
+def run_fig9_e2e(
+    clients: int = 32, ramp_duration_s: float = 20.0, duration_s: float = 60.0
+) -> int:
+    """Scaled-down Figure 9 ramp-up; returns committed transactions."""
+    from repro.analysis.scenarios import run_fig9_rampup
+
+    result = run_fig9_rampup(
+        seed=9,
+        clients=clients,
+        ramp_duration_s=ramp_duration_s,
+        duration_s=duration_s,
+    )
+    commits = int(result.findings["commits"])
+    if commits <= 0:
+        raise RuntimeError("fig9 e2e run committed nothing")
+    return commits
+
+
+# ---------------------------------------------------------------------------
+# registry and scales
+# ---------------------------------------------------------------------------
+
+#: name -> (callable, unit of the returned op count)
+BENCHES: Dict[str, tuple] = {
+    "lock_churn": (run_lock_churn, "row_lock_requests"),
+    "escalation_storm": (run_escalation_storm, "escalation_cycles"),
+    "detector_sweep": (run_detector_sweep, "detector_passes"),
+    "fig9_e2e": (run_fig9_e2e, "commits"),
+}
+
+#: Parameter overrides per scale.  ``smoke`` is sized for CI: it must
+#: exercise every code path in seconds, not produce stable timings.
+SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
+    "default": {
+        "lock_churn": {},
+        "escalation_storm": {},
+        "detector_sweep": {},
+        "fig9_e2e": {},
+    },
+    "smoke": {
+        "lock_churn": {"apps": 4, "tables": 2, "rows": 16, "iters": 1},
+        "escalation_storm": {
+            "holders": 128,
+            "tables_per_holder": 4,
+            "rows_per_table": 3,
+            "cycles": 10,
+        },
+        "detector_sweep": {
+            "groups": 8,
+            "readers_per_group": 4,
+            "writers_per_group": 2,
+            "sweeps": 3,
+        },
+        "fig9_e2e": {"clients": 6, "ramp_duration_s": 5.0, "duration_s": 15.0},
+    },
+}
+
+
+def bench_params(name: str, scale: str) -> Dict[str, Any]:
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
+    return dict(SCALES[scale].get(name, {}))

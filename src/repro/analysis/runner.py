@@ -89,6 +89,7 @@ def run_one(
     do_validate: bool = False,
     telemetry_path: Optional[str] = None,
     do_report: bool = False,
+    microbench_path: Optional[str] = None,
 ) -> ExperimentResult:
     """Run one experiment by id, print its report, optionally dump CSV.
 
@@ -96,7 +97,11 @@ def run_one(
     fully observed (lock trace + latency histograms) and the combined
     JSONL stream -- one run per database, readable back with
     :func:`repro.obs.load_runs` -- lands at that path.  ``do_report``
-    prints a :class:`~repro.analysis.report.RunReport` per run.
+    prints a :class:`~repro.analysis.report.RunReport` per run;
+    ``microbench_path`` names a ``benchmarks/perf`` result file
+    (BENCH_CORE.json) whose wall-clock summary is appended to each
+    report, putting this build's real-time cost next to the simulated-
+    time metrics.
     """
     if name not in EXPERIMENTS:
         raise SystemExit(
@@ -139,10 +144,31 @@ def run_one(
                 f"({len(telemetries)} run(s), {total} records)]"
             )
         if do_report:
+            bench_data = None
+            if microbench_path:
+                import json
+
+                with open(microbench_path) as handle:
+                    bench_data = json.load(handle)
             for telemetry in telemetries:
+                report_obj = RunReport.from_telemetry(telemetry)
+                if bench_data is not None:
+                    report_obj.attach_microbench(bench_data)
                 print()
-                print(RunReport.from_telemetry(telemetry).render())
+                print(report_obj.render())
     return result
+
+
+def _run_for_parallel(name: str) -> Tuple[str, str]:
+    """Worker for ``all --parallel``: run one experiment, return its report.
+
+    Module-level so it pickles; experiments are independent simulations
+    (each builds its own Environment and seeds its own RNG), so farming
+    them out across processes cannot change any result.
+    """
+    runner, chart_spec = EXPERIMENTS[name]
+    result = runner()
+    return name, render_result(result, chart_spec)
 
 
 def main(argv=None) -> int:
@@ -176,10 +202,30 @@ def main(argv=None) -> int:
         help="print a per-run telemetry report (wait-latency percentiles, "
         "escalations, controller decisions)",
     )
+    parser.add_argument(
+        "--microbench",
+        metavar="PATH",
+        help="with --report: include the wall-clock summary from this "
+        "benchmarks/perf result file (e.g. BENCH_CORE.json)",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with 'all': run experiments across N worker processes "
+        "(results and reports are printed in name order either way)",
+    )
     args = parser.parse_args(argv)
 
     if (args.telemetry or args.report) and args.experiment in ("all", "list"):
         parser.error("--telemetry/--report need a single experiment id")
+    if args.microbench and not args.report:
+        parser.error("--microbench requires --report")
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
+    if args.parallel > 1 and args.experiment != "all":
+        parser.error("--parallel only applies to 'all'")
 
     if args.experiment == "list":
         for name, (runner, _spec) in sorted(EXPERIMENTS.items()):
@@ -192,10 +238,27 @@ def main(argv=None) -> int:
         out_dir = args.out_dir
         if out_dir:
             os.makedirs(out_dir, exist_ok=True)
-        for name, (runner, chart_spec) in sorted(EXPERIMENTS.items()):
+        names = sorted(EXPERIMENTS)
+        if args.parallel > 1:
+            import multiprocessing
+
+            workers = min(args.parallel, len(names))
+            with multiprocessing.Pool(processes=workers) as pool:
+                # imap (not imap_unordered) keeps name order, so output
+                # is byte-identical to the sequential path.
+                reports = pool.imap(_run_for_parallel, names)
+                for name, report in reports:
+                    print(f"=== {name} ===")
+                    print(report)
+                    print()
+                    if out_dir:
+                        path = os.path.join(out_dir, f"{name}.txt")
+                        with open(path, "w") as handle:
+                            handle.write(report)
+            return 0
+        for name in names:
             print(f"=== {name} ===")
-            result = runner()
-            report = render_result(result, chart_spec)
+            _name, report = _run_for_parallel(name)
             print(report)
             print()
             if out_dir:
@@ -209,6 +272,7 @@ def main(argv=None) -> int:
         do_validate=args.validate,
         telemetry_path=args.telemetry,
         do_report=args.report,
+        microbench_path=args.microbench,
     )
     return 0
 

@@ -48,7 +48,13 @@ class Event:
     An event starts *untriggered*.  Calling :meth:`succeed` or
     :meth:`fail` triggers it, schedules its callbacks, and freezes its
     value.  Triggering an event twice is an error.
+
+    Events are the most-allocated objects in a simulation (every lock
+    wait, timeout and process creates at least one), so the whole
+    hierarchy is slotted; subclasses must declare ``__slots__`` too.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -127,6 +133,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after ``delay`` simulated time units."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"timeout delay must be non-negative, got {delay}")
@@ -139,6 +147,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a newly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -163,6 +173,8 @@ class Interrupt(Exception):
 class _InterruptDelivery(Event):
     """Internal event used to deliver an interrupt to a process."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
         super().__init__(env)
         self._ok = False
@@ -175,6 +187,8 @@ class _InterruptDelivery(Event):
 
 class Process(Event):
     """A running process; also an event that fires when it terminates."""
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: ProcessGenerator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -272,6 +286,8 @@ class Process(Event):
 class Condition(Event):
     """Base for :class:`AllOf` / :class:`AnyOf` composite events."""
 
+    __slots__ = ("_events", "_evaluate", "_count")
+
     def __init__(
         self,
         env: "Environment",
@@ -314,12 +330,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Fires when every constituent event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, events, lambda events, count: count == len(events))
 
 
 class AnyOf(Condition):
     """Fires when at least one constituent event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, events, lambda events, count: count >= 1)

@@ -25,7 +25,7 @@ which switches the manager to periodic mode (immediate checks off).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, Iterator, List, Set, Tuple
 
 from repro.errors import DeadlockError
 from repro.lockmgr.manager import LockManager
@@ -53,11 +53,56 @@ class DeadlockDetector:
 
     # -- graph construction --------------------------------------------------
 
-    def wait_for_graph(self) -> Dict[int, Set[int]]:
-        """Current edges: waiting app -> apps gating its request."""
-        graph: Dict[int, Set[int]] = {}
-        for app_id, (obj, waiter) in self.manager._waiting_on.items():
-            graph[app_id] = set(obj.blockers_of(waiter))
+    def wait_for_graph(self) -> Dict[int, List[int]]:
+        """Cycle-relevant edges: waiting app -> *waiting* apps gating it.
+
+        Built from the manager's incrementally-maintained contended-
+        object set, visiting each contended queue once: incompatible
+        holders are computed per distinct waiter *mode* (bitmask test,
+        cached within the object) and the queued-ahead prefix is
+        accumulated while walking the queue, so the build is
+        O(contended waiters + holders) rather than a per-waiter rescan
+        of each queue.
+
+        Blockers that are not themselves waiting are pruned during the
+        build: they have no outgoing edges, so they cannot lie on a
+        cycle, and dropping them up front (a popular share-locked
+        resource can have dozens of non-waiting holders) shrinks both
+        the graph and the DFS that follows.  Edge lists may contain a
+        duplicate when a blocker both holds the resource and waits ahead
+        (a queued conversion); the DFS is insensitive to duplicates.
+        Edge lists may also be shared between entries -- treat them as
+        read-only.
+        """
+        graph: Dict[int, List[int]] = {}
+        waiting = self.manager._waiting_on
+        for obj in self.manager.contended_objects().values():
+            granted = obj.granted
+            incompatible_cache: Dict[int, List[int]] = {}
+            ahead: List[int] = []
+            for waiter in obj.waiters:
+                mode_idx = waiter.mode._idx  # type: ignore[attr-defined]
+                holders = incompatible_cache.get(mode_idx)
+                if holders is None:
+                    mask = waiter.mode._compat_mask  # type: ignore[attr-defined]
+                    holders = incompatible_cache[mode_idx] = [
+                        app
+                        for app, held in granted.items()
+                        if not (mask & held.mode._bit)  # type: ignore[attr-defined]
+                        and app in waiting
+                    ]
+                app_id = waiter.app_id
+                if waiter.converting:
+                    # A converting waiter also holds the resource; keep
+                    # it out of its own edge list.
+                    blockers = [app for app in holders if app != app_id]
+                    blockers.extend(app for app in ahead if app != app_id)
+                elif ahead:
+                    blockers = holders + ahead
+                else:
+                    blockers = holders
+                graph[app_id] = blockers
+                ahead.append(app_id)
         return graph
 
     def find_cycles(self) -> List[List[int]]:
@@ -67,27 +112,35 @@ class DeadlockDetector:
         blockers have no outgoing edges).  Uses iterative DFS with an
         on-stack marker; each detected cycle's nodes are removed from
         further consideration so the returned cycles are disjoint.
+        Fully-explored nodes are remembered across roots (``finished``),
+        making a pass O(nodes + edges); removing nodes cannot create
+        cycles, so a node proven cycle-free stays cycle-free after a
+        cycle elsewhere is consumed.  Traversal order follows dict
+        insertion order, which is deterministic for a deterministic
+        simulation -- no sorting needed.
         """
         graph = self.wait_for_graph()
         cycles: List[List[int]] = []
         consumed: Set[int] = set()
+        finished: Set[int] = set()
 
-        for root in sorted(graph):
-            if root in consumed:
+        for root in graph:
+            if root in consumed or root in finished:
                 continue
             # iterative DFS tracking the current path
-            path: List[int] = []
-            on_path: Set[int] = set()
-            visited: Set[int] = set()
-            stack: List[tuple] = [(root, iter(sorted(graph.get(root, ()))))]
-            path.append(root)
-            on_path.add(root)
+            path: List[int] = [root]
+            on_path: Set[int] = {root}
+            stack: List[Tuple[int, Iterator[int]]] = [(root, iter(graph[root]))]
             while stack:
                 node, children = stack[-1]
                 advanced = False
                 for child in children:
-                    if child in consumed or child not in graph:
-                        continue  # not waiting: cannot be on a cycle
+                    if (
+                        child in consumed
+                        or child in finished
+                        or child not in graph  # not waiting: not on a cycle
+                    ):
+                        continue
                     if child in on_path:
                         # found a cycle: the path suffix from child
                         start = path.index(child)
@@ -97,25 +150,31 @@ class DeadlockDetector:
                         stack.clear()
                         advanced = True
                         break
-                    if child not in visited:
-                        visited.add(child)
-                        path.append(child)
-                        on_path.add(child)
-                        stack.append((child, iter(sorted(graph.get(child, ())))))
-                        advanced = True
-                        break
+                    path.append(child)
+                    on_path.add(child)
+                    stack.append((child, iter(graph[child])))
+                    advanced = True
+                    break
                 if not stack:
                     break
                 if not advanced:
                     stack.pop()
-                    done = path.pop()
-                    on_path.discard(done)
+                    path.pop()
+                    on_path.discard(node)
+                    finished.add(node)
         return cycles
 
     # -- victim selection and resolution ------------------------------------
 
     def choose_victim(self, cycle: List[int]) -> int:
-        """The cycle participant holding the fewest lock structures."""
+        """The cycle participant holding the fewest lock structures.
+
+        Ties are broken by lowest application id.  The tie-break is part
+        of the contract: it makes the choice a pure function of the
+        cycle's *membership*, so the victim can never depend on the
+        order in which the graph walk happened to enumerate the cycle
+        (which optimization work is free to change).
+        """
         return min(cycle, key=lambda app: (self.manager.app_slots(app), app))
 
     def check(self) -> int:

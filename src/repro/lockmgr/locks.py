@@ -17,7 +17,6 @@ standard treatment and prevents new arrivals from starving upgraders.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.errors import LockManagerError
@@ -26,32 +25,64 @@ from repro.lockmgr.modes import LockMode, compatible, supremum
 from repro.lockmgr.resources import ResourceId
 
 
-@dataclass
 class HeldLock:
-    """One application's grant on a resource (one lock structure)."""
+    """One application's grant on a resource (one lock structure).
 
-    app_id: int
-    mode: LockMode
-    #: Re-entrant acquisition count; releases are all-at-once (strict
-    #: two-phase locking) so this is informational.
-    count: int = 1
-    #: The 128 KB block the structure was allocated from.
-    block: Optional[LockBlock] = None
+    A slotted plain class, not a dataclass: tens of thousands are
+    created per simulated second, so instance dicts are worth avoiding.
+    """
+
+    __slots__ = ("app_id", "mode", "count", "block")
+
+    def __init__(
+        self,
+        app_id: int,
+        mode: LockMode,
+        count: int = 1,
+        block: Optional[LockBlock] = None,
+    ) -> None:
+        self.app_id = app_id
+        self.mode = mode
+        #: Re-entrant acquisition count; releases are all-at-once
+        #: (strict two-phase locking) so this is informational.
+        self.count = count
+        #: The 128 KB block the structure was allocated from.
+        self.block = block
+
+    def __repr__(self) -> str:
+        return (
+            f"HeldLock(app={self.app_id}, mode={self.mode.name}, "
+            f"count={self.count})"
+        )
 
 
-@dataclass
 class Waiter:
-    """A queued lock request."""
+    """A queued lock request (slotted: see :class:`HeldLock`)."""
 
-    app_id: int
-    mode: LockMode
-    #: DES event the requester is suspended on; succeeds on grant.
-    event: Any
-    #: Slot backing the request structure (None for conversions, which
-    #: reuse the already-held structure).
-    block: Optional[LockBlock] = None
-    converting: bool = False
-    enqueued_at: float = 0.0
+    __slots__ = ("app_id", "mode", "event", "block", "converting", "enqueued_at")
+
+    def __init__(
+        self,
+        app_id: int,
+        mode: LockMode,
+        event: Any,
+        block: Optional[LockBlock] = None,
+        converting: bool = False,
+        enqueued_at: float = 0.0,
+    ) -> None:
+        self.app_id = app_id
+        self.mode = mode
+        #: DES event the requester is suspended on; succeeds on grant.
+        self.event = event
+        #: Slot backing the request structure (None for conversions,
+        #: which reuse the already-held structure).
+        self.block = block
+        self.converting = converting
+        self.enqueued_at = enqueued_at
+
+    def __repr__(self) -> str:
+        kind = "convert" if self.converting else "request"
+        return f"Waiter(app={self.app_id}, mode={self.mode.name}, {kind})"
 
 
 class LockObject:

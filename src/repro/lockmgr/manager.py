@@ -27,6 +27,7 @@ detector.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
@@ -35,13 +36,8 @@ from repro.engine.des import Environment
 from repro.errors import DeadlockError, LockManagerError
 from repro.lockmgr.blocks import LockBlockChain
 from repro.lockmgr.escalation import EscalationOutcome, EscalationStats
-from repro.lockmgr.locks import LockObject, Waiter
-from repro.lockmgr.modes import (
-    LockMode,
-    covers,
-    escalation_target_mode,
-    intent_mode_for_row,
-)
+from repro.lockmgr.locks import HeldLock, LockObject, Waiter
+from repro.lockmgr.modes import LockMode, covers, intent_mode_for_row
 from repro.lockmgr.resources import ResourceId, row_resource, table_resource
 from repro.units import LOCK_SIZE_BYTES
 
@@ -153,9 +149,32 @@ class LockManager:
         self.stats = LockManagerStats()
         self._objects: Dict[ResourceId, LockObject] = {}
         self._app_held: Dict[int, Set[ResourceId]] = {}
-        self._app_row_tables: Dict[int, Dict[int, Set[ResourceId]]] = {}
+        #: app -> table -> {row resource -> its HeldLock}.  Storing the
+        #: grant itself (not just the resource) lets escalation read row
+        #: modes without a lock-object lookup per row; the HeldLock's
+        #: mode field tracks in-place upgrades automatically.
+        self._app_row_tables: Dict[int, Dict[int, Dict[ResourceId, HeldLock]]] = {}
+        #: Incremental row-lock totals (app -> count) kept in lockstep
+        #: with ``_app_row_tables`` so ``app_row_lock_count`` is O(1).
+        self._app_row_counts: Dict[int, int] = {}
+        #: Inverted index for victim selection: row count -> ordered set
+        #: of apps at that count (dict used as an ordered set), plus a
+        #: possibly-stale upper bound walked down lazily.  Makes
+        #: ``_memory_escalation_victim`` O(1) amortized instead of a
+        #: scan over every application's tables.
+        self._row_count_buckets: Dict[int, Dict[int, None]] = {}
+        self._max_row_count = 0
+        #: app -> tie-break stamp: the order apps first acquired a row
+        #: lock (since their last ``release_all``), mirroring the old
+        #: first-in-iteration-order victim choice among equal counts.
+        self._app_row_seq: Dict[int, int] = {}
+        self._row_seq_counter = 0
         self._app_slots: Dict[int, int] = {}
         self._waiting_on: Dict[int, Tuple[LockObject, Waiter]] = {}
+        #: Objects with a non-empty waiter queue, maintained on enqueue
+        #: (here) and dequeue (in ``_pump``): the deadlock detector and
+        #: snapshot reports read it instead of scanning every object.
+        self._contended: Dict[ResourceId, LockObject] = {}
         self._requests_since_refresh = 0
 
     # -- introspection -----------------------------------------------------
@@ -178,9 +197,7 @@ class LockManager:
 
     def app_row_lock_count(self, app_id: int) -> int:
         """Row locks currently held by ``app_id`` (across all tables)."""
-        return sum(
-            len(rows) for rows in self._app_row_tables.get(app_id, {}).values()
-        )
+        return self._app_row_counts.get(app_id, 0)
 
     def holder_mode(self, app_id: int, resource: ResourceId) -> Optional[LockMode]:
         obj = self._objects.get(resource)
@@ -188,6 +205,10 @@ class LockManager:
 
     def waiting_apps(self) -> Set[int]:
         return set(self._waiting_on)
+
+    def contended_objects(self) -> Dict[ResourceId, LockObject]:
+        """Live view of the objects with queued waiters (do not mutate)."""
+        return self._contended
 
     def maxlocks_limit_slots(self) -> int:
         """Structures one application may hold before escalation triggers."""
@@ -282,6 +303,11 @@ class LockManager:
             freed += self._release_one(app_id, resource)
         self._app_held.pop(app_id, None)
         self._app_row_tables.pop(app_id, None)
+        self._app_row_seq.pop(app_id, None)
+        if self._app_row_counts.pop(app_id, 0) != 0:
+            raise LockManagerError(
+                f"app {app_id} row-lock accounting nonzero after release_all"
+            )
         if self._app_slots.get(app_id, 0) != 0:
             raise LockManagerError(
                 f"app {app_id} slot accounting nonzero after release_all: "
@@ -337,8 +363,8 @@ class LockManager:
         if self.chain.used_slots > self.stats.peak_used_slots:
             self.stats.peak_used_slots = self.chain.used_slots
         if not obj.waiters and obj.others_compatible(app_id, mode):
-            obj.add_grant(app_id, mode, block=block)
-            self._note_held(app_id, resource)
+            held = obj.add_grant(app_id, mode, block=block)
+            self._note_held(app_id, resource, held)
             self.stats.immediate_grants += 1
             if self.tracer is not None:
                 self._trace("grant", app_id, f"{mode.name} {resource}", str(resource))
@@ -348,8 +374,10 @@ class LockManager:
             converting=False, enqueued_at=self.env.now,
         )
         obj.enqueue(waiter)
+        self._contended[resource] = obj
+        # No _note_held here: a waited grant is recorded by _pump, the
+        # only place the wait event can succeed.
         yield from self._wait(app_id, obj, waiter)
-        self._note_held(app_id, resource)
 
     def _convert(self, app_id: int, obj: LockObject, mode: LockMode):
         """Strengthen an already-held lock (no new structure needed)."""
@@ -364,6 +392,7 @@ class LockManager:
             converting=True, enqueued_at=self.env.now,
         )
         obj.enqueue(waiter)
+        self._contended[obj.resource] = obj
         yield from self._wait(app_id, obj, waiter)
 
     def cancel_wait(self, app_id: int, exc: BaseException) -> bool:
@@ -469,8 +498,12 @@ class LockManager:
     def _pump(self, obj: LockObject) -> None:
         for waiter in obj.pump():
             if not waiter.converting:
-                self._note_held(waiter.app_id, obj.resource)
+                self._note_held(
+                    waiter.app_id, obj.resource, obj.granted[waiter.app_id]
+                )
             waiter.event.succeed()
+        if not obj.waiters:
+            self._contended.pop(obj.resource, None)
 
     def _release_one(self, app_id: int, resource: ResourceId) -> int:
         obj = self._objects.get(resource)
@@ -502,11 +535,22 @@ class LockManager:
             raise LockManagerError(f"slot accounting underflow for app {app_id}")
         self._app_slots[app_id] = current - 1
 
-    def _note_held(self, app_id: int, resource: ResourceId) -> None:
-        self._app_held.setdefault(app_id, set()).add(resource)
+    def _note_held(self, app_id: int, resource: ResourceId, held: HeldLock) -> None:
+        held_set = self._app_held.get(app_id)
+        if held_set is None:
+            held_set = self._app_held[app_id] = set()
+        held_set.add(resource)
         if resource.is_row:
-            tables = self._app_row_tables.setdefault(app_id, {})
-            tables.setdefault(resource.table_id, set()).add(resource)
+            tables = self._app_row_tables.get(app_id)
+            if tables is None:
+                tables = self._app_row_tables[app_id] = {}
+                self._row_seq_counter += 1
+                self._app_row_seq[app_id] = self._row_seq_counter
+            rows = tables.get(resource.table_id)
+            if rows is None:
+                rows = tables[resource.table_id] = {}
+            rows[resource] = held
+            self._bump_row_count(app_id, 1)
 
     def _forget_held(self, app_id: int, resource: ResourceId) -> None:
         held_set = self._app_held.get(app_id)
@@ -516,10 +560,29 @@ class LockManager:
             tables = self._app_row_tables.get(app_id)
             if tables is not None:
                 rows = tables.get(resource.table_id)
-                if rows is not None:
-                    rows.discard(resource)
+                if rows is not None and rows.pop(resource, None) is not None:
                     if not rows:
                         del tables[resource.table_id]
+                    self._bump_row_count(app_id, -1)
+
+    def _bump_row_count(self, app_id: int, delta: int) -> None:
+        """Move ``app_id`` between row-count buckets by ``delta`` (+-1)."""
+        counts = self._app_row_counts
+        old = counts.get(app_id, 0)
+        new = old + delta
+        counts[app_id] = new
+        buckets = self._row_count_buckets
+        if old > 0:
+            bucket = buckets[old]
+            del bucket[app_id]
+            if not bucket:
+                del buckets[old]
+        if new > 0:
+            buckets.setdefault(new, {})[app_id] = None
+            if new > self._max_row_count:
+                self._max_row_count = new
+        # On decrements _max_row_count may go stale; victim selection
+        # walks it down lazily (amortized against prior increments).
 
     # -- deadlock detection ------------------------------------------------------------
 
@@ -648,16 +711,23 @@ class LockManager:
 
         Prefers the requester (DB2 escalates on behalf of the requesting
         application); if the requester has no row locks, falls back to
-        the application holding the most row locks.
+        the application holding the most row locks, ties broken by which
+        application first acquired a row lock (its ``_app_row_seq``
+        stamp).  The bucket index makes this O(1) amortized -- the
+        walk-down of the stale maximum is bounded by prior increments,
+        and the top bucket rarely holds more than a few applications.
         """
-        if self.app_row_lock_count(requester) > 0:
+        if self._app_row_counts.get(requester, 0) > 0:
             return requester
-        best_app, best_rows = None, 0
-        for app_id, tables in self._app_row_tables.items():
-            rows = sum(len(r) for r in tables.values())
-            if rows > best_rows:
-                best_app, best_rows = app_id, rows
-        return best_app
+        buckets = self._row_count_buckets
+        top = self._max_row_count
+        while top > 0 and top not in buckets:
+            top -= 1
+        self._max_row_count = top
+        if top == 0:
+            return None
+        seq = self._app_row_seq
+        return min(buckets[top], key=seq.__getitem__)
 
     def _escalate(self, app_id: int, reason: str, blocking: bool):
         """Generator: escalate ``app_id``'s biggest row-locked table.
@@ -669,20 +739,30 @@ class LockManager:
         succeeds when the table lock is grantable immediately.
         """
         tables = self._app_row_tables.get(app_id, {})
-        candidates = sorted(tables.items(), key=lambda kv: -len(kv[1]))
+        # Biggest table first; the position component reproduces the
+        # insertion-order tie-break of the stable sort this replaces.
+        # Lazy heap: the first candidate usually wins, so a full sort
+        # is wasted work.
+        candidates = [
+            (-len(rows), position, table_id)
+            for position, (table_id, rows) in enumerate(tables.items())
+            if rows
+        ]
+        heapq.heapify(candidates)
         scanned = 0  # row-lock structures examined across candidate tables
-        for table_id, rows in candidates:
+        while candidates:
+            _neg_rows, _position, table_id = heapq.heappop(candidates)
+            rows = tables.get(table_id)
             if not rows:
                 continue
             scanned += len(rows)
-            row_modes = []
-            for row in rows:
-                mode = self.holder_mode(app_id, row)
-                if mode is not None:
-                    row_modes.append(mode)
-            if not row_modes:
-                continue
-            target = escalation_target_mode(row_modes)
+            # Inline escalation_target_mode with an early break: the row
+            # grants are at hand, so the first write mode settles it.
+            target = LockMode.S
+            for held_row in rows.values():
+                if held_row.mode.is_write:
+                    target = LockMode.X
+                    break
             table_res = table_resource(table_id)
             obj = self._objects.get(table_res)
             if obj is None or app_id not in obj.granted:
@@ -701,6 +781,7 @@ class LockManager:
                     converting=True, enqueued_at=self.env.now,
                 )
                 obj.enqueue(waiter)
+                self._contended[table_res] = obj
                 yield from self._wait(app_id, obj, waiter)
                 waited = True
             else:
@@ -734,7 +815,9 @@ class LockManager:
         return 0
 
     def _release_table_rows(self, app_id: int, table_id: int) -> int:
-        rows = self._app_row_tables.get(app_id, {}).get(table_id, set())
+        rows = self._app_row_tables.get(app_id, {}).get(table_id)
+        if not rows:
+            return 0
         freed = 0
         for row in list(rows):
             freed += self._release_one(app_id, row)
@@ -795,10 +878,7 @@ class LockManager:
             f"escalations={stats.escalations.count} "
             f"(exclusive {stats.escalations.exclusive_count})",
         ]
-        contended = [
-            obj for obj in self._objects.values() if obj.waiters
-        ]
-        contended.sort(key=lambda o: -len(o.waiters))
+        contended = sorted(self._contended.values(), key=lambda o: -len(o.waiters))
         for obj in contended[:max_resources]:
             lines.append("  " + self.lock_status(obj.resource))
         if len(contended) > max_resources:
@@ -820,3 +900,39 @@ class LockManager:
                     raise LockManagerError(
                         f"app {app_id} claims {resource} but grant is missing"
                     )
+        for app_id, tables in self._app_row_tables.items():
+            total = 0
+            for table_id, rows in tables.items():
+                total += len(rows)
+                for resource, held in rows.items():
+                    obj = self._objects.get(resource)
+                    if obj is None or obj.granted.get(app_id) is not held:
+                        raise LockManagerError(
+                            f"row index stale: app {app_id} {resource}"
+                        )
+            if total != self._app_row_counts.get(app_id, 0):
+                raise LockManagerError(
+                    f"row count {self._app_row_counts.get(app_id, 0)} != "
+                    f"indexed rows {total} for app {app_id}"
+                )
+        for count, bucket in self._row_count_buckets.items():
+            if count <= 0 or not bucket:
+                raise LockManagerError(f"degenerate row-count bucket {count}")
+            if count > self._max_row_count:
+                raise LockManagerError(
+                    f"bucket {count} above max bound {self._max_row_count}"
+                )
+            for app_id in bucket:
+                if self._app_row_counts.get(app_id) != count:
+                    raise LockManagerError(
+                        f"app {app_id} in bucket {count} but holds "
+                        f"{self._app_row_counts.get(app_id)}"
+                    )
+        expected_contended = {
+            res for res, obj in self._objects.items() if obj.waiters
+        }
+        if expected_contended != set(self._contended):
+            raise LockManagerError(
+                f"contended set {sorted(map(str, self._contended))} != "
+                f"objects with waiters {sorted(map(str, expected_contended))}"
+            )

@@ -1,16 +1,15 @@
 """Lockable resource identifiers.
 
 Resources form a two-level hierarchy: tables contain rows.  A resource
-id is a small frozen dataclass usable as a dictionary key.  Page-level
-resources are included for completeness (some vendors escalate row to
-page before table; DB2 escalates straight to table locks, which is what
-the manager does by default).
+id is a small immutable-by-convention value object usable as a
+dictionary key.  Page-level resources are included for completeness
+(some vendors escalate row to page before table; DB2 escalates straight
+to table locks, which is what the manager does by default).
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
 from functools import lru_cache
 from typing import Optional
 
@@ -21,42 +20,73 @@ class ResourceKind(enum.Enum):
     ROW = "row"
 
 
-@dataclass(frozen=True, eq=False)
+#: Stable small-int code per kind, used in ResourceId's hash key.  The
+#: key must contain only ints: int hashes are pure functions of the
+#: value, while str hashes depend on PYTHONHASHSEED (and hash(None) on
+#: the interpreter), which would make set-of-ResourceId iteration order
+#: -- and therefore event ordering -- vary between processes.
+_KIND_CODE = {ResourceKind.TABLE: 0, ResourceKind.PAGE: 1, ResourceKind.ROW: 2}
+
+
 class ResourceId:
     """Identifies one lockable object.
 
     Hash and equality are computed once at construction (resource ids
-    are dictionary keys on the simulation's hottest path).
+    are dictionary keys on the simulation's hottest path).  A slotted
+    plain class rather than a frozen dataclass: one id is built per row
+    lock request, and the frozen-dataclass ``object.__setattr__`` init
+    was measurable there.  Treat instances as immutable.
+
+    The hash is a pure function of the id's value (an all-int key), so
+    any hash-ordered container of resource ids iterates identically in
+    every process -- a requirement for cross-process determinism of the
+    simulation (see docs/PERFORMANCE.md).
     """
 
-    kind: ResourceKind
-    table_id: int
-    page_id: Optional[int] = None
-    row_id: Optional[int] = None
+    __slots__ = ("kind", "table_id", "page_id", "row_id", "_key", "_hash")
 
-    def __post_init__(self) -> None:
-        if self.table_id < 0:
-            raise ValueError(f"table_id must be non-negative, got {self.table_id}")
-        if self.kind is ResourceKind.TABLE:
-            if self.page_id is not None or self.row_id is not None:
+    def __init__(
+        self,
+        kind: ResourceKind,
+        table_id: int,
+        page_id: Optional[int] = None,
+        row_id: Optional[int] = None,
+    ) -> None:
+        if table_id < 0:
+            raise ValueError(f"table_id must be non-negative, got {table_id}")
+        if page_id is not None and page_id < 0:
+            raise ValueError(f"page_id must be non-negative, got {page_id}")
+        if row_id is not None and row_id < 0:
+            raise ValueError(f"row_id must be non-negative, got {row_id}")
+        if kind is ResourceKind.TABLE:
+            if page_id is not None or row_id is not None:
                 raise ValueError("table resource must not carry page/row ids")
-        elif self.kind is ResourceKind.PAGE:
-            if self.page_id is None or self.row_id is not None:
+        elif kind is ResourceKind.PAGE:
+            if page_id is None or row_id is not None:
                 raise ValueError("page resource needs page_id and no row_id")
-        elif self.kind is ResourceKind.ROW:
-            if self.row_id is None:
+        elif kind is ResourceKind.ROW:
+            if row_id is None:
                 raise ValueError("row resource needs row_id")
-        key = (self.kind.value, self.table_id, self.page_id, self.row_id)
-        object.__setattr__(self, "_key", key)
-        object.__setattr__(self, "_hash", hash(key))
+        self.kind = kind
+        self.table_id = table_id
+        self.page_id = page_id
+        self.row_id = row_id
+        key = (
+            _KIND_CODE[kind],
+            table_id,
+            -1 if page_id is None else page_id,
+            -1 if row_id is None else row_id,
+        )
+        self._key = key
+        self._hash = hash(key)
 
     def __hash__(self) -> int:
-        return self._hash  # type: ignore[attr-defined]
+        return self._hash
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ResourceId):
             return NotImplemented
-        return self._key == other._key  # type: ignore[attr-defined]
+        return self._key == other._key
 
     @property
     def is_table(self) -> bool:

@@ -1,0 +1,66 @@
+"""Determinism regression: same seed, same telemetry stream.
+
+The simulation must be a pure function of its seed: two runs of the
+same scenario with the same seed have to produce byte-identical
+telemetry record streams.  This pins the optimization work -- any
+accidental dependence on set/hash iteration order, id()-keyed state or
+wall-clock control flow shows up here as a stream divergence.
+
+The single exclusion is the ``lock.sync_growth.latency_s`` histogram:
+it measures *wall-clock* time spent inside synchronous lock-memory
+growth (by design -- see docs/OBSERVABILITY.md), so its bucket counts
+legitimately vary between runs of identical simulations.
+"""
+
+import json
+
+from repro.analysis import scenarios
+
+#: The only wall-clock-derived record in the stream.
+WALL_CLOCK_METRIC = "lock.sync_growth.latency_s"
+
+FIG9_PARAMS = dict(clients=6, ramp_duration_s=5.0, duration_s=15.0)
+
+
+def capture_fig9_stream(seed):
+    """Run a scaled-down fig9 and return its JSONL lines (all runs)."""
+    observed = []
+
+    def observer(label, db):
+        db.enable_telemetry()
+        observed.append((label, db))
+
+    with scenarios.observe_databases(observer):
+        scenarios.run_fig9_rampup(seed=seed, **FIG9_PARAMS)
+
+    lines = []
+    excluded = 0
+    assert observed, "fig9 built no observable database"
+    for label, db in observed:
+        for record in db.telemetry(label=label).records():
+            if (
+                record.get("kind") == "histogram"
+                and record.get("name") == WALL_CLOCK_METRIC
+            ):
+                excluded += 1
+                continue
+            lines.append(json.dumps(record, sort_keys=True))
+    return lines, excluded
+
+
+class TestSameSeedSameStream:
+    def test_fig9_twice_identical_telemetry(self):
+        first, excluded_first = capture_fig9_stream(seed=9)
+        second, excluded_second = capture_fig9_stream(seed=9)
+        assert len(first) > 100  # a real stream, not a degenerate run
+        assert first == second
+        # the wall-clock histogram exists and is the one thing skipped
+        assert excluded_first == excluded_second
+        assert excluded_first >= 1
+
+    def test_different_seed_different_stream(self):
+        # Sanity check that the capture is sensitive enough to notice a
+        # genuinely different run.
+        first, _ = capture_fig9_stream(seed=9)
+        other, _ = capture_fig9_stream(seed=10)
+        assert first != other

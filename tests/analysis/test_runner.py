@@ -53,6 +53,55 @@ class TestCli:
         assert "+-" in text  # chart border present
 
 
+def run_tiny_fig3() -> ExperimentResult:
+    return scenarios.run_fig3_lock_queuing()
+
+
+def run_tiny_fig4() -> ExperimentResult:
+    return scenarios.run_fig4_oracle_itl()
+
+
+class TestParallel:
+    def test_parallel_rejected_for_single_experiment(self):
+        with pytest.raises(SystemExit):
+            runner.main(["fig3", "--parallel", "2"])
+        with pytest.raises(SystemExit):
+            runner.main(["list", "--parallel", "2"])
+
+    def test_parallel_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            runner.main(["all", "--parallel", "0"])
+
+    def test_parallel_all_matches_sequential(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        # Two fast table-style experiments; workers inherit the patched
+        # registry via fork on Linux.
+        monkeypatch.setattr(
+            runner,
+            "EXPERIMENTS",
+            {
+                "a-fig3": (run_tiny_fig3, None),
+                "b-fig4": (run_tiny_fig4, None),
+            },
+        )
+        seq_dir = tmp_path / "seq"
+        par_dir = tmp_path / "par"
+        assert runner.main(["all", "--out-dir", str(seq_dir)]) == 0
+        seq_out = capsys.readouterr().out
+        assert runner.main(
+            ["all", "--parallel", "2", "--out-dir", str(par_dir)]
+        ) == 0
+        par_out = capsys.readouterr().out
+        assert par_out == seq_out
+        assert seq_out.index("=== a-fig3 ===") < seq_out.index("=== b-fig4 ===")
+        for name in ("a-fig3", "b-fig4"):
+            assert (
+                (par_dir / f"{name}.txt").read_text()
+                == (seq_dir / f"{name}.txt").read_text()
+            )
+
+
 def run_tiny_experiment() -> ExperimentResult:
     """A seconds-long experiment that builds one observable Database."""
     db = scenarios._new_db(
@@ -119,3 +168,74 @@ class TestTelemetryFlags:
         assert runner.main(["tiny"]) == 0
         out = capsys.readouterr().out
         assert "telemetry" not in out
+
+
+BENCH_FILE = {
+    "meta": {"schema": 1},
+    "benches": {
+        "lock_churn": {
+            "ops": 1000,
+            "unit": "row_lock_requests",
+            "ops_per_s": {"median": 50_000.0, "best": 52_000.0},
+            "wall_s": {"p50": 0.02, "p95": 0.025, "min": 0.019, "mean": 0.021},
+        },
+    },
+}
+
+
+class TestMicrobenchWiring:
+    @pytest.fixture
+    def tiny(self, monkeypatch):
+        monkeypatch.setitem(runner.EXPERIMENTS, "tiny",
+                            (run_tiny_experiment, None))
+
+    @pytest.fixture
+    def bench_path(self, tmp_path):
+        import json
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(BENCH_FILE))
+        return str(path)
+
+    def test_report_includes_microbench_section(
+        self, tiny, bench_path, capsys
+    ):
+        assert runner.main(
+            ["tiny", "--report", "--microbench", bench_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "microbench (wall-clock, this build):" in out
+        assert "lock_churn" in out
+        assert "50,000.00" in out  # ops/s p50
+        assert "20.00" in out  # wall p50 in ms
+
+    def test_microbench_requires_report(self, bench_path):
+        with pytest.raises(SystemExit):
+            runner.main(["fig3", "--microbench", bench_path])
+
+    def test_report_without_microbench_unchanged(self, tiny, capsys):
+        assert runner.main(["tiny", "--report"]) == 0
+        assert "microbench" not in capsys.readouterr().out
+
+    def test_attach_microbench_in_json(self, tiny, bench_path, capsys):
+        from repro.analysis.report import RunReport
+
+        report = RunReport.from_telemetry(_tiny_telemetry())
+        report.attach_microbench(BENCH_FILE)
+        data = report.as_json()
+        assert data["microbench"]["lock_churn"]["ops_per_s_median"] == 50_000.0
+        assert data["microbench"]["lock_churn"]["wall_s_p95"] == 0.025
+
+
+def _tiny_telemetry():
+    """Telemetry of one observed tiny run (for direct RunReport tests)."""
+    observed = []
+
+    def observer(label, db):
+        db.enable_telemetry()
+        observed.append((label, db))
+
+    with scenarios.observe_databases(observer):
+        run_tiny_experiment()
+    label, db = observed[0]
+    return db.telemetry(label=label)

@@ -153,6 +153,105 @@ class TestRelease:
         chain.check_invariants()
 
 
+class TestShrinkChurn:
+    """Shrink-from-tail semantics under a churned, interleaved list.
+
+    The simple release tests above work on freshly-built chains where
+    the empty blocks sit contiguously at the tail.  After alloc/free
+    churn the availability list interleaves in-use and empty blocks
+    (head-return-on-free reorders it), which is exactly the state the
+    shrink scan and its failure/reintegration path must handle.
+    """
+
+    def _churned_chain(self):
+        """4 blocks of 4 slots churned so the list order is scrambled.
+
+        Returns ``(chain, handles)`` with two blocks entirely empty and
+        two blocks partially in use, empties *not* contiguous at the
+        tail.
+        """
+        chain = LockBlockChain(initial_blocks=4, capacity_per_block=4)
+        blocks = chain.iter_list()
+        # fill every block completely (empties the availability list)
+        handles = {b.block_id: [] for b in blocks}
+        for block in blocks:
+            for _ in range(4):
+                handle = chain.allocate_slot()
+                assert handle is block
+                handles[block.block_id].append(handle)
+        assert chain.iter_list() == []
+        # free in an interleaved order: each block re-enters at the head
+        # as its first slot is freed, scrambling the original order
+        for block in (blocks[2], blocks[0], blocks[3], blocks[1]):
+            chain.free_slot(handles[block.block_id].pop())
+        # drain blocks 2 and 0 completely; 3 and 1 stay half-used
+        for block in (blocks[2], blocks[0]):
+            while handles[block.block_id]:
+                chain.free_slot(handles[block.block_id].pop())
+        chain.check_invariants()
+        assert chain.entirely_free_blocks() == 2
+        remaining = [h for hs in handles.values() for h in hs]
+        return chain, remaining
+
+    def test_failed_shrink_reintegrates_and_preserves_order(self):
+        chain, handles = self._churned_chain()
+        order_before = [b.block_id for b in chain.iter_list()]
+        # only 2 empty blocks exist; asking for 3 must fail atomically
+        assert chain.release_blocks(3) == 0
+        assert [b.block_id for b in chain.iter_list()] == order_before
+        assert chain.block_count == 4
+        chain.check_invariants()
+        # the failed attempt must not have corrupted anything: churn on
+        for handle in handles:
+            chain.free_slot(handle)
+        assert chain.release_blocks(4) == 4
+        assert chain.block_count == 0
+
+    def test_partial_shrink_skips_interleaved_inuse_blocks(self):
+        chain, handles = self._churned_chain()
+        inuse_before = {
+            b.block_id for b in chain.iter_list() if not b.is_empty
+        }
+        # partial shrink frees exactly the two empties, wherever they
+        # sit in the list, and leaves the in-use blocks linked
+        assert chain.release_blocks(3, partial=True) == 2
+        assert chain.block_count == 2
+        after = chain.iter_list()
+        assert {b.block_id for b in after} == inuse_before
+        chain.check_invariants()
+        for handle in handles:
+            chain.free_slot(handle)
+        chain.check_invariants()
+
+    def test_head_return_on_free_under_interleaved_churn(self):
+        # Scripted churn: whenever a full block has one slot freed it
+        # must re-enter at the *head* and satisfy the next allocation.
+        chain = LockBlockChain(initial_blocks=3, capacity_per_block=2)
+        first, second, third = chain.iter_list()
+        held = [chain.allocate_slot() for _ in range(6)]  # all full
+        assert chain.iter_list() == []
+        for block in (second, first, third):
+            handle = next(h for h in held if h is block)
+            held.remove(handle)
+            chain.free_slot(handle)
+            assert chain.iter_list()[0] is block  # head-return
+            refill = chain.allocate_slot()
+            assert refill is block  # head allocation
+            held.append(refill)
+            chain.check_invariants()
+        # interleave deeper: free two slots of one block, one of another;
+        # the most recently re-listed block must be at the head
+        for handle in [h for h in held if h is second][:2]:
+            held.remove(handle)
+            chain.free_slot(handle)
+        handle = next(h for h in held if h is first)
+        held.remove(handle)
+        chain.free_slot(handle)
+        assert chain.iter_list()[0] is first
+        assert chain.allocate_slot() is first
+        chain.check_invariants()
+
+
 @st.composite
 def chain_operations(draw):
     """A random but valid sequence of chain operations."""

@@ -138,6 +138,29 @@ class TestDetection:
         victim_time = next(t for r, t in outcomes.values() if r == "deadlock")
         assert victim_time == 1.0
 
+    def test_victim_tie_broken_by_lowest_app_id(self, env):
+        # Both participants hold exactly two structures (one row + one
+        # table intent), so slot counts tie and the documented tie-break
+        # -- lowest app id -- must decide.
+        manager, detector = make_periodic(env, interval_s=5.0)
+        outcomes = {}
+        self._two_app_deadlock(env, manager, outcomes)
+        env.run(until=2.0)
+        assert manager.app_slots(1) == manager.app_slots(2)
+        env.run(until=40.0)
+        assert outcomes[1][0] == "deadlock"
+        assert outcomes[2][0] == "ok"
+        assert detector.stats.victims == [1]
+
+    def test_choose_victim_ignores_cycle_order(self, env):
+        # The choice is a pure function of cycle membership: feeding the
+        # same participants in any rotation/reversal yields one victim.
+        manager, detector = make_periodic(env, interval_s=5.0)
+        outcomes = {}
+        self._two_app_deadlock(env, manager, outcomes)
+        env.run(until=2.0)
+        assert detector.choose_victim([1, 2]) == detector.choose_victim([2, 1])
+
     def test_cancel_wait_on_non_waiter_is_noop(self, env):
         manager, _detector = make_periodic(env)
         assert manager.cancel_wait(99, DeadlockError("x")) is False

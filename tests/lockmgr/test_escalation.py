@@ -129,6 +129,32 @@ class TestEscalationBlocking:
         manager.check_invariants()
 
 
+    def test_memory_escalation_tie_broken_by_first_row_acquirer(self, env):
+        # Two holders with *equal* row-lock counts: the documented
+        # tie-break picks whichever application acquired a row lock
+        # first (here app 2, despite app 1's lower id), so the victim
+        # can never depend on how the holder index is iterated.
+        manager = make_manager(env, capacity=16, maxlocks_fraction=1.0)
+
+        def hold(app_id, table_id):
+            for row in range(7):
+                yield from manager.lock_row(app_id, table_id, row, LockMode.S)
+
+        def newcomer():
+            yield env.timeout(1)
+            yield from manager.lock_row(3, 9, 0, LockMode.S)
+
+        run_process(env, hold(2, 2))  # first row acquirer
+        run_process(env, hold(1, 1))
+        assert manager.app_row_lock_count(1) == manager.app_row_lock_count(2)
+        assert manager.chain.free_slots == 0
+        run_process(env, newcomer())
+        outcomes = manager.stats.escalations.outcomes
+        assert outcomes and outcomes[0].reason == "memory"
+        assert outcomes[0].app_id == 2
+        manager.check_invariants()
+
+
 class TestEscalationStats:
     def test_exclusive_count(self):
         stats = EscalationStats()
