@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-perf bench-perf-smoke figures examples telemetry-demo clean
+.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -39,6 +39,22 @@ examples:
 telemetry-demo:
 	$(PYTHONPATH_SRC) python -m repro.analysis.runner fig9 \
 		--telemetry /tmp/fig9-telemetry.jsonl --report
+
+# The live (wall-clock, threaded) lock service with its tuning daemon.
+service-demo:
+	$(PYTHONPATH_SRC) python -m repro.service.cli demo
+
+# Threaded stress with exact-accounting checks at shutdown (the CI job).
+service-smoke:
+	$(PYTHONPATH_SRC) python -m repro.service.cli stress --threads 8 --requests 2000
+
+# Service throughput-vs-threads curve; writes BENCH_SERVICE.json at the
+# repo root (tracked alongside BENCH_CORE.json).
+bench-service:
+	$(PYTHONPATH_SRC) python -m benchmarks.perf.run \
+		--bench service_churn_t1 --bench service_churn_t2 \
+		--bench service_churn_t4 --bench service_churn_t8 \
+		--out BENCH_SERVICE.json
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis

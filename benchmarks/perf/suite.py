@@ -7,7 +7,7 @@ Every bench builds fresh state per invocation so repetitions are
 independent, and none of them uses wall-clock-dependent control flow,
 so the work done is a pure function of the parameters.
 
-The four benches and the hot paths they stress:
+The benches and the hot paths they stress:
 
 ``lock_churn``
     Uncontended ``lock_row`` + ``release_all`` cycles: the allocation
@@ -24,10 +24,15 @@ The four benches and the hot paths they stress:
 ``fig9_e2e``
     A scaled-down Figure 9 ramp-up, end to end through the DES, the
     OLTP workload and the adaptive controller.
+``service_churn_t{1,2,4,8}``
+    Closed-loop threaded load through the live wall-clock LockService
+    (mutex hand-off, condition-variable wakeups, live tuner daemon) at
+    1/2/4/8 worker threads -- the req/s-vs-thread-count degradation
+    curve.
 
-An operation means: one row-lock request (churn), one trigger/escalate/
-refill cycle (storm), one detector pass (sweep), one committed
-transaction (fig9).
+An operation means: one row-lock request (churn, service churn), one
+trigger/escalate/refill cycle (storm), one detector pass (sweep), one
+committed transaction (fig9).
 """
 
 from __future__ import annotations
@@ -234,6 +239,58 @@ def run_fig9_e2e(
 
 
 # ---------------------------------------------------------------------------
+# service churn (threaded, wall-clock)
+# ---------------------------------------------------------------------------
+
+def run_service_churn(
+    threads: int = 4,
+    requests_per_thread: int = 2_000,
+    total_memory_pages: int = 16_384,
+    initial_locklist_pages: int = 128,
+    tuner_interval_s: float = 0.05,
+) -> int:
+    """Closed-loop threaded load through the live LockService.
+
+    Unlike the DES benches this one runs real threads against the
+    wall-clock service stack -- mutex hand-off, condition-variable
+    wakeups and the live tuner daemon included.  Measured across thread
+    counts it answers "how does service throughput degrade as real
+    concurrency rises" (under the GIL the coarse-mutex service cannot
+    scale linearly; the interesting result is how gracefully req/s
+    holds).  Returns lock requests completed.
+    """
+    from repro.service.driver import LoadDriver
+    from repro.service.stack import ServiceConfig, ServiceStack
+
+    stack = ServiceStack(
+        ServiceConfig(
+            total_memory_pages=total_memory_pages,
+            initial_locklist_pages=initial_locklist_pages,
+            tuner_interval_s=tuner_interval_s,
+            max_in_flight=max(4, threads),
+            admission_queue_depth=4 * max(4, threads),
+        )
+    )
+    with stack:
+        report = LoadDriver(
+            stack,
+            threads=threads,
+            requests_per_thread=requests_per_thread,
+            seed=17,
+        ).run()
+    if report.worker_errors:
+        raise RuntimeError(f"service churn workers failed: {report.worker_errors}")
+    if report.lock_requests < threads * requests_per_thread:
+        raise RuntimeError(
+            f"service churn incomplete: {report.lock_requests} requests"
+        )
+    if stack.chain.used_slots != 0:
+        raise RuntimeError("service churn leaked lock structures")
+    stack.check_invariants()
+    return report.lock_requests
+
+
+# ---------------------------------------------------------------------------
 # registry and scales
 # ---------------------------------------------------------------------------
 
@@ -243,6 +300,22 @@ BENCHES: Dict[str, tuple] = {
     "escalation_storm": (run_escalation_storm, "escalation_cycles"),
     "detector_sweep": (run_detector_sweep, "detector_passes"),
     "fig9_e2e": (run_fig9_e2e, "commits"),
+    "service_churn_t1": (
+        lambda **kw: run_service_churn(threads=1, **kw),
+        "lock_requests",
+    ),
+    "service_churn_t2": (
+        lambda **kw: run_service_churn(threads=2, **kw),
+        "lock_requests",
+    ),
+    "service_churn_t4": (
+        lambda **kw: run_service_churn(threads=4, **kw),
+        "lock_requests",
+    ),
+    "service_churn_t8": (
+        lambda **kw: run_service_churn(threads=8, **kw),
+        "lock_requests",
+    ),
 }
 
 #: Parameter overrides per scale.  ``smoke`` is sized for CI: it must
@@ -253,6 +326,10 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "escalation_storm": {},
         "detector_sweep": {},
         "fig9_e2e": {},
+        "service_churn_t1": {},
+        "service_churn_t2": {},
+        "service_churn_t4": {},
+        "service_churn_t8": {},
     },
     "smoke": {
         "lock_churn": {"apps": 4, "tables": 2, "rows": 16, "iters": 1},
@@ -269,6 +346,10 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
             "sweeps": 3,
         },
         "fig9_e2e": {"clients": 6, "ramp_duration_s": 5.0, "duration_s": 15.0},
+        "service_churn_t1": {"requests_per_thread": 200},
+        "service_churn_t2": {"requests_per_thread": 200},
+        "service_churn_t4": {"requests_per_thread": 100},
+        "service_churn_t8": {"requests_per_thread": 50},
     },
 }
 

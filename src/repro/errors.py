@@ -51,5 +51,41 @@ class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
+class ServiceError(ReproError):
+    """Base class for failures of the live (wall-clock) lock service."""
+
+
+class ServiceClosedError(ServiceError):
+    """An operation was attempted on a service that has shut down."""
+
+
+class RequestCancelledError(ServiceError):
+    """A pending lock request was cancelled by another thread.
+
+    Raised inside the requesting thread; the session should respond by
+    rolling back (``release_all``), exactly like a deadlock victim.
+    """
+
+
+class AdmissionError(ServiceError):
+    """Base class for admission-control failures."""
+
+
+class AdmissionRejectedError(AdmissionError):
+    """The admission queue is full: the request was shed at the door.
+
+    Carries ``retry_after_s``, the controller's backoff hint for the
+    client's next attempt.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class AdmissionTimeoutError(AdmissionError):
+    """An admission wait exceeded its deadline before a slot freed up."""
+
+
 class StopProcess(Exception):  # noqa: N818 - control-flow signal, not an error
     """Internal control-flow signal used to terminate a DES process early."""

@@ -23,6 +23,26 @@ Deadlocks are detected at wait time via a wait-for graph; the requester
 is chosen as victim and sees :class:`repro.errors.DeadlockError`, which
 client code answers with a rollback -- mirroring DB2's deadlock
 detector.
+
+Threading contract
+------------------
+
+The manager itself is *not* thread-safe; it assumes exactly one flow of
+control mutates it at a time.  Two harnesses satisfy that contract:
+
+* the DES, where processes interleave only at ``yield`` points on a
+  single thread, and
+* :class:`repro.service.LockService`, which runs every entry point --
+  and every generator resumption -- under one mutex, parking request
+  threads on a condition variable while their wait events are pending.
+
+For that second harness the manager's blocking surface is deliberately
+narrow: the only suspension points are ``yield``s of events created via
+``self.env`` inside :meth:`_wait`, and the only cross-cutting callbacks
+are ``growth_provider`` / ``maxlocks_provider`` / ``tracer`` / ``obs``,
+all invoked synchronously under the caller's control.  Code added here
+must preserve both properties (no hidden blocking, no re-entrant
+callbacks that acquire locks).
 """
 
 from __future__ import annotations
@@ -73,6 +93,9 @@ class LockManagerStats:
     wait_time_total: float = 0.0
     deadlocks: int = 0
     lock_timeouts: int = 0
+    #: Waits withdrawn via :meth:`LockManager.cancel_wait` with a
+    #: non-deadlock, non-timeout reason (live-service cancellation).
+    cancelled_waits: int = 0
     lock_list_full_errors: int = 0
     sync_growth_blocks: int = 0
     peak_used_slots: int = 0
@@ -395,27 +418,48 @@ class LockManager:
         self._contended[obj.resource] = obj
         yield from self._wait(app_id, obj, waiter)
 
-    def cancel_wait(self, app_id: int, exc: BaseException) -> bool:
+    def cancel_wait(
+        self, app_id: int, exc: BaseException, reason: str = "deadlock"
+    ) -> bool:
         """Withdraw ``app_id``'s pending request and fail it with ``exc``.
 
-        Used by the periodic deadlock detector to roll back a victim.
-        Returns False when the application is not currently waiting
-        (e.g. its request was granted between graph construction and
-        victim selection).
+        Used by the periodic deadlock detector to roll back a victim and
+        by the live service layer for per-request deadlines and client
+        cancellation (``reason`` of ``"timeout"`` or ``"cancel"``, which
+        is also the trace-event kind and selects the stats counter).
+        Returns False when the application is not currently waiting --
+        including when its request was *granted but not yet resumed*
+        (the grant event already fired but the waiting process/thread
+        has not run): cancelling then would double-free the structure
+        the grant now owns, so the grant wins and the cancel is a no-op.
         """
-        entry = self._waiting_on.pop(app_id, None)
+        entry = self._waiting_on.get(app_id)
         if entry is None:
             return False
         obj, waiter = entry
+        if waiter.event.triggered:
+            # Granted (or already failed) between the caller's decision
+            # and this call; the waiter is no longer in the queue and
+            # its block now backs the grant.  Nothing to withdraw.
+            return False
+        del self._waiting_on[app_id]
         obj.remove_waiter(app_id)
         if waiter.block is not None:
             self.chain.free_slot(waiter.block)
             self._uncharge_slot(app_id)
         self._pump(obj)
         self._gc_object(obj)
+        if reason == "timeout":
+            self.stats.lock_timeouts += 1
+            self._record_wait(self.env.now - waiter.enqueued_at)
+        elif reason != "deadlock":
+            self.stats.cancelled_waits += 1
+            self._record_wait(self.env.now - waiter.enqueued_at)
         if self.tracer is not None:
             self._trace(
-                "deadlock", app_id, f"victim on {obj.resource}",
+                reason, app_id,
+                f"victim on {obj.resource}" if reason == "deadlock"
+                else f"{waiter.mode.name} {obj.resource} withdrawn",
                 str(obj.resource), self.env.now - waiter.enqueued_at,
             )
         waiter.event.fail(exc)

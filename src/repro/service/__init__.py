@@ -1,0 +1,46 @@
+"""repro.service: the lock manager as a live, thread-safe service.
+
+Everything below runs the *same* lock manager and tuning controller the
+discrete-event simulation uses, on wall-clock time under real thread
+concurrency:
+
+* :mod:`repro.service.clock` -- the virtual/wall time seam;
+* :mod:`repro.service.wallenv` -- the DES environment surface on a
+  condition variable;
+* :mod:`repro.service.service` -- :class:`LockService`, the thread-safe
+  facade (deadlines, cancellation, sessions);
+* :mod:`repro.service.tuner` -- :class:`TunerDaemon`, STMM on a real
+  interval with crash-to-frozen degradation;
+* :mod:`repro.service.admission` -- bounded in-flight sessions with
+  queue shedding;
+* :mod:`repro.service.stack` -- one-call assembly of the whole stack;
+* :mod:`repro.service.driver` -- closed-loop multi-threaded load;
+* :mod:`repro.service.capture` -- demand-trace capture for offline
+  replay through :mod:`repro.workloads.replay`.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionStats
+from repro.service.capture import DemandTraceRecorder, load_trace_jsonl
+from repro.service.clock import Clock, ManualClock, MonotonicClock, VirtualClock
+from repro.service.driver import DriverReport, LoadDriver
+from repro.service.service import LockService, ServiceStats
+from repro.service.stack import ServiceConfig, ServiceStack
+from repro.service.tuner import TunerDaemon
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "Clock",
+    "DemandTraceRecorder",
+    "DriverReport",
+    "LoadDriver",
+    "LockService",
+    "ManualClock",
+    "MonotonicClock",
+    "ServiceConfig",
+    "ServiceStack",
+    "ServiceStats",
+    "TunerDaemon",
+    "VirtualClock",
+    "load_trace_jsonl",
+]

@@ -1,0 +1,159 @@
+"""Admission control: bounded in-flight sessions with queue shedding.
+
+The paper's tuner keeps lock *memory* matched to demand, but a live
+service also needs to bound *concurrency*: every admitted session holds
+lock structures, and admitting an unbounded number of them turns memory
+pressure into an escalation storm no tuner can outrun.  The admission
+controller is the front door:
+
+* at most ``max_in_flight`` sessions run concurrently;
+* up to ``max_queue_depth`` more may wait for a slot, FIFO;
+* beyond that, requests are **shed** immediately with a backoff hint
+  (:class:`AdmissionRejectedError.retry_after_s`) so clients retry
+  later instead of piling onto the condition variable.
+
+FIFO fairness is by explicit ticket queue, not by ``notify`` order: each
+waiter re-checks whether *its* ticket is at the head, so a late arrival
+can never overtake an earlier one even under thundering-herd wakeups.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional
+
+from repro.errors import (
+    AdmissionRejectedError,
+    AdmissionTimeoutError,
+    ServiceClosedError,
+)
+from repro.service.clock import Clock, MonotonicClock
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for the service's front door."""
+
+    admitted: int = 0
+    completed: int = 0
+    sheds: int = 0
+    timeouts: int = 0
+    peak_in_flight: int = 0
+    peak_queue_depth: int = 0
+
+
+class AdmissionController:
+    """A counting semaphore with a bounded FIFO wait queue and shedding."""
+
+    def __init__(
+        self,
+        max_in_flight: int,
+        max_queue_depth: int = 0,
+        *,
+        clock: Optional[Clock] = None,
+        retry_after_s: float = 0.05,
+    ) -> None:
+        if max_in_flight <= 0:
+            raise ValueError(f"max_in_flight must be positive, got {max_in_flight}")
+        if max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be non-negative, got {max_queue_depth}"
+            )
+        self.max_in_flight = max_in_flight
+        self.max_queue_depth = max_queue_depth
+        self.retry_after_s = retry_after_s
+        self.clock = clock or MonotonicClock()
+        self.stats = AdmissionStats()
+        self._cond = threading.Condition()
+        self._in_flight = 0
+        self._queue: Deque[object] = deque()
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+
+    def in_flight(self) -> int:
+        with self._cond:
+            return self._in_flight
+
+    def queue_depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    # -- the front door ----------------------------------------------------
+
+    def acquire(self, timeout_s: Optional[float] = None) -> None:
+        """Take an execution slot, waiting FIFO up to ``timeout_s``.
+
+        Raises :class:`AdmissionRejectedError` (with a retry hint) when
+        the wait queue is already full, :class:`AdmissionTimeoutError`
+        when no slot frees up in time, and :class:`ServiceClosedError`
+        after :meth:`close`.
+        """
+        deadline = None if timeout_s is None else self.clock.now() + timeout_s
+        with self._cond:
+            if self._closed:
+                raise ServiceClosedError("admission controller is closed")
+            if self._in_flight < self.max_in_flight and not self._queue:
+                self._admit()
+                return
+            if len(self._queue) >= self.max_queue_depth:
+                self.stats.sheds += 1
+                raise AdmissionRejectedError(
+                    f"admission queue full "
+                    f"({self._in_flight} in flight, {len(self._queue)} queued)",
+                    retry_after_s=self.retry_after_s,
+                )
+            ticket = object()
+            self._queue.append(ticket)
+            if len(self._queue) > self.stats.peak_queue_depth:
+                self.stats.peak_queue_depth = len(self._queue)
+            try:
+                while not (
+                    self._queue[0] is ticket
+                    and self._in_flight < self.max_in_flight
+                ):
+                    if self._closed:
+                        raise ServiceClosedError("admission controller is closed")
+                    if deadline is not None:
+                        remaining = deadline - self.clock.now()
+                        if remaining <= 0:
+                            self.stats.timeouts += 1
+                            raise AdmissionTimeoutError(
+                                f"no admission slot within {timeout_s}s "
+                                f"({self._in_flight} in flight)"
+                            )
+                        self._cond.wait(remaining)
+                    else:
+                        self._cond.wait()
+            except BaseException:
+                self._queue.remove(ticket)
+                # Our departure may unblock the new head of the queue.
+                self._cond.notify_all()
+                raise
+            self._queue.popleft()
+            self._admit()
+            # The next queued waiter may also fit (slots can free in bursts).
+            self._cond.notify_all()
+
+    def _admit(self) -> None:
+        self._in_flight += 1
+        self.stats.admitted += 1
+        if self._in_flight > self.stats.peak_in_flight:
+            self.stats.peak_in_flight = self._in_flight
+
+    def release(self) -> None:
+        """Return a slot taken by :meth:`acquire`."""
+        with self._cond:
+            if self._in_flight <= 0:
+                raise ValueError("release() without a matching acquire()")
+            self._in_flight -= 1
+            self.stats.completed += 1
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Refuse new admissions and wake every queued waiter."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

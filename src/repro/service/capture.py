@@ -1,0 +1,190 @@
+"""Demand-trace capture: record live lock demand for later replay.
+
+The replay harness (:class:`repro.workloads.replay.LockDemandReplay`)
+consumes ``(time_s, target_locks)`` traces with strictly increasing
+times.  :class:`DemandTraceRecorder` produces exactly that format from a
+*live* service -- sampling the block chain's used structure count on a
+period -- closing the loop the paper implies: record a production lock
+demand trajectory, then re-run the tuning algorithm against it in
+simulation to study controller settings offline.
+
+Traces round-trip through JSONL (one ``{"time": t, "target_locks": n}``
+object per line) so captures can be saved, inspected and versioned.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import IO, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.service.clock import Clock, MonotonicClock
+
+Trace = List[Tuple[float, int]]
+
+
+class DemandTraceRecorder:
+    """Samples ``(clock.now(), chain.used_slots)`` into a replayable trace.
+
+    Two modes:
+
+    * **background** -- ``start()`` launches a sampling thread on
+      ``period_s`` (wall-clock captures of a live service);
+    * **manual** -- call :meth:`sample_now` wherever convenient (tests,
+      or inside a simulation with a :class:`VirtualClock`).
+
+    Samples with non-increasing timestamps are dropped rather than
+    recorded, so :meth:`to_trace` always satisfies the replay format's
+    strictly-increasing requirement by construction.
+    """
+
+    def __init__(
+        self,
+        chain: LockBlockChain,
+        *,
+        clock: Optional[Clock] = None,
+        period_s: float = 0.05,
+        max_samples: int = 1_000_000,
+    ) -> None:
+        if period_s <= 0:
+            raise ServiceError(f"period_s must be positive, got {period_s}")
+        if max_samples <= 0:
+            raise ServiceError(f"max_samples must be positive, got {max_samples}")
+        self.chain = chain
+        self.clock = clock or MonotonicClock()
+        self.period_s = period_s
+        self.max_samples = max_samples
+        self._samples: Trace = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Samples dropped because their timestamp did not advance.
+        self.dropped = 0
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample_now(self) -> bool:
+        """Record one sample; returns False if it was dropped."""
+        now = self.clock.now()
+        used = self.chain.used_slots
+        with self._lock:
+            if self._samples and now <= self._samples[-1][0]:
+                self.dropped += 1
+                return False
+            if len(self._samples) >= self.max_samples:
+                self.dropped += 1
+                return False
+            self._samples.append((now, used))
+            return True
+
+    def start(self) -> "DemandTraceRecorder":
+        """Launch the background sampling thread."""
+        if self._thread is not None:
+            raise ServiceError("recorder already started")
+        self._thread = threading.Thread(
+            target=self._run, name="demand-trace", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop background sampling (records one final sample)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(5.0)
+            self._thread = None
+        self.sample_now()
+
+    def __enter__(self) -> "DemandTraceRecorder":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.period_s):
+            self.sample_now()
+
+    # -- export ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def to_trace(self) -> Trace:
+        """The captured ``(time_s, target_locks)`` trace (a copy)."""
+        with self._lock:
+            return list(self._samples)
+
+    def write_jsonl(self, fp: IO[str]) -> int:
+        """Write the trace as JSON lines; returns the sample count."""
+        trace = self.to_trace()
+        for time_s, target in trace:
+            fp.write(
+                json.dumps({"time": round(time_s, 6), "target_locks": target})
+                + "\n"
+            )
+        return len(trace)
+
+    def save(self, path: str) -> int:
+        with open(path, "w", encoding="utf-8") as fp:
+            return self.write_jsonl(fp)
+
+
+def load_trace_jsonl(source: Union[str, IO[str]]) -> Trace:
+    """Load a ``(time_s, target_locks)`` trace saved by the recorder.
+
+    Accepts a path or an open text stream.  Validates the replay
+    contract (strictly increasing times, non-negative targets) so a
+    corrupt capture fails here, not deep inside a simulation.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fp:
+            return load_trace_jsonl(fp)
+    trace: Trace = []
+    previous = float("-inf")
+    for lineno, line in enumerate(source, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            time_s = float(record["time"])
+            target = int(record["target_locks"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ConfigurationError(
+                f"bad trace record on line {lineno}: {line!r}"
+            ) from exc
+        if time_s <= previous:
+            raise ConfigurationError(
+                f"trace times must be strictly increasing "
+                f"(line {lineno}: {time_s} after {previous})"
+            )
+        if target < 0:
+            raise ConfigurationError(
+                f"negative lock target on line {lineno}: {target}"
+            )
+        trace.append((time_s, target))
+        previous = time_s
+    if not trace:
+        raise ConfigurationError("trace is empty")
+    return trace
+
+
+def downsample(trace: Sequence[Tuple[float, int]], max_points: int) -> Trace:
+    """Thin a dense capture to at most ``max_points`` for fast replay.
+
+    Keeps the first and last points and an even stride in between;
+    preserves strict time monotonicity trivially (it only drops points).
+    """
+    if max_points < 2:
+        raise ConfigurationError(f"max_points must be >= 2, got {max_points}")
+    trace = list(trace)
+    if len(trace) <= max_points:
+        return trace
+    stride = (len(trace) - 1) / (max_points - 1)
+    picked = [trace[round(i * stride)] for i in range(max_points - 1)]
+    picked.append(trace[-1])
+    return picked

@@ -1,0 +1,229 @@
+"""``repro-service``: demo server, threaded stress runner, trace capture.
+
+Three subcommands:
+
+``demo``
+    Run the live service under a small closed loop for a few seconds
+    and print what the tuner did -- the wall-clock analogue of the
+    simulation examples.
+``stress``
+    The CI smoke: N threads x M lock requests each against a small
+    initial LOCKLIST (so synchronous growth and escalation both fire),
+    then assert byte-exact memory accounting at shutdown.  Exits
+    non-zero on any invariant violation or worker error.
+``capture``
+    Run load while recording the ``(time, target_locks)`` demand trace
+    to a JSONL file that ``repro.workloads.replay`` can consume.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.params import TuningParameters
+from repro.service.capture import DemandTraceRecorder
+from repro.service.driver import DriverReport, LoadDriver
+from repro.service.stack import ServiceConfig, ServiceStack
+
+
+def _add_load_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--threads", type=int, default=8, help="worker threads (default 8)"
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=2_000,
+        help="lock requests per thread (default 2000)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="optional wall-clock cap in seconds",
+    )
+    parser.add_argument(
+        "--locklist-pages",
+        type=int,
+        default=128,
+        help="initial LOCKLIST pages (default 128 = 4 blocks)",
+    )
+    parser.add_argument(
+        "--memory-pages",
+        type=int,
+        default=16_384,
+        help="databaseMemory in 4 KB pages (default 16384 = 64 MB)",
+    )
+    parser.add_argument(
+        "--tuner-interval",
+        type=float,
+        default=0.1,
+        help="tuner daemon interval in seconds (default 0.1)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_stack(args: argparse.Namespace) -> ServiceStack:
+    config = ServiceConfig(
+        total_memory_pages=args.memory_pages,
+        initial_locklist_pages=args.locklist_pages,
+        tuner_interval_s=args.tuner_interval,
+        max_in_flight=max(4, args.threads),
+        admission_queue_depth=4 * max(4, args.threads),
+        params=TuningParameters(),
+    )
+    return ServiceStack(config)
+
+
+def _run_load(
+    stack: ServiceStack, args: argparse.Namespace
+) -> DriverReport:
+    driver = LoadDriver(
+        stack,
+        threads=args.threads,
+        requests_per_thread=args.requests,
+        duration_s=args.duration,
+        seed=args.seed,
+    )
+    return driver.run()
+
+
+def _print_report(stack: ServiceStack, report: DriverReport) -> None:
+    stats = stack.service.manager.stats
+    print(f"threads:            {report.threads}")
+    print(f"wall time:          {report.wall_s:.2f} s")
+    print(f"lock requests:      {report.lock_requests}")
+    print(f"requests/s:         {report.requests_per_s:,.0f}")
+    print(f"commits:            {report.commits}")
+    print(
+        f"rollbacks:          {report.rollbacks_deadlock} deadlock, "
+        f"{report.rollbacks_timeout} timeout, {report.rollbacks_full} full"
+    )
+    print(f"admission sheds:    {report.admission_sheds}")
+    print(
+        f"lock memory:        {stack.chain.allocated_pages} pages in "
+        f"{stack.chain.block_count} blocks "
+        f"(peak demand {stats.peak_used_slots} structures)"
+    )
+    print(
+        f"tuning:             {stack.tuner.intervals_run} intervals, "
+        f"{stats.sync_growth_blocks} blocks grown synchronously, "
+        f"{stats.escalations.count} escalations"
+    )
+
+
+def _check_shutdown_accounting(stack: ServiceStack) -> List[str]:
+    """Exact accounting assertions after all sessions have closed."""
+    failures: List[str] = []
+    if stack.chain.used_slots != 0:
+        failures.append(
+            f"{stack.chain.used_slots} lock structures leaked after shutdown"
+        )
+    heap = stack.registry.heap("locklist").size_pages
+    if heap != stack.chain.allocated_pages:
+        failures.append(
+            f"locklist heap {heap}p != chain {stack.chain.allocated_pages}p"
+        )
+    try:
+        stack.check_invariants()
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        failures.append(f"invariant check failed: {exc}")
+    if stack.tuner.crash is not None:
+        failures.append(f"tuner crashed: {stack.tuner.crash!r}")
+    return failures
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    stack = _build_stack(args)
+    print(
+        f"live lock service: {args.memory_pages * 4 // 1024} MB database "
+        f"memory, LOCKLIST starting at {args.locklist_pages} pages"
+    )
+    with stack:
+        report = _run_load(stack, args)
+    _print_report(stack, report)
+    for decision in stack.controller.decisions[-5:]:
+        print(
+            f"  tuner t={decision.time:7.2f}s "
+            f"{decision.current_pages:5d} -> {decision.target_pages:5d} pages "
+            f"(free {decision.free_fraction:.0%}, {decision.reason})"
+        )
+    return 0
+
+
+def cmd_stress(args: argparse.Namespace) -> int:
+    stack = _build_stack(args)
+    with stack:
+        report = _run_load(stack, args)
+    _print_report(stack, report)
+    failures = list(report.worker_errors)
+    expected = args.threads * args.requests
+    if args.duration is None and report.lock_requests < expected:
+        failures.append(
+            f"only {report.lock_requests}/{expected} lock requests completed"
+        )
+    failures.extend(_check_shutdown_accounting(stack))
+    if failures:
+        print("\nSTRESS FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nstress OK: exact accounting verified at shutdown")
+    return 0
+
+
+def cmd_capture(args: argparse.Namespace) -> int:
+    stack = _build_stack(args)
+    recorder = DemandTraceRecorder(
+        stack.chain, clock=stack.clock, period_s=args.period
+    )
+    with stack, recorder:
+        report = _run_load(stack, args)
+    count = recorder.save(args.out)
+    _print_report(stack, report)
+    print(f"captured {count} demand samples -> {args.out}")
+    if recorder.dropped:
+        print(f"  ({recorder.dropped} same-timestamp samples dropped)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-service",
+        description="Live lock service with self-tuning lock memory.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="short demo run with tuner narration")
+    _add_load_args(demo)
+    demo.set_defaults(func=cmd_demo, requests=500, threads=4)
+
+    stress = sub.add_parser(
+        "stress", help="threaded stress run with exact-accounting checks"
+    )
+    _add_load_args(stress)
+    stress.set_defaults(func=cmd_stress)
+
+    capture = sub.add_parser(
+        "capture", help="record a (time, target_locks) demand trace"
+    )
+    _add_load_args(capture)
+    capture.add_argument(
+        "--out", default="demand_trace.jsonl", help="output JSONL path"
+    )
+    capture.add_argument(
+        "--period", type=float, default=0.02, help="sample period in seconds"
+    )
+    capture.set_defaults(func=cmd_capture)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Clock abstraction: one time source for virtual and wall-clock runs.
+
+The DES drives everything off ``Environment.now`` (virtual seconds); the
+live service drives the identical lock-manager code off the operating
+system's monotonic clock.  A :class:`Clock` is the seam between the two:
+components that need "the current time" (the wall-clock environment, the
+tuner daemon, the admission controller's deadlines, the demand-trace
+recorder) take a clock instead of calling :func:`time.monotonic`
+directly, so every one of them can also be driven by a
+:class:`ManualClock` in tests or a :class:`VirtualClock` inside a
+simulation.
+
+All clocks report seconds as floats and are monotonic non-decreasing;
+:class:`MonotonicClock` additionally starts at 0.0 when constructed so
+service timelines read like simulation timelines.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.des import Environment
+
+
+class Clock(abc.ABC):
+    """A monotonic time source, in seconds."""
+
+    @abc.abstractmethod
+    def now(self) -> float:
+        """Current time in seconds (monotonic non-decreasing)."""
+
+
+class MonotonicClock(Clock):
+    """Wall-clock time from :func:`time.monotonic`, zeroed at creation.
+
+    Zeroing makes captured traces and tuner decision timestamps start at
+    ~0.0, matching the convention of simulation outputs (and of the
+    ``(time, target_locks)`` replay format).
+    """
+
+    __slots__ = ("_origin",)
+
+    def __init__(self) -> None:
+        self._origin = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._origin
+
+
+class VirtualClock(Clock):
+    """The simulation clock of a DES :class:`Environment`.
+
+    Lets clock-taking components (e.g. the demand-trace recorder's
+    manual sampling mode) run unchanged inside a simulation.
+    """
+
+    __slots__ = ("_env",)
+
+    def __init__(self, env: "Environment") -> None:
+        self._env = env
+
+    def now(self) -> float:
+        return self._env.now
+
+
+class ManualClock(Clock):
+    """A test clock that only moves when told to.
+
+    ``advance`` is the only mutator and refuses to move backwards, so a
+    test's timeline is explicit and monotonic by construction.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, delta_s: float) -> float:
+        """Move the clock forward by ``delta_s`` seconds."""
+        if delta_s < 0:
+            raise ValueError(f"cannot move a clock backwards ({delta_s})")
+        self._now += delta_s
+        return self._now
+
+    def set(self, now: float) -> float:
+        """Jump the clock to an absolute time (never backwards)."""
+        if now < self._now:
+            raise ValueError(f"cannot move a clock backwards to {now}")
+        self._now = float(now)
+        return self._now

@@ -1,0 +1,217 @@
+"""One-call assembly of the live lock service and its tuning stack.
+
+:class:`ServiceStack` is the service-world analogue of
+:class:`repro.engine.database.Database`: it wires the memory registry,
+the block chain, the thread-safe :class:`LockService`, the paper's
+:class:`LockMemoryController` + adaptive MAXLOCKS, STMM, the
+:class:`TunerDaemon` and the :class:`AdmissionController` together,
+exactly the way the simulation assembly does -- same providers, same
+``on_resize`` hook, same overflow plumbing -- so the live system runs
+the identical tuning algorithm, just on wall-clock intervals.
+
+The memory model is deliberately smaller than the full simulated
+database: one bufferpool heap (the PMC donor STMM trades against) plus
+the locklist FMC heap and the overflow area.  That is all the lock
+memory algorithm of the paper interacts with.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.controller import LockMemoryController
+from repro.core.maxlocks import AdaptiveMaxlocks
+from repro.core.params import TuningParameters
+from repro.errors import ConfigurationError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.memory.bufferpool import BufferpoolModel
+from repro.memory.heaps import HeapCategory, MemoryHeap
+from repro.memory.registry import DatabaseMemoryRegistry
+from repro.memory.stmm import Stmm, StmmConfig
+from repro.obs.registry import MetricRegistry
+from repro.service.admission import AdmissionController
+from repro.service.clock import Clock, MonotonicClock
+from repro.service.service import LockService
+from repro.service.tuner import TunerDaemon
+from repro.units import PAGES_PER_BLOCK, round_pages_to_blocks
+
+
+@dataclass
+class ServiceConfig:
+    """Sizing of a live service stack (defaults: 64 MB, demo scale)."""
+
+    #: databaseMemory in 4 KB pages.  16384 pages = 64 MB.
+    total_memory_pages: int = 16_384
+    #: Initial LOCKLIST size in pages (rounded up to whole blocks).
+    initial_locklist_pages: int = 128
+    #: Share of databaseMemory the bufferpool (the STMM donor) starts with.
+    bufferpool_fraction: float = 0.70
+    #: STMM overflow-area goal as a fraction of databaseMemory.
+    overflow_goal_fraction: float = 0.05
+    #: Tuning parameters of the paper's algorithm.
+    params: TuningParameters = field(default_factory=TuningParameters)
+    #: STMM scheduling (interval, adaptivity).
+    stmm: StmmConfig = field(default_factory=StmmConfig)
+    #: Wall-clock seconds between tuner passes (None = STMM's interval;
+    #: demos and tests want something far shorter than DB2's 30 s).
+    tuner_interval_s: Optional[float] = 0.25
+    #: Concurrency bound and wait-queue depth at the front door.
+    max_in_flight: int = 64
+    admission_queue_depth: int = 128
+    #: Default per-request deadline (None = wait forever).
+    default_timeout_s: Optional[float] = None
+    #: Manager-level LOCKTIMEOUT (DB2's -1 default = wait forever).
+    lock_timeout_s: Optional[float] = None
+    #: Record service.* / tuner.* metrics into a registry.
+    telemetry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.initial_locklist_pages < PAGES_PER_BLOCK:
+            raise ConfigurationError(
+                f"initial_locklist_pages must be at least one block "
+                f"({PAGES_PER_BLOCK} pages)"
+            )
+        locklist = round_pages_to_blocks(self.initial_locklist_pages)
+        bufferpool = int(self.bufferpool_fraction * self.total_memory_pages)
+        if locklist + bufferpool >= self.total_memory_pages:
+            raise ConfigurationError(
+                "initial heaps oversubscribe database memory"
+            )
+
+
+class ServiceStack:
+    """A fully wired live lock service (see module docstring)."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        cfg = config or ServiceConfig()
+        self.config = cfg
+        self.clock = clock or MonotonicClock()
+        self.metrics: Optional[MetricRegistry] = (
+            MetricRegistry() if cfg.telemetry else None
+        )
+
+        locklist_pages = round_pages_to_blocks(cfg.initial_locklist_pages)
+        self.registry = DatabaseMemoryRegistry(
+            total_pages=cfg.total_memory_pages,
+            overflow_goal_pages=int(
+                cfg.overflow_goal_fraction * cfg.total_memory_pages
+            ),
+        )
+        bp_model = BufferpoolModel()
+        self.registry.register(
+            MemoryHeap(
+                "bufferpool",
+                HeapCategory.PMC,
+                size_pages=int(cfg.bufferpool_fraction * cfg.total_memory_pages),
+                min_pages=int(0.10 * cfg.total_memory_pages),
+                benefit=lambda heap: bp_model.marginal_benefit(heap.size_pages),
+            )
+        )
+        self.registry.register(
+            MemoryHeap(
+                "locklist",
+                HeapCategory.FMC,
+                size_pages=locklist_pages,
+                min_pages=0,
+            )
+        )
+
+        self.chain = LockBlockChain(
+            initial_blocks=locklist_pages // PAGES_PER_BLOCK
+        )
+        self.service = LockService(
+            self.chain,
+            clock=self.clock,
+            default_timeout_s=cfg.default_timeout_s,
+            lock_timeout_s=cfg.lock_timeout_s,
+            metrics=self.metrics,
+        )
+
+        # The paper's controller + adaptive MAXLOCKS, wired exactly as
+        # AdaptiveLockMemoryPolicy.attach does for the simulation.
+        self.controller = LockMemoryController(
+            registry=self.registry,
+            chain=self.chain,
+            params=cfg.params,
+            num_applications=self.service.session_count,
+            escalation_count=lambda: self.service.manager.stats.escalations.count,
+            clock=self.clock.now,
+        )
+        self.maxlocks = AdaptiveMaxlocks(
+            params=cfg.params,
+            allocated_pages=lambda: self.chain.allocated_pages,
+            max_lock_memory_pages=self.controller.max_lock_memory_pages,
+        )
+        manager = self.service.manager
+        manager.growth_provider = self.controller.sync_grow
+        manager.maxlocks_provider = self.maxlocks.fraction
+        manager.refresh_period = cfg.params.refresh_period_requests
+        manager.refresh_maxlocks()
+        self.controller.on_resize = manager.refresh_maxlocks
+
+        self.stmm = Stmm(self.registry, cfg.stmm)
+        self.stmm.register_deterministic_tuner(self.controller)
+        self.tuner = TunerDaemon(
+            self.service,
+            self.stmm,
+            interval_override_s=cfg.tuner_interval_s,
+            metrics=self.metrics,
+        )
+        self.admission = AdmissionController(
+            cfg.max_in_flight,
+            cfg.admission_queue_depth,
+            clock=self.clock,
+        )
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ServiceStack":
+        """Launch the tuning daemon.  Idempotent is an error: call once."""
+        if self._started:
+            raise ConfigurationError("service stack already started")
+        self._started = True
+        self.tuner.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop tuning, close the doors, cancel pending waits."""
+        self.tuner.stop()
+        self.admission.close()
+        self.service.close()
+
+    def __enter__(self) -> "ServiceStack":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- consistency -------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Byte-exact accounting across every layer.
+
+        The locklist heap in the registry, the physical block chain and
+        the manager's per-application slot charges must all agree --
+        after any amount of concurrent traffic, growth, escalation and
+        tuning.
+        """
+        self.service.check_invariants()
+        self.controller.check_consistency()
+        # Registry-wide: overflow_pages raises if heaps oversubscribe.
+        self.registry.overflow_pages
+
+    def thread_count(self) -> int:
+        """Live service-owned threads (the tuner; drivers are callers')."""
+        return sum(
+            1
+            for t in threading.enumerate()
+            if t is getattr(self.tuner, "_thread", None) and t.is_alive()
+        )

@@ -1,0 +1,158 @@
+"""The STMM tuning daemon: asynchronous lock-memory tuning on wall time.
+
+In the paper (section 3.2) the memory-tuning algorithm runs inside
+DB2's self-tuning memory manager on its regular wall-clock interval,
+concurrently with the applications taking locks.  The DES models that
+as a deterministic tuner invoked at virtual times; :class:`TunerDaemon`
+runs the *same* :class:`~repro.memory.stmm.Stmm` pass from a real
+background thread:
+
+* each pass runs **under the service mutex**, so tuning is atomic with
+  respect to lock requests -- exactly the interleaving the DES produces,
+  just at wall-clock instants instead of scheduled ones;
+* the sleep honours :attr:`Stmm.current_interval_s`, so the adaptive
+  interval (shrinking while benefit is high) carries over unchanged;
+* a **crash of the tuning thread degrades, never corrupts**: the daemon
+  catches the failure, records it, and freezes the service's tuning
+  hooks (:meth:`LockService.freeze_tuning`) -- from then on the system
+  behaves like the static-LOCKLIST baseline, with memory pressure
+  answered by escalation alone, while lock service continues.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.memory.stmm import IntervalReport, Stmm
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricRegistry
+    from repro.service.service import LockService
+
+
+class TunerDaemon:
+    """Background thread driving :meth:`Stmm.tune` on its interval.
+
+    Parameters
+    ----------
+    service:
+        The :class:`LockService` whose mutex serialises tuning against
+        lock traffic and whose ``freeze_tuning`` is the failure path.
+    stmm:
+        The memory manager to drive; its ``current_interval_s`` governs
+        the sleep between passes (re-read every pass, so the adaptive
+        interval applies).
+    interval_override_s:
+        Fixed interval for tests and demos (bypasses the STMM interval).
+    max_intervals:
+        Stop after this many passes (None = run until :meth:`stop`).
+    """
+
+    def __init__(
+        self,
+        service: "LockService",
+        stmm: Stmm,
+        *,
+        interval_override_s: Optional[float] = None,
+        max_intervals: Optional[int] = None,
+        metrics: Optional["MetricRegistry"] = None,
+    ) -> None:
+        if interval_override_s is not None and interval_override_s <= 0:
+            raise ValueError(
+                f"interval_override_s must be positive, got {interval_override_s}"
+            )
+        self.service = service
+        self.stmm = stmm
+        self.interval_override_s = interval_override_s
+        self.max_intervals = max_intervals
+        self.reports: List[IntervalReport] = []
+        self.intervals_run = 0
+        self.crash: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="stmm-tuner", daemon=True
+        )
+        self._started = False
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_intervals = metrics.counter("tuner.intervals")
+            self._m_crashes = metrics.counter("tuner.crashes")
+            self._m_lock_pages = metrics.gauge("tuner.locklist_pages")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "TunerDaemon":
+        if self._started:
+            raise RuntimeError("tuner daemon already started")
+        self._started = True
+        self._thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 5.0) -> None:
+        """Ask the daemon to exit and join it."""
+        self._stop.set()
+        if self._started:
+            self._thread.join(timeout_s)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    @property
+    def frozen(self) -> bool:
+        """True once a crash has degraded the service to static sizing."""
+        return self.crash is not None
+
+    # -- the daemon loop ---------------------------------------------------
+
+    def _interval_s(self) -> float:
+        if self.interval_override_s is not None:
+            return self.interval_override_s
+        return self.stmm.current_interval_s
+
+    def _run(self) -> None:
+        try:
+            while not self._stop.wait(self._interval_s()):
+                self._tune_once()
+                if (
+                    self.max_intervals is not None
+                    and self.intervals_run >= self.max_intervals
+                ):
+                    return
+        except BaseException as exc:  # noqa: BLE001 - degrade, never corrupt
+            self.crash = exc
+            if self._metrics is not None:
+                self._m_crashes.inc()
+            self.service.freeze_tuning(
+                f"tuner thread died: {type(exc).__name__}: {exc}"
+            )
+
+    def tune_now(self) -> IntervalReport:
+        """Run one tuning pass synchronously (tests, manual demos).
+
+        Same code path as the daemon loop, including crash handling --
+        the exception is re-raised after the service is frozen so the
+        caller sees the failure.
+        """
+        try:
+            return self._tune_once()
+        except BaseException as exc:  # noqa: BLE001
+            self.crash = exc
+            if self._metrics is not None:
+                self._m_crashes.inc()
+            self.service.freeze_tuning(
+                f"tuner pass failed: {type(exc).__name__}: {exc}"
+            )
+            raise
+
+    def _tune_once(self) -> IntervalReport:
+        service = self.service
+        with service._cond:  # noqa: SLF001 - daemon is part of the service
+            report = self.stmm.tune(service.clock.now())
+            self.reports.append(report)
+            self.intervals_run += 1
+            if self._metrics is not None:
+                self._m_intervals.inc()
+                self._m_lock_pages.set(service.chain.allocated_pages)
+            return report

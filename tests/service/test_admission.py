@@ -1,0 +1,158 @@
+"""Tests for the admission controller (bounded concurrency + shedding)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejectedError,
+    AdmissionTimeoutError,
+    ServiceClosedError,
+)
+from repro.service.admission import AdmissionController
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(1, max_queue_depth=-1)
+
+    def test_release_without_acquire(self):
+        controller = AdmissionController(1)
+        with pytest.raises(ValueError):
+            controller.release()
+
+
+class TestSlots:
+    def test_admits_up_to_capacity(self):
+        controller = AdmissionController(3, max_queue_depth=0)
+        for _ in range(3):
+            controller.acquire()
+        assert controller.in_flight() == 3
+        assert controller.stats.peak_in_flight == 3
+
+    def test_sheds_beyond_queue_depth_with_retry_hint(self):
+        controller = AdmissionController(1, max_queue_depth=0, retry_after_s=0.25)
+        controller.acquire()
+        with pytest.raises(AdmissionRejectedError) as info:
+            controller.acquire()
+        assert info.value.retry_after_s == 0.25
+        assert controller.stats.sheds == 1
+
+    def test_release_reopens_the_door(self):
+        controller = AdmissionController(1, max_queue_depth=0)
+        controller.acquire()
+        controller.release()
+        controller.acquire()  # no exception
+        assert controller.stats.admitted == 2
+        assert controller.stats.completed == 1
+
+    def test_queued_waiter_admitted_on_release(self):
+        controller = AdmissionController(1, max_queue_depth=4)
+        controller.acquire()
+        admitted = threading.Event()
+
+        def waiter():
+            controller.acquire()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if controller.queue_depth() == 1:
+                break
+            time.sleep(0.005)
+        assert not admitted.is_set()
+        controller.release()
+        thread.join(5.0)
+        assert admitted.is_set()
+        assert controller.stats.peak_queue_depth == 1
+
+    def test_fifo_order_among_queued_waiters(self):
+        controller = AdmissionController(1, max_queue_depth=8)
+        controller.acquire()
+        admitted = []
+        lock = threading.Lock()
+        threads = []
+
+        def waiter(tag):
+            controller.acquire()
+            with lock:
+                admitted.append(tag)
+            controller.release()
+
+        for tag in range(4):
+            thread = threading.Thread(target=waiter, args=(tag,), daemon=True)
+            thread.start()
+            threads.append(thread)
+            # ensure this waiter is queued before starting the next
+            for _ in range(200):
+                if controller.queue_depth() == tag + 1:
+                    break
+                time.sleep(0.005)
+        controller.release()
+        for thread in threads:
+            thread.join(5.0)
+            assert not thread.is_alive()
+        assert admitted == [0, 1, 2, 3]
+
+    def test_wait_deadline_expires(self):
+        controller = AdmissionController(1, max_queue_depth=4)
+        controller.acquire()
+        started = time.monotonic()
+        with pytest.raises(AdmissionTimeoutError):
+            controller.acquire(timeout_s=0.05)
+        assert time.monotonic() - started < 5.0
+        assert controller.stats.timeouts == 1
+        assert controller.queue_depth() == 0  # the dead ticket is gone
+
+    def test_timed_out_waiter_does_not_wedge_the_queue(self):
+        """A waiter abandoning the queue head must pass the torch."""
+        controller = AdmissionController(1, max_queue_depth=4)
+        controller.acquire()
+        with pytest.raises(AdmissionTimeoutError):
+            controller.acquire(timeout_s=0.05)
+        admitted = threading.Event()
+
+        def waiter():
+            controller.acquire()
+            admitted.set()
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if controller.queue_depth() == 1:
+                break
+            time.sleep(0.005)
+        controller.release()
+        thread.join(5.0)
+        assert admitted.is_set()
+
+
+class TestClose:
+    def test_close_rejects_new_and_wakes_queued(self):
+        controller = AdmissionController(1, max_queue_depth=4)
+        controller.acquire()
+        result = {}
+
+        def waiter():
+            try:
+                controller.acquire()
+                result["outcome"] = "admitted"
+            except ServiceClosedError:
+                result["outcome"] = "closed"
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        for _ in range(200):
+            if controller.queue_depth() == 1:
+                break
+            time.sleep(0.005)
+        controller.close()
+        thread.join(5.0)
+        assert result["outcome"] == "closed"
+        with pytest.raises(ServiceClosedError):
+            controller.acquire()

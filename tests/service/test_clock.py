@@ -1,0 +1,66 @@
+"""Tests for the clock abstraction."""
+
+import time
+
+import pytest
+
+from repro.engine.des import Environment
+from repro.service.clock import ManualClock, MonotonicClock, VirtualClock
+
+
+class TestMonotonicClock:
+    def test_starts_near_zero(self):
+        clock = MonotonicClock()
+        assert 0.0 <= clock.now() < 0.5
+
+    def test_advances_with_real_time(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        time.sleep(0.01)
+        assert clock.now() > first
+
+    def test_independent_origins(self):
+        first = MonotonicClock()
+        time.sleep(0.01)
+        second = MonotonicClock()
+        assert second.now() < first.now()
+
+
+class TestVirtualClock:
+    def test_tracks_environment_time(self):
+        env = Environment()
+        clock = VirtualClock(env)
+        assert clock.now() == 0.0
+
+        def proc():
+            yield env.timeout(12.5)
+
+        env.process(proc())
+        env.run(until=100)
+        assert clock.now() == env.now
+
+
+class TestManualClock:
+    def test_starts_where_told(self):
+        assert ManualClock().now() == 0.0
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_advance(self):
+        clock = ManualClock()
+        assert clock.advance(2.5) == 2.5
+        assert clock.now() == 2.5
+        clock.advance(0.0)  # zero advance is legal
+        assert clock.now() == 2.5
+
+    def test_set_absolute(self):
+        clock = ManualClock()
+        clock.set(10.0)
+        assert clock.now() == 10.0
+        clock.set(10.0)  # same instant is legal
+
+    def test_refuses_to_go_backwards(self):
+        clock = ManualClock(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(4.0)

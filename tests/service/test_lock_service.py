@@ -1,0 +1,309 @@
+"""Tests for the thread-safe LockService facade."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    RequestCancelledError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.manager import LockTimeoutError
+from repro.lockmgr.modes import LockMode
+from repro.service.service import LockService
+
+
+def make_service(**kwargs):
+    return LockService(LockBlockChain(initial_blocks=2), **kwargs)
+
+
+def spawn(fn, *args):
+    thread = threading.Thread(target=fn, args=args, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestBasics:
+    def test_uncontended_grant_and_release(self):
+        service = make_service()
+        app = service.open_session()
+        service.lock_row(app, 0, 1, LockMode.X)
+        service.lock_table(app, 1, LockMode.S)
+        assert service.manager.app_slots(app) == 3  # row + intent + table
+        freed = service.close_session(app)
+        assert freed == 3
+        assert service.chain.used_slots == 0
+        service.check_invariants()
+
+    def test_session_context_manager_always_releases(self):
+        service = make_service()
+        with pytest.raises(RuntimeError):
+            with service.session() as app:
+                service.lock_row(app, 0, 1, LockMode.X)
+                raise RuntimeError("client bug")
+        assert service.chain.used_slots == 0
+        assert service.session_count() == 0
+
+    def test_requests_require_an_open_session(self):
+        service = make_service()
+        with pytest.raises(ServiceError, match="not open"):
+            service.lock_row(99, 0, 1, LockMode.S)
+
+    def test_shared_locks_do_not_block(self):
+        service = make_service()
+        with service.session() as a, service.session() as b:
+            service.lock_row(a, 0, 1, LockMode.S)
+            service.lock_row(b, 0, 1, LockMode.S)
+            assert service.stats.granted == 2
+
+    def test_stats_count_outcomes(self):
+        service = make_service()
+        with service.session() as app:
+            service.lock_row(app, 0, 1, LockMode.X)
+        assert service.stats.requests == 1
+        assert service.stats.granted == 1
+        assert service.stats.sessions_opened == 1
+        assert service.stats.sessions_closed == 1
+
+
+class TestBlockingAndHandoff:
+    def test_conflicting_lock_blocks_until_release(self):
+        service = make_service()
+        holder = service.open_session()
+        service.lock_row(holder, 0, 7, LockMode.X)
+        order = []
+
+        def contender():
+            with service.session() as app:
+                service.lock_row(app, 0, 7, LockMode.X)
+                order.append("granted")
+
+        thread = spawn(contender)
+        time.sleep(0.05)
+        assert order == []  # really blocked
+        order.append("releasing")
+        service.close_session(holder)
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert order == ["releasing", "granted"]
+        service.check_invariants()
+
+    def test_fifo_grant_order_under_contention(self):
+        """Waiters are granted in arrival order, decided by the manager's
+        queue, not by thread scheduling."""
+        service = make_service()
+        holder = service.open_session()
+        service.lock_row(holder, 0, 7, LockMode.X)
+        granted = []
+        arrived = []
+        lock = threading.Lock()
+
+        def contender(app):
+            with lock:
+                arrived.append(app)
+            try:
+                service.lock_row(app, 0, 7, LockMode.X)
+                with lock:
+                    granted.append(app)
+            finally:
+                service.close_session(app)
+
+        threads = []
+        for _ in range(4):
+            app = service.open_session()
+            threads.append(spawn(contender, app))
+            # stagger arrivals so the wait queue order is deterministic
+            for _ in range(100):
+                if app in service.waiting_sessions():
+                    break
+                time.sleep(0.005)
+        service.close_session(holder)
+        for thread in threads:
+            thread.join(10.0)
+            assert not thread.is_alive()
+        assert granted == arrived
+        assert service.chain.used_slots == 0
+
+    def test_deadlock_detected_across_threads(self):
+        service = make_service()
+        a, b = service.open_session(), service.open_session()
+        service.lock_row(a, 0, 1, LockMode.X)
+        service.lock_row(b, 0, 2, LockMode.X)
+        outcome = {}
+        barrier = threading.Barrier(2)
+
+        def worker(me, want):
+            barrier.wait()
+            try:
+                service.lock_row(me, 0, want, LockMode.X)
+                outcome[me] = "granted"
+            except DeadlockError:
+                outcome[me] = "deadlock"
+                service.rollback(me)
+
+        t1 = spawn(worker, a, 2)
+        t2 = spawn(worker, b, 1)
+        t1.join(10.0)
+        t2.join(10.0)
+        assert not t1.is_alive() and not t2.is_alive()
+        assert sorted(outcome.values()) == ["deadlock", "granted"]
+        service.close_session(a)
+        service.close_session(b)
+        assert service.chain.used_slots == 0
+        service.check_invariants()
+
+
+class TestDeadlinesAndCancellation:
+    def test_request_deadline_expires(self):
+        service = make_service()
+        holder = service.open_session()
+        service.lock_row(holder, 0, 7, LockMode.X)
+        with service.session() as app:
+            started = time.monotonic()
+            with pytest.raises(LockTimeoutError):
+                service.lock_row(app, 0, 7, LockMode.X, timeout_s=0.05)
+            assert time.monotonic() - started < 5.0
+        assert service.stats.timeouts == 1
+        assert service.manager.waiting_apps() == set()
+        service.close_session(holder)
+        service.check_invariants()
+
+    def test_zero_timeout_is_immediate_no_wait(self):
+        service = make_service()
+        holder = service.open_session()
+        service.lock_row(holder, 0, 7, LockMode.X)
+        with service.session() as app:
+            with pytest.raises(LockTimeoutError):
+                service.lock_row(app, 0, 7, LockMode.X, timeout_s=0.0)
+        service.close_session(holder)
+
+    def test_default_timeout_applies(self):
+        service = make_service(default_timeout_s=0.05)
+        holder = service.open_session()
+        service.lock_row(holder, 0, 7, LockMode.X)
+        with service.session() as app:
+            with pytest.raises(LockTimeoutError):
+                service.lock_row(app, 0, 7, LockMode.X)
+        service.close_session(holder)
+
+    def test_negative_timeout_rejected(self):
+        service = make_service()
+        with service.session() as app:
+            with pytest.raises(ServiceError):
+                service.lock_row(app, 0, 1, LockMode.S, timeout_s=-1.0)
+
+    def test_cancel_releases_waiter(self):
+        service = make_service()
+        holder = service.open_session()
+        service.lock_row(holder, 0, 7, LockMode.X)
+        app = service.open_session()
+        result = {}
+
+        def waiter():
+            try:
+                service.lock_row(app, 0, 7, LockMode.X)
+                result["outcome"] = "granted"
+            except RequestCancelledError:
+                result["outcome"] = "cancelled"
+
+        thread = spawn(waiter)
+        for _ in range(200):
+            if app in service.waiting_sessions():
+                break
+            time.sleep(0.005)
+        assert service.cancel(app, "client disconnected")
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert result["outcome"] == "cancelled"
+        assert service.stats.cancellations == 1
+        service.close_session(app)
+        service.close_session(holder)
+        assert service.chain.used_slots == 0
+        service.check_invariants()
+
+    def test_cancel_of_idle_session_is_noop(self):
+        service = make_service()
+        with service.session() as app:
+            assert service.cancel(app) is False
+        assert service.stats.cancellations == 0
+
+    def test_manager_lock_timeout_applies_on_wall_clock(self):
+        """The manager's own LOCKTIMEOUT (any_of(grant, timeout)) fires
+        through the lazy-timeout protocol."""
+        service = make_service(lock_timeout_s=0.05)
+        holder = service.open_session()
+        service.lock_row(holder, 0, 7, LockMode.X)
+        with service.session() as app:
+            with pytest.raises(LockTimeoutError):
+                service.lock_row(app, 0, 7, LockMode.X)
+        service.close_session(holder)
+        service.check_invariants()
+
+
+class TestLifecycleAndDegradation:
+    def test_close_rejects_new_requests(self):
+        service = make_service()
+        app = service.open_session()
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.lock_row(app, 0, 1, LockMode.S)
+        with pytest.raises(ServiceClosedError):
+            service.open_session()
+        service.close()  # idempotent
+
+    def test_close_cancels_pending_waiters(self):
+        service = make_service()
+        holder = service.open_session()
+        service.lock_row(holder, 0, 7, LockMode.X)
+        app = service.open_session()
+        result = {}
+
+        def waiter():
+            try:
+                service.lock_row(app, 0, 7, LockMode.X)
+                result["outcome"] = "granted"
+            except ServiceClosedError:
+                result["outcome"] = "closed"
+
+        thread = spawn(waiter)
+        for _ in range(200):
+            if app in service.waiting_sessions():
+                break
+            time.sleep(0.005)
+        service.close()
+        thread.join(5.0)
+        assert not thread.is_alive()
+        assert result["outcome"] == "closed"
+        assert service.manager.waiting_apps() == set()
+
+    def test_freeze_tuning_detaches_providers(self):
+        grown = []
+        service = make_service()
+        service.manager.growth_provider = lambda b: grown.append(b) or b
+        service.manager.maxlocks_provider = lambda: 0.5
+        service.freeze_tuning("tuner died")
+        assert service.manager.growth_provider is None
+        assert service.manager.maxlocks_provider is None
+        assert service.frozen_reason == "tuner died"
+        service.freeze_tuning("second call")  # first reason sticks
+        assert service.frozen_reason == "tuner died"
+
+
+class TestTelemetry:
+    def test_metrics_record_requests(self):
+        from repro.obs.registry import MetricRegistry
+
+        registry = MetricRegistry()
+        service = LockService(
+            LockBlockChain(initial_blocks=2), metrics=registry
+        )
+        with service.session() as app:
+            service.lock_row(app, 0, 1, LockMode.X)
+        snapshot = {
+            c.name: c.value for c in registry.counters()
+        }
+        assert snapshot["service.requests"] == 1

@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "learned_optimizer.py",
     "contention_analysis.py",
     "telemetry_export.py",
+    "live_lock_service.py",
 ]
 
 

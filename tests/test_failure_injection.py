@@ -203,3 +203,128 @@ class TestStmmFaults:
         heap._size_pages = 20_000  # corrupt it behind the registry's back
         with pytest.raises(MemoryAccountingError):
             registry.overflow_pages
+
+
+class TestServiceFaults:
+    """Failure injection against the live (threaded) service stack."""
+
+    def _make_stack(self, tuner_interval_s=0.02):
+        from repro.service.stack import ServiceConfig, ServiceStack
+
+        return ServiceStack(
+            ServiceConfig(
+                total_memory_pages=8_192,
+                initial_locklist_pages=32,
+                tuner_interval_s=tuner_interval_s,
+            )
+        )
+
+    def test_tuner_thread_crash_freezes_size_with_exact_accounting(self):
+        """The tuning thread dies mid-run: the service degrades to a
+        frozen (static-LOCKLIST) size, keeps serving lock traffic, and
+        every layer's accounting stays byte-exact."""
+        import time
+
+        from repro.service.driver import LoadDriver
+
+        stack = self._make_stack()
+        passes = {"n": 0}
+        original = stack.controller.compute_target_pages
+
+        def eventually_explodes():
+            passes["n"] += 1
+            if passes["n"] >= 3:
+                # before any page moves this pass: no partial side effects
+                raise RuntimeError("tuner heap walk segfault")
+            return original()
+
+        stack.controller.compute_target_pages = eventually_explodes
+        with stack:
+            pages_when_frozen = {}
+
+            def watch():
+                deadline = time.monotonic() + 30.0
+                while stack.tuner.alive and time.monotonic() < deadline:
+                    time.sleep(0.005)
+                pages_when_frozen["pages"] = stack.chain.allocated_pages
+
+            import threading
+
+            watcher = threading.Thread(target=watch, daemon=True)
+            watcher.start()
+            report = LoadDriver(
+                stack, threads=4, requests_per_thread=1_500, seed=23
+            ).run()
+            watcher.join(30.0)
+
+        assert report.worker_errors == []
+        # the crash really happened and degraded the stack to frozen
+        assert isinstance(stack.tuner.crash, RuntimeError)
+        assert stack.tuner.frozen
+        assert stack.service.frozen_reason is not None
+        assert stack.service.manager.growth_provider is None
+        assert stack.service.manager.maxlocks_provider is None
+        # frozen means frozen: no resize after the crash (tuning was the
+        # only grower here -- growth_provider is detached)
+        assert stack.chain.allocated_pages == pages_when_frozen["pages"]
+        # exact accounting after the full crash + load run
+        assert stack.chain.used_slots == 0
+        assert (
+            stack.registry.heap("locklist").size_pages
+            == stack.chain.allocated_pages
+        )
+        stack.check_invariants()
+
+    def test_cancelled_client_releases_admission_slot_no_orphan(self):
+        """A client thread cancelled mid-wait must free its admission
+        slot and leave no orphaned waiter in the lock manager."""
+        import threading
+        import time
+
+        from repro.errors import RequestCancelledError
+        from repro.lockmgr.modes import LockMode
+
+        stack = self._make_stack(tuner_interval_s=30.0)
+        admission = stack.admission
+        service = stack.service
+        with stack:
+            holder = service.open_session()
+            service.lock_row(holder, 0, 7, LockMode.X)
+            outcome = {}
+            victim_app = service.open_session()
+
+            def victim():
+                admission.acquire()
+                try:
+                    service.lock_row(victim_app, 0, 7, LockMode.X)
+                    outcome["result"] = "granted"
+                except RequestCancelledError:
+                    outcome["result"] = "cancelled"
+                    service.rollback(victim_app)
+                finally:
+                    admission.release()
+
+            thread = threading.Thread(target=victim, daemon=True)
+            thread.start()
+            deadline = time.monotonic() + 30.0
+            while (
+                victim_app not in service.waiting_sessions()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            assert admission.in_flight() == 1
+            assert service.cancel(victim_app, "client disconnected")
+            thread.join(30.0)
+            assert not thread.is_alive()
+
+            assert outcome["result"] == "cancelled"
+            # the admission slot came back ...
+            assert admission.in_flight() == 0
+            assert admission.stats.completed == 1
+            # ... and no orphaned waiter or stray slot remains
+            assert service.manager.waiting_apps() == set()
+            assert service.manager.app_slots(victim_app) == 0
+            service.close_session(victim_app)
+            service.close_session(holder)
+            assert stack.chain.used_slots == 0
+        stack.check_invariants()
