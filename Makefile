@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke clean
+.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -48,12 +48,20 @@ service-demo:
 service-smoke:
 	$(PYTHONPATH_SRC) python -m repro.service.cli stress --threads 8 --requests 2000
 
-# Service throughput-vs-threads curve; writes BENCH_SERVICE.json at the
-# repo root (tracked alongside BENCH_CORE.json).
+# Same stress through the sharded stack (4 shards + deadlock sweep).
+service-smoke-sharded:
+	$(PYTHONPATH_SRC) python -m repro.service.cli stress --threads 8 --requests 2000 --shards 4
+
+# Service throughput-vs-threads curves, unsharded and sharded; writes
+# BENCH_SERVICE.json at the repo root (tracked alongside BENCH_CORE.json).
+# Both families are measured in one run so the sharded-vs-unsharded
+# ratio is apples-to-apples on the same machine state.
 bench-service:
 	$(PYTHONPATH_SRC) python -m benchmarks.perf.run \
 		--bench service_churn_t1 --bench service_churn_t2 \
 		--bench service_churn_t4 --bench service_churn_t8 \
+		--bench service_churn_sharded_t1 --bench service_churn_sharded_t2 \
+		--bench service_churn_sharded_t4 --bench service_churn_sharded_t8 \
 		--out BENCH_SERVICE.json
 
 clean:

@@ -29,6 +29,11 @@ The benches and the hot paths they stress:
     (mutex hand-off, condition-variable wakeups, live tuner daemon) at
     1/2/4/8 worker threads -- the req/s-vs-thread-count degradation
     curve.
+``service_churn_sharded_t{1,2,4,8}``
+    The same closed loop through the sharded stack (per-shard lock
+    tables, global STMM arbitration, cross-shard deadlock sweep): the
+    hot-latch fix.  Compared against the unsharded curve it answers
+    whether sharding restores positive thread scaling.
 
 An operation means: one row-lock request (churn, service churn), one
 trigger/escalate/refill cycle (storm), one detector pass (sweep), one
@@ -290,6 +295,70 @@ def run_service_churn(
     return report.lock_requests
 
 
+def run_service_churn_sharded(
+    threads: int = 4,
+    shards: int = 4,
+    requests_per_thread: int = 2_000,
+    total_memory_pages: int = 16_384,
+    initial_locklist_pages: int = 256,
+    tuner_interval_s: float = 0.05,
+    deadlock_interval_s: float = 0.02,
+) -> int:
+    """Closed-loop threaded load through the sharded service stack.
+
+    Identical workload and completeness/accounting assertions as
+    :func:`run_service_churn`, but resources are partitioned across
+    ``shards`` lock managers so uncontended requests on different
+    tables never touch the same mutex.  Four shards matches the CI
+    smoke job; more shards only add routing/close fan-out on hosts
+    with few cores.  The initial LOCKLIST is larger only because each
+    shard needs at least one 128 KB block to seed.
+    The cross-shard deadlock sweep (DLCHKTIME) is tightened to 20 ms:
+    DB2's 10 s default assumes transactions lasting seconds, while this
+    driver's transactions run in microseconds -- at the 250 ms service
+    default a single cross-shard cycle parks its victims for most of a
+    timed repetition, measuring the sweep period rather than the lock
+    path.  Returns lock requests completed.
+    """
+    from repro.service.driver import LoadDriver
+    from repro.service.sharded import ShardedServiceConfig, ShardedServiceStack
+
+    stack = ShardedServiceStack(
+        ShardedServiceConfig(
+            total_memory_pages=total_memory_pages,
+            initial_locklist_pages=initial_locklist_pages,
+            tuner_interval_s=tuner_interval_s,
+            deadlock_interval_s=deadlock_interval_s,
+            max_in_flight=max(4, threads),
+            admission_queue_depth=4 * max(4, threads),
+            shards=shards,
+        )
+    )
+    with stack:
+        report = LoadDriver(
+            stack,
+            threads=threads,
+            requests_per_thread=requests_per_thread,
+            seed=17,
+        ).run()
+    if report.worker_errors:
+        raise RuntimeError(
+            f"sharded service churn workers failed: {report.worker_errors}"
+        )
+    if report.lock_requests < threads * requests_per_thread:
+        raise RuntimeError(
+            f"sharded service churn incomplete: {report.lock_requests} requests"
+        )
+    if stack.chain.used_slots != 0:
+        raise RuntimeError("sharded service churn leaked lock structures")
+    if stack.detector.crash is not None:
+        raise RuntimeError(
+            f"deadlock sweep crashed: {stack.detector.crash!r}"
+        )
+    stack.check_invariants()
+    return report.lock_requests
+
+
 # ---------------------------------------------------------------------------
 # registry and scales
 # ---------------------------------------------------------------------------
@@ -316,6 +385,22 @@ BENCHES: Dict[str, tuple] = {
         lambda **kw: run_service_churn(threads=8, **kw),
         "lock_requests",
     ),
+    "service_churn_sharded_t1": (
+        lambda **kw: run_service_churn_sharded(threads=1, **kw),
+        "lock_requests",
+    ),
+    "service_churn_sharded_t2": (
+        lambda **kw: run_service_churn_sharded(threads=2, **kw),
+        "lock_requests",
+    ),
+    "service_churn_sharded_t4": (
+        lambda **kw: run_service_churn_sharded(threads=4, **kw),
+        "lock_requests",
+    ),
+    "service_churn_sharded_t8": (
+        lambda **kw: run_service_churn_sharded(threads=8, **kw),
+        "lock_requests",
+    ),
 }
 
 #: Parameter overrides per scale.  ``smoke`` is sized for CI: it must
@@ -330,6 +415,10 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_t2": {},
         "service_churn_t4": {},
         "service_churn_t8": {},
+        "service_churn_sharded_t1": {},
+        "service_churn_sharded_t2": {},
+        "service_churn_sharded_t4": {},
+        "service_churn_sharded_t8": {},
     },
     "smoke": {
         "lock_churn": {"apps": 4, "tables": 2, "rows": 16, "iters": 1},
@@ -350,6 +439,10 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_t2": {"requests_per_thread": 200},
         "service_churn_t4": {"requests_per_thread": 100},
         "service_churn_t8": {"requests_per_thread": 50},
+        "service_churn_sharded_t1": {"requests_per_thread": 200, "shards": 2},
+        "service_churn_sharded_t2": {"requests_per_thread": 200, "shards": 2},
+        "service_churn_sharded_t4": {"requests_per_thread": 100, "shards": 4},
+        "service_churn_sharded_t8": {"requests_per_thread": 50, "shards": 4},
     },
 }
 

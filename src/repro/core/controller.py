@@ -235,6 +235,33 @@ class LockMemoryController:
         """In-memory allocation currently beyond the on-disk LMOC."""
         return max(0, self.chain.allocated_pages - self.lmoc_pages)
 
+    def reclaim_transient_blocks(self) -> int:
+        """Return entirely-free transiently borrowed blocks to overflow.
+
+        Synchronous growth borrows blocks from overflow mid-interval;
+        normally the next tuning pass folds the borrow into the LMOC
+        (:meth:`on_interval_end`).  When the service shuts down with a
+        borrow still in flight -- lock memory beyond the LMOC that no
+        tuning pass will ever reconcile -- those blocks must go back to
+        overflow, or the registry permanently over-charges the locklist
+        for memory nothing uses.  Only blocks with no outstanding
+        structures can move (the shrink protocol); blocks still backing
+        live locks stay until their owners release.  Returns the number
+        of blocks returned to overflow.
+        """
+        overage_blocks = self.transient_overage_pages // PAGES_PER_BLOCK
+        if overage_blocks == 0:
+            return 0
+        freed = self.chain.release_blocks(overage_blocks, partial=True)
+        if freed == 0:
+            return 0
+        pages = freed * PAGES_PER_BLOCK
+        self.registry.shrink_heap(self.heap_name, pages)
+        self.lmo_pages = max(0, self.lmo_pages - pages)
+        if self.on_resize is not None:
+            self.on_resize()
+        return freed
+
     # -- synchronous growth (mid-interval, section 3.3) ------------------------
 
     def sync_grow(self, blocks_wanted: int) -> int:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from repro.errors import ConfigurationError
@@ -20,7 +20,7 @@ from repro.lockmgr.isolation import IsolationLevel
 from repro.lockmgr.modes import LockMode
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RowAccess:
     """One row touched by a transaction."""
 
@@ -72,6 +72,8 @@ class TransactionMix:
     work_time_per_lock_s: float = 0.0005
     pages_per_lock: float = 1.0
     isolation: IsolationLevel = IsolationLevel.RR
+    #: Hot-set size, derived once -- draw_access is a workload hot path.
+    _hot_rows: int = field(init=False, repr=False, compare=False, default=1)
 
     def __post_init__(self) -> None:
         if self.locks_per_txn_mean < 1:
@@ -89,6 +91,11 @@ class TransactionMix:
             raise ConfigurationError("times must be non-negative")
         if self.pages_per_lock < 0:
             raise ConfigurationError("pages_per_lock must be non-negative")
+        object.__setattr__(
+            self,
+            "_hot_rows",
+            max(1, int(self.rows_per_table * self.hot_row_fraction)),
+        )
 
     # -- draws --------------------------------------------------------------
 
@@ -105,7 +112,7 @@ class TransactionMix:
     def draw_access(self, rng: random.Random) -> RowAccess:
         """One row access: table, row (hot-set skewed) and lock mode."""
         table_id = rng.randrange(self.num_tables)
-        hot_rows = max(1, int(self.rows_per_table * self.hot_row_fraction))
+        hot_rows = self._hot_rows
         if rng.random() < self.hot_access_probability:
             row_id = rng.randrange(hot_rows)
         else:

@@ -10,7 +10,7 @@ observable outcome records the experiments and tests assert on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Iterable, List
 
 from repro.lockmgr.modes import LockMode
 
@@ -60,3 +60,19 @@ class EscalationStats:
 
     def record(self, outcome: EscalationOutcome) -> None:
         self.outcomes.append(outcome)
+
+    @classmethod
+    def merged(cls, parts: Iterable["EscalationStats"]) -> "EscalationStats":
+        """Point-in-time aggregate over several managers (sharding).
+
+        Outcomes are ordered by time with the source order as the
+        tie-break, so the merged record reads like one manager's
+        history.  The result is a snapshot -- it does not track the
+        sources afterwards.
+        """
+        merged = cls()
+        for stats in parts:
+            merged.outcomes.extend(stats.outcomes)
+            merged.failures += stats.failures
+        merged.outcomes.sort(key=lambda o: o.time)
+        return merged

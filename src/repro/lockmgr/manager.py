@@ -101,6 +101,33 @@ class LockManagerStats:
     peak_used_slots: int = 0
     escalations: EscalationStats = field(default_factory=EscalationStats)
 
+    @classmethod
+    def merged(cls, parts: "list[LockManagerStats]") -> "LockManagerStats":
+        """Point-in-time aggregate over several managers (sharding).
+
+        Every counter sums; ``peak_used_slots`` sums too, because each
+        shard's chain is disjoint memory -- the shards' simultaneous
+        peaks bound the aggregate peak from above, which is the
+        conservative reading for capacity planning.  The result is a
+        snapshot, not a live view.
+        """
+        merged = cls()
+        for stats in parts:
+            merged.requests += stats.requests
+            merged.immediate_grants += stats.immediate_grants
+            merged.waits += stats.waits
+            merged.wait_time_total += stats.wait_time_total
+            merged.deadlocks += stats.deadlocks
+            merged.lock_timeouts += stats.lock_timeouts
+            merged.cancelled_waits += stats.cancelled_waits
+            merged.lock_list_full_errors += stats.lock_list_full_errors
+            merged.sync_growth_blocks += stats.sync_growth_blocks
+            merged.peak_used_slots += stats.peak_used_slots
+        merged.escalations = EscalationStats.merged(
+            [stats.escalations for stats in parts]
+        )
+        return merged
+
 
 class LockManager:
     """Multi-granularity lock manager over a :class:`LockBlockChain`.
@@ -229,6 +256,11 @@ class LockManager:
     def waiting_apps(self) -> Set[int]:
         return set(self._waiting_on)
 
+    def has_waiters(self) -> bool:
+        """True when any application is enqueued (safe as a dirty read:
+        a ``len`` of the wait map, no iteration)."""
+        return len(self._waiting_on) > 0
+
     def contended_objects(self) -> Dict[ResourceId, LockObject]:
         """Live view of the objects with queued waiters (do not mutate)."""
         return self._contended
@@ -303,6 +335,88 @@ class LockManager:
             return
         yield from self._acquire(app_id, row_resource(table_id, row_id), mode)
 
+    def lock_row_fast(self, app_id: int, table_id: int, row_id: int, mode: LockMode) -> bool:
+        """Non-blocking attempt at :meth:`lock_row`'s immediate-grant path.
+
+        Returns True when the row lock (and covering intent lock) was
+        granted with accounting **byte-identical** to driving the
+        :meth:`lock_row` generator to completion: same counter bumps,
+        same refresh ticks, same structures charged.  Returns False --
+        having mutated *nothing* -- whenever the request could wait,
+        convert, escalate or trace, so the caller falls back to the
+        generator.  The live service calls this under its mutex to skip
+        generator construction on the (dominant) uncontended path; the
+        DES always drives the generator.
+        """
+        if self.tracer is not None:
+            return False  # slow path keeps the trace stream canonical
+        table_res = table_resource(table_id)
+        tobj = self._objects.get(table_res)
+        theld = tobj.granted.get(app_id) if tobj is not None else None
+        intent = intent_mode_for_row(mode)
+        if theld is not None:
+            if not covers(theld.mode, intent):
+                return False  # table-lock conversion: slow path
+            if covers(theld.mode, mode):
+                # the table lock already covers the row access
+                theld.count += 1
+                self.stats.requests += 1
+                self.stats.immediate_grants += 1
+                self._tick_refresh()
+                return True
+            fresh_intent = False
+        else:
+            if tobj is not None and (
+                tobj.waiters or not tobj.others_compatible(app_id, intent)
+            ):
+                return False  # the intent grant itself would wait
+            fresh_intent = True
+        res = row_resource(table_id, row_id)
+        obj = self._objects.get(res)
+        held = obj.granted.get(app_id) if obj is not None else None
+        if held is not None:
+            if fresh_intent or not covers(held.mode, mode):
+                return False  # inconsistent / conversion: slow path
+            theld.count += 1
+            held.count += 1
+            self.stats.requests += 2
+            self.stats.immediate_grants += 2
+            self._tick_refresh()
+            self._tick_refresh()
+            return True
+        if obj is not None and (
+            obj.waiters or not obj.others_compatible(app_id, mode)
+        ):
+            return False  # the row grant would wait
+        need = 2 if fresh_intent else 1
+        if self.chain.free_slots < need:
+            return False  # sync growth / escalation: slow path
+        if self._app_slots.get(app_id, 0) + need > self.maxlocks_limit_slots():
+            return False  # would escalate: slow path
+        # Commit: from here the outcome is the generator's, verbatim.
+        self.stats.requests += 2
+        self.stats.immediate_grants += 2
+        self._tick_refresh()
+        self._tick_refresh()
+        if fresh_intent:
+            if tobj is None:
+                tobj = self._objects[table_res] = LockObject(table_res)
+            tblock = self.chain.allocate_slot()
+            self._charge_slot(app_id)
+            self._note_held(
+                app_id, table_res, tobj.add_grant(app_id, intent, block=tblock)
+            )
+        else:
+            theld.count += 1
+        if obj is None:
+            obj = self._objects[res] = LockObject(res)
+        block = self.chain.allocate_slot()
+        self._charge_slot(app_id)
+        if self.chain.used_slots > self.stats.peak_used_slots:
+            self.stats.peak_used_slots = self.chain.used_slots
+        self._note_held(app_id, res, obj.add_grant(app_id, mode, block=block))
+        return True
+
     def release_all(self, app_id: int) -> int:
         """Release every lock held or awaited by ``app_id`` (strict 2PL).
 
@@ -322,21 +436,55 @@ class LockManager:
                     freed += 1
             self._pump(obj)
             self._gc_object(obj)
-        for resource in list(self._app_held.get(app_id, ())):
-            freed += self._release_one(app_id, resource)
-        self._app_held.pop(app_id, None)
+        # Bulk path: every per-app index is discarded wholesale, so the
+        # per-resource surgery of _release_one/_forget_held (held-set
+        # discard, row-table pruning, per-row bucket moves, per-slot
+        # uncharge) would be pure churn.  The same invariants are
+        # checked against the same end state.
+        held_set = self._app_held.pop(app_id, None)
         self._app_row_tables.pop(app_id, None)
         self._app_row_seq.pop(app_id, None)
-        if self._app_row_counts.pop(app_id, 0) != 0:
+        old_rows = self._app_row_counts.pop(app_id, 0)
+        if old_rows > 0:
+            bucket = self._row_count_buckets.get(old_rows)
+            if bucket is not None:
+                bucket.pop(app_id, None)
+                if not bucket:
+                    del self._row_count_buckets[old_rows]
+        rows_released = 0
+        held_frees = 0
+        if held_set:
+            objects = self._objects
+            chain = self.chain
+            for resource in held_set:
+                obj = objects.get(resource)
+                if obj is None:
+                    raise LockManagerError(
+                        f"app {app_id} does not hold {resource}"
+                    )
+                held = obj.remove_grant(app_id)
+                if held.block is not None:
+                    chain.free_slot(held.block)
+                    held_frees += 1
+                if resource.is_row:
+                    rows_released += 1
+                self._pump(obj)
+                if obj.is_idle:
+                    objects.pop(resource, None)
+        freed += held_frees
+        if old_rows != rows_released:
             raise LockManagerError(
                 f"app {app_id} row-lock accounting nonzero after release_all"
             )
-        if self._app_slots.get(app_id, 0) != 0:
+        # The waiter section above already uncharged its frees, so the
+        # remaining per-app slot charge must equal the held-block frees.
+        slots = self._app_slots.pop(app_id, 0)
+        if slots != held_frees:
+            self._app_slots[app_id] = slots
             raise LockManagerError(
                 f"app {app_id} slot accounting nonzero after release_all: "
-                f"{self._app_slots[app_id]}"
+                f"{slots - held_frees}"
             )
-        self._app_slots.pop(app_id, None)
         if self.tracer is not None and freed:
             self._trace("release", app_id, f"{freed} structures", value=float(freed))
         return freed
@@ -540,6 +688,9 @@ class LockManager:
     # -- grant pumping and release ----------------------------------------------
 
     def _pump(self, obj: LockObject) -> None:
+        if not obj.waiters:
+            self._contended.pop(obj.resource, None)
+            return
         for waiter in obj.pump():
             if not waiter.converting:
                 self._note_held(

@@ -43,7 +43,10 @@ class ResourceId:
     simulation (see docs/PERFORMANCE.md).
     """
 
-    __slots__ = ("kind", "table_id", "page_id", "row_id", "_key", "_hash")
+    __slots__ = (
+        "kind", "table_id", "page_id", "row_id",
+        "is_table", "is_row", "_key", "_hash",
+    )
 
     def __init__(
         self,
@@ -71,6 +74,10 @@ class ResourceId:
         self.table_id = table_id
         self.page_id = page_id
         self.row_id = row_id
+        # Plain attributes, not properties: kind tests sit on the
+        # per-acquire and per-release hot paths.
+        self.is_table = kind is ResourceKind.TABLE
+        self.is_row = kind is ResourceKind.ROW
         key = (
             _KIND_CODE[kind],
             table_id,
@@ -87,14 +94,6 @@ class ResourceId:
         if not isinstance(other, ResourceId):
             return NotImplemented
         return self._key == other._key
-
-    @property
-    def is_table(self) -> bool:
-        return self.kind is ResourceKind.TABLE
-
-    @property
-    def is_row(self) -> bool:
-        return self.kind is ResourceKind.ROW
 
     def table(self) -> "ResourceId":
         """The table resource containing this resource."""

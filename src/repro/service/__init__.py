@@ -14,6 +14,10 @@ concurrency:
 * :mod:`repro.service.admission` -- bounded in-flight sessions with
   queue shedding;
 * :mod:`repro.service.stack` -- one-call assembly of the whole stack;
+* :mod:`repro.service.ledger` -- the shard memory ledger and the
+  aggregate chain the controller tunes when sharded;
+* :mod:`repro.service.sharded` -- per-shard lock tables with global
+  STMM arbitration and cross-shard deadlock sweeps;
 * :mod:`repro.service.driver` -- closed-loop multi-threaded load;
 * :mod:`repro.service.capture` -- demand-trace capture for offline
   replay through :mod:`repro.workloads.replay`.
@@ -23,13 +27,26 @@ from repro.service.admission import AdmissionController, AdmissionStats
 from repro.service.capture import DemandTraceRecorder, load_trace_jsonl
 from repro.service.clock import Clock, ManualClock, MonotonicClock, VirtualClock
 from repro.service.driver import DriverReport, LoadDriver
+from repro.service.ledger import (
+    AggregateLockChain,
+    ShardMemoryLedger,
+    ShardOccupancy,
+)
 from repro.service.service import LockService, ServiceStats
+from repro.service.sharded import (
+    ShardedDeadlockDetector,
+    ShardedLockService,
+    ShardedServiceConfig,
+    ShardedServiceStack,
+    shard_of,
+)
 from repro.service.stack import ServiceConfig, ServiceStack
 from repro.service.tuner import TunerDaemon
 
 __all__ = [
     "AdmissionController",
     "AdmissionStats",
+    "AggregateLockChain",
     "Clock",
     "DemandTraceRecorder",
     "DriverReport",
@@ -40,7 +57,14 @@ __all__ = [
     "ServiceConfig",
     "ServiceStack",
     "ServiceStats",
+    "ShardMemoryLedger",
+    "ShardOccupancy",
+    "ShardedDeadlockDetector",
+    "ShardedLockService",
+    "ShardedServiceConfig",
+    "ShardedServiceStack",
     "TunerDaemon",
     "VirtualClock",
     "load_trace_jsonl",
+    "shard_of",
 ]

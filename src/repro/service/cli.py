@@ -20,12 +20,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.core.params import TuningParameters
 from repro.service.capture import DemandTraceRecorder
 from repro.service.driver import DriverReport, LoadDriver
+from repro.service.sharded import ShardedServiceConfig, ShardedServiceStack
 from repro.service.stack import ServiceConfig, ServiceStack
+
+#: Either stack shape; both expose the same reporting surface.
+AnyStack = Union[ServiceStack, ShardedServiceStack]
 
 
 def _add_load_args(parser: argparse.ArgumentParser) -> None:
@@ -62,10 +66,30 @@ def _add_load_args(parser: argparse.ArgumentParser) -> None:
         default=0.1,
         help="tuner daemon interval in seconds (default 0.1)",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="lock-manager shards: 0 = unsharded stack (default); "
+        ">= 1 uses the sharded stack (1 shard reproduces the "
+        "unsharded accounting)",
+    )
     parser.add_argument("--seed", type=int, default=0)
 
 
-def _build_stack(args: argparse.Namespace) -> ServiceStack:
+def _build_stack(args: argparse.Namespace) -> AnyStack:
+    if args.shards > 0:
+        return ShardedServiceStack(
+            ShardedServiceConfig(
+                total_memory_pages=args.memory_pages,
+                initial_locklist_pages=args.locklist_pages,
+                tuner_interval_s=args.tuner_interval,
+                max_in_flight=max(4, args.threads),
+                admission_queue_depth=4 * max(4, args.threads),
+                params=TuningParameters(),
+                shards=args.shards,
+            )
+        )
     config = ServiceConfig(
         total_memory_pages=args.memory_pages,
         initial_locklist_pages=args.locklist_pages,
@@ -78,7 +102,7 @@ def _build_stack(args: argparse.Namespace) -> ServiceStack:
 
 
 def _run_load(
-    stack: ServiceStack, args: argparse.Namespace
+    stack: AnyStack, args: argparse.Namespace
 ) -> DriverReport:
     driver = LoadDriver(
         stack,
@@ -90,8 +114,8 @@ def _run_load(
     return driver.run()
 
 
-def _print_report(stack: ServiceStack, report: DriverReport) -> None:
-    stats = stack.service.manager.stats
+def _print_report(stack: AnyStack, report: DriverReport) -> None:
+    stats = stack.manager_stats
     print(f"threads:            {report.threads}")
     print(f"wall time:          {report.wall_s:.2f} s")
     print(f"lock requests:      {report.lock_requests}")
@@ -114,7 +138,7 @@ def _print_report(stack: ServiceStack, report: DriverReport) -> None:
     )
 
 
-def _check_shutdown_accounting(stack: ServiceStack) -> List[str]:
+def _check_shutdown_accounting(stack: AnyStack) -> List[str]:
     """Exact accounting assertions after all sessions have closed."""
     failures: List[str] = []
     if stack.chain.used_slots != 0:
@@ -132,6 +156,9 @@ def _check_shutdown_accounting(stack: ServiceStack) -> List[str]:
         failures.append(f"invariant check failed: {exc}")
     if stack.tuner.crash is not None:
         failures.append(f"tuner crashed: {stack.tuner.crash!r}")
+    detector = getattr(stack, "detector", None)
+    if detector is not None and detector.crash is not None:
+        failures.append(f"deadlock sweep crashed: {detector.crash!r}")
     return failures
 
 

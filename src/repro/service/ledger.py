@@ -1,0 +1,257 @@
+"""The shard memory ledger: one LOCKLIST budget over many lock tables.
+
+The sharded service (:mod:`repro.service.sharded`) partitions the lock
+space across N independent lock managers, each with its own
+:class:`~repro.lockmgr.blocks.LockBlockChain`.  The paper's tuning
+algorithm, however, arbitrates exactly *one* LOCKLIST against the rest
+of database memory.  This module is the bridge:
+
+* :class:`ShardMemoryLedger` is the reporting side of the protocol:
+  every shard's demand (outstanding structures), free-list occupancy
+  and cumulative synchronous borrows are readable in one place, and the
+  global views the controller and the cross-shard deadlock detector
+  need (aggregate escalation count, per-application slot totals) are
+  computed here.
+* :class:`AggregateLockChain` is the acting side: it duck-types the
+  :class:`LockBlockChain` surface that
+  :class:`~repro.core.controller.LockMemoryController` and
+  :class:`~repro.core.maxlocks.AdaptiveMaxlocks` consume, summing the
+  shard chains for every read.  A **grow** is distributed as per-shard
+  128 KB block grants proportional to ledger demand (largest-remainder
+  rounding, ties to the lowest shard index); a **shrink** scans the
+  shards' entirely-free blocks, preferring the shard with the most
+  free blocks (ties to the highest shard index -- the "tail" of the
+  round-robin initial layout, mirroring the unsharded tail-first
+  shrink protocol).
+
+With one shard both classes degenerate to pass-throughs, which is what
+makes the ``shards=1`` equivalence against the unsharded stack exact.
+
+Locking: neither class takes locks.  Callers that mutate (the STMM
+tuner, shutdown reclaim) hold **every** shard condition; callers that
+only read for distribution decisions run under the controller's growth
+lock plus one shard condition, where the transient understatement of a
+concurrent shard's demand only skews a proportional split, never the
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence
+
+from repro.errors import ServiceError
+from repro.lockmgr.blocks import LockBlockChain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.service import LockService
+
+
+@dataclass
+class ShardOccupancy:
+    """One shard's lock-memory picture at a point in time."""
+
+    shard: int
+    used_slots: int
+    capacity_slots: int
+    free_fraction: float
+    entirely_free_blocks: int
+    #: Cumulative 128 KB blocks this shard borrowed synchronously from
+    #: overflow (the shard's share of the paper's LMO traffic).
+    borrowed_blocks: int
+
+
+class ShardMemoryLedger:
+    """Global read-side of the shard memory protocol (see module doc)."""
+
+    def __init__(self, shards: Sequence["LockService"]) -> None:
+        if not shards:
+            raise ServiceError("ledger needs at least one shard")
+        self._shards = list(shards)
+        self._borrowed_blocks = [0] * len(self._shards)
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    # -- reporting (shards -> ledger) --------------------------------------
+
+    def record_sync_borrow(self, shard: int, blocks: int) -> None:
+        """Account a synchronous-growth grant routed to ``shard``."""
+        if blocks < 0:
+            raise ValueError(f"blocks must be non-negative, got {blocks}")
+        self._borrowed_blocks[shard] += blocks
+
+    def borrowed_blocks(self, shard: int) -> int:
+        return self._borrowed_blocks[shard]
+
+    # -- global views (ledger -> controller / detector) --------------------
+
+    def occupancy(self) -> List[ShardOccupancy]:
+        """Per-shard demand and free-list occupancy, in shard order."""
+        return [
+            ShardOccupancy(
+                shard=idx,
+                used_slots=shard.chain.used_slots,
+                capacity_slots=shard.chain.capacity_slots,
+                free_fraction=shard.chain.free_fraction(),
+                entirely_free_blocks=shard.chain.entirely_free_blocks(),
+                borrowed_blocks=self._borrowed_blocks[idx],
+            )
+            for idx, shard in enumerate(self._shards)
+        ]
+
+    def demand_weights(self) -> List[int]:
+        """Per-shard grow weights: outstanding structures, plus one.
+
+        The +1 keeps an idle shard fundable (it still needs a minimal
+        allocation to serve its first request without a synchronous
+        borrow) and makes the weights total strictly positive.
+        """
+        return [shard.chain.used_slots + 1 for shard in self._shards]
+
+    def grant_split(self, blocks: int) -> List[int]:
+        """Split a grant of ``blocks`` across shards proportional to demand.
+
+        Largest-remainder rounding; ties go to the lowest shard index,
+        so the split is a pure function of the demand snapshot.
+        """
+        if blocks < 0:
+            raise ValueError(f"blocks must be non-negative, got {blocks}")
+        weights = self.demand_weights()
+        total = sum(weights)
+        shares = [blocks * weight / total for weight in weights]
+        split = [int(share) for share in shares]
+        remainder = blocks - sum(split)
+        if remainder:
+            by_fraction = sorted(
+                range(len(split)),
+                key=lambda i: (-(shares[i] - split[i]), i),
+            )
+            for i in by_fraction[:remainder]:
+                split[i] += 1
+        return split
+
+    def app_slots(self, app_id: int) -> int:
+        """Lock structures charged to ``app_id`` across every shard.
+
+        The cross-shard deadlock detector's victim rule reads this, so
+        a victim is judged by its *global* footprint, exactly as the
+        single-manager detector judges it by its only footprint.
+        """
+        return sum(shard.manager.app_slots(app_id) for shard in self._shards)
+
+    def total_escalations(self) -> int:
+        """Cumulative escalations across shards (feeds the controller's
+        escalation-recovery doubling rule)."""
+        return sum(
+            shard.manager.stats.escalations.count for shard in self._shards
+        )
+
+    def total_borrowed_blocks(self) -> int:
+        """Cumulative synchronous borrows across every shard."""
+        return sum(self._borrowed_blocks)
+
+
+class AggregateLockChain:
+    """The one global LOCKLIST the controller tunes: sum of shard chains.
+
+    Duck-types the :class:`LockBlockChain` surface the tuning layer
+    consumes (reads, ``add_blocks``, ``release_blocks``,
+    ``check_invariants``); see the module docstring for the grow/shrink
+    distribution rules.
+    """
+
+    def __init__(
+        self, chains: Sequence[LockBlockChain], ledger: ShardMemoryLedger
+    ) -> None:
+        if not chains:
+            raise ServiceError("aggregate chain needs at least one shard chain")
+        if len(chains) != len(ledger):
+            raise ServiceError(
+                f"{len(chains)} chains but ledger tracks {len(ledger)} shards"
+            )
+        self._chains = list(chains)
+        self._ledger = ledger
+
+    # -- read surface (sums over shards) -----------------------------------
+
+    @property
+    def block_count(self) -> int:
+        return sum(chain.block_count for chain in self._chains)
+
+    @property
+    def capacity_slots(self) -> int:
+        return sum(chain.capacity_slots for chain in self._chains)
+
+    @property
+    def used_slots(self) -> int:
+        return sum(chain.used_slots for chain in self._chains)
+
+    @property
+    def free_slots(self) -> int:
+        return self.capacity_slots - self.used_slots
+
+    @property
+    def allocated_pages(self) -> int:
+        return sum(chain.allocated_pages for chain in self._chains)
+
+    def free_fraction(self) -> float:
+        capacity = self.capacity_slots
+        if capacity == 0:
+            return 1.0
+        return self.free_slots / capacity
+
+    def entirely_free_blocks(self) -> int:
+        return sum(chain.entirely_free_blocks() for chain in self._chains)
+
+    # -- grow / shrink (the controller's physical hooks) -------------------
+
+    def add_blocks(self, count: int) -> int:
+        """Distribute ``count`` new blocks across shards by demand."""
+        if count < 0:
+            raise ValueError(f"block count must be non-negative, got {count}")
+        if count == 0:
+            return 0
+        for chain, share in zip(self._chains, self._ledger.grant_split(count)):
+            if share:
+                chain.add_blocks(share)
+        return count
+
+    def release_blocks(self, count: int, partial: bool = False) -> int:
+        """Free up to ``count`` entirely-empty blocks across shards.
+
+        Keeps the unsharded semantics: with ``partial=False`` the
+        request is all-or-nothing -- if the shards cannot jointly
+        surrender ``count`` empty blocks, nothing is freed and 0 is
+        returned.
+        """
+        if count < 0:
+            raise ValueError(f"block count must be non-negative, got {count}")
+        if count == 0:
+            return 0
+        free_per_shard = [chain.entirely_free_blocks() for chain in self._chains]
+        if sum(free_per_shard) < count and not partial:
+            return 0
+        order = sorted(
+            range(len(self._chains)),
+            key=lambda i: (-free_per_shard[i], -i),
+        )
+        freed = 0
+        for i in order:
+            if freed >= count:
+                break
+            take = min(count - freed, free_per_shard[i])
+            if take:
+                freed += self._chains[i].release_blocks(take, partial=True)
+        return freed
+
+    def check_invariants(self) -> None:
+        for chain in self._chains:
+            chain.check_invariants()
+
+    def __repr__(self) -> str:
+        return (
+            f"AggregateLockChain(shards={len(self._chains)}, "
+            f"blocks={self.block_count}, "
+            f"used={self.used_slots}/{self.capacity_slots})"
+        )

@@ -41,7 +41,7 @@ import itertools
 import threading
 from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, Optional, Set
 
 from contextlib import contextmanager
 
@@ -135,6 +135,11 @@ class LockService:
         self._active_requests: Set[int] = set()
         #: Why tuning was frozen, or None while tuning is live.
         self.frozen_reason: Optional[str] = None
+        #: Optional hook invoked once during :meth:`close` (after all
+        #: pending waits are cancelled) to return transiently borrowed
+        #: lock memory to overflow; the stack wires this to
+        #: :meth:`LockMemoryController.reclaim_transient_blocks`.
+        self.borrow_return: Optional[Callable[[], int]] = None
         self._metrics = metrics
         if metrics is not None:
             from repro.obs.registry import WALL_CLOCK_BUCKETS_S
@@ -186,6 +191,21 @@ class LockService:
                 self.stats.peak_sessions = len(self._sessions)
             return app_id
 
+    def adopt_session(self, app_id: int) -> None:
+        """Register an externally allocated application id.
+
+        The sharded service (:mod:`repro.service.sharded`) owns the
+        global id space and registers a session with a shard the first
+        time a request routes there.  Adoption does not touch the
+        session counters: the session was opened elsewhere; this shard
+        merely agrees to serve it.
+        """
+        with self._mutex:
+            self._ensure_open()
+            if app_id in self._sessions:
+                raise ServiceError(f"session {app_id} is already registered")
+            self._sessions.add(app_id)
+
     def close_session(self, app_id: int) -> int:
         """Release every lock of ``app_id`` and retire the session.
 
@@ -233,11 +253,66 @@ class LockService:
         after any of these the session must roll back via
         :meth:`close_session` (strict 2PL, as in the DES).
         """
+        # Uncontended requests (the overwhelming majority under churn)
+        # grant without building a generator: one mutex hold, no
+        # event-loop machinery.  ``lock_row_fast`` either completes with
+        # accounting identical to the generator path or mutates nothing.
+        if timeout_s is _USE_DEFAULT:
+            timeout_s = self.default_timeout_s
+        if timeout_s is not None and timeout_s < 0:  # type: ignore[operator]
+            raise ServiceError(f"timeout_s must be non-negative, got {timeout_s}")
+        started = perf_counter()
+        with self._cond:
+            self._ensure_open()
+            if app_id not in self._sessions:
+                raise ServiceError(f"session {app_id} is not open")
+            if app_id not in self._active_requests and self.manager.lock_row_fast(
+                app_id, table_id, row_id, mode
+            ):
+                self.stats.requests += 1
+                self.stats.granted += 1
+                if self._metrics is not None:
+                    self._m_requests.inc()
+                    self._m_latency.observe(perf_counter() - started)
+                return
         self._request(
             app_id,
             self.manager.lock_row(app_id, table_id, row_id, mode),
             timeout_s,
         )
+
+    def lock_row_uncontended(
+        self,
+        app_id: int,
+        table_id: int,
+        row_id: int,
+        mode: LockMode,
+        timeout_s: object = _USE_DEFAULT,
+    ) -> bool:
+        """Fast-path-only :meth:`lock_row` for a pre-validated caller.
+
+        The sharded facade has already checked the session registry and
+        holds the per-session in-flight exclusion, so only the closed
+        check stands between it and the manager's immediate-grant
+        attempt.  Returns False (nothing mutated, nothing counted) when
+        the request needs the full generator path -- the caller then
+        falls back to :meth:`lock_row`.
+        """
+        if timeout_s is _USE_DEFAULT:
+            timeout_s = self.default_timeout_s
+        if timeout_s is not None and timeout_s < 0:  # type: ignore[operator]
+            raise ServiceError(f"timeout_s must be non-negative, got {timeout_s}")
+        started = perf_counter()
+        with self._cond:
+            self._ensure_open()
+            if self.manager.lock_row_fast(app_id, table_id, row_id, mode):
+                self.stats.requests += 1
+                self.stats.granted += 1
+                if self._metrics is not None:
+                    self._m_requests.inc()
+                    self._m_latency.observe(perf_counter() - started)
+                return True
+        return False
 
     def lock_table(
         self,
@@ -315,6 +390,14 @@ class LockService:
         Waiting threads see :class:`ServiceClosedError` and are expected
         to roll back.  Sessions stay inspectable; ``close_session``
         continues to work so owners can release held locks.
+
+        A synchronous-growth borrow still in flight at close (lock
+        memory taken from overflow mid-interval that no tuning pass
+        will reconcile any more) is returned through ``borrow_return``:
+        cancelling the pending waits first frees their structures, so
+        entirely-free borrowed blocks -- including a partially used
+        grant whose requester was just cancelled -- go back to overflow
+        instead of being stranded in the locklist heap forever.
         """
         with self._mutex:
             if self._closed:
@@ -324,6 +407,8 @@ class LockService:
                 self.manager.cancel_wait(
                     app_id, ServiceClosedError("service closing"), reason="cancel"
                 )
+            if self.borrow_return is not None:
+                self.borrow_return()
 
     # -- request driving (the heart of the service) ------------------------
 

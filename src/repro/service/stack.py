@@ -81,6 +81,39 @@ class ServiceConfig:
             )
 
 
+def build_memory_registry(cfg: ServiceConfig) -> DatabaseMemoryRegistry:
+    """The service memory model: bufferpool (PMC donor) + locklist + overflow.
+
+    Shared by the unsharded and sharded stacks so both run the paper's
+    tuning algorithm against the identical registry layout.
+    """
+    registry = DatabaseMemoryRegistry(
+        total_pages=cfg.total_memory_pages,
+        overflow_goal_pages=int(
+            cfg.overflow_goal_fraction * cfg.total_memory_pages
+        ),
+    )
+    bp_model = BufferpoolModel()
+    registry.register(
+        MemoryHeap(
+            "bufferpool",
+            HeapCategory.PMC,
+            size_pages=int(cfg.bufferpool_fraction * cfg.total_memory_pages),
+            min_pages=int(0.10 * cfg.total_memory_pages),
+            benefit=lambda heap: bp_model.marginal_benefit(heap.size_pages),
+        )
+    )
+    registry.register(
+        MemoryHeap(
+            "locklist",
+            HeapCategory.FMC,
+            size_pages=round_pages_to_blocks(cfg.initial_locklist_pages),
+            min_pages=0,
+        )
+    )
+    return registry
+
+
 class ServiceStack:
     """A fully wired live lock service (see module docstring)."""
 
@@ -98,30 +131,7 @@ class ServiceStack:
         )
 
         locklist_pages = round_pages_to_blocks(cfg.initial_locklist_pages)
-        self.registry = DatabaseMemoryRegistry(
-            total_pages=cfg.total_memory_pages,
-            overflow_goal_pages=int(
-                cfg.overflow_goal_fraction * cfg.total_memory_pages
-            ),
-        )
-        bp_model = BufferpoolModel()
-        self.registry.register(
-            MemoryHeap(
-                "bufferpool",
-                HeapCategory.PMC,
-                size_pages=int(cfg.bufferpool_fraction * cfg.total_memory_pages),
-                min_pages=int(0.10 * cfg.total_memory_pages),
-                benefit=lambda heap: bp_model.marginal_benefit(heap.size_pages),
-            )
-        )
-        self.registry.register(
-            MemoryHeap(
-                "locklist",
-                HeapCategory.FMC,
-                size_pages=locklist_pages,
-                min_pages=0,
-            )
-        )
+        self.registry = build_memory_registry(cfg)
 
         self.chain = LockBlockChain(
             initial_blocks=locklist_pages // PAGES_PER_BLOCK
@@ -155,6 +165,7 @@ class ServiceStack:
         manager.refresh_period = cfg.params.refresh_period_requests
         manager.refresh_maxlocks()
         self.controller.on_resize = manager.refresh_maxlocks
+        self.service.borrow_return = self.controller.reclaim_transient_blocks
 
         self.stmm = Stmm(self.registry, cfg.stmm)
         self.stmm.register_deterministic_tuner(self.controller)
@@ -192,6 +203,14 @@ class ServiceStack:
 
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def manager_stats(self):
+        """Lock-manager counters (one manager here; aggregated when
+        sharded)."""
+        return self.service.manager.stats
 
     # -- consistency -------------------------------------------------------
 

@@ -1,0 +1,143 @@
+"""Deterministic concurrency harness for the live-service tests.
+
+The service tests drive real threads against real mutexes -- but a
+test that sleeps a fixed interval and hopes the other thread got there
+is a flake factory.  This module replaces sleep-based timing with
+three small primitives that make every interleaving *scripted*:
+
+:func:`wait_until`
+    Block until an observable predicate over service state holds
+    ("session 3 is parked in the wait queue"), polling at
+    sub-millisecond granularity with one generous overall deadline.
+    The test then proceeds from a *known* state instead of an assumed
+    one; the deadline only bounds genuine hangs.
+
+:class:`Gate`
+    A named rendezvous point.  A thread calls ``gate.block()`` where
+    the script wants it to pause (typically from inside an injected
+    callback, e.g. a wrapped growth provider); the test calls
+    ``gate.open()`` when the interleaving says it may continue.
+    ``arrived`` is observable, so the test can :func:`wait_until` the
+    thread is parked at the gate before acting.
+
+:class:`ScriptedThread`
+    A worker that records its result or exception; ``result(timeout)``
+    joins and re-raises, so a failure inside the thread fails the test
+    at the join site instead of vanishing into a daemon thread.
+
+None of these primitives makes threads artificially synchronous: the
+real locks, condition variables and generators run exactly as in
+production.  The script only pins down *which* interleaving the test
+exercises.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+#: One ceiling for every scripted step: far beyond any legitimate
+#: scheduling delay, so hitting it always means a real hang.
+DEFAULT_DEADLINE_S = 10.0
+
+_POLL_S = 0.0002
+
+
+def wait_until(
+    predicate: Callable[[], bool],
+    *,
+    timeout_s: float = DEFAULT_DEADLINE_S,
+    what: str = "condition",
+) -> None:
+    """Block until ``predicate()`` is true; raise on a genuine hang."""
+    deadline = time.monotonic() + timeout_s
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"{what} not reached within {timeout_s:.1f}s"
+            )
+        time.sleep(_POLL_S)
+
+
+class Gate:
+    """A scripted pause point another thread blocks on until opened."""
+
+    def __init__(self, name: str = "gate") -> None:
+        self.name = name
+        self._open = threading.Event()
+        self._arrivals = 0
+        self._lock = threading.Lock()
+
+    @property
+    def arrived(self) -> int:
+        """How many threads have reached (or passed) this gate."""
+        return self._arrivals
+
+    def block(self, timeout_s: float = DEFAULT_DEADLINE_S) -> None:
+        """Called by the scripted thread at its pause point."""
+        with self._lock:
+            self._arrivals += 1
+        if not self._open.wait(timeout_s):
+            raise TimeoutError(
+                f"gate {self.name!r} never opened within {timeout_s:.1f}s"
+            )
+
+    def open(self) -> None:
+        """Called by the test when the paused thread may continue."""
+        self._open.set()
+
+    def await_arrival(self, count: int = 1) -> None:
+        """Block the test until ``count`` threads are parked here."""
+        wait_until(
+            lambda: self._arrivals >= count,
+            what=f"{count} arrival(s) at gate {self.name!r}",
+        )
+
+
+class ScriptedThread:
+    """A worker thread whose outcome the test must consume.
+
+    ``result()`` joins and returns the callable's return value, or
+    re-raises whatever the thread raised -- so thread failures surface
+    at a deterministic point in the test body.  ``outcome()`` is the
+    non-raising variant for scripts that *expect* an exception.
+    """
+
+    def __init__(
+        self, fn: Callable[..., Any], *args: Any, name: str = "scripted", **kwargs: Any
+    ) -> None:
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+
+        def run() -> None:
+            try:
+                self._value = fn(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - re-raised at join
+                self._error = exc
+
+        self._thread = threading.Thread(target=run, name=name, daemon=True)
+        self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def join(self, timeout_s: float = DEFAULT_DEADLINE_S) -> None:
+        self._thread.join(timeout_s)
+        if self._thread.is_alive():
+            raise TimeoutError(
+                f"thread {self._thread.name!r} still running after "
+                f"{timeout_s:.1f}s"
+            )
+
+    def result(self, timeout_s: float = DEFAULT_DEADLINE_S) -> Any:
+        self.join(timeout_s)
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def outcome(self, timeout_s: float = DEFAULT_DEADLINE_S) -> Any:
+        """Join and return the raised exception, or the return value."""
+        self.join(timeout_s)
+        return self._error if self._error is not None else self._value

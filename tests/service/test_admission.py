@@ -11,6 +11,7 @@ from repro.errors import (
     ServiceClosedError,
 )
 from repro.service.admission import AdmissionController
+from tests.service.sched import wait_until
 
 
 class TestValidation:
@@ -61,10 +62,10 @@ class TestSlots:
 
         thread = threading.Thread(target=waiter, daemon=True)
         thread.start()
-        for _ in range(200):
-            if controller.queue_depth() == 1:
-                break
-            time.sleep(0.005)
+        wait_until(
+            lambda: controller.queue_depth() == 1,
+            what="waiter queued at admission",
+        )
         assert not admitted.is_set()
         controller.release()
         thread.join(5.0)
@@ -89,10 +90,10 @@ class TestSlots:
             thread.start()
             threads.append(thread)
             # ensure this waiter is queued before starting the next
-            for _ in range(200):
-                if controller.queue_depth() == tag + 1:
-                    break
-                time.sleep(0.005)
+            wait_until(
+                lambda: controller.queue_depth() == tag + 1,
+                what=f"waiter {tag} queued at admission",
+            )
         controller.release()
         for thread in threads:
             thread.join(5.0)
@@ -123,10 +124,10 @@ class TestSlots:
 
         thread = threading.Thread(target=waiter, daemon=True)
         thread.start()
-        for _ in range(200):
-            if controller.queue_depth() == 1:
-                break
-            time.sleep(0.005)
+        wait_until(
+            lambda: controller.queue_depth() == 1,
+            what="waiter queued at admission",
+        )
         controller.release()
         thread.join(5.0)
         assert admitted.is_set()
@@ -147,10 +148,10 @@ class TestClose:
 
         thread = threading.Thread(target=waiter, daemon=True)
         thread.start()
-        for _ in range(200):
-            if controller.queue_depth() == 1:
-                break
-            time.sleep(0.005)
+        wait_until(
+            lambda: controller.queue_depth() == 1,
+            what="waiter queued at admission",
+        )
         controller.close()
         thread.join(5.0)
         assert result["outcome"] == "closed"

@@ -1,0 +1,172 @@
+"""Shutdown with a synchronous-growth borrow still in flight.
+
+Sync growth takes pages from overflow mid-interval; the next tuning
+pass normally folds the borrow into the persisted LOCKLIST (LMOC).
+When the service closes *before* that pass runs, nothing would ever
+reconcile the borrow -- the registry would permanently over-charge the
+locklist for memory backing no locks.  ``LockService.close`` therefore
+returns entirely-free borrowed blocks to overflow on shutdown; blocks
+still backing live lock structures must stay (the shrink protocol).
+
+These tests pin the exact block accounting on both the unsharded and
+the sharded stack, and script a close racing an in-flight borrow.
+"""
+
+from repro.lockmgr.modes import LockMode
+from repro.service.sharded import ShardedServiceConfig, ShardedServiceStack
+from repro.service.stack import ServiceConfig, ServiceStack
+from repro.units import LOCKS_PER_BLOCK, PAGES_PER_BLOCK
+from tests.service.sched import Gate, ScriptedThread
+
+
+def force_growth(service, app, table_id, rows) -> None:
+    for row in range(rows):
+        service.lock_row(app, table_id, row, LockMode.S)
+
+
+class TestUnshardedCloseBorrow:
+    def test_close_returns_freed_borrow_to_overflow_exactly(self):
+        stack = ServiceStack(
+            ServiceConfig(
+                initial_locklist_pages=PAGES_PER_BLOCK,
+                tuner_interval_s=None,  # and never started: no async pass
+            )
+        )
+        overflow0 = stack.registry.overflow_pages
+        pages0 = stack.chain.allocated_pages
+        app = stack.service.open_session()
+        # two blocks over the 1-block initial capacity
+        force_growth(stack.service, app, 0, 2 * LOCKS_PER_BLOCK + 100)
+        borrowed = stack.manager_stats.sync_growth_blocks
+        assert borrowed >= 2
+        assert stack.registry.overflow_pages == (
+            overflow0 - borrowed * PAGES_PER_BLOCK
+        )
+        assert stack.controller.transient_overage_pages == (
+            borrowed * PAGES_PER_BLOCK
+        )
+
+        stack.service.rollback(app)  # every borrowed block entirely free
+        stack.service.close_session(app)
+        stack.stop()
+
+        # exact restitution: chain, heap and overflow all back to start
+        assert stack.chain.allocated_pages == pages0
+        assert stack.registry.heap("locklist").size_pages == pages0
+        assert stack.registry.overflow_pages == overflow0
+        assert stack.controller.transient_overage_pages == 0
+        assert (
+            sum(stack.registry.snapshot().values())
+            == stack.registry.total_pages
+        )
+        stack.check_invariants()
+
+    def test_blocks_backing_live_locks_stay_allocated(self):
+        """The shrink protocol: a held lock pins its borrowed block."""
+        stack = ServiceStack(
+            ServiceConfig(
+                initial_locklist_pages=PAGES_PER_BLOCK,
+                tuner_interval_s=None,
+            )
+        )
+        overflow0 = stack.registry.overflow_pages
+        app = stack.service.open_session()
+        force_growth(stack.service, app, 0, LOCKS_PER_BLOCK + 100)
+        borrowed = stack.manager_stats.sync_growth_blocks
+        assert borrowed >= 1
+        pages_grown = stack.chain.allocated_pages
+
+        # close WITHOUT rollback: the session's locks still occupy the
+        # borrowed block, so not one page may move back
+        stack.stop()
+        assert stack.chain.allocated_pages == pages_grown
+        assert stack.registry.heap("locklist").size_pages == pages_grown
+        assert stack.registry.overflow_pages == (
+            overflow0 - borrowed * PAGES_PER_BLOCK
+        )
+        # nothing leaks either way: the registry still accounts for
+        # every page in the database
+        assert (
+            sum(stack.registry.snapshot().values())
+            == stack.registry.total_pages
+        )
+
+
+class TestShardedCloseBorrow:
+    def test_close_returns_borrows_from_every_shard(self):
+        stack = ShardedServiceStack(
+            ShardedServiceConfig(
+                shards=2,
+                initial_locklist_pages=2 * PAGES_PER_BLOCK,  # 1 block/shard
+                tuner_interval_s=None,
+            )
+        )
+        overflow0 = stack.registry.overflow_pages
+        pages0 = stack.chain.allocated_pages
+        service = stack.service
+        a, b = service.open_session(), service.open_session()
+        # overflow both shards: table 0 -> shard 0, table 1 -> shard 1
+        force_growth(service, a, 0, LOCKS_PER_BLOCK + 100)
+        force_growth(service, b, 1, LOCKS_PER_BLOCK + 100)
+        assert stack.ledger.borrowed_blocks(0) >= 1
+        assert stack.ledger.borrowed_blocks(1) >= 1
+        borrowed = stack.ledger.total_borrowed_blocks()
+        assert stack.manager_stats.sync_growth_blocks == borrowed
+        assert stack.registry.overflow_pages == (
+            overflow0 - borrowed * PAGES_PER_BLOCK
+        )
+
+        service.rollback(a)
+        service.rollback(b)
+        service.close_session(a)
+        service.close_session(b)
+        stack.stop()
+
+        assert stack.chain.allocated_pages == pages0
+        assert stack.registry.heap("locklist").size_pages == pages0
+        assert stack.registry.overflow_pages == overflow0
+        assert stack.controller.transient_overage_pages == 0
+        stack.check_invariants()
+
+    def test_close_serialises_behind_an_inflight_borrow(self):
+        """A shutdown cannot observe heap-grown-chain-not-yet state."""
+        stack = ShardedServiceStack(
+            ShardedServiceConfig(
+                shards=2,
+                initial_locklist_pages=2 * PAGES_PER_BLOCK,
+                tuner_interval_s=None,
+            )
+        )
+        gate = Gate("borrow")
+        shard0 = stack.service.shards[0]
+        original = shard0.manager.growth_provider
+
+        def gated(blocks_wanted: int) -> int:
+            gate.block()
+            return original(blocks_wanted)
+
+        shard0.manager.growth_provider = gated
+        app = stack.service.open_session()
+        grower = ScriptedThread(
+            force_growth, stack.service, app, 0, LOCKS_PER_BLOCK + 10,
+            name="grower",
+        )
+        gate.await_arrival()
+        closer = ScriptedThread(stack.stop, name="closer")
+        # Closing needs every shard condition; the grower holds shard
+        # 0's across the whole borrow, so the closer must still be
+        # parked.  (It can only have finished by breaking lock order.)
+        assert closer.alive
+        gate.open()
+        closer.result()
+        # the grower either finished its loop before close latched, or
+        # saw the shutdown error -- both are legal; corruption is not
+        grower.outcome()
+        assert stack.registry.heap("locklist").size_pages == (
+            stack.chain.allocated_pages
+        )
+        assert (
+            sum(stack.registry.snapshot().values())
+            == stack.registry.total_pages
+        )
+        stack.check_invariants()

@@ -1,0 +1,164 @@
+"""Unit tests for the shard memory ledger and the aggregate chain.
+
+The distribution arithmetic (largest-remainder grant splits, the
+most-free-first shrink scan, all-or-nothing release semantics) is what
+keeps the sharded stack's accounting equal to the unsharded stack's --
+so it gets pinned here in isolation, with hand-computed expectations.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.lockmgr.blocks import LockBlockChain
+from repro.service.ledger import AggregateLockChain, ShardMemoryLedger
+from repro.units import LOCKS_PER_BLOCK, PAGES_PER_BLOCK
+
+
+def make_shards(*initial_blocks):
+    """Fake shards exposing just the ``chain`` surface the ledger reads."""
+    return [
+        SimpleNamespace(chain=LockBlockChain(initial_blocks=blocks))
+        for blocks in initial_blocks
+    ]
+
+
+def occupy(chain: LockBlockChain, slots: int):
+    return [chain.allocate_slot() for _ in range(slots)]
+
+
+class TestGrantSplit:
+    def test_idle_shards_split_evenly_with_low_index_ties(self):
+        shards = make_shards(1, 1, 1)
+        ledger = ShardMemoryLedger(shards)
+        # weights [1, 1, 1]; 4 blocks -> floors [1, 1, 1], remainder 1
+        # goes to the lowest index
+        assert ledger.grant_split(4) == [2, 1, 1]
+        assert ledger.grant_split(0) == [0, 0, 0]
+        assert ledger.grant_split(3) == [1, 1, 1]
+
+    def test_split_follows_demand(self):
+        shards = make_shards(1, 1, 1)
+        occupy(shards[0].chain, 30)
+        occupy(shards[1].chain, 10)
+        ledger = ShardMemoryLedger(shards)
+        assert ledger.demand_weights() == [31, 11, 1]
+        # shares of 10 blocks: [7.209, 2.558, 0.232] -> floors [7, 2, 0],
+        # remainder 1 to the largest fraction (shard 1)
+        assert ledger.grant_split(10) == [7, 3, 0]
+
+    def test_split_always_sums_to_the_grant(self):
+        shards = make_shards(1, 1, 1, 1, 1)
+        occupy(shards[1].chain, 17)
+        occupy(shards[3].chain, 1200)
+        ledger = ShardMemoryLedger(shards)
+        for blocks in range(0, 40):
+            split = ledger.grant_split(blocks)
+            assert sum(split) == blocks
+            assert all(share >= 0 for share in split)
+
+    def test_negative_grant_rejected(self):
+        ledger = ShardMemoryLedger(make_shards(1))
+        with pytest.raises(ValueError):
+            ledger.grant_split(-1)
+
+
+class TestBorrowAccounting:
+    def test_borrows_accumulate_per_shard(self):
+        ledger = ShardMemoryLedger(make_shards(1, 1))
+        ledger.record_sync_borrow(0, 2)
+        ledger.record_sync_borrow(0, 1)
+        ledger.record_sync_borrow(1, 4)
+        assert ledger.borrowed_blocks(0) == 3
+        assert ledger.borrowed_blocks(1) == 4
+        assert ledger.total_borrowed_blocks() == 7
+
+    def test_negative_borrow_rejected(self):
+        ledger = ShardMemoryLedger(make_shards(1))
+        with pytest.raises(ValueError):
+            ledger.record_sync_borrow(0, -1)
+
+    def test_occupancy_mirrors_the_chains(self):
+        shards = make_shards(2, 1)
+        occupy(shards[0].chain, 5)
+        ledger = ShardMemoryLedger(shards)
+        ledger.record_sync_borrow(1, 2)
+        occ = ledger.occupancy()
+        assert [o.shard for o in occ] == [0, 1]
+        assert occ[0].used_slots == 5
+        assert occ[0].capacity_slots == 2 * LOCKS_PER_BLOCK
+        assert occ[0].entirely_free_blocks == 1
+        assert occ[1].used_slots == 0
+        assert occ[1].borrowed_blocks == 2
+
+
+class TestAggregateChain:
+    def test_reads_are_sums(self):
+        shards = make_shards(2, 3)
+        occupy(shards[0].chain, 10)
+        occupy(shards[1].chain, 20)
+        chain = AggregateLockChain(
+            [s.chain for s in shards], ShardMemoryLedger(shards)
+        )
+        assert chain.block_count == 5
+        assert chain.capacity_slots == 5 * LOCKS_PER_BLOCK
+        assert chain.used_slots == 30
+        assert chain.free_slots == 5 * LOCKS_PER_BLOCK - 30
+        assert chain.allocated_pages == 5 * PAGES_PER_BLOCK
+        assert chain.entirely_free_blocks() == 3
+        assert 0.0 < chain.free_fraction() < 1.0
+
+    def test_add_blocks_lands_where_demand_is(self):
+        shards = make_shards(1, 1)
+        occupy(shards[0].chain, 100)
+        chain = AggregateLockChain(
+            [s.chain for s in shards], ShardMemoryLedger(shards)
+        )
+        # weights [101, 1]: all 3 blocks go to shard 0
+        assert chain.add_blocks(3) == 3
+        assert shards[0].chain.block_count == 4
+        assert shards[1].chain.block_count == 1
+
+    def test_release_prefers_most_free_then_highest_index(self):
+        shards = make_shards(3, 4, 4)
+        occupy(shards[0].chain, 2 * LOCKS_PER_BLOCK)  # 1 free block
+        occupy(shards[1].chain, LOCKS_PER_BLOCK)      # 3 free blocks
+        occupy(shards[2].chain, LOCKS_PER_BLOCK)      # 3 free blocks
+        chain = AggregateLockChain(
+            [s.chain for s in shards], ShardMemoryLedger(shards)
+        )
+        # shard 1 and 2 tie at 3 free; the highest index drains first
+        assert chain.release_blocks(3) == 3
+        assert shards[2].chain.block_count == 1
+        assert shards[1].chain.block_count == 4
+        assert shards[0].chain.block_count == 3
+        # next release spills from shard 1 into shard 0's single free block
+        assert chain.release_blocks(4) == 4
+        assert shards[1].chain.block_count == 1
+        assert shards[0].chain.block_count == 2
+
+    def test_release_is_all_or_nothing_without_partial(self):
+        shards = make_shards(2, 2)
+        occupy(shards[0].chain, LOCKS_PER_BLOCK + 1)  # pins 2 blocks
+        occupy(shards[1].chain, 1)                    # pins 1 block
+        chain = AggregateLockChain(
+            [s.chain for s in shards], ShardMemoryLedger(shards)
+        )
+        assert chain.entirely_free_blocks() == 1
+        # asking for 2 when only 1 is jointly free: nothing moves
+        assert chain.release_blocks(2) == 0
+        assert chain.block_count == 4
+        # partial takes what exists
+        assert chain.release_blocks(2, partial=True) == 1
+        assert chain.block_count == 3
+
+    def test_constructor_rejects_mismatched_ledger(self):
+        shards = make_shards(1, 1)
+        ledger = ShardMemoryLedger(shards)
+        with pytest.raises(ServiceError, match="ledger tracks"):
+            AggregateLockChain([shards[0].chain], ledger)
+        with pytest.raises(ServiceError):
+            AggregateLockChain([], ledger)
+        with pytest.raises(ServiceError):
+            ShardMemoryLedger([])

@@ -5,6 +5,8 @@ import time
 
 import pytest
 
+from tests.service.sched import wait_until
+
 from repro.errors import (
     DeadlockError,
     RequestCancelledError,
@@ -83,8 +85,11 @@ class TestBlockingAndHandoff:
                 order.append("granted")
 
         thread = spawn(contender)
-        time.sleep(0.05)
-        assert order == []  # really blocked
+        wait_until(
+            lambda: len(service.waiting_sessions()) == 1,
+            what="contender parked in the wait queue",
+        )
+        assert order == []  # observably enqueued, not granted
         order.append("releasing")
         service.close_session(holder)
         thread.join(5.0)
@@ -117,10 +122,10 @@ class TestBlockingAndHandoff:
             app = service.open_session()
             threads.append(spawn(contender, app))
             # stagger arrivals so the wait queue order is deterministic
-            for _ in range(100):
-                if app in service.waiting_sessions():
-                    break
-                time.sleep(0.005)
+            wait_until(
+                lambda: app in service.waiting_sessions(),
+                what=f"app {app} parked in the wait queue",
+            )
         service.close_session(holder)
         for thread in threads:
             thread.join(10.0)
@@ -211,10 +216,10 @@ class TestDeadlinesAndCancellation:
                 result["outcome"] = "cancelled"
 
         thread = spawn(waiter)
-        for _ in range(200):
-            if app in service.waiting_sessions():
-                break
-            time.sleep(0.005)
+        wait_until(
+            lambda: app in service.waiting_sessions(),
+            what="waiter parked before cancel",
+        )
         assert service.cancel(app, "client disconnected")
         thread.join(5.0)
         assert not thread.is_alive()
@@ -270,10 +275,10 @@ class TestLifecycleAndDegradation:
                 result["outcome"] = "closed"
 
         thread = spawn(waiter)
-        for _ in range(200):
-            if app in service.waiting_sessions():
-                break
-            time.sleep(0.005)
+        wait_until(
+            lambda: app in service.waiting_sessions(),
+            what="waiter parked before close",
+        )
         service.close()
         thread.join(5.0)
         assert not thread.is_alive()

@@ -1,0 +1,142 @@
+"""Sharded service unit behaviour: routing, adoption, lifecycle.
+
+The concurrency-heavy paths live in the scripted-interleaving and
+property suites; this file pins the single-threaded contracts -- where
+a table routes, when a shard adopts a session, and how the lifecycle
+errors read.
+"""
+
+import pytest
+
+from repro.errors import ServiceClosedError, ServiceError
+from repro.lockmgr.modes import LockMode
+from repro.service.sharded import (
+    ShardedServiceConfig,
+    ShardedServiceStack,
+    shard_of,
+)
+from repro.units import PAGES_PER_BLOCK
+
+
+def make_stack(shards: int = 2, **kwargs) -> ShardedServiceStack:
+    kwargs.setdefault("tuner_interval_s", None)
+    return ShardedServiceStack(ShardedServiceConfig(shards=shards, **kwargs))
+
+
+class TestRouting:
+    def test_shard_of_is_table_modulo(self):
+        assert shard_of(0, 4) == 0
+        assert shard_of(5, 4) == 1
+        assert shard_of(7, 1) == 0
+
+    def test_locks_land_in_the_owning_shard_only(self):
+        stack = make_stack(shards=3)
+        service = stack.service
+        with service.session() as app:
+            service.lock_row(app, 4, 0, LockMode.X)  # 4 % 3 -> shard 1
+            assert service.shards[1].manager.app_slots(app) == 2
+            assert service.shards[0].manager.app_slots(app) == 0
+            assert service.shards[2].manager.app_slots(app) == 0
+            service.rollback(app)
+        stack.stop()
+
+    def test_adoption_is_lazy_and_sticky(self):
+        stack = make_stack(shards=2)
+        service = stack.service
+        app = service.open_session()
+        # no shard knows the session until it locks something there
+        assert all(app not in s._sessions for s in service.shards)
+        service.lock_table(app, 1, LockMode.S)  # adopts shard 1 only
+        assert app in service.shards[1]._sessions
+        assert app not in service.shards[0]._sessions
+        # rollback keeps the adoption; a later lock reuses it
+        service.rollback(app)
+        service.lock_table(app, 1, LockMode.S)
+        service.rollback(app)
+        service.close_session(app)
+        assert app not in service.shards[1]._sessions
+        stack.stop()
+
+    def test_release_read_lock_on_unadopted_shard_is_a_noop(self):
+        stack = make_stack(shards=2)
+        service = stack.service
+        with service.session() as app:
+            assert service.release_read_lock(app, 0, 0) is False
+            service.lock_row(app, 0, 0, LockMode.S)
+            assert service.release_read_lock(app, 0, 0) is True
+            service.rollback(app)
+        stack.stop()
+
+
+class TestLifecycleErrors:
+    def test_unknown_session_everywhere(self):
+        stack = make_stack()
+        service = stack.service
+        with pytest.raises(ServiceError, match="not open"):
+            service.lock_row(99, 0, 0, LockMode.S)
+        with pytest.raises(ServiceError, match="not open"):
+            service.rollback(99)
+        with pytest.raises(ServiceError, match="not open"):
+            service.close_session(99)
+        assert service.cancel(99) is False
+        stack.stop()
+
+    def test_closed_service_refuses_sessions_and_requests(self):
+        stack = make_stack()
+        service = stack.service
+        app = service.open_session()
+        stack.stop()
+        assert service.closed
+        with pytest.raises(ServiceClosedError):
+            service.open_session()
+        with pytest.raises(ServiceClosedError):
+            service.lock_row(app, 0, 0, LockMode.S)
+
+    def test_session_counters_live_on_the_facade(self):
+        stack = make_stack(shards=2)
+        service = stack.service
+        a = service.open_session()
+        b = service.open_session()
+        service.lock_row(a, 0, 0, LockMode.S)  # adopt shard 0
+        stats = service.aggregate_stats()
+        assert stats.sessions_opened == 2
+        assert stats.peak_sessions == 2
+        # adoption must NOT double-count sessions in shard stats
+        for shard in service.shards:
+            assert shard.stats.sessions_opened == 0
+        service.rollback(a)
+        service.close_session(a)
+        service.close_session(b)
+        assert service.aggregate_stats().sessions_closed == 2
+        stack.stop()
+
+
+class TestConfig:
+    def test_needs_a_block_per_shard(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="shards"):
+            ShardedServiceConfig(
+                shards=4, initial_locklist_pages=2 * PAGES_PER_BLOCK
+            )
+
+    def test_rejects_degenerate_values(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ShardedServiceConfig(shards=0)
+        with pytest.raises(ConfigurationError):
+            ShardedServiceConfig(deadlock_interval_s=0)
+
+
+class TestSnapshotReport:
+    def test_report_covers_every_shard(self):
+        stack = make_stack(shards=3)
+        service = stack.service
+        with service.session() as app:
+            service.lock_row(app, 0, 0, LockMode.S)
+            report = service.snapshot_report()
+            for idx in range(3):
+                assert f"shard {idx}" in report
+            service.rollback(app)
+        stack.stop()

@@ -19,6 +19,7 @@ from repro.core.params import TuningParameters
 from repro.engine.transactions import TransactionMix
 from repro.service.driver import LoadDriver
 from repro.service.stack import ServiceConfig, ServiceStack
+from tests.service.sched import wait_until
 
 THREADS = 8
 REQUESTS_PER_THREAD = 5_000
@@ -97,7 +98,8 @@ class TestServiceStress:
             LoadDriver(
                 stack, threads=4, requests_per_thread=200, seed=7
             ).run()
-        deadline = time.monotonic() + 10.0
-        while threading.active_count() > before and time.monotonic() < deadline:
-            time.sleep(0.01)
+        wait_until(
+            lambda: threading.active_count() <= before,
+            what="stack threads exiting after stop",
+        )
         assert threading.active_count() <= before

@@ -6,6 +6,7 @@ import pytest
 
 from repro.lockmgr.modes import LockMode
 from repro.service.stack import ServiceConfig, ServiceStack
+from tests.service.sched import wait_until
 
 
 def make_stack(**overrides) -> ServiceStack:
@@ -23,9 +24,10 @@ class TestLiveTuning:
     def test_daemon_runs_intervals_on_wall_clock(self):
         stack = make_stack()
         with stack:
-            deadline = time.monotonic() + 10.0
-            while stack.tuner.intervals_run < 3 and time.monotonic() < deadline:
-                time.sleep(0.01)
+            wait_until(
+                lambda: stack.tuner.intervals_run >= 3,
+                what="three tuner intervals",
+            )
         assert stack.tuner.intervals_run >= 3
         assert stack.tuner.crash is None
         assert len(stack.tuner.reports) == stack.tuner.intervals_run
@@ -86,9 +88,10 @@ class TestCrashDegradation:
         stack = make_stack(tuner_interval_s=0.02)
         self._crash_tuner(stack)
         with stack:
-            deadline = time.monotonic() + 10.0
-            while stack.tuner.alive and time.monotonic() < deadline:
-                time.sleep(0.01)
+            wait_until(
+                lambda: not stack.tuner.alive,
+                what="tuner thread death after injected crash",
+            )
             assert not stack.tuner.alive
             assert isinstance(stack.tuner.crash, RuntimeError)
             assert stack.tuner.frozen
