@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded clean
+.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -52,6 +52,12 @@ service-smoke:
 service-smoke-sharded:
 	$(PYTHONPATH_SRC) python -m repro.service.cli stress --threads 8 --requests 2000 --shards 4
 
+# Live ops plane scraped from outside the process (the CI ops-smoke
+# job): sharded stress with --ops-port, /metrics + /healthz + /stmm
+# asserted over HTTP, then clean shutdown.
+ops-smoke:
+	$(PYTHONPATH_SRC) python scripts/ops_smoke.py
+
 # Service throughput-vs-threads curves, unsharded and sharded; writes
 # BENCH_SERVICE.json at the repo root (tracked alongside BENCH_CORE.json).
 # Both families are measured in one run so the sharded-vs-unsharded
@@ -60,6 +66,7 @@ bench-service:
 	$(PYTHONPATH_SRC) python -m benchmarks.perf.run \
 		--bench service_churn_t1 --bench service_churn_t2 \
 		--bench service_churn_t4 --bench service_churn_t8 \
+		--bench service_churn_t8_ops \
 		--bench service_churn_sharded_t1 --bench service_churn_sharded_t2 \
 		--bench service_churn_sharded_t4 --bench service_churn_sharded_t8 \
 		--out BENCH_SERVICE.json

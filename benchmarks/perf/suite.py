@@ -29,6 +29,11 @@ The benches and the hot paths they stress:
     (mutex hand-off, condition-variable wakeups, live tuner daemon) at
     1/2/4/8 worker threads -- the req/s-vs-thread-count degradation
     curve.
+``service_churn_t8_ops``
+    ``service_churn_t8`` with the full ops plane enabled (metric
+    registry, live /metrics endpoint, 1-in-64 request spans); the
+    paired delta against the ops-off run is the observability
+    overhead, contractually <= 5 % of median throughput.
 ``service_churn_sharded_t{1,2,4,8}``
     The same closed loop through the sharded stack (per-shard lock
     tables, global STMM arbitration, cross-shard deadlock sweep): the
@@ -253,6 +258,8 @@ def run_service_churn(
     total_memory_pages: int = 16_384,
     initial_locklist_pages: int = 128,
     tuner_interval_s: float = 0.05,
+    ops: bool = False,
+    span_sample_every: int = 64,
 ) -> int:
     """Closed-loop threaded load through the live LockService.
 
@@ -262,7 +269,11 @@ def run_service_churn(
     counts it answers "how does service throughput degrade as real
     concurrency rises" (under the GIL the coarse-mutex service cannot
     scale linearly; the interesting result is how gracefully req/s
-    holds).  Returns lock requests completed.
+    holds).  With ``ops=True`` the full observability plane rides along
+    (metric registry, live /metrics HTTP endpoint on an ephemeral port,
+    1-in-``span_sample_every`` request spans); paired against the
+    ops-off run it measures the plane's overhead, which the contract
+    caps at 5 % of median throughput.  Returns lock requests completed.
     """
     from repro.service.driver import LoadDriver
     from repro.service.stack import ServiceConfig, ServiceStack
@@ -274,6 +285,8 @@ def run_service_churn(
             tuner_interval_s=tuner_interval_s,
             max_in_flight=max(4, threads),
             admission_queue_depth=4 * max(4, threads),
+            ops_port=0 if ops else None,
+            span_sample_every=span_sample_every if ops else 0,
         )
     )
     with stack:
@@ -385,6 +398,10 @@ BENCHES: Dict[str, tuple] = {
         lambda **kw: run_service_churn(threads=8, **kw),
         "lock_requests",
     ),
+    "service_churn_t8_ops": (
+        lambda **kw: run_service_churn(threads=8, ops=True, **kw),
+        "lock_requests",
+    ),
     "service_churn_sharded_t1": (
         lambda **kw: run_service_churn_sharded(threads=1, **kw),
         "lock_requests",
@@ -415,6 +432,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_t2": {},
         "service_churn_t4": {},
         "service_churn_t8": {},
+        "service_churn_t8_ops": {},
         "service_churn_sharded_t1": {},
         "service_churn_sharded_t2": {},
         "service_churn_sharded_t4": {},
@@ -439,6 +457,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_t2": {"requests_per_thread": 200},
         "service_churn_t4": {"requests_per_thread": 100},
         "service_churn_t8": {"requests_per_thread": 50},
+        "service_churn_t8_ops": {"requests_per_thread": 50},
         "service_churn_sharded_t1": {"requests_per_thread": 200, "shards": 2},
         "service_churn_sharded_t2": {"requests_per_thread": 200, "shards": 2},
         "service_churn_sharded_t4": {"requests_per_thread": 100, "shards": 4},

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""CI smoke for the live ops plane.
+
+Launches the sharded service under sustained load with ``--ops-port``,
+scrapes the running process's ``/metrics``, ``/healthz`` and ``/stmm``
+over real HTTP, asserts the per-shard labeled series and tuner liveness
+are visible from outside, then waits for the clean shutdown (the stress
+CLI exits non-zero on any accounting violation).
+
+Deliberately no timing gates: the scrape retries until the load has
+touched every shard, and the only assertions are on *state* -- series
+present, tuner alive, audit non-empty, exit code zero.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/ops_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+SHARDS = 4
+LOAD_SECONDS = 15.0
+SCRAPE_DEADLINE_S = 60.0
+
+_URL_RE = re.compile(r"ops plane: (http://[\d.]+:\d+)")
+
+
+def _get(url: str) -> tuple:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode()
+
+
+def _scrape_until_ready(base: str) -> tuple:
+    """Retry /metrics until every shard's request series has appeared."""
+    want = {f'service_requests_total{{shard="{s}"}}' for s in range(SHARDS)}
+    deadline = time.monotonic() + SCRAPE_DEADLINE_S
+    text = ""
+    while time.monotonic() < deadline:
+        try:
+            _, text = _get(base + "/metrics")
+        except (urllib.error.URLError, OSError):
+            time.sleep(0.2)
+            continue
+        if all(series in text for series in want):
+            return text, want
+        time.sleep(0.2)
+    missing = sorted(s for s in want if s not in text)
+    raise AssertionError(f"per-shard series never appeared: {missing}")
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.cli", "stress",
+            "--threads", "4", "--requests", "1000000",
+            "--duration", str(LOAD_SECONDS),
+            "--shards", str(SHARDS),
+            "--ops-port", "0", "--span-sample", "16",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        base = None
+        for line in proc.stdout:
+            print(line, end="", flush=True)
+            match = _URL_RE.search(line)
+            if match:
+                base = match.group(1)
+                break
+        assert base, "stress never announced its ops plane URL"
+
+        metrics, want = _scrape_until_ready(base)
+        print(f"[ops-smoke] all {SHARDS} shard series visible at {base}")
+        assert "shard_used_slots{" in metrics, "per-shard occupancy missing"
+        assert "service_locklist_pages" in metrics, "posture gauge missing"
+
+        status, body = _get(base + "/healthz")
+        health = json.loads(body)
+        assert status == 200 and health["ok"], f"unhealthy: {health}"
+        assert health["tuner"]["alive"], f"tuner not alive: {health}"
+        assert not health["tuner"]["frozen"], f"tuner frozen: {health}"
+        assert health["shards"] == SHARDS, f"shard count: {health}"
+        print("[ops-smoke] /healthz ok, tuner alive")
+
+        deadline = time.monotonic() + SCRAPE_DEADLINE_S
+        while True:
+            _, body = _get(base + "/stmm")
+            stmm = json.loads(body)
+            if stmm["intervals"] > 0 and stmm["audit"]:
+                break
+            assert time.monotonic() < deadline, f"tuner never ran: {stmm}"
+            time.sleep(0.2)
+        reasons = {entry["reason"] for entry in stmm["audit"]}
+        print(f"[ops-smoke] /stmm: {stmm['intervals']} intervals, "
+              f"reasons seen: {sorted(reasons)}")
+    finally:
+        # Drain the remaining output so the stress process can finish
+        # its report and shut down cleanly.
+        out, _ = proc.communicate(timeout=300)
+        print(out, end="", flush=True)
+    assert proc.returncode == 0, f"stress exited {proc.returncode}"
+    print("[ops-smoke] clean shutdown, exact accounting verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

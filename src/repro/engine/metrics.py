@@ -108,7 +108,12 @@ class TimeSeries:
             return self.mean()
         for i in range(len(self.values) - 1):
             weighted += self.values[i] * (self.times[i + 1] - self.times[i])
-        return weighted / span
+        mean = weighted / span
+        # The true weighted mean always lies inside the value range, but
+        # subnormal spans can underflow the products enough to land the
+        # quotient outside it; clamp to restore the invariant.
+        low, high = min(self.values), max(self.values)
+        return min(max(mean, low), high)
 
     def delta(self) -> "TimeSeries":
         """Per-sample differences: useful to turn counters into rates."""

@@ -10,8 +10,14 @@ meets:
   pre-resolved bundle the lock manager hot paths observe into,
 * :mod:`repro.obs.events` -- :class:`RunTelemetry`, the single
   time-ordered JSONL stream (trace events + controller decisions +
-  metric samples + registry snapshots) with a lossless
-  ``write_jsonl``/``from_jsonl`` round trip.
+  STMM audit entries + metric samples + registry snapshots) with a
+  lossless ``write_jsonl``/``from_jsonl`` round trip,
+* :mod:`repro.obs.prometheus` -- dependency-free text-format rendering
+  of a registry for the live service's ``/metrics`` endpoint,
+* :mod:`repro.obs.audit` -- the bounded STMM decision audit log
+  (:class:`TuningAuditLog`) with its closed reason vocabulary,
+* :mod:`repro.obs.spans` -- 1-in-N sampled per-request
+  admission->grant->release timelines (:class:`RequestSpanSampler`).
 
 Enable on a database with ``db.enable_telemetry()`` before the run,
 collect with ``db.telemetry()`` (or
@@ -24,13 +30,21 @@ See ``docs/OBSERVABILITY.md`` for the event schema, metric names and
 the overhead contract.
 """
 
+from repro.obs.audit import (
+    AUDIT_REASONS,
+    TuningAuditLog,
+    TuningAuditRecord,
+    audit_reason_for,
+)
 from repro.obs.events import (
     SCHEMA_VERSION,
+    SUPPORTED_SCHEMA_VERSIONS,
     WAIT_LATENCY_METRIC,
     RunTelemetry,
     load_runs,
 )
 from repro.obs.instruments import LockManagerInstruments
+from repro.obs.prometheus import render_prometheus, sanitize_metric_name
 from repro.obs.registry import (
     LATENCY_BUCKETS_S,
     SLOT_COUNT_BUCKETS,
@@ -40,7 +54,10 @@ from repro.obs.registry import (
     Histogram,
     MetricRegistry,
     exponential_bounds,
+    labeled_name,
+    parse_labeled_name,
 )
+from repro.obs.spans import RequestSpan, RequestSpanSampler
 
 __all__ = [
     "Counter",
@@ -51,9 +68,20 @@ __all__ = [
     "RunTelemetry",
     "load_runs",
     "exponential_bounds",
+    "labeled_name",
+    "parse_labeled_name",
+    "render_prometheus",
+    "sanitize_metric_name",
+    "AUDIT_REASONS",
+    "TuningAuditLog",
+    "TuningAuditRecord",
+    "audit_reason_for",
+    "RequestSpan",
+    "RequestSpanSampler",
     "LATENCY_BUCKETS_S",
     "WALL_CLOCK_BUCKETS_S",
     "SLOT_COUNT_BUCKETS",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "WAIT_LATENCY_METRIC",
 ]

@@ -1,0 +1,179 @@
+"""The STMM decision audit log: every tuning interval's "why", bounded.
+
+Baryshnikov et al.'s memory-broker work (PAPERS.md) argues that an
+adaptive memory manager is only operable if every decision leaves an
+auditable trail of *inputs* and a machine-readable *reason*.  The DES
+already keeps :class:`~repro.core.controller.ControllerDecision`
+records, but those grow without bound and speak the controller's
+internal vocabulary.  This module gives the live service a bounded ring
+buffer of :class:`TuningAuditRecord` entries in a small, stable reason
+enum that maps one-to-one onto the paper's section 3 tuning rules:
+
+==============================  ==============================================
+audit reason                    paper rule (controller reason)
+==============================  ==============================================
+``grow-async``                  3.3 grow so minFreeLockMemory is free
+                                (``grow-to-min-free``)
+``shrink-5pct``                 3.4 shrink by delta_reduce = 5 % per interval
+                                (``shrink-delta-reduce``)
+``double-escalation-recovery``  3.1 double while escalations continue
+                                (``escalation-doubling``)
+``noop``                        3.3 inside the [minFree, maxFree] spread
+                                (``hold``)
+``freeze``                      tuner crash -> static-LOCKLIST degraded mode
+                                (no controller analogue)
+==============================  ==============================================
+
+The tuner daemon records one entry per interval (and one terminal
+``freeze`` entry on a crash); the ops endpoint serves the ring over
+``/stmm``, and ``RunTelemetry`` carries the entries into the JSONL
+stream as ``audit`` records.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Any, Deque, Dict, List, Mapping
+
+#: The closed reason vocabulary, in paper-rule order.
+AUDIT_REASONS = (
+    "grow-async",
+    "shrink-5pct",
+    "double-escalation-recovery",
+    "noop",
+    "freeze",
+)
+
+#: ControllerDecision.reason -> audit reason.
+_CONTROLLER_REASON_MAP = {
+    "grow-to-min-free": "grow-async",
+    "shrink-delta-reduce": "shrink-5pct",
+    "escalation-doubling": "double-escalation-recovery",
+    "hold": "noop",
+}
+
+
+def audit_reason_for(controller_reason: str) -> str:
+    """Map a controller decision reason onto the audit enum.
+
+    Unknown controller vocabulary (a future branch) degrades to
+    ``noop`` rather than raising -- the audit log must never be able to
+    crash the tuning pass it is documenting.
+    """
+    return _CONTROLLER_REASON_MAP.get(controller_reason, "noop")
+
+
+@dataclass
+class TuningAuditRecord:
+    """One tuning interval: the inputs seen and the action chosen."""
+
+    #: 1-based tuning interval ordinal (0 for a terminal freeze entry).
+    interval: int
+    #: Clock time of the pass (wall seconds for the live service).
+    time: float
+    #: One of :data:`AUDIT_REASONS`.
+    reason: str
+    #: Signed pages the locklist actually changed by this interval.
+    delta_pages: int
+    # -- inputs the decision was computed from ------------------------------
+    current_pages: int
+    target_pages: int
+    used_pages: int
+    free_fraction: float
+    overflow_pages: int
+    escalations_in_interval: int
+    #: Synchronous-growth headroom left under LMOmax, in pages.
+    lmo_headroom_pages: int
+    #: Human-readable amplification (e.g. the crash message for freeze).
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "TuningAuditRecord":
+        return cls(
+            interval=int(record["interval"]),
+            time=float(record["time"]),
+            reason=str(record["reason"]),
+            delta_pages=int(record["delta_pages"]),
+            current_pages=int(record["current_pages"]),
+            target_pages=int(record["target_pages"]),
+            used_pages=int(record["used_pages"]),
+            free_fraction=float(record["free_fraction"]),
+            overflow_pages=int(record["overflow_pages"]),
+            escalations_in_interval=int(record["escalations_in_interval"]),
+            lmo_headroom_pages=int(record["lmo_headroom_pages"]),
+            detail=str(record.get("detail", "")),
+        )
+
+
+class TuningAuditLog:
+    """A bounded, thread-safe ring of :class:`TuningAuditRecord`.
+
+    Appends from the tuner thread and reads from HTTP handler threads
+    (the ``/stmm`` endpoint) interleave freely; readers always get a
+    point-in-time copy.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._records: Deque[TuningAuditRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: Total records ever appended (survives ring eviction).
+        self.total_recorded = 0
+
+    def append(self, record: TuningAuditRecord) -> None:
+        if record.reason not in AUDIT_REASONS:
+            raise ValueError(
+                f"unknown audit reason {record.reason!r}; "
+                f"expected one of {AUDIT_REASONS}"
+            )
+        with self._lock:
+            self._records.append(record)
+            self.total_recorded += 1
+
+    def records(self) -> List[TuningAuditRecord]:
+        """A snapshot copy of the ring, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def tail(self, n: int) -> List[TuningAuditRecord]:
+        """The most recent ``n`` records, oldest first."""
+        if n <= 0:
+            return []
+        with self._lock:
+            return list(self._records)[-n:]
+
+    def reasons(self) -> List[str]:
+        """The reason sequence currently in the ring, oldest first."""
+        return [record.reason for record in self.records()]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [record.to_dict() for record in self.records()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self):
+        return iter(self.records())
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"TuningAuditLog({len(self._records)}/{self.capacity} held, "
+                f"{self.total_recorded} total)"
+            )
+
+
+__all__ = [
+    "AUDIT_REASONS",
+    "TuningAuditLog",
+    "TuningAuditRecord",
+    "audit_reason_for",
+]

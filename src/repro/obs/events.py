@@ -11,21 +11,25 @@ serializes them as a single time-ordered JSONL stream that
 controller decisions and histogram percentiles all survive the round
 trip exactly, so a run can be audited entirely offline.
 
-Record kinds (schema version 1, one JSON object per line):
+Record kinds (schema version 2, one JSON object per line):
 
 =============  ==============================================================
 ``meta``       run header: ``label``, ``version`` (first line of every run)
 ``trace``      one lock manager event: ``t``, ``event``, ``app``,
                ``detail``, ``resource``, ``value``
 ``decision``   one controller tuning decision (all ControllerDecision fields)
+``audit``      one STMM tuning audit entry (all TuningAuditRecord fields;
+               added in schema version 2, emitted by the live service)
 ``sample``     one metric sample: ``t``, ``series``, ``value``
 ``counter``    final counter value: ``name``, ``value``
 ``gauge``      final gauge value: ``name``, ``value``
 ``histogram``  full histogram snapshot (bounds, bucket counts, sum, min/max)
 =============  ==============================================================
 
-``trace``/``decision``/``sample`` records are merged in ``t`` order;
-registry records follow at the end (they are end-of-run snapshots).
+``trace``/``decision``/``audit``/``sample`` records are merged in ``t``
+order; registry records follow at the end (they are end-of-run
+snapshots).  The reader accepts schema versions 1 and 2 (version 1
+streams simply contain no ``audit`` records).
 """
 
 from __future__ import annotations
@@ -39,13 +43,17 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 from repro.core.controller import ControllerDecision
 from repro.engine.metrics import MetricsRecorder
 from repro.lockmgr.tracing import TraceEvent
+from repro.obs.audit import TuningAuditRecord
 from repro.obs.registry import Histogram, MetricRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.database import Database
 
 #: Bumped when the JSONL record schema changes incompatibly.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`load_runs` understands (v1 lacks ``audit`` records).
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
 
 #: The histogram the lock manager observes wait durations into.
 WAIT_LATENCY_METRIC = "lock.wait.latency_s"
@@ -66,12 +74,14 @@ class RunTelemetry:
         decisions: Optional[List[ControllerDecision]] = None,
         metrics: Optional[MetricsRecorder] = None,
         registry: Optional[MetricRegistry] = None,
+        audit: Optional[List[TuningAuditRecord]] = None,
     ) -> None:
         self.label = label
         self.trace_events = trace_events or []
         self.decisions = decisions or []
         self.metrics = metrics or MetricsRecorder()
         self.registry = registry or MetricRegistry()
+        self.audit = audit or []
 
     # -- construction --------------------------------------------------------
 
@@ -147,6 +157,8 @@ class RunTelemetry:
             candidates.append(self.trace_events[-1].time)
         if self.decisions:
             candidates.append(self.decisions[-1].time)
+        if self.audit:
+            candidates.append(self.audit[-1].time)
         for name in self.metrics.names():
             series = self.metrics[name]
             if len(series):
@@ -175,6 +187,14 @@ class RunTelemetry:
                 )
                 yield record
 
+        def audit_records():
+            for a in self.audit:
+                record = {"kind": "audit", "t": a.time}
+                record.update(
+                    {k: v for k, v in a.to_dict().items() if k != "time"}
+                )
+                yield record
+
         def sample_records():
             for t, row in self.metrics.to_rows():
                 for series in sorted(row):
@@ -184,7 +204,8 @@ class RunTelemetry:
                     }
 
         yield from heapq.merge(
-            trace_records(), decision_records(), sample_records(),
+            trace_records(), decision_records(), audit_records(),
+            sample_records(),
             key=lambda record: record["t"],
         )
         snapshot = self.registry.snapshot()
@@ -223,6 +244,7 @@ class RunTelemetry:
         return (
             f"RunTelemetry({self.label!r}, {len(self.trace_events)} trace "
             f"events, {len(self.decisions)} decisions, "
+            f"{len(self.audit)} audit records, "
             f"{len(self.metrics.names())} series)"
         )
 
@@ -247,10 +269,11 @@ def load_runs(path: str) -> List[RunTelemetry]:
             kind = record.get("kind")
             if kind == "meta":
                 version = record.get("version")
-                if version != SCHEMA_VERSION:
+                if version not in SUPPORTED_SCHEMA_VERSIONS:
                     raise ValueError(
                         f"{path}:{line_number}: schema version {version}, "
-                        f"this reader handles {SCHEMA_VERSION}"
+                        f"this reader handles "
+                        f"{sorted(SUPPORTED_SCHEMA_VERSIONS)}"
                     )
                 current = RunTelemetry(label=record.get("label", "run"))
                 runs.append(current)
@@ -287,6 +310,11 @@ def _apply_record(
                 escalations_in_interval=record["escalations_in_interval"],
             )
         )
+    elif kind == "audit":
+        fields = dict(record)
+        fields["time"] = fields.pop("t")
+        fields.pop("kind")
+        telemetry.audit.append(TuningAuditRecord.from_dict(fields))
     elif kind == "sample":
         telemetry.metrics.record(record["series"], record["t"], record["value"])
     elif kind == "counter":
@@ -303,5 +331,6 @@ __all__ = [
     "RunTelemetry",
     "load_runs",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMA_VERSIONS",
     "WAIT_LATENCY_METRIC",
 ]

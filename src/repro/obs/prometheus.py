@@ -1,0 +1,135 @@
+"""Prometheus text-format rendering of a :class:`MetricRegistry`.
+
+The live service's ops endpoint (``repro.service.ops``) serves the
+output of :func:`render_prometheus` at ``/metrics``.  The renderer is
+deliberately dependency-free and follows the text exposition format
+version 0.0.4:
+
+* metric names are the registry's dotted names with every character
+  outside ``[a-zA-Z0-9_:]`` mapped to ``_`` (``lock.wait.latency_s``
+  becomes ``lock_wait_latency_s``);
+* counters are exported with the conventional ``_total`` suffix;
+* histograms become the standard triplet: cumulative ``_bucket`` series
+  with ``le`` labels (including ``le="+Inf"``), ``_sum`` and ``_count``;
+* instrument labels (:attr:`Instrument.labels`, e.g. ``shard="3"``)
+  are rendered on every sample, with label values escaped per the spec
+  (backslash, double quote, newline).
+
+Instruments sharing a base name (one per label set) are grouped under a
+single ``# TYPE`` header, as the format requires.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    LabelPairs,
+    MetricRegistry,
+)
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus name charset."""
+    sanitized = _INVALID_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(pairs: LabelPairs, extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    items = list(pairs) + list(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{escape_label_value(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):  # pragma: no cover - registry never produces NaN
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """The registry's current state in Prometheus text format 0.0.4."""
+    families: Dict[str, Tuple[str, List[str]]] = {}
+
+    def family(base: str, kind: str) -> List[str]:
+        entry = families.get(base)
+        if entry is None:
+            entry = (kind, [])
+            families[base] = entry
+        return entry[1]
+
+    for counter in registry.counters():
+        assert isinstance(counter, Counter)
+        base = sanitize_metric_name(counter.base_name) + "_total"
+        family(base, "counter").append(
+            f"{base}{_render_labels(counter.labels)} "
+            f"{_format_value(counter.value)}"
+        )
+    for gauge in registry.gauges():
+        assert isinstance(gauge, Gauge)
+        base = sanitize_metric_name(gauge.base_name)
+        family(base, "gauge").append(
+            f"{base}{_render_labels(gauge.labels)} {_format_value(gauge.value)}"
+        )
+    for histogram in registry.histograms():
+        assert isinstance(histogram, Histogram)
+        base = sanitize_metric_name(histogram.base_name)
+        lines = family(base, "histogram")
+        snapshot = histogram.snapshot()
+        counts = snapshot["counts"]
+        bounds = snapshot["bounds"]
+        cumulative = 0
+        for bound, bucket_count in zip(bounds, counts):
+            cumulative += bucket_count
+            lines.append(
+                f"{base}_bucket"
+                f"{_render_labels(histogram.labels, (('le', _format_value(bound)),))}"
+                f" {cumulative}"
+            )
+        cumulative += counts[-1]  # overflow bucket
+        lines.append(
+            f"{base}_bucket"
+            f"{_render_labels(histogram.labels, (('le', '+Inf'),))}"
+            f" {cumulative}"
+        )
+        lines.append(
+            f"{base}_sum{_render_labels(histogram.labels)} "
+            f"{_format_value(snapshot['sum'])}"
+        )
+        lines.append(
+            f"{base}_count{_render_labels(histogram.labels)} {snapshot['count']}"
+        )
+
+    out: List[str] = []
+    for base in sorted(families):
+        kind, lines = families[base]
+        out.append(f"# TYPE {base} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+__all__ = [
+    "render_prometheus",
+    "sanitize_metric_name",
+    "escape_label_value",
+]

@@ -20,28 +20,105 @@ Instruments are deliberately minimal:
 The overhead contract of the wider system (one ``is None`` check per
 probe site when telemetry is disabled) is enforced by the callers; see
 ``docs/OBSERVABILITY.md``.
+
+Labels
+------
+
+Instruments may carry a small fixed label set (e.g. ``shard="3"``);
+the live sharded service uses this for per-shard series.  A labeled
+instrument's :attr:`name` is the fully rendered key
+``base{key="value",...}`` (keys sorted), so the JSONL snapshot/restore
+machinery and the registry's one-namespace rule work unchanged; the
+structured parts stay available as :attr:`base_name` and
+:attr:`labels` for exporters (``repro.obs.prometheus``).
+
+Thread safety
+-------------
+
+The live service mutates instruments from many worker threads plus the
+tuner daemon, and the ops endpoint snapshots them from HTTP handler
+threads.  Every instrument therefore guards its mutators and snapshots
+with its own lock (``+=`` on an attribute is not atomic in CPython),
+and the registry guards get-or-create, so concurrent writers lose no
+updates and a concurrent snapshot never sees a torn histogram.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+#: A rendered label set: ((key, value), ...) sorted by key.
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _normalize_labels(labels: Optional[Mapping[str, str]]) -> LabelPairs:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def labeled_name(name: str, labels: Optional[Mapping[str, str]] = None) -> str:
+    """The fully rendered instrument key, e.g. ``a.b{shard="3"}``."""
+    pairs = _normalize_labels(labels)
+    if not pairs:
+        return name
+    rendered = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return f"{name}{{{rendered}}}"
+
+
+def parse_labeled_name(full: str) -> Tuple[str, LabelPairs]:
+    """Split a rendered key back into ``(base_name, label_pairs)``.
+
+    Inverse of :func:`labeled_name` for the label values this library
+    produces (no embedded quotes); unlabeled names pass through.
+    """
+    if not full.endswith("}") or "{" not in full:
+        return full, ()
+    base, _, body = full.partition("{")
+    pairs = []
+    for item in body[:-1].split(","):
+        if not item:
+            continue
+        key, _, value = item.partition("=")
+        pairs.append((key, value.strip('"')))
+    return base, tuple(sorted(pairs))
 
 
 class Counter:
     """A named monotonically increasing total."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "base_name", "labels", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
-        self.name = name
+    def __init__(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
+        if labels:
+            self.name = labeled_name(name, labels)
+            self.base_name = name
+            self.labels = _normalize_labels(labels)
+        else:
+            self.name = name
+            self.base_name, self.labels = parse_labeled_name(name)
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, {self.value})"
@@ -50,14 +127,24 @@ class Counter:
 class Gauge:
     """A named last-value-wins scalar."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "base_name", "labels", "value", "_lock")
 
-    def __init__(self, name: str) -> None:
-        self.name = name
+    def __init__(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
+        if labels:
+            self.name = labeled_name(name, labels)
+            self.base_name = name
+            self.labels = _normalize_labels(labels)
+        else:
+            self.name = name
+            self.base_name, self.labels = parse_labeled_name(name)
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, {self.value})"
@@ -104,10 +191,33 @@ class Histogram:
     :meth:`from_snapshot` reproduces every percentile bit-for-bit.
     """
 
-    __slots__ = ("name", "bounds", "counts", "count", "sum", "_min", "_max")
+    __slots__ = (
+        "name",
+        "base_name",
+        "labels",
+        "bounds",
+        "counts",
+        "count",
+        "sum",
+        "_min",
+        "_max",
+        "_lock",
+    )
 
-    def __init__(self, name: str, bounds: Optional[Sequence[float]] = None) -> None:
-        self.name = name
+    def __init__(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> None:
+        if labels:
+            self.name = labeled_name(name, labels)
+            self.base_name = name
+            self.labels = _normalize_labels(labels)
+        else:
+            self.name = name
+            self.base_name, self.labels = parse_labeled_name(name)
+        self._lock = threading.Lock()
         chosen = tuple(
             float(b) for b in (LATENCY_BUCKETS_S if bounds is None else bounds)
         )
@@ -127,13 +237,14 @@ class Histogram:
     def observe(self, value: float) -> None:
         """Record one observation (the hot-path entry point)."""
         value = float(value)
-        self.counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
 
     # -- aggregates ---------------------------------------------------------
 
@@ -188,16 +299,22 @@ class Histogram:
     # -- snapshot / restore -------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-serializable full state (exact, including min/max)."""
-        return {
-            "name": self.name,
-            "bounds": list(self.bounds),
-            "counts": list(self.counts),
-            "count": self.count,
-            "sum": self.sum,
-            "min": self._min if self.count else None,
-            "max": self._max if self.count else None,
-        }
+        """JSON-serializable full state (exact, including min/max).
+
+        Taken under the instrument lock, so a snapshot racing concurrent
+        ``observe`` calls is internally consistent (``count`` always
+        equals the sum of the bucket counts).
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "bounds": list(self.bounds),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum": self.sum,
+                "min": self._min if self.count else None,
+                "max": self._max if self.count else None,
+            }
 
     @classmethod
     def from_snapshot(cls, snapshot: Dict[str, object]) -> "Histogram":
@@ -243,39 +360,56 @@ class MetricRegistry:
 
     Requesting an existing name returns the existing instrument;
     requesting it as a different type raises, so two subsystems cannot
-    silently fight over a name.
+    silently fight over a name.  A label set is part of the identity:
+    ``counter("x", labels={"shard": "0"})`` and ``counter("x")`` are two
+    distinct instruments.
     """
 
     def __init__(self) -> None:
         self._instruments: Dict[str, Instrument] = {}
+        self._lock = threading.Lock()
 
     def _get_or_create(self, name: str, kind: type, factory) -> Instrument:
-        existing = self._instruments.get(name)
-        if existing is not None:
-            if not isinstance(existing, kind):
-                raise TypeError(
-                    f"metric {name!r} is a {type(existing).__name__}, "
-                    f"not a {kind.__name__}"
-                )
-            return existing
-        instrument = factory()
-        self._instruments[name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise TypeError(
+                        f"metric {name!r} is a {type(existing).__name__}, "
+                        f"not a {kind.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter, lambda: Counter(name))
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = labeled_name(name, labels)
+        return self._get_or_create(key, Counter, lambda: Counter(name, labels))
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        key = labeled_name(name, labels)
+        return self._get_or_create(key, Gauge, lambda: Gauge(name, labels))
 
     def histogram(
-        self, name: str, bounds: Optional[Sequence[float]] = None
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Histogram:
-        return self._get_or_create(name, Histogram, lambda: Histogram(name, bounds))
+        key = labeled_name(name, labels)
+        return self._get_or_create(
+            key, Histogram, lambda: Histogram(name, bounds, labels)
+        )
 
     def get(self, name: str) -> Optional[Instrument]:
         """The instrument called ``name``, or None."""
-        return self._instruments.get(name)
+        with self._lock:
+            return self._instruments.get(name)
 
     def install(self, instrument: Instrument) -> Instrument:
         """Adopt a ready-made instrument (e.g. a restored histogram).
@@ -283,23 +417,27 @@ class MetricRegistry:
         Replacing an existing instrument of a different type raises,
         matching the get-or-create rules.
         """
-        existing = self._instruments.get(instrument.name)
-        if existing is not None and type(existing) is not type(instrument):
-            raise TypeError(
-                f"metric {instrument.name!r} is a {type(existing).__name__}, "
-                f"cannot install a {type(instrument).__name__}"
-            )
-        self._instruments[instrument.name] = instrument
-        return instrument
+        with self._lock:
+            existing = self._instruments.get(instrument.name)
+            if existing is not None and type(existing) is not type(instrument):
+                raise TypeError(
+                    f"metric {instrument.name!r} is a {type(existing).__name__}, "
+                    f"cannot install a {type(instrument).__name__}"
+                )
+            self._instruments[instrument.name] = instrument
+            return instrument
 
     def names(self) -> List[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._instruments
+        with self._lock:
+            return name in self._instruments
 
     def __len__(self) -> int:
-        return len(self._instruments)
+        with self._lock:
+            return len(self._instruments)
 
     def counters(self) -> Iterable[Counter]:
         return [i for i in self._ordered() if isinstance(i, Counter)]
@@ -311,7 +449,8 @@ class MetricRegistry:
         return [i for i in self._ordered() if isinstance(i, Histogram)]
 
     def _ordered(self) -> List[Instrument]:
-        return [self._instruments[name] for name in self.names()]
+        with self._lock:
+            return [self._instruments[name] for name in sorted(self._instruments)]
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Full registry state grouped by instrument type."""

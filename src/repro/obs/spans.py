@@ -1,0 +1,213 @@
+"""Sampled per-request spans: admission -> grant -> release timelines.
+
+Recording a full timeline for *every* lock request would violate the
+overhead budget the live service promises (and Nikolaev's DTrace latch
+study is explicit that heavyweight probes distort exactly the
+contention they measure), so the span recorder samples **1 in N**
+requests: the Nth, 2Nth, ... request entering a service gets a
+:class:`RequestSpan` carrying three timestamps --
+
+``t_admit``
+    the request entered the service (it has already passed admission
+    control; this is the instant the service-side timeline starts),
+``t_grant``
+    the lock was granted (or the request failed; ``outcome`` says
+    which),
+``t_release``
+    the owning session released its locks (rollback, commit via
+    ``close_session``, or ``release_all``).
+
+Completed spans land in a bounded ring buffer (served over the ops
+endpoint and dumped into telemetry), and every sampled wait
+(``t_grant - t_admit``) additionally feeds the per-shard wait-latency
+histogram ``service.span.wait_latency_s`` so live percentiles exist
+even when full-stream latency recording is off.
+
+Overhead contract: when sampling is disabled the service holds ``None``
+and every probe site costs one ``is None`` check.  When enabled, the
+off-sample cost is one integer increment and one modulo; only the
+sampled 1/N requests allocate a span.
+
+Thread safety: a sampler belongs to one :class:`LockService` and every
+entry point is invoked under that service's mutex, so the sampler
+itself needs no lock; readers (:meth:`finished_dicts`) copy the ring
+under the deque's internal consistency plus the GIL snapshot of
+``list()``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.obs.registry import MetricRegistry, WALL_CLOCK_BUCKETS_S
+
+
+class RequestSpan:
+    """One sampled request's timeline (times in service clock seconds)."""
+
+    __slots__ = (
+        "app_id",
+        "table_id",
+        "row_id",
+        "t_admit",
+        "t_grant",
+        "t_release",
+        "outcome",
+    )
+
+    def __init__(self, app_id: int, table_id: int, row_id: int, t_admit: float) -> None:
+        self.app_id = app_id
+        self.table_id = table_id
+        self.row_id = row_id
+        self.t_admit = t_admit
+        self.t_grant: Optional[float] = None
+        self.t_release: Optional[float] = None
+        self.outcome: str = "pending"
+
+    @property
+    def wait_s(self) -> Optional[float]:
+        if self.t_grant is None:
+            return None
+        return self.t_grant - self.t_admit
+
+    @property
+    def hold_s(self) -> Optional[float]:
+        if self.t_release is None or self.t_grant is None:
+            return None
+        return self.t_release - self.t_grant
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app_id,
+            "table": self.table_id,
+            "row": self.row_id,
+            "t_admit": self.t_admit,
+            "t_grant": self.t_grant,
+            "t_release": self.t_release,
+            "outcome": self.outcome,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestSpan(app={self.app_id}, table={self.table_id}, "
+            f"row={self.row_id}, outcome={self.outcome!r})"
+        )
+
+
+class RequestSpanSampler:
+    """1-in-N span sampling for one lock service (or shard).
+
+    Parameters
+    ----------
+    every:
+        Sample the Nth, 2Nth, ... request (``every=1`` samples all).
+    clock:
+        Callable returning the current time in seconds.
+    registry / labels:
+        When given, sampled waits observe into the
+        ``service.span.wait_latency_s`` histogram created with
+        ``labels`` (the sharded stack passes ``{"shard": str(i)}``).
+    capacity:
+        Ring-buffer bound for completed spans.
+    """
+
+    #: Histogram fed by sampled waits.
+    WAIT_METRIC = "service.span.wait_latency_s"
+
+    def __init__(
+        self,
+        every: int,
+        clock: Callable[[], float],
+        *,
+        registry: Optional[MetricRegistry] = None,
+        labels: Optional[Dict[str, str]] = None,
+        capacity: int = 512,
+    ) -> None:
+        if every <= 0:
+            raise ValueError(f"sampling period must be positive, got {every}")
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.every = every
+        self.clock = clock
+        self.capacity = capacity
+        self._seen = 0
+        self.sampled = 0
+        self._open: Dict[int, RequestSpan] = {}
+        self._finished: Deque[RequestSpan] = deque(maxlen=capacity)
+        self._wait_hist = (
+            None
+            if registry is None
+            else registry.histogram(
+                self.WAIT_METRIC, WALL_CLOCK_BUCKETS_S, labels=labels
+            )
+        )
+
+    # -- probe sites (called under the owning service's mutex) -------------
+
+    def maybe_start(self, app_id: int, table_id: int, row_id: int) -> Optional[RequestSpan]:
+        """Count one request; return a live span for the sampled 1/N.
+
+        A session has at most one request in flight, but may still have
+        an *open* span from a previous sampled request (granted, not yet
+        released); starting a new one retires the old span first so the
+        open table can never grow beyond the live-session count.
+        """
+        self._seen += 1
+        if self._seen % self.every:
+            return None
+        self.sampled += 1
+        stale = self._open.pop(app_id, None)
+        if stale is not None:
+            self._finished.append(stale)
+        span = RequestSpan(app_id, table_id, row_id, self.clock())
+        self._open[app_id] = span
+        return span
+
+    def grant(self, span: RequestSpan, outcome: str = "granted") -> None:
+        """Mark the request's wait over (granted or failed)."""
+        span.t_grant = self.clock()
+        span.outcome = outcome
+        if self._wait_hist is not None:
+            self._wait_hist.observe(span.t_grant - span.t_admit)
+        if outcome != "granted":
+            # A failed request has no release phase: retire it now.
+            finished = self._open.pop(span.app_id, None)
+            if finished is span:
+                self._finished.append(span)
+
+    def release(self, app_id: int) -> None:
+        """Close ``app_id``'s open span (session released its locks)."""
+        span = self._open.pop(app_id, None)
+        if span is None:
+            return
+        span.t_release = self.clock()
+        if span.outcome == "granted":
+            span.outcome = "released"
+        self._finished.append(span)
+
+    # -- reading ------------------------------------------------------------
+
+    @property
+    def seen(self) -> int:
+        """Requests counted (sampled or not)."""
+        return self._seen
+
+    def open_count(self) -> int:
+        return len(self._open)
+
+    def finished_dicts(self, limit: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Completed spans as dicts, oldest first (most recent ``limit``)."""
+        spans = list(self._finished)
+        if limit is not None:
+            spans = spans[-limit:]
+        return [span.to_dict() for span in spans]
+
+    def __repr__(self) -> str:
+        return (
+            f"RequestSpanSampler(1/{self.every}, seen={self._seen}, "
+            f"sampled={self.sampled}, open={len(self._open)})"
+        )
+
+
+__all__ = ["RequestSpan", "RequestSpanSampler"]

@@ -14,6 +14,16 @@ Three subcommands:
 ``capture``
     Run load while recording the ``(time, target_locks)`` demand trace
     to a JSONL file that ``repro.workloads.replay`` can consume.
+``top``
+    Poll a running service's ops endpoints (``--ops-port``) and render
+    a refreshing console dashboard: per-shard throughput and latency,
+    LOCKLIST posture, and the STMM audit tail.
+
+Every load subcommand accepts ``--ops-port`` (serve ``/metrics`` /
+``/healthz`` / ``/stmm`` while running), ``--span-sample N`` (sample
+every Nth request's admission->grant->release span) and ``--telemetry
+out.jsonl`` (export the run's registry, tuning decisions and audit
+trail as a JSONL stream readable by ``repro.obs``).
 """
 
 from __future__ import annotations
@@ -27,6 +37,8 @@ from repro.service.capture import DemandTraceRecorder
 from repro.service.driver import DriverReport, LoadDriver
 from repro.service.sharded import ShardedServiceConfig, ShardedServiceStack
 from repro.service.stack import ServiceConfig, ServiceStack
+from repro.service.telemetry import service_telemetry
+from repro.service.top import run_top
 
 #: Either stack shape; both expose the same reporting surface.
 AnyStack = Union[ServiceStack, ShardedServiceStack]
@@ -75,6 +87,27 @@ def _add_load_args(parser: argparse.ArgumentParser) -> None:
         "unsharded accounting)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--ops-port",
+        type=int,
+        default=None,
+        help="serve /metrics, /healthz and /stmm on this port while "
+        "running (0 = ephemeral; the bound URL is printed)",
+    )
+    parser.add_argument(
+        "--span-sample",
+        type=int,
+        default=0,
+        help="sample every Nth request's admission->grant->release span "
+        "(0 = off, the default)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="OUT.JSONL",
+        help="export the run's metrics, tuning decisions and STMM audit "
+        "trail as JSONL",
+    )
 
 
 def _build_stack(args: argparse.Namespace) -> AnyStack:
@@ -88,6 +121,8 @@ def _build_stack(args: argparse.Namespace) -> AnyStack:
                 admission_queue_depth=4 * max(4, args.threads),
                 params=TuningParameters(),
                 shards=args.shards,
+                ops_port=args.ops_port,
+                span_sample_every=args.span_sample,
             )
         )
     config = ServiceConfig(
@@ -97,8 +132,23 @@ def _build_stack(args: argparse.Namespace) -> AnyStack:
         max_in_flight=max(4, args.threads),
         admission_queue_depth=4 * max(4, args.threads),
         params=TuningParameters(),
+        ops_port=args.ops_port,
+        span_sample_every=args.span_sample,
     )
     return ServiceStack(config)
+
+
+def _announce_ops(stack: AnyStack) -> None:
+    ops = getattr(stack, "ops", None)
+    if ops is not None and ops.running:
+        print(f"ops plane: {ops.url} (/metrics /healthz /stmm)", flush=True)
+
+
+def _export_telemetry(stack: AnyStack, args: argparse.Namespace) -> None:
+    if getattr(args, "telemetry", None):
+        label = f"service-{args.command}"
+        count = service_telemetry(stack, label=label).write_jsonl(args.telemetry)
+        print(f"telemetry: {count} records -> {args.telemetry}")
 
 
 def _run_load(
@@ -136,6 +186,31 @@ def _print_report(stack: AnyStack, report: DriverReport) -> None:
         f"{stats.sync_growth_blocks} blocks grown synchronously, "
         f"{stats.escalations.count} escalations"
     )
+    _print_shard_breakdown(stack)
+
+
+def _print_shard_breakdown(stack: AnyStack) -> None:
+    """Per-shard stats for the sharded stack (imbalance at a glance)."""
+    service = getattr(stack, "service", None)
+    shards = getattr(service, "shards", None)
+    if not shards or len(shards) < 2:
+        return
+    ledger = stack.ledger
+    print("per-shard breakdown:")
+    print(
+        f"  {'shard':>5} {'requests':>10} {'granted':>10} {'borrows':>8} "
+        f"{'escal':>6} {'blocks':>7} {'held slots':>11}"
+    )
+    for idx, shard in enumerate(shards):
+        stats = shard.stats
+        mstats = shard.manager.stats
+        print(
+            f"  {idx:>5} {stats.requests:>10} {stats.granted:>10} "
+            f"{ledger.borrowed_blocks(idx):>8} "
+            f"{mstats.escalations.count:>6} "
+            f"{shard.chain.block_count:>7} "
+            f"{shard.chain.used_slots:>11}"
+        )
 
 
 def _check_shutdown_accounting(stack: AnyStack) -> List[str]:
@@ -169,22 +244,26 @@ def cmd_demo(args: argparse.Namespace) -> int:
         f"memory, LOCKLIST starting at {args.locklist_pages} pages"
     )
     with stack:
+        _announce_ops(stack)
         report = _run_load(stack, args)
     _print_report(stack, report)
-    for decision in stack.controller.decisions[-5:]:
+    for record in stack.tuner.audit.tail(5):
         print(
-            f"  tuner t={decision.time:7.2f}s "
-            f"{decision.current_pages:5d} -> {decision.target_pages:5d} pages "
-            f"(free {decision.free_fraction:.0%}, {decision.reason})"
+            f"  tuner t={record.time:7.2f}s "
+            f"{record.current_pages:5d} -> {record.target_pages:5d} pages "
+            f"(free {record.free_fraction:.0%}, {record.reason})"
         )
+    _export_telemetry(stack, args)
     return 0
 
 
 def cmd_stress(args: argparse.Namespace) -> int:
     stack = _build_stack(args)
     with stack:
+        _announce_ops(stack)
         report = _run_load(stack, args)
     _print_report(stack, report)
+    _export_telemetry(stack, args)
     failures = list(report.worker_errors)
     expected = args.threads * args.requests
     if args.duration is None and report.lock_requests < expected:
@@ -207,13 +286,25 @@ def cmd_capture(args: argparse.Namespace) -> int:
         stack.chain, clock=stack.clock, period_s=args.period
     )
     with stack, recorder:
+        _announce_ops(stack)
         report = _run_load(stack, args)
     count = recorder.save(args.out)
     _print_report(stack, report)
+    _export_telemetry(stack, args)
     print(f"captured {count} demand samples -> {args.out}")
     if recorder.dropped:
         print(f"  ({recorder.dropped} same-timestamp samples dropped)")
     return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    base_url = args.url or f"http://127.0.0.1:{args.port}"
+    return run_top(
+        base_url,
+        interval_s=args.interval,
+        frames=args.frames,
+        clear=not args.no_clear,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -244,6 +335,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--period", type=float, default=0.02, help="sample period in seconds"
     )
     capture.set_defaults(func=cmd_capture)
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a running service's ops plane"
+    )
+    top.add_argument(
+        "--url", default=None, help="ops base URL (overrides --port)"
+    )
+    top.add_argument(
+        "--port", type=int, default=9101, help="ops port on localhost"
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0, help="refresh seconds"
+    )
+    top.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="stop after N frames (default: run until interrupted)",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    top.set_defaults(func=cmd_top)
     return parser
 
 

@@ -59,6 +59,7 @@ from repro.service.wallenv import WallClockEnvironment, WallEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.registry import MetricRegistry
+    from repro.obs.spans import RequestSpanSampler
 
 #: Sentinel distinguishing "no timeout given" from "explicitly None".
 _USE_DEFAULT = object()
@@ -95,6 +96,10 @@ class LockService:
         Optional :class:`~repro.obs.registry.MetricRegistry`; when given
         the service maintains ``service.*`` instruments (and callers may
         additionally install the manager's hot-path instruments).
+    metric_labels:
+        Optional label set attached to every ``service.*`` instrument
+        (the sharded facade passes ``{"shard": str(i)}`` so each
+        shard's counters are distinct series in the shared registry).
     maxlocks_fraction / lock_timeout_s:
         Forwarded to the :class:`LockManager`.
     """
@@ -106,6 +111,7 @@ class LockService:
         clock: Optional[Clock] = None,
         default_timeout_s: Optional[float] = None,
         metrics: Optional["MetricRegistry"] = None,
+        metric_labels: Optional[Dict[str, str]] = None,
         maxlocks_fraction: float = 0.98,
         lock_timeout_s: Optional[float] = None,
     ) -> None:
@@ -141,15 +147,30 @@ class LockService:
         #: :meth:`LockMemoryController.reclaim_transient_blocks`.
         self.borrow_return: Optional[Callable[[], int]] = None
         self._metrics = metrics
+        self.metric_labels = metric_labels
+        #: Optional 1-in-N request span sampler (see repro.obs.spans).
+        #: None keeps the hot paths at one ``is None`` check; the stack
+        #: installs one when span sampling is configured.
+        self.span_sampler: Optional["RequestSpanSampler"] = None
         if metrics is not None:
             from repro.obs.registry import WALL_CLOCK_BUCKETS_S
 
-            self._m_requests = metrics.counter("service.requests")
-            self._m_timeouts = metrics.counter("service.timeouts")
-            self._m_cancels = metrics.counter("service.cancellations")
-            self._m_frozen = metrics.counter("service.tuning_frozen")
+            self._m_requests = metrics.counter(
+                "service.requests", labels=metric_labels
+            )
+            self._m_timeouts = metrics.counter(
+                "service.timeouts", labels=metric_labels
+            )
+            self._m_cancels = metrics.counter(
+                "service.cancellations", labels=metric_labels
+            )
+            self._m_frozen = metrics.counter(
+                "service.tuning_frozen", labels=metric_labels
+            )
             self._m_latency = metrics.histogram(
-                "service.request_latency_s", WALL_CLOCK_BUCKETS_S
+                "service.request_latency_s",
+                WALL_CLOCK_BUCKETS_S,
+                labels=metric_labels,
             )
 
     # -- introspection -----------------------------------------------------
@@ -222,6 +243,8 @@ class LockService:
                     f"session {app_id} still has a request in flight"
                 )
             freed = self.manager.release_all(app_id)
+            if self.span_sampler is not None:
+                self.span_sampler.release(app_id)
             self._sessions.discard(app_id)
             self.stats.sessions_closed += 1
             return freed
@@ -262,6 +285,7 @@ class LockService:
         if timeout_s is not None and timeout_s < 0:  # type: ignore[operator]
             raise ServiceError(f"timeout_s must be non-negative, got {timeout_s}")
         started = perf_counter()
+        span = None
         with self._cond:
             self._ensure_open()
             if app_id not in self._sessions:
@@ -274,11 +298,18 @@ class LockService:
                 if self._metrics is not None:
                     self._m_requests.inc()
                     self._m_latency.observe(perf_counter() - started)
+                if self.span_sampler is not None:
+                    span = self.span_sampler.maybe_start(app_id, table_id, row_id)
+                    if span is not None:
+                        self.span_sampler.grant(span)
                 return
+            if self.span_sampler is not None:
+                span = self.span_sampler.maybe_start(app_id, table_id, row_id)
         self._request(
             app_id,
             self.manager.lock_row(app_id, table_id, row_id, mode),
             timeout_s,
+            span=span,
         )
 
     def lock_row_uncontended(
@@ -311,6 +342,13 @@ class LockService:
                 if self._metrics is not None:
                     self._m_requests.inc()
                     self._m_latency.observe(perf_counter() - started)
+                # Probe only the granted case: a False return falls back
+                # to lock_row, which runs its own probe -- every request
+                # is counted by the sampler exactly once.
+                if self.span_sampler is not None:
+                    span = self.span_sampler.maybe_start(app_id, table_id, row_id)
+                    if span is not None:
+                        self.span_sampler.grant(span)
                 return True
         return False
 
@@ -337,7 +375,10 @@ class LockService:
         with self._mutex:
             if app_id not in self._sessions:
                 raise ServiceError(f"session {app_id} is not open")
-            return self.manager.release_all(app_id)
+            freed = self.manager.release_all(app_id)
+            if self.span_sampler is not None:
+                self.span_sampler.release(app_id)
+            return freed
 
     def release_read_lock(self, app_id: int, table_id: int, row_id: int) -> bool:
         """Cursor-stability early release (never blocks)."""
@@ -416,7 +457,7 @@ class LockService:
         if self._closed:
             raise ServiceClosedError("lock service is closed")
 
-    def _request(self, app_id: int, gen, timeout_s: object) -> None:
+    def _request(self, app_id: int, gen, timeout_s: object, span=None) -> None:
         if timeout_s is _USE_DEFAULT:
             timeout_s = self.default_timeout_s
         if timeout_s is not None and timeout_s < 0:  # type: ignore[operator]
@@ -437,15 +478,19 @@ class LockService:
             deadline = (
                 None if timeout_s is None else self.clock.now() + timeout_s  # type: ignore[operator]
             )
+            outcome = "failed"
             try:
                 self._drive(app_id, gen, deadline)
                 self.stats.granted += 1
+                outcome = "granted"
             except LockTimeoutError:
                 self.stats.timeouts += 1
+                outcome = "timeout"
                 if self._metrics is not None:
                     self._m_timeouts.inc()
                 raise
             except (RequestCancelledError, ServiceClosedError):
+                outcome = "cancelled"
                 raise
             except Exception:
                 self.stats.failures += 1
@@ -454,6 +499,8 @@ class LockService:
                 self._active_requests.discard(app_id)
                 if self._metrics is not None:
                     self._m_latency.observe(perf_counter() - started)
+                if span is not None:
+                    self.span_sampler.grant(span, outcome)
 
     def _drive(self, app_id: int, gen, deadline: Optional[float]) -> None:
         """Run one locking generator to completion under the mutex.

@@ -78,9 +78,11 @@ from repro.lockmgr.manager import LockManagerStats
 from repro.lockmgr.modes import LockMode
 from repro.memory.stmm import Stmm
 from repro.obs.registry import MetricRegistry
+from repro.obs.spans import RequestSpanSampler
 from repro.service.admission import AdmissionController
 from repro.service.clock import Clock, MonotonicClock
 from repro.service.ledger import AggregateLockChain, ShardMemoryLedger
+from repro.service.ops import OpsServer
 from repro.service.service import LockService, ServiceStats, _USE_DEFAULT
 from repro.service.stack import ServiceConfig, build_memory_registry
 from repro.service.tuner import TunerDaemon
@@ -187,19 +189,22 @@ class ShardedLockService:
         if not chains:
             raise ServiceError("sharded service needs at least one chain")
         self.clock = clock or MonotonicClock()
-        # Shards share the clock and the metric registry; the registry's
-        # get-or-create semantics make the shards' service.* counters
-        # one set of aggregate instruments automatically.
+        # Shards share the clock and the metric registry; each shard's
+        # service.* instruments carry a shard=N label, so the registry
+        # holds one distinct series per shard (sum for the aggregate).
         self.shards: List[LockService] = [
             LockService(
                 chain,
                 clock=self.clock,
                 default_timeout_s=default_timeout_s,
                 metrics=metrics,
+                metric_labels=(
+                    None if metrics is None else {"shard": str(idx)}
+                ),
                 maxlocks_fraction=maxlocks_fraction,
                 lock_timeout_s=lock_timeout_s,
             )
-            for chain in chains
+            for idx, chain in enumerate(chains)
         ]
         self.num_shards = len(self.shards)
         self.ledger = ShardMemoryLedger(self.shards)
@@ -648,6 +653,8 @@ class ShardedServiceStack:
             self.stmm,
             interval_override_s=cfg.tuner_interval_s,
             metrics=self.metrics,
+            controller=self.controller,
+            audit_capacity=cfg.audit_capacity,
         )
         self.detector = ShardedDeadlockDetector(
             self.service, interval_s=cfg.deadlock_interval_s
@@ -657,6 +664,24 @@ class ShardedServiceStack:
             cfg.admission_queue_depth,
             clock=self.clock,
         )
+        if cfg.span_sample_every > 0 and self.metrics is not None:
+            for idx, shard in enumerate(self.service.shards):
+                shard.span_sampler = RequestSpanSampler(
+                    cfg.span_sample_every,
+                    self.clock.now,
+                    registry=self.metrics,
+                    labels={"shard": str(idx)},
+                )
+        self.ops: Optional[OpsServer] = None
+        if cfg.ops_port is not None:
+            assert self.metrics is not None  # enforced by the config
+            self.ops = OpsServer(
+                self.metrics,
+                health=self.ops_health,
+                stmm_status=self.ops_stmm,
+                refresh=self.publish_ops_metrics,
+                port=cfg.ops_port,
+            )
         self._started = False
 
     def _make_growth_provider(self, shard_idx: int):
@@ -677,9 +702,13 @@ class ShardedServiceStack:
         self._started = True
         self.tuner.start()
         self.detector.start()
+        if self.ops is not None:
+            self.ops.start()
         return self
 
     def stop(self) -> None:
+        if self.ops is not None:
+            self.ops.stop()
         self.tuner.stop()
         self.detector.stop()
         self.admission.close()
@@ -696,6 +725,113 @@ class ShardedServiceStack:
     @property
     def manager_stats(self) -> LockManagerStats:
         return self.service.manager_stats()
+
+    # -- the ops plane -----------------------------------------------------
+
+    def publish_ops_metrics(self) -> None:
+        """Refresh the point-in-time gauges, per shard and aggregate.
+
+        Called before every ``/metrics`` render; counters update on the
+        hot paths, but occupancy/queue-depth readings are state, not
+        events, and must be read at scrape time.
+        """
+        if self.metrics is None:
+            return
+        reg = self.metrics
+        for occ in self.ledger.occupancy():
+            labels = {"shard": str(occ.shard)}
+            reg.gauge("shard.used_slots", labels=labels).set(
+                float(occ.used_slots)
+            )
+            reg.gauge("shard.capacity_slots", labels=labels).set(
+                float(occ.capacity_slots)
+            )
+            reg.gauge("shard.free_fraction", labels=labels).set(
+                occ.free_fraction
+            )
+            reg.gauge("shard.borrowed_blocks", labels=labels).set(
+                float(occ.borrowed_blocks)
+            )
+        for idx, shard in enumerate(self.service.shards):
+            labels = {"shard": str(idx)}
+            stats = shard.manager.stats
+            reg.gauge("shard.escalations", labels=labels).set(
+                float(stats.escalations.count)
+            )
+            reg.gauge("shard.waiters", labels=labels).set(
+                float(len(shard.manager.waiting_apps()))
+            )
+        reg.gauge("service.locklist_pages").set(
+            float(self.chain.allocated_pages)
+        )
+        reg.gauge("service.locklist_used_slots").set(
+            float(self.chain.used_slots)
+        )
+        reg.gauge("service.locklist_free_fraction").set(
+            self.chain.free_fraction()
+        )
+        reg.gauge("service.maxlocks_fraction").set(self.maxlocks.fraction())
+        reg.gauge("service.sessions").set(float(self.service.session_count()))
+        reg.gauge("service.escalations").set(
+            float(self.ledger.total_escalations())
+        )
+        reg.gauge("service.admission.in_flight").set(
+            float(self.admission.in_flight())
+        )
+        reg.gauge("service.admission.queue_depth").set(
+            float(self.admission.queue_depth())
+        )
+
+    def ops_health(self) -> dict:
+        """The ``/healthz`` body; ``ok`` decides 200 vs 503."""
+        tuner = self.tuner
+        service = self.service
+        return {
+            "ok": not tuner.frozen and not service.closed,
+            "service": "sharded-lock-service",
+            "shards": service.num_shards,
+            "closed": service.closed,
+            "sessions": service.session_count(),
+            "shard_status": [
+                {"shard": idx, "open": not shard.closed}
+                for idx, shard in enumerate(service.shards)
+            ],
+            "detector": {
+                "alive": self.detector._thread is not None
+                and self.detector._thread.is_alive(),
+                "crash": (
+                    None
+                    if self.detector.crash is None
+                    else str(self.detector.crash)
+                ),
+            },
+            "tuner": {
+                "alive": tuner.alive,
+                "frozen": tuner.frozen,
+                "intervals": tuner.intervals_run,
+                "crash": None if tuner.crash is None else str(tuner.crash),
+                "frozen_reason": service.frozen_reason,
+            },
+        }
+
+    def ops_stmm(self) -> dict:
+        """The ``/stmm`` body: audit trail + current memory posture."""
+        spans: List[dict] = []
+        for shard in self.service.shards:
+            sampler = shard.span_sampler
+            if sampler is not None:
+                spans.extend(sampler.finished_dicts(limit=16))
+        return {
+            "audit": self.tuner.audit.to_dicts(),
+            "audit_total": self.tuner.audit.total_recorded,
+            "intervals": self.tuner.intervals_run,
+            "locklist_pages": self.chain.allocated_pages,
+            "locklist_free_fraction": self.chain.free_fraction(),
+            "maxlocks_fraction": self.maxlocks.fraction(),
+            "overflow_pages": self.registry.overflow_pages,
+            "frozen_reason": self.service.frozen_reason,
+            "spans": spans,
+        }
 
     # -- consistency -------------------------------------------------------
 

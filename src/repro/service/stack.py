@@ -31,8 +31,10 @@ from repro.memory.heaps import HeapCategory, MemoryHeap
 from repro.memory.registry import DatabaseMemoryRegistry
 from repro.memory.stmm import Stmm, StmmConfig
 from repro.obs.registry import MetricRegistry
+from repro.obs.spans import RequestSpanSampler
 from repro.service.admission import AdmissionController
 from repro.service.clock import Clock, MonotonicClock
+from repro.service.ops import OpsServer
 from repro.service.service import LockService
 from repro.service.tuner import TunerDaemon
 from repro.units import PAGES_PER_BLOCK, round_pages_to_blocks
@@ -66,6 +68,14 @@ class ServiceConfig:
     lock_timeout_s: Optional[float] = None
     #: Record service.* / tuner.* metrics into a registry.
     telemetry: bool = True
+    #: TCP port of the live ops plane (/metrics, /healthz, /stmm).
+    #: None = no HTTP server; 0 = ephemeral port (tests/CI).
+    ops_port: Optional[int] = None
+    #: Sample every Nth request's admission->grant->release span
+    #: (0 = off, keeping hot paths at the one-None-check contract).
+    span_sample_every: int = 0
+    #: Ring-buffer bound of the STMM decision audit log.
+    audit_capacity: int = 256
 
     def __post_init__(self) -> None:
         if self.initial_locklist_pages < PAGES_PER_BLOCK:
@@ -78,6 +88,23 @@ class ServiceConfig:
         if locklist + bufferpool >= self.total_memory_pages:
             raise ConfigurationError(
                 "initial heaps oversubscribe database memory"
+            )
+        if self.ops_port is not None and not self.telemetry:
+            raise ConfigurationError(
+                "ops_port requires telemetry: /metrics serves the registry"
+            )
+        if self.ops_port is not None and self.ops_port < 0:
+            raise ConfigurationError(
+                f"ops_port must be non-negative, got {self.ops_port}"
+            )
+        if self.span_sample_every < 0:
+            raise ConfigurationError(
+                f"span_sample_every must be non-negative, "
+                f"got {self.span_sample_every}"
+            )
+        if self.audit_capacity <= 0:
+            raise ConfigurationError(
+                f"audit_capacity must be positive, got {self.audit_capacity}"
             )
 
 
@@ -174,26 +201,48 @@ class ServiceStack:
             self.stmm,
             interval_override_s=cfg.tuner_interval_s,
             metrics=self.metrics,
+            controller=self.controller,
+            audit_capacity=cfg.audit_capacity,
         )
         self.admission = AdmissionController(
             cfg.max_in_flight,
             cfg.admission_queue_depth,
             clock=self.clock,
         )
+        if cfg.span_sample_every > 0 and self.metrics is not None:
+            self.service.span_sampler = RequestSpanSampler(
+                cfg.span_sample_every,
+                self.clock.now,
+                registry=self.metrics,
+            )
+        self.ops: Optional[OpsServer] = None
+        if cfg.ops_port is not None:
+            assert self.metrics is not None  # enforced by the config
+            self.ops = OpsServer(
+                self.metrics,
+                health=self.ops_health,
+                stmm_status=self.ops_stmm,
+                refresh=self.publish_ops_metrics,
+                port=cfg.ops_port,
+            )
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "ServiceStack":
-        """Launch the tuning daemon.  Idempotent is an error: call once."""
+        """Launch the tuning daemon (and the ops plane, when configured)."""
         if self._started:
             raise ConfigurationError("service stack already started")
         self._started = True
         self.tuner.start()
+        if self.ops is not None:
+            self.ops.start()
         return self
 
     def stop(self) -> None:
         """Stop tuning, close the doors, cancel pending waits."""
+        if self.ops is not None:
+            self.ops.stop()
         self.tuner.stop()
         self.admission.close()
         self.service.close()
@@ -211,6 +260,75 @@ class ServiceStack:
         """Lock-manager counters (one manager here; aggregated when
         sharded)."""
         return self.service.manager.stats
+
+    # -- the ops plane -----------------------------------------------------
+
+    def publish_ops_metrics(self) -> None:
+        """Refresh the point-in-time gauges a scrape should see live.
+
+        Counters update on the hot paths; these are *state* readings
+        (sizes, fractions, queue depths) that would otherwise lag one
+        tuning interval behind.
+        """
+        if self.metrics is None:
+            return
+        reg = self.metrics
+        stats = self.service.manager.stats
+        reg.gauge("service.locklist_pages").set(
+            float(self.chain.allocated_pages)
+        )
+        reg.gauge("service.locklist_used_slots").set(
+            float(self.chain.used_slots)
+        )
+        reg.gauge("service.locklist_free_fraction").set(
+            self.chain.free_fraction()
+        )
+        reg.gauge("service.maxlocks_fraction").set(
+            self.service.manager.maxlocks_fraction
+        )
+        reg.gauge("service.sessions").set(float(self.service.session_count()))
+        reg.gauge("service.escalations").set(float(stats.escalations.count))
+        reg.gauge("service.admission.in_flight").set(
+            float(self.admission.in_flight())
+        )
+        reg.gauge("service.admission.queue_depth").set(
+            float(self.admission.queue_depth())
+        )
+
+    def ops_health(self) -> dict:
+        """The ``/healthz`` body; ``ok`` decides 200 vs 503."""
+        tuner = self.tuner
+        return {
+            "ok": not tuner.frozen and not self.service.closed,
+            "service": "lock-service",
+            "shards": 1,
+            "closed": self.service.closed,
+            "sessions": self.service.session_count(),
+            "tuner": {
+                "alive": tuner.alive,
+                "frozen": tuner.frozen,
+                "intervals": tuner.intervals_run,
+                "crash": None if tuner.crash is None else str(tuner.crash),
+                "frozen_reason": self.service.frozen_reason,
+            },
+        }
+
+    def ops_stmm(self) -> dict:
+        """The ``/stmm`` body: audit trail + current memory posture."""
+        sampler = self.service.span_sampler
+        return {
+            "audit": self.tuner.audit.to_dicts(),
+            "audit_total": self.tuner.audit.total_recorded,
+            "intervals": self.tuner.intervals_run,
+            "locklist_pages": self.chain.allocated_pages,
+            "locklist_free_fraction": self.chain.free_fraction(),
+            "maxlocks_fraction": self.service.manager.maxlocks_fraction,
+            "overflow_pages": self.registry.overflow_pages,
+            "frozen_reason": self.service.frozen_reason,
+            "spans": (
+                [] if sampler is None else sampler.finished_dicts(limit=64)
+            ),
+        }
 
     # -- consistency -------------------------------------------------------
 

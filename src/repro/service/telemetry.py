@@ -1,0 +1,48 @@
+"""Collect a finished service run into a :class:`RunTelemetry` stream.
+
+The DES runner has had a ``--telemetry out.jsonl`` round trip since the
+observability PR; this module gives the *live* stacks the same exit:
+:func:`service_telemetry` gathers the shared metric registry (including
+the per-shard labeled series), the controller's tuning decisions and
+the tuner's audit trail into one :class:`~repro.obs.events.RunTelemetry`
+that ``write_jsonl`` serializes and the standard ``repro.obs`` readers
+load back.
+
+Call it after :meth:`stop` (or inside the ``with stack:`` exit) so the
+final counter values and the complete audit ring are captured.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+from repro.obs.events import RunTelemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.sharded import ShardedServiceStack
+    from repro.service.stack import ServiceStack
+
+    AnyStack = Union[ServiceStack, ShardedServiceStack]
+
+
+def service_telemetry(stack: "AnyStack", label: str = "service") -> RunTelemetry:
+    """One telemetry object for a finished (or quiesced) service run.
+
+    Works for both the unsharded and the sharded stack: both expose
+    ``metrics`` (the shared registry), ``controller.decisions`` and
+    ``tuner.audit``.  When the stack ran without telemetry the stream
+    still carries the decisions and audit trail over an empty registry.
+    """
+    if getattr(stack, "publish_ops_metrics", None) is not None:
+        # Final state of the point-in-time gauges (occupancy, sessions).
+        stack.publish_ops_metrics()
+    telemetry = RunTelemetry(
+        label=label,
+        decisions=list(stack.controller.decisions),
+        registry=stack.metrics,
+        audit=stack.tuner.audit.records(),
+    )
+    return telemetry
+
+
+__all__ = ["service_telemetry"]

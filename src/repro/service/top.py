@@ -1,0 +1,301 @@
+"""``repro-service top``: a refreshing console view of the live service.
+
+The ops plane (:mod:`repro.service.ops`) serves numbers; ``top`` makes
+them glanceable.  It polls ``/metrics`` and ``/stmm`` on an interval
+and redraws one console frame per poll:
+
+* per-shard request throughput (rate between frames), p50/p99 request
+  latency (interpolated from the cumulative histogram buckets),
+  escalations and occupancy;
+* the LOCKLIST posture: pages, free fraction against the tuner's
+  [minFree, maxFree] band, MAXLOCKS;
+* the tail of the STMM audit log -- the last few intervals' chosen
+  actions in the machine-readable reason vocabulary.
+
+Everything here is a *client* of the HTTP endpoints -- ``top`` holds no
+reference to the stack and can watch a service in another process.  The
+module also exposes the pieces the dashboard is built from
+(:func:`parse_prometheus`, :func:`percentile_from_buckets`,
+:func:`render_frame`) because they are useful on their own (CI smoke
+checks, tests).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+import time
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+#: label-pairs key, as in repro.obs.registry (sorted (key, value) tuples).
+LabelPairs = Tuple[Tuple[str, str], ...]
+#: series name -> {label pairs -> value}
+MetricsDump = Dict[str, Dict[LabelPairs, float]]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape(value: str) -> str:
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def parse_prometheus(text: str) -> MetricsDump:
+    """Parse text exposition format back into ``{name: {labels: value}}``."""
+    out: MetricsDump = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        raw = match.group("value")
+        if raw == "+Inf":
+            value = float("inf")
+        elif raw == "-Inf":
+            value = float("-inf")
+        else:
+            try:
+                value = float(raw)
+            except ValueError:
+                continue
+        labels: LabelPairs = tuple(
+            sorted(
+                (k, _unescape(v))
+                for k, v in _LABEL_RE.findall(match.group("labels") or "")
+            )
+        )
+        out.setdefault(match.group("name"), {})[labels] = value
+    return out
+
+
+def percentile_from_buckets(
+    bounds_counts: List[Tuple[float, float]], q: float
+) -> Optional[float]:
+    """Interpolated quantile from cumulative ``(le, count)`` buckets.
+
+    ``bounds_counts`` is the ``_bucket`` series of one histogram,
+    any order; returns None for an empty histogram.  Within a bucket
+    the mass is assumed uniform (the standard Prometheus estimate).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    buckets = sorted(bounds_counts)
+    if not buckets or buckets[-1][1] <= 0:
+        return None
+    total = buckets[-1][1]
+    rank = q * total
+    prev_bound, prev_count = 0.0, 0.0
+    for bound, count in buckets:
+        if count >= rank:
+            if bound == float("inf"):
+                return prev_bound  # open-ended top bucket: best lower bound
+            span = count - prev_count
+            if span <= 0:
+                return bound
+            frac = (rank - prev_count) / span
+            return prev_bound + frac * (bound - prev_bound)
+        prev_bound, prev_count = bound, count
+    return buckets[-1][0]
+
+
+def _histogram_buckets(
+    dump: MetricsDump, name: str, shard: Optional[str]
+) -> List[Tuple[float, float]]:
+    """The ``(le, cumulative count)`` pairs of one (possibly labeled)
+    histogram."""
+    series = dump.get(f"{name}_bucket", {})
+    out: List[Tuple[float, float]] = []
+    for labels, value in series.items():
+        as_dict = dict(labels)
+        if shard is not None and as_dict.get("shard") != shard:
+            continue
+        if shard is None and "shard" in as_dict:
+            continue
+        le = as_dict.get("le")
+        if le is None:
+            continue
+        out.append((float("inf") if le == "+Inf" else float(le), value))
+    return out
+
+
+def _value(
+    dump: MetricsDump, name: str, shard: Optional[str] = None
+) -> Optional[float]:
+    for labels, value in dump.get(name, {}).items():
+        as_dict = dict(labels)
+        if shard is None and "shard" not in as_dict:
+            return value
+        if shard is not None and as_dict.get("shard") == shard:
+            return value
+    return None
+
+
+def _shard_ids(dump: MetricsDump) -> List[str]:
+    shards = set()
+    for series in dump.values():
+        for labels in series:
+            for key, value in labels:
+                if key == "shard":
+                    shards.add(value)
+    return sorted(shards, key=lambda s: (len(s), s))
+
+
+def fetch(url: str, timeout_s: float = 5.0) -> str:
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return response.read().decode()
+
+
+def fetch_state(base_url: str, timeout_s: float = 5.0) -> Tuple[MetricsDump, dict]:
+    """One poll: parsed ``/metrics`` plus decoded ``/stmm``."""
+    metrics = parse_prometheus(fetch(f"{base_url}/metrics", timeout_s))
+    stmm = json.loads(fetch(f"{base_url}/stmm", timeout_s))
+    return metrics, stmm
+
+
+def _fmt_latency(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "    -"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:4.0f}u"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:4.1f}m"
+    return f"{seconds:4.2f}s"
+
+
+def render_frame(
+    metrics: MetricsDump,
+    stmm: dict,
+    *,
+    prev_metrics: Optional[MetricsDump] = None,
+    elapsed_s: float = 0.0,
+    audit_tail: int = 5,
+) -> str:
+    """One dashboard frame as a string (no terminal control codes)."""
+    lines: List[str] = []
+    pages = stmm.get("locklist_pages", 0)
+    free = stmm.get("locklist_free_fraction", 0.0)
+    maxlocks = stmm.get("maxlocks_fraction", 0.0)
+    frozen = stmm.get("frozen_reason")
+    lines.append(
+        f"LOCKLIST {pages} pages | free {free:.1%} | "
+        f"MAXLOCKS {maxlocks:.1%} | overflow {stmm.get('overflow_pages', 0)}p"
+        + (f" | FROZEN: {frozen}" if frozen else "")
+    )
+    lines.append(
+        f"tuning intervals: {stmm.get('intervals', 0)} | "
+        f"audit records: {stmm.get('audit_total', 0)}"
+    )
+
+    shards = _shard_ids(metrics)
+    targets: List[Optional[str]] = list(shards) if shards else [None]
+    lines.append("")
+    lines.append(
+        f"{'shard':>5} {'req/s':>9} {'requests':>10} {'p50':>6} {'p99':>6} "
+        f"{'escal':>6} {'used':>8} {'free%':>6}"
+    )
+    for shard in targets:
+        requests = _value(metrics, "service_requests_total", shard) or 0.0
+        rate = ""
+        if prev_metrics is not None and elapsed_s > 0:
+            before = _value(prev_metrics, "service_requests_total", shard) or 0.0
+            rate = f"{(requests - before) / elapsed_s:9.0f}"
+        else:
+            rate = f"{'-':>9}"
+        buckets = _histogram_buckets(
+            metrics, "service_request_latency_s", shard
+        )
+        p50 = percentile_from_buckets(buckets, 0.50) if buckets else None
+        p99 = percentile_from_buckets(buckets, 0.99) if buckets else None
+        escal = _value(metrics, "shard_escalations", shard)
+        if escal is None:
+            escal = _value(metrics, "service_escalations", None) or 0.0
+        used = _value(metrics, "shard_used_slots", shard)
+        if used is None:
+            used = _value(metrics, "service_locklist_used_slots", None) or 0.0
+        shard_free = _value(metrics, "shard_free_fraction", shard)
+        if shard_free is None:
+            shard_free = (
+                _value(metrics, "service_locklist_free_fraction", None) or 0.0
+            )
+        lines.append(
+            f"{shard if shard is not None else 'all':>5} {rate} "
+            f"{requests:10.0f} {_fmt_latency(p50):>6} {_fmt_latency(p99):>6} "
+            f"{escal:6.0f} {used:8.0f} {shard_free:6.1%}"
+        )
+
+    audit = stmm.get("audit", [])
+    if audit:
+        lines.append("")
+        lines.append(f"last {min(audit_tail, len(audit))} tuning decisions:")
+        for record in audit[-audit_tail:]:
+            lines.append(
+                f"  #{record.get('interval', '?'):>3} "
+                f"{record.get('reason', '?'):28} "
+                f"{record.get('current_pages', 0):5d} -> "
+                f"{record.get('target_pages', 0):5d} pages "
+                f"(free {record.get('free_fraction', 0.0):.0%}, "
+                f"esc {record.get('escalations_in_interval', 0)})"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    base_url: str,
+    *,
+    interval_s: float = 1.0,
+    frames: Optional[int] = None,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Poll and redraw until interrupted (or for ``frames`` frames)."""
+    out = out or sys.stdout
+    prev: Optional[MetricsDump] = None
+    prev_at: float = 0.0
+    drawn = 0
+    try:
+        while frames is None or drawn < frames:
+            try:
+                metrics, stmm = fetch_state(base_url)
+            except OSError as exc:
+                print(f"top: {base_url} unreachable: {exc}", file=sys.stderr)
+                return 1
+            now = time.monotonic()
+            frame = render_frame(
+                metrics,
+                stmm,
+                prev_metrics=prev,
+                elapsed_s=(now - prev_at) if prev is not None else 0.0,
+            )
+            if clear and drawn:
+                out.write("\x1b[2J\x1b[H")
+            out.write(f"repro-service top -- {base_url} -- {time.strftime('%H:%M:%S')}\n")
+            out.write(frame)
+            out.write("\n")
+            out.flush()
+            prev, prev_at = metrics, now
+            drawn += 1
+            if frames is not None and drawn >= frames:
+                break
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+__all__ = [
+    "parse_prometheus",
+    "percentile_from_buckets",
+    "render_frame",
+    "fetch_state",
+    "run_top",
+]

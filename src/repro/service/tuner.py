@@ -16,7 +16,12 @@ background thread:
   catches the failure, records it, and freezes the service's tuning
   hooks (:meth:`LockService.freeze_tuning`) -- from then on the system
   behaves like the static-LOCKLIST baseline, with memory pressure
-  answered by escalation alone, while lock service continues.
+  answered by escalation alone, while lock service continues;
+* every pass leaves one entry in a bounded
+  :class:`~repro.obs.audit.TuningAuditLog` -- the inputs the controller
+  saw and the action it chose, in the closed audit-reason vocabulary --
+  and a crash leaves a terminal ``freeze`` entry, so the ``/stmm``
+  endpoint can always answer *why* lock memory is the size it is.
 """
 
 from __future__ import annotations
@@ -25,8 +30,10 @@ import threading
 from typing import TYPE_CHECKING, List, Optional
 
 from repro.memory.stmm import IntervalReport, Stmm
+from repro.obs.audit import TuningAuditLog, TuningAuditRecord, audit_reason_for
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.controller import LockMemoryController
     from repro.obs.registry import MetricRegistry
     from repro.service.service import LockService
 
@@ -47,6 +54,14 @@ class TunerDaemon:
         Fixed interval for tests and demos (bypasses the STMM interval).
     max_intervals:
         Stop after this many passes (None = run until :meth:`stop`).
+    controller:
+        The :class:`LockMemoryController` the STMM drives.  When given,
+        each pass appends one :class:`TuningAuditRecord` to
+        :attr:`audit` mapping the controller's decision onto the audit
+        reason enum; without it the audit log only ever records
+        ``freeze`` entries.
+    audit_capacity:
+        Ring-buffer bound of :attr:`audit`.
     """
 
     def __init__(
@@ -57,6 +72,8 @@ class TunerDaemon:
         interval_override_s: Optional[float] = None,
         max_intervals: Optional[int] = None,
         metrics: Optional["MetricRegistry"] = None,
+        controller: Optional["LockMemoryController"] = None,
+        audit_capacity: int = 256,
     ) -> None:
         if interval_override_s is not None and interval_override_s <= 0:
             raise ValueError(
@@ -66,6 +83,8 @@ class TunerDaemon:
         self.stmm = stmm
         self.interval_override_s = interval_override_s
         self.max_intervals = max_intervals
+        self.controller = controller
+        self.audit = TuningAuditLog(capacity=audit_capacity)
         self.reports: List[IntervalReport] = []
         self.intervals_run = 0
         self.crash: Optional[BaseException] = None
@@ -124,6 +143,7 @@ class TunerDaemon:
             self.crash = exc
             if self._metrics is not None:
                 self._m_crashes.inc()
+            self._record_freeze(exc)
             self.service.freeze_tuning(
                 f"tuner thread died: {type(exc).__name__}: {exc}"
             )
@@ -141,6 +161,7 @@ class TunerDaemon:
             self.crash = exc
             if self._metrics is not None:
                 self._m_crashes.inc()
+            self._record_freeze(exc)
             self.service.freeze_tuning(
                 f"tuner pass failed: {type(exc).__name__}: {exc}"
             )
@@ -149,10 +170,81 @@ class TunerDaemon:
     def _tune_once(self) -> IntervalReport:
         service = self.service
         with service._cond:  # noqa: SLF001 - daemon is part of the service
+            controller = self.controller
+            decisions_before = (
+                len(controller.decisions) if controller is not None else 0
+            )
             report = self.stmm.tune(service.clock.now())
             self.reports.append(report)
             self.intervals_run += 1
             if self._metrics is not None:
                 self._m_intervals.inc()
                 self._m_lock_pages.set(service.chain.allocated_pages)
+            if controller is not None:
+                self._record_audit(report, decisions_before)
             return report
+
+    # -- the audit trail ---------------------------------------------------
+
+    def _record_audit(self, report: IntervalReport, decisions_before: int) -> None:
+        """Append one audit entry per controller decision this pass made.
+
+        Runs under the service mutex right after the tuning pass, so
+        the controller state it reads (``lmo_pages``, overflow) is
+        exactly the post-decision state.
+        """
+        controller = self.controller
+        assert controller is not None
+        delta_pages = sum(
+            action.pages
+            for action in report.actions
+            if action.kind == "resize" and action.heap == controller.heap_name
+        )
+        overflow_pages = controller.registry.overflow_pages
+        lmo_max = controller.params.lmo_max_pages(
+            overflow_pages, controller.lmo_pages
+        )
+        lmo_headroom = max(0, lmo_max - controller.lmo_pages)
+        for decision in controller.decisions[decisions_before:]:
+            self.audit.append(
+                TuningAuditRecord(
+                    interval=self.intervals_run,
+                    time=decision.time,
+                    reason=audit_reason_for(decision.reason),
+                    delta_pages=delta_pages,
+                    current_pages=decision.current_pages,
+                    target_pages=decision.target_pages,
+                    used_pages=decision.used_pages,
+                    free_fraction=decision.free_fraction,
+                    overflow_pages=overflow_pages,
+                    escalations_in_interval=decision.escalations_in_interval,
+                    lmo_headroom_pages=lmo_headroom,
+                    detail=decision.reason,
+                )
+            )
+
+    def _record_freeze(self, exc: BaseException) -> None:
+        """Append the terminal ``freeze`` entry after a tuner crash."""
+        controller = self.controller
+        self.audit.append(
+            TuningAuditRecord(
+                interval=0,
+                time=self.service.clock.now(),
+                reason="freeze",
+                delta_pages=0,
+                current_pages=self.service.chain.allocated_pages,
+                target_pages=self.service.chain.allocated_pages,
+                used_pages=(
+                    controller.used_pages() if controller is not None else 0
+                ),
+                free_fraction=0.0,
+                overflow_pages=(
+                    controller.registry.overflow_pages
+                    if controller is not None
+                    else 0
+                ),
+                escalations_in_interval=0,
+                lmo_headroom_pages=0,
+                detail=f"{type(exc).__name__}: {exc}",
+            )
+        )

@@ -1,0 +1,98 @@
+"""The Prometheus text exporter: names, labels, histogram triplets."""
+
+import pytest
+
+from repro.obs.prometheus import (
+    escape_label_value,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.registry import MetricRegistry
+from repro.service.top import parse_prometheus
+
+
+class TestNameSanitizing:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("lock.wait.latency_s") == "lock_wait_latency_s"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+    def test_colons_survive(self):
+        assert sanitize_metric_name("a:b") == "a:b"
+
+    def test_label_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestRender:
+    def test_counter_total_suffix_and_type(self):
+        reg = MetricRegistry()
+        reg.counter("service.requests").inc(3)
+        text = render_prometheus(reg)
+        assert "# TYPE service_requests_total counter" in text
+        assert "service_requests_total 3" in text
+
+    def test_labeled_series_share_one_family(self):
+        reg = MetricRegistry()
+        reg.counter("service.requests", labels={"shard": "0"}).inc()
+        reg.counter("service.requests", labels={"shard": "1"}).inc(2)
+        text = render_prometheus(reg)
+        assert text.count("# TYPE service_requests_total counter") == 1
+        assert 'service_requests_total{shard="0"} 1' in text
+        assert 'service_requests_total{shard="1"} 2' in text
+
+    def test_gauge_plain(self):
+        reg = MetricRegistry()
+        reg.gauge("service.sessions").set(7.5)
+        text = render_prometheus(reg)
+        assert "# TYPE service_sessions gauge" in text
+        assert "service_sessions 7.5" in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricRegistry()
+        hist = reg.histogram("lat", (0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(v)
+        text = render_prometheus(reg)
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+        assert "lat_sum 6.05" in text
+
+    def test_labeled_histogram_keeps_labels_on_every_sample(self):
+        reg = MetricRegistry()
+        reg.histogram("w", (1.0,), labels={"shard": "2"}).observe(0.5)
+        text = render_prometheus(reg)
+        assert 'w_bucket{shard="2",le="1"} 1' in text
+        assert 'w_bucket{shard="2",le="+Inf"} 1' in text
+        assert 'w_sum{shard="2"} 0.5' in text
+        assert 'w_count{shard="2"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricRegistry()) == ""
+
+    def test_round_trip_through_parser(self):
+        """repro-service top's parser reads the exporter's output back."""
+        reg = MetricRegistry()
+        reg.counter("a.b", labels={"shard": "0"}).inc(4)
+        reg.gauge("g").set(2.5)
+        reg.histogram("h", (1.0, 2.0)).observe(1.5)
+        dump = parse_prometheus(render_prometheus(reg))
+        assert dump["a_b_total"][(("shard", "0"),)] == 4.0
+        assert dump["g"][()] == 2.5
+        assert dump["h_bucket"][(("le", "2"),)] == 1.0
+        assert dump["h_bucket"][(("le", "+Inf"),)] == 1.0
+        assert dump["h_count"][()] == 1.0
+
+
+class TestValueFormatting:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1.0, "1"), (2.5, "2.5"), (0.0, "0")],
+    )
+    def test_integral_floats_render_as_ints(self, value, expected):
+        reg = MetricRegistry()
+        reg.gauge("v").set(value)
+        assert f"v {expected}" in render_prometheus(reg)

@@ -1,0 +1,146 @@
+"""MetricRegistry under concurrent writers: exact totals, no torn reads.
+
+8 threads hammer shared counters, gauges, histograms -- unlabeled and
+labeled -- through the registry's get-or-create path.  Afterwards every
+total must be exact (CPython's ``+=`` is not atomic; only the
+per-instrument locks make this pass), and snapshots taken *during* the
+hammering must be internally consistent (a histogram's bucket counts
+must always sum to its ``count``).
+"""
+
+import threading
+
+from repro.obs.registry import MetricRegistry, exponential_bounds
+
+THREADS = 8
+ITERATIONS = 2_000
+
+
+def _hammer(registry, barrier, thread_idx, errors):
+    try:
+        barrier.wait()
+        labels = {"shard": str(thread_idx % 4)}
+        for i in range(ITERATIONS):
+            registry.counter("c.shared").inc()
+            registry.counter("c.labeled", labels=labels).inc(2.0)
+            registry.gauge("g.shared").set(float(i))
+            registry.gauge("g.labeled", labels=labels).set(float(i))
+            registry.histogram("h.shared", (1.0, 2.0, 4.0)).observe(
+                float(i % 5)
+            )
+            registry.histogram(
+                "h.labeled", (1.0, 2.0, 4.0), labels=labels
+            ).observe(1.5)
+    except Exception as exc:  # pragma: no cover - only on failure
+        errors.append(exc)
+
+
+def _snapshot_reader(registry, stop, errors):
+    """Concurrently snapshot; every snapshot must be self-consistent."""
+    try:
+        while not stop.is_set():
+            snapshot = registry.snapshot()
+            for hist in snapshot["histograms"].values():
+                if sum(hist["counts"]) != hist["count"]:
+                    raise AssertionError(
+                        f"torn histogram snapshot: {hist['counts']} "
+                        f"vs count={hist['count']}"
+                    )
+    except Exception as exc:  # pragma: no cover - only on failure
+        errors.append(exc)
+
+
+class TestConcurrentWriters:
+    def test_exact_totals_and_consistent_snapshots(self):
+        registry = MetricRegistry()
+        barrier = threading.Barrier(THREADS)
+        stop = threading.Event()
+        errors = []
+        reader = threading.Thread(
+            target=_snapshot_reader, args=(registry, stop, errors)
+        )
+        workers = [
+            threading.Thread(
+                target=_hammer, args=(registry, barrier, idx, errors)
+            )
+            for idx in range(THREADS)
+        ]
+        reader.start()
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop.set()
+        reader.join()
+
+        assert errors == []
+        total = THREADS * ITERATIONS
+        assert registry.counter("c.shared").value == float(total)
+        # Labeled counters: 8 threads over 4 label sets, 2 per thread.
+        labeled_sum = sum(
+            registry.counter("c.labeled", labels={"shard": str(s)}).value
+            for s in range(4)
+        )
+        assert labeled_sum == 2.0 * total
+        for s in range(4):
+            assert (
+                registry.counter("c.labeled", labels={"shard": str(s)}).value
+                == 2.0 * ITERATIONS * (THREADS // 4)
+            )
+        shared_hist = registry.histogram("h.shared", (1.0, 2.0, 4.0))
+        snap = shared_hist.snapshot()
+        assert snap["count"] == total
+        assert sum(snap["counts"]) == total
+        for s in range(4):
+            hist = registry.histogram(
+                "h.labeled", (1.0, 2.0, 4.0), labels={"shard": str(s)}
+            )
+            assert hist.count == ITERATIONS * (THREADS // 4)
+        # Gauges: last write wins; the final value must be one a writer set.
+        assert registry.gauge("g.shared").value == float(ITERATIONS - 1)
+
+    def test_concurrent_get_or_create_single_instrument(self):
+        """All threads racing get-or-create must share ONE instrument."""
+        registry = MetricRegistry()
+        barrier = threading.Barrier(THREADS)
+        instruments = []
+        lock = threading.Lock()
+
+        def create():
+            barrier.wait()
+            for _ in range(200):
+                c = registry.counter("race", labels={"k": "v"})
+                with lock:
+                    instruments.append(c)
+
+        threads = [threading.Thread(target=create) for _ in range(THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in instruments}) == 1
+        assert len(registry) == 1
+
+    def test_concurrent_histogram_extremes_tracked(self):
+        registry = MetricRegistry()
+        bounds = exponential_bounds(0.001, 2.0, 10)
+        barrier = threading.Barrier(THREADS)
+
+        def observe(offset):
+            barrier.wait()
+            hist = registry.histogram("ext", bounds)
+            for i in range(ITERATIONS):
+                hist.observe(offset + i * 1e-6)
+
+        threads = [
+            threading.Thread(target=observe, args=(float(idx),))
+            for idx in range(THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        hist = registry.histogram("ext", bounds)
+        assert hist.count == THREADS * ITERATIONS
+        assert hist.min == 0.0
+        assert hist.max == (THREADS - 1) + (ITERATIONS - 1) * 1e-6
