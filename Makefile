@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke clean
+.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke analyze-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -58,6 +58,15 @@ service-smoke-sharded:
 ops-smoke:
 	$(PYTHONPATH_SRC) python scripts/ops_smoke.py
 
+# Record a wait-profiled stress run, then run the offline analysis
+# plane over its telemetry (the CI analyze-smoke job).
+analyze-smoke:
+	$(PYTHONPATH_SRC) python -m repro.service.cli stress \
+		--threads 4 --requests 500 --shards 2 \
+		--wait-profile --span-sample 16 --telemetry /tmp/analyze-smoke.jsonl
+	$(PYTHONPATH_SRC) python -m repro.service.cli analyze /tmp/analyze-smoke.jsonl
+	$(PYTHONPATH_SRC) python -m repro.service.cli analyze /tmp/analyze-smoke.jsonl --json > /dev/null
+
 # Service throughput-vs-threads curves, unsharded and sharded; writes
 # BENCH_SERVICE.json at the repo root (tracked alongside BENCH_CORE.json).
 # Both families are measured in one run so the sharded-vs-unsharded
@@ -66,7 +75,7 @@ bench-service:
 	$(PYTHONPATH_SRC) python -m benchmarks.perf.run \
 		--bench service_churn_t1 --bench service_churn_t2 \
 		--bench service_churn_t4 --bench service_churn_t8 \
-		--bench service_churn_t8_ops \
+		--bench service_churn_t8_ops --bench service_churn_t8_waits \
 		--bench service_churn_sharded_t1 --bench service_churn_sharded_t2 \
 		--bench service_churn_sharded_t4 --bench service_churn_sharded_t8 \
 		--out BENCH_SERVICE.json

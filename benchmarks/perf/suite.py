@@ -34,6 +34,12 @@ The benches and the hot paths they stress:
     registry, live /metrics endpoint, 1-in-64 request spans); the
     paired delta against the ops-off run is the observability
     overhead, contractually <= 5 % of median throughput.
+``service_churn_t8_waits``
+    ``service_churn_t8_ops`` plus the wait-event profiler (wait-class
+    histograms, latch statistics, incident forensics); the delta
+    against ``service_churn_t8_ops`` isolates the *profiler's* cost,
+    and the delta against plain ``service_churn_t8`` gates the whole
+    observed stack at the same <= 5 % of median throughput.
 ``service_churn_sharded_t{1,2,4,8}``
     The same closed loop through the sharded stack (per-shard lock
     tables, global STMM arbitration, cross-shard deadlock sweep): the
@@ -260,6 +266,7 @@ def run_service_churn(
     tuner_interval_s: float = 0.05,
     ops: bool = False,
     span_sample_every: int = 64,
+    waits: bool = False,
 ) -> int:
     """Closed-loop threaded load through the live LockService.
 
@@ -273,7 +280,11 @@ def run_service_churn(
     (metric registry, live /metrics HTTP endpoint on an ephemeral port,
     1-in-``span_sample_every`` request spans); paired against the
     ops-off run it measures the plane's overhead, which the contract
-    caps at 5 % of median throughput.  Returns lock requests completed.
+    caps at 5 % of median throughput.  ``waits=True`` additionally
+    enables the wait-event profiler (latch try-acquire/spin path on
+    every hot entry, wait-class histograms, blocker attribution) --
+    paired the same way, with the same 5 % gate.  Returns lock
+    requests completed.
     """
     from repro.service.driver import LoadDriver
     from repro.service.stack import ServiceConfig, ServiceStack
@@ -287,6 +298,7 @@ def run_service_churn(
             admission_queue_depth=4 * max(4, threads),
             ops_port=0 if ops else None,
             span_sample_every=span_sample_every if ops else 0,
+            wait_profile=waits,
         )
     )
     with stack:
@@ -402,6 +414,10 @@ BENCHES: Dict[str, tuple] = {
         lambda **kw: run_service_churn(threads=8, ops=True, **kw),
         "lock_requests",
     ),
+    "service_churn_t8_waits": (
+        lambda **kw: run_service_churn(threads=8, ops=True, waits=True, **kw),
+        "lock_requests",
+    ),
     "service_churn_sharded_t1": (
         lambda **kw: run_service_churn_sharded(threads=1, **kw),
         "lock_requests",
@@ -433,6 +449,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_t4": {},
         "service_churn_t8": {},
         "service_churn_t8_ops": {},
+        "service_churn_t8_waits": {},
         "service_churn_sharded_t1": {},
         "service_churn_sharded_t2": {},
         "service_churn_sharded_t4": {},
@@ -458,6 +475,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_t4": {"requests_per_thread": 100},
         "service_churn_t8": {"requests_per_thread": 50},
         "service_churn_t8_ops": {"requests_per_thread": 50},
+        "service_churn_t8_waits": {"requests_per_thread": 50},
         "service_churn_sharded_t1": {"requests_per_thread": 200, "shards": 2},
         "service_churn_sharded_t2": {"requests_per_thread": 200, "shards": 2},
         "service_churn_sharded_t4": {"requests_per_thread": 100, "shards": 4},

@@ -1,11 +1,13 @@
 #!/usr/bin/env python
 """CI smoke for the live ops plane.
 
-Launches the sharded service under sustained load with ``--ops-port``,
-scrapes the running process's ``/metrics``, ``/healthz`` and ``/stmm``
-over real HTTP, asserts the per-shard labeled series and tuner liveness
-are visible from outside, then waits for the clean shutdown (the stress
-CLI exits non-zero on any accounting violation).
+Launches the sharded service under sustained load with ``--ops-port``
+and ``--wait-profile``, scrapes the running process's ``/metrics``,
+``/healthz``, ``/stmm`` and ``/incidents`` over real HTTP, asserts the
+per-shard labeled series (including wait-class histograms and latch
+counters) and tuner liveness are visible from outside, then waits for
+the clean shutdown (the stress CLI exits non-zero on any accounting
+violation).
 
 Deliberately no timing gates: the scrape retries until the load has
 touched every shard, and the only assertions are on *state* -- series
@@ -64,6 +66,7 @@ def main() -> int:
             "--duration", str(LOAD_SECONDS),
             "--shards", str(SHARDS),
             "--ops-port", "0", "--span-sample", "16",
+            "--wait-profile",
         ],
         stdout=subprocess.PIPE,
         text=True,
@@ -82,6 +85,29 @@ def main() -> int:
         print(f"[ops-smoke] all {SHARDS} shard series visible at {base}")
         assert "shard_used_slots{" in metrics, "per-shard occupancy missing"
         assert "service_locklist_pages" in metrics, "posture gauge missing"
+        assert "service_wait_seconds_count{" in metrics, (
+            "wait-class histogram series missing with --wait-profile"
+        )
+        assert 'latch_gets{shard="0"}' in metrics, (
+            "per-shard latch counters missing"
+        )
+        # Retry until some wait completes somewhere -- the series are
+        # pre-created at zero, and the first scrape can land before the
+        # contended load has produced a single finished wait.
+        count_re = re.compile(
+            r"service_wait_seconds_count\{[^}]*\} (\d+(?:\.\d+)?)"
+        )
+        deadline = time.monotonic() + SCRAPE_DEADLINE_S
+        while True:
+            counts = [float(c) for c in count_re.findall(metrics)]
+            if any(c > 0 for c in counts):
+                break
+            assert time.monotonic() < deadline, (
+                "every wait-class series stayed empty under contended load"
+            )
+            time.sleep(0.2)
+            _, metrics = _get(base + "/metrics")
+        print("[ops-smoke] wait-class series non-empty, latch series visible")
 
         status, body = _get(base + "/healthz")
         health = json.loads(body)
@@ -102,6 +128,19 @@ def main() -> int:
         reasons = {entry["reason"] for entry in stmm["audit"]}
         print(f"[ops-smoke] /stmm: {stmm['intervals']} intervals, "
               f"reasons seen: {sorted(reasons)}")
+        assert "params" in stmm and "min_free_fraction" in stmm["params"], (
+            f"controller constants missing from /stmm: {stmm.keys()}"
+        )
+        assert stmm.get("wait_classes"), "wait_classes absent from /stmm"
+
+        status, body = _get(base + "/incidents")
+        assert status == 200, f"/incidents returned {status}"
+        incidents = json.loads(body)
+        assert set(incidents) == {"total", "counts", "incidents"}, incidents
+        # Ring-bounded: the lifetime total can exceed what is held.
+        assert incidents["total"] >= len(incidents["incidents"]), incidents
+        print(f"[ops-smoke] /incidents reachable: "
+              f"{incidents['total']} captured ({incidents['counts']})")
     finally:
         # Drain the remaining output so the stress process can finish
         # its report and shut down cleanly.

@@ -1,0 +1,250 @@
+"""Offline wait-profile analysis over a telemetry JSONL stream.
+
+The consumer side of the wait-event profiler and incident forensics:
+``repro-service stress --wait-profile --telemetry run.jsonl`` records a
+run; :func:`analyze_run` turns the reloaded
+:class:`~repro.obs.events.RunTelemetry` into a
+:class:`WaitProfileReport` -- the offline pass the ROADMAP's
+closed-loop controller-autotuning item consumes:
+
+* **wait-time breakdown by class** -- primary source is the
+  ``service.wait.seconds{class=...}`` histograms in the stream's
+  registry snapshot (exact totals, summed across shard labels); when a
+  stream carries no histograms (hand-built, or profiling off) the raw
+  ``wait`` records stand in, flagged as ring-bounded;
+* **top-N blockers** -- from the raw wait events' blocker attribution:
+  per blocking application, how many lock waits it gated and how much
+  blocked time it caused;
+* **tuner convergence** -- from the audit trail: when the tuner last
+  *acted* (the convergence time: everything after is ``noop``), the
+  per-reason action counts, controller decision count and incident
+  counts per kind.
+
+``repro-service analyze run.jsonl`` renders the report as aligned text
+(or ``--json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.report import format_table
+from repro.obs.events import RunTelemetry
+from repro.obs.incidents import INCIDENT_KINDS
+from repro.obs.waits import WAIT_CLASSES, WAIT_SECONDS_METRIC
+
+
+@dataclass
+class BlockerEntry:
+    """One blocking application's aggregate impact."""
+
+    app_id: int
+    waits_caused: int
+    blocked_seconds: float
+    max_depth: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "app": self.app_id,
+            "waits_caused": self.waits_caused,
+            "blocked_seconds": self.blocked_seconds,
+            "max_depth": self.max_depth,
+        }
+
+
+@dataclass
+class WaitProfileReport:
+    """The offline analysis of one recorded run."""
+
+    label: str
+    #: ``{class: {"count": int, "seconds": float}}`` for every class.
+    wait_breakdown: Dict[str, Dict[str, float]]
+    #: "histograms" (exact) or "ring" (bounded raw events) or "none".
+    breakdown_source: str
+    top_blockers: List[BlockerEntry]
+    #: Time of the last non-noop audit action (None: tuner never acted).
+    converged_at: Optional[float]
+    #: Audit actions per reason (the closed audit vocabulary).
+    audit_reasons: Dict[str, int]
+    decision_count: int
+    incident_counts: Dict[str, int]
+    #: Raw wait events carried in the stream (ring-bounded at capture).
+    raw_wait_events: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "wait_breakdown": self.wait_breakdown,
+            "breakdown_source": self.breakdown_source,
+            "top_blockers": [b.to_dict() for b in self.top_blockers],
+            "converged_at": self.converged_at,
+            "audit_reasons": self.audit_reasons,
+            "decision_count": self.decision_count,
+            "incident_counts": self.incident_counts,
+            "raw_wait_events": self.raw_wait_events,
+            "notes": self.notes,
+        }
+
+    def render_text(self) -> str:
+        lines = [f"wait profile: {self.label}"]
+        lines.append("")
+        lines.append(f"wait-time breakdown (source: {self.breakdown_source}):")
+        rows = []
+        total_s = sum(v["seconds"] for v in self.wait_breakdown.values())
+        for cls in WAIT_CLASSES:
+            entry = self.wait_breakdown.get(cls)
+            if entry is None or entry["count"] == 0:
+                continue
+            share = entry["seconds"] / total_s if total_s > 0 else 0.0
+            rows.append(
+                [
+                    cls,
+                    int(entry["count"]),
+                    f"{entry['seconds']:.6f}",
+                    f"{share:.1%}",
+                ]
+            )
+        if rows:
+            lines.append(
+                format_table(["class", "count", "seconds", "share"], rows)
+            )
+        else:
+            lines.append("  (no waits recorded)")
+        lines.append("")
+        lines.append("top blockers:")
+        if self.top_blockers:
+            lines.append(
+                format_table(
+                    ["app", "waits caused", "blocked s", "max depth"],
+                    [
+                        [
+                            b.app_id,
+                            b.waits_caused,
+                            f"{b.blocked_seconds:.6f}",
+                            b.max_depth,
+                        ]
+                        for b in self.top_blockers
+                    ],
+                )
+            )
+        else:
+            lines.append("  (no attributed lock waits)")
+        lines.append("")
+        lines.append("tuner convergence:")
+        if self.converged_at is not None:
+            lines.append(f"  last action at t={self.converged_at:.3f}s")
+        else:
+            lines.append("  tuner never acted (no non-noop audit entry)")
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(self.audit_reasons.items())
+            if count
+        )
+        lines.append(f"  audit actions: {reasons or '(none)'}")
+        lines.append(f"  controller decisions: {self.decision_count}")
+        incidents = ", ".join(
+            f"{kind}={count}"
+            for kind, count in self.incident_counts.items()
+            if count
+        )
+        lines.append(f"  incidents: {incidents or '(none)'}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def analyze_run(telemetry: RunTelemetry, top_n: int = 5) -> WaitProfileReport:
+    """Build the wait-profile report for one reloaded run."""
+    breakdown, source, notes = _wait_breakdown(telemetry)
+    return WaitProfileReport(
+        label=telemetry.label,
+        wait_breakdown=breakdown,
+        breakdown_source=source,
+        top_blockers=_top_blockers(telemetry, top_n),
+        converged_at=_converged_at(telemetry),
+        audit_reasons=_audit_reasons(telemetry),
+        decision_count=len(telemetry.decisions),
+        incident_counts=_incident_counts(telemetry),
+        raw_wait_events=len(telemetry.waits),
+        notes=notes,
+    )
+
+
+def _wait_breakdown(telemetry: RunTelemetry):
+    """Class totals from histograms, falling back to the raw ring."""
+    breakdown = {cls: {"count": 0, "seconds": 0.0} for cls in WAIT_CLASSES}
+    notes: List[str] = []
+    found = False
+    for hist in telemetry.registry.histograms():
+        if hist.base_name != WAIT_SECONDS_METRIC:
+            continue
+        labels = dict(hist.labels)
+        cls = labels.get("class")
+        if cls is None or cls not in breakdown:
+            continue
+        breakdown[cls]["count"] += hist.count
+        breakdown[cls]["seconds"] += hist.sum
+        found = True
+    if found:
+        return breakdown, "histograms", notes
+    if telemetry.waits:
+        for wait in telemetry.waits:
+            cls = wait.get("class")
+            if cls in breakdown:
+                breakdown[cls]["count"] += 1
+                breakdown[cls]["seconds"] += float(wait.get("duration_s", 0.0))
+        notes.append(
+            "breakdown rebuilt from the bounded raw-event ring; "
+            "totals may undercount long runs"
+        )
+        return breakdown, "ring", notes
+    notes.append("stream carries no wait histograms or raw wait events")
+    return breakdown, "none", notes
+
+
+def _top_blockers(telemetry: RunTelemetry, top_n: int) -> List[BlockerEntry]:
+    tally: Dict[int, BlockerEntry] = {}
+    for wait in telemetry.waits:
+        if not str(wait.get("class", "")).startswith("lock."):
+            continue
+        blocker = wait.get("blocker")
+        if blocker is None:
+            continue
+        blocker = int(blocker)
+        entry = tally.get(blocker)
+        if entry is None:
+            entry = tally[blocker] = BlockerEntry(blocker, 0, 0.0, 0)
+        entry.waits_caused += 1
+        entry.blocked_seconds += float(wait.get("duration_s", 0.0))
+        entry.max_depth = max(entry.max_depth, int(wait.get("depth", 0)))
+    worst = sorted(
+        tally.values(), key=lambda b: (-b.blocked_seconds, b.app_id)
+    )
+    return worst[: max(0, top_n)]
+
+
+def _converged_at(telemetry: RunTelemetry) -> Optional[float]:
+    last_action = None
+    for record in telemetry.audit:
+        if record.reason != "noop":
+            last_action = record.time
+    return last_action
+
+
+def _audit_reasons(telemetry: RunTelemetry) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for record in telemetry.audit:
+        counts[record.reason] = counts.get(record.reason, 0) + 1
+    return counts
+
+
+def _incident_counts(telemetry: RunTelemetry) -> Dict[str, int]:
+    counts = {kind: 0 for kind in INCIDENT_KINDS}
+    for incident in telemetry.incidents:
+        counts[incident.kind] = counts.get(incident.kind, 0) + 1
+    return counts
+
+
+__all__ = ["BlockerEntry", "WaitProfileReport", "analyze_run"]

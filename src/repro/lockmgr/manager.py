@@ -48,9 +48,10 @@ callbacks that acquire locks).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.engine.des import Environment
 from repro.errors import DeadlockError, LockManagerError
@@ -191,6 +192,13 @@ class LockManager:
         #: (repro.obs.instruments.LockManagerInstruments).  Like the
         #: tracer, disabled costs one ``is None`` check per probe site.
         self.obs: Optional["LockManagerInstruments"] = None
+        #: Optional wait-event profiler (repro.obs.waits); records every
+        #: lock wait with blocker attribution plus sync-growth stalls.
+        #: Same contract: disabled costs one ``is None`` check per site.
+        self.wait_profiler = None
+        #: Optional incident recorder (repro.obs.incidents); captures
+        #: deadlock victims and escalations with forensic context.
+        self.incidents = None
         #: "immediate" (default): a cycle-closing request fails on the
         #: spot.  "periodic": cycles persist until a
         #: :class:`repro.lockmgr.detector.DeadlockDetector` pass picks a
@@ -434,6 +442,10 @@ class LockManager:
                     self.chain.free_slot(waiter.block)
                     self._uncharge_slot(app_id)
                     freed += 1
+            if self.wait_profiler is not None:
+                # The app was parked when its session unwound; close the
+                # open wait so quiesce leaves no dangling lock wait.
+                self.wait_profiler.end_lock_wait(app_id, "cancelled")
             self._pump(obj)
             self._gc_object(obj)
         # Bulk path: every per-app index is discarded wholesale, so the
@@ -603,6 +615,13 @@ class LockManager:
         elif reason != "deadlock":
             self.stats.cancelled_waits += 1
             self._record_wait(self.env.now - waiter.enqueued_at)
+        if self.wait_profiler is not None:
+            self.wait_profiler.end_lock_wait(
+                app_id,
+                "timeout" if reason == "timeout"
+                else "deadlock" if reason == "deadlock"
+                else "cancelled",
+            )
         if self.tracer is not None:
             self._trace(
                 reason, app_id,
@@ -620,6 +639,13 @@ class LockManager:
         if self.deadlock_detection == "immediate" and self._creates_deadlock(
             app_id, obj, waiter
         ):
+            # Walk the cycle while the waiter is still enqueued (the
+            # wait-for edge disappears with the cleanup below).
+            cycle = (
+                self._find_cycle(app_id, obj, waiter)
+                if self.incidents is not None
+                else []
+            )
             del self._waiting_on[app_id]
             obj.remove_waiter(app_id)
             if waiter.block is not None:
@@ -628,6 +654,12 @@ class LockManager:
             self._pump(obj)
             self._gc_object(obj)
             self.stats.deadlocks += 1
+            if self.incidents is not None:
+                self.incidents.record_deadlock(
+                    self, app_id, obj.resource, cycle,
+                    f"immediate check: {waiter.mode.name} request on "
+                    f"{obj.resource} closes a wait-for cycle",
+                )
             if self.tracer is not None:
                 self._trace("deadlock", app_id, f"{waiter.mode.name} {obj.resource}", str(obj.resource))
             raise DeadlockError(
@@ -635,6 +667,18 @@ class LockManager:
                 "would close a wait-for cycle"
             )
         self.stats.waits += 1
+        if self.wait_profiler is not None:
+            blockers = obj.blockers_of(waiter)
+            blocker = blockers[0] if blockers else None
+            held = obj.granted.get(blocker) if blocker is not None else None
+            self.wait_profiler.begin_lock_wait(
+                app_id,
+                str(obj.resource),
+                waiter.mode.name,
+                blocker=blocker,
+                blocker_mode=held.mode.name if held is not None else "queued",
+                depth=self._wait_depth(blocker) if blocker is not None else 0,
+            )
         if self.tracer is not None:
             self._trace("wait-begin", app_id, f"{waiter.mode.name} {obj.resource}", str(obj.resource))
         started = self.env.now
@@ -643,8 +687,11 @@ class LockManager:
                 yield waiter.event
             except DeadlockError:
                 # asynchronous victimization by the periodic detector;
-                # cancel_wait already cleaned up the queue state
+                # cancel_wait already cleaned up the queue state (and
+                # closed the wait event; this end is its no-op backstop)
                 self._record_wait(self.env.now - started)
+                if self.wait_profiler is not None:
+                    self.wait_profiler.end_lock_wait(app_id, "deadlock")
                 raise
         else:
             timeout = self.env.timeout(self.lock_timeout_s)
@@ -652,6 +699,8 @@ class LockManager:
                 yield self.env.any_of([waiter.event, timeout])
             except DeadlockError:
                 self._record_wait(self.env.now - started)
+                if self.wait_profiler is not None:
+                    self.wait_profiler.end_lock_wait(app_id, "deadlock")
                 raise
             if not waiter.event.triggered:
                 # LOCKTIMEOUT expired first: withdraw the request.
@@ -664,6 +713,8 @@ class LockManager:
                 self._gc_object(obj)
                 self.stats.lock_timeouts += 1
                 self._record_wait(self.env.now - started)
+                if self.wait_profiler is not None:
+                    self.wait_profiler.end_lock_wait(app_id, "timeout")
                 if self.tracer is not None:
                     self._trace(
                         "timeout", app_id,
@@ -676,6 +727,8 @@ class LockManager:
                 )
         self._waiting_on.pop(app_id, None)
         self._record_wait(self.env.now - started)
+        if self.wait_profiler is not None:
+            self.wait_profiler.end_lock_wait(app_id, "granted")
         if self.tracer is not None:
             self._trace(
                 "wait-end", app_id,
@@ -797,6 +850,63 @@ class LockManager:
                 stack.extend(blocked_obj.blockers_of(blocked_waiter))
         return False
 
+    def _wait_depth(self, app_id: Optional[int], cap: int = 16) -> int:
+        """Length of the wait-for chain starting at ``app_id``.
+
+        Thomasian-style wait-depth: 1 means the blocker itself is
+        running, 2 means it is waiting on a running app, and so on.
+        Bounded by ``cap`` (a cycle or a pathological chain must not
+        turn the probe into a scan).  Only called while the profiler is
+        enabled.
+        """
+        depth = 1
+        seen: Set[int] = set()
+        while app_id is not None and app_id not in seen and depth < cap:
+            seen.add(app_id)
+            entry = self._waiting_on.get(app_id)
+            if entry is None:
+                break
+            blocked_obj, blocked_waiter = entry
+            blockers = blocked_obj.blockers_of(blocked_waiter)
+            app_id = blockers[0] if blockers else None
+            depth += 1
+        return depth
+
+    def _find_cycle(
+        self, app_id: int, obj: LockObject, waiter: Waiter
+    ) -> List[int]:
+        """Reconstruct the wait-for cycle ``_creates_deadlock`` found.
+
+        BFS over the same edges, keeping parent pointers; returns the
+        cycle as app ids starting from the requester.  Only called on
+        the (rare) deadlock path when incident capture is enabled.
+        """
+        parents: Dict[int, int] = {}
+        queue: Deque[int] = deque()
+        for blocker in obj.blockers_of(waiter):
+            if blocker == app_id:
+                return [app_id]
+            if blocker not in parents:
+                parents[blocker] = app_id
+                queue.append(blocker)
+        while queue:
+            node = queue.popleft()
+            entry = self._waiting_on.get(node)
+            if entry is None:
+                continue
+            blocked_obj, blocked_waiter = entry
+            for blocker in blocked_obj.blockers_of(blocked_waiter):
+                if blocker == app_id:
+                    cycle = [node]
+                    while cycle[-1] != app_id:
+                        cycle.append(parents[cycle[-1]])
+                    cycle.reverse()
+                    return cycle
+                if blocker not in parents:
+                    parents[blocker] = node
+                    queue.append(blocker)
+        return [app_id]
+
     # -- memory pressure: growth then escalation ------------------------------------------
 
     def _ensure_slot_available(self, app_id: int, resource: ResourceId):
@@ -875,16 +985,25 @@ class LockManager:
             return 0  # this application asked to escalate instead
         if self.growth_provider is None:
             return 0
-        if self.obs is not None:
+        if self.obs is not None or self.wait_profiler is not None:
             # Wall-clock cost of the provider call: the synchronous
             # growth path stalls the requesting transaction in a real
             # system, so its latency is a first-class observable.
             wall_started = perf_counter()
             granted = int(self.growth_provider(1))
-            self.obs.sync_growth_latency.observe(perf_counter() - wall_started)
-            self.obs.sync_growth_requests.inc()
-            if granted > 0:
-                self.obs.sync_growth_blocks.inc(granted)
+            elapsed = perf_counter() - wall_started
+            if self.obs is not None:
+                self.obs.sync_growth_latency.observe(elapsed)
+                self.obs.sync_growth_requests.inc()
+                if granted > 0:
+                    self.obs.sync_growth_blocks.inc(granted)
+            if self.wait_profiler is not None:
+                self.wait_profiler.observe(
+                    "sync-growth",
+                    elapsed,
+                    app_id=-1 if for_app is None else for_app,
+                    note=f"+{granted} blocks",
+                )
         else:
             granted = int(self.growth_provider(1))
         if granted < 0:
@@ -1002,6 +1121,10 @@ class LockManager:
                     waited=waited,
                 )
             )
+            if self.incidents is not None:
+                self.incidents.record_escalation(
+                    self, app_id, table_id, reason, freed, waited
+                )
             return freed
         self.stats.escalations.failures += 1
         if self.obs is not None:

@@ -17,7 +17,13 @@ meets:
 * :mod:`repro.obs.audit` -- the bounded STMM decision audit log
   (:class:`TuningAuditLog`) with its closed reason vocabulary,
 * :mod:`repro.obs.spans` -- 1-in-N sampled per-request
-  admission->grant->release timelines (:class:`RequestSpanSampler`).
+  admission->grant->release timelines (:class:`RequestSpanSampler`),
+* :mod:`repro.obs.waits` -- the wait-event profiler
+  (:class:`WaitEventProfiler`): wait-class histograms with blocker
+  attribution plus Oracle-style latch statistics,
+* :mod:`repro.obs.incidents` -- incident forensics
+  (:class:`IncidentLog`): structured deadlock / escalation /
+  tuner-freeze records with posture, blockers and audit tail.
 
 Enable on a database with ``db.enable_telemetry()`` before the run,
 collect with ``db.telemetry()`` (or
@@ -57,7 +63,21 @@ from repro.obs.registry import (
     labeled_name,
     parse_labeled_name,
 )
+from repro.obs.incidents import (
+    INCIDENT_KINDS,
+    IncidentLog,
+    IncidentRecord,
+    IncidentRecorder,
+)
 from repro.obs.spans import RequestSpan, RequestSpanSampler
+from repro.obs.waits import (
+    WAIT_CLASSES,
+    WAIT_SECONDS_METRIC,
+    LatchStats,
+    WaitEvent,
+    WaitEventProfiler,
+    merged_class_totals,
+)
 
 __all__ = [
     "Counter",
@@ -84,4 +104,14 @@ __all__ = [
     "SCHEMA_VERSION",
     "SUPPORTED_SCHEMA_VERSIONS",
     "WAIT_LATENCY_METRIC",
+    "WAIT_CLASSES",
+    "WAIT_SECONDS_METRIC",
+    "LatchStats",
+    "WaitEvent",
+    "WaitEventProfiler",
+    "merged_class_totals",
+    "INCIDENT_KINDS",
+    "IncidentLog",
+    "IncidentRecord",
+    "IncidentRecorder",
 ]

@@ -11,7 +11,7 @@ serializes them as a single time-ordered JSONL stream that
 controller decisions and histogram percentiles all survive the round
 trip exactly, so a run can be audited entirely offline.
 
-Record kinds (schema version 2, one JSON object per line):
+Record kinds (schema version 3, one JSON object per line):
 
 =============  ==============================================================
 ``meta``       run header: ``label``, ``version`` (first line of every run)
@@ -20,16 +20,21 @@ Record kinds (schema version 2, one JSON object per line):
 ``decision``   one controller tuning decision (all ControllerDecision fields)
 ``audit``      one STMM tuning audit entry (all TuningAuditRecord fields;
                added in schema version 2, emitted by the live service)
+``wait``       one completed wait event from the wait-event profiler
+               (``t``, ``class``, ``app``, ``duration_s``, blocker
+               attribution; added in schema version 3)
+``incident``   one incident forensics record (all IncidentRecord fields;
+               added in schema version 3)
 ``sample``     one metric sample: ``t``, ``series``, ``value``
 ``counter``    final counter value: ``name``, ``value``
 ``gauge``      final gauge value: ``name``, ``value``
 ``histogram``  full histogram snapshot (bounds, bucket counts, sum, min/max)
 =============  ==============================================================
 
-``trace``/``decision``/``audit``/``sample`` records are merged in ``t``
-order; registry records follow at the end (they are end-of-run
-snapshots).  The reader accepts schema versions 1 and 2 (version 1
-streams simply contain no ``audit`` records).
+``trace``/``decision``/``audit``/``wait``/``incident``/``sample``
+records are merged in ``t`` order; registry records follow at the end
+(they are end-of-run snapshots).  The reader accepts schema versions 1
+through 3 (earlier versions simply contain none of the newer kinds).
 """
 
 from __future__ import annotations
@@ -44,16 +49,18 @@ from repro.core.controller import ControllerDecision
 from repro.engine.metrics import MetricsRecorder
 from repro.lockmgr.tracing import TraceEvent
 from repro.obs.audit import TuningAuditRecord
+from repro.obs.incidents import IncidentRecord
 from repro.obs.registry import Histogram, MetricRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.database import Database
 
 #: Bumped when the JSONL record schema changes incompatibly.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
-#: Versions :func:`load_runs` understands (v1 lacks ``audit`` records).
-SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
+#: Versions :func:`load_runs` understands (v1 lacks ``audit`` records,
+#: v2 lacks ``wait`` and ``incident`` records).
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3})
 
 #: The histogram the lock manager observes wait durations into.
 WAIT_LATENCY_METRIC = "lock.wait.latency_s"
@@ -75,6 +82,8 @@ class RunTelemetry:
         metrics: Optional[MetricsRecorder] = None,
         registry: Optional[MetricRegistry] = None,
         audit: Optional[List[TuningAuditRecord]] = None,
+        waits: Optional[List[Dict[str, Any]]] = None,
+        incidents: Optional[List[IncidentRecord]] = None,
     ) -> None:
         self.label = label
         self.trace_events = trace_events or []
@@ -82,6 +91,9 @@ class RunTelemetry:
         self.metrics = metrics or MetricsRecorder()
         self.registry = registry or MetricRegistry()
         self.audit = audit or []
+        #: Raw wait events as dicts (the profiler ring's ``to_dicts``).
+        self.waits = waits or []
+        self.incidents = incidents or []
 
     # -- construction --------------------------------------------------------
 
@@ -195,6 +207,30 @@ class RunTelemetry:
                 )
                 yield record
 
+        def wait_records():
+            # The profiler ring is ordered by wait END time while the
+            # exported ``t`` is the wait START; heapq.merge requires
+            # each input sorted by the merge key, so sort explicitly.
+            for w in sorted(self.waits, key=lambda w: w["t"]):
+                record = {"kind": "wait"}
+                record.update(w)
+                yield record
+
+        def incident_records():
+            # The record's own ``kind`` field (deadlock / escalation /
+            # tuner-freeze) is exported as ``incident_kind`` so it
+            # cannot collide with the stream's record-kind dispatch.
+            for i in sorted(self.incidents, key=lambda i: i.time):
+                record = {"kind": "incident", "t": i.time}
+                record.update(
+                    {
+                        ("incident_kind" if k == "kind" else k): v
+                        for k, v in i.to_dict().items()
+                        if k != "time"
+                    }
+                )
+                yield record
+
         def sample_records():
             for t, row in self.metrics.to_rows():
                 for series in sorted(row):
@@ -205,7 +241,7 @@ class RunTelemetry:
 
         yield from heapq.merge(
             trace_records(), decision_records(), audit_records(),
-            sample_records(),
+            wait_records(), incident_records(), sample_records(),
             key=lambda record: record["t"],
         )
         snapshot = self.registry.snapshot()
@@ -245,6 +281,7 @@ class RunTelemetry:
             f"RunTelemetry({self.label!r}, {len(self.trace_events)} trace "
             f"events, {len(self.decisions)} decisions, "
             f"{len(self.audit)} audit records, "
+            f"{len(self.waits)} waits, {len(self.incidents)} incidents, "
             f"{len(self.metrics.names())} series)"
         )
 
@@ -315,6 +352,16 @@ def _apply_record(
         fields["time"] = fields.pop("t")
         fields.pop("kind")
         telemetry.audit.append(TuningAuditRecord.from_dict(fields))
+    elif kind == "wait":
+        fields = dict(record)
+        fields.pop("kind")
+        telemetry.waits.append(fields)
+    elif kind == "incident":
+        fields = dict(record)
+        fields["time"] = fields.pop("t")
+        fields.pop("kind")
+        fields["kind"] = fields.pop("incident_kind")
+        telemetry.incidents.append(IncidentRecord.from_dict(fields))
     elif kind == "sample":
         telemetry.metrics.record(record["series"], record["t"], record["value"])
     elif kind == "counter":

@@ -1,0 +1,289 @@
+"""Incident forensics: structured records for the moments that hurt.
+
+The wait profiler (:mod:`repro.obs.waits`) answers "where does time
+go"; this module answers "what exactly happened" at the three discrete
+failure events the paper's tuning loop is designed around:
+
+``deadlock``
+    A victim was chosen -- by the immediate cycle check in the lock
+    manager or by the cross-shard sweep.  The record carries the
+    wait-for cycle, the contended resource and the victim rationale.
+``escalation``
+    A row-to-table escalation fired (paper section 3.1's signal).  The
+    record carries the escalated table, trigger reason, rows freed and
+    whether waiters were stalled behind the escalating app.
+``tuner-freeze``
+    The tuning daemon crashed and froze the LOCKLIST (degraded static
+    mode).  The record carries the exception and final chain posture.
+
+Every record also snapshots the lock-table *posture* (pages, slots,
+free fraction, waiter count), the top blockers at capture time, and the
+tail of the STMM audit ring -- the context a DBA would pull from DB2's
+``db2pd -locks`` plus the event monitor after the fact.  Records live
+in a bounded ring (:class:`IncidentLog`, same shape as the audit ring),
+are served on the ``/incidents`` ops endpoint, and ride the telemetry
+JSONL as schema-v3 ``incident`` records.
+
+Capture cost is paid only when an incident fires -- deadlocks,
+escalations and freezes are rare by construction -- so incident
+recording is always on; the hot-path contract is the usual single
+``is None`` check at each capture site.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional
+
+#: Closed vocabulary of incident kinds.
+INCIDENT_KINDS = ("deadlock", "escalation", "tuner-freeze")
+
+
+@dataclass
+class IncidentRecord:
+    """One captured incident with its forensic context."""
+
+    #: One of :data:`INCIDENT_KINDS`.
+    kind: str
+    #: Clock time of capture (wall seconds for the live service).
+    time: float
+    #: Application at the center of the incident (victim / escalator),
+    #: or -1 for chain-level incidents (tuner freeze).
+    app_id: int
+    #: Shard the incident fired on (0 for the unsharded stack).
+    shard: int
+    #: Human-readable rationale (victim choice, trigger, crash message).
+    detail: str
+    #: Wait-for cycle as app ids, victim first (deadlocks only).
+    cycle: List[int] = field(default_factory=list)
+    #: Lock-table posture at capture time.
+    posture: Dict[str, Any] = field(default_factory=dict)
+    #: ``[{app, waiters_blocked, slots_held}, ...]`` -- worst first.
+    blockers: List[Dict[str, Any]] = field(default_factory=list)
+    #: Most recent STMM audit entries at capture time.
+    audit_tail: List[Dict[str, Any]] = field(default_factory=list)
+    #: Kind-specific extras (escalated table, rows freed, ...).
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "IncidentRecord":
+        return cls(
+            kind=str(record["kind"]),
+            time=float(record["time"]),
+            app_id=int(record["app_id"]),
+            shard=int(record["shard"]),
+            detail=str(record["detail"]),
+            cycle=[int(app) for app in record.get("cycle", [])],
+            posture=dict(record.get("posture", {})),
+            blockers=[dict(b) for b in record.get("blockers", [])],
+            audit_tail=[dict(a) for a in record.get("audit_tail", [])],
+            data=dict(record.get("data", {})),
+        )
+
+
+class IncidentLog:
+    """A bounded, thread-safe ring of :class:`IncidentRecord`.
+
+    Appends come from request threads (deadlock, escalation) and the
+    tuner thread (freeze); reads come from HTTP handler threads via
+    ``/incidents``.  Same discipline as the STMM audit ring.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._records: Deque[IncidentRecord] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: Total incidents ever recorded (survives ring eviction).
+        self.total_recorded = 0
+
+    def append(self, record: IncidentRecord) -> None:
+        if record.kind not in INCIDENT_KINDS:
+            raise ValueError(
+                f"unknown incident kind {record.kind!r}; "
+                f"expected one of {INCIDENT_KINDS}"
+            )
+        with self._lock:
+            self._records.append(record)
+            self.total_recorded += 1
+
+    def records(self) -> List[IncidentRecord]:
+        """A snapshot copy of the ring, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def tail(self, n: int) -> List[IncidentRecord]:
+        if n <= 0:
+            return []
+        with self._lock:
+            return list(self._records)[-n:]
+
+    def kinds(self) -> List[str]:
+        """The kind sequence currently in the ring, oldest first."""
+        return [record.kind for record in self.records()]
+
+    def kind_counts(self) -> Dict[str, int]:
+        """``{kind: count}`` over the current ring contents."""
+        counts = {kind: 0 for kind in INCIDENT_KINDS}
+        for record in self.records():
+            counts[record.kind] += 1
+        return counts
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [record.to_dict() for record in self.records()]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __iter__(self):
+        return iter(self.records())
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"IncidentLog({len(self._records)}/{self.capacity} held, "
+                f"{self.total_recorded} total)"
+            )
+
+
+class IncidentRecorder:
+    """Capture-site helper bound to one lock domain (shard).
+
+    The stacks create one per shard, all feeding a single shared
+    :class:`IncidentLog`; the recorder knows how to snapshot a lock
+    manager's posture and top blockers at the moment of capture.  The
+    ``audit`` attribute is wired by the stack once the tuner exists
+    (capture sites run before tuner construction during wiring).
+    """
+
+    def __init__(self, log: IncidentLog, *, shard: int = 0, audit=None) -> None:
+        self.log = log
+        self.shard = shard
+        self.audit = audit
+
+    # -- capture sites -------------------------------------------------
+
+    def record_deadlock(
+        self,
+        manager,
+        app_id: int,
+        resource,
+        cycle: List[int],
+        detail: str,
+    ) -> None:
+        """A deadlock victim was just chosen (before its error raises)."""
+        self.log.append(
+            IncidentRecord(
+                kind="deadlock",
+                time=manager.env.now,
+                app_id=app_id,
+                shard=self.shard,
+                detail=detail,
+                cycle=list(cycle),
+                posture=self._posture(manager),
+                blockers=self._top_blockers(manager),
+                audit_tail=self._audit_tail(),
+                data={"resource": str(resource)},
+            )
+        )
+
+    def record_escalation(
+        self,
+        manager,
+        app_id: int,
+        table_id: int,
+        reason: str,
+        rows_freed: int,
+        waiters_present: bool,
+    ) -> None:
+        """A row-to-table escalation just completed."""
+        self.log.append(
+            IncidentRecord(
+                kind="escalation",
+                time=manager.env.now,
+                app_id=app_id,
+                shard=self.shard,
+                detail=f"escalated table {table_id} ({reason})",
+                posture=self._posture(manager),
+                blockers=self._top_blockers(manager),
+                audit_tail=self._audit_tail(),
+                data={
+                    "table_id": table_id,
+                    "reason": reason,
+                    "rows_freed": rows_freed,
+                    "waiters_present": waiters_present,
+                },
+            )
+        )
+
+    def record_freeze(self, chain, now: float, exc: BaseException) -> None:
+        """The tuning daemon crashed; the LOCKLIST is frozen."""
+        self.log.append(
+            IncidentRecord(
+                kind="tuner-freeze",
+                time=now,
+                app_id=-1,
+                shard=self.shard,
+                detail=f"{type(exc).__name__}: {exc}",
+                posture={
+                    "allocated_pages": chain.allocated_pages,
+                    "used_slots": chain.used_slots,
+                    "capacity_slots": chain.capacity_slots,
+                },
+                audit_tail=self._audit_tail(),
+            )
+        )
+
+    # -- snapshot helpers ----------------------------------------------
+
+    @staticmethod
+    def _posture(manager) -> Dict[str, Any]:
+        chain = manager.chain
+        capacity = chain.capacity_slots
+        free = (capacity - chain.used_slots) / capacity if capacity else 0.0
+        return {
+            "allocated_pages": chain.allocated_pages,
+            "used_slots": chain.used_slots,
+            "capacity_slots": capacity,
+            "free_fraction": round(free, 4),
+            "maxlocks_fraction": manager.maxlocks_fraction,
+            "waiting_apps": len(manager.waiting_apps()),
+        }
+
+    @staticmethod
+    def _top_blockers(manager, limit: int = 5) -> List[Dict[str, Any]]:
+        """Apps blocking the most waiters right now, worst first."""
+        blocked: Dict[int, int] = {}
+        for obj in manager.contended_objects().values():
+            for waiter in obj.waiters:
+                for blocker in obj.blockers_of(waiter):
+                    blocked[blocker] = blocked.get(blocker, 0) + 1
+        worst = sorted(blocked.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [
+            {
+                "app": app,
+                "waiters_blocked": count,
+                "slots_held": manager.app_slots(app),
+            }
+            for app, count in worst[:limit]
+        ]
+
+    def _audit_tail(self, n: int = 5) -> List[Dict[str, Any]]:
+        if self.audit is None:
+            return []
+        return [record.to_dict() for record in self.audit.tail(n)]
+
+
+__all__ = [
+    "INCIDENT_KINDS",
+    "IncidentLog",
+    "IncidentRecord",
+    "IncidentRecorder",
+]

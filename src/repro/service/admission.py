@@ -70,6 +70,11 @@ class AdmissionController:
         self._in_flight = 0
         self._queue: Deque[object] = deque()
         self._closed = False
+        #: Optional :class:`repro.obs.waits.WaitEventProfiler`; records
+        #: queued admissions into the ``admission`` wait class.  The
+        #: immediate-admit path stays probe-free (no wait happened);
+        #: disabled costs one ``is None`` check per queued acquire.
+        self.wait_profiler = None
 
     # -- introspection -----------------------------------------------------
 
@@ -109,6 +114,9 @@ class AdmissionController:
             self._queue.append(ticket)
             if len(self._queue) > self.stats.peak_queue_depth:
                 self.stats.peak_queue_depth = len(self._queue)
+            wait_started = (
+                self.clock.now() if self.wait_profiler is not None else 0.0
+            )
             try:
                 while not (
                     self._queue[0] is ticket
@@ -129,11 +137,25 @@ class AdmissionController:
                         self._cond.wait()
             except BaseException:
                 self._queue.remove(ticket)
+                if self.wait_profiler is not None:
+                    self.wait_profiler.observe(
+                        "admission",
+                        max(0.0, self.clock.now() - wait_started),
+                        started=wait_started,
+                        note="failed",
+                    )
                 # Our departure may unblock the new head of the queue.
                 self._cond.notify_all()
                 raise
             self._queue.popleft()
             self._admit()
+            if self.wait_profiler is not None:
+                self.wait_profiler.observe(
+                    "admission",
+                    max(0.0, self.clock.now() - wait_started),
+                    started=wait_started,
+                    note="admitted",
+                )
             # The next queued waiter may also fit (slots can free in bursts).
             self._cond.notify_all()
 

@@ -17,7 +17,11 @@ Three subcommands:
 ``top``
     Poll a running service's ops endpoints (``--ops-port``) and render
     a refreshing console dashboard: per-shard throughput and latency,
-    LOCKLIST posture, and the STMM audit tail.
+    wait time and incidents, LOCKLIST posture, and the STMM audit tail
+    (``--json`` emits one machine-readable object per frame).
+``analyze``
+    Offline analysis over a recorded ``--telemetry`` JSONL: wait-time
+    breakdown by class, the top blockers, and tuner convergence.
 
 Every load subcommand accepts ``--ops-port`` (serve ``/metrics`` /
 ``/healthz`` / ``/stmm`` while running), ``--span-sample N`` (sample
@@ -29,10 +33,13 @@ trail as a JSONL stream readable by ``repro.obs``).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Union
 
+from repro.analysis.waitprofile import analyze_run
 from repro.core.params import TuningParameters
+from repro.obs.events import load_runs
 from repro.service.capture import DemandTraceRecorder
 from repro.service.driver import DriverReport, LoadDriver
 from repro.service.sharded import ShardedServiceConfig, ShardedServiceStack
@@ -102,6 +109,12 @@ def _add_load_args(parser: argparse.ArgumentParser) -> None:
         "(0 = off, the default)",
     )
     parser.add_argument(
+        "--wait-profile",
+        action="store_true",
+        help="enable the wait-event profiler (wait-class histograms, "
+        "blocker attribution, latch statistics; off by default)",
+    )
+    parser.add_argument(
         "--telemetry",
         default=None,
         metavar="OUT.JSONL",
@@ -123,6 +136,7 @@ def _build_stack(args: argparse.Namespace) -> AnyStack:
                 shards=args.shards,
                 ops_port=args.ops_port,
                 span_sample_every=args.span_sample,
+                wait_profile=args.wait_profile,
             )
         )
     config = ServiceConfig(
@@ -134,6 +148,7 @@ def _build_stack(args: argparse.Namespace) -> AnyStack:
         params=TuningParameters(),
         ops_port=args.ops_port,
         span_sample_every=args.span_sample,
+        wait_profile=args.wait_profile,
     )
     return ServiceStack(config)
 
@@ -141,7 +156,10 @@ def _build_stack(args: argparse.Namespace) -> AnyStack:
 def _announce_ops(stack: AnyStack) -> None:
     ops = getattr(stack, "ops", None)
     if ops is not None and ops.running:
-        print(f"ops plane: {ops.url} (/metrics /healthz /stmm)", flush=True)
+        print(
+            f"ops plane: {ops.url} (/metrics /healthz /stmm /incidents)",
+            flush=True,
+        )
 
 
 def _export_telemetry(stack: AnyStack, args: argparse.Namespace) -> None:
@@ -304,7 +322,28 @@ def cmd_top(args: argparse.Namespace) -> int:
         interval_s=args.interval,
         frames=args.frames,
         clear=not args.no_clear,
+        as_json=args.json,
     )
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    try:
+        runs = load_runs(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"analyze: {exc}", file=sys.stderr)
+        return 1
+    if not runs:
+        print(f"analyze: {args.path}: no telemetry runs found", file=sys.stderr)
+        return 1
+    reports = [analyze_run(run, top_n=args.top) for run in runs]
+    if args.json:
+        print(json.dumps([report.to_dict() for report in reports], indent=2))
+        return 0
+    for index, report in enumerate(reports):
+        if index:
+            print()
+        print(report.render_text())
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -359,7 +398,25 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append frames instead of clearing the screen",
     )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per frame instead of the dashboard",
+    )
     top.set_defaults(func=cmd_top)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="offline wait-profile report over a recorded telemetry JSONL",
+    )
+    analyze.add_argument("path", help="telemetry JSONL (from --telemetry)")
+    analyze.add_argument(
+        "--top", type=int, default=5, help="blocker table size (default 5)"
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    analyze.set_defaults(func=cmd_analyze)
     return parser
 
 

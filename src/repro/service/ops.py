@@ -30,6 +30,13 @@ service stack:
     LOCKLIST / MAXLOCKS posture, and the most recent sampled request
     spans.
 
+``GET /incidents``
+    The incident forensics ring as JSON: every captured deadlock
+    victim, lock escalation and tuner freeze with its wait-for cycle,
+    lock-table posture, top blockers and audit tail (see
+    :mod:`repro.obs.incidents`).  404 when the stack did not wire an
+    incident log.
+
 The server binds ``127.0.0.1`` by default and serves each request from
 a pooled thread; handlers only ever *read* (snapshot copies from the
 registry and ring buffers), so a scrape cannot stall the request hot
@@ -66,6 +73,10 @@ class OpsServer:
         decides the status code (200 when true, 503 when false).
     stmm_status:
         Callable returning the ``/stmm`` JSON body.
+    incidents:
+        Optional callable returning the ``/incidents`` JSON body (the
+        forensics ring of deadlock / escalation / tuner-freeze
+        records); 404 when not wired.
     refresh:
         Optional hook run before each ``/metrics`` render; stacks use
         it to publish point-in-time gauges (occupancy, queue depth).
@@ -82,6 +93,7 @@ class OpsServer:
         *,
         health: Callable[[], Dict[str, Any]],
         stmm_status: Callable[[], Dict[str, Any]],
+        incidents: Optional[Callable[[], Dict[str, Any]]] = None,
         refresh: Optional[Callable[[], None]] = None,
         port: int = 0,
         host: str = "127.0.0.1",
@@ -91,6 +103,7 @@ class OpsServer:
         self.registry = registry
         self.health = health
         self.stmm_status = stmm_status
+        self.incidents = incidents
         self.refresh = refresh
         self.requested_port = port
         self.host = host
@@ -137,6 +150,13 @@ class OpsServer:
                         self._reply_json(code, status)
                     elif path == "/stmm":
                         self._reply_json(200, ops.stmm_status())
+                    elif path == "/incidents":
+                        if ops.incidents is None:
+                            self._reply_json(
+                                404, {"error": "incident log not wired"}
+                            )
+                        else:
+                            self._reply_json(200, ops.incidents())
                     else:
                         self._reply_json(
                             404, {"error": f"unknown path {path!r}"}

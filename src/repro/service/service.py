@@ -286,7 +286,11 @@ class LockService:
             raise ServiceError(f"timeout_s must be non-negative, got {timeout_s}")
         started = perf_counter()
         span = None
-        with self._cond:
+        # Latch-aware acquisition of the service mutex (the profiler's
+        # "latch" wait class); disabled it is the plain ``with self._cond``
+        # acquisition behind one None check.
+        self.env.latch_acquire()
+        try:
             self._ensure_open()
             if app_id not in self._sessions:
                 raise ServiceError(f"session {app_id} is not open")
@@ -305,6 +309,8 @@ class LockService:
                 return
             if self.span_sampler is not None:
                 span = self.span_sampler.maybe_start(app_id, table_id, row_id)
+        finally:
+            self.env.latch_release()
         self._request(
             app_id,
             self.manager.lock_row(app_id, table_id, row_id, mode),
@@ -334,7 +340,8 @@ class LockService:
         if timeout_s is not None and timeout_s < 0:  # type: ignore[operator]
             raise ServiceError(f"timeout_s must be non-negative, got {timeout_s}")
         started = perf_counter()
-        with self._cond:
+        self.env.latch_acquire()
+        try:
             self._ensure_open()
             if self.manager.lock_row_fast(app_id, table_id, row_id, mode):
                 self.stats.requests += 1
@@ -350,7 +357,9 @@ class LockService:
                     if span is not None:
                         self.span_sampler.grant(span)
                 return True
-        return False
+            return False
+        finally:
+            self.env.latch_release()
 
     def lock_table(
         self,
@@ -463,7 +472,8 @@ class LockService:
         if timeout_s is not None and timeout_s < 0:  # type: ignore[operator]
             raise ServiceError(f"timeout_s must be non-negative, got {timeout_s}")
         started = perf_counter()
-        with self._cond:
+        self.env.latch_acquire()
+        try:
             self._ensure_open()
             if app_id not in self._sessions:
                 raise ServiceError(f"session {app_id} is not open")
@@ -501,6 +511,8 @@ class LockService:
                     self._m_latency.observe(perf_counter() - started)
                 if span is not None:
                     self.span_sampler.grant(span, outcome)
+        finally:
+            self.env.latch_release()
 
     def _drive(self, app_id: int, gen, deadline: Optional[float]) -> None:
         """Run one locking generator to completion under the mutex.

@@ -77,14 +77,21 @@ from repro.lockmgr.detector import (
 from repro.lockmgr.manager import LockManagerStats
 from repro.lockmgr.modes import LockMode
 from repro.memory.stmm import Stmm
+from repro.obs.incidents import IncidentLog, IncidentRecorder
 from repro.obs.registry import MetricRegistry
 from repro.obs.spans import RequestSpanSampler
+from repro.obs.waits import WaitEventProfiler
 from repro.service.admission import AdmissionController
 from repro.service.clock import Clock, MonotonicClock
 from repro.service.ledger import AggregateLockChain, ShardMemoryLedger
 from repro.service.ops import OpsServer
 from repro.service.service import LockService, ServiceStats, _USE_DEFAULT
-from repro.service.stack import ServiceConfig, build_memory_registry
+from repro.service.stack import (
+    ServiceConfig,
+    build_memory_registry,
+    controller_params,
+    wait_class_payload,
+)
 from repro.service.tuner import TunerDaemon
 from repro.units import PAGES_PER_BLOCK, round_pages_to_blocks
 
@@ -503,6 +510,10 @@ class ShardedDeadlockDetector:
         self.interval_s = interval_s
         self.stats = DetectorStats()
         self.crash: Optional[BaseException] = None
+        #: Optional per-shard repro.obs.incidents.IncidentRecorder list;
+        #: a victimized cycle is then captured with full forensics on
+        #: the victim's shard.
+        self.incidents: Optional[List[IncidentRecorder]] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
 
@@ -563,6 +574,14 @@ class ShardedDeadlockDetector:
                     cycle, key=lambda app: (service.ledger.app_slots(app), app)
                 )
                 shard = service.shards[owner[victim]]
+                # Snapshot the contended resource before cancel_wait
+                # removes the victim from the wait map.
+                waiting_entry = shard.manager._waiting_on.get(victim)
+                resource = (
+                    waiting_entry[0].resource
+                    if waiting_entry is not None
+                    else ""
+                )
                 cancelled = shard.manager.cancel_wait(
                     victim,
                     DeadlockError(
@@ -574,6 +593,15 @@ class ShardedDeadlockDetector:
                     self.stats.victims.append(victim)
                     shard.manager.stats.deadlocks += 1
                     victims += 1
+                    if self.incidents is not None:
+                        self.incidents[owner[victim]].record_deadlock(
+                            shard.manager,
+                            victim,
+                            resource,
+                            list(cycle),
+                            f"cross-shard sweep: victim by smallest global "
+                            f"footprint among cycle {sorted(cycle)}",
+                        )
             return victims
 
 
@@ -672,6 +700,40 @@ class ShardedServiceStack:
                     registry=self.metrics,
                     labels={"shard": str(idx)},
                 )
+        # Incident forensics: one shared ring, one recorder per shard
+        # (immediate in-shard deadlocks and escalations), plus the
+        # cross-shard sweep's victim captures and the tuner's freeze.
+        self.incidents = IncidentLog(capacity=cfg.incident_capacity)
+        recorders = [
+            IncidentRecorder(self.incidents, shard=idx, audit=self.tuner.audit)
+            for idx in range(cfg.shards)
+        ]
+        for idx, shard in enumerate(self.service.shards):
+            shard.manager.incidents = recorders[idx]
+        self.detector.incidents = recorders
+        self.tuner.incidents = recorders[0]
+        #: One wait profiler per shard (``{"shard": N}``-labeled series
+        #: for lock waits and latch stats) plus an unlabeled profiler
+        #: for the stack-level admission gate.
+        self.wait_profilers: List[WaitEventProfiler] = []
+        if cfg.wait_profile:
+            for idx, shard in enumerate(self.service.shards):
+                profiler = WaitEventProfiler(
+                    self.clock,
+                    registry=self.metrics,
+                    labels={"shard": str(idx)},
+                    capacity=cfg.wait_ring_capacity,
+                )
+                shard.manager.wait_profiler = profiler
+                shard.env.latch_profiler = profiler
+                self.wait_profilers.append(profiler)
+            admission_profiler = WaitEventProfiler(
+                self.clock,
+                registry=self.metrics,
+                capacity=cfg.wait_ring_capacity,
+            )
+            self.admission.wait_profiler = admission_profiler
+            self.wait_profilers.append(admission_profiler)
         self.ops: Optional[OpsServer] = None
         if cfg.ops_port is not None:
             assert self.metrics is not None  # enforced by the config
@@ -680,6 +742,7 @@ class ShardedServiceStack:
                 health=self.ops_health,
                 stmm_status=self.ops_stmm,
                 refresh=self.publish_ops_metrics,
+                incidents=self.ops_incidents,
                 port=cfg.ops_port,
             )
         self._started = False
@@ -781,6 +844,16 @@ class ShardedServiceStack:
         reg.gauge("service.admission.queue_depth").set(
             float(self.admission.queue_depth())
         )
+        for prof in self.wait_profilers:
+            latch = prof.latch
+            labels = prof.labels
+            reg.gauge("latch.gets", labels=labels).set(float(latch.gets))
+            reg.gauge("latch.misses", labels=labels).set(float(latch.misses))
+            reg.gauge("latch.spins", labels=labels).set(float(latch.spins))
+            reg.gauge("latch.sleeps", labels=labels).set(float(latch.sleeps))
+            reg.gauge("latch.sleep_seconds", labels=labels).set(
+                latch.sleep_time_s
+            )
 
     def ops_health(self) -> dict:
         """The ``/healthz`` body; ``ok`` decides 200 vs 503."""
@@ -830,7 +903,18 @@ class ShardedServiceStack:
             "maxlocks_fraction": self.maxlocks.fraction(),
             "overflow_pages": self.registry.overflow_pages,
             "frozen_reason": self.service.frozen_reason,
+            "params": controller_params(self.config, self.tuner),
+            "incident_total": self.incidents.total_recorded,
+            "wait_classes": wait_class_payload(self.wait_profilers),
             "spans": spans,
+        }
+
+    def ops_incidents(self) -> dict:
+        """The ``/incidents`` body: the forensics ring, oldest first."""
+        return {
+            "total": self.incidents.total_recorded,
+            "counts": self.incidents.kind_counts(),
+            "incidents": self.incidents.to_dicts(),
         }
 
     # -- consistency -------------------------------------------------------

@@ -30,8 +30,10 @@ from repro.memory.bufferpool import BufferpoolModel
 from repro.memory.heaps import HeapCategory, MemoryHeap
 from repro.memory.registry import DatabaseMemoryRegistry
 from repro.memory.stmm import Stmm, StmmConfig
+from repro.obs.incidents import IncidentLog, IncidentRecorder
 from repro.obs.registry import MetricRegistry
 from repro.obs.spans import RequestSpanSampler
+from repro.obs.waits import WaitEventProfiler, merged_class_totals
 from repro.service.admission import AdmissionController
 from repro.service.clock import Clock, MonotonicClock
 from repro.service.ops import OpsServer
@@ -76,6 +78,14 @@ class ServiceConfig:
     span_sample_every: int = 0
     #: Ring-buffer bound of the STMM decision audit log.
     audit_capacity: int = 256
+    #: Enable the wait-event profiler (lock waits with blocker
+    #: attribution, latch gets/misses, admission waits, sync-growth
+    #: stalls).  Off keeps every hot path at one ``is None`` check.
+    wait_profile: bool = False
+    #: Ring-buffer bound of raw wait events per profiler (per shard).
+    wait_ring_capacity: int = 512
+    #: Ring-buffer bound of the incident forensics log.
+    incident_capacity: int = 128
 
     def __post_init__(self) -> None:
         if self.initial_locklist_pages < PAGES_PER_BLOCK:
@@ -105,6 +115,16 @@ class ServiceConfig:
         if self.audit_capacity <= 0:
             raise ConfigurationError(
                 f"audit_capacity must be positive, got {self.audit_capacity}"
+            )
+        if self.wait_ring_capacity <= 0:
+            raise ConfigurationError(
+                f"wait_ring_capacity must be positive, "
+                f"got {self.wait_ring_capacity}"
+            )
+        if self.incident_capacity <= 0:
+            raise ConfigurationError(
+                f"incident_capacity must be positive, "
+                f"got {self.incident_capacity}"
             )
 
 
@@ -139,6 +159,41 @@ def build_memory_registry(cfg: ServiceConfig) -> DatabaseMemoryRegistry:
         )
     )
     return registry
+
+
+def controller_params(cfg, tuner) -> dict:
+    """The controller constants in effect, for ``/stmm`` consumers.
+
+    ``analyze`` and ``top`` label their reports with these instead of
+    guessing the paper's defaults (C1, the free band, delta_reduce and
+    the tuning interval are all configurable).
+    """
+    params = cfg.params
+    return {
+        "c1_overflow_fraction": params.c1_overflow_fraction,
+        "min_free_fraction": params.min_free_fraction,
+        "max_free_fraction": params.max_free_fraction,
+        "delta_reduce": params.delta_reduce,
+        "interval_s": (
+            tuner.interval_override_s
+            if tuner.interval_override_s is not None
+            else tuner.stmm.current_interval_s
+        ),
+    }
+
+
+def wait_class_payload(profilers) -> Optional[dict]:
+    """``{class: {count, seconds}}`` over the stack's profilers.
+
+    None when wait profiling is disabled, so consumers can tell "off"
+    apart from "on but idle".
+    """
+    if not profilers:
+        return None
+    return {
+        cls: {"count": count, "seconds": seconds}
+        for cls, (count, seconds) in merged_class_totals(profilers).items()
+    }
 
 
 class ServiceStack:
@@ -215,6 +270,29 @@ class ServiceStack:
                 self.clock.now,
                 registry=self.metrics,
             )
+        # Incident forensics is always on (capture only runs when a
+        # deadlock / escalation / freeze actually fires).
+        self.incidents = IncidentLog(capacity=cfg.incident_capacity)
+        recorder = IncidentRecorder(
+            self.incidents, shard=0, audit=self.tuner.audit
+        )
+        manager.incidents = recorder
+        self.tuner.incidents = recorder
+        #: Wait-event profilers feeding telemetry (one per lock domain;
+        #: a single shared instance here -- manager, latch and admission
+        #: classes are disjoint, and the sharded stack mirrors the
+        #: attribute with one profiler per shard).
+        self.wait_profilers = []
+        if cfg.wait_profile:
+            profiler = WaitEventProfiler(
+                self.clock,
+                registry=self.metrics,
+                capacity=cfg.wait_ring_capacity,
+            )
+            manager.wait_profiler = profiler
+            self.service.env.latch_profiler = profiler
+            self.admission.wait_profiler = profiler
+            self.wait_profilers = [profiler]
         self.ops: Optional[OpsServer] = None
         if cfg.ops_port is not None:
             assert self.metrics is not None  # enforced by the config
@@ -223,6 +301,7 @@ class ServiceStack:
                 health=self.ops_health,
                 stmm_status=self.ops_stmm,
                 refresh=self.publish_ops_metrics,
+                incidents=self.ops_incidents,
                 port=cfg.ops_port,
             )
         self._started = False
@@ -294,6 +373,16 @@ class ServiceStack:
         reg.gauge("service.admission.queue_depth").set(
             float(self.admission.queue_depth())
         )
+        for prof in self.wait_profilers:
+            latch = prof.latch
+            labels = prof.labels
+            reg.gauge("latch.gets", labels=labels).set(float(latch.gets))
+            reg.gauge("latch.misses", labels=labels).set(float(latch.misses))
+            reg.gauge("latch.spins", labels=labels).set(float(latch.spins))
+            reg.gauge("latch.sleeps", labels=labels).set(float(latch.sleeps))
+            reg.gauge("latch.sleep_seconds", labels=labels).set(
+                latch.sleep_time_s
+            )
 
     def ops_health(self) -> dict:
         """The ``/healthz`` body; ``ok`` decides 200 vs 503."""
@@ -325,9 +414,20 @@ class ServiceStack:
             "maxlocks_fraction": self.service.manager.maxlocks_fraction,
             "overflow_pages": self.registry.overflow_pages,
             "frozen_reason": self.service.frozen_reason,
+            "params": controller_params(self.config, self.tuner),
+            "incident_total": self.incidents.total_recorded,
+            "wait_classes": wait_class_payload(self.wait_profilers),
             "spans": (
                 [] if sampler is None else sampler.finished_dicts(limit=64)
             ),
+        }
+
+    def ops_incidents(self) -> dict:
+        """The ``/incidents`` body: the forensics ring, oldest first."""
+        return {
+            "total": self.incidents.total_recorded,
+            "counts": self.incidents.kind_counts(),
+            "incidents": self.incidents.to_dicts(),
         }
 
     # -- consistency -------------------------------------------------------

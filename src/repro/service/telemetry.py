@@ -36,11 +36,18 @@ def service_telemetry(stack: "AnyStack", label: str = "service") -> RunTelemetry
     if getattr(stack, "publish_ops_metrics", None) is not None:
         # Final state of the point-in-time gauges (occupancy, sessions).
         stack.publish_ops_metrics()
+    waits = []
+    for profiler in getattr(stack, "wait_profilers", []) or []:
+        waits.extend(profiler.to_dicts())
+    waits.sort(key=lambda w: w["t"])
+    incident_log = getattr(stack, "incidents", None)
     telemetry = RunTelemetry(
         label=label,
         decisions=list(stack.controller.decisions),
         registry=stack.metrics,
         audit=stack.tuner.audit.records(),
+        waits=waits,
+        incidents=[] if incident_log is None else incident_log.records(),
     )
     return telemetry
 

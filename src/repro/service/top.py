@@ -6,18 +6,24 @@ and redraws one console frame per poll:
 
 * per-shard request throughput (rate between frames), p50/p99 request
   latency (interpolated from the cumulative histogram buckets),
-  escalations and occupancy;
+  accumulated wait time from the wait-event profiler, escalations and
+  occupancy;
 * the LOCKLIST posture: pages, free fraction against the tuner's
-  [minFree, maxFree] band, MAXLOCKS;
+  [minFree, maxFree] band, MAXLOCKS, and the incident count;
 * the tail of the STMM audit log -- the last few intervals' chosen
   actions in the machine-readable reason vocabulary.
+
+Series that a given run does not publish (span sampling off: no latency
+histogram; profiler off: no wait series) render as ``-`` rather than a
+misleading ``0``.  ``--json`` swaps the dashboard for one JSON object
+per frame built from the same :func:`shard_summary` rows.
 
 Everything here is a *client* of the HTTP endpoints -- ``top`` holds no
 reference to the stack and can watch a service in another process.  The
 module also exposes the pieces the dashboard is built from
 (:func:`parse_prometheus`, :func:`percentile_from_buckets`,
-:func:`render_frame`) because they are useful on their own (CI smoke
-checks, tests).
+:func:`shard_summary`, :func:`render_frame`) because they are useful on
+their own (CI smoke checks, tests).
 """
 
 from __future__ import annotations
@@ -172,6 +178,70 @@ def _fmt_latency(seconds: Optional[float]) -> str:
     return f"{seconds:4.2f}s"
 
 
+def _fmt_count(value: Optional[float], width: int) -> str:
+    if value is None:
+        return f"{'-':>{width}}"
+    return f"{value:{width}.0f}"
+
+
+def _wait_seconds(dump: MetricsDump, shard: Optional[str]) -> Optional[float]:
+    """Total profiler wait seconds for one shard (None: profiler off)."""
+    series = dump.get("service_wait_seconds_sum")
+    if not series:
+        return None
+    total: Optional[float] = None
+    for labels, value in series.items():
+        as_dict = dict(labels)
+        if shard is None and "shard" in as_dict:
+            continue
+        if shard is not None and as_dict.get("shard") != shard:
+            continue
+        total = (total or 0.0) + value
+    return total
+
+
+def shard_summary(
+    metrics: MetricsDump,
+    shard: Optional[str],
+    *,
+    prev_metrics: Optional[MetricsDump] = None,
+    elapsed_s: float = 0.0,
+) -> dict:
+    """One shard's dashboard row as raw values (None = not published).
+
+    ``shard=None`` reads the unlabeled series of the unsharded stack.
+    Series a run does not publish -- the latency histogram with span
+    sampling off, the wait series with the profiler off -- come back as
+    None, never a fake zero.
+    """
+    requests = _value(metrics, "service_requests_total", shard)
+    rate: Optional[float] = None
+    if prev_metrics is not None and elapsed_s > 0 and requests is not None:
+        before = _value(prev_metrics, "service_requests_total", shard) or 0.0
+        rate = (requests - before) / elapsed_s
+    buckets = _histogram_buckets(metrics, "service_request_latency_s", shard)
+    escal = _value(metrics, "shard_escalations", shard)
+    if escal is None:
+        escal = _value(metrics, "service_escalations", None)
+    used = _value(metrics, "shard_used_slots", shard)
+    if used is None:
+        used = _value(metrics, "service_locklist_used_slots", None)
+    shard_free = _value(metrics, "shard_free_fraction", shard)
+    if shard_free is None:
+        shard_free = _value(metrics, "service_locklist_free_fraction", None)
+    return {
+        "shard": shard,
+        "requests": requests,
+        "rate": rate,
+        "p50_s": percentile_from_buckets(buckets, 0.50) if buckets else None,
+        "p99_s": percentile_from_buckets(buckets, 0.99) if buckets else None,
+        "wait_s": _wait_seconds(metrics, shard),
+        "escalations": escal,
+        "used_slots": used,
+        "free_fraction": shard_free,
+    }
+
+
 def render_frame(
     metrics: MetricsDump,
     stmm: dict,
@@ -191,9 +261,11 @@ def render_frame(
         f"MAXLOCKS {maxlocks:.1%} | overflow {stmm.get('overflow_pages', 0)}p"
         + (f" | FROZEN: {frozen}" if frozen else "")
     )
+    incidents = stmm.get("incident_total")
     lines.append(
         f"tuning intervals: {stmm.get('intervals', 0)} | "
-        f"audit records: {stmm.get('audit_total', 0)}"
+        f"audit records: {stmm.get('audit_total', 0)} | "
+        f"incidents: {incidents if incidents is not None else '-'}"
     )
 
     shards = _shard_ids(metrics)
@@ -201,36 +273,25 @@ def render_frame(
     lines.append("")
     lines.append(
         f"{'shard':>5} {'req/s':>9} {'requests':>10} {'p50':>6} {'p99':>6} "
-        f"{'escal':>6} {'used':>8} {'free%':>6}"
+        f"{'wait s':>8} {'escal':>6} {'used':>8} {'free%':>6}"
     )
     for shard in targets:
-        requests = _value(metrics, "service_requests_total", shard) or 0.0
-        rate = ""
-        if prev_metrics is not None and elapsed_s > 0:
-            before = _value(prev_metrics, "service_requests_total", shard) or 0.0
-            rate = f"{(requests - before) / elapsed_s:9.0f}"
-        else:
-            rate = f"{'-':>9}"
-        buckets = _histogram_buckets(
-            metrics, "service_request_latency_s", shard
+        row = shard_summary(
+            metrics, shard, prev_metrics=prev_metrics, elapsed_s=elapsed_s
         )
-        p50 = percentile_from_buckets(buckets, 0.50) if buckets else None
-        p99 = percentile_from_buckets(buckets, 0.99) if buckets else None
-        escal = _value(metrics, "shard_escalations", shard)
-        if escal is None:
-            escal = _value(metrics, "service_escalations", None) or 0.0
-        used = _value(metrics, "shard_used_slots", shard)
-        if used is None:
-            used = _value(metrics, "service_locklist_used_slots", None) or 0.0
-        shard_free = _value(metrics, "shard_free_fraction", shard)
-        if shard_free is None:
-            shard_free = (
-                _value(metrics, "service_locklist_free_fraction", None) or 0.0
-            )
+        wait_s = row["wait_s"]
+        wait_str = f"{wait_s:8.3f}" if wait_s is not None else f"{'-':>8}"
+        free = row["free_fraction"]
+        free_str = f"{free:6.1%}" if free is not None else f"{'-':>6}"
         lines.append(
-            f"{shard if shard is not None else 'all':>5} {rate} "
-            f"{requests:10.0f} {_fmt_latency(p50):>6} {_fmt_latency(p99):>6} "
-            f"{escal:6.0f} {used:8.0f} {shard_free:6.1%}"
+            f"{shard if shard is not None else 'all':>5} "
+            f"{_fmt_count(row['rate'], 9)} "
+            f"{_fmt_count(row['requests'], 10)} "
+            f"{_fmt_latency(row['p50_s']):>6} {_fmt_latency(row['p99_s']):>6} "
+            f"{wait_str} "
+            f"{_fmt_count(row['escalations'], 6)} "
+            f"{_fmt_count(row['used_slots'], 8)} "
+            f"{free_str}"
         )
 
     audit = stmm.get("audit", [])
@@ -249,12 +310,41 @@ def render_frame(
     return "\n".join(lines)
 
 
+def frame_dict(
+    metrics: MetricsDump,
+    stmm: dict,
+    *,
+    prev_metrics: Optional[MetricsDump] = None,
+    elapsed_s: float = 0.0,
+) -> dict:
+    """One machine-readable frame (the ``--json`` output)."""
+    shards = _shard_ids(metrics)
+    targets: List[Optional[str]] = list(shards) if shards else [None]
+    return {
+        "locklist_pages": stmm.get("locklist_pages"),
+        "free_fraction": stmm.get("locklist_free_fraction"),
+        "maxlocks_fraction": stmm.get("maxlocks_fraction"),
+        "frozen_reason": stmm.get("frozen_reason"),
+        "intervals": stmm.get("intervals"),
+        "audit_total": stmm.get("audit_total"),
+        "incident_total": stmm.get("incident_total"),
+        "wait_classes": stmm.get("wait_classes"),
+        "shards": [
+            shard_summary(
+                metrics, shard, prev_metrics=prev_metrics, elapsed_s=elapsed_s
+            )
+            for shard in targets
+        ],
+    }
+
+
 def run_top(
     base_url: str,
     *,
     interval_s: float = 1.0,
     frames: Optional[int] = None,
     clear: bool = True,
+    as_json: bool = False,
     out=None,
 ) -> int:
     """Poll and redraw until interrupted (or for ``frames`` frames)."""
@@ -270,17 +360,32 @@ def run_top(
                 print(f"top: {base_url} unreachable: {exc}", file=sys.stderr)
                 return 1
             now = time.monotonic()
-            frame = render_frame(
-                metrics,
-                stmm,
-                prev_metrics=prev,
-                elapsed_s=(now - prev_at) if prev is not None else 0.0,
-            )
-            if clear and drawn:
-                out.write("\x1b[2J\x1b[H")
-            out.write(f"repro-service top -- {base_url} -- {time.strftime('%H:%M:%S')}\n")
-            out.write(frame)
-            out.write("\n")
+            elapsed = (now - prev_at) if prev is not None else 0.0
+            if as_json:
+                out.write(
+                    json.dumps(
+                        frame_dict(
+                            metrics,
+                            stmm,
+                            prev_metrics=prev,
+                            elapsed_s=elapsed,
+                        ),
+                        separators=(",", ":"),
+                    )
+                )
+                out.write("\n")
+            else:
+                frame = render_frame(
+                    metrics, stmm, prev_metrics=prev, elapsed_s=elapsed
+                )
+                if clear and drawn:
+                    out.write("\x1b[2J\x1b[H")
+                out.write(
+                    f"repro-service top -- {base_url} -- "
+                    f"{time.strftime('%H:%M:%S')}\n"
+                )
+                out.write(frame)
+                out.write("\n")
             out.flush()
             prev, prev_at = metrics, now
             drawn += 1
@@ -295,6 +400,8 @@ def run_top(
 __all__ = [
     "parse_prometheus",
     "percentile_from_buckets",
+    "shard_summary",
+    "frame_dict",
     "render_frame",
     "fetch_state",
     "run_top",

@@ -85,6 +85,10 @@ class TunerDaemon:
         self.max_intervals = max_intervals
         self.controller = controller
         self.audit = TuningAuditLog(capacity=audit_capacity)
+        #: Optional repro.obs.incidents.IncidentRecorder; a tuner crash
+        #: then captures a ``tuner-freeze`` incident beside the audit
+        #: ring's terminal ``freeze`` entry.
+        self.incidents = None
         self.reports: List[IntervalReport] = []
         self.intervals_run = 0
         self.crash: Optional[BaseException] = None
@@ -248,3 +252,7 @@ class TunerDaemon:
                 detail=f"{type(exc).__name__}: {exc}",
             )
         )
+        if self.incidents is not None:
+            self.incidents.record_freeze(
+                self.service.chain, self.service.clock.now(), exc
+            )

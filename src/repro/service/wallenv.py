@@ -33,6 +33,7 @@ import threading
 from typing import Any, Callable, Iterable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.waits import LATCH_SPINS
 from repro.service.clock import Clock
 
 _PENDING = object()
@@ -207,11 +208,50 @@ class WallClockEnvironment:
     def __init__(self, clock: Clock, condition: threading.Condition) -> None:
         self.clock = clock
         self.condition = condition
+        #: Optional :class:`repro.obs.waits.WaitEventProfiler`.  When
+        #: set, :meth:`latch_acquire` keeps Oracle-style latch counters
+        #: (gets / misses / spins / sleeps) for the service mutex;
+        #: disabled costs one ``is None`` check per acquisition.
+        self.latch_profiler = None
 
     @property
     def now(self) -> float:
         """Current wall-clock time (monotonic seconds since service start)."""
         return self.clock.now()
+
+    def latch_acquire(self) -> None:
+        """Acquire the service mutex, optionally profiling the latch get.
+
+        Disabled: exactly one ``is None`` check ahead of a plain
+        ``condition.acquire()`` (``Condition`` binds ``acquire`` to the
+        underlying lock's method, so this is the same acquisition the
+        ``with`` statement performs).  Enabled, the acquisition follows
+        the classic latch protocol: an immediate try-acquire (fast get),
+        then a bounded spin of try-acquires (miss + spins), then a
+        blocking wait (sleep, timed).  Counter updates happen *after*
+        the latch is held, so they are serialized by the latch itself.
+        """
+        prof = self.latch_profiler
+        if prof is None:
+            self.condition.acquire()
+            return
+        acquire = self.condition.acquire
+        if acquire(blocking=False):
+            prof.latch_fast_get()
+            return
+        spins = 0
+        while spins < LATCH_SPINS:
+            spins += 1
+            if acquire(blocking=False):
+                prof.latch_spin_get(spins)
+                return
+        slept_from = self.clock.now()
+        acquire()
+        prof.latch_sleep_get(spins, max(0.0, self.clock.now() - slept_from))
+
+    def latch_release(self) -> None:
+        """Release the service mutex (pairs with :meth:`latch_acquire`)."""
+        self.condition.release()
 
     def event(self) -> WallEvent:
         return WallEvent(self)

@@ -193,3 +193,67 @@ class TestEndToEndAcceptance:
         requests = reloaded.registry.get("lock.requests")
         assert requests is not None and requests.value > 0
         assert reloaded.registry.get("run.duration_s").value == 120.0
+
+
+class TestSchemaV3WaitsAndIncidents:
+    """Schema v3: wait events and incident records ride the stream."""
+
+    def telemetry_with_forensics(self):
+        from repro.obs.incidents import IncidentRecord
+
+        telemetry = synthetic_telemetry()
+        telemetry.waits = [
+            {
+                "class": "lock.granted", "app": 2, "t": 2.0,
+                "duration_s": 3.0, "resource": "T0.R7", "mode": "X",
+                "blocker": 1, "blocker_mode": "X", "depth": 1, "note": "",
+            },
+            {
+                "class": "admission", "app": 4, "t": 0.5,
+                "duration_s": 0.1, "resource": "", "mode": "",
+                "blocker": None, "blocker_mode": "", "depth": 0,
+                "note": "admitted",
+            },
+        ]
+        telemetry.incidents = [
+            IncidentRecord(
+                kind="deadlock", time=5.0, app_id=2, shard=1,
+                detail="victim by footprint", cycle=[2, 1],
+                posture={"used_slots": 4}, blockers=[],
+                audit_tail=[], data={"resource": "T0.R7"},
+            )
+        ]
+        return telemetry
+
+    def test_wait_and_incident_records_in_stream(self):
+        records = list(self.telemetry_with_forensics().records())
+        kinds = {r["kind"] for r in records if "t" in r}
+        assert "wait" in kinds and "incident" in kinds
+        times = [r["t"] for r in records if "t" in r]
+        assert times == sorted(times)
+        incident = next(r for r in records if r["kind"] == "incident")
+        # The record's own kind travels as incident_kind so it cannot
+        # collide with the stream's dispatch key.
+        assert incident["incident_kind"] == "deadlock"
+        for record in records:
+            json.loads(json.dumps(record))
+
+    def test_v3_round_trip_lossless(self, tmp_path):
+        telemetry = self.telemetry_with_forensics()
+        path = str(tmp_path / "v3.jsonl")
+        telemetry.write_jsonl(path)
+        reloaded = RunTelemetry.from_jsonl(path)
+        assert sorted(
+            reloaded.waits, key=lambda w: w["t"]
+        ) == sorted(telemetry.waits, key=lambda w: w["t"])
+        assert reloaded.incidents == telemetry.incidents
+        assert reloaded.incidents[0].kind == "deadlock"
+        assert reloaded.incidents[0].cycle == [2, 1]
+
+    def test_v2_stream_without_forensics_still_loads(self, tmp_path):
+        telemetry = synthetic_telemetry()
+        path = str(tmp_path / "v2ish.jsonl")
+        telemetry.write_jsonl(path)
+        reloaded = RunTelemetry.from_jsonl(path)
+        assert reloaded.waits == []
+        assert reloaded.incidents == []

@@ -1,0 +1,162 @@
+"""Unit tests for incident forensics (repro.obs.incidents)."""
+
+import pytest
+
+from repro.engine.des import Environment
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.manager import LockManager
+from repro.lockmgr.modes import LockMode
+from repro.obs.incidents import (
+    INCIDENT_KINDS,
+    IncidentLog,
+    IncidentRecord,
+    IncidentRecorder,
+)
+
+
+def make_record(kind="deadlock", **overrides):
+    defaults = dict(
+        kind=kind, time=1.5, app_id=7, shard=0, detail="test incident"
+    )
+    defaults.update(overrides)
+    return IncidentRecord(**defaults)
+
+
+class TestIncidentLog:
+    def test_unknown_kind_rejected(self):
+        log = IncidentLog()
+        with pytest.raises(ValueError, match="unknown incident kind"):
+            log.append(make_record(kind="paper-jam"))
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            IncidentLog(capacity=0)
+
+    def test_ring_bounded_total_counts(self):
+        log = IncidentLog(capacity=2)
+        for i in range(5):
+            log.append(make_record(time=float(i)))
+        assert len(log) == 2
+        assert log.total_recorded == 5
+        assert [r.time for r in log.records()] == [3.0, 4.0]
+        assert [r.time for r in log.tail(1)] == [4.0]
+        assert log.tail(0) == []
+
+    def test_kind_accessors(self):
+        log = IncidentLog()
+        log.append(make_record("deadlock"))
+        log.append(make_record("escalation"))
+        log.append(make_record("deadlock"))
+        assert log.kinds() == ["deadlock", "escalation", "deadlock"]
+        counts = log.kind_counts()
+        assert counts["deadlock"] == 2
+        assert counts["escalation"] == 1
+        assert counts["tuner-freeze"] == 0
+        assert set(counts) == set(INCIDENT_KINDS)
+
+    def test_record_round_trips_through_dict(self):
+        record = make_record(
+            cycle=[7, 3],
+            posture={"used_slots": 4},
+            blockers=[{"app": 3, "waiters_blocked": 1, "slots_held": 2}],
+            audit_tail=[{"reason": "noop"}],
+            data={"resource": "row(0,1)"},
+        )
+        assert IncidentRecord.from_dict(record.to_dict()) == record
+
+
+class TestIncidentRecorder:
+    def make_manager(self):
+        env = Environment()
+        manager = LockManager(env, LockBlockChain(initial_blocks=4))
+        return env, manager
+
+    def test_record_deadlock_snapshots_context(self):
+        env, manager = self.make_manager()
+        log = IncidentLog()
+        recorder = IncidentRecorder(log, shard=2)
+
+        def holder():
+            yield from manager.lock_row(1, 0, 7, LockMode.X)
+            yield env.timeout(100)
+
+        def waiter():
+            yield env.timeout(1)
+            yield from manager.lock_row(2, 0, 7, LockMode.X)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run(until=5)
+        recorder.record_deadlock(
+            manager, 2, "row(0,7)", [2, 1], "victim by footprint"
+        )
+        (record,) = log.records()
+        assert record.kind == "deadlock"
+        assert record.shard == 2
+        assert record.app_id == 2
+        assert record.cycle == [2, 1]
+        assert record.data["resource"] == "row(0,7)"
+        assert record.posture["waiting_apps"] == 1
+        assert record.posture["used_slots"] == manager.chain.used_slots
+        assert 0.0 <= record.posture["free_fraction"] <= 1.0
+        # App 1 holds the contended row, blocking app 2.
+        (blocker,) = record.blockers
+        assert blocker["app"] == 1
+        assert blocker["waiters_blocked"] == 1
+        assert blocker["slots_held"] == manager.app_slots(1)
+        assert record.audit_tail == []  # no audit wired
+
+    def test_record_escalation_carries_data(self):
+        env, manager = self.make_manager()
+        log = IncidentLog()
+        recorder = IncidentRecorder(log)
+        recorder.record_escalation(
+            manager, 5, table_id=3, reason="maxlocks",
+            rows_freed=12, waiters_present=True,
+        )
+        (record,) = log.records()
+        assert record.kind == "escalation"
+        assert record.data == {
+            "table_id": 3,
+            "reason": "maxlocks",
+            "rows_freed": 12,
+            "waiters_present": True,
+        }
+        assert "table 3" in record.detail
+
+    def test_record_freeze_carries_exception_and_posture(self):
+        env, manager = self.make_manager()
+        log = IncidentLog()
+        recorder = IncidentRecorder(log)
+        recorder.record_freeze(
+            manager.chain, 42.0, RuntimeError("injected bug")
+        )
+        (record,) = log.records()
+        assert record.kind == "tuner-freeze"
+        assert record.time == 42.0
+        assert record.app_id == -1
+        assert "RuntimeError" in record.detail
+        assert "injected bug" in record.detail
+        assert record.posture["capacity_slots"] == manager.chain.capacity_slots
+
+    def test_audit_tail_included_when_wired(self):
+        from repro.obs.audit import TuningAuditLog, TuningAuditRecord
+
+        audit = TuningAuditLog()
+        audit.append(
+            TuningAuditRecord(
+                interval=1, time=0.0, reason="noop", delta_pages=0,
+                current_pages=8, target_pages=8, used_pages=0,
+                free_fraction=1.0, overflow_pages=0,
+                escalations_in_interval=0, lmo_headroom_pages=0,
+            )
+        )
+        env, manager = self.make_manager()
+        log = IncidentLog()
+        recorder = IncidentRecorder(log, audit=audit)
+        recorder.record_escalation(
+            manager, 1, table_id=0, reason="full",
+            rows_freed=0, waiters_present=False,
+        )
+        (record,) = log.records()
+        assert [a["reason"] for a in record.audit_tail] == ["noop"]

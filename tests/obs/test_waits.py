@@ -1,0 +1,196 @@
+"""Unit tests for the wait-event profiler (repro.obs.waits)."""
+
+import pytest
+
+from repro.obs.registry import MetricRegistry, labeled_name
+from repro.obs.waits import (
+    WAIT_CLASSES,
+    WAIT_SECONDS_METRIC,
+    WaitEventProfiler,
+    merged_class_totals,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_profiler(**kwargs):
+    clock = FakeClock()
+    return WaitEventProfiler(clock, **kwargs), clock
+
+
+class TestLockWaits:
+    def test_begin_end_records_duration_and_attribution(self):
+        prof, clock = make_profiler()
+        prof.begin_lock_wait(
+            7, "row(0,1)", "X", blocker=3, blocker_mode="S", depth=2
+        )
+        assert prof.open_lock_waits() == 1
+        clock.advance(0.25)
+        prof.end_lock_wait(7, "granted")
+        assert prof.open_lock_waits() == 0
+        (event,) = prof.recent()
+        assert event.wait_class == "lock.granted"
+        assert event.app_id == 7
+        assert event.duration_s == pytest.approx(0.25)
+        assert event.resource == "row(0,1)"
+        assert event.mode == "X"
+        assert event.blocker == 3
+        assert event.blocker_mode == "S"
+        assert event.depth == 2
+        count, seconds = prof.class_totals()["lock.granted"]
+        assert count == 1
+        assert seconds == pytest.approx(0.25)
+
+    def test_double_end_is_noop(self):
+        """Grant-wins race: the second end site must not double count."""
+        prof, clock = make_profiler()
+        prof.begin_lock_wait(7, "r", "X")
+        clock.advance(0.1)
+        prof.end_lock_wait(7, "granted")
+        prof.end_lock_wait(7, "timeout")
+        totals = prof.class_totals()
+        assert totals["lock.granted"][0] == 1
+        assert totals["lock.timeout"][0] == 0
+        assert len(prof) == 1
+
+    def test_end_without_begin_is_noop(self):
+        prof, _ = make_profiler()
+        prof.end_lock_wait(99, "cancelled")
+        assert len(prof) == 0
+        assert prof.class_totals()["lock.cancelled"][0] == 0
+
+
+class TestOneShot:
+    def test_observe_all_classes(self):
+        prof, clock = make_profiler()
+        clock.advance(5.0)
+        prof.observe("admission", 0.5, app_id=4, note="admitted")
+        prof.observe("sync-growth", 0.25, started=1.0, note="+2 blocks")
+        totals = prof.class_totals()
+        assert totals["admission"] == (1, pytest.approx(0.5))
+        assert totals["sync-growth"] == (1, pytest.approx(0.25))
+        admission, growth = prof.recent()
+        assert admission.t == pytest.approx(4.5)  # now - duration
+        assert growth.t == pytest.approx(1.0)  # explicit start
+        assert growth.note == "+2 blocks"
+
+    def test_unknown_class_rejected(self):
+        prof, _ = make_profiler()
+        with pytest.raises(ValueError, match="unknown wait class"):
+            prof.observe("coffee-break", 1.0)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            WaitEventProfiler(FakeClock(), capacity=0)
+
+
+class TestRing:
+    def test_ring_bounded_totals_exact(self):
+        prof, _ = make_profiler(capacity=4)
+        for i in range(10):
+            prof.observe("admission", 0.1, app_id=i)
+        assert len(prof) == 4
+        assert [e.app_id for e in prof.recent()] == [6, 7, 8, 9]
+        assert prof.class_totals()["admission"][0] == 10  # totals unbounded
+        assert len(prof.to_dicts()) == 4
+
+    def test_recent_limit(self):
+        prof, _ = make_profiler()
+        for i in range(8):
+            prof.observe("admission", 0.1, app_id=i)
+        assert [e.app_id for e in prof.recent(3)] == [5, 6, 7]
+
+    def test_event_dict_shape(self):
+        prof, _ = make_profiler()
+        prof.begin_lock_wait(1, "r", "S", blocker=2, blocker_mode="X")
+        prof.end_lock_wait(1, "timeout")
+        (event,) = prof.to_dicts()
+        assert set(event) == {
+            "class", "app", "t", "duration_s", "resource", "mode",
+            "blocker", "blocker_mode", "depth", "note",
+        }
+        assert event["class"] == "lock.timeout"
+
+
+class TestLatch:
+    def test_latch_counter_accounting(self):
+        prof, _ = make_profiler()
+        prof.latch_fast_get()
+        prof.latch_fast_get()
+        prof.latch_spin_get(2)
+        prof.latch_sleep_get(4, 0.001)
+        stats = prof.latch
+        assert stats.gets == 4
+        assert stats.misses == 2
+        assert stats.spins == 6
+        assert stats.sleeps == 1
+        assert stats.sleep_time_s == pytest.approx(0.001)
+        assert stats.to_dict()["gets"] == 4
+
+    def test_latch_sleeps_hit_histogram_not_ring(self):
+        prof, _ = make_profiler()
+        prof.latch_sleep_get(4, 0.002)
+        assert len(prof) == 0  # far too hot for the forensics ring
+        count, seconds = prof.class_totals()["latch"]
+        assert count == 1
+        assert seconds == pytest.approx(0.002)
+
+
+class TestRegistryIntegration:
+    def test_histograms_created_per_class_with_labels(self):
+        registry = MetricRegistry()
+        prof, clock = make_profiler(
+            registry=registry, labels={"shard": "3"}
+        )
+        for cls in WAIT_CLASSES:
+            name = labeled_name(
+                WAIT_SECONDS_METRIC, {"shard": "3", "class": cls}
+            )
+            assert registry.get(name) is not None
+        prof.begin_lock_wait(1, "r", "X")
+        clock.advance(0.5)
+        prof.end_lock_wait(1, "granted")
+        hist = registry.get(
+            labeled_name(
+                WAIT_SECONDS_METRIC, {"shard": "3", "class": "lock.granted"}
+            )
+        )
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.5)
+
+    def test_latch_sleep_observed_into_histogram(self):
+        registry = MetricRegistry()
+        prof, _ = make_profiler(registry=registry)
+        prof.latch_sleep_get(4, 0.004)
+        hist = registry.get(
+            labeled_name(WAIT_SECONDS_METRIC, {"class": "latch"})
+        )
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(0.004)
+
+
+class TestMergedTotals:
+    def test_merge_across_profilers(self):
+        a, _ = make_profiler()
+        b, _ = make_profiler()
+        a.observe("admission", 0.5)
+        b.observe("admission", 0.25)
+        b.observe("sync-growth", 1.0)
+        merged = merged_class_totals([a, b])
+        assert merged["admission"] == (2, pytest.approx(0.75))
+        assert merged["sync-growth"] == (1, pytest.approx(1.0))
+        assert merged["lock.granted"] == (0, 0.0)
+
+    def test_merge_empty(self):
+        merged = merged_class_totals([])
+        assert set(merged) == set(WAIT_CLASSES)
+        assert all(v == (0, 0.0) for v in merged.values())

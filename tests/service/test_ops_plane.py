@@ -283,3 +283,158 @@ class TestTopDashboard:
     def test_run_top_unreachable_returns_error(self, capsys):
         assert run_top("http://127.0.0.1:9", frames=1) == 1
         assert "unreachable" in capsys.readouterr().err.lower()
+
+
+class TestIncidentsEndpoint:
+    def test_incidents_served_after_live_deadlock(self):
+        import threading
+
+        from repro.errors import DeadlockError
+        from tests.service.sched import wait_until
+
+        stack = make_stack(wait_profile=True)
+        with stack:
+            service = stack.service
+            a, b = service.open_session(), service.open_session()
+            service.lock_row(a, 0, 1, LockMode.X)
+            service.lock_row(b, 0, 2, LockMode.X)
+            blocked = threading.Thread(
+                target=service.lock_row, args=(a, 0, 2, LockMode.X),
+                daemon=True,
+            )
+            blocked.start()
+            wait_until(
+                lambda: a in service.waiting_sessions(),
+                what="session a parked behind b",
+            )
+            with pytest.raises(DeadlockError):
+                service.lock_row(b, 0, 1, LockMode.X)
+            service.rollback(b)
+            blocked.join(10.0)
+            service.rollback(a)
+
+            status, ctype, body = _get(stack.ops.url + "/incidents")
+            assert status == 200
+            assert ctype.startswith("application/json")
+            payload = json.loads(body)
+            assert payload["total"] == 1
+            assert payload["counts"]["deadlock"] == 1
+            (incident,) = payload["incidents"]
+            assert incident["kind"] == "deadlock"
+            assert set(incident["cycle"]) == {a, b}
+
+            # /stmm carries the controller constants and wait classes.
+            _, _, body = _get(stack.ops.url + "/stmm")
+            stmm = json.loads(body)
+            params = stmm["params"]
+            cfg = stack.config.params
+            assert params["c1_overflow_fraction"] == cfg.c1_overflow_fraction
+            assert params["min_free_fraction"] == cfg.min_free_fraction
+            assert params["max_free_fraction"] == cfg.max_free_fraction
+            assert params["delta_reduce"] == cfg.delta_reduce
+            assert params["interval_s"] == 30.0
+            assert stmm["incident_total"] == 1
+            assert stmm["wait_classes"]["lock.granted"]["count"] >= 1
+
+            service.close_session(a)
+            service.close_session(b)
+
+    def test_incidents_404_when_not_wired(self):
+        from repro.obs.registry import MetricRegistry
+
+        server = OpsServer(
+            MetricRegistry(), health=lambda: {"ok": True},
+            stmm_status=lambda: {},
+        )
+        with server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/incidents")
+            assert err.value.code == 404
+
+    def test_wait_classes_null_when_profiler_off(self):
+        stack = make_stack()  # wait_profile defaults off
+        with stack:
+            _, _, body = _get(stack.ops.url + "/stmm")
+            stmm = json.loads(body)
+            assert stmm["wait_classes"] is None
+            assert stmm["incident_total"] == 0
+
+    def test_sharded_incidents_and_latch_series(self):
+        stack = make_sharded(wait_profile=True)
+        with stack:
+            with stack.service.session() as app:
+                for row in range(8):
+                    stack.service.lock_row(app, 0, row, LockMode.S)
+                stack.service.rollback(app)
+            stack.publish_ops_metrics()
+            _, _, body = _get(stack.ops.url + "/metrics")
+            dump = parse_prometheus(body.decode())
+            # Per-shard latch gauges are published with shard labels.
+            shards = {
+                dict(labels).get("shard")
+                for labels in dump["latch_gets"]
+            }
+            assert shards >= {"0", "1"}
+            status, _, body = _get(stack.ops.url + "/incidents")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["incidents"] == []
+            assert payload["total"] == 0
+
+
+class TestTopWaitColumns:
+    def test_frame_shows_wait_column_and_incidents(self):
+        stack = make_stack(wait_profile=True)
+        with stack:
+            with stack.service.session() as app:
+                stack.service.lock_row(app, 0, 1, LockMode.X)
+                stack.service.rollback(app)
+            _, _, body = _get(stack.ops.url + "/metrics")
+            metrics = parse_prometheus(body.decode())
+            _, _, body = _get(stack.ops.url + "/stmm")
+            stmm = json.loads(body)
+        frame = render_frame(metrics, stmm)
+        assert "wait s" in frame
+        assert "incidents: 0" in frame
+
+    def test_frame_dashes_when_series_absent(self):
+        from repro.service.top import shard_summary
+
+        # No span sampler, no wait profiler: latency and wait columns
+        # must show "-", not fabricated zeros.
+        stack = make_stack(span_sample_every=0, wait_profile=False)
+        with stack:
+            _, _, body = _get(stack.ops.url + "/metrics")
+            metrics = parse_prometheus(body.decode())
+            _, _, body = _get(stack.ops.url + "/stmm")
+            stmm = json.loads(body)
+        row = shard_summary(metrics, None)
+        assert row["wait_s"] is None
+        frame = render_frame(metrics, stmm)
+        shard_line = next(
+            line for line in frame.splitlines() if line.startswith("  all")
+        )
+        assert "-" in shard_line
+
+    def test_run_top_json_frames(self, capsys):
+        stack = make_stack(wait_profile=True)
+        with stack:
+            with stack.service.session() as app:
+                stack.service.lock_row(app, 0, 1, LockMode.X)
+                stack.service.rollback(app)
+            rc = run_top(
+                stack.ops.url, interval_s=0.0, frames=2,
+                clear=False, as_json=True,
+            )
+        assert rc == 0
+        lines = [
+            line for line in capsys.readouterr().out.splitlines() if line
+        ]
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["locklist_pages"] == stack.chain.allocated_pages
+        assert first["incident_total"] == 0
+        assert first["shards"][0]["requests"] == 1.0
+        assert "wait_classes" in first
+        second = json.loads(lines[1])
+        assert second["shards"][0]["rate"] is not None
