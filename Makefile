@@ -78,6 +78,8 @@ bench-service:
 		--bench service_churn_t8_ops --bench service_churn_t8_waits \
 		--bench service_churn_sharded_t1 --bench service_churn_sharded_t2 \
 		--bench service_churn_sharded_t4 --bench service_churn_sharded_t8 \
+		--bench service_churn_net_w1 --bench service_churn_net_w2 \
+		--bench service_churn_net_w4 \
 		--out BENCH_SERVICE.json
 
 clean:

@@ -384,6 +384,71 @@ def run_service_churn_sharded(
     return report.lock_requests
 
 
+def run_service_churn_net(
+    threads: int = 1,
+    workers: int = 1,
+    requests_per_thread: int = 6_000,
+    total_memory_pages: int = 16_384,
+    initial_locklist_pages: int = 128,
+    tuner_interval_s: float = 0.05,
+) -> int:
+    """Closed-loop load over the wire against the worker-process pool.
+
+    The same workload as :func:`run_service_churn`, but every lock
+    request crosses a Unix-domain socket into one of ``workers``
+    forked worker processes (each owning its own LockService shard),
+    with the STMM arbiter, resize distribution and deadlock sweep
+    running in the parent.  Measured against ``service_churn_t1`` it
+    prices the wire (framing, syscalls, pipelined dispatch); measured
+    across worker counts it answers whether process-per-shard buys
+    throughput on the host.  On a single-core box the curve is flat --
+    workers time-slice one CPU and the socket adds a constant tax --
+    so the lanes gate on completeness and byte-exact cross-worker
+    block accounting, not on scaling.  ``requests_per_thread`` is
+    higher than the in-process lanes because pool forking and socket
+    setup would otherwise dominate the timing.  Returns lock requests
+    completed.
+    """
+    from repro.service.driver import LoadDriver
+    from repro.service.workers import WorkerPoolConfig, WorkerPoolStack
+
+    stack = WorkerPoolStack(
+        WorkerPoolConfig(
+            total_memory_pages=total_memory_pages,
+            initial_locklist_pages=initial_locklist_pages,
+            tuner_interval_s=tuner_interval_s,
+            max_in_flight=max(4, threads),
+            admission_queue_depth=4 * max(4, threads),
+            workers=workers,
+        )
+    )
+    with stack:
+        with stack.client_stack(pool_size=1) as net:
+            report = LoadDriver(
+                net,
+                threads=threads,
+                requests_per_thread=requests_per_thread,
+                seed=17,
+            ).run()
+    if report.worker_errors:
+        raise RuntimeError(
+            f"net service churn workers failed: {report.worker_errors}"
+        )
+    if report.lock_requests < threads * requests_per_thread:
+        raise RuntimeError(
+            f"net service churn incomplete: {report.lock_requests} requests"
+        )
+    rec = stack.reconciliation
+    if rec is None or not rec.ok:
+        raise RuntimeError(f"net service churn reconcile failed: {rec}")
+    if rec.expected_blocks != rec.reported_blocks:
+        raise RuntimeError(
+            f"net service churn block mismatch: expected "
+            f"{rec.expected_blocks}, reported {rec.reported_blocks}"
+        )
+    return report.lock_requests
+
+
 # ---------------------------------------------------------------------------
 # registry and scales
 # ---------------------------------------------------------------------------
@@ -394,46 +459,39 @@ BENCHES: Dict[str, tuple] = {
     "escalation_storm": (run_escalation_storm, "escalation_cycles"),
     "detector_sweep": (run_detector_sweep, "detector_passes"),
     "fig9_e2e": (run_fig9_e2e, "commits"),
-    "service_churn_t1": (
-        lambda **kw: run_service_churn(threads=1, **kw),
-        "lock_requests",
-    ),
-    "service_churn_t2": (
-        lambda **kw: run_service_churn(threads=2, **kw),
-        "lock_requests",
-    ),
-    "service_churn_t4": (
-        lambda **kw: run_service_churn(threads=4, **kw),
-        "lock_requests",
-    ),
-    "service_churn_t8": (
-        lambda **kw: run_service_churn(threads=8, **kw),
-        "lock_requests",
-    ),
-    "service_churn_t8_ops": (
-        lambda **kw: run_service_churn(threads=8, ops=True, **kw),
-        "lock_requests",
-    ),
-    "service_churn_t8_waits": (
-        lambda **kw: run_service_churn(threads=8, ops=True, waits=True, **kw),
-        "lock_requests",
-    ),
-    "service_churn_sharded_t1": (
-        lambda **kw: run_service_churn_sharded(threads=1, **kw),
-        "lock_requests",
-    ),
-    "service_churn_sharded_t2": (
-        lambda **kw: run_service_churn_sharded(threads=2, **kw),
-        "lock_requests",
-    ),
-    "service_churn_sharded_t4": (
-        lambda **kw: run_service_churn_sharded(threads=4, **kw),
-        "lock_requests",
-    ),
-    "service_churn_sharded_t8": (
-        lambda **kw: run_service_churn_sharded(threads=8, **kw),
-        "lock_requests",
-    ),
+    "service_churn_t1": (run_service_churn, "lock_requests"),
+    "service_churn_t2": (run_service_churn, "lock_requests"),
+    "service_churn_t4": (run_service_churn, "lock_requests"),
+    "service_churn_t8": (run_service_churn, "lock_requests"),
+    "service_churn_t8_ops": (run_service_churn, "lock_requests"),
+    "service_churn_t8_waits": (run_service_churn, "lock_requests"),
+    "service_churn_sharded_t1": (run_service_churn_sharded, "lock_requests"),
+    "service_churn_sharded_t2": (run_service_churn_sharded, "lock_requests"),
+    "service_churn_sharded_t4": (run_service_churn_sharded, "lock_requests"),
+    "service_churn_sharded_t8": (run_service_churn_sharded, "lock_requests"),
+    "service_churn_net_w1": (run_service_churn_net, "lock_requests"),
+    "service_churn_net_w2": (run_service_churn_net, "lock_requests"),
+    "service_churn_net_w4": (run_service_churn_net, "lock_requests"),
+}
+
+#: Baked-in per-lane configuration.  Kept as data (not lambda
+#: closures) so the emitted JSON records the real topology of every
+#: lane -- ``threads``/``shards``/``workers`` land in each bench
+#: entry's ``params`` instead of an empty dict.
+BENCH_BASE_PARAMS: Dict[str, Dict[str, Any]] = {
+    "service_churn_t1": {"threads": 1},
+    "service_churn_t2": {"threads": 2},
+    "service_churn_t4": {"threads": 4},
+    "service_churn_t8": {"threads": 8},
+    "service_churn_t8_ops": {"threads": 8, "ops": True},
+    "service_churn_t8_waits": {"threads": 8, "ops": True, "waits": True},
+    "service_churn_sharded_t1": {"threads": 1, "shards": 4},
+    "service_churn_sharded_t2": {"threads": 2, "shards": 4},
+    "service_churn_sharded_t4": {"threads": 4, "shards": 4},
+    "service_churn_sharded_t8": {"threads": 8, "shards": 4},
+    "service_churn_net_w1": {"threads": 1, "workers": 1},
+    "service_churn_net_w2": {"threads": 4, "workers": 2},
+    "service_churn_net_w4": {"threads": 4, "workers": 4},
 }
 
 #: Parameter overrides per scale.  ``smoke`` is sized for CI: it must
@@ -454,6 +512,9 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_sharded_t2": {},
         "service_churn_sharded_t4": {},
         "service_churn_sharded_t8": {},
+        "service_churn_net_w1": {},
+        "service_churn_net_w2": {},
+        "service_churn_net_w4": {},
     },
     "smoke": {
         "lock_churn": {"apps": 4, "tables": 2, "rows": 16, "iters": 1},
@@ -480,11 +541,17 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_sharded_t2": {"requests_per_thread": 200, "shards": 2},
         "service_churn_sharded_t4": {"requests_per_thread": 100, "shards": 4},
         "service_churn_sharded_t8": {"requests_per_thread": 50, "shards": 4},
+        "service_churn_net_w1": {"requests_per_thread": 200},
+        "service_churn_net_w2": {"requests_per_thread": 100},
+        "service_churn_net_w4": {"requests_per_thread": 100},
     },
 }
 
 
 def bench_params(name: str, scale: str) -> Dict[str, Any]:
+    """The kwargs a lane runs with: baked-in topology + scale overrides."""
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}")
-    return dict(SCALES[scale].get(name, {}))
+    params = dict(BENCH_BASE_PARAMS.get(name, {}))
+    params.update(SCALES[scale].get(name, {}))
+    return params

@@ -58,7 +58,7 @@ from repro.errors import DeadlockError, LockManagerError
 from repro.lockmgr.blocks import LockBlockChain
 from repro.lockmgr.escalation import EscalationOutcome, EscalationStats
 from repro.lockmgr.locks import HeldLock, LockObject, Waiter
-from repro.lockmgr.modes import LockMode, covers, intent_mode_for_row
+from repro.lockmgr.modes import LockMode, covers, intent_mode_for_row, supremum
 from repro.lockmgr.resources import ResourceId, row_resource, table_resource
 from repro.units import LOCK_SIZE_BYTES
 
@@ -349,12 +349,18 @@ class LockManager:
         Returns True when the row lock (and covering intent lock) was
         granted with accounting **byte-identical** to driving the
         :meth:`lock_row` generator to completion: same counter bumps,
-        same refresh ticks, same structures charged.  Returns False --
-        having mutated *nothing* -- whenever the request could wait,
-        convert, escalate or trace, so the caller falls back to the
-        generator.  The live service calls this under its mutex to skip
-        generator construction on the (dominant) uncontended path; the
-        DES always drives the generator.
+        same refresh ticks, same structures charged.  This covers fresh
+        grants, re-grants of covered locks, and immediate *conversions*
+        (e.g. S->X on a held row with no incompatible co-holders --
+        conversions jump the waiter queue exactly as :meth:`_convert`
+        does).  Returns False -- having mutated *nothing* -- whenever
+        the request could wait, escalate, grow or trace, so the caller
+        falls back to the generator.  The two-phase shape (plan both
+        the table and row steps, then commit) is what keeps the
+        mutate-nothing contract: no step is applied until both are
+        known to complete immediately.  The live service calls this
+        under its mutex to skip generator construction on the
+        (dominant) immediate path; the DES always drives the generator.
         """
         if self.tracer is not None:
             return False  # slow path keeps the trace stream canonical
@@ -362,16 +368,17 @@ class LockManager:
         tobj = self._objects.get(table_res)
         theld = tobj.granted.get(app_id) if tobj is not None else None
         intent = intent_mode_for_row(mode)
+        # -- plan the table step --
         if theld is not None:
-            if not covers(theld.mode, intent):
-                return False  # table-lock conversion: slow path
-            if covers(theld.mode, mode):
-                # the table lock already covers the row access
-                theld.count += 1
-                self.stats.requests += 1
-                self.stats.immediate_grants += 1
-                self._tick_refresh()
-                return True
+            if covers(theld.mode, intent):
+                t_convert = False
+                t_mode_after = theld.mode
+            elif tobj.others_compatible(app_id, intent):
+                # conversion: queue-jumps like _convert, needs no slot
+                t_convert = True
+                t_mode_after = supremum(theld.mode, intent)
+            else:
+                return False  # the conversion would wait
             fresh_intent = False
         else:
             if tobj is not None and (
@@ -379,28 +386,49 @@ class LockManager:
             ):
                 return False  # the intent grant itself would wait
             fresh_intent = True
+            t_convert = False
+            t_mode_after = intent
+        if covers(t_mode_after, mode):
+            # The table lock (already or once strengthened) covers the
+            # row access: the generator stops after the table step.
+            if fresh_intent:
+                return False  # cannot happen with real intent modes
+            self.stats.requests += 1
+            self.stats.immediate_grants += 1
+            self._tick_refresh()
+            if t_convert:
+                tobj.upgrade_grant(app_id, intent)  # bumps theld.count
+            else:
+                theld.count += 1
+            return True
+        # -- plan the row step --
         res = row_resource(table_id, row_id)
         obj = self._objects.get(res)
         held = obj.granted.get(app_id) if obj is not None else None
+        r_convert = False
         if held is not None:
-            if fresh_intent or not covers(held.mode, mode):
-                return False  # inconsistent / conversion: slow path
-            theld.count += 1
-            held.count += 1
-            self.stats.requests += 2
-            self.stats.immediate_grants += 2
-            self._tick_refresh()
-            self._tick_refresh()
-            return True
-        if obj is not None and (
-            obj.waiters or not obj.others_compatible(app_id, mode)
-        ):
-            return False  # the row grant would wait
-        need = 2 if fresh_intent else 1
-        if self.chain.free_slots < need:
-            return False  # sync growth / escalation: slow path
-        if self._app_slots.get(app_id, 0) + need > self.maxlocks_limit_slots():
-            return False  # would escalate: slow path
+            if fresh_intent:
+                return False  # row held without intent: slow path
+            if not covers(held.mode, mode):
+                if not obj.others_compatible(app_id, mode):
+                    return False  # the conversion would wait
+                r_convert = True
+            fresh_row = False
+        else:
+            if obj is not None and (
+                obj.waiters or not obj.others_compatible(app_id, mode)
+            ):
+                return False  # the row grant would wait
+            fresh_row = True
+        need = int(fresh_intent) + int(fresh_row)
+        if need:
+            if self.chain.free_slots < need:
+                return False  # sync growth / escalation: slow path
+            if (
+                self._app_slots.get(app_id, 0) + need
+                > self.maxlocks_limit_slots()
+            ):
+                return False  # would escalate: slow path
         # Commit: from here the outcome is the generator's, verbatim.
         self.stats.requests += 2
         self.stats.immediate_grants += 2
@@ -414,8 +442,16 @@ class LockManager:
             self._note_held(
                 app_id, table_res, tobj.add_grant(app_id, intent, block=tblock)
             )
+        elif t_convert:
+            tobj.upgrade_grant(app_id, intent)  # bumps theld.count
         else:
             theld.count += 1
+        if not fresh_row:
+            if r_convert:
+                obj.upgrade_grant(app_id, mode)  # bumps held.count
+            else:
+                held.count += 1
+            return True
         if obj is None:
             obj = self._objects[res] = LockObject(res)
         block = self.chain.allocate_slot()

@@ -1,0 +1,998 @@
+"""Client library for the lock-service wire protocol.
+
+Three layers, innermost first:
+
+* :class:`ClientConnection` -- one socket with a pending-request
+  table: any number of caller threads may have requests in flight on
+  the same connection (pipelining).  There is no dedicated reader
+  thread -- whichever requester finds the read side free becomes the
+  reader and settles everyone's responses until its own arrives.
+* :class:`LockClient` -- a pool of connections presenting the
+  *service* surface the in-process stacks present
+  (``open_session`` / ``session()`` / ``lock_row`` / ``rollback`` /
+  ...), plus wire-only extras: ``lock_rows`` batching, ``stats``,
+  ``ping``.  Sessions are sticky to one connection because the server
+  binds session cleanup to the connection that opened them.
+* :class:`NetClientStack` -- the shim that makes a remote server look
+  like a :class:`~repro.service.stack.ServiceStack` to
+  :class:`~repro.service.driver.LoadDriver`: ``.service`` is the
+  client, ``.admission`` is a *local* admission controller (back-
+  pressure belongs at the edge; the server never queues admissions).
+
+Failure model: a dead socket fails every request in flight on it with
+:class:`~repro.net.protocol.ConnectionLostError` and is replaced by a
+fresh connect on next use, so a client survives a server restart --
+sessions it held are gone (the server force-closed them on
+disconnect), but new ``session()`` scopes work immediately.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import json
+import socket
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.net import protocol as wire
+from repro.net.protocol import ConnectionLostError
+from repro.service.admission import AdmissionController
+from repro.service.service import _USE_DEFAULT
+
+#: Wire encoding of an *explicitly unbounded* wait (``timeout_s=None``
+#: passed by the caller, distinct from "use the server default").
+_UNBOUNDED = -1.0
+
+
+def _value(response: "int | wire.Response") -> int:
+    """The integer result of a request (hot path returns it bare)."""
+    return response if response.__class__ is int else response.value
+
+
+def _wire_timeout(timeout_s: object) -> Optional[float]:
+    """Map the service-facade timeout convention onto the wire."""
+    if timeout_s is _USE_DEFAULT:
+        return None  # no flag: server applies its default
+    if timeout_s is None:
+        return _UNBOUNDED
+    return float(timeout_s)
+
+
+class _Pending:
+    """One in-flight request's parking spot (pooled, reusable).
+
+    ``response`` is an ``int`` for the hot path (the value of a
+    data-free OK, no :class:`~repro.net.protocol.Response` built) or a
+    full ``Response`` otherwise.
+    """
+
+    __slots__ = ("event", "response", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: "Optional[int | wire.Response]" = None
+        self.error: Optional[BaseException] = None
+
+    @property
+    def settled(self) -> bool:
+        return self.response is not None or self.error is not None
+
+    def reset(self) -> None:
+        # When the requester was its own reader the event was never
+        # set; skipping the clear avoids two condition-lock rounds per
+        # request on the hot path.
+        if self.event.is_set():
+            self.event.clear()
+        self.response = None
+        self.error = None
+
+
+class ClientConnection:
+    """One pipelined protocol connection (thread-safe).
+
+    There is no dedicated reader thread: whichever requester thread
+    needs a response and finds the read side free *becomes* the reader
+    (driver-style reader-role handoff), consuming frames and settling
+    other threads' pending entries until its own answer shows up, then
+    passing the role on.  For the common single-requester case this
+    makes a round trip exactly one send and one recv on the calling
+    thread -- no cross-thread wakeups -- which on a single core is
+    worth roughly 2.5x in closed-loop throughput over a reader-thread
+    design (two context switches saved per request).
+    """
+
+    def __init__(
+        self, host: str, port: int, *, connect_timeout_s: float = 5.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        if host.startswith("unix:"):
+            # Unix-domain transport: ``host="unix:/path"``, port unused.
+            # The default for same-box deployments (worker pools): the
+            # same wire protocol over a cheaper kernel path.
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(connect_timeout_s)
+            self._sock.connect(host[len("unix:"):])
+        else:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout_s
+            )
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(None)
+        self._send_lock = threading.Lock()
+        #: Guards the _dead flip and the victim sweep in _fail; the
+        #: pending table itself is touched only with GIL-atomic dict
+        #: operations (single set / pop / values snapshot), so the hot
+        #: request path takes no lock besides the send lock.
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, _Pending] = {}
+        #: One reusable _Pending per requester thread: a thread can
+        #: only have one request outstanding (request() blocks), so no
+        #: shared pool -- and no pool lock -- is needed.
+        self._tls = threading.local()
+        self._ids = itertools.count(1)
+        self._dead: Optional[BaseException] = None
+        self._decoder = wire.FrameDecoder()
+        #: Held by the thread currently playing reader.
+        self._reader_lock = threading.Lock()
+
+    @property
+    def alive(self) -> bool:
+        return self._dead is None
+
+    # -- request/response --
+
+    def request(self, build, raw: bool = False) -> "int | wire.Response":
+        """Send ``build(request_id)`` and block for its response.
+
+        ``build`` returns a payload (framed here), or -- with
+        ``raw=True`` -- a complete frame, for hot-path callers using
+        the protocol's one-pack helpers.  Returns the OK value as a
+        bare ``int`` on the hot path, a full ``Response`` when the
+        reply carried data.  Raises the mapped service exception on
+        RESP_ERR and :class:`ConnectionLostError` if the socket dies
+        first.
+        """
+        if self._dead is not None:
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} is down: "
+                f"{self._dead}"
+            )
+        try:
+            pending = self._tls.pending
+        except AttributeError:
+            pending = self._tls.pending = _Pending()
+        request_id = next(self._ids)  # atomic (C-level) under the GIL
+        self._pending[request_id] = pending
+        frame = (
+            build(request_id) if raw else wire.encode_frame(build(request_id))
+        )
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as exc:
+            self._pending.pop(request_id, None)
+            self._fail(exc)
+            raise ConnectionLostError(
+                f"send to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+        self._await(pending)
+        response, error = pending.response, pending.error
+        pending.reset()
+        if error is not None:
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} lost mid-request: "
+                f"{error}"
+            ) from error
+        assert response is not None
+        if response.__class__ is int:
+            return response
+        response.raise_if_error()
+        return response
+
+    def send_only(self, payload: bytes) -> None:
+        """Send a fire-and-forget request (no pending entry, no wait).
+
+        Only for payloads carrying ``FLAG_NO_REPLY``: the server sends
+        nothing back, so registering a pending entry would leak it.
+        The TCP stream still orders the op before any later request on
+        this connection.
+        """
+        if self._dead is not None:
+            raise ConnectionLostError(
+                f"connection to {self.host}:{self.port} is down: "
+                f"{self._dead}"
+            )
+        frame = wire.encode_frame(payload)
+        try:
+            with self._send_lock:
+                self._sock.sendall(frame)
+        except OSError as exc:
+            self._fail(exc)
+            raise ConnectionLostError(
+                f"send to {self.host}:{self.port} failed: {exc}"
+            ) from exc
+
+    def _await(self, pending: _Pending) -> None:
+        """Park until ``pending`` settles, reading the socket if free.
+
+        The event is a wakeup hint, not the truth: ``pending.settled``
+        is.  A retiring reader sets every still-pending event so one
+        parked thread picks up the reader role; the rest re-park.
+        """
+        while pending.response is None and pending.error is None:
+            if self._reader_lock.acquire(blocking=False):
+                try:
+                    if pending.response is None and pending.error is None:
+                        self._read_until(pending)
+                finally:
+                    self._reader_lock.release()
+                    # Dirty read: an empty pending table means nobody
+                    # can be parked in wait() below (a later requester
+                    # will find the reader lock free and read for
+                    # itself), so the lock round in _handoff is skipped.
+                    if self._pending:
+                        self._handoff()
+            else:
+                pending.event.wait(timeout=0.2)
+                pending.event.clear()
+
+    def _read_until(self, pending: _Pending) -> None:
+        """Reader role: consume frames until ``pending`` settles."""
+        recv = self._sock.recv
+        decoder = self._decoder
+        split_frames = wire.split_frames
+        try_parse_ok = wire.try_parse_ok
+        deliver = self._deliver
+        try:
+            while pending.response is None and pending.error is None:
+                data = recv(65536)
+                if not data:
+                    raise ConnectionLostError("server closed the connection")
+                for payload in split_frames(data, decoder):
+                    fast = try_parse_ok(payload)
+                    if fast is not None:
+                        deliver(fast[0], fast[1], pending)
+                    else:
+                        response = wire.decode_response(payload)
+                        deliver(response.request_id, response, pending)
+        except ConnectionLostError as exc:
+            self._fail(exc)
+        except (OSError, wire.ProtocolError) as exc:
+            self._fail(exc)
+
+    def _handoff(self) -> None:
+        """Wake parked waiters so one of them takes the reader role."""
+        for waiter in list(self._pending.values()):
+            waiter.event.set()
+
+    def _deliver(
+        self,
+        request_id: int,
+        response: "int | wire.Response",
+        reader: Optional[_Pending] = None,
+    ) -> None:
+        pending = self._pending.pop(request_id, None)
+        if pending is None:
+            # id 0 is the server's "stream broken" report; anything
+            # else is a response whose waiter already gave up.
+            return
+        pending.response = response
+        if pending is not reader:
+            # The reader checks ``settled`` itself; waking it through
+            # the event would be pure condition-variable overhead.
+            pending.event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        with self._pending_lock:
+            if self._dead is None:
+                self._dead = exc
+            victims = list(self._pending.values())
+            self._pending.clear()
+        for pending in victims:
+            pending.error = exc
+            pending.event.set()
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+    def close(self) -> None:
+        self._fail(ConnectionLostError("closed by client"))
+
+
+class LockClient:
+    """Pooled sync facade over one server, session-sticky.
+
+    Presents the same method surface (and raises the same exception
+    classes) as the in-process services, so code written against
+    :class:`LockService` -- including :class:`LoadDriver` -- drives a
+    remote server unchanged.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 2,
+        connect_timeout_s: float = 5.0,
+    ) -> None:
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.connect_timeout_s = connect_timeout_s
+        self._lock = threading.Lock()
+        self._pool: List[Optional[ClientConnection]] = [None] * pool_size
+        self._next_slot = 0
+        self._sessions: Dict[int, ClientConnection] = {}
+        #: Open-but-idle sessions per connection, recycled by
+        #: :meth:`session` to avoid an open/close round-trip pair per
+        #: transaction scope.
+        self._idle_sessions: Dict[ClientConnection, List[int]] = {}
+        self._closed = False
+        #: Connections replaced after dying (server restart forensics).
+        self.reconnects = 0
+
+    # -- pool management --
+
+    def _connection(self, slot: Optional[int] = None) -> ClientConnection:
+        with self._lock:
+            if self._closed:
+                raise ConnectionLostError("client is closed")
+            if slot is None:
+                slot = self._next_slot
+                self._next_slot = (self._next_slot + 1) % self.pool_size
+            conn = self._pool[slot]
+            if conn is not None and conn.alive:
+                return conn
+            if conn is not None:
+                self.reconnects += 1
+                self._idle_sessions.pop(conn, None)
+            conn = ClientConnection(
+                self.host, self.port, connect_timeout_s=self.connect_timeout_s
+            )
+            self._pool[slot] = conn
+            return conn
+
+    def _session_conn(self, app_id: int) -> ClientConnection:
+        conn = self._sessions.get(app_id)  # atomic read under the GIL
+        if conn is None:
+            raise wire.ServiceError(
+                f"app {app_id} has no live session on this client"
+            )
+        if not conn.alive:
+            # The server force-closed the session when the connection
+            # died; surface that instead of silently re-opening.
+            with self._lock:
+                self._sessions.pop(app_id, None)
+            raise ConnectionLostError(
+                f"session {app_id} was lost with its connection"
+            )
+        return conn
+
+    # -- the service surface --
+
+    def open_session(self) -> int:
+        conn = self._connection()
+        app_id = _value(conn.request(wire.encode_open_session))
+        with self._lock:
+            self._sessions[app_id] = conn
+        return app_id
+
+    def close_session(self, app_id: int, *, wait: bool = True) -> int:
+        """Close ``app_id`` (releasing all its locks server-side).
+
+        With ``wait=False`` the close is fire-and-forget: one send, no
+        round trip, return value 0.  The TCP stream still orders the
+        release before anything this client sends next, so the hot
+        open/lock/close transaction loop stays correct while paying
+        one round trip less per transaction.
+        """
+        conn = self._session_conn(app_id)
+        try:
+            if wait:
+                response = conn.request(
+                    lambda rid: wire.encode_close_session(rid, app_id)
+                )
+            else:
+                conn.send_only(
+                    wire.encode_close_session(0, app_id, no_reply=True)
+                )
+                response = 0
+        finally:
+            with self._lock:
+                self._sessions.pop(app_id, None)
+        return _value(response)
+
+    @contextlib.contextmanager
+    def session(self) -> Iterator[int]:
+        """A transaction scope: yields an app id, releases its locks on
+        exit.
+
+        Sessions are *recycled*: scope exit sends one fire-and-forget
+        ``release_all`` (the strict-2PL transaction boundary) and
+        parks the still-open session on a per-connection free list for
+        the next scope, so the steady-state cost of a scope is zero
+        round trips instead of the open/close pair.  Server-side
+        cleanup is unchanged -- recycled sessions stay bound to their
+        connection and are force-closed when it drops.
+        """
+        conn = self._connection()
+        app_id: Optional[int] = None
+        idle = self._idle_sessions.get(conn)
+        if idle:
+            # list.pop is atomic under the GIL; a concurrent pop on a
+            # just-emptied list surfaces as IndexError, not corruption.
+            try:
+                app_id = idle.pop()
+            except IndexError:
+                app_id = None
+        if app_id is None:
+            app_id = _value(conn.request(wire.encode_open_session))
+            with self._lock:
+                self._sessions[app_id] = conn
+        try:
+            yield app_id
+        finally:
+            recycled = False
+            with contextlib.suppress(ConnectionLostError):
+                conn.send_only(
+                    wire.encode_release_all(0, app_id, no_reply=True)
+                )
+                recycled = True
+            if recycled and not self._closed:
+                self._idle_sessions.setdefault(conn, []).append(app_id)
+            else:
+                self._sessions.pop(app_id, None)
+
+    def lock_row(
+        self,
+        app_id: int,
+        table_id: int,
+        row_id: int,
+        mode: Any,
+        timeout_s: object = _USE_DEFAULT,
+    ) -> None:
+        timeout = _wire_timeout(timeout_s)
+        mode_byte = wire.wire_mode(mode)
+        self._session_conn(app_id).request(
+            lambda rid: wire.pack_lock_row_frame(
+                rid, app_id, table_id, row_id, mode_byte, timeout
+            ),
+            raw=True,
+        )
+
+    def lock_table(
+        self,
+        app_id: int,
+        table_id: int,
+        mode: Any,
+        timeout_s: object = _USE_DEFAULT,
+    ) -> None:
+        timeout = _wire_timeout(timeout_s)
+        self._session_conn(app_id).request(
+            lambda rid: wire.encode_lock_table(
+                rid, app_id, table_id, wire.wire_mode(mode), timeout
+            )
+        )
+
+    def lock_rows(
+        self,
+        app_id: int,
+        accesses: Sequence[Tuple[int, int, Any]],
+        timeout_s: object = _USE_DEFAULT,
+    ) -> int:
+        """Batch: acquire every ``(table, row, mode)`` in one frame.
+
+        Returns the number granted.  On failure the locks granted
+        before the failing access are still held (exactly as if the
+        caller had looped ``lock_row``) -- roll back to shed them.
+        """
+        timeout = _wire_timeout(timeout_s)
+        triples = [(t, r, wire.wire_mode(m)) for t, r, m in accesses]
+        response = self._session_conn(app_id).request(
+            lambda rid: wire.encode_batch_lock(rid, app_id, triples, timeout)
+        )
+        return _value(response)
+
+    def release_read_lock(
+        self, app_id: int, table_id: int, row_id: int
+    ) -> bool:
+        response = self._session_conn(app_id).request(
+            lambda rid: wire.encode_unlock_read(rid, app_id, table_id, row_id)
+        )
+        return bool(_value(response))
+
+    def rollback(self, app_id: int) -> int:
+        response = self._session_conn(app_id).request(
+            lambda rid: wire.encode_release_all(rid, app_id)
+        )
+        return _value(response)
+
+    def cancel(self, app_id: int, message: str = "cancelled") -> bool:
+        response = self._session_conn(app_id).request(
+            lambda rid: wire.encode_cancel(rid, app_id)
+        )
+        return bool(_value(response))
+
+    # -- wire-only extras --
+
+    def stats(self) -> Dict[str, Any]:
+        response = self._connection().request(wire.encode_stats)
+        return json.loads(response.data.decode("utf-8"))
+
+    def ping(self) -> None:
+        self._connection().request(wire.encode_ping)
+
+    @property
+    def session_count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = [c for c in self._pool if c is not None]
+            self._pool = [None] * self.pool_size
+            self._sessions.clear()
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "LockClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NetClientStack:
+    """Make a remote lock server drivable by :class:`LoadDriver`.
+
+    The driver touches exactly two attributes of its stack --
+    ``.service`` and ``.admission`` -- so this shim provides a
+    :class:`LockClient` as the service and a client-side
+    :class:`AdmissionController` for back-pressure (the wire protocol
+    deliberately has no admission op: shedding load *before* it hits
+    the socket is the whole point of admission control).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 2,
+        max_in_flight: int = 64,
+        max_queue_depth: int = 256,
+    ) -> None:
+        self.service = LockClient(host, port, pool_size=pool_size)
+        self.admission = AdmissionController(
+            max_in_flight=max_in_flight, max_queue_depth=max_queue_depth
+        )
+
+    def close(self) -> None:
+        self.admission.close()
+        self.service.close()
+
+    def __enter__(self) -> "NetClientStack":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _RoutedSession:
+    """One routed transaction scope: app id + per-worker connections.
+
+    ``conns`` maps worker index -> the :class:`ClientConnection` the
+    session is registered on there (opened on the home worker, adopted
+    lazily elsewhere).  Validity is the conjunction of those
+    connections being alive: a server force-closes its registration
+    when the connection drops.
+    """
+
+    __slots__ = ("app_id", "conns")
+
+    def __init__(self, app_id: int, conns: Dict[int, ClientConnection]) -> None:
+        self.app_id = app_id
+        self.conns = conns
+
+
+class RoutedLockClient:
+    """Client-side router over a worker pool's per-worker endpoints.
+
+    Tables are routed ``table_id % workers`` -- the same deterministic
+    placement :func:`repro.service.sharded.shard_of` uses -- so every
+    lock request goes straight to the worker that owns the table, with
+    no intermediate hop.  Sessions open on a round-robin *home* worker
+    and are lazily **adopted** (``OP_ADOPT_SESSION``) by other workers
+    on first touch; worker-allocated app ids come from disjoint
+    arithmetic progressions, so adoption never collides.
+
+    Presents the same service surface as :class:`LockClient`, so
+    :class:`LoadDriver` drives a multi-process pool unchanged.
+    Sessions are recycled exactly like :class:`LockClient.session`:
+    scope exit fans one fire-and-forget ``release_all`` out to every
+    adopted worker (strict 2PL commit across the pool) and parks the
+    record for the next scope, keeping adoption warm.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        *,
+        pool_size: int = 1,
+        connect_timeout_s: float = 5.0,
+        metrics: Any = None,
+    ) -> None:
+        if not endpoints:
+            raise ValueError("need at least one worker endpoint")
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self._endpoints = list(endpoints)
+        self._n = len(self._endpoints)
+        self.pool_size = pool_size
+        self.connect_timeout_s = connect_timeout_s
+        self._lock = threading.Lock()
+        self._pool: List[List[Optional[ClientConnection]]] = [
+            [None] * pool_size for _ in range(self._n)
+        ]
+        self._next_slot = [0] * self._n
+        #: All live session records by app id (in-scope and idle alike).
+        self._recs: Dict[int, _RoutedSession] = {}
+        self._idle: List[_RoutedSession] = []
+        self._rr = itertools.count()
+        self._closed = False
+        self.reconnects = 0
+        #: Optional per-worker wire-latency histograms (one observation
+        #: per lock_row round trip, labeled by worker).
+        self._lat = None
+        if metrics is not None:
+            from repro.obs.registry import WALL_CLOCK_BUCKETS_S
+
+            self._lat = [
+                metrics.histogram(
+                    "net.client.request_latency_s",
+                    WALL_CLOCK_BUCKETS_S,
+                    labels={"worker": str(idx)},
+                )
+                for idx in range(self._n)
+            ]
+
+    @property
+    def workers(self) -> int:
+        return self._n
+
+    # -- connections --
+
+    def _conn(self, worker: int) -> ClientConnection:
+        with self._lock:
+            if self._closed:
+                raise ConnectionLostError("client is closed")
+            slot = self._next_slot[worker]
+            self._next_slot[worker] = (slot + 1) % self.pool_size
+            conn = self._pool[worker][slot]
+            if conn is not None and conn.alive:
+                return conn
+            if conn is not None:
+                self.reconnects += 1
+            host, port = self._endpoints[worker]
+            conn = ClientConnection(
+                host, port, connect_timeout_s=self.connect_timeout_s
+            )
+            self._pool[worker][slot] = conn
+            return conn
+
+    def _rec(self, app_id: int) -> _RoutedSession:
+        rec = self._recs.get(app_id)  # atomic read under the GIL
+        if rec is None:
+            raise wire.ServiceError(
+                f"app {app_id} has no live session on this client"
+            )
+        return rec
+
+    def _adopt(self, rec: _RoutedSession, worker: int) -> ClientConnection:
+        conn = self._conn(worker)
+        conn.request(
+            lambda rid: wire.encode_adopt_session(rid, rec.app_id)
+        )
+        rec.conns[worker] = conn
+        return conn
+
+    # -- session lifecycle --
+
+    def open_session(self) -> int:
+        home = next(self._rr) % self._n
+        conn = self._conn(home)
+        app_id = _value(conn.request(wire.encode_open_session))
+        rec = _RoutedSession(app_id, {home: conn})
+        self._recs[app_id] = rec
+        return app_id
+
+    def close_session(self, app_id: int, *, wait: bool = True) -> int:
+        rec = self._rec(app_id)
+        released = 0
+        try:
+            for conn in rec.conns.values():
+                if not conn.alive:
+                    continue
+                if wait:
+                    released += _value(
+                        conn.request(
+                            lambda rid: wire.encode_close_session(
+                                rid, app_id
+                            )
+                        )
+                    )
+                else:
+                    with contextlib.suppress(ConnectionLostError):
+                        conn.send_only(
+                            wire.encode_close_session(
+                                0, app_id, no_reply=True
+                            )
+                        )
+        finally:
+            self._recs.pop(app_id, None)
+        return released
+
+    def _discard(self, rec: _RoutedSession) -> None:
+        self._recs.pop(rec.app_id, None)
+        for conn in rec.conns.values():
+            if conn.alive:
+                with contextlib.suppress(ConnectionLostError):
+                    conn.send_only(
+                        wire.encode_close_session(
+                            0, rec.app_id, no_reply=True
+                        )
+                    )
+
+    @contextlib.contextmanager
+    def session(self) -> Iterator[int]:
+        """A transaction scope across the pool (recycled, see class doc)."""
+        rec: Optional[_RoutedSession] = None
+        while rec is None:
+            try:
+                candidate = self._idle.pop()  # GIL-atomic
+            except IndexError:
+                break
+            if all(conn.alive for conn in candidate.conns.values()):
+                rec = candidate
+            else:
+                self._discard(candidate)
+        if rec is None:
+            home = next(self._rr) % self._n
+            conn = self._conn(home)
+            app_id = _value(conn.request(wire.encode_open_session))
+            rec = _RoutedSession(app_id, {home: conn})
+            self._recs[app_id] = rec
+        try:
+            yield rec.app_id
+        finally:
+            recycled = True
+            for conn in rec.conns.values():
+                if not conn.alive:
+                    recycled = False
+                    continue
+                try:
+                    conn.send_only(
+                        wire.encode_release_all(
+                            0, rec.app_id, no_reply=True
+                        )
+                    )
+                except ConnectionLostError:
+                    recycled = False
+            if recycled and not self._closed:
+                self._idle.append(rec)
+            else:
+                self._discard(rec)
+
+    # -- the service surface --
+
+    def lock_row(
+        self,
+        app_id: int,
+        table_id: int,
+        row_id: int,
+        mode: Any,
+        timeout_s: object = _USE_DEFAULT,
+    ) -> None:
+        rec = self._rec(app_id)
+        worker = table_id % self._n
+        conn = rec.conns.get(worker)
+        if conn is None:
+            conn = self._adopt(rec, worker)
+        timeout = _wire_timeout(timeout_s)
+        mode_byte = wire.wire_mode(mode)
+        if self._lat is None:
+            conn.request(
+                lambda rid: wire.pack_lock_row_frame(
+                    rid, app_id, table_id, row_id, mode_byte, timeout
+                ),
+                raw=True,
+            )
+            return
+        started = time.perf_counter()
+        conn.request(
+            lambda rid: wire.pack_lock_row_frame(
+                rid, app_id, table_id, row_id, mode_byte, timeout
+            ),
+            raw=True,
+        )
+        self._lat[worker].observe(time.perf_counter() - started)
+
+    def lock_table(
+        self,
+        app_id: int,
+        table_id: int,
+        mode: Any,
+        timeout_s: object = _USE_DEFAULT,
+    ) -> None:
+        rec = self._rec(app_id)
+        worker = table_id % self._n
+        conn = rec.conns.get(worker) or self._adopt(rec, worker)
+        timeout = _wire_timeout(timeout_s)
+        conn.request(
+            lambda rid: wire.encode_lock_table(
+                rid, app_id, table_id, wire.wire_mode(mode), timeout
+            )
+        )
+
+    def lock_rows(
+        self,
+        app_id: int,
+        accesses: Sequence[Tuple[int, int, Any]],
+        timeout_s: object = _USE_DEFAULT,
+    ) -> int:
+        """Batch across workers: one frame per worker touched.
+
+        Splits the batch by owning worker and issues the sub-batches
+        sequentially (first-touch order), so failure semantics match
+        the looped ``lock_row`` per worker; a failing sub-batch leaves
+        earlier workers' locks held, exactly like the loop would.
+        """
+        rec = self._rec(app_id)
+        timeout = _wire_timeout(timeout_s)
+        by_worker: Dict[int, List[Tuple[int, int, int]]] = {}
+        order: List[int] = []
+        for table_id, row_id, mode in accesses:
+            worker = table_id % self._n
+            if worker not in by_worker:
+                by_worker[worker] = []
+                order.append(worker)
+            by_worker[worker].append(
+                (table_id, row_id, wire.wire_mode(mode))
+            )
+        granted = 0
+        for worker in order:
+            conn = rec.conns.get(worker) or self._adopt(rec, worker)
+            granted += _value(
+                conn.request(
+                    lambda rid, w=worker: wire.encode_batch_lock(
+                        rid, app_id, by_worker[w], timeout
+                    )
+                )
+            )
+        return granted
+
+    def release_read_lock(
+        self, app_id: int, table_id: int, row_id: int
+    ) -> bool:
+        rec = self._rec(app_id)
+        worker = table_id % self._n
+        conn = rec.conns.get(worker) or self._adopt(rec, worker)
+        response = conn.request(
+            lambda rid: wire.encode_unlock_read(rid, app_id, table_id, row_id)
+        )
+        return bool(_value(response))
+
+    def rollback(self, app_id: int) -> int:
+        rec = self._rec(app_id)
+        released = 0
+        for conn in rec.conns.values():
+            released += _value(
+                conn.request(
+                    lambda rid: wire.encode_release_all(rid, app_id)
+                )
+            )
+        return released
+
+    def cancel(self, app_id: int, message: str = "cancelled") -> bool:
+        rec = self._rec(app_id)
+        cancelled = False
+        for conn in rec.conns.values():
+            response = conn.request(
+                lambda rid: wire.encode_cancel(rid, app_id)
+            )
+            cancelled = cancelled or bool(_value(response))
+        return cancelled
+
+    # -- wire-only extras --
+
+    def stats(self) -> List[Dict[str, Any]]:
+        """Per-worker stats payloads, indexed by worker."""
+        payloads = []
+        for worker in range(self._n):
+            response = self._conn(worker).request(wire.encode_stats)
+            payloads.append(json.loads(response.data.decode("utf-8")))
+        return payloads
+
+    def ping(self) -> None:
+        for worker in range(self._n):
+            self._conn(worker).request(wire.encode_ping)
+
+    @property
+    def session_count(self) -> int:
+        return len(self._recs)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            conns = [
+                conn
+                for pool in self._pool
+                for conn in pool
+                if conn is not None
+            ]
+            self._pool = [[None] * self.pool_size for _ in range(self._n)]
+            self._recs.clear()
+            self._idle.clear()
+        for conn in conns:
+            conn.close()
+
+    def __enter__(self) -> "RoutedLockClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class RoutedClientStack:
+    """Make a worker pool drivable by :class:`LoadDriver`.
+
+    Same shape as :class:`NetClientStack` -- ``.service`` plus a local
+    ``.admission`` -- but the service is a :class:`RoutedLockClient`
+    over every worker endpoint.
+    """
+
+    def __init__(
+        self,
+        endpoints: Sequence[Tuple[str, int]],
+        *,
+        pool_size: int = 1,
+        max_in_flight: int = 64,
+        max_queue_depth: int = 256,
+        metrics: Any = None,
+    ) -> None:
+        self.service = RoutedLockClient(
+            endpoints, pool_size=pool_size, metrics=metrics
+        )
+        self.admission = AdmissionController(
+            max_in_flight=max_in_flight, max_queue_depth=max_queue_depth
+        )
+
+    def close(self) -> None:
+        self.admission.close()
+        self.service.close()
+
+    def __enter__(self) -> "RoutedClientStack":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = [
+    "ClientConnection",
+    "ConnectionLostError",
+    "LockClient",
+    "NetClientStack",
+    "RoutedClientStack",
+    "RoutedLockClient",
+]

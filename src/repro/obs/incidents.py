@@ -37,8 +37,10 @@ from collections import deque
 from dataclasses import asdict, dataclass, field
 from typing import Any, Deque, Dict, List, Mapping, Optional
 
-#: Closed vocabulary of incident kinds.
-INCIDENT_KINDS = ("deadlock", "escalation", "tuner-freeze")
+#: Closed vocabulary of incident kinds.  ``worker-crash`` is the
+#: multi-process analogue of ``tuner-freeze``: a worker process died
+#: and the surviving pool froze to static LOCKLIST sizing.
+INCIDENT_KINDS = ("deadlock", "escalation", "tuner-freeze", "worker-crash")
 
 
 @dataclass

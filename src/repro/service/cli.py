@@ -1,6 +1,6 @@
 """``repro-service``: demo server, threaded stress runner, trace capture.
 
-Three subcommands:
+Subcommands:
 
 ``demo``
     Run the live service under a small closed loop for a few seconds
@@ -10,7 +10,16 @@ Three subcommands:
     The CI smoke: N threads x M lock requests each against a small
     initial LOCKLIST (so synchronous growth and escalation both fire),
     then assert byte-exact memory accounting at shutdown.  Exits
-    non-zero on any invariant violation or worker error.
+    non-zero on any invariant violation or worker error.  ``--net``
+    drives the same load over the wire protocol (a server plus client
+    stack in this process); ``--net --workers N`` forks the
+    multi-process worker pool and additionally asserts the arbiter's
+    byte-exact cross-worker reconciliation.
+``serve``
+    Stand up a lock server and run until interrupted (or
+    ``--duration``): a single in-process service over TCP or a Unix
+    socket, or -- with ``--workers N`` -- the worker-pool runtime with
+    one process per shard group and per-worker UDS endpoints.
 ``capture``
     Run load while recording the ``(time, target_locks)`` demand trace
     to a JSONL file that ``repro.workloads.replay`` can consume.
@@ -18,10 +27,13 @@ Three subcommands:
     Poll a running service's ops endpoints (``--ops-port``) and render
     a refreshing console dashboard: per-shard throughput and latency,
     wait time and incidents, LOCKLIST posture, and the STMM audit tail
-    (``--json`` emits one machine-readable object per frame).
+    (``--json`` emits one machine-readable object per frame).  The
+    target may be a full URL or a bare ``host:port``.
 ``analyze``
     Offline analysis over a recorded ``--telemetry`` JSONL: wait-time
-    breakdown by class, the top blockers, and tuner convergence.
+    breakdown by class, the top blockers, and tuner convergence.  Given
+    a ``host:port`` (or URL) instead of a file, fetches the live ops
+    plane (``/healthz`` ``/stmm`` ``/incidents``) and summarizes it.
 
 Every load subcommand accepts ``--ops-port`` (serve ``/metrics`` /
 ``/healthz`` / ``/stmm`` while running), ``--span-sample N`` (sample
@@ -34,7 +46,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
+import shutil
 import sys
+import tempfile
+import time
 from typing import List, Optional, Union
 
 from repro.analysis.waitprofile import analyze_run
@@ -46,6 +63,7 @@ from repro.service.sharded import ShardedServiceConfig, ShardedServiceStack
 from repro.service.stack import ServiceConfig, ServiceStack
 from repro.service.telemetry import service_telemetry
 from repro.service.top import run_top
+from repro.service.workers import WorkerPoolConfig, WorkerPoolStack
 
 #: Either stack shape; both expose the same reporting surface.
 AnyStack = Union[ServiceStack, ShardedServiceStack]
@@ -120,6 +138,48 @@ def _add_load_args(parser: argparse.ArgumentParser) -> None:
         metavar="OUT.JSONL",
         help="export the run's metrics, tuning decisions and STMM audit "
         "trail as JSONL",
+    )
+
+
+def _add_net_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--net",
+        action="store_true",
+        help="drive the load over the wire protocol (server + client "
+        "stack in this process) instead of in-process calls",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="fork N worker processes behind the net stack (requires "
+        "--net; 0 = single in-process service behind one socket)",
+    )
+    parser.add_argument(
+        "--pool-size",
+        type=int,
+        default=1,
+        help="client connections per endpoint (default 1)",
+    )
+
+
+def _ops_url(target: str) -> str:
+    """Normalize an ops-plane target: URL passes through, host:port
+    (or a bare port) gains the scheme/host."""
+    if "://" in target:
+        return target.rstrip("/")
+    if re.fullmatch(r"\d+", target):
+        return f"http://127.0.0.1:{target}"
+    return f"http://{target.rstrip('/')}"
+
+
+def _is_remote_target(path: str) -> bool:
+    """A ``host:port`` or URL rather than a telemetry file on disk."""
+    if path.startswith(("http://", "https://")):
+        return True
+    return (
+        re.fullmatch(r"[\w.\-]+:\d+", path) is not None
+        and not os.path.exists(path)
     )
 
 
@@ -255,6 +315,226 @@ def _check_shutdown_accounting(stack: AnyStack) -> List[str]:
     return failures
 
 
+def _build_pool(args: argparse.Namespace) -> WorkerPoolStack:
+    return WorkerPoolStack(
+        WorkerPoolConfig(
+            total_memory_pages=args.memory_pages,
+            initial_locklist_pages=args.locklist_pages,
+            tuner_interval_s=args.tuner_interval,
+            max_in_flight=max(4, args.threads),
+            admission_queue_depth=4 * max(4, args.threads),
+            params=TuningParameters(),
+            workers=args.workers,
+            ops_port=args.ops_port,
+        )
+    )
+
+
+def _print_pool_report(pool: WorkerPoolStack, report: DriverReport) -> None:
+    print(f"threads:            {report.threads}")
+    print(f"wall time:          {report.wall_s:.2f} s")
+    print(f"lock requests:      {report.lock_requests}")
+    print(f"requests/s:         {report.requests_per_s:,.0f}")
+    print(f"commits:            {report.commits}")
+    print(
+        f"rollbacks:          {report.rollbacks_deadlock} deadlock, "
+        f"{report.rollbacks_timeout} timeout, {report.rollbacks_full} full"
+    )
+    print(
+        f"lock memory:        {pool.chain.allocated_pages} pages in "
+        f"{pool.chain.block_count} blocks over {pool.config.workers} "
+        f"worker processes"
+    )
+    print(
+        f"tuning:             {pool.tuner.intervals_run} intervals, "
+        f"{pool.ledger.total_borrowed_blocks()} blocks borrowed "
+        f"synchronously, {len(pool.detector.victims)} cross-worker "
+        f"deadlock victims"
+    )
+    rec = pool.reconciliation
+    if rec is None:
+        return
+    print("per-worker reconciliation:")
+    print(
+        f"  {'worker':>6} {'state':>9} {'expected':>9} {'reported':>9} "
+        f"{'borrowed':>9}"
+    )
+    for entry in rec.workers:
+        reported = entry["reported_blocks"]
+        print(
+            f"  {entry['worker']:>6} {entry['state']:>9} "
+            f"{entry['expected_blocks']:>9} "
+            f"{reported if reported is not None else '-':>9} "
+            f"{entry['borrowed_blocks']:>9}"
+        )
+    print(
+        f"  total: {rec.reported_blocks}/{rec.expected_blocks} blocks "
+        f"({rec.reported_pages}/{rec.expected_pages} pages) "
+        f"{'OK' if rec.ok else 'MISMATCH'}"
+    )
+
+
+def _net_stress_pool(args: argparse.Namespace) -> int:
+    pool = _build_pool(args)
+    pool.start()
+    try:
+        _announce_ops(pool)
+        with pool.client_stack(pool_size=args.pool_size) as client:
+            driver = LoadDriver(
+                client,
+                threads=args.threads,
+                requests_per_thread=args.requests,
+                duration_s=args.duration,
+                seed=args.seed,
+            )
+            report = driver.run()
+    finally:
+        pool.stop()
+    _print_pool_report(pool, report)
+    failures = list(report.worker_errors)
+    expected = args.threads * args.requests
+    if args.duration is None and report.lock_requests < expected:
+        failures.append(
+            f"only {report.lock_requests}/{expected} lock requests completed"
+        )
+    rec = pool.reconciliation
+    if rec is None or not rec.ok:
+        failures.append(f"worker reconciliation failed: {rec!r}")
+    if pool.frozen_reason is not None:
+        failures.append(f"pool froze: {pool.frozen_reason}")
+    if pool.tuner.crash is not None:
+        failures.append(f"arbiter crashed: {pool.tuner.crash!r}")
+    if pool.detector.crash is not None:
+        failures.append(f"deadlock sweep crashed: {pool.detector.crash!r}")
+    try:
+        pool.check_invariants()
+    except Exception as exc:  # noqa: BLE001 - reported, not raised
+        failures.append(f"invariant check failed: {exc}")
+    if failures:
+        print("\nNET STRESS FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nnet stress OK: byte-exact reconciliation across workers")
+    return 0
+
+
+def _net_stress_single(args: argparse.Namespace) -> int:
+    from repro.net.client import NetClientStack
+    from repro.net.server import serve_service
+
+    if args.shards > 0:
+        print("stress: --net --shards is not supported; use --workers",
+              file=sys.stderr)
+        return 2
+    stack = _build_stack(args)
+    sock_dir = tempfile.mkdtemp(prefix="repro-net-")
+    sock = os.path.join(sock_dir, "service.sock")
+    with stack:
+        _announce_ops(stack)
+        server = serve_service(stack.service, path=sock)
+        try:
+            with NetClientStack(
+                f"unix:{sock}",
+                0,
+                pool_size=args.pool_size,
+                max_in_flight=max(4, args.threads),
+                max_queue_depth=4 * max(4, args.threads),
+            ) as client:
+                driver = LoadDriver(
+                    client,
+                    threads=args.threads,
+                    requests_per_thread=args.requests,
+                    duration_s=args.duration,
+                    seed=args.seed,
+                )
+                report = driver.run()
+        finally:
+            server.stop()
+            shutil.rmtree(sock_dir, ignore_errors=True)
+    _print_report(stack, report)
+    failures = list(report.worker_errors)
+    expected = args.threads * args.requests
+    if args.duration is None and report.lock_requests < expected:
+        failures.append(
+            f"only {report.lock_requests}/{expected} lock requests completed"
+        )
+    failures.extend(_check_shutdown_accounting(stack))
+    if failures:
+        print("\nNET STRESS FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nnet stress OK: exact accounting verified at shutdown")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    if args.workers > 0:
+        pool = _build_pool(args)
+        pool.start()
+        try:
+            _announce_ops(pool)
+            for endpoint, _port in pool.endpoints:
+                print(f"worker endpoint: {endpoint}", flush=True)
+            print("serving (Ctrl-C to stop)", flush=True)
+            deadline = (
+                time.monotonic() + args.duration
+                if args.duration is not None
+                else None
+            )
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            pool.stop()
+        rec = pool.reconciliation
+        print(
+            f"reconciliation: {rec.reported_blocks}/{rec.expected_blocks} "
+            f"blocks {'OK' if rec.ok else 'MISMATCH'}"
+        )
+        return 0 if rec.ok else 1
+
+    from repro.net.server import serve_service
+
+    stack = _build_stack(args)
+    with stack:
+        _announce_ops(stack)
+        server = serve_service(
+            stack.service,
+            host=args.host,
+            port=args.port,
+            path=args.socket,
+            metrics=getattr(stack, "metrics", None),
+        )
+        try:
+            if args.socket:
+                print(f"serving on unix:{args.socket}", flush=True)
+            else:
+                host, port = server.address
+                print(f"serving on {host}:{port}", flush=True)
+            print("serving (Ctrl-C to stop)", flush=True)
+            deadline = (
+                time.monotonic() + args.duration
+                if args.duration is not None
+                else None
+            )
+            while deadline is None or time.monotonic() < deadline:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.stop()
+    failures = _check_shutdown_accounting(stack)
+    if failures:
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("clean shutdown: exact accounting verified")
+    return 0
+
+
 def cmd_demo(args: argparse.Namespace) -> int:
     stack = _build_stack(args)
     print(
@@ -276,6 +556,13 @@ def cmd_demo(args: argparse.Namespace) -> int:
 
 
 def cmd_stress(args: argparse.Namespace) -> int:
+    if args.workers > 0 and not args.net:
+        print("stress: --workers requires --net", file=sys.stderr)
+        return 2
+    if args.net:
+        if args.workers > 0:
+            return _net_stress_pool(args)
+        return _net_stress_single(args)
     stack = _build_stack(args)
     with stack:
         _announce_ops(stack)
@@ -316,7 +603,9 @@ def cmd_capture(args: argparse.Namespace) -> int:
 
 
 def cmd_top(args: argparse.Namespace) -> int:
-    base_url = args.url or f"http://127.0.0.1:{args.port}"
+    base_url = (
+        _ops_url(args.url) if args.url else f"http://127.0.0.1:{args.port}"
+    )
     return run_top(
         base_url,
         interval_s=args.interval,
@@ -326,7 +615,89 @@ def cmd_top(args: argparse.Namespace) -> int:
     )
 
 
+def _fetch_ops_json(url: str) -> dict:
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        # /healthz answers 503 with a JSON body when degraded.
+        return json.loads(exc.read().decode("utf-8"))
+
+
+def _analyze_remote(args: argparse.Namespace) -> int:
+    """Summarize a *live* ops plane instead of a telemetry file."""
+    base = _ops_url(args.path)
+    try:
+        health = _fetch_ops_json(f"{base}/healthz")
+        stmm = _fetch_ops_json(f"{base}/stmm")
+        incidents = _fetch_ops_json(f"{base}/incidents")
+    except (OSError, ValueError) as exc:
+        print(f"analyze: {base} unreachable: {exc}", file=sys.stderr)
+        return 1
+    ok = bool(health.get("ok"))
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "target": base,
+                    "health": health,
+                    "stmm": stmm,
+                    "incidents": incidents,
+                },
+                indent=2,
+            )
+        )
+        return 0 if ok else 1
+    print(f"live ops plane: {base}")
+    print(
+        f"health:    {'healthy' if ok else 'DEGRADED'} "
+        f"({health.get('service', 'unknown')})"
+    )
+    if health.get("frozen_reason"):
+        print(f"  frozen:  {health['frozen_reason']}")
+    if "workers_alive" in health:
+        print(
+            f"  workers: {health['workers_alive']}/{health.get('workers')} "
+            f"alive, {health.get('worker_crashes', 0)} crashes"
+        )
+    posture = stmm.get("posture", {})
+    if posture:
+        print("posture:")
+        for key in sorted(posture):
+            print(f"  {key}: {posture[key]}")
+    print(
+        f"tuning:    {stmm.get('intervals', 0)} intervals "
+        f"({stmm.get('audit_total', 0)} audit records)"
+    )
+    for record in stmm.get("audit", [])[-args.top:]:
+        if {"time", "current_pages", "target_pages", "reason"} <= set(record):
+            print(
+                f"  t={record['time']:7.2f}s "
+                f"{record['current_pages']:5d} -> "
+                f"{record['target_pages']:5d} pages ({record['reason']})"
+            )
+        else:
+            print(f"  {record}")
+    counts = {
+        kind: count
+        for kind, count in incidents.get("counts", {}).items()
+        if count
+    }
+    print(f"incidents: {incidents.get('total', 0)} total {counts or ''}")
+    for record in incidents.get("incidents", [])[-args.top:]:
+        print(
+            f"  [{record.get('kind')}] t={record.get('time', 0.0):.2f}s "
+            f"shard {record.get('shard')}: {record.get('detail')}"
+        )
+    return 0 if ok else 1
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if _is_remote_target(args.path):
+        return _analyze_remote(args)
     try:
         runs = load_runs(args.path)
     except (OSError, ValueError) as exc:
@@ -361,7 +732,28 @@ def build_parser() -> argparse.ArgumentParser:
         "stress", help="threaded stress run with exact-accounting checks"
     )
     _add_load_args(stress)
+    _add_net_args(stress)
     stress.set_defaults(func=cmd_stress)
+
+    serve = sub.add_parser(
+        "serve",
+        help="stand up a lock server (single service or --workers pool)",
+    )
+    _add_load_args(serve)
+    _add_net_args(serve)
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind host (single service)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        metavar="PATH",
+        help="serve a Unix-domain socket instead of TCP (single service)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     capture = sub.add_parser(
         "capture", help="record a (time, target_locks) demand trace"
@@ -379,7 +771,9 @@ def build_parser() -> argparse.ArgumentParser:
         "top", help="live dashboard over a running service's ops plane"
     )
     top.add_argument(
-        "--url", default=None, help="ops base URL (overrides --port)"
+        "--url",
+        default=None,
+        help="ops target: URL or host:port (overrides --port)",
     )
     top.add_argument(
         "--port", type=int, default=9101, help="ops port on localhost"
@@ -409,7 +803,11 @@ def build_parser() -> argparse.ArgumentParser:
         "analyze",
         help="offline wait-profile report over a recorded telemetry JSONL",
     )
-    analyze.add_argument("path", help="telemetry JSONL (from --telemetry)")
+    analyze.add_argument(
+        "path",
+        help="telemetry JSONL (from --telemetry), or the host:port / URL "
+        "of a live ops plane",
+    )
     analyze.add_argument(
         "--top", type=int, default=5, help="blocker table size (default 5)"
     )

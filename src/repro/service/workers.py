@@ -1,0 +1,1345 @@
+"""Multi-process scale-out: worker-process shards under one STMM arbiter.
+
+The sharded stack (:mod:`repro.service.sharded`) splits the lock table
+across shards *inside one process*; this module forks each shard group
+into its own **worker process**.  Each worker owns a complete
+:class:`LockService` (chain, manager, wait queues) and serves the wire
+protocol on its own Unix-domain socket, so lock traffic never crosses
+the parent.  The parent keeps what the paper centralizes: the database
+memory registry, the :class:`LockMemoryController`, adaptive MAXLOCKS,
+STMM and the tuning daemon -- one arbiter distributing one pool of lock
+memory over many worker processes.
+
+Control plane (parent <-> worker, one pair of pipes per worker):
+
+* ``ctl`` -- parent-initiated request/reply: occupancy sampling, block
+  grants and reclaims (STMM resize distribution), MAXLOCKS pushes,
+  wait-graph extraction, deadlock victimization, freeze, close.
+* ``borrow`` -- worker-initiated synchronous growth (paper section
+  3.3): a lock request that finds no free structure blocks, mid-request,
+  on a borrow round trip; the parent moves pages from overflow into the
+  locklist heap and reserves the granted blocks for that worker.
+
+Locking architecture (the part that is easy to get wrong): a worker
+request thread blocks on the borrow pipe *while holding its service
+mutex*, and every parent->worker control op may need that same mutex.
+If the parent issued control RPCs while borrows queued unserviced, the
+system would deadlock (tuner waits for worker reply, worker waits for
+borrow grant, borrow waits for tuner).  The arbiter therefore runs as a
+single parent thread that owns all registry state and **keeps draining
+borrow pipes while it waits** -- for control replies, for lock
+acquisition, for the next tuning interval.  No parent-side lock is ever
+held across a cross-process wait.
+
+Failure semantics mirror the single-process stack exactly: a worker
+crash degrades like a tuner crash today -- surviving workers freeze to
+a static LOCKLIST (growth providers detached, MAXLOCKS pinned), an
+incident record is captured, and ``/healthz`` flips to 503 -- while
+surviving workers keep serving.  A clean shutdown reconciles block
+accounting byte-exactly: every worker reports its final chain posture,
+the parent compares it against its authoritative per-worker mirror, and
+transiently borrowed blocks are returned to overflow.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import itertools
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import Connection, wait as conn_wait
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.controller import LockMemoryController
+from repro.core.maxlocks import AdaptiveMaxlocks
+from repro.errors import (
+    ConfigurationError,
+    DeadlockError,
+    MemoryAccountingError,
+    ServiceError,
+)
+from repro.lockmgr.blocks import LockBlockChain
+from repro.lockmgr.detector import (
+    build_wait_for_graph,
+    find_cycles_in_graph,
+    merge_wait_graphs,
+)
+from repro.memory.stmm import Stmm
+from repro.net.server import ServiceBackend, ThreadedLockServer
+from repro.obs.incidents import IncidentLog, IncidentRecord
+from repro.obs.registry import MetricRegistry
+from repro.service.clock import MonotonicClock
+from repro.service.ops import OpsServer
+from repro.service.service import LockService
+from repro.service.stack import (
+    ServiceConfig,
+    build_memory_registry,
+    controller_params,
+)
+from repro.service.tuner import TunerDaemon
+from repro.units import (
+    LOCKS_PER_BLOCK,
+    PAGES_PER_BLOCK,
+    round_pages_to_blocks,
+)
+
+
+class WorkerDiedError(ServiceError):
+    """A control-plane round trip hit a dead worker process."""
+
+
+@dataclass
+class WorkerPoolConfig(ServiceConfig):
+    """Sizing of a worker-pool stack (extends :class:`ServiceConfig`)."""
+
+    #: Number of worker processes (one complete lock service each).
+    workers: int = 2
+    #: Cross-worker deadlock sweep cadence (DLCHKTIME analogue).
+    deadlock_interval_s: float = 0.25
+    #: Directory for the per-worker Unix-domain sockets (default: a
+    #: fresh ``tempfile.mkdtemp`` owned and removed by the pool).
+    socket_dir: Optional[str] = None
+    #: Reader/executor threads of each worker's socket server.
+    executor_threads: int = 8
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.workers <= 0:
+            raise ConfigurationError(
+                f"workers must be positive, got {self.workers}"
+            )
+        if self.deadlock_interval_s <= 0:
+            raise ConfigurationError(
+                f"deadlock_interval_s must be positive, "
+                f"got {self.deadlock_interval_s}"
+            )
+        blocks = (
+            round_pages_to_blocks(self.initial_locklist_pages)
+            // PAGES_PER_BLOCK
+        )
+        if blocks < self.workers:
+            raise ConfigurationError(
+                f"initial locklist of {blocks} blocks cannot seed "
+                f"{self.workers} workers with one block each"
+            )
+
+
+# ---------------------------------------------------------------------------
+# The worker process
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerSpec:
+    """Everything a worker needs to build its service (fork payload)."""
+
+    idx: int
+    num_workers: int
+    initial_blocks: int
+    sock_path: str
+    default_timeout_s: Optional[float]
+    lock_timeout_s: Optional[float]
+    refresh_period: int
+    initial_fraction: float
+    executor_threads: int
+
+
+def _worker_occupancy(service: LockService, server: ThreadedLockServer) -> dict:
+    """Dirty-read posture snapshot (no locks: sampled, not exact)."""
+    chain = service.chain
+    stats = service.manager.stats
+    return {
+        "block_count": chain.block_count,
+        "used_slots": chain.used_slots,
+        "capacity_slots": chain.capacity_slots,
+        "free_fraction": chain.free_fraction(),
+        "entirely_free_blocks": chain.entirely_free_blocks(),
+        "sessions": service.session_count(),
+        "has_waiters": service.manager.has_waiters(),
+        "maxlocks_fraction": service.manager.maxlocks_fraction,
+        "escalations": stats.escalations.count,
+        "deadlocks": stats.deadlocks,
+        "sync_growth_blocks": stats.sync_growth_blocks,
+        "responses": server.responses_written,
+        "frozen": service.frozen_reason,
+    }
+
+
+def _worker_main(spec: _WorkerSpec, ctl: Connection, borrow: Connection) -> None:
+    """Entry point of one worker process.
+
+    Builds a complete lock service plus its socket server, reports
+    readiness, then serves the parent's control ops until ``close`` (or
+    until the parent dies, which surfaces as EOF on the control pipe).
+    """
+    chain = LockBlockChain(initial_blocks=spec.initial_blocks)
+    clock = MonotonicClock()
+    service = LockService(
+        chain,
+        clock=clock,
+        default_timeout_s=spec.default_timeout_s,
+        lock_timeout_s=spec.lock_timeout_s,
+    )
+    # Disjoint arithmetic progressions make app ids globally unique
+    # without a parent round trip per session: worker i hands out
+    # i+1, i+1+N, i+1+2N, ...  A session opened on one worker is then
+    # adoptable on any other (OP_ADOPT_SESSION) without collision.
+    service._app_ids = itertools.count(  # noqa: SLF001 - worker wiring
+        spec.idx + 1, spec.num_workers
+    )
+    manager = service.manager
+
+    # MAXLOCKS mirrors the arbiter's adaptive fraction: pushed on every
+    # resize (``set_maxlocks``) and piggybacked on every borrow reply.
+    fraction_box = [spec.initial_fraction]
+
+    def _borrow_growth(blocks_wanted: int) -> int:
+        # Called by the lock manager *under the service mutex*: the
+        # requesting transaction stalls on the grant exactly like the
+        # paper's synchronous growth.  The arbiter keeps draining this
+        # pipe while it waits on anything, so the round trip is bounded.
+        try:
+            borrow.send(int(blocks_wanted))
+            granted, fraction = borrow.recv()
+        except (EOFError, OSError):
+            return 0  # parent gone: the escalation path answers pressure
+        fraction_box[0] = fraction
+        return int(granted)
+
+    manager.growth_provider = _borrow_growth
+    manager.maxlocks_provider = lambda: fraction_box[0]
+    manager.refresh_period = spec.refresh_period
+    manager.refresh_maxlocks()
+
+    server = ThreadedLockServer(
+        ServiceBackend(service, name=f"worker{spec.idx}"),
+        path=spec.sock_path,
+        executor_threads=spec.executor_threads,
+    )
+    server.start()
+    ctl.send(("ready", spec.idx, os.getpid()))
+
+    while True:
+        try:
+            msg = ctl.recv()
+        except (EOFError, OSError):
+            break  # parent died: exit, the OS reclaims everything
+        op, args = msg[0], msg[1:]
+        try:
+            closing = False
+            if op == "occupancy":
+                result: Any = _worker_occupancy(service, server)
+            elif op == "add_blocks":
+                with service._cond:  # noqa: SLF001
+                    chain.add_blocks(args[0])
+                result = chain.block_count
+            elif op == "release_blocks":
+                with service._cond:  # noqa: SLF001
+                    result = chain.release_blocks(args[0], partial=True)
+            elif op == "set_maxlocks":
+                fraction_box[0] = args[0]
+                with service._cond:  # noqa: SLF001
+                    manager.refresh_maxlocks()
+                result = True
+            elif op == "freeze":
+                service.freeze_tuning(args[0])
+                result = True
+            elif op == "waiting":
+                with service._mutex:  # noqa: SLF001
+                    result = sorted(manager.waiting_apps())
+            elif op == "graph":
+                waiting = set(args[0])
+                with service._mutex:  # noqa: SLF001
+                    graph = build_wait_for_graph(manager, waiting)
+                    slots = {app: manager.app_slots(app) for app in waiting}
+                result = (graph, slots)
+            elif op == "victimize":
+                victim, message = args
+                with service._mutex:  # noqa: SLF001
+                    entry = manager._waiting_on.get(victim)  # noqa: SLF001
+                    resource = (
+                        str(entry[0].resource) if entry is not None else ""
+                    )
+                    cancelled = manager.cancel_wait(
+                        victim, DeadlockError(message)
+                    )
+                    if cancelled:
+                        manager.stats.deadlocks += 1
+                result = (cancelled, resource)
+            elif op == "stats":
+                result = server.backend.stats_payload()
+            elif op == "check":
+                with service._cond:  # noqa: SLF001
+                    chain.check_invariants()
+                result = chain.block_count
+            elif op == "ping":
+                result = "pong"
+            elif op == "close":
+                server.stop()
+                service.close()
+                result = {
+                    "block_count": chain.block_count,
+                    "allocated_pages": chain.allocated_pages,
+                    "used_slots": chain.used_slots,
+                    "entirely_free_blocks": chain.entirely_free_blocks(),
+                    "sessions": service.session_count(),
+                }
+                closing = True
+            else:
+                raise ServiceError(f"unknown control op {op!r}")
+        except BaseException as exc:  # noqa: BLE001 - report, don't die
+            with contextlib.suppress(OSError):
+                ctl.send(("error", f"{type(exc).__name__}: {exc}"))
+            continue
+        with contextlib.suppress(OSError):
+            ctl.send(("ok", result))
+        if closing:
+            break
+    with contextlib.suppress(OSError):
+        ctl.close()
+    with contextlib.suppress(OSError):
+        borrow.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side mirrors
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _WorkerHandle:
+    """Parent-side bookkeeping for one worker process."""
+
+    idx: int
+    process: Any
+    ctl: Connection
+    borrow: Connection
+    sock_path: str
+    ctl_lock: threading.Lock = field(default_factory=threading.Lock)
+    dead: bool = False
+    #: Crash handled by the watcher (freeze + incident).  ``dead`` may
+    #: flip first on any thread whose control call hits the broken
+    #: pipe; the watcher still owns the (single) degrade response.
+    crash_reported: bool = False
+    closed: bool = False
+    final: Optional[dict] = None
+
+
+class RemoteWorkerChain:
+    """Duck-types :class:`LockBlockChain` over the pool's block mirror.
+
+    Capacity and page counts are *authoritative* (every chain mutation
+    flows through the parent: the initial split, resize distributions,
+    borrow grants), occupancy is *sampled* (refreshed from worker
+    posture snapshots before each tuning pass).  The controller, STMM
+    and adaptive MAXLOCKS read this exactly as they read a local chain.
+    """
+
+    def __init__(self, pool: "WorkerPoolStack") -> None:
+        self._pool = pool
+
+    @property
+    def block_count(self) -> int:
+        return sum(self._pool._blocks)
+
+    @property
+    def capacity_slots(self) -> int:
+        return self.block_count * LOCKS_PER_BLOCK
+
+    @property
+    def allocated_pages(self) -> int:
+        return self.block_count * PAGES_PER_BLOCK
+
+    @property
+    def used_slots(self) -> int:
+        return sum(occ["used_slots"] for occ in self._pool._occ)
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.capacity_slots - self.used_slots)
+
+    def free_fraction(self) -> float:
+        capacity = self.capacity_slots
+        return self.free_slots / capacity if capacity else 1.0
+
+    def entirely_free_blocks(self) -> int:
+        return sum(
+            self._pool._entirely_free_blocks(idx)
+            for idx in range(self._pool.config.workers)
+        )
+
+    def add_blocks(self, count: int) -> int:
+        return self._pool._distribute_grow(count)
+
+    def release_blocks(self, count: int, partial: bool = False) -> int:
+        return self._pool._distribute_shrink(count, partial=partial)
+
+    def check_invariants(self) -> None:
+        self._pool._check_mirror()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RemoteWorkerChain(blocks={list(self._pool._blocks)}, "
+            f"used={self.used_slots})"
+        )
+
+
+class WorkerMemoryLedger:
+    """Cross-process twin of :class:`ShardMemoryLedger`.
+
+    Same grant-split arithmetic (largest-remainder over used-slots
+    demand weights, ties to the lowest index), same borrow bookkeeping
+    -- but demand is read from the pool's sampled posture snapshots
+    instead of live shard chains.
+    """
+
+    def __init__(self, pool: "WorkerPoolStack") -> None:
+        self._pool = pool
+        self._borrowed = [0] * pool.config.workers
+
+    def record_sync_borrow(self, worker: int, blocks: int) -> None:
+        if blocks <= 0:
+            raise ValueError(f"blocks must be positive, got {blocks}")
+        self._borrowed[worker] += blocks
+
+    def borrowed_blocks(self, worker: int) -> int:
+        return self._borrowed[worker]
+
+    def total_borrowed_blocks(self) -> int:
+        return sum(self._borrowed)
+
+    def demand_weights(self) -> List[int]:
+        """Per-worker grow weights; dead workers are unfundable."""
+        pool = self._pool
+        return [
+            0
+            if pool._handles[idx].dead or pool._handles[idx].closed
+            else pool._occ[idx]["used_slots"] + 1
+            for idx in range(pool.config.workers)
+        ]
+
+    def grant_split(self, blocks: int) -> List[int]:
+        if blocks < 0:
+            raise ValueError(f"blocks must be non-negative, got {blocks}")
+        weights = self.demand_weights()
+        total = sum(weights)
+        if total == 0:
+            raise WorkerDiedError("no live workers to fund")
+        shares = [blocks * weight / total for weight in weights]
+        split = [int(share) for share in shares]
+        remainder = blocks - sum(split)
+        if remainder:
+            by_fraction = sorted(
+                range(len(split)),
+                key=lambda i: (-(shares[i] - split[i]), i),
+            )
+            for i in by_fraction[:remainder]:
+                split[i] += 1
+        return split
+
+
+@dataclass
+class WorkerReconciliation:
+    """Byte-exact shutdown accounting, worker by worker."""
+
+    ok: bool
+    workers: List[Dict[str, Any]]
+    expected_blocks: int
+    reported_blocks: int
+
+    @property
+    def expected_pages(self) -> int:
+        return self.expected_blocks * PAGES_PER_BLOCK
+
+    @property
+    def reported_pages(self) -> int:
+        return self.reported_blocks * PAGES_PER_BLOCK
+
+
+# ---------------------------------------------------------------------------
+# The arbiter daemon
+# ---------------------------------------------------------------------------
+
+
+class ArbiterDaemon(TunerDaemon):
+    """The pool's tuning thread: STMM passes *plus* borrow service.
+
+    Subclasses :class:`TunerDaemon` (same crash-to-freeze contract,
+    same audit trail) but replaces the sleep between passes with a
+    ``multiprocessing.connection.wait`` over the borrow pipes, so
+    synchronous-growth requests are granted the moment they arrive --
+    including *while a pass is mid-distribution* (see the module
+    docstring's deadlock note).  Worker posture is sampled right before
+    each pass so the controller tunes against fresh occupancy.
+    """
+
+    def __init__(self, pool: "WorkerPoolStack", stmm: Stmm, **kwargs: Any) -> None:
+        super().__init__(pool, stmm, **kwargs)
+        self._pool = pool
+
+    def _run(self) -> None:  # overrides the sleep loop, keeps the contract
+        pool = self._pool
+        try:
+            next_pass = time.monotonic() + self._interval_s()
+            while not self._stop.is_set():
+                pool._service_borrows(
+                    min(0.05, max(0.0, next_pass - time.monotonic()))
+                )
+                pool._apply_pending_freeze()
+                if self._stop.is_set():
+                    return
+                if time.monotonic() < next_pass:
+                    continue
+                pool._sample_occupancy()
+                self._tune_once()
+                if (
+                    self.max_intervals is not None
+                    and self.intervals_run >= self.max_intervals
+                ):
+                    return
+                next_pass = time.monotonic() + self._interval_s()
+        except BaseException as exc:  # noqa: BLE001 - degrade, never corrupt
+            self.crash = exc
+            if self._metrics is not None:
+                self._m_crashes.inc()
+            self._record_freeze(exc)
+            self.service.freeze_tuning(
+                f"tuner thread died: {type(exc).__name__}: {exc}"
+            )
+
+
+class WorkerDeadlockDetector:
+    """Cross-worker deadlock sweep: merged wait-for graphs, global victim.
+
+    The cross-shard sweep generalized across process boundaries: every
+    worker exports its waiting set, each builds its local wait-for graph
+    against the *global* waiting set, the parent merges and finds
+    cycles.  Because the per-worker snapshots are not atomic with each
+    other, a cycle is only victimized when seen in **two consecutive
+    sweeps** -- a real deadlock is permanent until broken, a phantom
+    from skewed snapshots dissolves by itself.
+    """
+
+    def __init__(
+        self, pool: "WorkerPoolStack", *, interval_s: float = 0.25
+    ) -> None:
+        self.pool = pool
+        self.interval_s = interval_s
+        self.checks = 0
+        self.cycles_found = 0
+        self.victims: List[int] = []
+        self.crash: Optional[BaseException] = None
+        self._pending: Set[frozenset] = set()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ServiceError("deadlock sweep already started")
+        self._thread = threading.Thread(
+            target=self._run, name="worker-deadlock-sweep", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.check()
+            except WorkerDiedError:
+                continue  # the watcher owns crash handling
+            except Exception as exc:  # degraded: detection stops, service runs
+                self.crash = exc
+                return
+
+    def check(self) -> int:
+        """One sweep; returns the number of victims cancelled."""
+        pool = self.pool
+        self.checks += 1
+        waiting_by_worker: Dict[int, Set[int]] = {}
+        for idx in pool._live_workers():
+            waiting_by_worker[idx] = set(pool._call(idx, "waiting"))
+        waiting: Set[int] = set().union(*waiting_by_worker.values(), set())
+        if not waiting:
+            self._pending.clear()
+            return 0
+        graphs = []
+        slots_by_worker: Dict[int, Dict[int, int]] = {}
+        for idx in waiting_by_worker:
+            graph, slots = pool._call(idx, "graph", sorted(waiting))
+            graphs.append(graph)
+            slots_by_worker[idx] = slots
+        merged = merge_wait_graphs(graphs)
+        cycles = find_cycles_in_graph(merged)
+        confirmed = [c for c in cycles if frozenset(c) in self._pending]
+        self._pending = {frozenset(c) for c in cycles} - {
+            frozenset(c) for c in confirmed
+        }
+        victims = 0
+        for cycle in confirmed:
+            self.cycles_found += 1
+            # Victim by smallest *global* footprint (slots summed over
+            # every worker), ties to the lowest app id -- the sharded
+            # sweep's rule, evaluated across processes.
+            footprint = {
+                app: sum(
+                    slots.get(app, 0) for slots in slots_by_worker.values()
+                )
+                for app in cycle
+            }
+            victim = min(cycle, key=lambda app: (footprint[app], app))
+            owner = next(
+                (
+                    idx
+                    for idx, apps in waiting_by_worker.items()
+                    if victim in apps
+                ),
+                None,
+            )
+            if owner is None:
+                continue  # victim resumed between sweeps: phantom
+            cancelled, resource = pool._call(
+                owner,
+                "victimize",
+                victim,
+                f"cross-worker deadlock: app {victim} chosen as victim "
+                f"of cycle {sorted(cycle)}",
+            )
+            if cancelled:
+                self.victims.append(victim)
+                victims += 1
+                pool.incidents.append(
+                    IncidentRecord(
+                        kind="deadlock",
+                        time=pool.clock.now(),
+                        app_id=victim,
+                        shard=owner,
+                        detail=(
+                            f"cross-worker sweep: victim by smallest global "
+                            f"footprint among cycle {sorted(cycle)} "
+                            f"(resource {resource or 'unknown'})"
+                        ),
+                        cycle=list(cycle),
+                        posture=dict(pool._occ[owner]),
+                        data={"workers": pool.config.workers},
+                    )
+                )
+        return victims
+
+
+# ---------------------------------------------------------------------------
+# The pool stack
+# ---------------------------------------------------------------------------
+
+
+class WorkerPoolStack:
+    """A fully wired multi-process lock service (see module docstring).
+
+    Also serves as the *service facade* the :class:`TunerDaemon`
+    contract expects: ``_cond``, ``clock``, ``chain`` and
+    ``freeze_tuning`` below are the attributes a pass touches.
+    """
+
+    def __init__(self, config: Optional[WorkerPoolConfig] = None) -> None:
+        cfg = config or WorkerPoolConfig()
+        self.config = cfg
+        self.clock = MonotonicClock()
+        self.metrics: Optional[MetricRegistry] = (
+            MetricRegistry() if cfg.telemetry else None
+        )
+        self.registry = build_memory_registry(cfg)
+
+        locklist_blocks = (
+            round_pages_to_blocks(cfg.initial_locklist_pages)
+            // PAGES_PER_BLOCK
+        )
+        base, extra = divmod(locklist_blocks, cfg.workers)
+        #: Authoritative per-worker block counts: every chain mutation
+        #: (initial split, resize distribution, borrow grant, shutdown
+        #: reclaim) flows through the parent and lands here first.
+        self._blocks: List[int] = [
+            base + (1 if idx < extra else 0) for idx in range(cfg.workers)
+        ]
+        #: Last sampled posture per worker (refreshed before each pass).
+        self._occ: List[dict] = [
+            {
+                "block_count": self._blocks[idx],
+                "used_slots": 0,
+                "capacity_slots": self._blocks[idx] * LOCKS_PER_BLOCK,
+                "free_fraction": 1.0,
+                "entirely_free_blocks": self._blocks[idx],
+                "sessions": 0,
+                "has_waiters": False,
+                "maxlocks_fraction": 0.0,
+                "escalations": 0,
+                "deadlocks": 0,
+                "sync_growth_blocks": 0,
+                "responses": 0,
+                "frozen": None,
+            }
+            for idx in range(cfg.workers)
+        ]
+
+        self.chain = RemoteWorkerChain(self)
+        self.ledger = WorkerMemoryLedger(self)
+        self.controller = LockMemoryController(
+            registry=self.registry,
+            chain=self.chain,
+            params=cfg.params,
+            num_applications=lambda: sum(
+                occ["sessions"] for occ in self._occ
+            ),
+            escalation_count=lambda: sum(
+                occ["escalations"] for occ in self._occ
+            ),
+            clock=self.clock.now,
+        )
+        self.maxlocks = AdaptiveMaxlocks(
+            params=cfg.params,
+            allocated_pages=lambda: self.chain.allocated_pages,
+            max_lock_memory_pages=self.controller.max_lock_memory_pages,
+        )
+        self.controller.on_resize = self._push_maxlocks
+
+        self.stmm = Stmm(self.registry, cfg.stmm)
+        self.stmm.register_deterministic_tuner(self.controller)
+        #: TunerDaemon facade: passes serialize on this condition (only
+        #: the arbiter thread takes it; cross-process safety comes from
+        #: the single-mutator arbiter design, not from this lock).
+        self._cond = threading.Condition()
+        self.frozen_reason: Optional[str] = None
+        self._freeze_request: Optional[str] = None
+        self.tuner = ArbiterDaemon(
+            self,
+            self.stmm,
+            interval_override_s=cfg.tuner_interval_s,
+            metrics=self.metrics,
+            controller=self.controller,
+            audit_capacity=cfg.audit_capacity,
+        )
+        self.detector = WorkerDeadlockDetector(
+            self, interval_s=cfg.deadlock_interval_s
+        )
+        self.incidents = IncidentLog(capacity=cfg.incident_capacity)
+        self.reconciliation: Optional[WorkerReconciliation] = None
+        self.worker_crashes = 0
+
+        self._own_socket_dir = cfg.socket_dir is None
+        self.socket_dir = cfg.socket_dir or tempfile.mkdtemp(
+            prefix="repro-workers-"
+        )
+        self._handles: List[_WorkerHandle] = []
+        self._watch_stop = threading.Event()
+        self._watch_thread: Optional[threading.Thread] = None
+        self._started = False
+        self._stopping = False
+        self._stopped = False
+
+        self.ops: Optional[OpsServer] = None
+        if cfg.ops_port is not None:
+            assert self.metrics is not None  # enforced by the config
+            self.ops = OpsServer(
+                self.metrics,
+                health=self.ops_health,
+                stmm_status=self.ops_stmm,
+                refresh=self.publish_ops_metrics,
+                incidents=self.ops_incidents,
+                port=cfg.ops_port,
+            )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WorkerPoolStack":
+        if self._started:
+            raise ConfigurationError("worker pool already started")
+        self._started = True
+        self._fork_workers()
+        self.tuner.start()
+        self.detector.start()
+        self._watch_thread = threading.Thread(
+            target=self._watch_loop, name="worker-watcher", daemon=True
+        )
+        self._watch_thread.start()
+        if self.ops is not None:
+            self.ops.start()
+        return self
+
+    def _fork_workers(self) -> None:
+        # Workers are forked BEFORE any parent thread starts: forking a
+        # multi-threaded process can capture locks mid-flight in the
+        # child.  The child runs _worker_main and never touches the
+        # parent's objects, so the copied registry/controller are inert.
+        ctx = get_context("fork")
+        cfg = self.config
+        initial_fraction = self.maxlocks.fraction()
+        for idx in range(cfg.workers):
+            ctl_parent, ctl_child = ctx.Pipe()
+            borrow_parent, borrow_child = ctx.Pipe()
+            sock_path = os.path.join(self.socket_dir, f"worker-{idx}.sock")
+            spec = _WorkerSpec(
+                idx=idx,
+                num_workers=cfg.workers,
+                initial_blocks=self._blocks[idx],
+                sock_path=sock_path,
+                default_timeout_s=cfg.default_timeout_s,
+                lock_timeout_s=cfg.lock_timeout_s,
+                refresh_period=cfg.params.refresh_period_requests,
+                initial_fraction=initial_fraction,
+                executor_threads=cfg.executor_threads,
+            )
+            process = ctx.Process(
+                target=_worker_main,
+                args=(spec, ctl_child, borrow_child),
+                name=f"lock-worker-{idx}",
+                daemon=True,
+            )
+            process.start()
+            ctl_child.close()
+            borrow_child.close()
+            self._handles.append(
+                _WorkerHandle(
+                    idx=idx,
+                    process=process,
+                    ctl=ctl_parent,
+                    borrow=borrow_parent,
+                    sock_path=sock_path,
+                )
+            )
+        for handle in self._handles:
+            tag, idx, _pid = handle.ctl.recv()  # ready handshake
+            if tag != "ready" or idx != handle.idx:
+                raise ServiceError(
+                    f"worker {handle.idx} failed its ready handshake: "
+                    f"{tag!r}"
+                )
+
+    @property
+    def endpoints(self) -> List[Tuple[str, int]]:
+        """Per-worker data-plane addresses (``("unix:<path>", 0)``)."""
+        return [(f"unix:{h.sock_path}", 0) for h in self._handles]
+
+    def client_stack(
+        self,
+        *,
+        pool_size: int = 1,
+        max_in_flight: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+    ):
+        """A :class:`LoadDriver`-shaped client stack routed over the pool."""
+        from repro.net.client import RoutedClientStack
+
+        return RoutedClientStack(
+            self.endpoints,
+            pool_size=pool_size,
+            max_in_flight=max_in_flight or self.config.max_in_flight,
+            max_queue_depth=max_queue_depth
+            or self.config.admission_queue_depth,
+        )
+
+    # -- control plane -----------------------------------------------------
+
+    def _live_workers(self) -> List[int]:
+        return [
+            h.idx for h in self._handles if not h.dead and not h.closed
+        ]
+
+    def _call(self, idx: int, op: str, *args: Any, drain: bool = False) -> Any:
+        """One control round trip to worker ``idx``.
+
+        ``drain=True`` is for the single borrow-consuming thread (the
+        arbiter while running; the stop path after the arbiter joined):
+        while waiting for the lock or the reply it keeps servicing
+        borrow pipes, so a worker blocked mid-request on a borrow grant
+        can release its mutex and answer the control op.
+        """
+        handle = self._handles[idx]
+        if handle.dead:
+            raise WorkerDiedError(f"worker {idx} is dead")
+        if drain:
+            while not handle.ctl_lock.acquire(timeout=0.01):
+                self._service_borrows(0.0)
+        else:
+            handle.ctl_lock.acquire()
+        try:
+            try:
+                handle.ctl.send((op, *args))
+                if drain:
+                    while not handle.ctl.poll(0.01):
+                        self._service_borrows(0.0)
+                tag, result = handle.ctl.recv()
+            except (EOFError, OSError, BrokenPipeError) as exc:
+                handle.dead = True
+                raise WorkerDiedError(
+                    f"worker {idx} died during {op!r}"
+                ) from exc
+        finally:
+            handle.ctl_lock.release()
+        if tag == "error":
+            raise ServiceError(f"worker {idx} {op!r} failed: {result}")
+        return result
+
+    def _broadcast(self, op: str, *args: Any, drain: bool = False) -> None:
+        for idx in self._live_workers():
+            with contextlib.suppress(WorkerDiedError, ServiceError):
+                self._call(idx, op, *args, drain=drain)
+
+    def _service_borrows(self, timeout_s: float) -> None:
+        """Grant (or deny) queued synchronous-growth requests.
+
+        Runs only on the borrow-consuming thread.  A grant moves pages
+        from overflow into the locklist heap (``sync_grow``), reserves
+        the blocks for the requesting worker in the mirror, and replies
+        with the grant plus the fresh MAXLOCKS fraction; the worker's
+        manager chains the blocks on its side of the pipe.
+        """
+        conns = {
+            h.borrow: h
+            for h in self._handles
+            if not h.dead and not h.closed
+        }
+        if not conns:
+            if timeout_s > 0:
+                time.sleep(min(timeout_s, 0.05))
+            return
+        try:
+            ready = conn_wait(list(conns), timeout_s if timeout_s > 0 else 0)
+        except OSError:
+            return
+        for conn in ready:
+            handle = conns[conn]
+            try:
+                wanted = conn.recv()
+            except (EOFError, OSError):
+                continue  # the watcher owns death handling
+            granted = 0
+            if (
+                int(wanted) > 0
+                and not self._stopping
+                and self.frozen_reason is None
+                and not handle.dead
+            ):
+                granted = self.controller.sync_grow(int(wanted))
+                if granted:
+                    self._blocks[handle.idx] += granted
+                    self.ledger.record_sync_borrow(handle.idx, granted)
+            with contextlib.suppress(OSError):
+                conn.send((granted, self.maxlocks.fraction()))
+
+    def _sample_occupancy(self) -> None:
+        """Refresh per-worker posture snapshots (arbiter, pre-pass)."""
+        for idx in self._live_workers():
+            with contextlib.suppress(WorkerDiedError, ServiceError):
+                self._occ[idx] = self._call(idx, "occupancy", drain=True)
+
+    def _entirely_free_blocks(self, idx: int) -> int:
+        handle = self._handles[idx]
+        if handle.dead:
+            return 0  # stranded memory: nothing reclaimable
+        if handle.closed:
+            return self._blocks[idx]  # clean close verified used_slots == 0
+        return min(self._occ[idx]["entirely_free_blocks"], self._blocks[idx])
+
+    # -- resize distribution (the STMM arbiter's write path) ---------------
+
+    def _distribute_grow(self, blocks: int) -> int:
+        """Split an STMM grow across workers by demand weights."""
+        if blocks <= 0:
+            return 0
+        split = self.ledger.grant_split(blocks)
+        undelivered = 0
+        for idx, share in enumerate(split):
+            if share <= 0:
+                continue
+            try:
+                self._call(idx, "add_blocks", share, drain=True)
+            except (WorkerDiedError, ServiceError):
+                undelivered += share
+                continue
+            self._blocks[idx] += share
+        if undelivered:
+            # Redistribute a dead worker's share to the survivors (one
+            # round); anything still undeliverable surfaces as a crash
+            # of the pass, which freezes tuning -- the degraded mode a
+            # worker death leads to anyway.
+            retry = self.ledger.grant_split(undelivered)
+            for idx, share in enumerate(retry):
+                if share <= 0:
+                    continue
+                self._call(idx, "add_blocks", share, drain=True)
+                self._blocks[idx] += share
+        return blocks
+
+    def _distribute_shrink(self, blocks: int, *, partial: bool = False) -> int:
+        """Release entirely-free blocks, most-free worker first."""
+        if blocks <= 0:
+            return 0
+        order = sorted(
+            range(self.config.workers),
+            key=lambda i: (-self._entirely_free_blocks(i), -i),
+        )
+        freed_total = 0
+        for idx in order:
+            if freed_total >= blocks:
+                break
+            handle = self._handles[idx]
+            if handle.dead:
+                continue
+            ask = blocks - freed_total
+            if handle.closed:
+                # The worker exited cleanly with used_slots == 0; its
+                # blocks exist only in the mirror now.
+                take = min(ask, self._blocks[idx])
+                self._blocks[idx] -= take
+                freed_total += take
+                continue
+            # Keep every live worker at one block minimum so its next
+            # request escalates instead of crashing on an empty chain.
+            available = min(
+                self._entirely_free_blocks(idx), self._blocks[idx] - 1
+            )
+            ask = min(ask, max(0, available))
+            if ask <= 0:
+                continue
+            try:
+                freed = self._call(idx, "release_blocks", ask, drain=True)
+            except (WorkerDiedError, ServiceError):
+                continue
+            self._blocks[idx] -= freed
+            freed_total += freed
+        if freed_total < blocks and not partial:
+            return 0  # all-or-nothing contract of LockBlockChain
+        return freed_total
+
+    def _push_maxlocks(self) -> None:
+        """``on_resize`` hook: push the fresh fraction to every worker."""
+        fraction = self.maxlocks.fraction()
+        self._broadcast("set_maxlocks", fraction, drain=True)
+
+    def _check_mirror(self) -> None:
+        for idx in self._live_workers():
+            reported = self._call(idx, "check")
+            if reported != self._blocks[idx]:
+                raise MemoryAccountingError(
+                    f"worker {idx} holds {reported} blocks but the "
+                    f"arbiter mirror says {self._blocks[idx]}"
+                )
+
+    # -- degraded modes ----------------------------------------------------
+
+    def freeze_tuning(self, reason: str) -> None:
+        """Freeze the whole pool to static LOCKLIST (tuner contract).
+
+        Safe from the arbiter thread (broadcasts immediately, draining
+        borrows into denials); other threads set the reason and leave
+        the broadcast to the arbiter loop via ``_apply_pending_freeze``.
+        """
+        if self.frozen_reason is not None:
+            return
+        self.frozen_reason = reason
+        if threading.current_thread() is self.tuner._thread:  # noqa: SLF001
+            self._broadcast("freeze", reason, drain=True)
+        else:
+            self._freeze_request = reason
+
+    def _apply_pending_freeze(self) -> None:
+        """Arbiter loop: deliver a freeze requested by another thread."""
+        reason = self._freeze_request
+        if reason is None:
+            return
+        self._freeze_request = None
+        self._broadcast("freeze", reason, drain=True)
+
+    def _watch_loop(self) -> None:
+        while not self._watch_stop.wait(0.1):
+            for handle in self._handles:
+                if handle.crash_reported or handle.closed or self._stopping:
+                    continue
+                # A control call racing the watcher may have flagged
+                # ``dead`` already -- the degrade response (freeze,
+                # incident, crash counter) still runs exactly once,
+                # here.
+                if handle.dead or not handle.process.is_alive():
+                    handle.crash_reported = True
+                    self._on_worker_death(handle)
+
+    def _on_worker_death(self, handle: _WorkerHandle) -> None:
+        """A worker crashed: degrade exactly like a tuner crash.
+
+        Survivors freeze to static LOCKLIST, an incident is recorded,
+        ``/healthz`` flips to 503.  The dead worker's blocks stay in
+        the mirror (stranded, exactly as a crashed process strands its
+        memory) and are reported as such by the shutdown reconcile.
+        """
+        handle.dead = True
+        self.worker_crashes += 1
+        reason = (
+            f"worker {handle.idx} died "
+            f"(exit code {handle.process.exitcode})"
+        )
+        self.incidents.append(
+            IncidentRecord(
+                kind="worker-crash",
+                time=self.clock.now(),
+                app_id=-1,
+                shard=handle.idx,
+                detail=reason,
+                posture={
+                    "mirror_blocks": self._blocks[handle.idx],
+                    "last_occupancy": dict(self._occ[handle.idx]),
+                },
+                data={"exit_code": handle.process.exitcode},
+            )
+        )
+        self.freeze_tuning(reason)
+
+    # -- shutdown ----------------------------------------------------------
+
+    def stop(self) -> None:
+        """Stop tuning, close every worker, reconcile byte-exactly."""
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        if self.ops is not None:
+            self.ops.stop()
+        self.detector.stop()
+        self.tuner.stop()
+        self._stopping = True
+        self._watch_stop.set()
+        if self._watch_thread is not None:
+            self._watch_thread.join(timeout=5.0)
+        # The arbiter has joined: this thread is now the sole borrow
+        # consumer.  Workers blocked on a borrow get denials while
+        # their close is negotiated.
+        reports: List[Dict[str, Any]] = []
+        ok = True
+        for handle in self._handles:
+            expected = self._blocks[handle.idx]
+            entry: Dict[str, Any] = {
+                "worker": handle.idx,
+                "expected_blocks": expected,
+                "borrowed_blocks": self.ledger.borrowed_blocks(handle.idx),
+            }
+            if handle.dead:
+                entry.update(state="crashed", reported_blocks=None)
+                ok = False
+                reports.append(entry)
+                continue
+            try:
+                final = self._call(handle.idx, "close", drain=True)
+            except (WorkerDiedError, ServiceError) as exc:
+                handle.dead = True
+                entry.update(state="crashed", reported_blocks=None)
+                entry["error"] = str(exc)
+                ok = False
+                reports.append(entry)
+                continue
+            handle.closed = True
+            handle.final = final
+            matched = (
+                final["block_count"] == expected
+                and final["used_slots"] == 0
+            )
+            entry.update(
+                state="closed" if matched else "mismatch",
+                reported_blocks=final["block_count"],
+                reported_used_slots=final["used_slots"],
+                sessions=final["sessions"],
+            )
+            ok = ok and matched
+            reports.append(entry)
+        self.reconciliation = WorkerReconciliation(
+            ok=ok,
+            workers=reports,
+            expected_blocks=sum(
+                entry["expected_blocks"] for entry in reports
+            ),
+            reported_blocks=sum(
+                entry["reported_blocks"] or 0 for entry in reports
+            ),
+        )
+        for handle in self._handles:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - watchdog
+                handle.process.terminate()
+                handle.process.join(timeout=5.0)
+        # Return transiently borrowed blocks to overflow, exactly like
+        # LockService.close's borrow_return (the mirror stands in for
+        # the closed workers' chains).
+        if ok:
+            self.controller.reclaim_transient_blocks()
+        for handle in self._handles:
+            with contextlib.suppress(OSError):
+                handle.ctl.close()
+            with contextlib.suppress(OSError):
+                handle.borrow.close()
+            with contextlib.suppress(OSError):
+                os.unlink(handle.sock_path)
+        if self._own_socket_dir:
+            shutil.rmtree(self.socket_dir, ignore_errors=True)
+
+    def __enter__(self) -> "WorkerPoolStack":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- invariants --------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Registry, controller and mirror must all agree."""
+        self.controller.check_consistency()
+        if not self._stopped:
+            self._check_mirror()
+        if self.registry.overflow_pages < 0:  # pragma: no cover
+            raise MemoryAccountingError("negative overflow")
+
+    # -- the ops plane -----------------------------------------------------
+
+    def publish_ops_metrics(self) -> None:
+        """Per-worker labeled gauges plus the stack-level aggregates."""
+        if self.metrics is None:
+            return
+        reg = self.metrics
+        if not self._stopping:
+            for idx in self._live_workers():
+                with contextlib.suppress(WorkerDiedError, ServiceError):
+                    self._occ[idx] = self._call(idx, "occupancy")
+        for idx in range(self.config.workers):
+            occ = self._occ[idx]
+            labels = {"worker": str(idx)}
+            reg.gauge("worker.locklist_blocks", labels=labels).set(
+                float(self._blocks[idx])
+            )
+            reg.gauge("worker.used_slots", labels=labels).set(
+                float(occ["used_slots"])
+            )
+            reg.gauge("worker.free_fraction", labels=labels).set(
+                occ["free_fraction"]
+            )
+            reg.gauge("worker.sessions", labels=labels).set(
+                float(occ["sessions"])
+            )
+            reg.gauge("worker.escalations", labels=labels).set(
+                float(occ["escalations"])
+            )
+            reg.gauge("worker.deadlocks", labels=labels).set(
+                float(occ["deadlocks"])
+            )
+            reg.gauge("worker.borrowed_blocks", labels=labels).set(
+                float(self.ledger.borrowed_blocks(idx))
+            )
+            reg.gauge("worker.responses", labels=labels).set(
+                float(occ["responses"])
+            )
+            reg.gauge("worker.maxlocks_fraction", labels=labels).set(
+                occ["maxlocks_fraction"]
+            )
+            reg.gauge("worker.alive", labels=labels).set(
+                0.0 if self._handles[idx].dead else 1.0
+            )
+        reg.gauge("service.locklist_pages").set(
+            float(self.chain.allocated_pages)
+        )
+        reg.gauge("service.locklist_used_slots").set(
+            float(self.chain.used_slots)
+        )
+        reg.gauge("service.locklist_free_fraction").set(
+            self.chain.free_fraction()
+        )
+        reg.gauge("service.maxlocks_fraction").set(self.maxlocks.fraction())
+        reg.gauge("service.sessions").set(
+            float(sum(occ["sessions"] for occ in self._occ))
+        )
+        reg.gauge("service.escalations").set(
+            float(sum(occ["escalations"] for occ in self._occ))
+        )
+        reg.gauge("service.workers").set(float(self.config.workers))
+        reg.gauge("service.workers_alive").set(
+            float(len(self._live_workers()))
+        )
+
+    def ops_health(self) -> dict:
+        """The ``/healthz`` body; ``ok`` decides 200 vs 503."""
+        alive = [not h.dead for h in self._handles]
+        return {
+            "ok": (
+                self.frozen_reason is None
+                and not self.tuner.frozen
+                and all(alive)
+                and not self._stopped
+            ),
+            "service": "lock-service-workers",
+            "workers": self.config.workers,
+            "workers_alive": sum(alive),
+            "worker_crashes": self.worker_crashes,
+            "frozen_reason": self.frozen_reason,
+            "tuner": {
+                "alive": self.tuner.alive,
+                "frozen": self.tuner.frozen,
+                "intervals": self.tuner.intervals_run,
+            },
+            "detector": {
+                "alive": self.detector.crash is None,
+                "checks": self.detector.checks,
+                "victims": len(self.detector.victims),
+            },
+        }
+
+    def ops_stmm(self) -> dict:
+        """The ``/stmm`` body: parameters, live posture, audit tail.
+
+        Carries the same top-level posture keys as the single-process
+        stack (the ``top`` dashboard reads those), plus a per-worker
+        ``posture`` breakdown for remote analysis.
+        """
+        return {
+            "params": controller_params(self.config, self.tuner),
+            "locklist_pages": self.chain.allocated_pages,
+            "locklist_free_fraction": self.chain.free_fraction(),
+            "maxlocks_fraction": self.maxlocks.fraction(),
+            "overflow_pages": self.registry.overflow_pages,
+            "posture": {
+                "allocated_pages": self.chain.allocated_pages,
+                "per_worker_blocks": list(self._blocks),
+                "borrowed_blocks": [
+                    self.ledger.borrowed_blocks(idx)
+                    for idx in range(self.config.workers)
+                ],
+                "overflow_pages": self.registry.overflow_pages,
+                "maxlocks_fraction": self.maxlocks.fraction(),
+            },
+            "audit": self.tuner.audit.to_dicts(),
+            "audit_total": self.tuner.audit.total_recorded,
+            "intervals": self.tuner.intervals_run,
+            "frozen_reason": self.frozen_reason,
+            "incident_total": self.incidents.total_recorded,
+        }
+
+    def ops_incidents(self) -> dict:
+        """The ``/incidents`` body: the forensics ring, oldest first."""
+        return {
+            "total": self.incidents.total_recorded,
+            "counts": self.incidents.kind_counts(),
+            "incidents": self.incidents.to_dicts(),
+        }
+
+
+__all__ = [
+    "ArbiterDaemon",
+    "RemoteWorkerChain",
+    "WorkerDeadlockDetector",
+    "WorkerDiedError",
+    "WorkerMemoryLedger",
+    "WorkerPoolConfig",
+    "WorkerPoolStack",
+    "WorkerReconciliation",
+]

@@ -1,0 +1,371 @@
+"""Wire-protocol codec and framing edge cases.
+
+The framing layer has to survive everything a TCP stream does to
+message boundaries: single-byte dribbles, length prefixes torn across
+reads, many frames coalesced into one read, and hostile length
+announcements.  The codec side must round-trip every operation and
+rebuild the exact exception class across the wire.
+"""
+
+import struct
+
+import pytest
+
+from repro.errors import (
+    AdmissionRejectedError,
+    AdmissionTimeoutError,
+    DeadlockError,
+    RequestCancelledError,
+    ServiceClosedError,
+    ServiceError,
+)
+from repro.lockmgr.manager import LockListFullError, LockTimeoutError
+from repro.lockmgr.modes import LockMode
+from repro.net import protocol as wire
+
+
+def frames_of(*payloads: bytes) -> bytes:
+    return b"".join(wire.encode_frame(p) for p in payloads)
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+class TestFrameDecoder:
+    def test_single_frame_roundtrip(self):
+        decoder = wire.FrameDecoder()
+        assert decoder.feed(wire.encode_frame(b"hello")) == [b"hello"]
+        assert decoder.pending_bytes == 0
+
+    def test_byte_by_byte_partial_reads(self):
+        payload = wire.encode_ping(12345)
+        stream = wire.encode_frame(payload)
+        decoder = wire.FrameDecoder()
+        out = []
+        for i in range(len(stream)):
+            out.extend(decoder.feed(stream[i : i + 1]))
+        assert out == [payload]
+        assert decoder.pending_bytes == 0
+
+    def test_torn_length_prefix(self):
+        stream = wire.encode_frame(b"abcdef")
+        decoder = wire.FrameDecoder()
+        # Two bytes of the four-byte prefix, then the rest.
+        assert decoder.feed(stream[:2]) == []
+        assert decoder.pending_bytes == 2
+        assert decoder.feed(stream[2:]) == [b"abcdef"]
+
+    def test_many_frames_one_read(self):
+        payloads = [bytes([i]) * (i + 1) for i in range(5)]
+        decoder = wire.FrameDecoder()
+        assert decoder.feed(frames_of(*payloads)) == payloads
+
+    def test_frame_boundary_straddles_reads(self):
+        first, second = b"x" * 10, b"y" * 20
+        stream = frames_of(first, second)
+        decoder = wire.FrameDecoder()
+        cut = len(wire.encode_frame(first)) + 7  # mid-second-frame
+        out = decoder.feed(stream[:cut])
+        out.extend(decoder.feed(stream[cut:]))
+        assert out == [first, second]
+
+    def test_oversized_announcement_rejected_before_body(self):
+        # Only the prefix arrives; the decoder must refuse to wait for
+        # (or buffer) a body it will never accept.
+        prefix = struct.pack("!I", wire.MAX_FRAME_BYTES + 1)
+        decoder = wire.FrameDecoder()
+        with pytest.raises(wire.FrameTooLargeError):
+            decoder.feed(prefix)
+
+    def test_empty_frame_is_legal_framing(self):
+        decoder = wire.FrameDecoder()
+        assert decoder.feed(wire.encode_frame(b"")) == [b""]
+
+    def test_encode_frame_rejects_oversized_payload(self):
+        with pytest.raises(wire.FrameTooLargeError):
+            wire.encode_frame(b"\x00" * (wire.MAX_FRAME_BYTES + 1))
+
+
+class TestSplitFrames:
+    def test_matches_decoder_feed_on_random_chunkings(self):
+        payloads = [wire.encode_ping(i) for i in range(20)]
+        stream = frames_of(*payloads)
+        # Deterministic pseudo-random chunk sizes.
+        sizes, x = [], 123456789
+        pos = 0
+        while pos < len(stream):
+            x = (1103515245 * x + 12345) % (1 << 31)
+            size = 1 + x % 37
+            sizes.append(size)
+            pos += size
+        fast_decoder = wire.FrameDecoder()
+        slow_decoder = wire.FrameDecoder()
+        fast, slow = [], []
+        pos = 0
+        for size in sizes:
+            chunk = stream[pos : pos + size]
+            pos += size
+            fast.extend(wire.split_frames(chunk, fast_decoder))
+            slow.extend(slow_decoder.feed(chunk))
+        assert fast == slow == payloads
+
+    def test_trailing_partial_goes_through_decoder(self):
+        whole = wire.encode_frame(b"complete")
+        partial = wire.encode_frame(b"partial!")[:5]
+        decoder = wire.FrameDecoder()
+        assert wire.split_frames(whole + partial, decoder) == [b"complete"]
+        assert decoder.pending_bytes > 0
+        rest = wire.encode_frame(b"partial!")[5:]
+        assert wire.split_frames(rest, decoder) == [b"partial!"]
+
+    def test_oversized_rejected_on_fast_path(self):
+        bad = struct.pack("!I", wire.MAX_FRAME_BYTES + 1) + b"x"
+        with pytest.raises(wire.FrameTooLargeError):
+            wire.split_frames(bad, wire.FrameDecoder())
+
+    def test_iter_frames_rejects_trailing_garbage(self):
+        data = frames_of(b"ok") + b"\x00\x00"
+        with pytest.raises(wire.ProtocolError):
+            list(wire.iter_frames(data))
+
+
+# ---------------------------------------------------------------------------
+# Request codec
+# ---------------------------------------------------------------------------
+
+
+class TestRequestCodec:
+    def test_open_session_roundtrip(self):
+        req = wire.decode_request(wire.encode_open_session(7))
+        assert (req.op, req.request_id) == (wire.OP_OPEN_SESSION, 7)
+
+    @pytest.mark.parametrize("no_reply", [False, True])
+    def test_close_session_roundtrip(self, no_reply):
+        payload = wire.encode_close_session(9, 42, no_reply=no_reply)
+        req = wire.decode_request(payload)
+        assert req.op == wire.OP_CLOSE_SESSION
+        assert req.app_id == 42
+        assert req.no_reply is no_reply
+
+    @pytest.mark.parametrize("no_reply", [False, True])
+    def test_release_all_roundtrip(self, no_reply):
+        req = wire.decode_request(
+            wire.encode_release_all(3, 17, no_reply=no_reply)
+        )
+        assert req.op == wire.OP_RELEASE_ALL
+        assert (req.app_id, req.no_reply) == (17, no_reply)
+
+    def test_adopt_and_cancel_roundtrip(self):
+        adopt = wire.decode_request(wire.encode_adopt_session(1, 23))
+        assert (adopt.op, adopt.app_id) == (wire.OP_ADOPT_SESSION, 23)
+        cancel = wire.decode_request(wire.encode_cancel(2, 23))
+        assert (cancel.op, cancel.app_id) == (wire.OP_CANCEL, 23)
+
+    def test_lock_row_roundtrip_without_timeout(self):
+        payload = wire.encode_lock_row(
+            11, 5, -3, 99, wire.wire_mode(LockMode.X)
+        )
+        req = wire.decode_request(payload)
+        assert (req.app_id, req.table_id, req.row_id) == (5, -3, 99)
+        assert req.lock_mode is LockMode.X
+        assert not req.has_timeout and req.timeout_s is None
+
+    def test_lock_row_roundtrip_with_timeout(self):
+        payload = wire.encode_lock_row(
+            11, 5, 3, 99, wire.wire_mode(LockMode.S), timeout_s=2.5
+        )
+        req = wire.decode_request(payload)
+        assert req.has_timeout and req.timeout_s == 2.5
+
+    def test_lock_table_roundtrip(self):
+        payload = wire.encode_lock_table(
+            4, 8, 15, wire.wire_mode(LockMode.IX), timeout_s=-1.0
+        )
+        req = wire.decode_request(payload)
+        assert (req.app_id, req.table_id) == (8, 15)
+        assert req.timeout_s == -1.0
+
+    def test_batch_lock_roundtrip(self):
+        accesses = [(1, 2, 0), (3, 4, 1), (-5, 6, 2)]
+        req = wire.decode_request(wire.encode_batch_lock(6, 77, accesses))
+        assert req.app_id == 77
+        assert req.accesses == accesses
+
+    def test_batch_over_limit_rejected_at_encode(self):
+        too_many = [(0, i, 0) for i in range(wire.MAX_BATCH_ACCESSES + 1)]
+        with pytest.raises(wire.ProtocolError):
+            wire.encode_batch_lock(1, 1, too_many)
+
+    def test_batch_over_limit_rejected_at_decode(self):
+        # Hand-craft a header announcing an absurd count: must be
+        # rejected on the count alone, before touching the accesses.
+        payload = (
+            struct.pack("!BBQ", wire.OP_BATCH_LOCK, 0, 1)
+            + struct.pack("!QI", 1, wire.MAX_BATCH_ACCESSES + 1)
+        )
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_request(payload)
+
+    def test_unlock_read_stats_ping_roundtrip(self):
+        unlock = wire.decode_request(wire.encode_unlock_read(1, 2, 3, 4))
+        assert (unlock.app_id, unlock.table_id, unlock.row_id) == (2, 3, 4)
+        assert wire.decode_request(wire.encode_stats(5)).op == wire.OP_STATS
+        assert wire.decode_request(wire.encode_ping(6)).op == wire.OP_PING
+
+    def test_truncated_header_rejected(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_request(b"\x01\x00")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_request(struct.pack("!BBQ", 0x7F, 0, 1))
+
+    def test_wrong_body_size_rejected(self):
+        payload = wire.encode_close_session(1, 2) + b"\x00"
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_request(payload)
+
+    def test_timeout_flag_without_value_rejected(self):
+        payload = struct.pack("!BBQ", wire.OP_LOCK_ROW, wire.FLAG_HAS_TIMEOUT, 1)
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_request(payload)
+
+    def test_unknown_mode_byte_raises_on_access(self):
+        req = wire.decode_request(wire.encode_lock_row(1, 2, 3, 4, 250))
+        with pytest.raises(wire.ProtocolError):
+            req.lock_mode
+
+    def test_wire_mode_idempotent_on_ints(self):
+        for mode in LockMode:
+            byte = wire.wire_mode(mode)
+            assert wire.wire_mode(byte) == byte
+
+
+# ---------------------------------------------------------------------------
+# Response codec and the error vocabulary
+# ---------------------------------------------------------------------------
+
+
+class TestResponseCodec:
+    def test_ok_roundtrip_with_value(self):
+        resp = wire.decode_response(wire.encode_ok(9, value=-12))
+        assert resp.ok and resp.request_id == 9 and resp.value == -12
+        resp.raise_if_error()  # no-op on OK
+
+    def test_ok_roundtrip_with_data(self):
+        resp = wire.decode_response(wire.encode_ok(1, 0, b'{"a":1}'))
+        assert resp.data == b'{"a":1}'
+
+    @pytest.mark.parametrize(
+        "exc_cls",
+        [
+            ServiceError,
+            ServiceClosedError,
+            RequestCancelledError,
+            DeadlockError,
+            LockTimeoutError,
+            LockListFullError,
+            AdmissionTimeoutError,
+            wire.ProtocolError,
+        ],
+    )
+    def test_error_class_survives_the_wire(self, exc_cls):
+        payload = wire.encode_error(5, exc_cls("boom"))
+        resp = wire.decode_response(payload)
+        assert not resp.ok and resp.request_id == 5
+        with pytest.raises(exc_cls) as info:
+            resp.raise_if_error()
+        assert "boom" in str(info.value)
+
+    def test_admission_rejection_carries_retry_hint(self):
+        payload = wire.encode_error(
+            1, AdmissionRejectedError("full", retry_after_s=0.5)
+        )
+        with pytest.raises(AdmissionRejectedError) as info:
+            wire.decode_response(payload).raise_if_error()
+        assert info.value.retry_after_s > 0
+
+    def test_unknown_exception_maps_to_service_error(self):
+        assert wire.code_for_exception(KeyError("x")) == 1
+
+    def test_subclass_maps_to_nearest_registered_base(self):
+        class CustomTimeout(LockTimeoutError):
+            pass
+
+        code = wire.code_for_exception(CustomTimeout("t"))
+        assert wire.ERROR_CODES[code] is LockTimeoutError
+
+    def test_truncated_responses_rejected(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_response(b"\x80")
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_response(struct.pack("!BBQ", wire.RESP_OK, 0, 1))
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_response(struct.pack("!BBQ", wire.RESP_ERR, 0, 1))
+
+    def test_unknown_response_op_rejected(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_response(struct.pack("!BBQq", 0x55, 0, 1, 0))
+
+
+# ---------------------------------------------------------------------------
+# Hot-path fast frames must stay bit-identical to the general codec
+# ---------------------------------------------------------------------------
+
+
+class TestFastPaths:
+    def test_pack_lock_row_frame_matches_codec(self):
+        slow = wire.encode_frame(wire.encode_lock_row(7, 1, 2, 3, 4))
+        assert wire.pack_lock_row_frame(7, 1, 2, 3, 4) == slow
+
+    def test_pack_lock_row_frame_with_timeout_matches_codec(self):
+        slow = wire.encode_frame(
+            wire.encode_lock_row(7, 1, 2, 3, 4, timeout_s=1.5)
+        )
+        assert wire.pack_lock_row_frame(7, 1, 2, 3, 4, timeout_s=1.5) == slow
+
+    def test_pack_ok_frame_matches_codec(self):
+        assert wire.pack_ok_frame(3, 11) == wire.encode_frame(
+            wire.encode_ok(3, 11)
+        )
+
+    def test_try_parse_lock_row_both_variants(self):
+        plain = wire.encode_lock_row(9, 1, -2, 3, 4)
+        assert wire.try_parse_lock_row(plain) == (9, 1, -2, 3, 4, None)
+        timed = wire.encode_lock_row(9, 1, 2, 3, 4, timeout_s=0.25)
+        assert wire.try_parse_lock_row(timed) == (9, 1, 2, 3, 4, 0.25)
+
+    def test_try_parse_lock_row_falls_back_on_other_ops(self):
+        assert wire.try_parse_lock_row(wire.encode_ping(1)) is None
+
+    def test_try_parse_ok_roundtrip_and_fallback(self):
+        payload = wire.encode_ok(5, 17)
+        assert wire.try_parse_ok(payload) == (5, 17)
+        assert wire.try_parse_ok(wire.encode_ok(5, 0, b"data")) is None
+        assert (
+            wire.try_parse_ok(wire.encode_error(5, ServiceError("x"))) is None
+        )
+
+
+# ---------------------------------------------------------------------------
+# Router helpers
+# ---------------------------------------------------------------------------
+
+
+class TestRouterHelpers:
+    def test_rewrite_and_peek_request_id(self):
+        payload = wire.encode_lock_row(111, 1, 2, 3, 4, timeout_s=9.0)
+        rewritten = wire.rewrite_request_id(payload, 222)
+        assert wire.peek_request_id(rewritten) == 222
+        # Everything but the id is untouched.
+        req = wire.decode_request(rewritten)
+        assert (req.app_id, req.table_id, req.row_id) == (1, 2, 3)
+        assert req.timeout_s == 9.0
+
+    def test_helpers_reject_short_payloads(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.rewrite_request_id(b"\x01", 1)
+        with pytest.raises(wire.ProtocolError):
+            wire.peek_request_id(b"\x01")
