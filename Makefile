@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke analyze-smoke clean
+.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke analyze-smoke broker-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -58,6 +58,12 @@ service-smoke-sharded:
 ops-smoke:
 	$(PYTHONPATH_SRC) python scripts/ops_smoke.py
 
+# Whole-memory broker stress under a deliberately undersized budget
+# (the CI broker-smoke job): trade-benefit + pressure-throttle audit
+# records asserted, byte-exact page accounting at shutdown.
+broker-smoke:
+	$(PYTHONPATH_SRC) python scripts/broker_smoke.py
+
 # Record a wait-profiled stress run, then run the offline analysis
 # plane over its telemetry (the CI analyze-smoke job).
 analyze-smoke:
@@ -76,6 +82,7 @@ bench-service:
 		--bench service_churn_t1 --bench service_churn_t2 \
 		--bench service_churn_t4 --bench service_churn_t8 \
 		--bench service_churn_t8_ops --bench service_churn_t8_waits \
+		--bench service_churn_t8_broker \
 		--bench service_churn_sharded_t1 --bench service_churn_sharded_t2 \
 		--bench service_churn_sharded_t4 --bench service_churn_sharded_t8 \
 		--bench service_churn_net_w1 --bench service_churn_net_w2 \

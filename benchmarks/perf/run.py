@@ -68,6 +68,36 @@ def _git_rev() -> str:
         return "unknown"
 
 
+def _git_dirty() -> bool:
+    """True when the working tree differs from HEAD (results would be
+    attributed to a commit that does not contain the measured code)."""
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        return out.returncode == 0 and bool(out.stdout.strip())
+    except OSError:
+        return False
+
+
+def _warn_missing_params(names: List[str], scale: str) -> None:
+    """Flag lanes with no params block: they would silently run at the
+    function defaults, which for a smoke scale means full-size work."""
+    for name in names:
+        if (
+            name not in suite.BENCH_BASE_PARAMS
+            and name not in suite.SCALES[scale]
+        ):
+            print(
+                f"[perf] WARNING: bench {name!r} has no params block for "
+                f"scale {scale!r}; running at function defaults",
+                file=sys.stderr,
+                flush=True,
+            )
+
+
 def time_bench(
     name: str, scale: str, repeats: int, warmup: bool = True
 ) -> Dict[str, Any]:
@@ -122,7 +152,7 @@ def run_suite(
             "python": platform.python_version(),
             "implementation": platform.python_implementation(),
             "platform": platform.platform(),
-            "git_rev": _git_rev(),
+            "git_rev": _git_rev() + ("-dirty" if _git_dirty() else ""),
             "scale": scale,
             "repeats": repeats,
         },
@@ -154,11 +184,26 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--out", metavar="PATH", help="write the JSON summary to PATH"
     )
+    parser.add_argument(
+        "--allow-dirty",
+        action="store_true",
+        help="write --out even when the git tree has uncommitted "
+        "changes (the recorded git_rev gains a -dirty suffix)",
+    )
     args = parser.parse_args(argv)
     if args.repeats <= 0:
         parser.error("--repeats must be positive")
+    if args.out and not args.allow_dirty and _git_dirty():
+        print(
+            f"[perf] refusing to write {args.out}: the git tree is dirty, "
+            "so the results could not be attributed to a commit.  Commit "
+            "(or stash) first, or pass --allow-dirty to record anyway.",
+            file=sys.stderr,
+        )
+        return 1
 
     names = args.bench or sorted(suite.BENCHES)
+    _warn_missing_params(names, args.scale)
     result = run_suite(
         names, args.scale, args.repeats, warmup=not args.no_warmup
     )

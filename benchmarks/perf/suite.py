@@ -40,6 +40,12 @@ The benches and the hot paths they stress:
     against ``service_churn_t8_ops`` isolates the *profiler's* cost,
     and the delta against plain ``service_churn_t8`` gates the whole
     observed stack at the same <= 5 % of median throughput.
+``service_churn_t8_broker``
+    ``service_churn_t8`` with the whole-memory broker enabled
+    (sortheap/hashjoin/pkgcache heaps, per-interval marginal-benefit
+    trading, the pressure posture machine); the delta against the
+    broker-off run gates the arbitration cost at <= 5 % of median
+    throughput.
 ``service_churn_sharded_t{1,2,4,8}``
     The same closed loop through the sharded stack (per-shard lock
     tables, global STMM arbitration, cross-shard deadlock sweep): the
@@ -267,6 +273,7 @@ def run_service_churn(
     ops: bool = False,
     span_sample_every: int = 64,
     waits: bool = False,
+    broker: bool = False,
 ) -> int:
     """Closed-loop threaded load through the live LockService.
 
@@ -283,8 +290,12 @@ def run_service_churn(
     caps at 5 % of median throughput.  ``waits=True`` additionally
     enables the wait-event profiler (latch try-acquire/spin path on
     every hot entry, wait-class histograms, blocker attribution) --
-    paired the same way, with the same 5 % gate.  Returns lock
-    requests completed.
+    paired the same way, with the same 5 % gate.  ``broker=True``
+    enables the whole-memory broker (sortheap/hashjoin/pkgcache heaps,
+    per-interval benefit estimation and block trading, the pressure
+    state machine); paired against the broker-off run it bounds the
+    arbitration cost at the same 5 % of median throughput.  Returns
+    lock requests completed.
     """
     from repro.service.driver import LoadDriver
     from repro.service.stack import ServiceConfig, ServiceStack
@@ -299,6 +310,7 @@ def run_service_churn(
             ops_port=0 if ops else None,
             span_sample_every=span_sample_every if ops else 0,
             wait_profile=waits,
+            broker=broker,
         )
     )
     with stack:
@@ -465,6 +477,7 @@ BENCHES: Dict[str, tuple] = {
     "service_churn_t8": (run_service_churn, "lock_requests"),
     "service_churn_t8_ops": (run_service_churn, "lock_requests"),
     "service_churn_t8_waits": (run_service_churn, "lock_requests"),
+    "service_churn_t8_broker": (run_service_churn, "lock_requests"),
     "service_churn_sharded_t1": (run_service_churn_sharded, "lock_requests"),
     "service_churn_sharded_t2": (run_service_churn_sharded, "lock_requests"),
     "service_churn_sharded_t4": (run_service_churn_sharded, "lock_requests"),
@@ -485,6 +498,7 @@ BENCH_BASE_PARAMS: Dict[str, Dict[str, Any]] = {
     "service_churn_t8": {"threads": 8},
     "service_churn_t8_ops": {"threads": 8, "ops": True},
     "service_churn_t8_waits": {"threads": 8, "ops": True, "waits": True},
+    "service_churn_t8_broker": {"threads": 8, "broker": True},
     "service_churn_sharded_t1": {"threads": 1, "shards": 4},
     "service_churn_sharded_t2": {"threads": 2, "shards": 4},
     "service_churn_sharded_t4": {"threads": 4, "shards": 4},
@@ -508,6 +522,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_t8": {},
         "service_churn_t8_ops": {},
         "service_churn_t8_waits": {},
+        "service_churn_t8_broker": {},
         "service_churn_sharded_t1": {},
         "service_churn_sharded_t2": {},
         "service_churn_sharded_t4": {},
@@ -537,6 +552,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_t8": {"requests_per_thread": 50},
         "service_churn_t8_ops": {"requests_per_thread": 50},
         "service_churn_t8_waits": {"requests_per_thread": 50},
+        "service_churn_t8_broker": {"requests_per_thread": 50},
         "service_churn_sharded_t1": {"requests_per_thread": 200, "shards": 2},
         "service_churn_sharded_t2": {"requests_per_thread": 200, "shards": 2},
         "service_churn_sharded_t4": {"requests_per_thread": 100, "shards": 4},

@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""CI smoke for the whole-memory broker under an undersized budget.
+
+Runs the threaded lock-service stress with ``broker=True`` and a
+``DATABASE_MEMORY`` deliberately smaller than the aggregate demand of
+its consumers (bufferpool + sortheap + hashjoin + pkgcache + LOCKLIST
++ the overflow goal), so the pressure score sits above the throttle
+threshold by construction.  Broker intervals are driven synchronously
+with ``tune_now()`` -- both while the load runs and after it drains --
+so every assertion is on *state*, never on timing:
+
+* at least one ``trade-benefit`` and one ``pressure-throttle`` record
+  in the broker audit ring,
+* the admission posture actually actuated (in-flight limit reduced
+  from the configured value while pressure was high),
+* byte-exact page accounting at shutdown: the heap sizes plus the
+  free pool sum to ``DATABASE_MEMORY`` to the page, the LOCKLIST heap
+  matches the physical block chain, and zero
+  ``MemoryAccountingError`` was raised anywhere (a broker crash would
+  freeze the tuner; a registry violation would fail the final sweep).
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/broker_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+from repro.service.cli import _check_shutdown_accounting
+from repro.service.driver import LoadDriver
+from repro.service.stack import ServiceConfig, ServiceStack
+
+#: Small enough that the default WorkloadProfile's demands (bufferpool
+#: hit-curve knee, typical sort + build fits, full statement cache)
+#: exceed the budget; large enough for every heap's starting share.
+TOTAL_PAGES = 2_048
+THREADS = 8
+REQUESTS_PER_THREAD = 400
+INTERVALS_DURING_LOAD = 4
+INTERVALS_AFTER_LOAD = 6
+MAX_IN_FLIGHT = 8
+
+
+def main() -> int:
+    cfg = ServiceConfig(
+        total_memory_pages=TOTAL_PAGES,
+        initial_locklist_pages=128,
+        tuner_interval_s=3600.0,  # intervals driven via tune_now() only
+        max_in_flight=MAX_IN_FLIGHT,
+        broker=True,
+    )
+    stack = ServiceStack(cfg)
+    broker = stack.broker
+    assert broker is not None, "broker=True built no broker"
+    score = broker.pressure_score()
+    assert score > broker.pressure.config.throttle_enter, (
+        f"budget not undersized: pressure {score:.3f} <= "
+        f"{broker.pressure.config.throttle_enter} -- shrink TOTAL_PAGES"
+    )
+    print(f"[broker-smoke] budget {TOTAL_PAGES} pages, "
+          f"initial pressure {score:.3f}")
+
+    failures = []
+    min_in_flight_seen = MAX_IN_FLIGHT
+    with stack:
+        driver = LoadDriver(
+            stack,
+            threads=THREADS,
+            requests_per_thread=REQUESTS_PER_THREAD,
+            seed=0,
+            admission_timeout_s=60.0,
+        )
+        worker = threading.Thread(target=lambda: setattr(
+            driver, "report", driver.run()), name="broker-smoke-load")
+        worker.start()
+        # Arbitration passes while real lock traffic is in flight: the
+        # posture machine escalates one rung per interval, so by the
+        # second pass the admission door is throttled under load.
+        for _ in range(INTERVALS_DURING_LOAD):
+            stack.tuner.tune_now()
+            min_in_flight_seen = min(
+                min_in_flight_seen, stack.admission.max_in_flight
+            )
+        worker.join()
+        report = driver.report
+        # Passes after the load drains: locklist demand relaxes, and
+        # trading continues until benefits equalize.
+        for _ in range(INTERVALS_AFTER_LOAD):
+            stack.tuner.tune_now()
+        if stack.tuner.frozen:
+            failures.append(
+                f"tuner froze mid-run: {stack.tuner.frozen_reason}"
+            )
+
+        reasons = stack.broker.audit.reasons()
+        status = stack.broker.status(audit_tail=0)
+        print(f"[broker-smoke] load: {report.lock_requests} lock requests, "
+              f"{report.commits} commits, "
+              f"{report.admission_sheds} admission sheds")
+        print(f"[broker-smoke] broker: {status['intervals']} intervals, "
+              f"{status['trades']} trades ({status['pages_traded']} pages), "
+              f"posture {status['posture']}, "
+              f"pressure {status['pressure']:.3f}, "
+              f"free {status['free_pages']} pages")
+        print(f"[broker-smoke] audit reasons seen: {sorted(set(reasons))}")
+        if "trade-benefit" not in reasons:
+            failures.append("no trade-benefit record in the broker audit")
+        if "pressure-throttle" not in reasons:
+            failures.append("no pressure-throttle record in the broker audit")
+        if min_in_flight_seen >= MAX_IN_FLIGHT:
+            failures.append(
+                "admission in-flight limit never reduced under pressure"
+            )
+        else:
+            print(f"[broker-smoke] admission actuated: in-flight limit "
+                  f"dipped to {min_in_flight_seen} (configured "
+                  f"{MAX_IN_FLIGHT})")
+
+        # Byte-exact conservation before shutdown: snapshot() re-proves
+        # total == sum(heaps) + overflow and raises on any violation.
+        snapshot = stack.registry.snapshot()
+        if sum(snapshot.values()) != TOTAL_PAGES:
+            failures.append(
+                f"pages not conserved: {sum(snapshot.values())} != "
+                f"{TOTAL_PAGES} ({snapshot})"
+            )
+        else:
+            print(f"[broker-smoke] conservation: "
+                  f"sum(heaps) + free == {TOTAL_PAGES} pages exactly")
+
+    failures.extend(_check_shutdown_accounting(stack))
+    if failures:
+        for failure in failures:
+            print(f"[broker-smoke] FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("[broker-smoke] clean shutdown, exact accounting verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

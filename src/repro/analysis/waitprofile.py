@@ -71,6 +71,14 @@ class WaitProfileReport:
     incident_counts: Dict[str, int]
     #: Raw wait events carried in the stream (ring-bounded at capture).
     raw_wait_events: int = 0
+    #: Broker audit actions per reason (empty: run had no broker).
+    broker_reasons: Dict[str, int] = field(default_factory=dict)
+    #: Pages moved by ``trade-benefit`` records, per (from, to) pair
+    #: rendered as ``"donor->receiver"``.
+    broker_trades: Dict[str, int] = field(default_factory=dict)
+    #: Final pressure posture the broker recorded (None: no broker, or
+    #: the run never left ``normal``).
+    broker_final_posture: Optional[str] = None
     notes: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -84,6 +92,9 @@ class WaitProfileReport:
             "decision_count": self.decision_count,
             "incident_counts": self.incident_counts,
             "raw_wait_events": self.raw_wait_events,
+            "broker_reasons": self.broker_reasons,
+            "broker_trades": self.broker_trades,
+            "broker_final_posture": self.broker_final_posture,
             "notes": self.notes,
         }
 
@@ -150,6 +161,21 @@ class WaitProfileReport:
             if count
         )
         lines.append(f"  incidents: {incidents or '(none)'}")
+        if self.broker_reasons:
+            lines.append("")
+            lines.append("memory broker:")
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.broker_reasons.items())
+                if count
+            )
+            lines.append(f"  broker actions: {reasons}")
+            for pair, pages in sorted(self.broker_trades.items()):
+                lines.append(f"  traded {pair}: {pages} pages")
+            if self.broker_final_posture is not None:
+                lines.append(
+                    f"  final posture: {self.broker_final_posture}"
+                )
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)
@@ -158,6 +184,7 @@ class WaitProfileReport:
 def analyze_run(telemetry: RunTelemetry, top_n: int = 5) -> WaitProfileReport:
     """Build the wait-profile report for one reloaded run."""
     breakdown, source, notes = _wait_breakdown(telemetry)
+    broker_reasons, broker_trades, final_posture = _broker_summary(telemetry)
     return WaitProfileReport(
         label=telemetry.label,
         wait_breakdown=breakdown,
@@ -168,6 +195,9 @@ def analyze_run(telemetry: RunTelemetry, top_n: int = 5) -> WaitProfileReport:
         decision_count=len(telemetry.decisions),
         incident_counts=_incident_counts(telemetry),
         raw_wait_events=len(telemetry.waits),
+        broker_reasons=broker_reasons,
+        broker_trades=broker_trades,
+        broker_final_posture=final_posture,
         notes=notes,
     )
 
@@ -238,6 +268,21 @@ def _audit_reasons(telemetry: RunTelemetry) -> Dict[str, int]:
     for record in telemetry.audit:
         counts[record.reason] = counts.get(record.reason, 0) + 1
     return counts
+
+
+def _broker_summary(telemetry: RunTelemetry):
+    """Reason counts, per-pair trade volume and last posture from the
+    broker records (all empty/None when the run had no broker)."""
+    reasons: Dict[str, int] = {}
+    trades: Dict[str, int] = {}
+    posture: Optional[str] = None
+    for record in getattr(telemetry, "broker", []) or []:
+        reasons[record.reason] = reasons.get(record.reason, 0) + 1
+        if record.reason == "trade-benefit":
+            pair = f"{record.heap_from}->{record.heap_to}"
+            trades[pair] = trades.get(pair, 0) + record.pages
+        posture = record.posture
+    return reasons, trades, posture
 
 
 def _incident_counts(telemetry: RunTelemetry) -> Dict[str, int]:

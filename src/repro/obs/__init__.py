@@ -38,6 +38,8 @@ the overhead contract.
 
 from repro.obs.audit import (
     AUDIT_REASONS,
+    BROKER_REASONS,
+    BrokerAuditRecord,
     TuningAuditLog,
     TuningAuditRecord,
     audit_reason_for,
@@ -93,6 +95,8 @@ __all__ = [
     "render_prometheus",
     "sanitize_metric_name",
     "AUDIT_REASONS",
+    "BROKER_REASONS",
+    "BrokerAuditRecord",
     "TuningAuditLog",
     "TuningAuditRecord",
     "audit_reason_for",

@@ -46,6 +46,18 @@ AUDIT_REASONS = (
     "freeze",
 )
 
+#: The closed reason vocabulary of the whole-memory broker.  ``trade-*``
+#: reasons document 128 KB block movements between PMC heaps;
+#: ``pressure-*`` reasons document admission-posture transitions driven
+#: by the aggregate demand-vs-budget pressure score.
+BROKER_REASONS = (
+    "trade-benefit",
+    "pressure-throttle",
+    "pressure-queue",
+    "pressure-shed",
+    "pressure-release",
+)
+
 #: ControllerDecision.reason -> audit reason.
 _CONTROLLER_REASON_MAP = {
     "grow-to-min-free": "grow-async",
@@ -110,39 +122,92 @@ class TuningAuditRecord:
         )
 
 
+@dataclass
+class BrokerAuditRecord:
+    """One broker action: a block trade or an admission-posture change."""
+
+    #: 1-based broker interval ordinal (0 for a terminal entry).
+    interval: int
+    #: Clock time of the pass (wall seconds for the live service).
+    time: float
+    #: One of :data:`BROKER_REASONS`.
+    reason: str
+    #: Donor heap for a trade ("" for posture records).
+    heap_from: str
+    #: Receiver heap for a trade ("" for posture records).
+    heap_to: str
+    #: Pages actually moved this record (0 for posture records).
+    pages: int
+    # -- inputs the decision was computed from ------------------------------
+    #: Donor marginal benefit per page at decision time (s/page/s).
+    benefit_from: float
+    #: Receiver marginal benefit per page at decision time (s/page/s).
+    benefit_to: float
+    #: Aggregate demand / budget at decision time (1.0 == exactly full).
+    pressure: float
+    #: Admission posture after this record (normal/throttle/queue/shed).
+    posture: str
+    #: Human-readable amplification.
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "BrokerAuditRecord":
+        return cls(
+            interval=int(record["interval"]),
+            time=float(record["time"]),
+            reason=str(record["reason"]),
+            heap_from=str(record.get("heap_from", "")),
+            heap_to=str(record.get("heap_to", "")),
+            pages=int(record.get("pages", 0)),
+            benefit_from=float(record.get("benefit_from", 0.0)),
+            benefit_to=float(record.get("benefit_to", 0.0)),
+            pressure=float(record["pressure"]),
+            posture=str(record["posture"]),
+            detail=str(record.get("detail", "")),
+        )
+
+
 class TuningAuditLog:
-    """A bounded, thread-safe ring of :class:`TuningAuditRecord`.
+    """A bounded, thread-safe ring of audit records.
 
     Appends from the tuner thread and reads from HTTP handler threads
     (the ``/stmm`` endpoint) interleave freely; readers always get a
-    point-in-time copy.
+    point-in-time copy.  The allowed reason vocabulary is closed:
+    :data:`AUDIT_REASONS` by default (the LOCKLIST tuner's log),
+    :data:`BROKER_REASONS` for the whole-memory broker's log.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, reasons=AUDIT_REASONS) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
+        if not reasons:
+            raise ValueError("reasons vocabulary must be non-empty")
         self.capacity = capacity
-        self._records: Deque[TuningAuditRecord] = deque(maxlen=capacity)
+        self.allowed_reasons = tuple(reasons)
+        self._records: Deque[Any] = deque(maxlen=capacity)
         self._lock = threading.Lock()
         #: Total records ever appended (survives ring eviction).
         self.total_recorded = 0
 
-    def append(self, record: TuningAuditRecord) -> None:
-        if record.reason not in AUDIT_REASONS:
+    def append(self, record) -> None:
+        if record.reason not in self.allowed_reasons:
             raise ValueError(
                 f"unknown audit reason {record.reason!r}; "
-                f"expected one of {AUDIT_REASONS}"
+                f"expected one of {self.allowed_reasons}"
             )
         with self._lock:
             self._records.append(record)
             self.total_recorded += 1
 
-    def records(self) -> List[TuningAuditRecord]:
+    def records(self) -> List[Any]:
         """A snapshot copy of the ring, oldest first."""
         with self._lock:
             return list(self._records)
 
-    def tail(self, n: int) -> List[TuningAuditRecord]:
+    def tail(self, n: int) -> List[Any]:
         """The most recent ``n`` records, oldest first."""
         if n <= 0:
             return []
@@ -173,6 +238,8 @@ class TuningAuditLog:
 
 __all__ = [
     "AUDIT_REASONS",
+    "BROKER_REASONS",
+    "BrokerAuditRecord",
     "TuningAuditLog",
     "TuningAuditRecord",
     "audit_reason_for",

@@ -11,7 +11,7 @@ serializes them as a single time-ordered JSONL stream that
 controller decisions and histogram percentiles all survive the round
 trip exactly, so a run can be audited entirely offline.
 
-Record kinds (schema version 3, one JSON object per line):
+Record kinds (schema version 4, one JSON object per line):
 
 =============  ==============================================================
 ``meta``       run header: ``label``, ``version`` (first line of every run)
@@ -25,16 +25,20 @@ Record kinds (schema version 3, one JSON object per line):
                attribution; added in schema version 3)
 ``incident``   one incident forensics record (all IncidentRecord fields;
                added in schema version 3)
+``broker``     one whole-memory broker audit entry (all BrokerAuditRecord
+               fields; added in schema version 4, emitted by the live
+               service when the MemoryBroker is enabled)
 ``sample``     one metric sample: ``t``, ``series``, ``value``
 ``counter``    final counter value: ``name``, ``value``
 ``gauge``      final gauge value: ``name``, ``value``
 ``histogram``  full histogram snapshot (bounds, bucket counts, sum, min/max)
 =============  ==============================================================
 
-``trace``/``decision``/``audit``/``wait``/``incident``/``sample``
-records are merged in ``t`` order; registry records follow at the end
-(they are end-of-run snapshots).  The reader accepts schema versions 1
-through 3 (earlier versions simply contain none of the newer kinds).
+``trace``/``decision``/``audit``/``wait``/``incident``/``broker``/
+``sample`` records are merged in ``t`` order; registry records follow
+at the end (they are end-of-run snapshots).  The reader accepts schema
+versions 1 through 4 (earlier versions simply contain none of the
+newer kinds).
 """
 
 from __future__ import annotations
@@ -48,7 +52,7 @@ from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 from repro.core.controller import ControllerDecision
 from repro.engine.metrics import MetricsRecorder
 from repro.lockmgr.tracing import TraceEvent
-from repro.obs.audit import TuningAuditRecord
+from repro.obs.audit import BrokerAuditRecord, TuningAuditRecord
 from repro.obs.incidents import IncidentRecord
 from repro.obs.registry import Histogram, MetricRegistry
 
@@ -56,11 +60,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.database import Database
 
 #: Bumped when the JSONL record schema changes incompatibly.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: Versions :func:`load_runs` understands (v1 lacks ``audit`` records,
-#: v2 lacks ``wait`` and ``incident`` records).
-SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3})
+#: v2 lacks ``wait`` and ``incident`` records, v3 lacks ``broker``
+#: records).
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3, 4})
 
 #: The histogram the lock manager observes wait durations into.
 WAIT_LATENCY_METRIC = "lock.wait.latency_s"
@@ -84,6 +89,7 @@ class RunTelemetry:
         audit: Optional[List[TuningAuditRecord]] = None,
         waits: Optional[List[Dict[str, Any]]] = None,
         incidents: Optional[List[IncidentRecord]] = None,
+        broker: Optional[List[BrokerAuditRecord]] = None,
     ) -> None:
         self.label = label
         self.trace_events = trace_events or []
@@ -94,6 +100,8 @@ class RunTelemetry:
         #: Raw wait events as dicts (the profiler ring's ``to_dicts``).
         self.waits = waits or []
         self.incidents = incidents or []
+        #: Whole-memory broker audit entries (trades and postures).
+        self.broker = broker or []
 
     # -- construction --------------------------------------------------------
 
@@ -171,6 +179,8 @@ class RunTelemetry:
             candidates.append(self.decisions[-1].time)
         if self.audit:
             candidates.append(self.audit[-1].time)
+        if self.broker:
+            candidates.append(self.broker[-1].time)
         for name in self.metrics.names():
             series = self.metrics[name]
             if len(series):
@@ -231,6 +241,14 @@ class RunTelemetry:
                 )
                 yield record
 
+        def broker_records():
+            for b in sorted(self.broker, key=lambda b: b.time):
+                record = {"kind": "broker", "t": b.time}
+                record.update(
+                    {k: v for k, v in b.to_dict().items() if k != "time"}
+                )
+                yield record
+
         def sample_records():
             for t, row in self.metrics.to_rows():
                 for series in sorted(row):
@@ -241,7 +259,8 @@ class RunTelemetry:
 
         yield from heapq.merge(
             trace_records(), decision_records(), audit_records(),
-            wait_records(), incident_records(), sample_records(),
+            wait_records(), incident_records(), broker_records(),
+            sample_records(),
             key=lambda record: record["t"],
         )
         snapshot = self.registry.snapshot()
@@ -282,6 +301,7 @@ class RunTelemetry:
             f"events, {len(self.decisions)} decisions, "
             f"{len(self.audit)} audit records, "
             f"{len(self.waits)} waits, {len(self.incidents)} incidents, "
+            f"{len(self.broker)} broker records, "
             f"{len(self.metrics.names())} series)"
         )
 
@@ -362,6 +382,11 @@ def _apply_record(
         fields.pop("kind")
         fields["kind"] = fields.pop("incident_kind")
         telemetry.incidents.append(IncidentRecord.from_dict(fields))
+    elif kind == "broker":
+        fields = dict(record)
+        fields["time"] = fields.pop("t")
+        fields.pop("kind")
+        telemetry.broker.append(BrokerAuditRecord.from_dict(fields))
     elif kind == "sample":
         telemetry.metrics.record(record["series"], record["t"], record["value"])
     elif kind == "counter":

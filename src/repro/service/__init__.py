@@ -13,6 +13,9 @@ concurrency:
   interval with crash-to-frozen degradation;
 * :mod:`repro.service.admission` -- bounded in-flight sessions with
   queue shedding;
+* :mod:`repro.service.broker` -- the whole-memory broker: per-heap
+  marginal-benefit estimators, benefit-driven block trading and
+  memory-pressure admission postures;
 * :mod:`repro.service.stack` -- one-call assembly of the whole stack;
 * :mod:`repro.service.ledger` -- the shard memory ledger and the
   aggregate chain the controller tunes when sharded;
@@ -24,6 +27,13 @@ concurrency:
 """
 
 from repro.service.admission import AdmissionController, AdmissionStats
+from repro.service.broker import (
+    BrokerConfig,
+    MemoryBroker,
+    PressureConfig,
+    PressureMonitor,
+    WorkloadProfile,
+)
 from repro.service.capture import DemandTraceRecorder, load_trace_jsonl
 from repro.service.clock import Clock, ManualClock, MonotonicClock, VirtualClock
 from repro.service.driver import DriverReport, LoadDriver
@@ -47,13 +57,17 @@ __all__ = [
     "AdmissionController",
     "AdmissionStats",
     "AggregateLockChain",
+    "BrokerConfig",
     "Clock",
     "DemandTraceRecorder",
     "DriverReport",
     "LoadDriver",
     "LockService",
     "ManualClock",
+    "MemoryBroker",
     "MonotonicClock",
+    "PressureConfig",
+    "PressureMonitor",
     "ServiceConfig",
     "ServiceStack",
     "ServiceStats",
@@ -65,6 +79,7 @@ __all__ = [
     "ShardedServiceStack",
     "TunerDaemon",
     "VirtualClock",
+    "WorkloadProfile",
     "load_trace_jsonl",
     "shard_of",
 ]

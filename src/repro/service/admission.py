@@ -165,6 +165,36 @@ class AdmissionController:
         if self._in_flight > self.stats.peak_in_flight:
             self.stats.peak_in_flight = self._in_flight
 
+    def set_limits(
+        self,
+        max_in_flight: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+    ) -> None:
+        """Retune the front door live (the broker's posture actuator).
+
+        Raising ``max_in_flight`` wakes queued waiters so newly legal
+        slots fill immediately.  Lowering it never evicts running
+        sessions -- the in-flight count drains below the new limit as
+        sessions complete.  Lowering ``max_queue_depth`` below the
+        current queue length likewise sheds only *new* arrivals; queued
+        waiters keep their tickets.
+        """
+        with self._cond:
+            if max_in_flight is not None:
+                if max_in_flight <= 0:
+                    raise ValueError(
+                        f"max_in_flight must be positive, got {max_in_flight}"
+                    )
+                self.max_in_flight = max_in_flight
+            if max_queue_depth is not None:
+                if max_queue_depth < 0:
+                    raise ValueError(
+                        f"max_queue_depth must be non-negative, "
+                        f"got {max_queue_depth}"
+                    )
+                self.max_queue_depth = max_queue_depth
+            self._cond.notify_all()
+
     def release(self) -> None:
         """Return a slot taken by :meth:`acquire`."""
         with self._cond:

@@ -1,0 +1,63 @@
+"""repro.service.broker -- the whole-memory broker subsystem.
+
+The paper tunes one consumer (LOCKLIST) but frames it as an instance
+of DB2's Self-Tuning Memory Manager, which brokers *all* database
+heaps from one ``DATABASE_MEMORY`` budget.  This package promotes the
+TunerDaemon's single-heap pass into that multi-consumer arbiter:
+
+* :mod:`repro.service.broker.estimators` -- per-heap marginal-benefit
+  estimators (bufferpool hit-rate slope, sort/hashjoin spill-cost
+  delta, pkgcache recompile-cost delta, LOCKLIST escalation/free-band
+  signal) converting each heap model's size-to-performance curve into
+  a live benefit-per-page figure,
+* :mod:`repro.service.broker.pressure` -- the memory-pressure posture
+  state machine (normal -> throttle -> queue -> shed with hysteresis)
+  driving the existing :class:`AdmissionController`,
+* :mod:`repro.service.broker.broker` -- :class:`MemoryBroker`, the
+  per-interval arbiter that trades 128 KB blocks from the lowest- to
+  the highest-benefit heap and records every decision in a closed
+  audit vocabulary (``trade-benefit``, ``pressure-*``).
+
+The broker never touches lock memory directly: the existing
+``LockMemoryController`` keeps final say over LOCKLIST (free-band and
+LMOmax invariants), while the LOCKLIST estimator feeds only the
+ranking and the pressure score.  See ``docs/SERVICE.md`` for the
+posture state machine and operational surface.
+"""
+
+from repro.service.broker.broker import BrokerConfig, MemoryBroker
+from repro.service.broker.estimators import (
+    BenefitEstimator,
+    BufferpoolEstimator,
+    HashJoinEstimator,
+    LockListEstimator,
+    PackageCacheEstimator,
+    RateMeter,
+    SortHeapEstimator,
+    WorkloadProfile,
+    as_rate,
+    default_estimators,
+)
+from repro.service.broker.pressure import (
+    POSTURES,
+    PressureConfig,
+    PressureMonitor,
+)
+
+__all__ = [
+    "BenefitEstimator",
+    "BrokerConfig",
+    "BufferpoolEstimator",
+    "HashJoinEstimator",
+    "LockListEstimator",
+    "MemoryBroker",
+    "PackageCacheEstimator",
+    "POSTURES",
+    "PressureConfig",
+    "PressureMonitor",
+    "RateMeter",
+    "SortHeapEstimator",
+    "WorkloadProfile",
+    "as_rate",
+    "default_estimators",
+]

@@ -1,0 +1,332 @@
+"""The MemoryBroker: one budget, many heaps, benefit-driven trades.
+
+Each tuning interval the broker
+
+1. refreshes every estimator against the same clock instant,
+2. trades 128 KB blocks from the lowest- to the highest-benefit PMC
+   heap (bounded per interval, never past a heap's min/max bounds,
+   never touching LOCKLIST -- the paper's ``LockMemoryController``
+   keeps final say over lock memory),
+3. folds aggregate demand into a pressure score and runs the
+   admission-posture state machine,
+4. records every action in its own closed-vocabulary audit ring
+   (``trade-benefit`` / ``pressure-*``), and
+5. re-proves the conservation invariant: the sum of heap sizes plus
+   the free pool must equal ``DATABASE_MEMORY`` to the page
+   (:class:`~repro.errors.MemoryAccountingError` otherwise).
+
+The broker is deliberately clock-agnostic and lock-free: the caller
+(the TunerDaemon, holding the service mutex) passes ``now`` in, so the
+same code runs deterministically on a :class:`ManualClock` in tests
+and on wall time in the live service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.audit import BROKER_REASONS, BrokerAuditRecord, TuningAuditLog
+from repro.obs.registry import labeled_name
+from repro.service.broker.estimators import BenefitEstimator
+from repro.service.broker.pressure import PressureConfig, PressureMonitor
+from repro.units import PAGES_PER_BLOCK
+
+
+@dataclass
+class BrokerConfig:
+    """Knobs of the trading pass and its pressure state machine."""
+
+    #: Pages per trade quantum (the paper's 128 KB block).
+    trade_block_pages: int = PAGES_PER_BLOCK
+    #: Block moves allowed per interval (bounds per-interval churn).
+    max_trades_per_interval: int = 4
+    #: Receiver benefit must exceed donor benefit by this factor.
+    min_benefit_ratio: float = 1.25
+    #: Broker audit ring capacity.
+    audit_capacity: int = 256
+    pressure: PressureConfig = field(default_factory=PressureConfig)
+
+    def __post_init__(self) -> None:
+        if self.trade_block_pages <= 0:
+            raise ValueError(
+                f"trade_block_pages must be positive, got {self.trade_block_pages}"
+            )
+        if self.max_trades_per_interval < 0:
+            raise ValueError(
+                "max_trades_per_interval must be non-negative, "
+                f"got {self.max_trades_per_interval}"
+            )
+        if self.min_benefit_ratio < 1.0:
+            raise ValueError(
+                f"min_benefit_ratio must be >= 1, got {self.min_benefit_ratio}"
+            )
+
+
+class MemoryBroker:
+    """Multi-consumer arbiter over one ``DATABASE_MEMORY`` registry.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.memory.registry.DatabaseMemoryRegistry`
+        holding every heap and the free (overflow) pool.
+    estimators:
+        One :class:`BenefitEstimator` per brokered heap.  Estimators
+        with ``tradeable`` False (LOCKLIST) join the ranking and the
+        pressure score but never donate or receive.
+    admission:
+        The service's :class:`AdmissionController`, actuated by the
+        posture state machine (None disables actuation, not scoring).
+    metrics:
+        Optional :class:`MetricRegistry`; per-heap size/demand/benefit
+        gauges and trade counters are published each interval.
+    """
+
+    def __init__(
+        self,
+        registry,
+        estimators: Sequence[BenefitEstimator],
+        *,
+        admission=None,
+        config: Optional[BrokerConfig] = None,
+        metrics=None,
+    ) -> None:
+        self.registry = registry
+        self.estimators = list(estimators)
+        names = [e.heap_name for e in self.estimators]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate estimator heaps: {sorted(names)}")
+        self.config = config or BrokerConfig()
+        self.metrics = metrics
+        self.audit = TuningAuditLog(
+            self.config.audit_capacity, reasons=BROKER_REASONS
+        )
+        self.pressure = PressureMonitor(admission, self.config.pressure)
+        self.intervals_run = 0
+        self.trades_total = 0
+        self.pages_traded_total = 0
+        # Point each heap's benefit callable at its estimator, so the
+        # deterministic STMM pass (reclaim_from_donors, surplus
+        # distribution) ranks PMC heaps by the same live figures the
+        # broker trades on.
+        for est in self.estimators:
+            est.heap._benefit = (
+                lambda e: lambda _heap: e.benefit_per_page()
+            )(est)
+
+    # -- scoring -------------------------------------------------------------
+
+    def pressure_score(self) -> float:
+        """Aggregate demand over budget (1.0 == budget exactly spoken for).
+
+        Demand is each estimator's own figure, floored at the heap's
+        current size for heaps it would not shrink anyway (a heap
+        cannot release pages below its minimum), plus the current size
+        of any heap with no estimator, plus the overflow goal the STMM
+        pass defends.
+        """
+        covered = {e.heap_name for e in self.estimators}
+        demand = 0
+        for est in self.estimators:
+            demand += max(est.demand_pages(), est.heap.min_pages)
+        for heap in self.registry.heaps():
+            if heap.name not in covered:
+                demand += heap.size_pages
+        demand += self.registry.overflow_goal_pages
+        return demand / float(self.registry.total_pages)
+
+    # -- the per-interval pass ----------------------------------------------
+
+    def run_interval(self, now: float) -> List[BrokerAuditRecord]:
+        """One arbitration pass; returns the audit records it appended."""
+        interval = self.intervals_run + 1
+        for est in self.estimators:
+            est.observe(now)
+
+        appended: List[BrokerAuditRecord] = []
+        pair_order: List[Tuple[str, str]] = []
+        pair_stats: Dict[Tuple[str, str], List[float]] = {}
+        for _ in range(self.config.max_trades_per_interval):
+            picked = self._pick_trade()
+            if picked is None:
+                break
+            donor, receiver = picked
+            benefit_from = donor.benefit_per_page()
+            benefit_to = receiver.benefit_per_page()
+            moved = self.registry.transfer(
+                donor.heap_name,
+                receiver.heap_name,
+                self.config.trade_block_pages,
+                partial=True,
+            )
+            if moved == 0:
+                break
+            key = (donor.heap_name, receiver.heap_name)
+            if key not in pair_stats:
+                pair_order.append(key)
+                pair_stats[key] = [moved, benefit_from, benefit_to]
+            else:
+                pair_stats[key][0] += moved
+            # Re-evaluate at the new sizes so diminishing returns can
+            # stop the loop inside a single interval.
+            donor.observe(now)
+            receiver.observe(now)
+
+        score = self.pressure_score()
+        for key in pair_order:
+            pages, benefit_from, benefit_to = pair_stats[key]
+            record = BrokerAuditRecord(
+                interval=interval,
+                time=now,
+                reason="trade-benefit",
+                heap_from=key[0],
+                heap_to=key[1],
+                pages=int(pages),
+                benefit_from=benefit_from,
+                benefit_to=benefit_to,
+                pressure=score,
+                posture=self.pressure.posture,
+                detail=f"{key[0]} -> {key[1]}: {int(pages)} pages",
+            )
+            self.audit.append(record)
+            appended.append(record)
+            self.trades_total += 1
+            self.pages_traded_total += int(pages)
+
+        transition = self.pressure.update(score)
+        if transition is not None:
+            old, new, reason = transition
+            record = BrokerAuditRecord(
+                interval=interval,
+                time=now,
+                reason=reason,
+                heap_from="",
+                heap_to="",
+                pages=0,
+                benefit_from=0.0,
+                benefit_to=0.0,
+                pressure=score,
+                posture=new,
+                detail=f"posture {old} -> {new} at pressure {score:.3f}",
+            )
+            self.audit.append(record)
+            appended.append(record)
+
+        self.intervals_run = interval
+        # Conservation proof: overflow_pages recomputes total - sum(heaps)
+        # and raises MemoryAccountingError if any page went missing.
+        _ = self.registry.overflow_pages
+        if self.metrics is not None:
+            self.publish_metrics()
+        return appended
+
+    def _pick_trade(
+        self,
+    ) -> Optional[Tuple[BenefitEstimator, BenefitEstimator]]:
+        """The (donor, receiver) pair one block should move between.
+
+        Receiver: the tradeable heap with the highest benefit that is
+        still below its demand and has headroom.  Donor: the tradeable
+        heap with the lowest benefit that can shrink and whose benefit
+        the receiver's exceeds by ``min_benefit_ratio``.  Ties break on
+        heap name so the pass is deterministic.
+        """
+        tradeable = [e for e in self.estimators if e.tradeable]
+        receivers = [
+            e
+            for e in tradeable
+            if e.heap.headroom_pages() > 0
+            and e.demand_pages() > e.heap.size_pages
+            and e.benefit_per_page() > 0.0
+        ]
+        if not receivers:
+            return None
+        receiver = sorted(
+            receivers, key=lambda e: (-e.benefit_per_page(), e.heap_name)
+        )[0]
+        donors = [
+            e
+            for e in tradeable
+            if e is not receiver
+            and e.heap.shrinkable_pages() > 0
+            and receiver.benefit_per_page()
+            > self.config.min_benefit_ratio * e.benefit_per_page()
+        ]
+        if not donors:
+            return None
+        donor = sorted(
+            donors, key=lambda e: (e.benefit_per_page(), e.heap_name)
+        )[0]
+        return donor, receiver
+
+    # -- surfaces ------------------------------------------------------------
+
+    def publish_metrics(self) -> None:
+        """Refresh the broker's gauges/counters in the metric registry."""
+        reg = self.metrics
+        if reg is None:
+            return
+        reg.gauge("broker.pressure.score").set(self.pressure.score)
+        reg.gauge("broker.posture").set(
+            float(
+                ("normal", "throttle", "queue", "shed").index(
+                    self.pressure.posture
+                )
+            )
+        )
+        reg.gauge("broker.intervals").set(float(self.intervals_run))
+        reg.gauge("broker.free_pages").set(float(self.registry.overflow_pages))
+        reg.counter("broker.trades").value = float(self.trades_total)
+        reg.counter("broker.pages_traded").value = float(
+            self.pages_traded_total
+        )
+        for est in self.estimators:
+            labels = {"heap": est.heap_name}
+            reg.gauge(labeled_name("broker.heap.size_pages", labels)).set(
+                float(est.heap.size_pages)
+            )
+            reg.gauge(labeled_name("broker.heap.demand_pages", labels)).set(
+                float(est.demand_pages())
+            )
+            reg.gauge(labeled_name("broker.heap.benefit_per_page", labels)).set(
+                est.benefit_per_page()
+            )
+
+    def status(self, audit_tail: int = 8) -> Dict[str, Any]:
+        """The ``/stmm`` broker block: posture, ranking table, audit tail."""
+        return {
+            "posture": self.pressure.posture,
+            "pressure": round(self.pressure.score, 4),
+            "intervals": self.intervals_run,
+            "trades": self.trades_total,
+            "pages_traded": self.pages_traded_total,
+            "free_pages": self.registry.overflow_pages,
+            "total_pages": self.registry.total_pages,
+            "audit_total": self.audit.total_recorded,
+            "heaps": [
+                {
+                    "heap": est.heap_name,
+                    "category": est.heap.category.name,
+                    "tradeable": est.tradeable,
+                    "size_pages": est.heap.size_pages,
+                    "demand_pages": est.demand_pages(),
+                    "benefit_per_page": est.benefit_per_page(),
+                    "rate": est.rate,
+                }
+                for est in sorted(
+                    self.estimators, key=lambda e: e.heap_name
+                )
+            ],
+            "audit": [r.to_dict() for r in self.audit.tail(audit_tail)],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"MemoryBroker({len(self.estimators)} heaps, "
+            f"{self.intervals_run} intervals, {self.trades_total} trades, "
+            f"posture={self.pressure.posture!r})"
+        )
+
+
+__all__ = ["BrokerConfig", "MemoryBroker"]

@@ -1,0 +1,392 @@
+"""Per-heap marginal-benefit estimators for the whole-memory broker.
+
+STMM's arbitration question is "which heap turns the next 128 KB block
+into the most saved time *per second of wall time*".  The heap models
+in :mod:`repro.memory` answer the static half (seconds saved per page
+per *operation*); an estimator multiplies that slope by the live rate
+of the operations the heap serves:
+
+    benefit_per_page [s/page/s] = model slope [s/page/op] * rate [op/s]
+
+Each estimator also reports a *demand* -- the page count at which its
+heap stops being hungry -- which feeds both the receiver selection
+(a heap at or above demand never receives) and the aggregate
+memory-pressure score (sum of demands vs. the budget).
+
+Rates come in two shapes.  Tests and scripted scenarios pass plain
+floats or zero-argument callables (:func:`as_rate` normalizes both);
+the live stack wraps cumulative counters in a :class:`RateMeter`,
+which differentiates the counter against the service clock on each
+``observe`` pass.
+
+The LOCKLIST estimator is deliberately *signal-only*: the paper's
+``LockMemoryController`` keeps final say over lock memory, so the
+broker never trades LOCKLIST pages -- but lock memory's demand and its
+escalation-pressure benefit still participate in the ranking shown on
+``/stmm`` and in the pressure score, exactly as DB2 reports FMC
+consumers beside the PMC set.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Union
+
+from repro.memory.bufferpool import BufferpoolModel
+from repro.memory.hashjoin import HashJoinModel
+from repro.memory.heaps import MemoryHeap
+from repro.memory.pkgcache import PackageCacheModel
+from repro.memory.sortheap import SortHeapModel
+
+RateSource = Union[float, int, Callable[[], float]]
+
+
+def as_rate(source: RateSource) -> Callable[[], float]:
+    """Normalize a rate knob: constants and callables both work."""
+    if callable(source):
+        return source
+    value = float(source)
+    if value < 0:
+        raise ValueError(f"rate must be non-negative, got {value}")
+    return lambda: value
+
+
+class RateMeter:
+    """Differentiates a cumulative counter into an events/s rate.
+
+    ``total`` is a zero-argument callable returning a monotonically
+    non-decreasing count (e.g. ``lambda: stats.escalations``).  Each
+    :meth:`sample` returns the average rate since the previous sample;
+    the first sample returns 0.0 (no interval to average over).
+    Thread-safe: the tuner thread samples while HTTP handlers read the
+    estimator state built from it.
+    """
+
+    def __init__(self, total: Callable[[], float]) -> None:
+        self._total = total
+        self._lock = threading.Lock()
+        self._last_total: Optional[float] = None
+        self._last_time: Optional[float] = None
+
+    def sample(self, now: float) -> float:
+        with self._lock:
+            current = float(self._total())
+            if self._last_time is None or now <= self._last_time:
+                rate = 0.0
+            else:
+                rate = max(0.0, current - self._last_total) / (
+                    now - self._last_time
+                )
+            self._last_total = current
+            self._last_time = now
+            return rate
+
+
+class BenefitEstimator:
+    """Base estimator: a heap, its live rate, and a benefit slope.
+
+    Subclasses implement :meth:`_slope` (seconds saved per page per
+    operation at the current size) and :meth:`demand_pages`.  The
+    broker calls :meth:`observe` once per interval *before* ranking so
+    every heap is judged against the same instant.
+    """
+
+    #: False for heaps the broker must never trade (FMC / LOCKLIST).
+    tradeable = True
+
+    def __init__(self, heap: MemoryHeap, rate: RateSource) -> None:
+        self.heap = heap
+        if isinstance(rate, RateMeter):
+            self._meter: Optional[RateMeter] = rate
+            self._rate_fn: Callable[[], float] = lambda: 0.0
+        else:
+            self._meter = None
+            self._rate_fn = as_rate(rate)
+        #: Rate captured by the last ``observe`` pass (op/s).
+        self.rate = 0.0
+        #: Benefit captured by the last ``observe`` pass (s/page/s).
+        self.benefit = 0.0
+
+    @property
+    def heap_name(self) -> str:
+        return self.heap.name
+
+    def observe(self, now: float) -> None:
+        """Refresh ``rate`` and ``benefit`` for this instant."""
+        if self._meter is not None:
+            self.rate = self._meter.sample(now)
+        else:
+            self.rate = max(0.0, float(self._rate_fn()))
+        self.benefit = self._slope() * self.rate
+
+    def benefit_per_page(self) -> float:
+        """Seconds of work saved per extra page per second of wall time."""
+        return self.benefit
+
+    def _slope(self) -> float:
+        raise NotImplementedError
+
+    def demand_pages(self) -> int:
+        """Pages at which this heap stops being a hungry receiver."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}({self.heap_name!r}, "
+            f"size={self.heap.size_pages}, demand={self.demand_pages()}, "
+            f"benefit={self.benefit:.3g})"
+        )
+
+
+class BufferpoolEstimator(BenefitEstimator):
+    """Hit-rate-curve slope x page-access rate.
+
+    Demand is the pool size at which the hit ratio reaches
+    ``demand_fraction`` of its asymptote: for the hyperbolic curve
+    ``hit = max_hit * s / (s + h)`` that is ``s = h * f / (1 - f)``.
+    """
+
+    def __init__(
+        self,
+        heap: MemoryHeap,
+        model: BufferpoolModel,
+        page_access_rate: RateSource,
+        demand_fraction: float = 0.75,
+    ) -> None:
+        super().__init__(heap, page_access_rate)
+        if not 0.0 < demand_fraction < 1.0:
+            raise ValueError(
+                f"demand_fraction must be in (0, 1), got {demand_fraction}"
+            )
+        self.model = model
+        self.demand_fraction = demand_fraction
+
+    def _slope(self) -> float:
+        return self.model.marginal_benefit(self.heap.size_pages)
+
+    def demand_pages(self) -> int:
+        f = self.demand_fraction
+        return int(self.model.half_saturation_pages * f / (1.0 - f))
+
+
+class SortHeapEstimator(BenefitEstimator):
+    """Spill-cost delta x sort rate; demand = fit the typical sort."""
+
+    def __init__(
+        self,
+        heap: MemoryHeap,
+        model: SortHeapModel,
+        sort_rate: RateSource,
+        typical_sort_rows: RateSource,
+    ) -> None:
+        super().__init__(heap, sort_rate)
+        self.model = model
+        self._typical_rows = as_rate(typical_sort_rows)
+
+    @property
+    def typical_sort_rows(self) -> int:
+        return int(self._typical_rows())
+
+    def _slope(self) -> float:
+        return self.model.marginal_benefit(
+            self.heap.size_pages, self.typical_sort_rows
+        )
+
+    def demand_pages(self) -> int:
+        return self.model.data_pages(self.typical_sort_rows)
+
+
+class HashJoinEstimator(BenefitEstimator):
+    """Partitioning-cost delta x join rate; demand = fit the build side."""
+
+    def __init__(
+        self,
+        heap: MemoryHeap,
+        model: HashJoinModel,
+        join_rate: RateSource,
+        typical_build_rows: RateSource,
+    ) -> None:
+        super().__init__(heap, join_rate)
+        self.model = model
+        self._typical_rows = as_rate(typical_build_rows)
+
+    @property
+    def typical_build_rows(self) -> int:
+        return int(self._typical_rows())
+
+    def _slope(self) -> float:
+        return self.model.marginal_benefit(
+            self.heap.size_pages, self.typical_build_rows
+        )
+
+    def demand_pages(self) -> int:
+        return self.model.build_pages(self.typical_build_rows)
+
+
+class PackageCacheEstimator(BenefitEstimator):
+    """Recompile-cost delta x statement rate; demand = cache everything."""
+
+    def __init__(
+        self,
+        heap: MemoryHeap,
+        model: PackageCacheModel,
+        statement_rate: RateSource,
+    ) -> None:
+        super().__init__(heap, statement_rate)
+        self.model = model
+
+    def _slope(self) -> float:
+        return self.model.marginal_benefit(self.heap.size_pages)
+
+    def demand_pages(self) -> int:
+        return self.model.distinct_statements * self.model.pages_per_statement
+
+
+class LockListEstimator(BenefitEstimator):
+    """Signal-only LOCKLIST estimator: escalation pressure + free band.
+
+    ``tradeable`` is False -- the paper's controller owns every LOCKLIST
+    resize -- but the estimator still reports:
+
+    * *demand*: the pages needed to keep ``min_free_fraction`` of the
+      list free at the current usage (the paper's grow trigger solved
+      for size: ``used / (1 - minFree)``),
+    * *benefit*: escalation rate times the cost of one escalation's
+      concurrency damage, spread over the current size.  Zero
+      escalations inside the free band means zero benefit (a satisfied
+      consumer); any escalation makes lock memory the neediest heap on
+      the board, which is exactly the paper's premise.
+    """
+
+    tradeable = False
+
+    def __init__(
+        self,
+        heap: MemoryHeap,
+        used_pages: Callable[[], float],
+        escalation_rate: RateSource,
+        min_free_fraction: float = 0.50,
+        escalation_cost_s: float = 0.25,
+    ) -> None:
+        super().__init__(heap, escalation_rate)
+        if not 0.0 <= min_free_fraction < 1.0:
+            raise ValueError(
+                f"min_free_fraction must be in [0, 1), got {min_free_fraction}"
+            )
+        self._used_pages = used_pages
+        self.min_free_fraction = min_free_fraction
+        self.escalation_cost_s = escalation_cost_s
+
+    def _slope(self) -> float:
+        return self.escalation_cost_s / max(1, self.heap.size_pages)
+
+    def demand_pages(self) -> int:
+        used = max(0.0, float(self._used_pages()))
+        needed = used / (1.0 - self.min_free_fraction)
+        return max(self.heap.size_pages, int(-(-needed // 1)))
+
+
+@dataclass
+class WorkloadProfile:
+    """The operation rates and characteristic sizes the broker assumes.
+
+    The live lock service generates real lock traffic but no real
+    sorts, joins or statement compiles, so those consumers' rates are
+    configuration describing the surrounding (modelled) workload --
+    the same role the scenario knobs play in the DES experiments.  Any
+    field also accepts a zero-argument callable for scripted demand
+    sequences.
+    """
+
+    page_access_rate: RateSource = 2_000.0
+    sort_rate: RateSource = 10.0
+    typical_sort_rows: RateSource = 50_000
+    join_rate: RateSource = 5.0
+    typical_build_rows: RateSource = 20_000
+    statement_rate: RateSource = 200.0
+
+
+def default_estimators(
+    registry,
+    profile: WorkloadProfile,
+    *,
+    bufferpool_model: Optional[BufferpoolModel] = None,
+    sort_model: Optional[SortHeapModel] = None,
+    hashjoin_model: Optional[HashJoinModel] = None,
+    pkgcache_model: Optional[PackageCacheModel] = None,
+    locklist_used_pages: Optional[Callable[[], float]] = None,
+    locklist_escalation_rate: RateSource = 0.0,
+    locklist_min_free_fraction: float = 0.50,
+) -> List[BenefitEstimator]:
+    """Build the standard estimator set over a service registry.
+
+    Only heaps that exist in ``registry`` get estimators, so the same
+    function serves full broker stacks and reduced test registries.
+    The bufferpool model's half-saturation defaults to 1/8 of the
+    budget: the stock 50k-page default assumes a standalone DES
+    experiment and would make the bufferpool insatiable relative to a
+    16k-page service budget, permanently pinning the pressure score
+    above 1.
+    """
+    heap_names = set(registry.snapshot()) - {"overflow"}
+    estimators: List[BenefitEstimator] = []
+    if "bufferpool" in heap_names:
+        model = bufferpool_model or BufferpoolModel(
+            half_saturation_pages=max(1, registry.total_pages // 8)
+        )
+        estimators.append(
+            BufferpoolEstimator(
+                registry.heap("bufferpool"), model, profile.page_access_rate
+            )
+        )
+    if "sortheap" in heap_names:
+        estimators.append(
+            SortHeapEstimator(
+                registry.heap("sortheap"),
+                sort_model or SortHeapModel(),
+                profile.sort_rate,
+                profile.typical_sort_rows,
+            )
+        )
+    if "hashjoin" in heap_names:
+        estimators.append(
+            HashJoinEstimator(
+                registry.heap("hashjoin"),
+                hashjoin_model or HashJoinModel(),
+                profile.join_rate,
+                profile.typical_build_rows,
+            )
+        )
+    if "pkgcache" in heap_names:
+        estimators.append(
+            PackageCacheEstimator(
+                registry.heap("pkgcache"),
+                pkgcache_model or PackageCacheModel(),
+                profile.statement_rate,
+            )
+        )
+    if "locklist" in heap_names and locklist_used_pages is not None:
+        estimators.append(
+            LockListEstimator(
+                registry.heap("locklist"),
+                locklist_used_pages,
+                locklist_escalation_rate,
+                min_free_fraction=locklist_min_free_fraction,
+            )
+        )
+    return estimators
+
+
+__all__ = [
+    "BenefitEstimator",
+    "BufferpoolEstimator",
+    "HashJoinEstimator",
+    "LockListEstimator",
+    "PackageCacheEstimator",
+    "RateMeter",
+    "SortHeapEstimator",
+    "WorkloadProfile",
+    "as_rate",
+    "default_estimators",
+]

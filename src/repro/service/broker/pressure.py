@@ -1,0 +1,185 @@
+"""Memory-pressure admission postures: throttle before the OS pages.
+
+Baryshnikov et al. (PAPERS.md, "Managing Query Compilation Memory
+Consumption") keep SQL Server stable under compile-memory pressure by
+gating *admission* rather than letting every request fight for an
+oversubscribed budget.  This module is that gateway for the lock
+service: a pressure score (aggregate heap demand / ``DATABASE_MEMORY``)
+drives a four-posture state machine over the existing
+:class:`~repro.service.admission.AdmissionController`:
+
+======== =====================================================
+posture  admission effect (relative to the configured limits)
+======== =====================================================
+normal   base ``max_in_flight`` / ``max_queue_depth``
+throttle in-flight halved -- latecomers queue more often
+queue    in-flight quartered -- most work parks in the queue
+shed     in-flight quartered *and* queue closed -- excess work
+         is rejected immediately with a retry hint
+======== =====================================================
+
+Escalation moves one posture per interval toward whatever the score
+demands (a surge starts biting immediately but the ladder is always
+walked, so every elevated posture leaves its audit record); release is
+hysteretic: the score must sit below a posture's entry threshold minus
+``release_margin`` for ``release_intervals`` consecutive intervals to
+step *one* posture down.  That asymmetry is what keeps the posture
+from flapping when demand oscillates around a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Posture names, mildest first.  Index order is escalation order.
+POSTURES = ("normal", "throttle", "queue", "shed")
+
+#: max_in_flight divisor per posture (queue handling is separate).
+_IN_FLIGHT_DIVISOR = {"normal": 1, "throttle": 2, "queue": 4, "shed": 4}
+
+#: Audit reason recorded when *entering* each elevated posture.
+ENTER_REASONS = {
+    "throttle": "pressure-throttle",
+    "queue": "pressure-queue",
+    "shed": "pressure-shed",
+}
+
+
+@dataclass
+class PressureConfig:
+    """Entry thresholds and hysteresis for the posture state machine.
+
+    A score of 1.0 means aggregate demand exactly fills the budget;
+    the defaults start throttling just past that point and shed only
+    when demand would need half again the budget.
+    """
+
+    throttle_enter: float = 1.05
+    queue_enter: float = 1.25
+    shed_enter: float = 1.50
+    #: Score must drop this far below a posture's entry threshold ...
+    release_margin: float = 0.05
+    #: ... for this many consecutive intervals to step down one posture.
+    release_intervals: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.throttle_enter <= self.queue_enter <= self.shed_enter:
+            raise ValueError(
+                "posture thresholds must satisfy 0 < throttle <= queue <= shed, "
+                f"got {self.throttle_enter}/{self.queue_enter}/{self.shed_enter}"
+            )
+        if self.release_margin < 0:
+            raise ValueError(
+                f"release_margin must be non-negative, got {self.release_margin}"
+            )
+        if self.release_intervals < 1:
+            raise ValueError(
+                f"release_intervals must be >= 1, got {self.release_intervals}"
+            )
+
+    def target_posture(self, score: float) -> str:
+        """The posture the score demands, ignoring hysteresis."""
+        if score >= self.shed_enter:
+            return "shed"
+        if score >= self.queue_enter:
+            return "queue"
+        if score >= self.throttle_enter:
+            return "throttle"
+        return "normal"
+
+
+class PressureMonitor:
+    """Applies the posture state machine to an admission controller.
+
+    The base limits are captured at construction; every posture is
+    expressed relative to them, so operators reason about one pair of
+    knobs.  ``admission`` may be None (a broker built without a
+    service, e.g. in unit tests of the trading pass alone) -- the
+    state machine still runs, it just has nothing to actuate.
+    """
+
+    def __init__(self, admission=None, config: Optional[PressureConfig] = None) -> None:
+        self.admission = admission
+        self.config = config or PressureConfig()
+        self.posture = "normal"
+        #: Last score fed to :meth:`update`.
+        self.score = 0.0
+        self._calm_streak = 0
+        if admission is not None:
+            self.base_in_flight = admission.max_in_flight
+            self.base_queue_depth = admission.max_queue_depth
+        else:
+            self.base_in_flight = 0
+            self.base_queue_depth = 0
+
+    def limits_for(self, posture: str) -> Tuple[int, int]:
+        """(max_in_flight, max_queue_depth) this posture imposes."""
+        if posture not in POSTURES:
+            raise ValueError(f"unknown posture {posture!r}")
+        in_flight = max(1, self.base_in_flight // _IN_FLIGHT_DIVISOR[posture])
+        queue_depth = 0 if posture == "shed" else self.base_queue_depth
+        return in_flight, queue_depth
+
+    def update(self, score: float) -> Optional[Tuple[str, str, str]]:
+        """Feed one interval's pressure score through the state machine.
+
+        Returns ``(old_posture, new_posture, audit_reason)`` when the
+        posture changed, else None.  At most one transition happens per
+        interval: escalation climbs one rung toward the demanded
+        posture (so a sudden shed-level surge still records the
+        throttle and queue entries on its way up), release steps down
+        one rung after the hysteresis streak.
+        """
+        self.score = score = float(score)
+        current_idx = POSTURES.index(self.posture)
+        target = self.config.target_posture(score)
+        target_idx = POSTURES.index(target)
+
+        if target_idx > current_idx:
+            old = self.posture
+            new = POSTURES[current_idx + 1]
+            self.posture = new
+            self._calm_streak = 0
+            self._apply()
+            return (old, new, ENTER_REASONS[new])
+
+        if current_idx > 0:
+            # Release hysteresis: judged against the threshold that put
+            # us in the *current* posture, with margin.
+            enter_threshold = (
+                self.config.throttle_enter,
+                self.config.queue_enter,
+                self.config.shed_enter,
+            )[current_idx - 1]
+            if score < enter_threshold - self.config.release_margin:
+                self._calm_streak += 1
+            else:
+                self._calm_streak = 0
+            if self._calm_streak >= self.config.release_intervals:
+                old = self.posture
+                self.posture = POSTURES[current_idx - 1]
+                self._calm_streak = 0
+                self._apply()
+                return (old, self.posture, "pressure-release")
+        else:
+            self._calm_streak = 0
+        return None
+
+    def _apply(self) -> None:
+        if self.admission is None:
+            return
+        in_flight, queue_depth = self.limits_for(self.posture)
+        self.admission.set_limits(
+            max_in_flight=in_flight, max_queue_depth=queue_depth
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PressureMonitor(posture={self.posture!r}, "
+            f"score={self.score:.3f}, base={self.base_in_flight}/"
+            f"{self.base_queue_depth})"
+        )
+
+
+__all__ = ["ENTER_REASONS", "POSTURES", "PressureConfig", "PressureMonitor"]

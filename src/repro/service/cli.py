@@ -77,13 +77,14 @@ def _add_load_args(parser: argparse.ArgumentParser) -> None:
         "--requests",
         type=int,
         default=2_000,
-        help="lock requests per thread (default 2000)",
+        help="lock requests per thread (default 2000; 0 = unbounded, "
+        "requires --duration)",
     )
     parser.add_argument(
         "--duration",
         type=float,
         default=None,
-        help="optional wall-clock cap in seconds",
+        help="wall-clock cap in seconds (required with --requests 0)",
     )
     parser.add_argument(
         "--locklist-pages",
@@ -131,6 +132,13 @@ def _add_load_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="enable the wait-event profiler (wait-class histograms, "
         "blocker attribution, latch statistics; off by default)",
+    )
+    parser.add_argument(
+        "--broker",
+        action="store_true",
+        help="enable the whole-memory broker: register sortheap/"
+        "hashjoin/pkgcache heaps, trade 128 KB blocks by marginal "
+        "benefit, drive admission postures from memory pressure",
     )
     parser.add_argument(
         "--telemetry",
@@ -183,7 +191,24 @@ def _is_remote_target(path: str) -> bool:
     )
 
 
+def _requests_per_thread(args: argparse.Namespace) -> Optional[int]:
+    """``--requests 0`` means unbounded (duration-gated) load.
+
+    The driver refuses the unbounded/uncapped combination itself, but
+    catching it here turns a traceback into a usage error.
+    """
+    if args.requests > 0:
+        return args.requests
+    if args.duration is None:
+        raise SystemExit(
+            f"{sys.argv[0] if sys.argv else 'repro-service'}: "
+            "--requests 0 (unbounded) requires --duration"
+        )
+    return None
+
+
 def _build_stack(args: argparse.Namespace) -> AnyStack:
+    broker = getattr(args, "broker", False)
     if args.shards > 0:
         return ShardedServiceStack(
             ShardedServiceConfig(
@@ -197,6 +222,7 @@ def _build_stack(args: argparse.Namespace) -> AnyStack:
                 ops_port=args.ops_port,
                 span_sample_every=args.span_sample,
                 wait_profile=args.wait_profile,
+                broker=broker,
             )
         )
     config = ServiceConfig(
@@ -209,6 +235,7 @@ def _build_stack(args: argparse.Namespace) -> AnyStack:
         ops_port=args.ops_port,
         span_sample_every=args.span_sample,
         wait_profile=args.wait_profile,
+        broker=broker,
     )
     return ServiceStack(config)
 
@@ -235,7 +262,7 @@ def _run_load(
     driver = LoadDriver(
         stack,
         threads=args.threads,
-        requests_per_thread=args.requests,
+        requests_per_thread=_requests_per_thread(args),
         duration_s=args.duration,
         seed=args.seed,
     )
@@ -264,6 +291,21 @@ def _print_report(stack: AnyStack, report: DriverReport) -> None:
         f"{stats.sync_growth_blocks} blocks grown synchronously, "
         f"{stats.escalations.count} escalations"
     )
+    broker = getattr(stack, "broker", None)
+    if broker is not None:
+        status = broker.status(audit_tail=0)
+        print(
+            f"broker:             {status['trades']} trades "
+            f"({status['pages_traded']} pages), posture "
+            f"{status['posture']}, pressure {status['pressure']:.2f}, "
+            f"free {status['free_pages']} pages"
+        )
+        for heap in status["heaps"]:
+            print(
+                f"  {heap['heap']:<10} {heap['size_pages']:>6}p "
+                f"demand {heap['demand_pages']:>6}p "
+                f"benefit {heap['benefit_per_page']:.2e}/page"
+            )
     _print_shard_breakdown(stack)
 
 
@@ -383,7 +425,7 @@ def _net_stress_pool(args: argparse.Namespace) -> int:
             driver = LoadDriver(
                 client,
                 threads=args.threads,
-                requests_per_thread=args.requests,
+                requests_per_thread=_requests_per_thread(args),
                 duration_s=args.duration,
                 seed=args.seed,
             )
@@ -444,7 +486,7 @@ def _net_stress_single(args: argparse.Namespace) -> int:
                 driver = LoadDriver(
                     client,
                     threads=args.threads,
-                    requests_per_thread=args.requests,
+                    requests_per_thread=_requests_per_thread(args),
                     duration_s=args.duration,
                     seed=args.seed,
                 )
@@ -668,6 +710,22 @@ def _analyze_remote(args: argparse.Namespace) -> int:
         print("posture:")
         for key in sorted(posture):
             print(f"  {key}: {posture[key]}")
+    broker = stmm.get("broker")
+    if broker:
+        print(
+            f"broker:    posture {broker.get('posture', '?')}, pressure "
+            f"{broker.get('pressure', 0.0):.2f}, "
+            f"{broker.get('trades', 0)} trades "
+            f"({broker.get('pages_traded', 0)} pages), free "
+            f"{broker.get('free_pages', 0)} pages"
+        )
+        for heap in broker.get("heaps", []):
+            print(
+                f"  {heap.get('heap', '?'):<10} "
+                f"{heap.get('size_pages', 0):>6}p "
+                f"demand {heap.get('demand_pages', 0):>6}p "
+                f"benefit {heap.get('benefit_per_page', 0.0):.2e}/page"
+            )
     print(
         f"tuning:    {stmm.get('intervals', 0)} intervals "
         f"({stmm.get('audit_total', 0)} audit records)"

@@ -53,6 +53,7 @@ unsharded stack's accounting exactly (asserted by the property tests).
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import threading
 from contextlib import contextmanager
@@ -88,6 +89,7 @@ from repro.service.ops import OpsServer
 from repro.service.service import LockService, ServiceStats, _USE_DEFAULT
 from repro.service.stack import (
     ServiceConfig,
+    build_broker,
     build_memory_registry,
     controller_params,
     wait_class_payload,
@@ -674,7 +676,11 @@ class ShardedServiceStack:
         self.controller.on_resize = self.service.refresh_all_maxlocks
         self.service.borrow_return = self.controller.reclaim_transient_blocks
 
-        self.stmm = Stmm(self.registry, cfg.stmm)
+        stmm_cfg = cfg.stmm
+        if cfg.broker and stmm_cfg.pmc_rebalance_fraction:
+            # Mirror ServiceStack: PMC movement is the broker's job.
+            stmm_cfg = dataclasses.replace(stmm_cfg, pmc_rebalance_fraction=0.0)
+        self.stmm = Stmm(self.registry, stmm_cfg)
         self.stmm.register_deterministic_tuner(self.controller)
         self.tuner = TunerDaemon(
             self.service,
@@ -692,6 +698,17 @@ class ShardedServiceStack:
             cfg.admission_queue_depth,
             clock=self.clock,
         )
+        self.broker = None
+        if cfg.broker:
+            self.broker = build_broker(
+                cfg,
+                self.registry,
+                self.admission,
+                used_pages=self.controller.used_pages,
+                escalations=self.ledger.total_escalations,
+                metrics=self.metrics,
+            )
+            self.tuner.broker = self.broker
         if cfg.span_sample_every > 0 and self.metrics is not None:
             for idx, shard in enumerate(self.service.shards):
                 shard.span_sampler = RequestSpanSampler(
@@ -844,6 +861,8 @@ class ShardedServiceStack:
         reg.gauge("service.admission.queue_depth").set(
             float(self.admission.queue_depth())
         )
+        if self.broker is not None:
+            self.broker.publish_metrics()
         for prof in self.wait_profilers:
             latch = prof.latch
             labels = prof.labels
@@ -907,6 +926,9 @@ class ShardedServiceStack:
             "incident_total": self.incidents.total_recorded,
             "wait_classes": wait_class_payload(self.wait_profilers),
             "spans": spans,
+            "broker": (
+                None if self.broker is None else self.broker.status()
+            ),
         }
 
     def ops_incidents(self) -> dict:

@@ -18,7 +18,7 @@ memory algorithm of the paper interacts with.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.core.controller import LockMemoryController
@@ -35,6 +35,13 @@ from repro.obs.registry import MetricRegistry
 from repro.obs.spans import RequestSpanSampler
 from repro.obs.waits import WaitEventProfiler, merged_class_totals
 from repro.service.admission import AdmissionController
+from repro.service.broker import (
+    BrokerConfig,
+    MemoryBroker,
+    RateMeter,
+    WorkloadProfile,
+    default_estimators,
+)
 from repro.service.clock import Clock, MonotonicClock
 from repro.service.ops import OpsServer
 from repro.service.service import LockService
@@ -86,6 +93,22 @@ class ServiceConfig:
     wait_ring_capacity: int = 512
     #: Ring-buffer bound of the incident forensics log.
     incident_capacity: int = 128
+    #: Enable the whole-memory broker: sort/hashjoin/pkgcache heaps join
+    #: the registry, benefit-driven block trading runs each tuning pass,
+    #: and memory pressure drives the admission posture state machine.
+    broker: bool = False
+    #: Starting shares of databaseMemory for the brokered PMC heaps
+    #: (only used when ``broker`` is on; bufferpool_fraction above is
+    #: the fourth).  Each is floored at one 128 KB block.
+    sortheap_fraction: float = 0.06
+    hashjoin_fraction: float = 0.04
+    pkgcache_fraction: float = 0.05
+    #: Broker knobs (None = BrokerConfig defaults).
+    broker_config: Optional[BrokerConfig] = None
+    #: The modelled workload rates the estimators assume (None =
+    #: WorkloadProfile defaults; fields accept callables for scripted
+    #: demand sequences).
+    broker_profile: Optional[WorkloadProfile] = None
 
     def __post_init__(self) -> None:
         if self.initial_locklist_pages < PAGES_PER_BLOCK:
@@ -95,7 +118,22 @@ class ServiceConfig:
             )
         locklist = round_pages_to_blocks(self.initial_locklist_pages)
         bufferpool = int(self.bufferpool_fraction * self.total_memory_pages)
-        if locklist + bufferpool >= self.total_memory_pages:
+        initial = locklist + bufferpool
+        if self.broker:
+            for fraction in (
+                self.sortheap_fraction,
+                self.hashjoin_fraction,
+                self.pkgcache_fraction,
+            ):
+                if fraction < 0:
+                    raise ConfigurationError(
+                        f"broker heap fractions must be non-negative, "
+                        f"got {fraction}"
+                    )
+                initial += max(
+                    PAGES_PER_BLOCK, int(fraction * self.total_memory_pages)
+                )
+        if initial >= self.total_memory_pages:
             raise ConfigurationError(
                 "initial heaps oversubscribe database memory"
             )
@@ -158,7 +196,59 @@ def build_memory_registry(cfg: ServiceConfig) -> DatabaseMemoryRegistry:
             min_pages=0,
         )
     )
+    if getattr(cfg, "broker", False):
+        # The remaining PMC consumers the paper's section 2.1 names;
+        # each keeps at least one block so it can always re-enter the
+        # trading ranking as a receiver.
+        for name, fraction in (
+            ("sortheap", cfg.sortheap_fraction),
+            ("hashjoin", cfg.hashjoin_fraction),
+            ("pkgcache", cfg.pkgcache_fraction),
+        ):
+            registry.register(
+                MemoryHeap(
+                    name,
+                    HeapCategory.PMC,
+                    size_pages=max(
+                        PAGES_PER_BLOCK, int(fraction * cfg.total_memory_pages)
+                    ),
+                    min_pages=PAGES_PER_BLOCK,
+                )
+            )
     return registry
+
+
+def build_broker(
+    cfg: ServiceConfig,
+    registry: DatabaseMemoryRegistry,
+    admission: AdmissionController,
+    *,
+    used_pages,
+    escalations,
+    metrics=None,
+) -> MemoryBroker:
+    """Assemble the whole-memory broker over a built registry.
+
+    Shared by the unsharded and sharded stacks: both hand in their
+    registry, their admission front door and two live LOCKLIST signals
+    (used pages and the cumulative escalation count, differentiated
+    into a rate by a :class:`RateMeter`).
+    """
+    profile = cfg.broker_profile or WorkloadProfile()
+    estimators = default_estimators(
+        registry,
+        profile,
+        locklist_used_pages=used_pages,
+        locklist_escalation_rate=RateMeter(escalations),
+        locklist_min_free_fraction=cfg.params.min_free_fraction,
+    )
+    return MemoryBroker(
+        registry,
+        estimators,
+        admission=admission,
+        config=cfg.broker_config,
+        metrics=metrics,
+    )
 
 
 def controller_params(cfg, tuner) -> dict:
@@ -249,7 +339,13 @@ class ServiceStack:
         self.controller.on_resize = manager.refresh_maxlocks
         self.service.borrow_return = self.controller.reclaim_transient_blocks
 
-        self.stmm = Stmm(self.registry, cfg.stmm)
+        stmm_cfg = cfg.stmm
+        if cfg.broker and stmm_cfg.pmc_rebalance_fraction:
+            # All PMC movement goes through the broker's audited
+            # trading pass; STMM's unaudited 2% rebalance would fight
+            # it (and leave page moves with no trade-benefit record).
+            stmm_cfg = replace(stmm_cfg, pmc_rebalance_fraction=0.0)
+        self.stmm = Stmm(self.registry, stmm_cfg)
         self.stmm.register_deterministic_tuner(self.controller)
         self.tuner = TunerDaemon(
             self.service,
@@ -264,6 +360,17 @@ class ServiceStack:
             cfg.admission_queue_depth,
             clock=self.clock,
         )
+        self.broker: Optional[MemoryBroker] = None
+        if cfg.broker:
+            self.broker = build_broker(
+                cfg,
+                self.registry,
+                self.admission,
+                used_pages=self.controller.used_pages,
+                escalations=lambda: self.service.manager.stats.escalations.count,
+                metrics=self.metrics,
+            )
+            self.tuner.broker = self.broker
         if cfg.span_sample_every > 0 and self.metrics is not None:
             self.service.span_sampler = RequestSpanSampler(
                 cfg.span_sample_every,
@@ -373,6 +480,8 @@ class ServiceStack:
         reg.gauge("service.admission.queue_depth").set(
             float(self.admission.queue_depth())
         )
+        if self.broker is not None:
+            self.broker.publish_metrics()
         for prof in self.wait_profilers:
             latch = prof.latch
             labels = prof.labels
@@ -419,6 +528,9 @@ class ServiceStack:
             "wait_classes": wait_class_payload(self.wait_profilers),
             "spans": (
                 [] if sampler is None else sampler.finished_dicts(limit=64)
+            ),
+            "broker": (
+                None if self.broker is None else self.broker.status()
             ),
         }
 

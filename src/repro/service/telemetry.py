@@ -41,6 +41,7 @@ def service_telemetry(stack: "AnyStack", label: str = "service") -> RunTelemetry
         waits.extend(profiler.to_dicts())
     waits.sort(key=lambda w: w["t"])
     incident_log = getattr(stack, "incidents", None)
+    broker = getattr(stack, "broker", None)
     telemetry = RunTelemetry(
         label=label,
         decisions=list(stack.controller.decisions),
@@ -48,6 +49,7 @@ def service_telemetry(stack: "AnyStack", label: str = "service") -> RunTelemetry
         audit=stack.tuner.audit.records(),
         waits=waits,
         incidents=[] if incident_log is None else incident_log.records(),
+        broker=[] if broker is None else broker.audit.records(),
     )
     return telemetry
 

@@ -11,7 +11,9 @@ and redraws one console frame per poll:
 * the LOCKLIST posture: pages, free fraction against the tuner's
   [minFree, maxFree] band, MAXLOCKS, and the incident count;
 * the tail of the STMM audit log -- the last few intervals' chosen
-  actions in the machine-readable reason vocabulary.
+  actions in the machine-readable reason vocabulary;
+* when the whole-memory broker is enabled, the per-heap table (size,
+  demand, marginal benefit per page) and the pressure posture.
 
 Series that a given run does not publish (span sampling off: no latency
 histogram; profiler off: no wait series) render as ``-`` rather than a
@@ -294,6 +296,30 @@ def render_frame(
             f"{free_str}"
         )
 
+    broker = stmm.get("broker")
+    if broker:
+        lines.append("")
+        lines.append(
+            f"broker: posture {broker.get('posture', '?')} | pressure "
+            f"{broker.get('pressure', 0.0):.2f} | "
+            f"{broker.get('trades', 0)} trades "
+            f"({broker.get('pages_traded', 0)}p) | free "
+            f"{broker.get('free_pages', 0)}p"
+        )
+        lines.append(
+            f"{'heap':>10} {'pages':>7} {'demand':>7} {'benefit/p':>10} "
+            f"{'rate':>9} {'tradeable':>9}"
+        )
+        for heap in broker.get("heaps", []):
+            lines.append(
+                f"{heap.get('heap', '?'):>10} "
+                f"{heap.get('size_pages', 0):>7} "
+                f"{heap.get('demand_pages', 0):>7} "
+                f"{heap.get('benefit_per_page', 0.0):>10.2e} "
+                f"{heap.get('rate', 0.0):>9.1f} "
+                f"{'yes' if heap.get('tradeable') else 'no':>9}"
+            )
+
     audit = stmm.get("audit", [])
     if audit:
         lines.append("")
@@ -329,6 +355,7 @@ def frame_dict(
         "audit_total": stmm.get("audit_total"),
         "incident_total": stmm.get("incident_total"),
         "wait_classes": stmm.get("wait_classes"),
+        "broker": stmm.get("broker"),
         "shards": [
             shard_summary(
                 metrics, shard, prev_metrics=prev_metrics, elapsed_s=elapsed_s

@@ -89,6 +89,12 @@ class TunerDaemon:
         #: then captures a ``tuner-freeze`` incident beside the audit
         #: ring's terminal ``freeze`` entry.
         self.incidents = None
+        #: Optional repro.service.broker.MemoryBroker; when set, each
+        #: pass runs the whole-memory arbitration right after the STMM
+        #: pass, still under the service mutex.  A broker failure rides
+        #: the same crash -> freeze_tuning degraded path as an STMM
+        #: failure: arbitration stops, lock service continues.
+        self.broker = None
         self.reports: List[IntervalReport] = []
         self.intervals_run = 0
         self.crash: Optional[BaseException] = None
@@ -186,6 +192,8 @@ class TunerDaemon:
                 self._m_lock_pages.set(service.chain.allocated_pages)
             if controller is not None:
                 self._record_audit(report, decisions_before)
+            if self.broker is not None:
+                self.broker.run_interval(service.clock.now())
             return report
 
     # -- the audit trail ---------------------------------------------------

@@ -178,6 +178,75 @@ class TestDonorsReceivers:
         assert registry.reclaim_from_donors(500) == 100
 
 
+class TestShortfallPaths:
+    """Under-budget shortfalls: exact clip amounts and strict raises."""
+
+    def test_transfer_shortfall_raises_without_partial(self):
+        registry = make_registry()
+        registry.register(MemoryHeap("a", HeapCategory.PMC, 500, min_pages=400))
+        registry.register(MemoryHeap("b", HeapCategory.PMC, 100))
+        with pytest.raises(MemoryAccountingError, match="transfer"):
+            registry.transfer("a", "b", 300)
+        # the failed transfer moved nothing
+        assert registry.heap("a").size_pages == 500
+        assert registry.heap("b").size_pages == 100
+
+    def test_transfer_clips_on_receiver_max(self):
+        registry = make_registry()
+        registry.register(MemoryHeap("a", HeapCategory.PMC, 500))
+        registry.register(
+            MemoryHeap("b", HeapCategory.PMC, 100, max_pages=150)
+        )
+        with pytest.raises(MemoryAccountingError):
+            registry.transfer("a", "b", 300)
+        assert registry.transfer("a", "b", 300, partial=True) == 50
+
+    def test_grow_clipped_by_overflow_and_heap_max_together(self):
+        registry = make_registry(total=1_000)
+        registry.register(
+            MemoryHeap("a", HeapCategory.PMC, 900, max_pages=950)
+        )
+        registry.register(MemoryHeap("b", HeapCategory.PMC, 80))
+        # overflow 20, headroom 50: overflow binds
+        assert registry.grow_heap("a", 100, partial=True) == 20
+
+    def test_grow_zero_available_partial_grants_nothing(self):
+        registry = make_registry(total=100, goal=10)
+        registry.register(MemoryHeap("a", HeapCategory.PMC, 100))
+        registry.register(MemoryHeap("b", HeapCategory.PMC, 0))
+        assert registry.grow_heap("b", 10, partial=True) == 0
+        with pytest.raises(MemoryAccountingError):
+            registry.grow_heap("b", 10)
+
+    def test_resize_total_shrink_shortfall(self):
+        registry = make_registry(total=1_000)
+        registry.register(MemoryHeap("a", HeapCategory.PMC, 900))
+        with pytest.raises(MemoryAccountingError, match="databaseMemory"):
+            registry.resize_total(500)
+        # partial releases only the unassigned overflow
+        assert registry.resize_total(500, partial=True) == 900
+        assert registry.overflow_pages == 0
+
+    def test_oversubscription_detected_by_overflow_property(self):
+        registry = make_registry(total=100, goal=10)
+        heap = registry.register(MemoryHeap("a", HeapCategory.PMC, 100))
+        heap._size_pages += 1  # corrupt accounting behind the registry
+        with pytest.raises(MemoryAccountingError, match="oversubscribe"):
+            _ = registry.overflow_pages
+        with pytest.raises(MemoryAccountingError):
+            registry.snapshot()
+
+    def test_reclaim_shortfall_reports_achieved_pages(self):
+        registry = make_registry()
+        registry.register(
+            MemoryHeap("a", HeapCategory.PMC, 1_000, min_pages=950)
+        )
+        registry.register(
+            MemoryHeap("b", HeapCategory.PMC, 500, min_pages=500)
+        )
+        assert registry.reclaim_from_donors(200) == 50
+
+
 class TestInvariant:
     def test_snapshot_sums_to_total(self):
         registry = make_registry()

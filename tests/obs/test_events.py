@@ -257,3 +257,71 @@ class TestSchemaV3WaitsAndIncidents:
         reloaded = RunTelemetry.from_jsonl(path)
         assert reloaded.waits == []
         assert reloaded.incidents == []
+
+
+class TestSchemaV4Broker:
+    """Schema v4: broker audit records ride the stream."""
+
+    def telemetry_with_broker(self):
+        from repro.obs.audit import BrokerAuditRecord
+
+        telemetry = synthetic_telemetry()
+        telemetry.broker = [
+            BrokerAuditRecord(
+                interval=1, time=1.5, reason="trade-benefit",
+                heap_from="sortheap", heap_to="bufferpool", pages=64,
+                benefit_from=0.01, benefit_to=0.25, pressure=0.91,
+                posture="normal", detail="sortheap -> bufferpool: 64 pages",
+            ),
+            BrokerAuditRecord(
+                interval=3, time=3.5, reason="pressure-throttle",
+                heap_from="", heap_to="", pages=0,
+                benefit_from=0.0, benefit_to=0.0, pressure=1.09,
+                posture="throttle",
+                detail="posture normal -> throttle at pressure 1.094",
+            ),
+        ]
+        return telemetry
+
+    def test_broker_records_in_stream_time_ordered(self):
+        records = list(self.telemetry_with_broker().records())
+        broker = [r for r in records if r["kind"] == "broker"]
+        assert [r["reason"] for r in broker] == [
+            "trade-benefit", "pressure-throttle"
+        ]
+        times = [r["t"] for r in records if "t" in r]
+        assert times == sorted(times)
+        for record in records:
+            json.loads(json.dumps(record))
+
+    def test_v4_round_trip_lossless(self, tmp_path):
+        telemetry = self.telemetry_with_broker()
+        path = str(tmp_path / "v4.jsonl")
+        telemetry.write_jsonl(path)
+        reloaded = RunTelemetry.from_jsonl(path)
+        assert reloaded.broker == telemetry.broker
+        assert reloaded.broker[0].heap_to == "bufferpool"
+        assert reloaded.broker[1].posture == "throttle"
+        # The rest of the stream is untouched by the new kind.
+        assert reloaded.decisions == telemetry.decisions
+        assert reloaded.registry.snapshot() == telemetry.registry.snapshot()
+
+    def test_v3_stream_without_broker_still_loads(self, tmp_path):
+        telemetry = synthetic_telemetry()
+        path = str(tmp_path / "v3ish.jsonl")
+        telemetry.write_jsonl(path)
+        reloaded = RunTelemetry.from_jsonl(path)
+        assert reloaded.broker == []
+
+    @pytest.mark.parametrize("version", [1, 2, 3, 4])
+    def test_all_supported_header_versions_load(self, tmp_path, version):
+        path = tmp_path / f"v{version}.jsonl"
+        path.write_text(
+            json.dumps({"kind": "meta", "version": version, "label": "old"})
+            + "\n"
+            + '{"kind":"trace","t":1.0,"event":"grant","app":1}\n'
+        )
+        runs = load_runs(str(path))
+        assert len(runs) == 1
+        assert runs[0].trace_events[0].kind == "grant"
+        assert runs[0].broker == []
