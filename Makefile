@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke analyze-smoke broker-smoke clean
+.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke analyze-smoke broker-smoke matrix-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -73,6 +73,14 @@ analyze-smoke:
 	$(PYTHONPATH_SRC) python -m repro.service.cli analyze /tmp/analyze-smoke.jsonl
 	$(PYTHONPATH_SRC) python -m repro.service.cli analyze /tmp/analyze-smoke.jsonl --json > /dev/null
 
+# The 6-scenario mini grid through the scenario matrix engine (the CI
+# matrix-smoke job): regimes, a sharded run, a DSS tenant, a demand
+# replay and one chaos injection -- per-scenario verdicts, no timing
+# gates.  Exit 0 iff every scenario is pass or expected-degraded.
+matrix-smoke:
+	$(PYTHONPATH_SRC) python -m repro.service.cli matrix run \
+		--grid mini --out-dir /tmp/matrix-smoke
+
 # Service throughput-vs-threads curves, unsharded and sharded; writes
 # BENCH_SERVICE.json at the repo root (tracked alongside BENCH_CORE.json).
 # Both families are measured in one run so the sharded-vs-unsharded
@@ -87,6 +95,7 @@ bench-service:
 		--bench service_churn_sharded_t4 --bench service_churn_sharded_t8 \
 		--bench service_churn_net_w1 --bench service_churn_net_w2 \
 		--bench service_churn_net_w4 \
+		--bench scenario_matrix_mini \
 		--out BENCH_SERVICE.json
 
 clean:

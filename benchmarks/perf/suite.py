@@ -52,9 +52,15 @@ The benches and the hot paths they stress:
     hot-latch fix.  Compared against the unsharded curve it answers
     whether sharding restores positive thread scaling.
 
+``scenario_matrix_mini``
+    The scenario matrix engine end to end over the ``mini`` grid
+    (contention regimes, a sharded run, a DSS tenant, a demand replay
+    and one chaos injection); raises if any scenario's verdict is
+    ``fail``, so the lane gates on correctness, not timing.
+
 An operation means: one row-lock request (churn, service churn), one
 trigger/escalate/refill cycle (storm), one detector pass (sweep), one
-committed transaction (fig9).
+committed transaction (fig9), one scenario run (matrix).
 """
 
 from __future__ import annotations
@@ -462,6 +468,35 @@ def run_service_churn_net(
 
 
 # ---------------------------------------------------------------------------
+# scenario matrix
+# ---------------------------------------------------------------------------
+
+def run_scenario_matrix(grid: str = "mini") -> int:
+    """The scenario matrix engine as a bench lane; returns scenarios run.
+
+    Expands the named grid (``mini`` in the smoke, see
+    :mod:`repro.scenarios.grids`) and runs every scenario -- contention
+    regimes, topology toggles, demand replays and the chaos lane --
+    asserting that each verdict lands ``pass`` or ``expected-degraded``.
+    A ``fail`` verdict raises, naming the scenario and the checks that
+    broke, so the matrix rides in BENCH_SERVICE.json with
+    self-describing params like every other lane.
+    """
+    from repro.scenarios import build_grid, run_matrix
+
+    report = run_matrix(build_grid(grid))
+    failed = [
+        f"{result.spec.folder}: "
+        + ", ".join(entry.name for entry in result.verdict.failed_checks)
+        for result in report.results
+        if not result.verdict.ok
+    ]
+    if failed:
+        raise RuntimeError(f"scenario matrix failed: {failed}")
+    return len(report.results)
+
+
+# ---------------------------------------------------------------------------
 # registry and scales
 # ---------------------------------------------------------------------------
 
@@ -485,6 +520,7 @@ BENCHES: Dict[str, tuple] = {
     "service_churn_net_w1": (run_service_churn_net, "lock_requests"),
     "service_churn_net_w2": (run_service_churn_net, "lock_requests"),
     "service_churn_net_w4": (run_service_churn_net, "lock_requests"),
+    "scenario_matrix_mini": (run_scenario_matrix, "scenarios"),
 }
 
 #: Baked-in per-lane configuration.  Kept as data (not lambda
@@ -506,6 +542,7 @@ BENCH_BASE_PARAMS: Dict[str, Dict[str, Any]] = {
     "service_churn_net_w1": {"threads": 1, "workers": 1},
     "service_churn_net_w2": {"threads": 4, "workers": 2},
     "service_churn_net_w4": {"threads": 4, "workers": 4},
+    "scenario_matrix_mini": {"grid": "mini"},
 }
 
 #: Parameter overrides per scale.  ``smoke`` is sized for CI: it must
@@ -530,6 +567,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_net_w1": {},
         "service_churn_net_w2": {},
         "service_churn_net_w4": {},
+        "scenario_matrix_mini": {},
     },
     "smoke": {
         "lock_churn": {"apps": 4, "tables": 2, "rows": 16, "iters": 1},
@@ -560,6 +598,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_net_w1": {"requests_per_thread": 200},
         "service_churn_net_w2": {"requests_per_thread": 100},
         "service_churn_net_w4": {"requests_per_thread": 100},
+        "scenario_matrix_mini": {},
     },
 }
 

@@ -1,0 +1,69 @@
+"""Scenario matrix engine: declarative grids, batch runs, verdicts.
+
+The repo's multi-scenario grading harness (ISSUE 9): named config
+grids expand -- deterministically, hash-seed-free -- into batches of
+service-stress and demand-replay scenarios, each of which lands in its
+own result folder with a machine-checkable verdict (``pass`` /
+``expected-degraded`` / ``fail``).  See ``docs/SCENARIOS.md`` for the
+grid syntax, the verdict vocabulary and the chaos lane.
+
+* :mod:`repro.scenarios.grid` -- :class:`ScenarioGrid` expansion and
+  deterministic scenario IDs,
+* :mod:`repro.scenarios.verdict` -- checks and the verdict vocabulary,
+* :mod:`repro.scenarios.runner` -- scenario execution, result folders,
+  matrix reports and the verdict table,
+* :mod:`repro.scenarios.grids` -- the named grids (``standard``,
+  ``mini``).
+"""
+
+from repro.scenarios.grid import (
+    ScenarioGrid,
+    ScenarioSpec,
+    canonical_json,
+    make_slug,
+    scenario_id,
+)
+from repro.scenarios.grids import GRIDS, build_grid, grid_names
+from repro.scenarios.runner import (
+    MatrixReport,
+    ScenarioResult,
+    load_matrix,
+    render_verdict_table,
+    run_matrix,
+    run_scenario,
+)
+from repro.scenarios.verdict import (
+    EXPECTED_DEGRADED,
+    FAIL,
+    PASS,
+    STATUSES,
+    Check,
+    ScenarioVerdict,
+    summarize_statuses,
+    verdict_from_dict,
+)
+
+__all__ = [
+    "ScenarioGrid",
+    "ScenarioSpec",
+    "canonical_json",
+    "make_slug",
+    "scenario_id",
+    "GRIDS",
+    "build_grid",
+    "grid_names",
+    "MatrixReport",
+    "ScenarioResult",
+    "load_matrix",
+    "render_verdict_table",
+    "run_matrix",
+    "run_scenario",
+    "EXPECTED_DEGRADED",
+    "FAIL",
+    "PASS",
+    "STATUSES",
+    "Check",
+    "ScenarioVerdict",
+    "summarize_statuses",
+    "verdict_from_dict",
+]

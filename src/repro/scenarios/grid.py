@@ -1,0 +1,236 @@
+"""Declarative scenario grids with deterministic, hash-seed-free IDs.
+
+A :class:`ScenarioGrid` is a named cartesian product over workload
+knobs plus explicit extra scenarios; :meth:`ScenarioGrid.expand` turns
+it into an ordered list of :class:`ScenarioSpec` instances.  Two
+properties are load-bearing:
+
+* **Deterministic IDs.**  A scenario's identity is the SHA-256 of the
+  canonical JSON of ``(grid name, params)`` -- sorted keys, compact
+  separators -- so the same grid expands to byte-identical IDs in any
+  process, under any ``PYTHONHASHSEED``, on any platform.  Result
+  folders and baseline comparisons key on these IDs.
+* **Collision-free folders.**  Each spec's result folder combines its
+  grid index, a human-readable slug and an ID prefix; expansion
+  refuses duplicate params outright, so folder names cannot collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+#: Hex digits of the SHA-256 kept as the scenario ID.
+ID_HEX_DIGITS = 12
+#: ID digits embedded in result folder names (after index + slug).
+FOLDER_ID_DIGITS = 8
+#: Slug length bound (folder names must stay filesystem-friendly).
+SLUG_MAX_CHARS = 48
+
+
+def canonical_json(value: Any) -> str:
+    """Canonical JSON: sorted keys, compact separators, ASCII only.
+
+    The single serialization scenario IDs are derived from -- any
+    change here changes every scenario ID, so treat it as frozen.
+    """
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def scenario_id(grid_name: str, params: Mapping[str, Any]) -> str:
+    """The deterministic ID of ``params`` within grid ``grid_name``."""
+    payload = canonical_json({"grid": grid_name, "params": dict(params)})
+    digest = hashlib.sha256(payload.encode("ascii")).hexdigest()
+    return digest[:ID_HEX_DIGITS]
+
+
+def _slug_fragment(value: Any) -> str:
+    """A filesystem-safe fragment for one param value."""
+    text = str(value).lower()
+    text = re.sub(r"[^a-z0-9]+", "-", text).strip("-")
+    return text or "x"
+
+
+def make_slug(
+    params: Mapping[str, Any], keys: Sequence[str]
+) -> str:
+    """Human-readable slug from the varying params (label wins)."""
+    label = params.get("label")
+    if label:
+        slug = _slug_fragment(label)
+    else:
+        parts = [
+            f"{_slug_fragment(key)}-{_slug_fragment(params[key])}"
+            for key in keys
+            if key in params
+        ]
+        slug = "-".join(parts) or "scenario"
+    return slug[:SLUG_MAX_CHARS].rstrip("-")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One expanded scenario: a grid slot plus its full param set."""
+
+    #: Name of the grid this scenario came from.
+    grid: str
+    #: Position within the expansion (also the folder prefix).
+    index: int
+    #: The complete parameter set the runner executes.
+    params: Dict[str, Any] = field(compare=False)
+    #: Deterministic identity (see :func:`scenario_id`).
+    scenario_id: str = ""
+    #: Human-readable fragment of the folder name.
+    slug: str = "scenario"
+
+    @property
+    def folder(self) -> str:
+        """Result folder name: ``NNN-slug-idprefix`` (collision-free)."""
+        return (
+            f"{self.index:03d}-{self.slug}-"
+            f"{self.scenario_id[:FOLDER_ID_DIGITS]}"
+        )
+
+    @property
+    def kind(self) -> str:
+        """Scenario kind: ``service`` (threaded stack) or ``replay``."""
+        return str(self.params.get("kind", "service"))
+
+    @property
+    def chaos(self) -> Optional[str]:
+        """Name of the armed chaos injection, if any."""
+        value = self.params.get("chaos")
+        return str(value) if value else None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form recorded into every result folder."""
+        return {
+            "grid": self.grid,
+            "index": self.index,
+            "id": self.scenario_id,
+            "slug": self.slug,
+            "folder": self.folder,
+            "kind": self.kind,
+            "params": dict(self.params),
+        }
+
+
+def _check_json_value(name: str, value: Any) -> None:
+    """Grid values must round-trip through JSON (IDs depend on it)."""
+    try:
+        canonical_json(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"grid value {name}={value!r} is not JSON-serializable"
+        ) from exc
+
+
+class ScenarioGrid:
+    """A named config grid: base params x axes, plus explicit extras.
+
+    Parameters
+    ----------
+    name:
+        Grid name; part of every scenario's identity.
+    base:
+        Params shared by every scenario (axes and extras override).
+    axes:
+        Mapping of param name to the list of values it sweeps; the
+        expansion is the cartesian product in axis-insertion order
+        (last axis varies fastest).
+    extras:
+        Explicit param overlays appended after the product -- chaos
+        scenarios, replay scenarios, odd-shaped one-offs.  Give each a
+        ``label`` for a readable folder slug.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: Optional[Mapping[str, Any]] = None,
+        axes: Optional[Mapping[str, Sequence[Any]]] = None,
+        extras: Optional[Iterable[Mapping[str, Any]]] = None,
+    ) -> None:
+        if not name or not re.fullmatch(r"[A-Za-z0-9._-]+", name):
+            raise ConfigurationError(
+                f"grid name must be a simple identifier, got {name!r}"
+            )
+        self.name = name
+        self.base = dict(base or {})
+        self.axes: Dict[str, List[Any]] = {
+            key: list(values) for key, values in (axes or {}).items()
+        }
+        self.extras = [dict(extra) for extra in (extras or [])]
+        for key, value in self.base.items():
+            _check_json_value(key, value)
+        for key, values in self.axes.items():
+            if not values:
+                raise ConfigurationError(f"axis {key!r} has no values")
+            for value in values:
+                _check_json_value(key, value)
+        for extra in self.extras:
+            for key, value in extra.items():
+                _check_json_value(key, value)
+
+    def __len__(self) -> int:
+        product = 1
+        for values in self.axes.values():
+            product *= len(values)
+        return product + len(self.extras)
+
+    def expand(self) -> List[ScenarioSpec]:
+        """The ordered scenario list; refuses duplicate param sets."""
+        axis_names = list(self.axes)
+        param_sets: List[Dict[str, Any]] = []
+        for combo in itertools.product(
+            *(self.axes[name] for name in axis_names)
+        ):
+            params = dict(self.base)
+            params.update(zip(axis_names, combo))
+            param_sets.append(params)
+        for extra in self.extras:
+            params = dict(self.base)
+            params.update(extra)
+            param_sets.append(params)
+
+        specs: List[ScenarioSpec] = []
+        seen: Dict[str, int] = {}
+        for index, params in enumerate(param_sets):
+            sid = scenario_id(self.name, params)
+            if sid in seen:
+                raise ConfigurationError(
+                    f"grid {self.name!r}: scenarios {seen[sid]} and "
+                    f"{index} have identical params ({sid})"
+                )
+            seen[sid] = index
+            varying = axis_names if index < len(param_sets) - len(
+                self.extras
+            ) else list(params)
+            specs.append(
+                ScenarioSpec(
+                    grid=self.name,
+                    index=index,
+                    params=params,
+                    scenario_id=sid,
+                    slug=make_slug(params, varying),
+                )
+            )
+        return specs
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form (recorded in matrix.json for provenance)."""
+        return {
+            "name": self.name,
+            "base": dict(self.base),
+            "axes": {key: list(values) for key, values in self.axes.items()},
+            "extras": [dict(extra) for extra in self.extras],
+            "scenarios": len(self),
+        }

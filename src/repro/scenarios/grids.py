@@ -1,0 +1,156 @@
+"""The named scenario grids the CLI and CI run.
+
+``standard``
+    The full 16-scenario matrix: four Thomasian contention regimes
+    (uniform / hot-page skew / write-heavy / update-heavy mode mixes)
+    crossed with sharding on/off, plus a DSS-tenant-beside-OLTP
+    scenario, a broker-arbitrated run, diurnal and flash-crowd demand
+    replays, and the four-injection chaos lane (tuner crash, shard
+    stall, worker SIGKILL, overflow exhaustion).
+``mini``
+    The 6-scenario CI smoke (``make matrix-smoke``): two regimes, a
+    sharded mode-mix run, the DSS tenant, one replay and one chaos
+    scenario -- every code path of the engine in well under a minute,
+    with no timing gates.
+
+Grids are data: JSON-serializable base/axes/extras, so scenario IDs
+derived from them are stable across processes and hash seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.scenarios.grid import ScenarioGrid
+
+
+def standard_grid() -> ScenarioGrid:
+    """The full contention-regime x topology matrix plus chaos lane."""
+    base = {
+        "kind": "service",
+        "regime": "uniform",
+        "threads": 4,
+        "requests_per_thread": 400,
+        "seed": 7,
+        "memory_pages": 16_384,
+        "locklist_pages": 128,
+        "tuner_interval_s": 0.05,
+        "shards": 0,
+        "workers": 0,
+        "broker": False,
+        "dss_locks": 0,
+        "chaos": None,
+        "allow_sheds": 0,
+    }
+    axes = {
+        "regime": ["uniform", "hot_page", "write_heavy", "update_heavy"],
+        "shards": [0, 4],
+    }
+    extras = [
+        {"label": "dss-beside-oltp", "regime": "hot_page", "dss_locks": 3_000},
+        {"label": "broker-arbitrated", "broker": True, "memory_pages": 8_192},
+        {
+            "label": "replay-diurnal",
+            "kind": "replay",
+            "trace": "diurnal",
+            "batch_size": 256,
+            "seed": 7,
+        },
+        {
+            "label": "replay-flash-crowd",
+            "kind": "replay",
+            "trace": "flash_crowd",
+            "batch_size": 256,
+            "seed": 7,
+        },
+        {
+            "label": "chaos-tuner-crash",
+            "chaos": "tuner-crash",
+            "requests_per_thread": 600,
+        },
+        {"label": "chaos-shard-stall", "chaos": "shard-stall", "shards": 4},
+        {
+            # The DSS pin (20k locks) exceeds the hard lock-memory cap
+            # (20% of 1024 pages = 7 blocks = 14,336 slots), so pressure
+            # relief -- escalation or full rollback -- is guaranteed.
+            "label": "chaos-overflow",
+            "chaos": "overflow-exhaustion",
+            "regime": "lock_hungry",
+            "memory_pages": 1_024,
+            "locklist_pages": 32,
+            "dss_locks": 20_000,
+        },
+        {
+            "label": "chaos-worker-sigkill",
+            "chaos": "worker-sigkill",
+            "workers": 2,
+            "requests_per_thread": 300,
+        },
+    ]
+    return ScenarioGrid("standard", base=base, axes=axes, extras=extras)
+
+
+def mini_grid() -> ScenarioGrid:
+    """The 6-scenario CI smoke grid (one chaos scenario included)."""
+    base = {
+        "kind": "service",
+        "regime": "uniform",
+        "threads": 3,
+        "requests_per_thread": 150,
+        "seed": 11,
+        "memory_pages": 16_384,
+        "locklist_pages": 128,
+        "tuner_interval_s": 0.05,
+        "shards": 0,
+        "workers": 0,
+        "broker": False,
+        "dss_locks": 0,
+        "chaos": None,
+        "allow_sheds": 0,
+    }
+    axes = {"regime": ["uniform", "hot_page"]}
+    extras = [
+        {
+            "label": "sharded-write-heavy",
+            "regime": "write_heavy",
+            "shards": 2,
+        },
+        {"label": "dss-beside-oltp", "regime": "hot_page", "dss_locks": 1_000},
+        {
+            "label": "replay-flash-crowd",
+            "kind": "replay",
+            "trace": "flash_crowd",
+            "batch_size": 256,
+            "seed": 11,
+        },
+        {
+            "label": "chaos-tuner-crash",
+            "chaos": "tuner-crash",
+            "requests_per_thread": 250,
+        },
+    ]
+    return ScenarioGrid("mini", base=base, axes=axes, extras=extras)
+
+
+#: Named grid registry: name -> zero-arg factory.
+GRIDS: Dict[str, Callable[[], ScenarioGrid]] = {
+    "standard": standard_grid,
+    "mini": mini_grid,
+}
+
+
+def grid_names() -> List[str]:
+    """The available named grids, sorted."""
+    return sorted(GRIDS)
+
+
+def build_grid(name: str) -> ScenarioGrid:
+    """Instantiate a named grid; unknown names raise."""
+    try:
+        factory = GRIDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario grid {name!r}; choose from {grid_names()}"
+        ) from None
+    return factory()

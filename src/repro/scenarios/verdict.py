@@ -1,0 +1,144 @@
+"""Machine-checkable per-scenario verdicts.
+
+The verdict vocabulary (see ``docs/SCENARIOS.md``):
+
+``pass``
+    Every check held and the scenario did not expect degradation.
+``expected-degraded``
+    Every check held *and* the scenario declared it would degrade
+    (chaos injections, exhaustion regimes): the documented degraded
+    posture -- frozen static LOCKLIST, /healthz 503, shed admission --
+    was reached, which is the success condition for those scenarios.
+``fail``
+    At least one check did not hold: accounting leaked, completeness
+    broke, a declared degradation never materialized, or throughput
+    fell out of the baseline envelope.
+
+Checks are individually recorded so a failing matrix names the exact
+assertion that broke, per scenario, in both text and JSON reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+PASS = "pass"
+EXPECTED_DEGRADED = "expected-degraded"
+FAIL = "fail"
+
+#: Every status a verdict can carry, in display order.
+STATUSES = (PASS, EXPECTED_DEGRADED, FAIL)
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named assertion evaluated against a finished scenario."""
+
+    #: Short kebab-case name (``accounting-exact``, ``healthz-503``...).
+    name: str
+    #: Whether the assertion held.
+    ok: bool
+    #: Human-readable evidence (counts, reasons) either way.
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for result.json / matrix.json."""
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+@dataclass
+class ScenarioVerdict:
+    """The machine-checkable outcome of one scenario run."""
+
+    #: One of :data:`STATUSES`.
+    status: str
+    #: Every check evaluated, passing and failing alike.
+    checks: List[Check] = field(default_factory=list)
+    #: Whether the scenario declared it would degrade (chaos lane).
+    expect_degraded: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """True unless the verdict is ``fail``."""
+        return self.status != FAIL
+
+    @property
+    def failed_checks(self) -> List[Check]:
+        """The checks that did not hold."""
+        return [check for check in self.checks if not check.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form for result.json / matrix.json."""
+        return {
+            "status": self.status,
+            "expect_degraded": self.expect_degraded,
+            "checks": [check.to_dict() for check in self.checks],
+        }
+
+    @classmethod
+    def from_checks(
+        cls, checks: List[Check], *, expect_degraded: bool = False
+    ) -> "ScenarioVerdict":
+        """Fold a check list into a verdict.
+
+        All checks holding yields ``pass`` -- or ``expected-degraded``
+        when the scenario declared degradation up front (for those, the
+        degraded posture itself is one of the checks, so a chaos run
+        that *failed to degrade* fails instead of passing quietly).
+        """
+        if any(not check.ok for check in checks):
+            status = FAIL
+        elif expect_degraded:
+            status = EXPECTED_DEGRADED
+        else:
+            status = PASS
+        return cls(
+            status=status, checks=list(checks), expect_degraded=expect_degraded
+        )
+
+
+def check(name: str, ok: bool, detail: str = "") -> Check:
+    """Sugar for building a :class:`Check` (keeps call sites short)."""
+    return Check(name=name, ok=bool(ok), detail=detail)
+
+
+def verdict_from_dict(record: Dict[str, Any]) -> ScenarioVerdict:
+    """Rehydrate a verdict saved by :meth:`ScenarioVerdict.to_dict`."""
+    checks = [
+        Check(
+            name=str(entry.get("name", "?")),
+            ok=bool(entry.get("ok")),
+            detail=str(entry.get("detail", "")),
+        )
+        for entry in record.get("checks", [])
+    ]
+    status = str(record.get("status", FAIL))
+    if status not in STATUSES:
+        status = FAIL
+    return ScenarioVerdict(
+        status=status,
+        checks=checks,
+        expect_degraded=bool(record.get("expect_degraded")),
+    )
+
+
+def summarize_statuses(statuses: List[str]) -> Dict[str, int]:
+    """Count verdict statuses for the matrix footer (stable order)."""
+    counts: Dict[str, int] = {status: 0 for status in STATUSES}
+    for status in statuses:
+        counts[status] = counts.get(status, 0) + 1
+    return {status: count for status, count in counts.items() if count}
+
+
+__all__ = [
+    "PASS",
+    "EXPECTED_DEGRADED",
+    "FAIL",
+    "STATUSES",
+    "Check",
+    "ScenarioVerdict",
+    "check",
+    "verdict_from_dict",
+    "summarize_statuses",
+]

@@ -34,6 +34,16 @@ Subcommands:
     breakdown by class, the top blockers, and tuner convergence.  Given
     a ``host:port`` (or URL) instead of a file, fetches the live ops
     plane (``/healthz`` ``/stmm`` ``/incidents``) and summarizes it.
+``matrix``
+    The scenario matrix engine (``run`` / ``report`` / ``list``):
+    expand a named grid of contention regimes, topologies, demand
+    replays and chaos injections into per-scenario result folders and
+    a verdict table (``pass`` / ``expected-degraded`` / ``fail``);
+    exit 0 iff every scenario passed or degraded as documented.  See
+    ``docs/SCENARIOS.md``.
+``bench``
+    Benchmark lanes; ``bench --matrix GRID`` runs the scenario matrix
+    as a bench lane (same engine as ``matrix run``).
 
 Every load subcommand accepts ``--ops-port`` (serve ``/metrics`` /
 ``/healthz`` / ``/stmm`` while running), ``--span-sample N`` (sample
@@ -333,6 +343,26 @@ def _print_shard_breakdown(stack: AnyStack) -> None:
         )
 
 
+def _shed_failures(
+    args: argparse.Namespace, report: DriverReport
+) -> List[str]:
+    """Admission sheds beyond the declared budget are failures.
+
+    A stress run that degraded to the ``shed`` posture used to report
+    success; the shed count now feeds the exit status.  ``--allow-sheds``
+    (default 0) declares an expected shed budget for runs that probe
+    overload on purpose.
+    """
+    allowed = getattr(args, "allow_sheds", 0) or 0
+    if report.admission_sheds > allowed:
+        return [
+            f"{report.admission_sheds} admission sheds "
+            f"(allowed {allowed}; raise --allow-sheds if overload "
+            f"is intended)"
+        ]
+    return []
+
+
 def _check_shutdown_accounting(stack: AnyStack) -> List[str]:
     """Exact accounting assertions after all sessions have closed."""
     failures: List[str] = []
@@ -439,6 +469,7 @@ def _net_stress_pool(args: argparse.Namespace) -> int:
         failures.append(
             f"only {report.lock_requests}/{expected} lock requests completed"
         )
+    failures.extend(_shed_failures(args, report))
     rec = pool.reconciliation
     if rec is None or not rec.ok:
         failures.append(f"worker reconciliation failed: {rec!r}")
@@ -501,6 +532,7 @@ def _net_stress_single(args: argparse.Namespace) -> int:
         failures.append(
             f"only {report.lock_requests}/{expected} lock requests completed"
         )
+    failures.extend(_shed_failures(args, report))
     failures.extend(_check_shutdown_accounting(stack))
     if failures:
         print("\nNET STRESS FAILED:", file=sys.stderr)
@@ -617,6 +649,7 @@ def cmd_stress(args: argparse.Namespace) -> int:
         failures.append(
             f"only {report.lock_requests}/{expected} lock requests completed"
         )
+    failures.extend(_shed_failures(args, report))
     failures.extend(_check_shutdown_accounting(stack))
     if failures:
         print("\nSTRESS FAILED:", file=sys.stderr)
@@ -753,6 +786,68 @@ def _analyze_remote(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _matrix_run(args: argparse.Namespace) -> int:
+    """Expand a named grid, run every scenario, print the verdicts."""
+    from repro.scenarios import build_grid, run_matrix
+
+    baseline = None
+    if getattr(args, "baseline", None):
+        from repro.scenarios import load_matrix
+
+        baseline = load_matrix(args.baseline)
+    grid = build_grid(args.grid)
+    echo = None if args.json else (lambda line: print(line, flush=True))
+    report = run_matrix(
+        grid, out_dir=args.out_dir, baseline=baseline, echo=echo
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print()
+        print(report.render_table())
+    return 0 if report.ok else 1
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        build_grid,
+        grid_names,
+        load_matrix,
+        render_verdict_table,
+    )
+
+    if args.action == "list":
+        for name in grid_names():
+            grid = build_grid(name)
+            chaos = sum(1 for spec in grid.expand() if spec.chaos)
+            print(
+                f"{name}: {len(grid)} scenarios "
+                f"({chaos} chaos)"
+            )
+        return 0
+    if args.action == "report":
+        try:
+            matrix = load_matrix(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"matrix report: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(matrix, indent=2, sort_keys=True))
+        else:
+            print(render_verdict_table(matrix))
+        return 0 if matrix.get("ok") else 1
+    return _matrix_run(args)
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """``bench --matrix GRID``: the matrix lane under its bench alias."""
+    if not args.matrix:
+        print("bench: --matrix GRID is required", file=sys.stderr)
+        return 2
+    args.grid = args.matrix
+    return _matrix_run(args)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     if _is_remote_target(args.path):
         return _analyze_remote(args)
@@ -791,6 +886,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_load_args(stress)
     _add_net_args(stress)
+    stress.add_argument(
+        "--allow-sheds",
+        type=int,
+        default=0,
+        metavar="N",
+        help="expected admission-shed budget; more than N sheds fails "
+        "the run (default 0: any shed is a failure)",
+    )
     stress.set_defaults(func=cmd_stress)
 
     serve = sub.add_parser(
@@ -873,6 +976,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the report as JSON"
     )
     analyze.set_defaults(func=cmd_analyze)
+
+    matrix = sub.add_parser(
+        "matrix",
+        help="scenario matrix engine: expand a named grid, run every "
+        "scenario, emit per-scenario verdicts",
+    )
+    matrix_sub = matrix.add_subparsers(dest="action", required=True)
+    matrix_run = matrix_sub.add_parser(
+        "run", help="run a named grid and print the verdict table"
+    )
+    matrix_run.add_argument(
+        "--grid",
+        default="mini",
+        help="named grid to run (see 'matrix list'; default mini)",
+    )
+    matrix_run.add_argument(
+        "--out-dir",
+        default="matrix_results",
+        help="per-scenario result folders land under OUT_DIR/<grid>/ "
+        "(default matrix_results)",
+    )
+    matrix_run.add_argument(
+        "--baseline",
+        default=None,
+        metavar="MATRIX.JSON",
+        help="prior matrix.json; scenarios falling below its throughput "
+        "envelope fail",
+    )
+    matrix_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the matrix report as JSON instead of the table",
+    )
+    matrix_run.set_defaults(func=cmd_matrix)
+    matrix_report = matrix_sub.add_parser(
+        "report", help="re-render a saved matrix.json as the verdict table"
+    )
+    matrix_report.add_argument("path", help="matrix.json written by 'run'")
+    matrix_report.add_argument(
+        "--json", action="store_true", help="emit the raw JSON instead"
+    )
+    matrix_report.set_defaults(func=cmd_matrix)
+    matrix_list = matrix_sub.add_parser(
+        "list", help="list the named grids and their scenario counts"
+    )
+    matrix_list.set_defaults(func=cmd_matrix)
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark lanes; --matrix GRID runs the scenario matrix",
+    )
+    bench.add_argument(
+        "--matrix",
+        default=None,
+        metavar="GRID",
+        help="run the named scenario grid as a bench lane",
+    )
+    bench.add_argument(
+        "--out-dir",
+        default="matrix_results",
+        help="per-scenario result folders (default matrix_results)",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="MATRIX.JSON",
+        help="prior matrix.json throughput envelope",
+    )
+    bench.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

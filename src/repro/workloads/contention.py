@@ -1,0 +1,342 @@
+"""Thomasian-style contention regimes: the scenario matrix's model zoo.
+
+Thomasian's heterogeneous data access model characterizes lock
+contention by three levers the uniform-access models miss: a *hot set*
+receiving a disproportionate share of accesses (hot-page skew), a *mix
+of lock-mode classes* (read-mostly cursors beside update-heavy
+writers), and the depth of blocking chains (the *wait-depth*), whose
+growth past a knee marks the thrashing point where adding clients
+loses throughput.
+
+This module packages those levers for the scenario matrix engine
+(:mod:`repro.scenarios`):
+
+* :data:`REGIMES` -- named :class:`~repro.engine.transactions.
+  TransactionMix` factories, one per contention regime, all sharing a
+  common OLTP base so two regimes differ only in the lever under test;
+* :func:`wait_depth` / :func:`max_wait_depth` -- blocking-chain depth
+  over a wait-for graph (live managers included);
+* :class:`ThrashingDetector` -- feed it ``(mpl, throughput)`` points
+  and it locates the thrashing knee, if any;
+* :func:`diurnal_trace` / :func:`flash_crowd_trace` -- synthetic
+  ``(time, target_locks)`` demand traces in the capture/replay format
+  (:mod:`repro.service.capture`, :mod:`repro.workloads.replay`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.transactions import TransactionMix, scaled
+from repro.errors import ConfigurationError
+
+#: The shared OLTP base every regime derives from: think-free,
+#: service-driver-sized row counts, mild skew.  Matching the stress
+#: driver's default mix keeps regime deltas attributable to the one
+#: lever each regime moves.
+BASE_MIX = TransactionMix(
+    locks_per_txn_mean=12.0,
+    think_time_mean_s=0.0,
+    work_time_per_lock_s=0.0,
+    rows_per_table=50_000,
+    hot_access_probability=0.25,
+)
+
+
+def uniform_mix() -> TransactionMix:
+    """No hot set: every row equally likely (the null contention model)."""
+    return scaled(BASE_MIX, hot_access_probability=0.0)
+
+
+def hot_page_mix(
+    skew: float = 0.6, hot_row_fraction: float = 0.001
+) -> TransactionMix:
+    """Hot-page skew: ``skew`` of accesses land on a tiny hot set.
+
+    Thomasian's hot-spot case: the hot set is ``hot_row_fraction`` of
+    each table, so raising ``skew`` raises the collision probability
+    without changing transaction length or mode mix.
+    """
+    if not 0.0 <= skew <= 1.0:
+        raise ConfigurationError(f"skew must be in [0, 1], got {skew}")
+    return scaled(
+        BASE_MIX,
+        hot_access_probability=skew,
+        hot_row_fraction=hot_row_fraction,
+    )
+
+
+def hot_page_extreme_mix() -> TransactionMix:
+    """Near-total skew (90 % of accesses on the hot set): past the knee."""
+    return hot_page_mix(skew=0.9)
+
+
+def write_heavy_mix() -> TransactionMix:
+    """Mode-mix lever: 80 % X-lock accesses (batch-update shape)."""
+    return scaled(BASE_MIX, write_fraction=0.8, update_lock_fraction=0.1)
+
+
+def update_heavy_mix() -> TransactionMix:
+    """Mode-mix lever: writes go through U->X conversion (DB2 cursors)."""
+    return scaled(BASE_MIX, write_fraction=0.5, update_lock_fraction=0.9)
+
+
+def read_mostly_mix() -> TransactionMix:
+    """Mode-mix lever: 95 % S locks (reporting-style readers)."""
+    return scaled(BASE_MIX, write_fraction=0.05)
+
+
+def lock_hungry_mix() -> TransactionMix:
+    """Long transactions (mean 80 row locks): lock-memory pressure.
+
+    The regime behind the overflow-exhaustion chaos scenario -- on an
+    undersized LOCKLIST it forces synchronous growth, escalation and
+    lock-list-full rollbacks rather than mode conflicts.
+    """
+    return scaled(BASE_MIX, locks_per_txn_mean=80.0, write_fraction=0.1)
+
+
+#: Named contention regimes for the scenario grids.  Factories (not
+#: instances) so every scenario builds a fresh mix and grids stay
+#: JSON-serializable (they reference regimes by name).
+REGIMES: Dict[str, Callable[[], TransactionMix]] = {
+    "uniform": uniform_mix,
+    "hot_page": hot_page_mix,
+    "hot_page_extreme": hot_page_extreme_mix,
+    "write_heavy": write_heavy_mix,
+    "update_heavy": update_heavy_mix,
+    "read_mostly": read_mostly_mix,
+    "lock_hungry": lock_hungry_mix,
+}
+
+
+def build_regime(name: str) -> TransactionMix:
+    """Instantiate a named regime; raises ConfigurationError on unknowns."""
+    try:
+        factory = REGIMES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown contention regime {name!r}; choose from "
+            f"{sorted(REGIMES)}"
+        ) from None
+    return factory()
+
+
+# ---------------------------------------------------------------------------
+# wait depth
+# ---------------------------------------------------------------------------
+
+def wait_depth(graph: Mapping[int, Sequence[int]]) -> int:
+    """Longest blocking chain in a wait-for graph, in edges.
+
+    ``graph[a] = [b, ...]`` means application ``a`` waits for ``b``.
+    A node that waits for a running (non-waiting) application has depth
+    1; a waiter-behind-a-waiter has depth 2, and so on -- Thomasian's
+    wait-depth statistic.  Cycles (deadlocks, resolved elsewhere) are
+    cut rather than recursed into, so the walk always terminates.
+    """
+    depths: Dict[int, int] = {}
+    active: set = set()
+
+    def depth_of(node: int) -> int:
+        if node in depths:
+            return depths[node]
+        if node in active:  # cycle: cut the edge
+            return 0
+        blockers = graph.get(node)
+        if not blockers:
+            depths[node] = 0
+            return 0
+        active.add(node)
+        best = 1 + max(depth_of(blocker) for blocker in blockers)
+        active.discard(node)
+        depths[node] = best
+        return best
+
+    return max((depth_of(node) for node in graph), default=0)
+
+
+def max_wait_depth(manager) -> int:
+    """Wait depth of a live :class:`~repro.lockmgr.manager.LockManager`.
+
+    Builds the same wait-for graph the deadlock detector sweeps and
+    reports its longest blocking chain (0 = nobody waits).  The
+    detector's graph prunes non-waiting blockers (they cannot lie on a
+    cycle), so the terminal edge -- the deepest waiter blocking on a
+    *running* application -- is added back here.
+    """
+    from repro.lockmgr.detector import build_wait_for_graph
+
+    if not manager.waiting_apps():
+        return 0
+    return 1 + wait_depth(build_wait_for_graph(manager))
+
+
+# ---------------------------------------------------------------------------
+# thrashing-point detection
+# ---------------------------------------------------------------------------
+
+class ThrashingDetector:
+    """Locates the thrashing knee in a throughput-vs-MPL curve.
+
+    Feed ``(mpl, throughput)`` observations (multiprogramming level,
+    e.g. client count, against committed work per second).  Per
+    Thomasian, a contention-bound system's curve rises, peaks and then
+    *falls* as added clients only deepen blocking chains; the knee is
+    the MPL of peak throughput, and the system is thrashing once
+    later observations drop a ``drop_fraction`` below that peak.
+    """
+
+    def __init__(self, drop_fraction: float = 0.2) -> None:
+        if not 0.0 < drop_fraction < 1.0:
+            raise ConfigurationError(
+                f"drop_fraction must be in (0, 1), got {drop_fraction}"
+            )
+        self.drop_fraction = drop_fraction
+        self._points: List[Tuple[float, float]] = []
+
+    def add(self, mpl: float, throughput: float) -> None:
+        """Record one observation; MPLs must be fed in increasing order."""
+        if throughput < 0:
+            raise ConfigurationError(f"negative throughput {throughput}")
+        if self._points and mpl <= self._points[-1][0]:
+            raise ConfigurationError(
+                f"mpl must increase monotonically, got {mpl} after "
+                f"{self._points[-1][0]}"
+            )
+        self._points.append((float(mpl), float(throughput)))
+
+    @property
+    def points(self) -> List[Tuple[float, float]]:
+        """The observations fed so far (a copy)."""
+        return list(self._points)
+
+    def peak(self) -> Optional[Tuple[float, float]]:
+        """The ``(mpl, throughput)`` observation with peak throughput."""
+        if not self._points:
+            return None
+        return max(self._points, key=lambda p: p[1])
+
+    def thrashing_point(self) -> Optional[float]:
+        """The MPL past which throughput stays collapsed, or None.
+
+        Returns the peak's MPL when at least one *later* observation
+        fell ``drop_fraction`` below the peak throughput -- the
+        canonical thrashing signature.  A monotone or flat curve
+        returns None.
+        """
+        peak = self.peak()
+        if peak is None:
+            return None
+        peak_mpl, peak_tp = peak
+        if peak_tp <= 0:
+            return None
+        floor = peak_tp * (1.0 - self.drop_fraction)
+        for mpl, throughput in self._points:
+            if mpl > peak_mpl and throughput < floor:
+                return peak_mpl
+        return None
+
+    def is_thrashing(self) -> bool:
+        """True once the curve shows the post-peak collapse."""
+        return self.thrashing_point() is not None
+
+
+# ---------------------------------------------------------------------------
+# synthetic demand traces
+# ---------------------------------------------------------------------------
+
+Trace = List[Tuple[float, int]]
+
+
+def diurnal_trace(
+    base_locks: int = 500,
+    peak_locks: int = 3_000,
+    period_s: float = 20.0,
+    cycles: int = 2,
+    step_s: float = 0.5,
+) -> Trace:
+    """A day/night demand cycle as a ``(time, target_locks)`` trace.
+
+    A raised sinusoid between ``base_locks`` (night) and ``peak_locks``
+    (midday), repeated ``cycles`` times -- the slow-drift workload the
+    paper's tuner tracks comfortably.  Valid replay input by
+    construction (strictly increasing times, non-negative targets).
+    """
+    if base_locks < 0 or peak_locks < base_locks:
+        raise ConfigurationError(
+            f"need 0 <= base_locks <= peak_locks, got "
+            f"{base_locks}/{peak_locks}"
+        )
+    if period_s <= 0 or step_s <= 0 or cycles <= 0:
+        raise ConfigurationError("period_s, step_s and cycles must be positive")
+    trace: Trace = []
+    steps = max(2, int(round(cycles * period_s / step_s)))
+    amplitude = (peak_locks - base_locks) / 2.0
+    midline = base_locks + amplitude
+    for i in range(steps + 1):
+        t = (i + 1) * step_s
+        phase = 2.0 * math.pi * (t / period_s)
+        target = int(round(midline - amplitude * math.cos(phase)))
+        trace.append((t, max(0, target)))
+    return trace
+
+
+def flash_crowd_trace(
+    base_locks: int = 400,
+    spike_locks: int = 6_000,
+    ramp_s: float = 2.0,
+    hold_s: float = 4.0,
+    start_s: float = 4.0,
+    tail_s: float = 6.0,
+    step_s: float = 0.5,
+) -> Trace:
+    """A flash-crowd surge: flat base, steep ramp, plateau, decay.
+
+    The stress shape of the paper's Figure 10 surge experiments: the
+    tuner must grow through the ramp (synchronous growth territory) and
+    release through the decay.  Valid replay input by construction.
+    """
+    if base_locks < 0 or spike_locks < base_locks:
+        raise ConfigurationError(
+            f"need 0 <= base_locks <= spike_locks, got "
+            f"{base_locks}/{spike_locks}"
+        )
+    if min(ramp_s, hold_s, start_s, tail_s, step_s) <= 0:
+        raise ConfigurationError("all durations must be positive")
+    trace: Trace = []
+    t = step_s
+    end = start_s + ramp_s + hold_s + tail_s
+    while t <= end + step_s / 2:
+        if t < start_s:
+            target = base_locks
+        elif t < start_s + ramp_s:
+            frac = (t - start_s) / ramp_s
+            target = base_locks + (spike_locks - base_locks) * frac
+        elif t < start_s + ramp_s + hold_s:
+            target = spike_locks
+        else:
+            frac = (t - start_s - ramp_s - hold_s) / tail_s
+            target = spike_locks - (spike_locks - base_locks) * min(1.0, frac)
+        trace.append((round(t, 6), int(round(target))))
+        t += step_s
+    return trace
+
+
+#: Named demand-trace generators for replay scenarios in the matrix.
+TRACES: Dict[str, Callable[..., Trace]] = {
+    "diurnal": diurnal_trace,
+    "flash_crowd": flash_crowd_trace,
+}
+
+
+def build_trace(name: str, **kwargs) -> Trace:
+    """Instantiate a named demand trace; unknown names raise."""
+    try:
+        factory = TRACES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown demand trace {name!r}; choose from {sorted(TRACES)}"
+        ) from None
+    return factory(**kwargs)

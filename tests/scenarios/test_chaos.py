@@ -1,0 +1,103 @@
+"""Chaos-lane regressions: documented degraded postures, per scenario.
+
+Satellite 2 of ISSUE 9: a tuner crash mid-surge must end in the frozen
+static-LOCKLIST posture with a terminal ``freeze`` audit record and a
+503 health answer; a worker SIGKILL mid-matrix must leave the
+survivors frozen and the scenario marked ``expected-degraded`` -- not
+``fail``.
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import EXPECTED_DEGRADED, run_scenario
+from repro.scenarios.grid import ScenarioSpec, scenario_id
+from repro.service.chaos import CHAOS, build_chaos
+
+
+def make_spec(params, slug="chaos"):
+    return ScenarioSpec(
+        grid="chaos-test",
+        index=0,
+        params=params,
+        scenario_id=scenario_id("chaos-test", params),
+        slug=slug,
+    )
+
+
+def checks_by_name(result):
+    return {check.name: check for check in result.verdict.checks}
+
+
+class TestRegistry:
+    def test_every_injection_is_registered(self):
+        assert set(CHAOS) == {
+            "tuner-crash",
+            "shard-stall",
+            "worker-sigkill",
+            "overflow-exhaustion",
+        }
+
+    def test_unknown_chaos_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_chaos("no-such-chaos")
+
+
+class TestTunerCrash:
+    def test_crash_mid_surge_freezes_locklist_and_503s(self):
+        result = run_scenario(
+            make_spec(
+                {
+                    "kind": "service",
+                    "regime": "uniform",
+                    "threads": 2,
+                    "requests_per_thread": 250,
+                    "seed": 5,
+                    "chaos": "tuner-crash",
+                    "chaos_warm_requests": 20,
+                },
+                slug="tuner-crash",
+            )
+        )
+        assert result.verdict.status == EXPECTED_DEGRADED
+        checks = checks_by_name(result)
+        # The frozen static-LOCKLIST posture, as documented:
+        assert checks["tuner-crashed"].ok
+        assert checks["locklist-frozen"].ok
+        assert checks["freeze-audited"].ok
+        assert checks["healthz-503"].ok
+        assert checks["growth-disabled"].ok
+        # Lock service survived the crash with exact accounting.
+        assert checks["completeness"].ok
+        assert checks["accounting-exact"].ok
+        # The tuner-healthy standard check is skipped, not failed.
+        assert "tuner-healthy" not in checks
+
+
+class TestWorkerSigkill:
+    def test_sigkill_mid_matrix_is_expected_degraded_not_fail(self):
+        result = run_scenario(
+            make_spec(
+                {
+                    "kind": "service",
+                    "regime": "uniform",
+                    "threads": 2,
+                    "requests_per_thread": 300,
+                    "seed": 5,
+                    "workers": 2,
+                    "chaos": "worker-sigkill",
+                },
+                slug="worker-sigkill",
+            )
+        )
+        assert result.verdict.status == EXPECTED_DEGRADED
+        assert result.verdict.ok  # degraded-as-expected is NOT a failure
+        checks = checks_by_name(result)
+        assert checks["survivors-frozen"].ok
+        assert checks["crash-counted"].ok
+        assert checks["incident-recorded"].ok
+        assert checks["healthz-503"].ok
+        assert checks["reconciliation-names-victim"].ok
+        assert checks["survivors-served"].ok
+        # Completeness cannot hold after a SIGKILL: skipped, not failed.
+        assert "completeness" not in checks

@@ -1,0 +1,159 @@
+"""Grid expansion: completeness, determinism, collision-free folders."""
+
+import itertools
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    ScenarioGrid,
+    build_grid,
+    canonical_json,
+    grid_names,
+    make_slug,
+    scenario_id,
+)
+
+
+class TestExpansion:
+    def test_cartesian_product_completeness(self):
+        """Every combination of every axis appears exactly once."""
+        grid = ScenarioGrid(
+            "t",
+            base={"kind": "service", "regime": "uniform", "threads": 1},
+            axes={"regime": ["uniform", "hot_page"], "threads": [1, 2, 4]},
+            extras=[{"label": "extra-one", "threads": 8}],
+        )
+        specs = grid.expand()
+        assert len(specs) == len(grid) == 2 * 3 + 1
+        combos = {
+            (spec.params["regime"], spec.params["threads"])
+            for spec in specs[:6]
+        }
+        assert combos == set(
+            itertools.product(["uniform", "hot_page"], [1, 2, 4])
+        )
+        assert specs[6].params["label"] == "extra-one"
+        # Base keys not on an axis carry through unchanged.
+        assert all(spec.params["kind"] == "service" for spec in specs)
+        # Indexes are sequential, matching expansion order.
+        assert [spec.index for spec in specs] == list(range(7))
+
+    def test_duplicate_params_rejected(self):
+        grid = ScenarioGrid(
+            "t",
+            base={"threads": 1},
+            axes={},
+            extras=[{"threads": 2}, {"threads": 2}],
+        )
+        with pytest.raises(ConfigurationError):
+            grid.expand()
+
+    def test_non_json_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioGrid("t", base={"bad": object()}, axes={}, extras=[])
+
+
+class TestDeterministicIds:
+    def test_golden_scenario_id(self):
+        """The ID derivation is pinned: changing it invalidates every
+        stored result folder, so it must never drift silently."""
+        params = {"kind": "service", "regime": "uniform", "threads": 2,
+                  "seed": 3}
+        assert scenario_id("golden", params) == "f3137bc5f3a5"
+
+    def test_canonical_json_is_key_order_independent(self):
+        a = canonical_json({"b": 1, "a": [1, 2]})
+        b = canonical_json({"a": [1, 2], "b": 1})
+        assert a == b == '{"a":[1,2],"b":1}'
+
+    def test_ids_stable_across_hash_seeds(self):
+        """The same grid expands to the same IDs in fresh interpreters
+        with different PYTHONHASHSEED values (the acceptance criterion:
+        identical expansion across processes)."""
+        script = (
+            "import json, sys\n"
+            "from repro.scenarios import build_grid, grid_names\n"
+            "out = {name: [s.scenario_id for s in build_grid(name).expand()]"
+            " for name in grid_names()}\n"
+            "print(json.dumps(out, sort_keys=True))\n"
+        )
+        outputs = []
+        for hash_seed in ("0", "1"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            env["PYTHONPATH"] = "src" + (
+                os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+            )
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+        parsed = json.loads(outputs[0])
+        assert set(parsed) == set(grid_names())
+
+    def test_in_process_expansion_is_repeatable(self):
+        for name in grid_names():
+            first = [spec.scenario_id for spec in build_grid(name).expand()]
+            second = [spec.scenario_id for spec in build_grid(name).expand()]
+            assert first == second
+
+
+class TestFolders:
+    def test_folders_collision_free_in_named_grids(self):
+        for name in grid_names():
+            folders = [spec.folder for spec in build_grid(name).expand()]
+            assert len(folders) == len(set(folders)), name
+
+    def test_folder_shape(self):
+        spec = build_grid("mini").expand()[0]
+        index, slug_and_id = spec.folder.split("-", 1)
+        assert index == f"{spec.index:03d}"
+        assert slug_and_id.endswith(spec.scenario_id[:8])
+        assert spec.slug in spec.folder
+
+    def test_slug_prefers_label(self):
+        assert make_slug({"label": "My Label!", "threads": 9}, ["threads"]) \
+            == "my-label"
+
+    def test_slug_from_keys(self):
+        slug = make_slug({"regime": "hot_page", "shards": 4},
+                         ["regime", "shards"])
+        assert slug == "regime-hot-page-shards-4"
+        assert len(slug) <= 48
+
+
+class TestNamedGrids:
+    def test_standard_grid_spans_the_required_regimes(self):
+        """ISSUE acceptance: >= 12 scenarios spanning skew, mode mixes,
+        DSS-beside-OLTP, flash crowd and chaos."""
+        specs = build_grid("standard").expand()
+        assert len(specs) >= 12
+        regimes = {spec.params.get("regime") for spec in specs}
+        assert {"uniform", "hot_page", "write_heavy", "update_heavy"} \
+            <= regimes
+        assert any(spec.params.get("dss_locks", 0) > 0 for spec in specs)
+        assert any(
+            spec.params.get("trace") == "flash_crowd" for spec in specs
+        )
+        chaos = {spec.chaos for spec in specs if spec.chaos}
+        assert {"tuner-crash", "shard-stall", "worker-sigkill",
+                "overflow-exhaustion"} <= chaos
+
+    def test_mini_grid_has_six_scenarios_and_a_chaos_lane(self):
+        specs = build_grid("mini").expand()
+        assert len(specs) == 6
+        assert sum(1 for spec in specs if spec.chaos) == 1
+
+    def test_unknown_grid_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_grid("no-such-grid")

@@ -1,0 +1,157 @@
+"""Scenario execution: checks, result folders, matrix reports."""
+
+import json
+import os
+
+from repro.scenarios import (
+    FAIL,
+    PASS,
+    ScenarioGrid,
+    load_matrix,
+    render_verdict_table,
+    run_matrix,
+    run_scenario,
+)
+from repro.scenarios.grid import ScenarioSpec, scenario_id
+
+
+def make_spec(params, grid="test", index=0, slug="spec"):
+    return ScenarioSpec(
+        grid=grid,
+        index=index,
+        params=params,
+        scenario_id=scenario_id(grid, params),
+        slug=slug,
+    )
+
+
+TINY_SERVICE = {
+    "kind": "service",
+    "regime": "uniform",
+    "threads": 2,
+    "requests_per_thread": 50,
+    "seed": 5,
+    "memory_pages": 16_384,
+    "locklist_pages": 128,
+    "tuner_interval_s": 0.05,
+}
+
+TINY_REPLAY = {
+    "kind": "replay",
+    "trace": "flash_crowd",
+    "trace_params": {
+        "base_locks": 200,
+        "spike_locks": 2_000,
+        "ramp_s": 1.0,
+        "hold_s": 2.0,
+        "start_s": 2.0,
+        "tail_s": 2.0,
+    },
+    "batch_size": 128,
+    "seed": 5,
+    "memory_pages": 16_384,
+    "locklist_pages": 128,
+}
+
+
+class TestServiceScenario:
+    def test_tiny_scenario_passes_with_standard_checks(self):
+        result = run_scenario(make_spec(TINY_SERVICE))
+        assert result.verdict.status == PASS
+        names = {check.name for check in result.verdict.checks}
+        assert {
+            "completeness",
+            "worker-errors",
+            "admission-sheds",
+            "accounting-exact",
+            "tuner-healthy",
+        } <= names
+        # Retries under contention can push the count above the floor.
+        assert result.metrics["lock_requests"] >= 2 * 50
+
+    def test_unknown_kind_becomes_run_crashed_failure(self):
+        result = run_scenario(make_spec({"kind": "bogus"}))
+        assert result.verdict.status == FAIL
+        (failed,) = result.verdict.failed_checks
+        assert failed.name == "run-crashed"
+        assert "bogus" in failed.detail
+
+    def test_result_folder_written(self, tmp_path):
+        spec = make_spec(TINY_REPLAY)
+        result = run_scenario(spec, out_dir=str(tmp_path))
+        path = os.path.join(str(tmp_path), spec.folder, "result.json")
+        assert os.path.isfile(path)
+        with open(path) as fp:
+            record = json.load(fp)
+        assert record["scenario"]["id"] == spec.scenario_id
+        assert record["verdict"]["status"] == result.verdict.status
+
+
+class TestReplayDeterminism:
+    def test_replay_result_json_byte_identical_across_runs(self, tmp_path):
+        """Same seed, same scenario: the persisted result is the same
+        bytes (the whole replay path is DES-driven, no wall clock)."""
+        spec = make_spec(TINY_REPLAY)
+        contents = []
+        for run in ("a", "b"):
+            out = tmp_path / run
+            run_scenario(spec, out_dir=str(out))
+            path = out / spec.folder / "result.json"
+            contents.append(path.read_bytes())
+        assert contents[0] == contents[1]
+
+
+class TestMatrix:
+    def make_grid(self):
+        return ScenarioGrid(
+            "tiny",
+            base=dict(TINY_SERVICE),
+            axes={},
+            extras=[dict(TINY_REPLAY, label="replay")],
+        )
+
+    def test_run_matrix_writes_matrix_json(self, tmp_path):
+        report = run_matrix(self.make_grid(), out_dir=str(tmp_path))
+        assert report.ok
+        assert len(report.results) == 2
+        matrix = load_matrix(str(tmp_path / "tiny" / "matrix.json"))
+        assert matrix["ok"] is True
+        assert len(matrix["results"]) == 2
+        assert matrix["grid"]["name"] == "tiny"
+        # Every scenario landed its own result folder.
+        for record in matrix["results"]:
+            folder = tmp_path / "tiny" / record["scenario"]["folder"]
+            assert (folder / "result.json").is_file()
+
+    def test_verdict_table_shape(self):
+        report = run_matrix(self.make_grid())
+        table = report.render_table()
+        lines = table.splitlines()
+        assert lines[0] == "scenario matrix: grid 'tiny', 2 scenarios"
+        assert "status" in lines[1] and "scenario" in lines[1]
+        assert len(lines) == 2 + len(report.results) + 1
+        assert lines[-1].strip().startswith("=>")
+        assert "(OK)" in lines[-1]
+        # The saved JSON renders to the same table.
+        assert render_verdict_table(report.to_dict()) == table
+
+    def test_echo_reports_progress(self):
+        lines = []
+        run_matrix(self.make_grid(), echo=lines.append)
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/2]")
+
+    def test_baseline_envelope_failure(self, tmp_path):
+        """A prior matrix with inflated throughput fails the rerun."""
+        grid = ScenarioGrid("tiny", base=dict(TINY_SERVICE), axes={},
+                            extras=[])
+        baseline_report = run_matrix(grid, out_dir=str(tmp_path))
+        baseline = load_matrix(str(tmp_path / "tiny" / "matrix.json"))
+        for record in baseline["results"]:
+            record["metrics"]["requests_per_s"] = 1e12
+        rerun = run_matrix(grid, baseline=baseline)
+        assert not rerun.ok
+        (result,) = rerun.results
+        (failed,) = result.verdict.failed_checks
+        assert failed.name == "throughput-envelope"
+        assert baseline_report.ok  # the original run itself was fine

@@ -1,0 +1,91 @@
+"""The stress exit-code contract: admission sheds fail the run.
+
+Satellite 4 of ISSUE 9: a stress run that degraded into the ``shed``
+admission posture used to exit 0.  The shed count now feeds the final
+verdict -- any shed beyond the ``--allow-sheds`` budget (default 0) is
+a failure, pinned here against a fake driver so the contract cannot
+regress silently.
+"""
+
+import pytest
+
+import repro.service.cli as cli
+from repro.service.driver import DriverReport
+
+
+class FakeDriver:
+    """Stands in for LoadDriver: returns a canned report, runs nothing."""
+
+    report = DriverReport()
+
+    def __init__(self, stack, **kwargs):
+        self.stack = stack
+
+    def run(self):
+        return self.report
+
+
+@pytest.fixture
+def fake_driver(monkeypatch):
+    def set_report(**fields):
+        FakeDriver.report = DriverReport(**fields)
+
+    monkeypatch.setattr(cli, "LoadDriver", FakeDriver)
+    return set_report
+
+
+class TestShedExitCode:
+    def test_sheds_fail_the_run_by_default(self, fake_driver, capsys):
+        fake_driver(
+            threads=1, lock_requests=1, commits=1, admission_sheds=3,
+            wall_s=0.01,
+        )
+        exit_code = cli.main(["stress", "--threads", "1", "--requests", "1"])
+        assert exit_code == 1
+        err = capsys.readouterr().err
+        assert "3 admission sheds" in err
+        assert "--allow-sheds" in err
+
+    def test_allow_sheds_budget_tolerates_declared_overload(
+        self, fake_driver
+    ):
+        fake_driver(
+            threads=1, lock_requests=1, commits=1, admission_sheds=3,
+            wall_s=0.01,
+        )
+        exit_code = cli.main(
+            ["stress", "--threads", "1", "--requests", "1",
+             "--allow-sheds", "3"]
+        )
+        assert exit_code == 0
+
+    def test_sheds_beyond_the_budget_still_fail(self, fake_driver, capsys):
+        fake_driver(
+            threads=1, lock_requests=1, commits=1, admission_sheds=5,
+            wall_s=0.01,
+        )
+        exit_code = cli.main(
+            ["stress", "--threads", "1", "--requests", "1",
+             "--allow-sheds", "3"]
+        )
+        assert exit_code == 1
+        assert "5 admission sheds" in capsys.readouterr().err
+
+    def test_clean_run_still_passes(self, fake_driver):
+        fake_driver(threads=1, lock_requests=1, commits=1, wall_s=0.01)
+        exit_code = cli.main(["stress", "--threads", "1", "--requests", "1"])
+        assert exit_code == 0
+
+
+class TestShedFailuresHelper:
+    def test_zero_budget_zero_sheds_is_clean(self):
+        import argparse
+
+        args = argparse.Namespace(allow_sheds=0)
+        assert cli._shed_failures(args, DriverReport()) == []
+
+    def test_missing_attribute_defaults_to_zero_budget(self):
+        import argparse
+
+        report = DriverReport(admission_sheds=1)
+        assert cli._shed_failures(argparse.Namespace(), report)

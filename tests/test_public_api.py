@@ -13,6 +13,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.analysis",
     "repro.baselines",
+    "repro.scenarios",
 ]
 
 

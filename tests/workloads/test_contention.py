@@ -1,0 +1,204 @@
+"""Contention-model zoo: regimes, wait depth, thrashing, traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.contention import (
+    BASE_MIX,
+    REGIMES,
+    ThrashingDetector,
+    build_regime,
+    build_trace,
+    diurnal_trace,
+    flash_crowd_trace,
+    hot_page_mix,
+    max_wait_depth,
+    wait_depth,
+)
+
+
+class TestRegimes:
+    def test_every_regime_builds_a_valid_mix(self):
+        for name in REGIMES:
+            mix = build_regime(name)
+            assert mix.locks_per_txn_mean > 0, name
+            assert 0.0 <= mix.write_fraction <= 1.0, name
+            assert 0.0 <= mix.hot_access_probability <= 1.0, name
+
+    def test_regimes_move_exactly_their_lever(self):
+        """Each regime differs from the base in the lever under test."""
+        assert build_regime("uniform").hot_access_probability == 0.0
+        hot = build_regime("hot_page")
+        assert hot.hot_access_probability > BASE_MIX.hot_access_probability
+        assert build_regime("hot_page_extreme").hot_access_probability == 0.9
+        assert build_regime("write_heavy").write_fraction == 0.8
+        update = build_regime("update_heavy")
+        assert update.update_lock_fraction == 0.9
+        assert build_regime("read_mostly").write_fraction == 0.05
+        hungry = build_regime("lock_hungry")
+        assert hungry.locks_per_txn_mean > BASE_MIX.locks_per_txn_mean
+
+    def test_unknown_regime_raises(self):
+        with pytest.raises(ConfigurationError):
+            build_regime("no-such-regime")
+
+    def test_hot_page_skew_validation(self):
+        with pytest.raises(ConfigurationError):
+            hot_page_mix(skew=1.5)
+
+
+class TestWaitDepth:
+    def test_empty_graph(self):
+        assert wait_depth({}) == 0
+
+    def test_chain_depth(self):
+        # 1 -> 2 -> 3 -> 4 (running): depth 3 edges.
+        graph = {1: [2], 2: [3], 3: [4]}
+        assert wait_depth(graph) == 3
+
+    def test_fan_out_takes_longest_branch(self):
+        graph = {1: [2, 3], 3: [4], 4: [5]}
+        assert wait_depth(graph) == 3
+
+    def test_cycle_is_cut_not_recursed(self):
+        # A 2-cycle: the back edge is cut once, so the walk terminates
+        # and the first-visited node sees the other as a depth-1 waiter.
+        graph = {1: [2], 2: [1]}
+        assert wait_depth(graph) == 2
+        graph = {1: [2], 2: [3], 3: [1], 4: [1]}
+        assert wait_depth(graph) >= 2  # terminates, counts the chain in
+
+    def test_live_manager_wait_depth(self):
+        from repro.engine.des import Environment
+        from repro.lockmgr.blocks import LockBlockChain
+        from repro.lockmgr.manager import LockManager
+        from repro.lockmgr.modes import LockMode
+
+        env = Environment()
+        manager = LockManager(
+            env, LockBlockChain(initial_blocks=2), maxlocks_fraction=1.0
+        )
+
+        def drive(gen):
+            try:
+                next(gen)
+                return gen
+            except StopIteration:
+                return None
+
+        assert drive(manager.lock_row(1, 0, 0, LockMode.X)) is None
+        assert max_wait_depth(manager) == 0
+        blocked = drive(manager.lock_row(2, 0, 0, LockMode.X))
+        assert blocked is not None
+        assert max_wait_depth(manager) == 1
+
+
+class TestThrashingDetector:
+    def test_peak_then_collapse_is_thrashing(self):
+        detector = ThrashingDetector(drop_fraction=0.2)
+        for mpl, tp in [(1, 100), (2, 180), (4, 240), (8, 150), (16, 90)]:
+            detector.add(mpl, tp)
+        assert detector.is_thrashing()
+        assert detector.thrashing_point() == 4  # the knee MPL
+
+    def test_monotone_curve_is_not_thrashing(self):
+        detector = ThrashingDetector()
+        for mpl, tp in [(1, 100), (2, 180), (4, 240), (8, 250)]:
+            detector.add(mpl, tp)
+        assert not detector.is_thrashing()
+        assert detector.thrashing_point() is None
+        assert detector.peak() == (8, 250)
+
+    def test_shallow_dip_below_threshold_is_tolerated(self):
+        detector = ThrashingDetector(drop_fraction=0.2)
+        detector.add(1, 100)
+        detector.add(2, 90)  # a 10 % dip is not a collapse
+        assert not detector.is_thrashing()
+
+    def test_mpl_must_increase(self):
+        detector = ThrashingDetector()
+        detector.add(4, 100)
+        with pytest.raises(ConfigurationError):
+            detector.add(4, 110)
+        with pytest.raises(ConfigurationError):
+            detector.add(2, 110)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThrashingDetector(drop_fraction=0.0)
+        detector = ThrashingDetector()
+        with pytest.raises(ConfigurationError):
+            detector.add(1, -5)
+        assert detector.peak() is None
+        assert detector.thrashing_point() is None
+
+
+class TestTraces:
+    @pytest.mark.parametrize("name", ["diurnal", "flash_crowd"])
+    def test_traces_are_valid_replay_input(self, name):
+        trace = build_trace(name)
+        assert trace
+        times = [t for t, _ in trace]
+        assert times == sorted(times)
+        assert len(set(times)) == len(times)  # strictly increasing
+        assert all(t > 0 for t in times)
+        assert all(target >= 0 for _, target in trace)
+
+    def test_diurnal_peaks_and_troughs(self):
+        trace = diurnal_trace(
+            base_locks=100, peak_locks=1_000, period_s=10.0, cycles=2,
+            step_s=0.5,
+        )
+        targets = [target for _, target in trace]
+        assert max(targets) == 1_000
+        assert min(targets) <= 110  # returns to (near) the base each night
+        # Two cycles: the peak is reached (at least) twice.
+        assert targets.count(max(targets)) >= 2
+
+    def test_flash_crowd_shape(self):
+        trace = flash_crowd_trace(
+            base_locks=100, spike_locks=2_000, ramp_s=1.0, hold_s=2.0,
+            start_s=2.0, tail_s=2.0, step_s=0.5,
+        )
+        targets = dict(trace)
+        assert targets[0.5] == 100  # flat base before the surge
+        assert max(targets.values()) == 2_000
+        assert trace[-1][1] <= 110  # decayed back down by the tail
+        # The plateau holds the spike for its whole duration.
+        plateau = [v for t, v in trace if 3.0 <= t < 5.0]
+        assert plateau and all(v == 2_000 for v in plateau)
+
+    def test_trace_replays_through_the_engine(self):
+        """The generated traces drive LockDemandReplay end to end."""
+        from repro.workloads.replay import LockDemandReplay
+        from tests.conftest import make_database
+
+        trace = flash_crowd_trace(
+            base_locks=50, spike_locks=400, ramp_s=1.0, hold_s=1.0,
+            start_s=1.0, tail_s=1.0, step_s=0.5,
+        )
+        db = make_database(seed=3)
+        replay = LockDemandReplay(db, trace, batch_size=64)
+        replay.start()
+        peak_held = 0
+
+        def sampler():
+            nonlocal peak_held
+            while True:
+                yield db.env.timeout(0.25)
+                peak_held = max(peak_held, replay.held_locks)
+
+        db.env.process(sampler())
+        db.run(until=trace[-1][0] + 1.0)
+        # The replay tracked the surge up to (at least near) the spike.
+        assert peak_held >= 400 - 64
+        assert replay.shortfalls == 0
+        db.check_invariants()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_trace("no-such-trace")
+        with pytest.raises(ConfigurationError):
+            diurnal_trace(base_locks=500, peak_locks=100)
+        with pytest.raises(ConfigurationError):
+            flash_crowd_trace(ramp_s=0.0)
