@@ -2,7 +2,7 @@
 
 PYTHONPATH_SRC := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke analyze-smoke broker-smoke matrix-smoke clean
+.PHONY: install test test-fast bench bench-perf bench-perf-smoke bench-service figures examples telemetry-demo service-demo service-smoke service-smoke-sharded ops-smoke analyze-smoke broker-smoke matrix-smoke trace-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -73,6 +73,13 @@ analyze-smoke:
 	$(PYTHONPATH_SRC) python -m repro.service.cli analyze /tmp/analyze-smoke.jsonl
 	$(PYTHONPATH_SRC) python -m repro.service.cli analyze /tmp/analyze-smoke.jsonl --json > /dev/null
 
+# End-to-end distributed tracing over the 2-worker pool (the CI
+# trace-smoke job): --net stress with 1-in-8 request tracing, /traces
+# polled over HTTP until a complete multi-hop trace appears, hop names
+# asserted against the closed vocabulary -- no timing gates.
+trace-smoke:
+	$(PYTHONPATH_SRC) python scripts/trace_smoke.py
+
 # The 6-scenario mini grid through the scenario matrix engine (the CI
 # matrix-smoke job): regimes, a sharded run, a DSS tenant, a demand
 # replay and one chaos injection -- per-scenario verdicts, no timing
@@ -94,6 +101,7 @@ bench-service:
 		--bench service_churn_sharded_t1 --bench service_churn_sharded_t2 \
 		--bench service_churn_sharded_t4 --bench service_churn_sharded_t8 \
 		--bench service_churn_net_w1 --bench service_churn_net_w2 \
+		--bench service_churn_net_w2_traced \
 		--bench service_churn_net_w4 \
 		--bench scenario_matrix_mini \
 		--out BENCH_SERVICE.json

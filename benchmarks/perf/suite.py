@@ -51,6 +51,11 @@ The benches and the hot paths they stress:
     tables, global STMM arbitration, cross-shard deadlock sweep): the
     hot-latch fix.  Compared against the unsharded curve it answers
     whether sharding restores positive thread scaling.
+``service_churn_net_w2_traced``
+    ``service_churn_net_w2`` with 1-in-8 distributed request tracing
+    (trace context over the wire, hop timings on both ends, bounded
+    trace rings); the paired delta against the untraced lane gates
+    the tracer's cost at <= 5 % of median throughput.
 
 ``scenario_matrix_mini``
     The scenario matrix engine end to end over the ``mini`` grid
@@ -409,6 +414,7 @@ def run_service_churn_net(
     total_memory_pages: int = 16_384,
     initial_locklist_pages: int = 128,
     tuner_interval_s: float = 0.05,
+    trace_sample_every: int = 0,
 ) -> int:
     """Closed-loop load over the wire against the worker-process pool.
 
@@ -424,8 +430,12 @@ def run_service_churn_net(
     so the lanes gate on completeness and byte-exact cross-worker
     block accounting, not on scaling.  ``requests_per_thread`` is
     higher than the in-process lanes because pool forking and socket
-    setup would otherwise dominate the timing.  Returns lock requests
-    completed.
+    setup would otherwise dominate the timing.  With
+    ``trace_sample_every > 0`` the distributed tracer rides along
+    (1-in-N requests carry a trace context over the wire and both ends
+    record hop timings); paired against the untraced run it prices the
+    tracer, contractually <= 5 % of median throughput.  Returns lock
+    requests completed.
     """
     from repro.service.driver import LoadDriver
     from repro.service.workers import WorkerPoolConfig, WorkerPoolStack
@@ -438,6 +448,7 @@ def run_service_churn_net(
             max_in_flight=max(4, threads),
             admission_queue_depth=4 * max(4, threads),
             workers=workers,
+            trace_sample_every=trace_sample_every,
         )
     )
     with stack:
@@ -464,6 +475,10 @@ def run_service_churn_net(
             f"net service churn block mismatch: expected "
             f"{rec.expected_blocks}, reported {rec.reported_blocks}"
         )
+    if trace_sample_every > 0:
+        sampled = sum(t.summary()["finished"] for t in stack.request_tracers)
+        if sampled <= 0:
+            raise RuntimeError("traced net churn recorded no traces")
     return report.lock_requests
 
 
@@ -519,6 +534,7 @@ BENCHES: Dict[str, tuple] = {
     "service_churn_sharded_t8": (run_service_churn_sharded, "lock_requests"),
     "service_churn_net_w1": (run_service_churn_net, "lock_requests"),
     "service_churn_net_w2": (run_service_churn_net, "lock_requests"),
+    "service_churn_net_w2_traced": (run_service_churn_net, "lock_requests"),
     "service_churn_net_w4": (run_service_churn_net, "lock_requests"),
     "scenario_matrix_mini": (run_scenario_matrix, "scenarios"),
 }
@@ -541,6 +557,11 @@ BENCH_BASE_PARAMS: Dict[str, Dict[str, Any]] = {
     "service_churn_sharded_t8": {"threads": 8, "shards": 4},
     "service_churn_net_w1": {"threads": 1, "workers": 1},
     "service_churn_net_w2": {"threads": 4, "workers": 2},
+    "service_churn_net_w2_traced": {
+        "threads": 4,
+        "workers": 2,
+        "trace_sample_every": 8,
+    },
     "service_churn_net_w4": {"threads": 4, "workers": 4},
     "scenario_matrix_mini": {"grid": "mini"},
 }
@@ -566,6 +587,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_sharded_t8": {},
         "service_churn_net_w1": {},
         "service_churn_net_w2": {},
+        "service_churn_net_w2_traced": {},
         "service_churn_net_w4": {},
         "scenario_matrix_mini": {},
     },
@@ -597,6 +619,7 @@ SCALES: Dict[str, Dict[str, Dict[str, Any]]] = {
         "service_churn_sharded_t8": {"requests_per_thread": 50, "shards": 4},
         "service_churn_net_w1": {"requests_per_thread": 200},
         "service_churn_net_w2": {"requests_per_thread": 100},
+        "service_churn_net_w2_traced": {"requests_per_thread": 100},
         "service_churn_net_w4": {"requests_per_thread": 100},
         "scenario_matrix_mini": {},
     },

@@ -141,6 +141,19 @@ def main() -> int:
         assert incidents["total"] >= len(incidents["incidents"]), incidents
         print(f"[ops-smoke] /incidents reachable: "
               f"{incidents['total']} captured ({incidents['counts']})")
+
+        # Tracing is off in this run: /traces must still answer 200
+        # with the empty-but-valid payload shape, not 404 or an error.
+        status, body = _get(base + "/traces")
+        assert status == 200, f"/traces returned {status}"
+        traces = json.loads(body)
+        assert traces["enabled"] is False, traces
+        assert traces["total"] == 0 and traces["traces"] == [], traces
+        assert set(traces) >= {
+            "enabled", "sample_every", "total", "truncated",
+            "traces", "server_spans", "summary",
+        }, f"/traces payload missing keys: {sorted(traces)}"
+        print("[ops-smoke] /traces empty-but-valid with tracing off")
     finally:
         # Drain the remaining output so the stress process can finish
         # its report and shut down cleanly.

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""CI smoke for end-to-end distributed tracing.
+
+Launches the 2-worker networked stress (``--net --workers 2``) with
+1-in-8 request tracing and the ops plane enabled, polls the running
+process's ``/traces`` over real HTTP until at least one complete
+multi-hop trace is visible from outside, asserts every recorded hop
+name belongs to the closed hop vocabulary and that each trace's hop
+sum lands within 10 % of its end-to-end latency, then waits for the
+clean shutdown (the stress CLI exits non-zero on any accounting
+violation).
+
+Deliberately no timing gates: the poll retries until a sampled request
+has completed its round trip, and the only assertions are on *state*
+-- traces present, hop names in vocabulary, hops consistent with the
+measured total, worker span rings visible, exit code zero.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python scripts/trace_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+from repro.obs.tracing import HOP_NAMES
+
+WORKERS = 2
+SAMPLE_EVERY = 8
+LOAD_SECONDS = 15.0
+POLL_DEADLINE_S = 60.0
+
+_URL_RE = re.compile(r"ops plane: (http://[\d.]+:\d+)")
+
+
+def _get_json(url: str) -> tuple:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, json.loads(resp.read().decode())
+
+
+def _poll_traces(base: str) -> dict:
+    """Retry /traces until a complete multi-hop trace is visible."""
+    deadline = time.monotonic() + POLL_DEADLINE_S
+    payload: dict = {}
+    while time.monotonic() < deadline:
+        try:
+            status, payload = _get_json(base + "/traces")
+        except (urllib.error.URLError, OSError, ValueError):
+            time.sleep(0.2)
+            continue
+        assert status == 200, f"/traces returned {status}"
+        if any(len(tr["hops"]) > 1 for tr in payload.get("traces", [])):
+            return payload
+        time.sleep(0.2)
+    raise AssertionError(
+        f"no complete multi-hop trace appeared on /traces: {payload}"
+    )
+
+
+def main() -> int:
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.cli", "stress",
+            "--net", "--workers", str(WORKERS),
+            "--threads", "4", "--requests", "1000000",
+            "--duration", str(LOAD_SECONDS),
+            "--trace-sample", str(SAMPLE_EVERY),
+            "--ops-port", "0",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        base = None
+        for line in proc.stdout:
+            print(line, end="", flush=True)
+            match = _URL_RE.search(line)
+            if match:
+                base = match.group(1)
+                break
+        assert base, "stress never announced its ops plane URL"
+
+        payload = _poll_traces(base)
+        assert payload["enabled"] is True, payload
+        assert payload["sample_every"] == SAMPLE_EVERY, payload
+        traces = payload["traces"]
+        print(f"[trace-smoke] {len(traces)} end-to-end traces on {base}")
+
+        vocabulary = set(HOP_NAMES)
+        complete = 0
+        for tr in traces:
+            hops = tr["hops"]
+            stray = set(hops) - vocabulary
+            assert not stray, f"hop names outside vocabulary: {stray}"
+            if set(hops) != vocabulary:
+                continue  # server leg missing: fell back to net_wait only
+            complete += 1
+            hop_sum = sum(hops.values())
+            total = tr["total_s"]
+            assert total > 0, f"non-positive trace total: {tr}"
+            assert abs(hop_sum - total) <= 0.10 * total, (
+                f"hop sum {hop_sum:.6f}s vs end-to-end {total:.6f}s "
+                f"diverges beyond 10 %: {tr}"
+            )
+        assert complete >= 1, f"no trace covered the full wire path: {traces}"
+        print(f"[trace-smoke] {complete} complete traces; every hop in the "
+              f"closed vocabulary; hop sums within 10 % of end-to-end")
+
+        spans = payload["server_spans"]
+        recorded = sum(
+            ring["summary"]["recorded"] for ring in spans.values()
+        )
+        assert recorded >= 1, f"no worker recorded a server span: {spans}"
+        ring_counts = {w: s["summary"]["recorded"] for w, s in spans.items()}
+        print(f"[trace-smoke] worker span rings: {ring_counts}")
+
+        summary = payload["summary"]
+        assert summary.get("hops"), f"per-hop summary missing: {summary}"
+        tax = summary.get("wire_tax", {})
+        assert 0.0 <= tax.get("fraction", -1.0) <= 1.0, summary
+        print(f"[trace-smoke] wire tax {tax['fraction']:.0%} "
+              f"(net {tax['net_s']:.4f}s vs lock {tax['lock_s']:.4f}s)")
+    finally:
+        out, _ = proc.communicate(timeout=300)
+        print(out, end="", flush=True)
+    assert proc.returncode == 0, f"stress exited {proc.returncode}"
+    print("[trace-smoke] clean shutdown, exact accounting verified")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

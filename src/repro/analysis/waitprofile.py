@@ -32,7 +32,11 @@ from typing import Any, Dict, List, Optional
 from repro.analysis.report import format_table
 from repro.obs.events import RunTelemetry
 from repro.obs.incidents import INCIDENT_KINDS
+from repro.obs.tracing import HOP_NAMES, hop_percentiles, wire_tax_summary
 from repro.obs.waits import WAIT_CLASSES, WAIT_SECONDS_METRIC
+
+#: The per-worker wire-latency histogram the routed client records.
+WIRE_LATENCY_METRIC = "net.client.request_latency_s"
 
 
 @dataclass
@@ -79,6 +83,15 @@ class WaitProfileReport:
     #: Final pressure posture the broker recorded (None: no broker, or
     #: the run never left ``normal``).
     broker_final_posture: Optional[str] = None
+    #: Sampled end-to-end request traces carried in the stream.
+    trace_count: int = 0
+    #: ``{hop: {count, p50, p99, total_s}}`` over the trace hops.
+    trace_hops: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: ``{net_s, lock_s, fraction}`` -- the aggregate wire tax.
+    trace_wire_tax: Dict[str, float] = field(default_factory=dict)
+    #: ``{worker: {count, p50, p99, total_s}}`` from the routed
+    #: client's per-worker wire-latency histograms.
+    wire_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -95,6 +108,10 @@ class WaitProfileReport:
             "broker_reasons": self.broker_reasons,
             "broker_trades": self.broker_trades,
             "broker_final_posture": self.broker_final_posture,
+            "trace_count": self.trace_count,
+            "trace_hops": self.trace_hops,
+            "trace_wire_tax": self.trace_wire_tax,
+            "wire_latency": self.wire_latency,
             "notes": self.notes,
         }
 
@@ -161,6 +178,51 @@ class WaitProfileReport:
             if count
         )
         lines.append(f"  incidents: {incidents or '(none)'}")
+        if self.trace_count:
+            lines.append("")
+            lines.append("request traces:")
+            tax = self.trace_wire_tax
+            lines.append(
+                f"  {self.trace_count} sampled end-to-end traces, "
+                f"wire tax {tax.get('fraction', 0.0):.1%} "
+                f"(net {tax.get('net_s', 0.0):.6f}s vs "
+                f"lock {tax.get('lock_s', 0.0):.6f}s)"
+            )
+            rows = [
+                [
+                    hop,
+                    int(entry["count"]),
+                    f"{entry['p50']:.6f}",
+                    f"{entry['p99']:.6f}",
+                    f"{entry['total_s']:.6f}",
+                ]
+                for hop in HOP_NAMES
+                if (entry := self.trace_hops.get(hop)) is not None
+            ]
+            if rows:
+                lines.append(
+                    format_table(
+                        ["hop", "count", "p50 s", "p99 s", "total s"], rows
+                    )
+                )
+        if self.wire_latency:
+            lines.append("")
+            lines.append("wire latency (per worker):")
+            lines.append(
+                format_table(
+                    ["worker", "count", "p50 s", "p99 s", "total s"],
+                    [
+                        [
+                            worker,
+                            int(entry["count"]),
+                            f"{entry['p50']:.6f}",
+                            f"{entry['p99']:.6f}",
+                            f"{entry['total_s']:.6f}",
+                        ]
+                        for worker, entry in sorted(self.wire_latency.items())
+                    ],
+                )
+            )
         if self.broker_reasons:
             lines.append("")
             lines.append("memory broker:")
@@ -185,6 +247,7 @@ def analyze_run(telemetry: RunTelemetry, top_n: int = 5) -> WaitProfileReport:
     """Build the wait-profile report for one reloaded run."""
     breakdown, source, notes = _wait_breakdown(telemetry)
     broker_reasons, broker_trades, final_posture = _broker_summary(telemetry)
+    traces = getattr(telemetry, "traces", []) or []
     return WaitProfileReport(
         label=telemetry.label,
         wait_breakdown=breakdown,
@@ -198,6 +261,10 @@ def analyze_run(telemetry: RunTelemetry, top_n: int = 5) -> WaitProfileReport:
         broker_reasons=broker_reasons,
         broker_trades=broker_trades,
         broker_final_posture=final_posture,
+        trace_count=len(traces),
+        trace_hops=hop_percentiles(traces) if traces else {},
+        trace_wire_tax=wire_tax_summary(traces) if traces else {},
+        wire_latency=_wire_latency(telemetry),
         notes=notes,
     )
 
@@ -283,6 +350,22 @@ def _broker_summary(telemetry: RunTelemetry):
             trades[pair] = trades.get(pair, 0) + record.pages
         posture = record.posture
     return reasons, trades, posture
+
+
+def _wire_latency(telemetry: RunTelemetry) -> Dict[str, Dict[str, float]]:
+    """Per-worker wire-latency percentiles from the client histograms."""
+    report: Dict[str, Dict[str, float]] = {}
+    for hist in telemetry.registry.histograms():
+        if hist.base_name != WIRE_LATENCY_METRIC or hist.count == 0:
+            continue
+        worker = dict(hist.labels).get("worker", "?")
+        report[worker] = {
+            "count": hist.count,
+            "p50": hist.percentile(50),
+            "p99": hist.percentile(99),
+            "total_s": hist.sum,
+        }
+    return report
 
 
 def _incident_counts(telemetry: RunTelemetry) -> Dict[str, int]:

@@ -629,6 +629,7 @@ class RoutedLockClient:
         pool_size: int = 1,
         connect_timeout_s: float = 5.0,
         metrics: Any = None,
+        tracer: Any = None,
     ) -> None:
         if not endpoints:
             raise ValueError("need at least one worker endpoint")
@@ -649,6 +650,11 @@ class RoutedLockClient:
         self._rr = itertools.count()
         self._closed = False
         self.reconnects = 0
+        #: Optional end-to-end request tracer
+        #: (:class:`repro.obs.tracing.RequestTracer`).  Sampled lock_row
+        #: calls take the traced path; everything else pays exactly one
+        #: None check here (the disabled-overhead contract).
+        self._tracer = tracer
         #: Optional per-worker wire-latency histograms (one observation
         #: per lock_row round trip, labeled by worker).
         self._lat = None
@@ -808,6 +814,14 @@ class RoutedLockClient:
             conn = self._adopt(rec, worker)
         timeout = _wire_timeout(timeout_s)
         mode_byte = wire.wire_mode(mode)
+        if self._tracer is not None:
+            ctx = self._tracer.maybe_trace()
+            if ctx is not None:
+                self._lock_row_traced(
+                    ctx, conn, worker, app_id, table_id, row_id,
+                    mode_byte, timeout,
+                )
+                return
         if self._lat is None:
             conn.request(
                 lambda rid: wire.pack_lock_row_frame(
@@ -824,6 +838,95 @@ class RoutedLockClient:
             raw=True,
         )
         self._lat[worker].observe(time.perf_counter() - started)
+
+    def _lock_row_traced(
+        self,
+        ctx: Any,
+        conn: ClientConnection,
+        worker: int,
+        app_id: int,
+        table_id: int,
+        row_id: int,
+        mode_byte: int,
+        timeout: Optional[float],
+    ) -> None:
+        """One sampled lock_row round trip, decomposed into hops.
+
+        The payload is pre-built with request id 0 (that pack is the
+        ``client.encode`` hop) and the per-request id spliced in with
+        :func:`~repro.net.protocol.rewrite_request_id`, so the timed
+        encode work happens exactly once.  The server ships its four
+        hop durations back as the OK payload; subtracting their sum
+        from the observed wall wait leaves the disjoint
+        ``client.net_wait`` hop, so the hops sum to the end-to-end
+        latency.  Session adoption (if any) happened before this
+        method, outside the trace window -- an adopted worker adds no
+        extra hops.
+        """
+        perf = time.perf_counter
+        t0 = perf()
+        payload = wire.encode_lock_row(
+            0, app_id, table_id, row_id, mode_byte, timeout,
+            trace=(ctx.trace_id, ctx.span_id, True),
+        )
+        t1 = perf()
+        try:
+            response = conn.request(
+                lambda rid: wire.rewrite_request_id(payload, rid)
+            )
+        except BaseException as exc:
+            t2 = perf()
+            self._tracer.finish(
+                ctx,
+                t2 - t0,
+                {
+                    "client.encode": t1 - t0,
+                    "client.net_wait": t2 - t1,
+                    "client.decode": 0.0,
+                },
+                worker=worker,
+                app_id=app_id,
+                table_id=table_id,
+                row_id=row_id,
+                mode=str(mode_byte),
+                outcome=type(exc).__name__,
+            )
+            raise
+        t2 = perf()
+        wall = t2 - t1
+        data = b"" if response.__class__ is int else response.data
+        report = wire.parse_hop_report(data)
+        t3 = perf()
+        hops = {
+            "client.encode": t1 - t0,
+            "client.decode": t3 - t2,
+        }
+        if report is not None:
+            dispatch_s, lock_wait_s, park_s, reply_s = report
+            hops["server.dispatch"] = dispatch_s
+            hops["server.lock_wait"] = lock_wait_s
+            hops["server.executor_park"] = park_s
+            hops["server.reply_encode"] = reply_s
+            hops["client.net_wait"] = max(
+                0.0, wall - (dispatch_s + lock_wait_s + park_s + reply_s)
+            )
+        else:
+            # An old peer ignored the trace tail (or stripped the
+            # report): the whole wall wait is net as far as we can see.
+            hops["client.net_wait"] = wall
+        self._tracer.finish(
+            ctx,
+            t3 - t0,
+            hops,
+            worker=worker,
+            app_id=app_id,
+            table_id=table_id,
+            row_id=row_id,
+            mode=str(mode_byte),
+            outcome="ok",
+        )
+        if self._lat is not None:
+            self._lat[worker].observe(wall)
 
     def lock_table(
         self,
@@ -969,9 +1072,10 @@ class RoutedClientStack:
         max_in_flight: int = 64,
         max_queue_depth: int = 256,
         metrics: Any = None,
+        tracer: Any = None,
     ) -> None:
         self.service = RoutedLockClient(
-            endpoints, pool_size=pool_size, metrics=metrics
+            endpoints, pool_size=pool_size, metrics=metrics, tracer=tracer
         )
         self.admission = AdmissionController(
             max_in_flight=max_in_flight, max_queue_depth=max_queue_depth

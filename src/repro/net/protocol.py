@@ -130,6 +130,22 @@ FLAG_HAS_TIMEOUT = 0x01
 #: sends next, so "close then open" semantics are preserved without
 #: paying a round trip.
 FLAG_NO_REPLY = 0x02
+#: flags bit 2: the frame carries a trailing 17-byte trace context
+#: (trace id u64, span id u64, sampled u8) -- the distributed-tracing
+#: extension (see :mod:`repro.obs.tracing`).  The tail sits at the very
+#: end of the frame, *after* any timeout tail, and is stripped first
+#: during decode.  Because the codec enforces exact body sizes, a peer
+#: that predates this flag rejects traced frames cleanly instead of
+#: misparsing them -- so the extension is **capability-gated**: a
+#: client only attaches trace context when explicitly configured with a
+#: tracer (both ends of an in-repo deployment speak the same version),
+#: and untraced frames remain byte-identical to the pre-extension
+#: format.
+FLAG_TRACE = 0x04
+
+#: The trace-context tail: trace id, span id, sampled.
+_TRACE_CTX = struct.Struct("!QQB")
+TRACE_CTX_BYTES = _TRACE_CTX.size
 
 # -- the closed error-code vocabulary ---------------------------------------
 
@@ -277,6 +293,10 @@ class Request:
     #: BATCH_LOCK only: (table_id, row_id, mode) triples, in order.
     accesses: List[Tuple[int, int, int]] = field(default_factory=list)
     message: str = ""
+    #: FLAG_TRACE extension: propagated trace context (0 = untraced).
+    trace_id: int = 0
+    trace_span: int = 0
+    trace_sampled: bool = False
 
     @property
     def lock_mode(self) -> LockMode:
@@ -307,6 +327,16 @@ def _timeout_tail(timeout_s: Optional[float]) -> Tuple[int, bytes]:
     if timeout_s is None:
         return 0, b""
     return FLAG_HAS_TIMEOUT, _TIMEOUT.pack(timeout_s)
+
+
+def _trace_tail(
+    trace: Optional[Tuple[int, int, bool]]
+) -> Tuple[int, bytes]:
+    """Flag bit + packed tail for a ``(trace_id, span_id, sampled)``."""
+    if trace is None:
+        return 0, b""
+    trace_id, span_id, sampled = trace
+    return FLAG_TRACE, _TRACE_CTX.pack(trace_id, span_id, 1 if sampled else 0)
 
 
 def encode_open_session(request_id: int) -> bytes:
@@ -346,12 +376,15 @@ def encode_lock_row(
     row_id: int,
     mode: int,
     timeout_s: Optional[float] = None,
+    trace: Optional[Tuple[int, int, bool]] = None,
 ) -> bytes:
     flags, tail = _timeout_tail(timeout_s)
+    trace_flag, trace_tail = _trace_tail(trace)
     return (
-        _header(OP_LOCK_ROW, request_id, flags)
+        _header(OP_LOCK_ROW, request_id, flags | trace_flag)
         + _BODY_LOCK_ROW.pack(app_id, table_id, row_id, mode)
         + tail
+        + trace_tail
     )
 
 
@@ -420,6 +453,16 @@ def decode_request(payload: bytes) -> Request:
     req = Request(op=op, request_id=request_id)
     if flags & FLAG_NO_REPLY:
         req.no_reply = True
+    if flags & FLAG_TRACE:
+        # The trace tail is always the last thing in the frame; strip
+        # it before the per-op parsing (which strips the timeout tail).
+        if len(body) < _TRACE_CTX.size:
+            raise ProtocolError("trace flag set but no trace context present")
+        req.trace_id, req.trace_span, sampled = _TRACE_CTX.unpack(
+            body[-_TRACE_CTX.size :]
+        )
+        req.trace_sampled = bool(sampled)
+        body = body[: -_TRACE_CTX.size]
     try:
         if op in (OP_OPEN_SESSION, OP_STATS, OP_PING):
             _expect(body, 0)
@@ -565,9 +608,15 @@ def decode_response(payload: bytes) -> Response:
 
 _LOCK_ROW_FRAME = struct.Struct("!IBBQQqqB")  # len,op,flags,rid,app,tbl,row,md
 _LOCK_ROW_FRAME_T = struct.Struct("!IBBQQqqBd")  # ... + timeout
+# Traced variants append the 17-byte trace context (trace id, span id,
+# sampled) after the body/timeout, mirroring encode_lock_row's layout.
+_LOCK_ROW_FRAME_TR = struct.Struct("!IBBQQqqBQQB")
+_LOCK_ROW_FRAME_T_TR = struct.Struct("!IBBQQqqBdQQB")
 _OK_FRAME = struct.Struct("!IBBQq")  # len, RESP_OK, 0, rid, value
 _LOCK_ROW_BODY = _LOCK_ROW_FRAME.size - _LEN.size
 _LOCK_ROW_BODY_T = _LOCK_ROW_FRAME_T.size - _LEN.size
+_LOCK_ROW_BODY_TR = _LOCK_ROW_FRAME_TR.size - _LEN.size
+_LOCK_ROW_BODY_T_TR = _LOCK_ROW_FRAME_T_TR.size - _LEN.size
 _OK_BODY = _OK_FRAME.size - _LEN.size
 
 
@@ -578,22 +627,67 @@ def pack_lock_row_frame(
     row_id: int,
     mode: int,
     timeout_s: Optional[float] = None,
+    trace: Optional[Tuple[int, int, bool]] = None,
 ) -> bytes:
     """One-pack equivalent of ``encode_frame(encode_lock_row(...))``."""
-    if timeout_s is None:
-        return _LOCK_ROW_FRAME.pack(
-            _LOCK_ROW_BODY, OP_LOCK_ROW, 0, request_id,
-            app_id, table_id, row_id, mode,
+    if trace is None:
+        if timeout_s is None:
+            return _LOCK_ROW_FRAME.pack(
+                _LOCK_ROW_BODY, OP_LOCK_ROW, 0, request_id,
+                app_id, table_id, row_id, mode,
+            )
+        return _LOCK_ROW_FRAME_T.pack(
+            _LOCK_ROW_BODY_T, OP_LOCK_ROW, FLAG_HAS_TIMEOUT, request_id,
+            app_id, table_id, row_id, mode, timeout_s,
         )
-    return _LOCK_ROW_FRAME_T.pack(
-        _LOCK_ROW_BODY_T, OP_LOCK_ROW, FLAG_HAS_TIMEOUT, request_id,
+    trace_id, span_id, sampled = trace
+    if timeout_s is None:
+        return _LOCK_ROW_FRAME_TR.pack(
+            _LOCK_ROW_BODY_TR, OP_LOCK_ROW, FLAG_TRACE, request_id,
+            app_id, table_id, row_id, mode,
+            trace_id, span_id, 1 if sampled else 0,
+        )
+    return _LOCK_ROW_FRAME_T_TR.pack(
+        _LOCK_ROW_BODY_T_TR, OP_LOCK_ROW,
+        FLAG_HAS_TIMEOUT | FLAG_TRACE, request_id,
         app_id, table_id, row_id, mode, timeout_s,
+        trace_id, span_id, 1 if sampled else 0,
     )
 
 
 def pack_ok_frame(request_id: int, value: int = 0) -> bytes:
     """One-pack equivalent of ``encode_frame(encode_ok(...))``."""
     return _OK_FRAME.pack(_OK_BODY, RESP_OK, 0, request_id, value)
+
+
+# -- server hop report ------------------------------------------------------
+#
+# A traced LOCK_ROW's OK reply carries the server-side hop durations as
+# the response ``data`` payload: dispatch-queue, lock-wait,
+# executor-park, reply-encode -- the wire order of
+# ``repro.obs.tracing.SERVER_HOPS``.  The client subtracts their sum
+# from its observed wall wait to derive the disjoint ``client.net_wait``
+# hop, so hop durations sum to the end-to-end latency.
+
+_HOP_REPORT = struct.Struct("!4d")
+HOP_REPORT_BYTES = _HOP_REPORT.size
+
+
+def pack_hop_report(
+    dispatch_s: float, lock_wait_s: float, park_s: float, reply_s: float
+) -> bytes:
+    """Pack the four server-side hop durations for an OK reply."""
+    return _HOP_REPORT.pack(dispatch_s, lock_wait_s, park_s, reply_s)
+
+
+def parse_hop_report(
+    data: bytes,
+) -> Optional[Tuple[float, float, float, float]]:
+    """Inverse of :func:`pack_hop_report`; None on a size mismatch."""
+    if len(data) != _HOP_REPORT.size:
+        return None
+    dispatch_s, lock_wait_s, park_s, reply_s = _HOP_REPORT.unpack(data)
+    return dispatch_s, lock_wait_s, park_s, reply_s
 
 
 _FAST_OK = struct.Struct("!Qq")  # request_id, value (flags byte skipped)
@@ -689,6 +783,7 @@ __all__ = [
     "ConnectionLostError",
     "FrameDecoder",
     "FrameTooLargeError",
+    "HOP_REPORT_BYTES",
     "MAX_BATCH_ACCESSES",
     "MAX_FRAME_BYTES",
     "ProtocolError",
@@ -712,11 +807,14 @@ __all__ = [
     "encode_stats",
     "encode_unlock_read",
     "iter_frames",
+    "pack_hop_report",
     "pack_lock_row_frame",
     "pack_ok_frame",
+    "parse_hop_report",
     "peek_request_id",
     "rewrite_request_id",
     "try_parse_lock_row",
     "try_parse_ok",
     "wire_mode",
+    "TRACE_CTX_BYTES",
 ]

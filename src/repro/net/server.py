@@ -32,6 +32,7 @@ import logging
 import os
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, Optional, Set, Tuple
 
@@ -59,10 +60,29 @@ class ServiceBackend:
     non-blocking grant attempt when the service has one.
     """
 
-    def __init__(self, service: Any, *, name: str = "service") -> None:
+    def __init__(
+        self,
+        service: Any,
+        *,
+        name: str = "service",
+        tracer: Any = None,
+        incidents: Any = None,
+    ) -> None:
         self.service = service
         self.name = name
         self._uncontended = getattr(service, "lock_row_uncontended", None)
+        #: Optional :class:`repro.obs.tracing.ServerTracer` -- when set,
+        #: requests carrying a sampled trace context take the timed
+        #: dispatch path and their OK replies carry a hop report.
+        self.tracer = tracer
+        #: Optional :class:`repro.obs.incidents.IncidentRecorder` --
+        #: traced executions register their trace id so incidents
+        #: raised while they run (deadlock victim, escalation) are
+        #: stamped with it.  Falls back to the service's own recorder.
+        self._incidents = incidents
+        if self._incidents is None:
+            manager = getattr(service, "manager", None)
+            self._incidents = getattr(manager, "incidents", None)
 
     #: Ops that only ever take the service mutex for microseconds --
     #: they run inline on the event loop thread.  Everything else can
@@ -175,6 +195,26 @@ class ServiceBackend:
         if op == wire.OP_PING:
             return 0, b""
         raise wire.ProtocolError(f"unknown request op 0x{op:02x}")
+
+    def execute_traced(self, req: wire.Request) -> Tuple[int, bytes]:
+        """:meth:`execute` with the trace id registered for incidents.
+
+        While the request runs, any incident recorded against its app
+        (deadlock victimhood, an escalation it triggered) carries
+        ``trace_id`` in its data, linking the incident to the exact
+        traced request it hurt.
+        """
+        incidents = self._incidents
+        if incidents is None:
+            return self.execute(req)
+        trace_ids = getattr(incidents, "trace_ids", None)
+        if trace_ids is None:
+            return self.execute(req)
+        trace_ids[req.app_id] = req.trace_id
+        try:
+            return self.execute(req)
+        finally:
+            trace_ids.pop(req.app_id, None)
 
     def stats_payload(self) -> Dict[str, Any]:
         svc = self.service
@@ -510,6 +550,10 @@ class _ThreadedConnection:
             self._shutdown()
 
     def _dispatch(self, payload: bytes) -> None:
+        # The disabled-overhead contract: with no tracer configured this
+        # costs exactly one None check before the untraced flow.
+        tracer = self._backend.tracer
+        t0 = time.perf_counter() if tracer is not None else 0.0
         try:
             req = wire.decode_request(payload)
         except wire.ProtocolError as exc:
@@ -518,6 +562,9 @@ class _ThreadedConnection:
             except wire.ProtocolError:
                 request_id = 0
             self._send_payload(wire.encode_error(request_id, exc))
+            return
+        if tracer is not None and req.trace_sampled:
+            self._dispatch_traced(req, t0)
             return
         try:
             if self._backend.try_fast(req):
@@ -537,7 +584,62 @@ class _ThreadedConnection:
             return
         self._server.executor.submit(self._run_parking, req)
 
-    def _run_parking(self, req: wire.Request) -> None:
+    def _dispatch_traced(self, req: wire.Request, t0: float) -> None:
+        """The traced twin of :meth:`_dispatch`: same scheduling
+        decisions (inline immediate grant / inline non-parking /
+        executor handoff), with the hop clock running.  ``t0`` is the
+        frame's arrival at dispatch; everything up to execution start
+        is the ``server.dispatch`` hop.
+        """
+        perf = time.perf_counter
+        backend = self._backend
+        try:
+            t_exec = perf()
+            if backend.try_fast(req):
+                t_done = perf()
+                self._finish_traced(
+                    req, 1, t_exec - t0, t_done - t_exec, 0.0, t_done
+                )
+                return
+            if backend.is_nonparking(req):
+                t_svc = perf()
+                value, _data = backend.execute_traced(req)
+                t_done = perf()
+                self._record(req, value)
+                self._finish_traced(
+                    req, value, t_svc - t0, t_done - t_svc, 0.0, t_done
+                )
+                return
+        except Exception as exc:
+            self._fail_traced(req, exc, t0)
+            return
+        self._server.executor.submit(self._run_parking, req, t0, perf())
+
+    def _run_parking(
+        self,
+        req: wire.Request,
+        trace_t0: Optional[float] = None,
+        t_submit: Optional[float] = None,
+    ) -> None:
+        if trace_t0 is not None:
+            assert t_submit is not None
+            perf = time.perf_counter
+            t_start = perf()
+            try:
+                value, _data = self._backend.execute_traced(req)
+            except Exception as exc:
+                self._fail_traced(req, exc, trace_t0)
+                return
+            t_svc_end = perf()
+            self._finish_traced(
+                req,
+                value,
+                t_submit - trace_t0,
+                t_svc_end - t_start,
+                t_start - t_submit,
+                t_svc_end,
+            )
+            return
         try:
             value, data = self._backend.execute(req)
         except Exception as exc:
@@ -546,6 +648,54 @@ class _ThreadedConnection:
             return
         if not req.no_reply:
             self._send_payload(wire.encode_ok(req.request_id, value, data))
+
+    def _finish_traced(
+        self,
+        req: wire.Request,
+        value: int,
+        dispatch_s: float,
+        lock_wait_s: float,
+        park_s: float,
+        t_svc_end: float,
+    ) -> None:
+        """Record the server child span and reply with the hop report.
+
+        ``server.reply_encode`` is measured service-completion to
+        reply-assembly start; the final byte pack itself (~us) lands in
+        the client's ``client.net_wait`` hop, which is derived by
+        subtraction and absorbs whatever the report cannot carry.
+        """
+        reply_s = time.perf_counter() - t_svc_end
+        self._backend.tracer.record(
+            req.trace_id,
+            req.trace_span + 1,
+            {
+                "server.dispatch": dispatch_s,
+                "server.lock_wait": lock_wait_s,
+                "server.executor_park": park_s,
+                "server.reply_encode": reply_s,
+            },
+            app_id=req.app_id,
+            outcome="ok",
+        )
+        if not req.no_reply:
+            report = wire.pack_hop_report(
+                dispatch_s, lock_wait_s, park_s, reply_s
+            )
+            self._send_payload(wire.encode_ok(req.request_id, value, report))
+
+    def _fail_traced(
+        self, req: wire.Request, exc: Exception, t0: float
+    ) -> None:
+        self._backend.tracer.record(
+            req.trace_id,
+            req.trace_span + 1,
+            {"server.dispatch": time.perf_counter() - t0},
+            app_id=req.app_id,
+            outcome=type(exc).__name__,
+        )
+        if not req.no_reply:
+            self._send_payload(wire.encode_error(req.request_id, exc))
 
     def _record(self, req: wire.Request, value: int) -> None:
         op = req.op

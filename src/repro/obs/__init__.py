@@ -23,7 +23,11 @@ meets:
   attribution plus Oracle-style latch statistics,
 * :mod:`repro.obs.incidents` -- incident forensics
   (:class:`IncidentLog`): structured deadlock / escalation /
-  tuner-freeze records with posture, blockers and audit tail.
+  tuner-freeze records with posture, blockers and audit tail,
+* :mod:`repro.obs.tracing` -- end-to-end distributed request tracing
+  (:class:`RequestTracer` / :class:`ServerTracer`): 1-in-N sampled
+  cross-process traces decomposed into the closed ``HOP_NAMES``
+  vocabulary with per-trace wire-tax attribution.
 
 Enable on a database with ``db.enable_telemetry()`` before the run,
 collect with ``db.telemetry()`` (or
@@ -72,6 +76,19 @@ from repro.obs.incidents import (
     IncidentRecorder,
 )
 from repro.obs.spans import RequestSpan, RequestSpanSampler
+from repro.obs.tracing import (
+    HOP_NAMES,
+    LOCK_HOPS,
+    NET_HOPS,
+    SERVER_HOPS,
+    RequestTrace,
+    RequestTracer,
+    ServerTracer,
+    TraceContext,
+    hop_percentiles,
+    wire_tax,
+    wire_tax_summary,
+)
 from repro.obs.waits import (
     WAIT_CLASSES,
     WAIT_SECONDS_METRIC,
@@ -118,4 +135,15 @@ __all__ = [
     "IncidentLog",
     "IncidentRecord",
     "IncidentRecorder",
+    "HOP_NAMES",
+    "LOCK_HOPS",
+    "NET_HOPS",
+    "SERVER_HOPS",
+    "RequestTrace",
+    "RequestTracer",
+    "ServerTracer",
+    "TraceContext",
+    "hop_percentiles",
+    "wire_tax",
+    "wire_tax_summary",
 ]

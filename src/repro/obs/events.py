@@ -11,7 +11,7 @@ serializes them as a single time-ordered JSONL stream that
 controller decisions and histogram percentiles all survive the round
 trip exactly, so a run can be audited entirely offline.
 
-Record kinds (schema version 4, one JSON object per line):
+Record kinds (schema version 5, one JSON object per line):
 
 =============  ==============================================================
 ``meta``       run header: ``label``, ``version`` (first line of every run)
@@ -28,6 +28,11 @@ Record kinds (schema version 4, one JSON object per line):
 ``broker``     one whole-memory broker audit entry (all BrokerAuditRecord
                fields; added in schema version 4, emitted by the live
                service when the MemoryBroker is enabled)
+``reqtrace``   one completed end-to-end request trace (all RequestTrace
+               fields: trace/span ids, hop durations, wire tax; added
+               in schema version 5, emitted by the networked service
+               when request tracing is sampled -- distinct from the
+               lock manager's ``trace`` event records)
 ``sample``     one metric sample: ``t``, ``series``, ``value``
 ``counter``    final counter value: ``name``, ``value``
 ``gauge``      final gauge value: ``name``, ``value``
@@ -35,10 +40,10 @@ Record kinds (schema version 4, one JSON object per line):
 =============  ==============================================================
 
 ``trace``/``decision``/``audit``/``wait``/``incident``/``broker``/
-``sample`` records are merged in ``t`` order; registry records follow
-at the end (they are end-of-run snapshots).  The reader accepts schema
-versions 1 through 4 (earlier versions simply contain none of the
-newer kinds).
+``reqtrace``/``sample`` records are merged in ``t`` order; registry
+records follow at the end (they are end-of-run snapshots).  The reader
+accepts schema versions 1 through 5 (earlier versions simply contain
+none of the newer kinds).
 """
 
 from __future__ import annotations
@@ -60,12 +65,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.database import Database
 
 #: Bumped when the JSONL record schema changes incompatibly.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: Versions :func:`load_runs` understands (v1 lacks ``audit`` records,
 #: v2 lacks ``wait`` and ``incident`` records, v3 lacks ``broker``
-#: records).
-SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3, 4})
+#: records, v4 lacks ``reqtrace`` records).
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2, 3, 4, 5})
 
 #: The histogram the lock manager observes wait durations into.
 WAIT_LATENCY_METRIC = "lock.wait.latency_s"
@@ -90,6 +95,7 @@ class RunTelemetry:
         waits: Optional[List[Dict[str, Any]]] = None,
         incidents: Optional[List[IncidentRecord]] = None,
         broker: Optional[List[BrokerAuditRecord]] = None,
+        traces: Optional[List[Dict[str, Any]]] = None,
     ) -> None:
         self.label = label
         self.trace_events = trace_events or []
@@ -102,6 +108,9 @@ class RunTelemetry:
         self.incidents = incidents or []
         #: Whole-memory broker audit entries (trades and postures).
         self.broker = broker or []
+        #: Completed end-to-end request traces as dicts (the client
+        #: trace ring's ``to_dicts``; see :mod:`repro.obs.tracing`).
+        self.traces = traces or []
 
     # -- construction --------------------------------------------------------
 
@@ -249,6 +258,14 @@ class RunTelemetry:
                 )
                 yield record
 
+        def reqtrace_records():
+            # The ring is ordered by completion; ``t`` is the trace
+            # start -- sort for heapq.merge like the wait records.
+            for tr in sorted(self.traces, key=lambda tr: tr["t"]):
+                record = {"kind": "reqtrace"}
+                record.update(tr)
+                yield record
+
         def sample_records():
             for t, row in self.metrics.to_rows():
                 for series in sorted(row):
@@ -260,7 +277,7 @@ class RunTelemetry:
         yield from heapq.merge(
             trace_records(), decision_records(), audit_records(),
             wait_records(), incident_records(), broker_records(),
-            sample_records(),
+            reqtrace_records(), sample_records(),
             key=lambda record: record["t"],
         )
         snapshot = self.registry.snapshot()
@@ -302,6 +319,7 @@ class RunTelemetry:
             f"{len(self.audit)} audit records, "
             f"{len(self.waits)} waits, {len(self.incidents)} incidents, "
             f"{len(self.broker)} broker records, "
+            f"{len(self.traces)} request traces, "
             f"{len(self.metrics.names())} series)"
         )
 
@@ -387,6 +405,10 @@ def _apply_record(
         fields["time"] = fields.pop("t")
         fields.pop("kind")
         telemetry.broker.append(BrokerAuditRecord.from_dict(fields))
+    elif kind == "reqtrace":
+        fields = dict(record)
+        fields.pop("kind")
+        telemetry.traces.append(fields)
     elif kind == "sample":
         telemetry.metrics.record(record["series"], record["t"], record["value"])
     elif kind == "counter":

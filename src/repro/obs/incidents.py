@@ -169,6 +169,12 @@ class IncidentRecorder:
         self.log = log
         self.shard = shard
         self.audit = audit
+        #: ``{app_id: trace_id}`` for requests currently executing under
+        #: a sampled trace (set/popped by the server's traced execute
+        #: path).  Incidents captured against an app in this map carry
+        #: ``data["trace_id"]``, linking the incident to the trace it
+        #: hurt.  Plain dict, GIL-atomic set/pop -- no lock.
+        self.trace_ids: Dict[int, int] = {}
 
     # -- capture sites -------------------------------------------------
 
@@ -181,6 +187,10 @@ class IncidentRecorder:
         detail: str,
     ) -> None:
         """A deadlock victim was just chosen (before its error raises)."""
+        data: Dict[str, Any] = {"resource": str(resource)}
+        trace_id = self._trace_of(app_id, cycle)
+        if trace_id is not None:
+            data["trace_id"] = trace_id
         self.log.append(
             IncidentRecord(
                 kind="deadlock",
@@ -192,7 +202,7 @@ class IncidentRecorder:
                 posture=self._posture(manager),
                 blockers=self._top_blockers(manager),
                 audit_tail=self._audit_tail(),
-                data={"resource": str(resource)},
+                data=data,
             )
         )
 
@@ -206,6 +216,15 @@ class IncidentRecorder:
         waiters_present: bool,
     ) -> None:
         """A row-to-table escalation just completed."""
+        data: Dict[str, Any] = {
+            "table_id": table_id,
+            "reason": reason,
+            "rows_freed": rows_freed,
+            "waiters_present": waiters_present,
+        }
+        trace_id = self._trace_of(app_id)
+        if trace_id is not None:
+            data["trace_id"] = trace_id
         self.log.append(
             IncidentRecord(
                 kind="escalation",
@@ -216,12 +235,7 @@ class IncidentRecorder:
                 posture=self._posture(manager),
                 blockers=self._top_blockers(manager),
                 audit_tail=self._audit_tail(),
-                data={
-                    "table_id": table_id,
-                    "reason": reason,
-                    "rows_freed": rows_freed,
-                    "waiters_present": waiters_present,
-                },
+                data=data,
             )
         )
 
@@ -242,6 +256,20 @@ class IncidentRecorder:
                 audit_tail=self._audit_tail(),
             )
         )
+
+    def _trace_of(
+        self, app_id: int, cycle: Optional[List[int]] = None
+    ) -> Optional[int]:
+        """The trace id executing as ``app_id`` (or anyone in the
+        cycle), if a sampled trace is in flight there."""
+        trace_id = self.trace_ids.get(app_id)
+        if trace_id is not None:
+            return trace_id
+        for app in cycle or ():
+            trace_id = self.trace_ids.get(app)
+            if trace_id is not None:
+                return trace_id
+        return None
 
     # -- snapshot helpers ----------------------------------------------
 

@@ -189,6 +189,7 @@ def _build_pool(params: Mapping[str, Any]):
             admission_queue_depth=4 * max(4, threads),
             params=TuningParameters(),
             workers=int(params["workers"]),
+            trace_sample_every=int(params.get("trace_sample_every", 0)),
         )
     )
 
@@ -313,6 +314,34 @@ def _pool_accounting_checks(pool, skip: frozenset) -> List[Check]:
     return checks
 
 
+def _trace_ring_summary(stack) -> Dict[str, Any]:
+    """The run's distributed-trace posture for result.json.
+
+    Counts only (no timings), so the record stays stable across hosts:
+    how many requests were sampled, how many round trips finished, how
+    many finished traces fell off the bounded rings, and how many the
+    rings still held at shutdown.  All zeros with ``enabled: false``
+    when the scenario ran untraced (the default -- grids opt in via a
+    ``trace_sample_every`` param).
+    """
+    every = int(getattr(stack.config, "trace_sample_every", 0) or 0)
+    summary = {
+        "enabled": every > 0,
+        "sample_every": every,
+        "sampled": 0,
+        "finished": 0,
+        "truncated": 0,
+        "held": 0,
+    }
+    for tracer in getattr(stack, "request_tracers", []) or []:
+        counts = tracer.summary()
+        summary["sampled"] += counts["started"]
+        summary["finished"] += counts["finished"]
+        summary["truncated"] += counts["truncated"]
+        summary["held"] += len(tracer.to_dicts())
+    return summary
+
+
 def _service_metrics(stack, report, dss: Optional[_DssTenant]) -> Dict[str, Any]:
     metrics: Dict[str, Any] = dict(report.summary())
     stats = stack.manager_stats
@@ -325,6 +354,7 @@ def _service_metrics(stack, report, dss: Optional[_DssTenant]) -> Dict[str, Any]
             "peak_used_slots": stats.peak_used_slots,
             "tuner_intervals": stack.tuner.intervals_run,
             "frozen_reason": stack.service.frozen_reason,
+            "trace_ring": _trace_ring_summary(stack),
         }
     )
     if dss is not None:
@@ -424,6 +454,7 @@ def _run_pool_scenario(
             "allocated_pages": pool.chain.allocated_pages,
             "tuner_intervals": pool.tuner.intervals_run,
             "frozen_reason": pool.frozen_reason,
+            "trace_ring": _trace_ring_summary(pool),
         }
     )
     return ScenarioResult(spec=spec, verdict=verdict, metrics=metrics)

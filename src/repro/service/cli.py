@@ -49,7 +49,12 @@ Every load subcommand accepts ``--ops-port`` (serve ``/metrics`` /
 ``/healthz`` / ``/stmm`` while running), ``--span-sample N`` (sample
 every Nth request's admission->grant->release span) and ``--telemetry
 out.jsonl`` (export the run's registry, tuning decisions and audit
-trail as a JSONL stream readable by ``repro.obs``).
+trail as a JSONL stream readable by ``repro.obs``).  The networked
+pool lanes (``--net --workers N``) additionally accept
+``--trace-sample N``: sample every Nth wire request for an end-to-end
+distributed trace (client encode -> net wait -> server dispatch/lock
+wait/park/reply -> client decode), served on ``/traces`` and exported
+as schema-v5 ``reqtrace`` telemetry records.
 """
 
 from __future__ import annotations
@@ -179,6 +184,15 @@ def _add_net_args(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="client connections per endpoint (default 1)",
     )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sample every Nth network request for an end-to-end "
+        "distributed trace (0 = off, the default; requires --net "
+        "--workers; traces land on /traces and in --telemetry)",
+    )
 
 
 def _ops_url(target: str) -> str:
@@ -254,7 +268,8 @@ def _announce_ops(stack: AnyStack) -> None:
     ops = getattr(stack, "ops", None)
     if ops is not None and ops.running:
         print(
-            f"ops plane: {ops.url} (/metrics /healthz /stmm /incidents)",
+            f"ops plane: {ops.url} "
+            f"(/metrics /healthz /stmm /incidents /traces)",
             flush=True,
         )
 
@@ -398,6 +413,7 @@ def _build_pool(args: argparse.Namespace) -> WorkerPoolStack:
             params=TuningParameters(),
             workers=args.workers,
             ops_port=args.ops_port,
+            trace_sample_every=getattr(args, "trace_sample", 0),
         )
     )
 
@@ -423,6 +439,15 @@ def _print_pool_report(pool: WorkerPoolStack, report: DriverReport) -> None:
         f"synchronously, {len(pool.detector.victims)} cross-worker "
         f"deadlock victims"
     )
+    if pool.config.trace_sample_every > 0:
+        payload = pool.ops_traces()
+        tax = (payload.get("summary") or {}).get("wire_tax") or {}
+        print(
+            f"traces:             {payload['total']} sampled "
+            f"(1/{pool.config.trace_sample_every}), "
+            f"{payload['truncated']} truncated, "
+            f"wire tax {tax.get('fraction', 0.0):.0%}"
+        )
     rec = pool.reconciliation
     if rec is None:
         return
@@ -463,6 +488,7 @@ def _net_stress_pool(args: argparse.Namespace) -> int:
     finally:
         pool.stop()
     _print_pool_report(pool, report)
+    _export_telemetry(pool, args)
     failures = list(report.worker_errors)
     expected = args.threads * args.requests
     if args.duration is None and report.lock_requests < expected:

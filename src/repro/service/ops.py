@@ -37,6 +37,14 @@ service stack:
     :mod:`repro.obs.incidents`).  404 when the stack did not wire an
     incident log.
 
+``GET /traces``
+    The end-to-end request-trace rings as JSON (see
+    :mod:`repro.obs.tracing`): completed client traces with their hop
+    decomposition and wire tax, plus the per-worker server span rings
+    merged by the parent pool.  Always 200 -- an unwired or disabled
+    tracer serves the same shape with ``enabled: false`` and empty
+    rings.
+
 The server binds ``127.0.0.1`` by default and serves each request from
 a pooled thread; handlers only ever *read* (snapshot copies from the
 registry and ring buffers), so a scrape cannot stall the request hot
@@ -61,6 +69,23 @@ from repro.obs.registry import MetricRegistry
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
+def empty_traces_payload() -> Dict[str, Any]:
+    """The ``/traces`` body when request tracing is not wired or off.
+
+    Deliberately the same shape as a live payload (not a 404): a
+    scraper can always ask for traces and branch on ``enabled``.
+    """
+    return {
+        "enabled": False,
+        "sample_every": 0,
+        "total": 0,
+        "truncated": 0,
+        "traces": [],
+        "server_spans": {},
+        "summary": {},
+    }
+
+
 class OpsServer:
     """Serve a stack's registry, health and audit trail over HTTP.
 
@@ -77,6 +102,12 @@ class OpsServer:
         Optional callable returning the ``/incidents`` JSON body (the
         forensics ring of deadlock / escalation / tuner-freeze
         records); 404 when not wired.
+    traces:
+        Optional callable returning the ``/traces`` JSON body (the
+        end-to-end request-trace rings, client and server side --
+        see :mod:`repro.obs.tracing`).  Unlike ``/incidents``, an
+        unwired ``/traces`` serves :func:`empty_traces_payload` rather
+        than a 404, so tooling can probe it unconditionally.
     refresh:
         Optional hook run before each ``/metrics`` render; stacks use
         it to publish point-in-time gauges (occupancy, queue depth).
@@ -94,6 +125,7 @@ class OpsServer:
         health: Callable[[], Dict[str, Any]],
         stmm_status: Callable[[], Dict[str, Any]],
         incidents: Optional[Callable[[], Dict[str, Any]]] = None,
+        traces: Optional[Callable[[], Dict[str, Any]]] = None,
         refresh: Optional[Callable[[], None]] = None,
         port: int = 0,
         host: str = "127.0.0.1",
@@ -104,6 +136,7 @@ class OpsServer:
         self.health = health
         self.stmm_status = stmm_status
         self.incidents = incidents
+        self.traces = traces
         self.refresh = refresh
         self.requested_port = port
         self.host = host
@@ -157,6 +190,11 @@ class OpsServer:
                             )
                         else:
                             self._reply_json(200, ops.incidents())
+                    elif path == "/traces":
+                        if ops.traces is None:
+                            self._reply_json(200, empty_traces_payload())
+                        else:
+                            self._reply_json(200, ops.traces())
                     else:
                         self._reply_json(
                             404, {"error": f"unknown path {path!r}"}
@@ -240,4 +278,4 @@ class OpsServer:
         return f"OpsServer({state})"
 
 
-__all__ = ["OpsServer", "PROMETHEUS_CONTENT_TYPE"]
+__all__ = ["OpsServer", "PROMETHEUS_CONTENT_TYPE", "empty_traces_payload"]

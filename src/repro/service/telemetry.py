@@ -40,6 +40,10 @@ def service_telemetry(stack: "AnyStack", label: str = "service") -> RunTelemetry
     for profiler in getattr(stack, "wait_profilers", []) or []:
         waits.extend(profiler.to_dicts())
     waits.sort(key=lambda w: w["t"])
+    traces = []
+    for tracer in getattr(stack, "request_tracers", []) or []:
+        traces.extend(tracer.to_dicts())
+    traces.sort(key=lambda tr: tr["t"])
     incident_log = getattr(stack, "incidents", None)
     broker = getattr(stack, "broker", None)
     telemetry = RunTelemetry(
@@ -50,6 +54,7 @@ def service_telemetry(stack: "AnyStack", label: str = "service") -> RunTelemetry
         waits=waits,
         incidents=[] if incident_log is None else incident_log.records(),
         broker=[] if broker is None else broker.audit.records(),
+        traces=traces,
     )
     return telemetry
 

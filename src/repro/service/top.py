@@ -12,6 +12,10 @@ and redraws one console frame per poll:
   [minFree, maxFree] band, MAXLOCKS, and the incident count;
 * the tail of the STMM audit log -- the last few intervals' chosen
   actions in the machine-readable reason vocabulary;
+* when the routed client publishes per-worker wire-latency histograms,
+  a per-worker latency panel; and when request tracing is sampled, the
+  slowest end-to-end traces from ``/traces`` with their dominant hop
+  and wire-tax fraction;
 * when the whole-memory broker is enabled, the per-heap table (size,
   demand, marginal benefit per page) and the pressure posture.
 
@@ -170,6 +174,14 @@ def fetch_state(base_url: str, timeout_s: float = 5.0) -> Tuple[MetricsDump, dic
     return metrics, stmm
 
 
+def fetch_traces(base_url: str, timeout_s: float = 5.0) -> Optional[dict]:
+    """The decoded ``/traces`` body (None against a pre-tracing server)."""
+    try:
+        return json.loads(fetch(f"{base_url}/traces", timeout_s))
+    except (OSError, ValueError):
+        return None
+
+
 def _fmt_latency(seconds: Optional[float]) -> str:
     if seconds is None:
         return "    -"
@@ -200,6 +212,37 @@ def _wait_seconds(dump: MetricsDump, shard: Optional[str]) -> Optional[float]:
             continue
         total = (total or 0.0) + value
     return total
+
+
+def worker_wire_latency(metrics: MetricsDump) -> Dict[str, dict]:
+    """Per-worker wire-latency rows from the routed client's histograms.
+
+    Empty when the run had no routed client with telemetry (the series
+    simply is not published), so callers can skip the panel.
+    """
+    series = metrics.get("net_client_request_latency_s_bucket", {})
+    by_worker: Dict[str, List[Tuple[float, float]]] = {}
+    for labels, value in series.items():
+        as_dict = dict(labels)
+        worker = as_dict.get("worker")
+        le = as_dict.get("le")
+        if worker is None or le is None:
+            continue
+        by_worker.setdefault(worker, []).append(
+            (float("inf") if le == "+Inf" else float(le), value)
+        )
+    out: Dict[str, dict] = {}
+    for worker in sorted(by_worker, key=lambda w: (len(w), w)):
+        buckets = by_worker[worker]
+        count = max(v for _, v in buckets)
+        if count <= 0:
+            continue
+        out[worker] = {
+            "count": count,
+            "p50_s": percentile_from_buckets(buckets, 0.50),
+            "p99_s": percentile_from_buckets(buckets, 0.99),
+        }
+    return out
 
 
 def shard_summary(
@@ -251,6 +294,7 @@ def render_frame(
     prev_metrics: Optional[MetricsDump] = None,
     elapsed_s: float = 0.0,
     audit_tail: int = 5,
+    traces: Optional[dict] = None,
 ) -> str:
     """One dashboard frame as a string (no terminal control codes)."""
     lines: List[str] = []
@@ -295,6 +339,45 @@ def render_frame(
             f"{_fmt_count(row['used_slots'], 8)} "
             f"{free_str}"
         )
+
+    wire = worker_wire_latency(metrics)
+    if wire:
+        lines.append("")
+        lines.append("wire latency (routed client, per worker):")
+        lines.append(f"{'worker':>6} {'requests':>9} {'p50':>6} {'p99':>6}")
+        for worker, row in wire.items():
+            lines.append(
+                f"{worker:>6} {_fmt_count(row['count'], 9)} "
+                f"{_fmt_latency(row['p50_s']):>6} "
+                f"{_fmt_latency(row['p99_s']):>6}"
+            )
+
+    if traces and traces.get("enabled") and traces.get("traces"):
+        tax = (traces.get("summary") or {}).get("wire_tax", {})
+        lines.append("")
+        lines.append(
+            f"request traces: {traces.get('total', 0)} sampled "
+            f"(1/{traces.get('sample_every', 0)}) | "
+            f"truncated {traces.get('truncated', 0)} | "
+            f"wire tax {tax.get('fraction', 0.0):.0%}"
+        )
+        slowest = sorted(
+            traces["traces"], key=lambda tr: -tr.get("total_s", 0.0)
+        )[:5]
+        lines.append(
+            f"{'trace':>17} {'worker':>6} {'total':>6} {'net%':>5}  "
+            f"slowest hop"
+        )
+        for tr in slowest:
+            hops = tr.get("hops") or {}
+            top_hop = max(hops, key=hops.get) if hops else "-"
+            lines.append(
+                f"{tr.get('trace_id', 0):>17x} "
+                f"{tr.get('worker', '-')!s:>6} "
+                f"{_fmt_latency(tr.get('total_s')):>6} "
+                f"{tr.get('wire_tax', 0.0):>5.0%}  "
+                f"{top_hop} ({_fmt_latency(hops.get(top_hop))})"
+            )
 
     broker = stmm.get("broker")
     if broker:
@@ -342,10 +425,20 @@ def frame_dict(
     *,
     prev_metrics: Optional[MetricsDump] = None,
     elapsed_s: float = 0.0,
+    traces: Optional[dict] = None,
 ) -> dict:
     """One machine-readable frame (the ``--json`` output)."""
     shards = _shard_ids(metrics)
     targets: List[Optional[str]] = list(shards) if shards else [None]
+    trace_summary = None
+    if traces is not None:
+        trace_summary = {
+            "enabled": traces.get("enabled", False),
+            "sample_every": traces.get("sample_every", 0),
+            "total": traces.get("total", 0),
+            "truncated": traces.get("truncated", 0),
+            "summary": traces.get("summary", {}),
+        }
     return {
         "locklist_pages": stmm.get("locklist_pages"),
         "free_fraction": stmm.get("locklist_free_fraction"),
@@ -356,6 +449,8 @@ def frame_dict(
         "incident_total": stmm.get("incident_total"),
         "wait_classes": stmm.get("wait_classes"),
         "broker": stmm.get("broker"),
+        "wire_latency": worker_wire_latency(metrics),
+        "traces": trace_summary,
         "shards": [
             shard_summary(
                 metrics, shard, prev_metrics=prev_metrics, elapsed_s=elapsed_s
@@ -386,6 +481,7 @@ def run_top(
             except OSError as exc:
                 print(f"top: {base_url} unreachable: {exc}", file=sys.stderr)
                 return 1
+            traces = fetch_traces(base_url)
             now = time.monotonic()
             elapsed = (now - prev_at) if prev is not None else 0.0
             if as_json:
@@ -396,6 +492,7 @@ def run_top(
                             stmm,
                             prev_metrics=prev,
                             elapsed_s=elapsed,
+                            traces=traces,
                         ),
                         separators=(",", ":"),
                     )
@@ -403,7 +500,11 @@ def run_top(
                 out.write("\n")
             else:
                 frame = render_frame(
-                    metrics, stmm, prev_metrics=prev, elapsed_s=elapsed
+                    metrics,
+                    stmm,
+                    prev_metrics=prev,
+                    elapsed_s=elapsed,
+                    traces=traces,
                 )
                 if clear and drawn:
                     out.write("\x1b[2J\x1b[H")
@@ -428,8 +529,10 @@ __all__ = [
     "parse_prometheus",
     "percentile_from_buckets",
     "shard_summary",
+    "worker_wire_latency",
     "frame_dict",
     "render_frame",
     "fetch_state",
+    "fetch_traces",
     "run_top",
 ]

@@ -72,7 +72,18 @@ from repro.lockmgr.detector import (
 from repro.memory.stmm import Stmm
 from repro.net.server import ServiceBackend, ThreadedLockServer
 from repro.obs.incidents import IncidentLog, IncidentRecord
-from repro.obs.registry import MetricRegistry
+from repro.obs.registry import (
+    Histogram,
+    MetricRegistry,
+    labeled_name,
+    parse_labeled_name,
+)
+from repro.obs.tracing import (
+    RequestTracer,
+    ServerTracer,
+    hop_percentiles,
+    wire_tax_summary,
+)
 from repro.service.clock import MonotonicClock
 from repro.service.ops import OpsServer
 from repro.service.service import LockService
@@ -147,6 +158,13 @@ class _WorkerSpec:
     refresh_period: int
     initial_fraction: float
     executor_threads: int
+    #: Record server-side child spans for sampled traces (tentpole:
+    #: the worker half of the end-to-end request trace).
+    trace: bool = False
+    #: Build a per-worker metric registry; the parent pulls snapshots
+    #: over the control plane and merges them into one ``/metrics``
+    #: scrape under a ``worker="N"`` label.
+    telemetry: bool = False
 
 
 def _worker_occupancy(service: LockService, server: ThreadedLockServer) -> dict:
@@ -179,11 +197,13 @@ def _worker_main(spec: _WorkerSpec, ctl: Connection, borrow: Connection) -> None
     """
     chain = LockBlockChain(initial_blocks=spec.initial_blocks)
     clock = MonotonicClock()
+    wmetrics = MetricRegistry() if spec.telemetry else None
     service = LockService(
         chain,
         clock=clock,
         default_timeout_s=spec.default_timeout_s,
         lock_timeout_s=spec.lock_timeout_s,
+        metrics=wmetrics,
     )
     # Disjoint arithmetic progressions make app ids globally unique
     # without a parent round trip per session: worker i hands out
@@ -216,10 +236,12 @@ def _worker_main(spec: _WorkerSpec, ctl: Connection, borrow: Connection) -> None
     manager.refresh_period = spec.refresh_period
     manager.refresh_maxlocks()
 
+    tracer = ServerTracer() if spec.trace else None
     server = ThreadedLockServer(
-        ServiceBackend(service, name=f"worker{spec.idx}"),
+        ServiceBackend(service, name=f"worker{spec.idx}", tracer=tracer),
         path=spec.sock_path,
         executor_threads=spec.executor_threads,
+        metrics=wmetrics,
     )
     server.start()
     ctl.send(("ready", spec.idx, os.getpid()))
@@ -273,6 +295,17 @@ def _worker_main(spec: _WorkerSpec, ctl: Connection, borrow: Connection) -> None
                 result = (cancelled, resource)
             elif op == "stats":
                 result = server.backend.stats_payload()
+            elif op == "traces":
+                result = (
+                    None
+                    if tracer is None
+                    else {
+                        "spans": tracer.to_dicts(),
+                        "summary": tracer.summary(),
+                    }
+                )
+            elif op == "metrics":
+                result = None if wmetrics is None else wmetrics.snapshot()
             elif op == "check":
                 with service._cond:  # noqa: SLF001
                     chain.check_invariants()
@@ -732,6 +765,9 @@ class WorkerPoolStack:
         self.incidents = IncidentLog(capacity=cfg.incident_capacity)
         self.reconciliation: Optional[WorkerReconciliation] = None
         self.worker_crashes = 0
+        #: Client-side request tracers, one per ``client_stack`` built
+        #: while tracing is enabled; ``/traces`` merges their rings.
+        self.request_tracers: List[RequestTracer] = []
 
         self._own_socket_dir = cfg.socket_dir is None
         self.socket_dir = cfg.socket_dir or tempfile.mkdtemp(
@@ -753,6 +789,7 @@ class WorkerPoolStack:
                 stmm_status=self.ops_stmm,
                 refresh=self.publish_ops_metrics,
                 incidents=self.ops_incidents,
+                traces=self.ops_traces,
                 port=cfg.ops_port,
             )
 
@@ -795,6 +832,8 @@ class WorkerPoolStack:
                 refresh_period=cfg.params.refresh_period_requests,
                 initial_fraction=initial_fraction,
                 executor_threads=cfg.executor_threads,
+                trace=cfg.trace_sample_every > 0,
+                telemetry=cfg.telemetry,
             )
             process = ctx.Process(
                 target=_worker_main,
@@ -837,12 +876,18 @@ class WorkerPoolStack:
         """A :class:`LoadDriver`-shaped client stack routed over the pool."""
         from repro.net.client import RoutedClientStack
 
+        tracer = None
+        if self.config.trace_sample_every > 0:
+            tracer = RequestTracer(self.config.trace_sample_every)
+            self.request_tracers.append(tracer)
         return RoutedClientStack(
             self.endpoints,
             pool_size=pool_size,
             max_in_flight=max_in_flight or self.config.max_in_flight,
             max_queue_depth=max_queue_depth
             or self.config.admission_queue_depth,
+            metrics=self.metrics,
+            tracer=tracer,
         )
 
     # -- control plane -----------------------------------------------------
@@ -1213,6 +1258,10 @@ class WorkerPoolStack:
             for idx in self._live_workers():
                 with contextlib.suppress(WorkerDiedError, ServiceError):
                     self._occ[idx] = self._call(idx, "occupancy")
+                with contextlib.suppress(WorkerDiedError, ServiceError):
+                    snapshot = self._call(idx, "metrics")
+                    if snapshot is not None:
+                        self._install_worker_metrics(idx, snapshot)
         for idx in range(self.config.workers):
             occ = self._occ[idx]
             labels = {"worker": str(idx)}
@@ -1330,6 +1379,75 @@ class WorkerPoolStack:
             "total": self.incidents.total_recorded,
             "counts": self.incidents.kind_counts(),
             "incidents": self.incidents.to_dicts(),
+        }
+
+    def _install_worker_metrics(self, idx: int, snapshot: dict) -> None:
+        """Merge one worker's registry snapshot under ``worker="N"``.
+
+        Each worker process keeps its own registry (counters increment
+        in its address space, invisible to the parent); a scrape pulls
+        every live worker's snapshot over the control plane and lands
+        the series here with the worker label added, so one ``/metrics``
+        endpoint carries the whole pool.
+        """
+        reg = self.metrics
+        assert reg is not None  # only called with telemetry on
+
+        def _relabel(full: str) -> str:
+            base, pairs = parse_labeled_name(full)
+            labels = dict(pairs)
+            labels["worker"] = str(idx)
+            return labeled_name(base, labels)
+
+        for name, value in snapshot.get("counters", {}).items():
+            reg.counter(_relabel(name)).value = float(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            reg.gauge(_relabel(name)).set(float(value))
+        for name, hist in snapshot.get("histograms", {}).items():
+            renamed = dict(hist)
+            renamed["name"] = _relabel(name)
+            reg.install(Histogram.from_snapshot(renamed))
+
+    def ops_traces(self) -> dict:
+        """The ``/traces`` body: client trace rings + worker span rings.
+
+        Client-side completed traces (with their hop decomposition and
+        wire tax) merge across every tracer this pool handed out, time
+        ordered; each live worker contributes its server span ring so a
+        truncated client trace can still be attributed from the
+        surviving side.
+        """
+        enabled = self.config.trace_sample_every > 0
+        traces: List[Dict[str, Any]] = []
+        total = 0
+        truncated = 0
+        for tracer in self.request_tracers:
+            traces.extend(tracer.to_dicts())
+            counts = tracer.summary()
+            total += counts["finished"]
+            truncated += counts["truncated"]
+        traces.sort(key=lambda trace: trace["t"])
+        server_spans: Dict[str, Any] = {}
+        if enabled and self._started and not self._stopping:
+            for idx in self._live_workers():
+                with contextlib.suppress(WorkerDiedError, ServiceError):
+                    spans = self._call(idx, "traces")
+                    if spans is not None:
+                        server_spans[str(idx)] = spans
+        summary: Dict[str, Any] = {}
+        if traces:
+            summary = {
+                "hops": hop_percentiles(traces),
+                "wire_tax": wire_tax_summary(traces),
+            }
+        return {
+            "enabled": enabled,
+            "sample_every": self.config.trace_sample_every,
+            "total": total,
+            "truncated": truncated,
+            "traces": traces,
+            "server_spans": server_spans,
+            "summary": summary,
         }
 
 

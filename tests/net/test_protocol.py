@@ -350,6 +350,103 @@ class TestFastPaths:
 
 
 # ---------------------------------------------------------------------------
+# FLAG_TRACE frame extension
+# ---------------------------------------------------------------------------
+
+
+class TestTraceExtension:
+    TRACE = (0xABCD_0000_0000_0042, 7, True)
+
+    def test_trace_tail_roundtrip(self):
+        payload = wire.encode_lock_row(
+            11, 5, -3, 99, wire.wire_mode(LockMode.X), trace=self.TRACE
+        )
+        req = wire.decode_request(payload)
+        assert (req.trace_id, req.trace_span) == self.TRACE[:2]
+        assert req.trace_sampled is True
+        # The body parses exactly as the untraced frame would.
+        assert (req.app_id, req.table_id, req.row_id) == (5, -3, 99)
+        assert req.lock_mode is LockMode.X
+        assert not req.has_timeout
+
+    def test_trace_tail_roundtrip_with_timeout(self):
+        payload = wire.encode_lock_row(
+            11, 5, 3, 99, wire.wire_mode(LockMode.S),
+            timeout_s=2.5, trace=(1, 2, False),
+        )
+        req = wire.decode_request(payload)
+        assert req.has_timeout and req.timeout_s == 2.5
+        assert (req.trace_id, req.trace_span) == (1, 2)
+        assert req.trace_sampled is False
+
+    def test_untraced_frames_stay_byte_identical(self):
+        # The extension must cost nothing when unused: no flag bit, no
+        # tail, byte-for-byte the pre-extension layout.
+        plain = wire.encode_lock_row(11, 5, 3, 99, 4)
+        explicit = wire.encode_lock_row(11, 5, 3, 99, 4, trace=None)
+        assert plain == explicit
+        assert not plain[1] & wire.FLAG_TRACE
+        req = wire.decode_request(plain)
+        assert (req.trace_id, req.trace_span, req.trace_sampled) == (
+            0, 0, False,
+        )
+
+    def test_traced_frame_is_untraced_plus_tail(self):
+        plain = wire.encode_lock_row(11, 5, 3, 99, 4)
+        traced = wire.encode_lock_row(11, 5, 3, 99, 4, trace=self.TRACE)
+        assert len(traced) == len(plain) + wire.TRACE_CTX_BYTES
+        # Identical except the flags byte and the appended tail.
+        assert traced[2:-wire.TRACE_CTX_BYTES] == plain[2:]
+
+    def test_trace_flag_without_tail_rejected(self):
+        payload = struct.pack(
+            "!BBQ", wire.OP_LOCK_ROW, wire.FLAG_TRACE, 1
+        )
+        with pytest.raises(wire.ProtocolError):
+            wire.decode_request(payload)
+
+    @pytest.mark.parametrize("timeout_s", [None, 1.5])
+    def test_fast_pack_matches_codec_traced(self, timeout_s):
+        slow = wire.encode_frame(
+            wire.encode_lock_row(
+                7, 1, 2, 3, 4, timeout_s=timeout_s, trace=self.TRACE
+            )
+        )
+        fast = wire.pack_lock_row_frame(
+            7, 1, 2, 3, 4, timeout_s=timeout_s, trace=self.TRACE
+        )
+        assert fast == slow
+
+    def test_fast_parse_falls_back_on_traced_frames(self):
+        # The server's fast parse handles only the two untraced shapes;
+        # traced frames must fall through to decode_request (which
+        # strips the tail), never mis-parse.
+        traced = wire.encode_lock_row(9, 1, 2, 3, 4, trace=self.TRACE)
+        assert wire.try_parse_lock_row(traced) is None
+        timed = wire.encode_lock_row(
+            9, 1, 2, 3, 4, timeout_s=0.25, trace=self.TRACE
+        )
+        assert wire.try_parse_lock_row(timed) is None
+
+    def test_rewrite_request_id_preserves_trace_tail(self):
+        payload = wire.encode_lock_row(111, 1, 2, 3, 4, trace=self.TRACE)
+        req = wire.decode_request(wire.rewrite_request_id(payload, 222))
+        assert req.request_id == 222
+        assert (req.trace_id, req.trace_span) == self.TRACE[:2]
+        assert req.trace_sampled is True
+
+    def test_hop_report_roundtrip(self):
+        packed = wire.pack_hop_report(0.001, 0.25, 0.0, 0.0005)
+        assert len(packed) == wire.HOP_REPORT_BYTES
+        assert wire.parse_hop_report(packed) == (0.001, 0.25, 0.0, 0.0005)
+
+    def test_hop_report_rejects_wrong_size(self):
+        assert wire.parse_hop_report(b"") is None
+        assert wire.parse_hop_report(b"\x00" * 31) is None
+        assert wire.parse_hop_report(b"\x00" * 33) is None
+
+
+# ---------------------------------------------------------------------------
 # Router helpers
 # ---------------------------------------------------------------------------
 

@@ -11,7 +11,11 @@ import pytest
 
 from repro.lockmgr.modes import LockMode
 from repro.lockmgr.tracing import LockTrace
+from repro.net.client import RoutedLockClient
+from repro.net.server import ServiceBackend, ThreadedLockServer
 from repro.obs.registry import Counter, Histogram
+from repro.obs.tracing import RequestTracer
+from repro.service.stack import ServiceConfig, ServiceStack
 
 from tests.conftest import make_database
 
@@ -90,3 +94,70 @@ class TestOverheadContract:
         assert db.lock_manager.tracer is None
         assert db.lock_manager.obs is None
         assert db.obs_registry is None
+
+
+class TestTracingOverheadContract:
+    """Request tracing off costs exactly one ``is None`` check.
+
+    The only tracing code on the untraced ``lock_row`` path is the
+    ``self._tracer is None`` branch: no sampling arithmetic, no traced
+    frame encoding, no hop bookkeeping.  Enforced the same way as the
+    lock-manager contract -- count the tracing entry points across
+    identical request runs with tracing off (zero) and on (nonzero).
+    """
+
+    @pytest.fixture
+    def tracing_calls(self, monkeypatch):
+        calls = {"maybe_trace": 0, "traced_path": 0}
+        original_maybe = RequestTracer.maybe_trace
+        original_traced = RoutedLockClient._lock_row_traced
+
+        def counting_maybe(self):
+            calls["maybe_trace"] += 1
+            return original_maybe(self)
+
+        def counting_traced(self, *args, **kwargs):
+            calls["traced_path"] += 1
+            return original_traced(self, *args, **kwargs)
+
+        monkeypatch.setattr(RequestTracer, "maybe_trace", counting_maybe)
+        monkeypatch.setattr(
+            RoutedLockClient, "_lock_row_traced", counting_traced
+        )
+        return calls
+
+    def request_run(self, sock_path, tracer):
+        config = ServiceConfig(
+            total_memory_pages=8192,
+            initial_locklist_pages=128,
+            tuner_interval_s=0.05,
+            max_in_flight=16,
+            admission_queue_depth=64,
+        )
+        with ServiceStack(config) as stack:
+            server = ThreadedLockServer(
+                ServiceBackend(stack.service), path=str(sock_path)
+            )
+            server.start()
+            client = RoutedLockClient(
+                [server.address], pool_size=1, tracer=tracer
+            )
+            try:
+                app = client.open_session()
+                for row in range(8):
+                    client.lock_row(app, 0, row, LockMode.X)
+                client.close_session(app)
+            finally:
+                client.close()
+                server.stop()
+
+    def test_untraced_client_never_enters_tracing_code(
+        self, tmp_path, tracing_calls
+    ):
+        self.request_run(tmp_path / "w0.sock", tracer=None)
+        assert tracing_calls == {"maybe_trace": 0, "traced_path": 0}
+
+    def test_traced_companion_run_does(self, tmp_path, tracing_calls):
+        self.request_run(tmp_path / "w0.sock", tracer=RequestTracer(2))
+        assert tracing_calls["maybe_trace"] == 8
+        assert tracing_calls["traced_path"] == 4  # every 2nd request
